@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: why the DGEMM benchmark blocks into 32x32 sub-matrices
+ * (Section V-C). The paper argues a naive triply-nested loop thrashes
+ * the L1 while 32x32 blocking keeps a 24 KiB working set resident.
+ * This bench runs the software baseline at several blocking factors
+ * and reports cycles and L1 behaviour.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "cpu/core.hh"
+#include "util/string_utils.hh"
+#include "util/table.hh"
+#include "workloads/dgemm_workload.hh"
+
+using namespace tca;
+using namespace tca::workloads;
+
+int
+main()
+{
+    const uint32_t n = 128;
+    std::printf("=== Ablation: DGEMM blocking factor (%ux%u, "
+                "software baseline) ===\n\n", n, n);
+
+    TextTable table;
+    table.setHeader({"block", "working set", "cycles", "IPC",
+                     "l1 miss %", "l2 miss %"});
+
+    uint64_t blocked_cycles = 0, naive_cycles = 0;
+    for (uint32_t block : {16u, 32u, 64u, n}) {
+        DgemmConfig conf;
+        conf.n = n;
+        conf.blockN = block;
+        conf.tileN = block >= 8 ? 8 : block; // unused (baseline only)
+        DgemmWorkload workload(conf);
+
+        mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+        cpu::Core core(cpu::a72CoreConfig(), hierarchy);
+        auto trace = workload.makeBaselineTrace();
+        cpu::SimResult r = core.run(*trace);
+
+        uint64_t ws = 3ULL * block * block * 8;
+        table.addRow(
+            {TextTable::fmt(uint64_t{block}),
+             formatBytes(ws),
+             TextTable::fmt(r.cycles),
+             TextTable::fmt(r.ipc(), 3),
+             TextTable::fmt(100.0 * hierarchy.l1d().missRate(), 2),
+             TextTable::fmt(
+                 100.0 * (hierarchy.l2() ? hierarchy.l2()->missRate()
+                                         : 0.0),
+                 2)});
+        if (block == 32)
+            blocked_cycles = r.cycles;
+        if (block == n)
+            naive_cycles = r.cycles;
+    }
+    table.print(std::cout);
+    table.writeCsvIfRequested("ablation_blocking");
+
+    std::printf("\n32x32 blocking vs unblocked (%u): %.2fx faster — "
+                "the Section V-C rationale.\n",
+                n,
+                static_cast<double>(naive_cycles) /
+                    static_cast<double>(blocked_cycles));
+    std::printf("notes: 3 * 32^2 * 8B = 24KiB nominally fits the "
+                "32KiB L1, but the power-of-two\n"
+                "row stride (1KiB) aliases block rows onto a few "
+                "cache sets, so the 32x32 block\n"
+                "still takes conflict misses (absorbed by the L2) — "
+                "the classic reason real BLAS\n"
+                "kernels pad their leading dimension. Smaller blocks "
+                "dodge the aliasing entirely;\n"
+                "unblocked loops miss continuously all the way to "
+                "DRAM.\n");
+    return 0;
+}

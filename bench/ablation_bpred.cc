@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Ablation: endogenous branch mispredictions. The paper's
+ * methodology bakes mispredictions into the workload; here a gshare
+ * predictor decides them dynamically, and we check that the
+ * analytical model keeps tracking the simulator as branch
+ * predictability degrades (it should: the model consumes the
+ * *measured* baseline IPC, which already includes redirect losses).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "accel/fixed_latency_tca.hh"
+#include "cpu/bpred.hh"
+#include "cpu/core.hh"
+#include "model/interval_model.hh"
+#include "trace/builder.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+#include "workloads/calibrator.hh"
+
+using namespace tca;
+using namespace tca::model;
+
+namespace {
+
+enum class Pattern { Loop, Biased, Random };
+
+const char *
+patternName(Pattern p)
+{
+    switch (p) {
+      case Pattern::Loop:   return "loop (T,T,T,N)";
+      case Pattern::Biased: return "biased 90% T";
+      case Pattern::Random: return "random 50/50";
+    }
+    return "?";
+}
+
+std::vector<trace::MicroOp>
+buildTrace(Pattern pattern, bool accelerated)
+{
+    trace::TraceBuilder b;
+    Rng rng(31);
+    uint32_t invocation = 0;
+    int branch_no = 0;
+    for (int i = 0; i < 30000; ++i) {
+        if (i % 8 == 7) {
+            bool taken;
+            switch (pattern) {
+              case Pattern::Loop:
+                taken = branch_no % 4 != 3;
+                break;
+              case Pattern::Biased:
+                taken = !rng.nextBool(0.1);
+                break;
+              case Pattern::Random:
+              default:
+                taken = rng.nextBool(0.5);
+                break;
+            }
+            // A few distinct branch PCs, as in a small loop nest.
+            b.branchAt(0x4000 + 16 * (branch_no % 5), taken);
+            ++branch_no;
+        } else {
+            b.alu(static_cast<trace::RegId>(1 + (i % 20)));
+        }
+        if (i % 400 == 399) {
+            if (accelerated) {
+                b.accel(invocation++);
+            } else {
+                b.beginAcceleratable();
+                for (int k = 0; k < 120; ++k)
+                    b.alu(static_cast<trace::RegId>(24 + (k % 8)));
+                b.endAcceleratable();
+            }
+        }
+    }
+    return b.take();
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: dynamic branch prediction "
+                "(gshare) under the TCA experiment ===\n\n");
+
+    TextTable table;
+    table.setHeader({"branch pattern", "mispredict %", "base IPC",
+                     "L_T sim", "L_T model", "err %"});
+
+    for (Pattern pattern :
+         {Pattern::Loop, Pattern::Biased, Pattern::Random}) {
+        auto run = [&](bool accelerated, TcaMode mode,
+                       double *mispredict_rate) {
+            cpu::GsharePredictor gs(14, 10);
+            accel::FixedLatencyTca tca(45);
+            mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+            cpu::Core core(cpu::a72CoreConfig(), hierarchy);
+            core.setBranchPredictor(&gs);
+            if (accelerated)
+                core.bindAccelerator(&tca, mode);
+            trace::VectorTrace trace(buildTrace(pattern, accelerated));
+            cpu::SimResult r = core.run(trace);
+            if (mispredict_rate)
+                *mispredict_rate = gs.mispredictRate();
+            return r;
+        };
+
+        double mispredicts = 0.0;
+        cpu::SimResult baseline =
+            run(false, TcaMode::L_T, &mispredicts);
+        cpu::SimResult lt = run(true, TcaMode::L_T, nullptr);
+
+        uint64_t invocations = lt.accelInvocations;
+        TcaParams params = workloads::calibrateModel(
+            baseline, invocations, 45.0, cpu::a72CoreConfig());
+        IntervalModel model(params);
+
+        double sim = static_cast<double>(baseline.cycles) /
+                     static_cast<double>(lt.cycles);
+        double est = model.speedup(TcaMode::L_T);
+        table.addRow({patternName(pattern),
+                      TextTable::fmt(100.0 * mispredicts, 1),
+                      TextTable::fmt(baseline.ipc(), 3),
+                      TextTable::fmt(sim, 3), TextTable::fmt(est, 3),
+                      TextTable::fmt(100.0 * (est / sim - 1.0), 1)});
+    }
+    table.print(std::cout);
+    table.writeCsvIfRequested("ablation_bpred");
+
+    std::printf("\ntakeaway: with predictable branches the model "
+                "tracks tightly. As mispredictions\n"
+                "dominate, it turns optimistic: redirect penalties "
+                "are fixed-cost events that do\n"
+                "not shrink when the acceleratable code is removed, "
+                "while the model assumes all\n"
+                "non-accelerated work scales with the average IPC — "
+                "another instance of the\n"
+                "Section VI-3 abstraction trade-off, now from the "
+                "branch side.\n");
+    return 0;
+}

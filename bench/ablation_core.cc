@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Ablation: core-parameter sensitivity of the mode gaps (the
+ * Discussion-section claims). Sweeps ROB size, issue width, and
+ * commit depth in the analytical model and reports how much the
+ * NL_NT-vs-L_T gap moves — quantifying "high performance cores are
+ * more sensitive to different modes of TCA".
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "model/interval_model.hh"
+#include "util/table.hh"
+
+using namespace tca;
+using namespace tca::model;
+
+namespace {
+
+double
+modeGap(const TcaParams &params)
+{
+    IntervalModel model(params);
+    return model.speedup(TcaMode::L_T) / model.speedup(TcaMode::NL_NT);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: core-parameter sensitivity of the "
+                "L_T / NL_NT gap ===\n");
+    std::printf("workload: a = 30%%, g = 150 insts/invocation, "
+                "A = 3\n\n");
+
+    TcaParams base = armA72Preset().apply(TcaParams{});
+    base.acceleratableFraction = 0.3;
+    base.accelerationFactor = 3.0;
+    base = base.withGranularity(150.0);
+
+    std::printf("[ROB size] (drain penalty scales with window)\n");
+    TextTable rob;
+    rob.setHeader({"s_ROB", "L_T", "NL_NT", "gap x"});
+    for (uint32_t size : {32u, 64u, 128u, 256u, 512u}) {
+        TcaParams p = base;
+        p.robSize = size;
+        IntervalModel m(p);
+        rob.addRow({TextTable::fmt(uint64_t{size}),
+                    TextTable::fmt(m.speedup(TcaMode::L_T)),
+                    TextTable::fmt(m.speedup(TcaMode::NL_NT)),
+                    TextTable::fmt(modeGap(p), 3)});
+    }
+    rob.print(std::cout);
+
+    std::printf("\n[baseline IPC] (faster cores feel barriers more)\n");
+    TextTable ipc;
+    ipc.setHeader({"IPC", "L_T", "NL_NT", "gap x"});
+    for (double value : {0.5, 1.0, 1.5, 2.0, 3.0}) {
+        TcaParams p = base;
+        p.ipc = value;
+        IntervalModel m(p);
+        ipc.addRow({TextTable::fmt(value, 1),
+                    TextTable::fmt(m.speedup(TcaMode::L_T)),
+                    TextTable::fmt(m.speedup(TcaMode::NL_NT)),
+                    TextTable::fmt(modeGap(p), 3)});
+    }
+    ipc.print(std::cout);
+
+    std::printf("\n[commit depth] (each barrier pays it once or "
+                "twice)\n");
+    TextTable commit;
+    commit.setHeader({"t_commit", "L_NT", "NL_NT", "gap x"});
+    for (double value : {0.0, 5.0, 10.0, 20.0, 40.0}) {
+        TcaParams p = base;
+        p.commitStall = value;
+        IntervalModel m(p);
+        commit.addRow({TextTable::fmt(value, 0),
+                       TextTable::fmt(m.speedup(TcaMode::L_NT)),
+                       TextTable::fmt(m.speedup(TcaMode::NL_NT)),
+                       TextTable::fmt(modeGap(p), 3)});
+    }
+    commit.print(std::cout);
+
+    std::printf("\n[HP vs LP presets] (Section VI observation 1)\n");
+    TextTable hplp;
+    hplp.setHeader({"core", "L_T", "NL_T", "L_NT", "NL_NT", "gap x"});
+    for (const CorePreset &core :
+         {highPerfPreset(), lowPerfPreset()}) {
+        TcaParams p = core.apply(base);
+        IntervalModel m(p);
+        hplp.addRow({core.name,
+                     TextTable::fmt(m.speedup(TcaMode::L_T)),
+                     TextTable::fmt(m.speedup(TcaMode::NL_T)),
+                     TextTable::fmt(m.speedup(TcaMode::L_NT)),
+                     TextTable::fmt(m.speedup(TcaMode::NL_NT)),
+                     TextTable::fmt(modeGap(p), 3)});
+    }
+    hplp.print(std::cout);
+
+    std::printf("\ntakeaway: bigger windows, higher IPC, and deeper "
+                "commit all widen the gap, so\n"
+                "OoO integration matters most on high-performance "
+                "cores; on LP cores a designer\n"
+                "may forgo L_T complexity with little performance "
+                "loss (Section VII).\n");
+    return 0;
+}

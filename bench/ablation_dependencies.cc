@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation (the paper's Section VI-3 "limits of the model"): explicit
+ * dependencies between the TCA and nearby instructions. When program
+ * code consumes the malloc TCA's returned pointer, younger
+ * instructions stall until the (possibly delayed) accelerator
+ * produces it — an effect the model's uniform-IPC assumption cannot
+ * see. This bench measures how the model's error grows with the
+ * number of dependent consumers per malloc, per mode.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "util/table.hh"
+#include "workloads/experiment.hh"
+#include "workloads/heap_workload.hh"
+
+using namespace tca;
+using namespace tca::model;
+using namespace tca::workloads;
+
+int
+main()
+{
+    std::printf("=== Ablation: TCA->consumer dependencies "
+                "(Section VI-3 model limit) ===\n");
+    std::printf("heap workload, 800 calls, gap 80; N dependent uops "
+                "consume each malloc pointer\n\n");
+
+    TextTable table;
+    table.setHeader({"deps/malloc", "mode", "sim speedup",
+                     "model speedup", "error %"});
+
+    double lnt_err[3] = {0.0, 0.0, 0.0};
+    int col = 0;
+    for (uint32_t deps : {0u, 16u, 48u}) {
+        HeapConfig conf;
+        conf.numCalls = 800;
+        conf.fillerUopsPerGap = 80;
+        conf.dependentUsesPerMalloc = deps;
+        HeapWorkload workload(conf);
+
+        // Calibrate the drain from measured occupancy so the residual
+        // error isolates the dependency effect instead of being
+        // swamped by (and partially cancelling against) the default
+        // full-window drain pessimism.
+        ExperimentOptions opts;
+        opts.drainFromOccupancy = true;
+        ExperimentResult r =
+            runExperiment(workload, cpu::a72CoreConfig(), opts);
+        for (const ModeOutcome &mode : r.modes) {
+            table.addRow({TextTable::fmt(uint64_t{deps}),
+                          tcaModeName(mode.mode),
+                          TextTable::fmt(mode.measuredSpeedup, 3),
+                          TextTable::fmt(mode.modeledSpeedup, 3),
+                          TextTable::fmt(mode.errorPercent, 1)});
+            if (mode.mode == TcaMode::L_NT)
+                lnt_err[col] = mode.errorPercent;
+        }
+        ++col;
+    }
+    table.print(std::cout);
+    table.writeCsvIfRequested("ablation_dependencies");
+
+    std::printf("\nL_NT model error (optimism): %+.1f%% (no deps) -> "
+                "%+.1f%% (16 deps) -> %+.1f%% (48 deps)\n",
+                lnt_err[0], lnt_err[1], lnt_err[2]);
+    std::printf("takeaway: consumers that stall on the TCA's pointer "
+                "behind the dispatch barrier\n"
+                "make the model increasingly optimistic — the paper's "
+                "own Section VI-3 limitation,\n"
+                "quantified. Detailed simulation (this repo's cpu/ "
+                "library) remains necessary there.\n");
+    return 0;
+}

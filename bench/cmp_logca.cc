@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Comparison bench (paper Section II related work): LogCA vs the
+ * paper's mode-resolved TCA model vs the cycle-level simulator across
+ * invocation granularity. Both analytical models are calibrated to
+ * the same accelerator (A = 3, ARM-A72-like host, a = 30%); LogCA
+ * additionally charges its offload overhead `o` and models an idle
+ * CPU, since it targets loosely-coupled accelerators.
+ *
+ * The point the paper makes: at coarse granularity everything agrees;
+ * at fine granularity only a mode-aware tightly-coupled model can
+ * tell a designer that L_T still wins while NL_NT loses.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "model/interval_model.hh"
+#include "model/logca.hh"
+#include "util/table.hh"
+
+using namespace tca;
+using namespace tca::model;
+
+int
+main()
+{
+    std::printf("=== LogCA vs the TCA model across granularity ===\n");
+    std::printf("host: A72-like, a = 30%%; accelerator A = 3; LogCA "
+                "o = 150 cycles, L = 0.02 cyc/elem\n\n");
+
+    TcaParams tca = armA72Preset().apply(TcaParams{});
+    tca.acceleratableFraction = 0.3;
+    tca.accelerationFactor = 3.0;
+
+    LogCaParams logca;
+    logca.o = 150.0;  // driver/queue overhead of a loosely-coupled
+                      // accelerator invocation
+    logca.L = 0.02;
+    logca.C = 1.0 / tca.ipc; // host cycles per instruction
+    logca.beta = 1.0;
+    logca.A = 3.0;
+
+    TextTable table;
+    table.setHeader({"g (insts)", "LogCA", "TCA L_T", "TCA NL_T",
+                     "TCA L_NT", "TCA NL_NT"});
+    for (double g : {10.0, 30.0, 100.0, 300.0, 1e3, 1e4, 1e5, 1e6,
+                     1e8}) {
+        IntervalModel m(tca.withGranularity(g));
+        table.addRow({TextTable::fmt(g, 0),
+                      TextTable::fmt(
+                          logcaProgramSpeedup(logca, g, 0.3)),
+                      TextTable::fmt(m.speedup(TcaMode::L_T)),
+                      TextTable::fmt(m.speedup(TcaMode::NL_T)),
+                      TextTable::fmt(m.speedup(TcaMode::L_NT)),
+                      TextTable::fmt(m.speedup(TcaMode::NL_NT))});
+    }
+    table.print(std::cout);
+    table.writeCsvIfRequested("cmp_logca");
+
+    auto g1 = logcaBreakEvenGranularity(logca);
+    std::printf("\nLogCA break-even granularity g1 = %.0f elems; "
+                "asymptotic region speedup %.2f\n",
+                g1 ? *g1 : -1.0, logcaAsymptoticSpeedup(logca));
+
+    std::printf("\nshape checks (the paper's Section II argument):\n");
+    std::printf("  - coarse grained (g >= 1e6): all five columns "
+                "agree within a few %%\n");
+    std::printf("  - fine grained: LogCA reports one (pessimistic, "
+                "idle-CPU) number, while the\n"
+                "    TCA model resolves the design space from L_T "
+                "speedup to NL_NT slowdown —\n"
+                "    the information a TCA architect actually "
+                "needs.\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces Fig. 5: heap-manager TCA speedup vs malloc/free call
+ * frequency — (a) analytical model estimate, (b) simulated speedup,
+ * (c) model error — for all four integration modes. The baseline
+ * executes the TCMalloc software fast paths (69/37 uops); the TCA
+ * serves every call in a single cycle from its hardware tables.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "util/table.hh"
+#include "workloads/experiment.hh"
+#include "workloads/heap_workload.hh"
+
+using namespace tca;
+using namespace tca::model;
+using namespace tca::workloads;
+
+int
+main()
+{
+    std::printf("=== Fig. 5: heap-manager TCA, speedup vs call "
+                "frequency ===\n");
+    std::printf("core: A72-like; 1200 malloc/free calls; 1-cycle "
+                "heap TCA (always hits)\n\n");
+
+    TextTable table;
+    table.setHeader({"filler/gap", "call freq", "mode", "sim speedup",
+                     "model speedup", "error %"});
+
+    double worst_error = 0.0;
+    for (uint32_t gap : {1600, 800, 400, 200, 100, 50}) {
+        HeapConfig conf;
+        conf.numCalls = 1200;
+        conf.fillerUopsPerGap = gap;
+        conf.seed = 7;
+        HeapWorkload workload(conf);
+
+        ExperimentResult r =
+            runExperiment(workload, cpu::a72CoreConfig());
+        for (const ModeOutcome &mode : r.modes) {
+            table.addRow(
+                {TextTable::fmt(uint64_t{gap}),
+                 TextTable::fmt(r.params.invocationFrequency, 6),
+                 tcaModeName(mode.mode),
+                 TextTable::fmt(mode.measuredSpeedup),
+                 TextTable::fmt(mode.modeledSpeedup),
+                 TextTable::fmt(mode.errorPercent, 2)});
+            worst_error =
+                std::max(worst_error, std::fabs(mode.errorPercent));
+            if (!mode.functionalOk) {
+                std::printf("WARNING: heap TCA missed its tables in "
+                            "%s at gap %u\n",
+                            tcaModeName(mode.mode).c_str(), gap);
+            }
+        }
+    }
+    table.print(std::cout);
+    table.writeCsvIfRequested("fig5_heap");
+
+    std::printf("\nshape checks (paper claims):\n");
+    std::printf("  - speedup grows with invocation frequency in the "
+                "T modes\n");
+    std::printf("  - NL_T closely follows L_T\n");
+    std::printf("  - error grows toward high invocation frequency "
+                "(paper: up to 8.5%% vs gem5)\n");
+    std::printf("worst-case |error| this run: %.2f%%\n", worst_error);
+    return 0;
+}

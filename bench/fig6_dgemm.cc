@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reproduces Fig. 6: blocked dense matrix-multiplication acceleration
+ * with 2x2, 4x4, and 8x8 multiply-accumulate TCAs in all four modes,
+ * measured (simulator) vs estimated (analytical model), relative to a
+ * software element-wise kernel. Speedups are large, so, as in the
+ * paper, the model's relative trends matter more than absolute error.
+ *
+ * The paper uses a 512x512 matrix; total simulated work scales as N^3
+ * while the behaviour is set by the L1-resident 32x32 blocking, so we
+ * default to N=128 (override with TCA_DGEMM_N) to keep the run short.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "util/table.hh"
+#include "workloads/dgemm_workload.hh"
+#include "workloads/experiment.hh"
+
+using namespace tca;
+using namespace tca::model;
+using namespace tca::workloads;
+
+int
+main()
+{
+    uint32_t n = 128;
+    if (const char *env = std::getenv("TCA_DGEMM_N"))
+        n = static_cast<uint32_t>(std::atoi(env));
+
+    std::printf("=== Fig. 6: DGEMM acceleration, %ux%u via 32x32 "
+                "blocks (paper: 512x512) ===\n", n, n);
+    std::printf("baseline: software element-wise kernel; accelerators "
+                "operate through memory\n\n");
+
+    TextTable table;
+    table.setHeader({"accel", "mode", "sim speedup", "model speedup",
+                     "error %", "functional"});
+
+    double prev_lt = 0.0;
+    for (uint32_t tile : {2u, 4u, 8u}) {
+        DgemmConfig conf;
+        conf.n = n;
+        conf.blockN = 32;
+        conf.tileN = tile;
+        DgemmWorkload workload(conf);
+
+        // Section III: accelerator latency "can be exact if the
+        // accelerator design is already well defined" — use the
+        // measured per-invocation latency, as the paper's gem5 flow
+        // effectively does.
+        ExperimentOptions opts;
+        opts.useMeasuredAccelLatency = true;
+        ExperimentResult r =
+            runExperiment(workload, cpu::a72CoreConfig(), opts);
+        for (const ModeOutcome &mode : r.modes) {
+            table.addRow(
+                {workload.name(), tcaModeName(mode.mode),
+                 TextTable::fmt(mode.measuredSpeedup, 2),
+                 TextTable::fmt(mode.modeledSpeedup, 2),
+                 TextTable::fmt(mode.errorPercent, 1),
+                 mode.functionalOk ? "ok" : "MISMATCH"});
+        }
+
+        double lt = r.forMode(TcaMode::L_T).measuredSpeedup;
+        double nlnt = r.forMode(TcaMode::NL_NT).measuredSpeedup;
+        std::printf("%s: L_T/NL_NT measured gap %.3fx "
+                    "(relative mode spread %s with tile size)\n",
+                    workload.name().c_str(), lt / nlnt,
+                    prev_lt == 0.0 ? "-"
+                    : (lt / nlnt <
+                       prev_lt ? "shrinks" : "grows"));
+        prev_lt = lt / nlnt;
+    }
+    std::printf("\n");
+    table.print(std::cout);
+    table.writeCsvIfRequested("fig6_dgemm");
+
+    std::printf("\nshape checks (paper claims):\n");
+    std::printf("  - larger tiles -> larger speedup (log-scale "
+                "growth 2x2 -> 8x8)\n");
+    std::printf("  - relative mode differences are largest for the "
+                "2x2 accelerator\n");
+    std::printf("  - the model is pessimistic for non-L_T modes "
+                "(paper: error up to 44%%)\n");
+    return 0;
+}

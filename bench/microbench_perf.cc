@@ -1,0 +1,84 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library itself: analytical
+ * model evaluation cost (the paper's pitch is that the model replaces
+ * hours of simulation — here is the actual cost ratio), sweep
+ * throughput, and simulator speed in uops/second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/core.hh"
+#include "model/interval_model.hh"
+#include "model/sweeps.hh"
+#include "workloads/synthetic.hh"
+
+using namespace tca;
+
+static void
+BM_ModelEvaluation(benchmark::State &state)
+{
+    model::TcaParams params = model::armA72Preset().apply(
+        model::TcaParams{});
+    params.acceleratableFraction = 0.3;
+    params.accelerationFactor = 3.0;
+    for (auto _ : state) {
+        model::IntervalModel m(params);
+        benchmark::DoNotOptimize(m.allSpeedups());
+    }
+}
+BENCHMARK(BM_ModelEvaluation);
+
+static void
+BM_HeatmapSweep(benchmark::State &state)
+{
+    model::TcaParams params = model::armA72Preset().apply(
+        model::TcaParams{});
+    params.accelerationFactor = 1.5;
+    size_t cells = static_cast<size_t>(state.range(0));
+    for (auto _ : state) {
+        auto grid = model::heatmapSweep(params, cells, 1e-6, 1e-1,
+                                        cells);
+        benchmark::DoNotOptimize(grid.slowdownCells(
+            model::TcaMode::NL_NT));
+    }
+    state.SetItemsProcessed(state.iterations() * cells * cells * 4);
+}
+BENCHMARK(BM_HeatmapSweep)->Arg(16)->Arg(32);
+
+static void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    workloads::SyntheticConfig conf;
+    conf.fillerUops = static_cast<uint64_t>(state.range(0));
+    conf.numInvocations = 0;
+    workloads::SyntheticWorkload workload(conf);
+    cpu::CoreConfig core_conf = cpu::a72CoreConfig();
+
+    uint64_t uops = 0;
+    for (auto _ : state) {
+        mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+        cpu::Core core(core_conf, hierarchy);
+        auto trace = workload.makeBaselineTrace();
+        cpu::SimResult r = core.run(*trace);
+        uops += r.committedUops;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(uops));
+}
+BENCHMARK(BM_SimulatorThroughput)->Arg(50000)->Unit(
+    benchmark::kMillisecond);
+
+static void
+BM_TraceGeneration(benchmark::State &state)
+{
+    workloads::SyntheticConfig conf;
+    conf.fillerUops = 100000;
+    conf.numInvocations = 100;
+    for (auto _ : state) {
+        workloads::SyntheticWorkload workload(conf);
+        auto trace = workload.makeBaselineTrace();
+        benchmark::DoNotOptimize(trace->expectedLength());
+    }
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);

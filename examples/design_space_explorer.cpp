@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Design-space exploration with the analytical model: given an
+ * accelerator's granularity and acceleration factor, map out where it
+ * helps, where it hurts, and which mode the paper's analysis would
+ * recommend on both a high- and a low-performance core — the workflow
+ * Section VI walks through for the heap manager and GreenDroid.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "model/inverse.hh"
+#include "model/optima.hh"
+#include "model/sweeps.hh"
+#include "util/table.hh"
+
+using namespace tca;
+using namespace tca::model;
+
+namespace {
+
+/** Pick the simplest mode within 5% of the best speedup. */
+TcaMode
+recommendMode(const IntervalModel &model)
+{
+    double best = model.speedup(TcaMode::L_T);
+    // From simplest hardware to most complex.
+    for (TcaMode mode : {TcaMode::NL_NT, TcaMode::L_NT, TcaMode::NL_T,
+                         TcaMode::L_T}) {
+        if (model.speedup(mode) >= 0.95 * best)
+            return mode;
+    }
+    return TcaMode::L_T;
+}
+
+void
+exploreCore(const CorePreset &core, double granularity, double factor)
+{
+    std::printf("--- %s core ---\n", core.name.c_str());
+    TextTable table;
+    table.setHeader({"coverage a", "L_T", "NL_T", "L_NT", "NL_NT",
+                     "recommended"});
+    for (double a : {0.05, 0.1, 0.2, 0.3, 0.5, 0.7}) {
+        TcaParams p = core.apply(TcaParams{});
+        p.accelerationFactor = factor;
+        p = p.withAcceleratable(a).withGranularity(granularity);
+        IntervalModel model(p);
+        TcaMode pick = recommendMode(model);
+        table.addRow({TextTable::fmt(a, 2),
+                      TextTable::fmt(model.speedup(TcaMode::L_T), 3),
+                      TextTable::fmt(model.speedup(TcaMode::NL_T), 3),
+                      TextTable::fmt(model.speedup(TcaMode::L_NT), 3),
+                      TextTable::fmt(model.speedup(TcaMode::NL_NT), 3),
+                      tcaModeName(pick)});
+    }
+    table.print(std::cout);
+
+    TcaParams p = core.apply(TcaParams{});
+    p.accelerationFactor = factor;
+    SpeedupPeak peak = findPeakSpeedup(p, granularity, TcaMode::L_T);
+    std::printf("peak L_T speedup %.3f at %.0f%% coverage "
+                "(concurrency bound A+1 = %.1f)\n",
+                peak.bestSpeedup, 100.0 * peak.bestA,
+                ltSpeedupBound(factor));
+
+    // Inverse queries: where does the cheapest design stop hurting,
+    // and what acceleration factor would a 1.2x program speedup need?
+    TcaParams q = p.withAcceleratable(0.3);
+    if (auto g = breakEvenGranularity(q, TcaMode::NL_NT)) {
+        std::printf("NL_NT breaks even at g >= %.0f insts/invocation "
+                    "(30%% coverage)\n", *g);
+    } else {
+        std::printf("NL_NT never slows the program down at 30%% "
+                    "coverage\n");
+    }
+    TcaParams r = p.withAcceleratable(0.3).withGranularity(granularity);
+    if (auto A = requiredAccelerationFactor(r, TcaMode::L_T, 1.2)) {
+        std::printf("a 1.2x program speedup needs A >= %.2f in L_T "
+                    "(ceiling %.2fx)\n\n",
+                    *A, speedupCeiling(r, TcaMode::L_T));
+    } else {
+        std::printf("a 1.2x program speedup is unreachable here "
+                    "(ceiling %.2fx)\n\n",
+                    speedupCeiling(r, TcaMode::L_T));
+    }
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    // Defaults describe a GreenDroid-like fine-grained accelerator;
+    // pass <granularity> <acceleration-factor> to explore your own.
+    double granularity = argc > 1 ? std::atof(argv[1]) : 300.0;
+    double factor = argc > 2 ? std::atof(argv[2]) : 1.5;
+
+    std::printf("=== TCA design-space exploration ===\n");
+    std::printf("accelerator: g = %.0f insts/invocation, A = %.2f\n\n",
+                granularity, factor);
+
+    exploreCore(highPerfPreset(), granularity, factor);
+    exploreCore(lowPerfPreset(), granularity, factor);
+
+    std::printf("rule of thumb from the paper: the finer the "
+                "granularity and the faster the core,\n"
+                "the more the TCA needs full OoO integration; "
+                "energy-motivated accelerators on LP\n"
+                "cores can often skip it.\n");
+    return 0;
+}

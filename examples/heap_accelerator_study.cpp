@@ -1,0 +1,83 @@
+/**
+ * @file
+ * End-to-end study of a Mallacc-style heap-manager TCA: build the
+ * malloc/free microbenchmark, simulate the software TCMalloc baseline
+ * and the 1-cycle accelerator in all four modes, calibrate the
+ * analytical model from the baseline, and compare — the full
+ * Section V-B methodology in one program.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "cpu/core.hh"
+#include "util/table.hh"
+#include "workloads/experiment.hh"
+#include "workloads/heap_workload.hh"
+
+using namespace tca;
+using namespace tca::model;
+using namespace tca::workloads;
+
+int
+main()
+{
+    std::printf("=== Heap-manager TCA study ===\n\n");
+
+    HeapConfig conf;
+    conf.numCalls = 1000;
+    conf.fillerUopsPerGap = 150; // fairly allocation-heavy program
+    HeapWorkload workload(conf);
+
+    std::printf("workload: %llu calls (%llu mallocs), software fast "
+                "paths of 69/37 uops,\n"
+                "accelerated calls take 1 cycle in hardware tables\n\n",
+                static_cast<unsigned long long>(
+                    workload.numInvocations()),
+                static_cast<unsigned long long>(workload.numMallocs()));
+
+    ExperimentResult r = runExperiment(workload, cpu::a72CoreConfig());
+
+    std::printf("baseline: %s\n\n", r.baseline.summary().c_str());
+    std::printf("calibrated model inputs: a=%.4f v=%.5f IPC=%.3f "
+                "A=%.1f\n\n",
+                r.params.acceleratableFraction,
+                r.params.invocationFrequency, r.params.ipc,
+                r.params.accelerationFactor);
+
+    TextTable table;
+    table.setHeader({"mode", "cycles", "sim speedup", "model speedup",
+                     "error %", "barrier stalls", "hardware cost"});
+    for (const ModeOutcome &mode : r.modes) {
+        table.addRow(
+            {tcaModeName(mode.mode),
+             TextTable::fmt(mode.sim.cycles),
+             TextTable::fmt(mode.measuredSpeedup, 3),
+             TextTable::fmt(mode.modeledSpeedup, 3),
+             TextTable::fmt(mode.errorPercent, 1),
+             TextTable::fmt(mode.sim.stalls(
+                 cpu::StallCause::SerializeBarrier)),
+             tcaModeHardware(mode.mode).substr(0, 40) + "..."});
+    }
+    table.print(std::cout);
+
+    std::printf("\nconclusion: at this call frequency the T modes pay "
+                "off; the NT dispatch\n"
+                "barrier burns more cycles than the accelerator saves "
+                "— exactly the paper's\n"
+                "fine-grained-accelerator warning.\n");
+
+    // Bonus: the gem5-style stats dump for one run (L_T), core and
+    // memory hierarchy together.
+    std::printf("\n--- stats dump (L_T rerun) ---\n");
+    mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+    cpu::Core core(cpu::a72CoreConfig(), hierarchy);
+    auto trace = workload.makeAcceleratedTrace();
+    core.bindAccelerator(&workload.device(), TcaMode::L_T);
+    core.run(*trace);
+    stats::Group group("sim");
+    core.regStats(group);
+    hierarchy.regStats(group);
+    group.dump(std::cout);
+    return 0;
+}

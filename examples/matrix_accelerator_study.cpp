@@ -1,0 +1,67 @@
+/**
+ * @file
+ * End-to-end study of a tensor-core-style matrix TCA: run the blocked
+ * DGEMM benchmark with a 4x4 multiply-accumulate accelerator,
+ * verify the computed product against an element-wise reference, and
+ * compare simulated and modeled speedups (Section V-C methodology,
+ * shrunk to a 64x64 matrix for interactive use).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "util/table.hh"
+#include "workloads/dgemm_workload.hh"
+#include "workloads/experiment.hh"
+
+using namespace tca;
+using namespace tca::model;
+using namespace tca::workloads;
+
+int
+main()
+{
+    std::printf("=== Matrix-multiply TCA study ===\n\n");
+
+    DgemmConfig conf;
+    conf.n = 64;
+    conf.blockN = 32;
+    conf.tileN = 4;
+    DgemmWorkload workload(conf);
+
+    std::printf("workload: %ux%u DGEMM via 32x32 L1-resident blocks; "
+                "4x4 MACC tiles through memory\n"
+                "invocations: %llu, est. accel latency %.1f cycles\n\n",
+                conf.n, conf.n,
+                static_cast<unsigned long long>(
+                    workload.numInvocations()),
+                workload.accelLatencyEstimate());
+
+    ExperimentResult r = runExperiment(workload, cpu::a72CoreConfig());
+
+    std::printf("software element-wise baseline: %llu cycles "
+                "(IPC %.3f)\n\n",
+                static_cast<unsigned long long>(r.baseline.cycles),
+                r.baseline.ipc());
+
+    TextTable table;
+    table.setHeader({"mode", "cycles", "sim speedup", "model speedup",
+                     "product check"});
+    for (const ModeOutcome &mode : r.modes) {
+        table.addRow({tcaModeName(mode.mode),
+                      TextTable::fmt(mode.sim.cycles),
+                      TextTable::fmt(mode.measuredSpeedup, 2),
+                      TextTable::fmt(mode.modeledSpeedup, 2),
+                      mode.functionalOk ? "matches reference"
+                                        : "MISMATCH"});
+    }
+    table.print(std::cout);
+
+    std::printf("\nnote: coarse tiles amortize drain/fill penalties, "
+                "so the four modes sit much\n"
+                "closer together than for the heap TCA — offload "
+                "granularity, not just the\n"
+                "acceleration factor, decides how much OoO "
+                "integration matters.\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * TCA design advisor: a command-line front end over the full
+ * analytical toolkit. Describe the accelerator and workload on the
+ * command line; get the complete advisory report (per-mode speedups,
+ * slowdown warnings, concurrency optimum, break-even boundaries, and
+ * a Pareto verdict on which integration hardware to build).
+ *
+ * Usage:
+ *   tca_advisor [a] [granularity] [A] [core]
+ *     a            acceleratable fraction, default 0.3
+ *     granularity  insts/invocation, default 100
+ *     A            acceleration factor, default 3
+ *     core         a72 | hp | lp, default a72
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "model/report.hh"
+#include "util/logging.hh"
+
+using namespace tca;
+using namespace tca::model;
+
+int
+main(int argc, char **argv)
+{
+    double a = argc > 1 ? std::atof(argv[1]) : 0.3;
+    double granularity = argc > 2 ? std::atof(argv[2]) : 100.0;
+    double factor = argc > 3 ? std::atof(argv[3]) : 3.0;
+    const char *core_name = argc > 4 ? argv[4] : "a72";
+
+    CorePreset core = armA72Preset();
+    if (std::strcmp(core_name, "hp") == 0)
+        core = highPerfPreset();
+    else if (std::strcmp(core_name, "lp") == 0)
+        core = lowPerfPreset();
+    else if (std::strcmp(core_name, "a72") != 0)
+        fatal("unknown core '%s' (expected a72, hp, or lp)",
+              core_name);
+
+    TcaParams params = core.apply(TcaParams{});
+    params.accelerationFactor = factor;
+    params = params.withAcceleratable(a).withGranularity(granularity);
+
+    std::printf("%s", designReport(params).c_str());
+    return 0;
+}

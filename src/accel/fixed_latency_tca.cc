@@ -1,0 +1,38 @@
+#include "accel/fixed_latency_tca.hh"
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace accel {
+
+FixedLatencyTca::FixedLatencyTca(uint32_t latency)
+    : defaultLatency(latency)
+{
+    tca_assert(latency > 0);
+}
+
+void
+FixedLatencyTca::registerInvocation(
+    uint32_t id, std::vector<cpu::AccelRequest> requests,
+    uint32_t latency_override)
+{
+    records[id] = {std::move(requests),
+                   latency_override ? latency_override : defaultLatency};
+}
+
+uint32_t
+FixedLatencyTca::beginInvocation(uint32_t id,
+                                 std::vector<cpu::AccelRequest> &requests)
+{
+    ++started;
+    auto it = records.find(id);
+    if (it == records.end()) {
+        requests.clear();
+        return defaultLatency;
+    }
+    requests = it->second.requests;
+    return it->second.latency;
+}
+
+} // namespace accel
+} // namespace tca

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A generic TCA with architect-specified latency and optional memory
+ * requests, used by the synthetic adaptive microbenchmark (Section
+ * V-A): early in a design cycle the accelerator latency "can be
+ * estimated, or it can be exact if the accelerator design is already
+ * well defined".
+ */
+
+#ifndef TCASIM_ACCEL_FIXED_LATENCY_TCA_HH
+#define TCASIM_ACCEL_FIXED_LATENCY_TCA_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/accel_device.hh"
+
+namespace tca {
+namespace accel {
+
+/**
+ * Fixed-latency accelerator. Every invocation costs `defaultLatency`
+ * compute cycles plus whatever its registered memory requests cost
+ * through the shared ports; invocations without a registered record
+ * have no memory traffic.
+ */
+class FixedLatencyTca : public cpu::AccelDevice
+{
+  public:
+    /** @param latency compute cycles per invocation. */
+    explicit FixedLatencyTca(uint32_t latency);
+
+    /**
+     * Attach memory requests (and optionally a latency override) to a
+     * specific invocation id.
+     */
+    void registerInvocation(uint32_t id,
+                            std::vector<cpu::AccelRequest> requests,
+                            uint32_t latency_override = 0);
+
+    uint32_t beginInvocation(
+        uint32_t id, std::vector<cpu::AccelRequest> &requests) override;
+
+    const char *name() const override { return "fixed_latency_tca"; }
+
+    uint64_t invocationsStarted() const { return started; }
+
+  private:
+    struct Record
+    {
+        std::vector<cpu::AccelRequest> requests;
+        uint32_t latency;
+    };
+
+    uint32_t defaultLatency;
+    std::unordered_map<uint32_t, Record> records;
+    uint64_t started = 0;
+};
+
+} // namespace accel
+} // namespace tca
+
+#endif // TCASIM_ACCEL_FIXED_LATENCY_TCA_HH

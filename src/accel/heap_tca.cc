@@ -1,0 +1,66 @@
+#include "accel/heap_tca.hh"
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace accel {
+
+HeapTca::HeapTca(uint32_t table_entries, uint32_t initial_fill)
+    : capacity(table_entries)
+{
+    tca_assert(initial_fill <= table_entries);
+    depth.fill(initial_fill);
+}
+
+uint32_t
+HeapTca::recordInvocation(const HeapInvocation &inv)
+{
+    tca_assert(inv.sizeClass < alloc::numSizeClasses);
+    records.push_back(inv);
+    return static_cast<uint32_t>(records.size() - 1);
+}
+
+const HeapInvocation &
+HeapTca::invocation(uint32_t id) const
+{
+    tca_assert(id < records.size());
+    return records[id];
+}
+
+uint32_t
+HeapTca::beginInvocation(uint32_t id,
+                         std::vector<cpu::AccelRequest> &requests)
+{
+    requests.clear(); // free lists live in the hardware tables
+    const HeapInvocation &inv = invocation(id);
+    uint32_t &d = depth[inv.sizeClass];
+    if (inv.isMalloc) {
+        if (d > 0) {
+            --d;
+            ++hits;
+        } else {
+            // Would fall back to the software path; the experiments
+            // are constructed so this never happens (Section IV), but
+            // we count it rather than silently mispredict.
+            ++misses;
+        }
+    } else {
+        if (d < capacity) {
+            ++d;
+            ++hits;
+        } else {
+            ++misses;
+        }
+    }
+    return operationLatency;
+}
+
+uint32_t
+HeapTca::tableDepth(uint32_t size_class) const
+{
+    tca_assert(size_class < alloc::numSizeClasses);
+    return depth[size_class];
+}
+
+} // namespace accel
+} // namespace tca

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Heap-manager TCA (Sections IV and V-B), modeled on Mallacc: hardware
+ * tables caching the top of each size class's free list provide
+ * single-cycle malloc and free. The paper assumes the common case in
+ * which every request hits the tables; this device tracks the table
+ * occupancy so experiments can verify that assumption held.
+ */
+
+#ifndef TCASIM_ACCEL_HEAP_TCA_HH
+#define TCASIM_ACCEL_HEAP_TCA_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "alloc/size_class.hh"
+#include "cpu/accel_device.hh"
+
+namespace tca {
+namespace accel {
+
+/** What one heap-TCA invocation does. */
+struct HeapInvocation
+{
+    bool isMalloc = true;
+    uint32_t sizeClass = 0;
+    uint64_t addr = 0; ///< pointer returned (malloc) or freed (free)
+};
+
+/**
+ * The accelerator. Invocations are recorded by the workload generator
+ * in program order; ids index the record table. Both operations
+ * complete in a single cycle with no memory traffic (the free lists
+ * live in dedicated hardware tables).
+ */
+class HeapTca : public cpu::AccelDevice
+{
+  public:
+    /**
+     * @param table_entries hardware table capacity per size class
+     * @param initial_fill entries preloaded per class (the warmed
+     *        state the paper's always-hit assumption implies)
+     */
+    explicit HeapTca(uint32_t table_entries = 32,
+                     uint32_t initial_fill = 16);
+
+    /** Append an invocation record; its id is the insertion index. */
+    uint32_t recordInvocation(const HeapInvocation &inv);
+
+    /** Record for an id (for tests and functional checks). */
+    const HeapInvocation &invocation(uint32_t id) const;
+
+    uint32_t beginInvocation(
+        uint32_t id, std::vector<cpu::AccelRequest> &requests) override;
+
+    const char *name() const override { return "heap_tca"; }
+
+    /** Invocations that found the table in the expected state. */
+    uint64_t tableHits() const { return hits; }
+
+    /** Invocations that would have needed the software fallback. */
+    uint64_t tableMisses() const { return misses; }
+
+    /** Current table depth for a class. */
+    uint32_t tableDepth(uint32_t size_class) const;
+
+    /** Single-cycle operation latency (fixed by the design). */
+    static constexpr uint32_t operationLatency = 1;
+
+  private:
+    uint32_t capacity;
+    std::array<uint32_t, alloc::numSizeClasses> depth;
+    std::vector<HeapInvocation> records;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+};
+
+} // namespace accel
+} // namespace tca
+
+#endif // TCASIM_ACCEL_HEAP_TCA_HH

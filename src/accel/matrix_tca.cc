@@ -1,0 +1,76 @@
+#include "accel/matrix_tca.hh"
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace accel {
+
+MatrixTca::MatrixTca(uint32_t tile_n, mem::BackingStore &store)
+    : n(tile_n), memStore(store)
+{
+    if (n != 2 && n != 4 && n != 8)
+        fatal("MatrixTca supports 2x2, 4x4, and 8x8 tiles, not %ux%u",
+              n, n);
+}
+
+uint32_t
+MatrixTca::registerTile(const TileOp &op)
+{
+    tca_assert(op.aStride >= n * sizeof(double));
+    tca_assert(op.bStride >= n * sizeof(double));
+    tca_assert(op.cStride >= n * sizeof(double));
+    tiles.push_back(op);
+    return static_cast<uint32_t>(tiles.size() - 1);
+}
+
+void
+MatrixTca::executeTile(const TileOp &op)
+{
+    // Small fixed-size GEMM on the functional store: C += A * B.
+    double a[8][8], b[8][8], c[8][8];
+    for (uint32_t r = 0; r < n; ++r) {
+        memStore.read(op.aAddr + r * op.aStride, a[r],
+                      n * sizeof(double));
+        memStore.read(op.bAddr + r * op.bStride, b[r],
+                      n * sizeof(double));
+        memStore.read(op.cAddr + r * op.cStride, c[r],
+                      n * sizeof(double));
+    }
+    for (uint32_t i = 0; i < n; ++i)
+        for (uint32_t k = 0; k < n; ++k) {
+            double aik = a[i][k];
+            for (uint32_t j = 0; j < n; ++j)
+                c[i][j] += aik * b[k][j];
+        }
+    for (uint32_t r = 0; r < n; ++r) {
+        memStore.write(op.cAddr + r * op.cStride, c[r],
+                       n * sizeof(double));
+    }
+}
+
+uint32_t
+MatrixTca::beginInvocation(uint32_t id,
+                           std::vector<cpu::AccelRequest> &requests)
+{
+    tca_assert(id < tiles.size());
+    const TileOp &op = tiles[id];
+    ++executed;
+
+    executeTile(op);
+
+    // One contiguous row access per matrix row: N*8 bytes <= 64B for
+    // N <= 8 (the AVX-512-width assumption of Section IV).
+    requests.clear();
+    requests.reserve(4 * n);
+    uint8_t row_bytes = static_cast<uint8_t>(n * sizeof(double));
+    for (uint32_t r = 0; r < n; ++r) {
+        requests.push_back({op.aAddr + r * op.aStride, false, row_bytes});
+        requests.push_back({op.bAddr + r * op.bStride, false, row_bytes});
+        requests.push_back({op.cAddr + r * op.cStride, false, row_bytes});
+        requests.push_back({op.cAddr + r * op.cStride, true, row_bytes});
+    }
+    return computeLatency();
+}
+
+} // namespace accel
+} // namespace tca

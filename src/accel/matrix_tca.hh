@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Matrix-multiply-accumulate TCA (Sections IV and V-C): a tensor-core
+ * analogue that operates through memory rather than dedicated matrix
+ * registers. One invocation computes C += A * B for an NxN tile of
+ * doubles, issuing one contiguous (<=64B) load per input row and a
+ * load+store per output row through the core's shared memory ports,
+ * exactly as the paper's gem5 instruction does.
+ */
+
+#ifndef TCASIM_ACCEL_MATRIX_TCA_HH
+#define TCASIM_ACCEL_MATRIX_TCA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/accel_device.hh"
+#include "mem/backing_store.hh"
+
+namespace tca {
+namespace accel {
+
+/** One tile operation: byte addresses and row strides of the tiles. */
+struct TileOp
+{
+    uint64_t aAddr = 0; ///< top-left of the A tile
+    uint64_t bAddr = 0;
+    uint64_t cAddr = 0;
+    uint32_t aStride = 0; ///< bytes between consecutive tile rows
+    uint32_t bStride = 0;
+    uint32_t cStride = 0;
+};
+
+/**
+ * The accelerator. Supports tile sizes 2, 4, and 8 (the three designs
+ * Fig. 6 evaluates). Functionally performs the multiply-accumulate on
+ * the backing store when invoked, so results are checkable against an
+ * element-wise reference.
+ */
+class MatrixTca : public cpu::AccelDevice
+{
+  public:
+    /**
+     * @param tile_n tile dimension (2, 4, or 8)
+     * @param store functional memory holding the matrices (not owned)
+     */
+    MatrixTca(uint32_t tile_n, mem::BackingStore &store);
+
+    /** Register a tile op; its id is the insertion index. */
+    uint32_t registerTile(const TileOp &op);
+
+    uint32_t beginInvocation(
+        uint32_t id, std::vector<cpu::AccelRequest> &requests) override;
+
+    const char *name() const override { return "matrix_tca"; }
+
+    uint32_t tileN() const { return n; }
+
+    /**
+     * Compute latency of one tile op: a pipelined MACC array needs
+     * roughly one pass per result row after operands arrive.
+     */
+    uint32_t computeLatency() const { return n + 2; }
+
+    uint64_t tilesExecuted() const { return executed; }
+
+  private:
+    /** Functional C += A * B on the backing store. */
+    void executeTile(const TileOp &op);
+
+    uint32_t n;
+    mem::BackingStore &memStore;
+    std::vector<TileOp> tiles;
+    uint64_t executed = 0;
+};
+
+} // namespace accel
+} // namespace tca
+
+#endif // TCASIM_ACCEL_MATRIX_TCA_HH

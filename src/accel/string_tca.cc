@@ -1,0 +1,83 @@
+#include "accel/string_tca.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace accel {
+
+StringTca::StringTca(mem::BackingStore &store, uint32_t bytes_per_cycle)
+    : memStore(store), throughput(bytes_per_cycle)
+{
+    tca_assert(throughput > 0);
+}
+
+uint32_t
+StringTca::registerCompare(const CompareOp &op)
+{
+    tca_assert(op.length > 0);
+    ops.push_back(op);
+    results.emplace_back();
+    done.push_back(false);
+    return static_cast<uint32_t>(ops.size() - 1);
+}
+
+uint32_t
+StringTca::beginInvocation(uint32_t id,
+                           std::vector<cpu::AccelRequest> &requests)
+{
+    tca_assert(id < ops.size());
+    const CompareOp &op = ops[id];
+    ++executedCount;
+
+    // Functional compare.
+    CompareResult &res = results[id];
+    res.matchLength = op.length;
+    res.equal = true;
+    for (uint32_t i = 0; i < op.length; ++i) {
+        uint8_t a = memStore.readValue<uint8_t>(op.aAddr + i);
+        uint8_t b = memStore.readValue<uint8_t>(op.bAddr + i);
+        if (a != b) {
+            res.matchLength = i;
+            res.equal = false;
+            break;
+        }
+    }
+    done[id] = true;
+
+    // Memory traffic: both strings are streamed line by line up to
+    // and including the line containing the first mismatch (the
+    // hardware cannot know where the mismatch is in advance, but it
+    // stops fetching once it sees one).
+    requests.clear();
+    uint32_t scanned =
+        res.equal ? op.length : res.matchLength + 1;
+    for (uint64_t offset = 0; offset < scanned; offset += 64) {
+        uint8_t chunk = static_cast<uint8_t>(
+            std::min<uint64_t>(64, scanned - offset));
+        requests.push_back({op.aAddr + offset, false, chunk});
+        requests.push_back({op.bAddr + offset, false, chunk});
+    }
+
+    // Pipelined comparator: one `throughput`-byte beat per cycle,
+    // plus a start/finish overhead of 2 cycles.
+    return 2 + (scanned + throughput - 1) / throughput;
+}
+
+const CompareResult &
+StringTca::result(uint32_t id) const
+{
+    tca_assert(id < results.size() && done[id]);
+    return results[id];
+}
+
+bool
+StringTca::executed(uint32_t id) const
+{
+    tca_assert(id < done.size());
+    return done[id];
+}
+
+} // namespace accel
+} // namespace tca

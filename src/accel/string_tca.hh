@@ -1,0 +1,81 @@
+/**
+ * @file
+ * String-compare TCA, modeled on the string-function accelerators the
+ * paper cites as motivation (server-side PHP string functions [6] and
+ * the SSE4.2 STTNI string instructions [10]): one invocation compares
+ * two in-memory byte strings, streaming both through wide (up to
+ * one-cache-line) loads and producing the match length.
+ */
+
+#ifndef TCASIM_ACCEL_STRING_TCA_HH
+#define TCASIM_ACCEL_STRING_TCA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/accel_device.hh"
+#include "mem/backing_store.hh"
+
+namespace tca {
+namespace accel {
+
+/** One registered compare operation. */
+struct CompareOp
+{
+    uint64_t aAddr = 0;
+    uint64_t bAddr = 0;
+    uint32_t length = 0; ///< bytes to compare
+};
+
+/** Result of a functional compare. */
+struct CompareResult
+{
+    uint32_t matchLength = 0; ///< bytes equal before first mismatch
+    bool equal = false;       ///< all `length` bytes matched
+};
+
+/**
+ * The accelerator. Functionally performs the comparison on the
+ * backing store at invocation time; results are retrievable per id
+ * for verification against a host-side reference.
+ */
+class StringTca : public cpu::AccelDevice
+{
+  public:
+    /**
+     * @param store functional memory holding the strings (not owned)
+     * @param bytes_per_cycle SIMD compare throughput (default 16,
+     *        an SSE-width comparator)
+     */
+    explicit StringTca(mem::BackingStore &store,
+                       uint32_t bytes_per_cycle = 16);
+
+    /** Register a compare; its id is the insertion index. */
+    uint32_t registerCompare(const CompareOp &op);
+
+    uint32_t beginInvocation(
+        uint32_t id, std::vector<cpu::AccelRequest> &requests) override;
+
+    const char *name() const override { return "string_tca"; }
+
+    /** Functional result of an executed invocation. */
+    const CompareResult &result(uint32_t id) const;
+
+    /** True once the invocation has executed. */
+    bool executed(uint32_t id) const;
+
+    uint64_t comparesExecuted() const { return executedCount; }
+
+  private:
+    mem::BackingStore &memStore;
+    uint32_t throughput;
+    std::vector<CompareOp> ops;
+    std::vector<CompareResult> results;
+    std::vector<bool> done;
+    uint64_t executedCount = 0;
+};
+
+} // namespace accel
+} // namespace tca
+
+#endif // TCASIM_ACCEL_STRING_TCA_HH

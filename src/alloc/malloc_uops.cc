@@ -1,0 +1,111 @@
+#include "alloc/malloc_uops.hh"
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace alloc {
+
+using trace::RegId;
+using trace::TraceBuilder;
+
+namespace {
+
+/**
+ * Emit `count` bookkeeping ALU uops in short two-deep dependency
+ * chains across a few scratch registers, approximating the ILP of
+ * compiler-generated fast-path glue (prologue, size-class arithmetic,
+ * sampling checks, epilogue).
+ */
+void
+emitFiller(TraceBuilder &builder, RegId scratch, uint32_t count)
+{
+    for (uint32_t i = 0; i < count; ++i) {
+        RegId dst = static_cast<RegId>(scratch + 4 + (i % 4));
+        RegId src = static_cast<RegId>(scratch + 4 + ((i + 1) % 4));
+        builder.alu(dst, src, scratch);
+    }
+}
+
+} // anonymous namespace
+
+void
+emitMallocSequence(TraceBuilder &builder, const MallocUopParams &params,
+                   RegId result_reg, uint64_t obj_addr,
+                   uint64_t meta_addr, bool acceleratable)
+{
+    // Spine (9 uops): size-class chain -> head load -> pointer chase
+    // -> head store, plus the branch testing for an empty list and the
+    // length-counter update.
+    constexpr uint32_t spine_uops = 9;
+    tca_assert(params.mallocUops >= spine_uops);
+
+    const RegId s = params.scratchBase;
+    const RegId cls = static_cast<RegId>(s + 0);
+    const RegId head = result_reg;
+    const RegId next = static_cast<RegId>(s + 1);
+    const RegId count = static_cast<RegId>(s + 2);
+
+    if (acceleratable)
+        builder.beginAcceleratable();
+
+    // Size-class computation: three-deep dependent ALU chain.
+    builder.alu(cls, s);
+    builder.alu(cls, cls);
+    builder.alu(cls, cls);
+    // Load the free-list head; the returned pointer.
+    builder.load(head, meta_addr, 8, cls);
+    // Empty-list check (correctly predicted in the common case).
+    builder.branch(false, head);
+    // Pointer-chase: read the next-object link out of the object.
+    builder.load(next, obj_addr, 8, head);
+    // Publish the new head.
+    builder.store(next, meta_addr, 8, cls);
+    // Thread-cache length counter.
+    builder.load(count, meta_addr + 8, 8);
+    builder.store(count, meta_addr + 8, 8);
+
+    emitFiller(builder, s, params.mallocUops - spine_uops);
+
+    if (acceleratable)
+        builder.endAcceleratable();
+}
+
+void
+emitFreeSequence(TraceBuilder &builder, const MallocUopParams &params,
+                 RegId ptr_reg, uint64_t obj_addr, uint64_t meta_addr,
+                 bool acceleratable)
+{
+    // Spine (7 uops): class lookup from the pointer, old-head load,
+    // link store into the object, head update, counter update.
+    constexpr uint32_t spine_uops = 7;
+    tca_assert(params.freeUops >= spine_uops);
+
+    const RegId s = params.scratchBase;
+    const RegId cls = static_cast<RegId>(s + 0);
+    const RegId head = static_cast<RegId>(s + 1);
+    const RegId count = static_cast<RegId>(s + 2);
+
+    if (acceleratable)
+        builder.beginAcceleratable();
+
+    // Page-map lookup of the object's size class.
+    builder.alu(cls, ptr_reg);
+    builder.alu(cls, cls);
+    // Old head.
+    builder.load(head, meta_addr, 8, cls);
+    // Store the old head into the freed object's link field.
+    builder.store(head, obj_addr, 8, ptr_reg);
+    // New head is the freed pointer.
+    builder.store(ptr_reg, meta_addr, 8, cls);
+    // Length counter.
+    builder.load(count, meta_addr + 8, 8);
+    builder.store(count, meta_addr + 8, 8);
+
+    emitFiller(builder, s, params.freeUops - spine_uops);
+
+    if (acceleratable)
+        builder.endAcceleratable();
+}
+
+} // namespace alloc
+} // namespace tca

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Software fast-path uop sequences for malloc and free, calibrated to
+ * the budgets the paper cites for TCMalloc (Section IV): malloc = 69
+ * x86 uops / ~39 cycles, free = 37 uops / ~20 cycles. The sequences
+ * combine a dependent spine (size-class computation feeding a
+ * free-list-head load, a pointer-chase into the object, and the head
+ * update store) with parallel bookkeeping work, so they exhibit the
+ * mix of ILP and serialization a real allocator fast path has.
+ */
+
+#ifndef TCASIM_ALLOC_MALLOC_UOPS_HH
+#define TCASIM_ALLOC_MALLOC_UOPS_HH
+
+#include <cstdint>
+
+#include "trace/builder.hh"
+
+namespace tca {
+namespace alloc {
+
+/** Knobs for the emitted sequences. */
+struct MallocUopParams
+{
+    uint32_t mallocUops = 69; ///< total uops per malloc fast path
+    uint32_t freeUops = 37;   ///< total uops per free fast path
+
+    /**
+     * First scratch architectural register the sequences may clobber;
+     * they use [scratchBase, scratchBase+16). Callers must keep their
+     * own registers outside this window.
+     */
+    trace::RegId scratchBase = 200;
+};
+
+/**
+ * Emit a malloc fast path.
+ *
+ * @param builder destination
+ * @param params uop budgets and scratch registers
+ * @param result_reg register receiving the returned pointer
+ * @param obj_addr functional address the call returns (from
+ *                 TcmallocModel), used for the pointer-chase load
+ * @param meta_addr free-list-head metadata address for the class
+ * @param acceleratable mark all emitted uops acceleratable
+ */
+void emitMallocSequence(trace::TraceBuilder &builder,
+                        const MallocUopParams &params,
+                        trace::RegId result_reg, uint64_t obj_addr,
+                        uint64_t meta_addr, bool acceleratable = true);
+
+/**
+ * Emit a free fast path.
+ *
+ * @param ptr_reg register holding the pointer being freed (dependency
+ *                link back to the producing malloc)
+ * @param obj_addr functional object address (header store target)
+ * @param meta_addr free-list-head metadata address for the class
+ */
+void emitFreeSequence(trace::TraceBuilder &builder,
+                      const MallocUopParams &params,
+                      trace::RegId ptr_reg, uint64_t obj_addr,
+                      uint64_t meta_addr, bool acceleratable = true);
+
+} // namespace alloc
+} // namespace tca
+
+#endif // TCASIM_ALLOC_MALLOC_UOPS_HH

@@ -1,0 +1,25 @@
+#include "alloc/size_class.hh"
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace alloc {
+
+uint32_t
+sizeClassFor(uint32_t bytes)
+{
+    if (bytes == 0 || bytes > maxSmallSize)
+        fatal("allocation size %u outside the modeled small-object "
+              "range (1..%u)", bytes, maxSmallSize);
+    return (bytes - 1) / classGranularity;
+}
+
+uint32_t
+classObjectSize(uint32_t size_class)
+{
+    tca_assert(size_class < numSizeClasses);
+    return (size_class + 1) * classGranularity;
+}
+
+} // namespace alloc
+} // namespace tca

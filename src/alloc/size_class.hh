@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Size-class mapping for the TCMalloc-style allocator model. The heap
+ * experiments use the four classes from Section V-B of the paper:
+ * 0-32B, 33-64B, 65-96B, 97-128B.
+ */
+
+#ifndef TCASIM_ALLOC_SIZE_CLASS_HH
+#define TCASIM_ALLOC_SIZE_CLASS_HH
+
+#include <cstdint>
+
+namespace tca {
+namespace alloc {
+
+/** Number of size classes tracked by allocator and heap TCA. */
+inline constexpr uint32_t numSizeClasses = 4;
+
+/** Object size granularity: class k serves sizes up to 32*(k+1). */
+inline constexpr uint32_t classGranularity = 32;
+
+/**
+ * Map a request size to its size class.
+ *
+ * @param bytes requested allocation size (1..128)
+ * @return class index in [0, numSizeClasses)
+ */
+uint32_t sizeClassFor(uint32_t bytes);
+
+/** Object size actually allocated for a class. */
+uint32_t classObjectSize(uint32_t size_class);
+
+/** Largest request size the classes cover (128B). */
+inline constexpr uint32_t maxSmallSize =
+    numSizeClasses * classGranularity;
+
+} // namespace alloc
+} // namespace tca
+
+#endif // TCASIM_ALLOC_SIZE_CLASS_HH

@@ -1,0 +1,92 @@
+#include "alloc/tcmalloc_model.hh"
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace alloc {
+
+TcmallocModel::TcmallocModel() = default;
+
+void
+TcmallocModel::refill(uint32_t size_class)
+{
+    uint32_t obj_size = classObjectSize(size_class);
+    uint64_t span = nextSpan;
+    nextSpan += spanBytes;
+    ++numSpans;
+    // LIFO free list: push carved objects so the lowest address pops
+    // first, matching TCMalloc's singly-linked thread-cache lists.
+    for (uint64_t addr = span + spanBytes - obj_size; addr >= span;
+         addr -= obj_size) {
+        freeLists[size_class].push_back(addr);
+        if (addr < span + obj_size)
+            break; // avoid unsigned wrap below span
+    }
+}
+
+uint64_t
+TcmallocModel::malloc(uint32_t bytes)
+{
+    uint32_t size_class = sizeClassFor(bytes);
+    if (freeLists[size_class].empty())
+        refill(size_class);
+    uint64_t addr = freeLists[size_class].back();
+    freeLists[size_class].pop_back();
+    tca_assert(liveClass.find(addr) == liveClass.end());
+    liveClass.emplace(addr, size_class);
+    return addr;
+}
+
+void
+TcmallocModel::free(uint64_t addr)
+{
+    auto it = liveClass.find(addr);
+    if (it == liveClass.end())
+        fatal("free() of unknown address 0x%llx",
+              static_cast<unsigned long long>(addr));
+    freeLists[it->second].push_back(addr);
+    liveClass.erase(it);
+}
+
+uint32_t
+TcmallocModel::classOf(uint64_t addr) const
+{
+    auto it = liveClass.find(addr);
+    if (it == liveClass.end())
+        fatal("classOf() on non-live address 0x%llx",
+              static_cast<unsigned long long>(addr));
+    return it->second;
+}
+
+uint64_t
+TcmallocModel::freeListHeadAddr(uint32_t size_class) const
+{
+    tca_assert(size_class < numSizeClasses);
+    // One cache line of metadata per class, so classes do not falsely
+    // share lines.
+    return metadataBase + static_cast<uint64_t>(size_class) * 64;
+}
+
+bool
+TcmallocModel::freeListHasEntry(uint32_t size_class) const
+{
+    tca_assert(size_class < numSizeClasses);
+    return !freeLists[size_class].empty();
+}
+
+size_t
+TcmallocModel::freeListDepth(uint32_t size_class) const
+{
+    tca_assert(size_class < numSizeClasses);
+    return freeLists[size_class].size();
+}
+
+void
+TcmallocModel::prewarm(uint32_t size_class, size_t depth)
+{
+    while (freeLists[size_class].size() < depth)
+        refill(size_class);
+}
+
+} // namespace alloc
+} // namespace tca

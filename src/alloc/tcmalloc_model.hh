@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Functional model of a TCMalloc-style thread-cache allocator: per-
+ * size-class free lists refilled from spans. The heap workload runs
+ * its allocation script through this model to obtain real object and
+ * metadata addresses; the software baseline's uop sequences then load
+ * and store those addresses, and the heap TCA mirrors the same free
+ * lists in its hardware tables.
+ */
+
+#ifndef TCASIM_ALLOC_TCMALLOC_MODEL_HH
+#define TCASIM_ALLOC_TCMALLOC_MODEL_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/size_class.hh"
+
+namespace tca {
+namespace alloc {
+
+/**
+ * The allocator. Addresses are simulated (no host memory is touched);
+ * the heap region begins at heapBase and grows by spans.
+ */
+class TcmallocModel
+{
+  public:
+    TcmallocModel();
+
+    /**
+     * Allocate an object.
+     *
+     * @param bytes request size (1..128)
+     * @return simulated object address
+     */
+    uint64_t malloc(uint32_t bytes);
+
+    /** Free a previously allocated object. */
+    void free(uint64_t addr);
+
+    /** Size class a live object belongs to; fatal() if unknown. */
+    uint32_t classOf(uint64_t addr) const;
+
+    /**
+     * Address of the free-list head metadata word for a class; the
+     * software fast path loads/stores this location.
+     */
+    uint64_t freeListHeadAddr(uint32_t size_class) const;
+
+    /**
+     * True if a malloc of this class would hit the free list without a
+     * span refill (the TCA common case the paper assumes).
+     */
+    bool freeListHasEntry(uint32_t size_class) const;
+
+    /** Current free-list depth for a class. */
+    size_t freeListDepth(uint32_t size_class) const;
+
+    /** Live (allocated, unfreed) object count. */
+    size_t liveObjects() const { return liveClass.size(); }
+
+    /** Total spans carved so far. */
+    uint64_t spansAllocated() const { return numSpans; }
+
+    /**
+     * Pre-warm a class's free list with at least `depth` objects so a
+     * following run never takes the slow span-refill path, matching
+     * the paper's always-hit assumption for the accelerator.
+     */
+    void prewarm(uint32_t size_class, size_t depth);
+
+    /** Base address of allocator metadata (free-list heads). */
+    static constexpr uint64_t metadataBase = 0x10000000ULL;
+
+    /** Base address of the object heap. */
+    static constexpr uint64_t heapBase = 0x20000000ULL;
+
+  private:
+    static constexpr uint64_t spanBytes = 4096;
+
+    /** Carve a fresh span into objects of the class. */
+    void refill(uint32_t size_class);
+
+    std::array<std::vector<uint64_t>, numSizeClasses> freeLists;
+    std::unordered_map<uint64_t, uint32_t> liveClass;
+    uint64_t nextSpan = heapBase;
+    uint64_t numSpans = 0;
+};
+
+} // namespace alloc
+} // namespace tca
+
+#endif // TCASIM_ALLOC_TCMALLOC_MODEL_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Interface between the core and a tightly-coupled accelerator. The
+ * core owns *when* an Accel uop may begin (mode semantics, ROB state);
+ * the device owns *what* the invocation does: its compute latency and
+ * the memory requests it must issue through the core's LSQ arbitration.
+ */
+
+#ifndef TCASIM_CPU_ACCEL_DEVICE_HH
+#define TCASIM_CPU_ACCEL_DEVICE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/mem_types.hh"
+
+namespace tca {
+namespace cpu {
+
+/** One memory request an accelerator invocation must perform. */
+struct AccelRequest
+{
+    mem::Addr addr = 0;
+    bool write = false;
+    uint8_t size = 64; ///< up to one cache line (AVX-512 width)
+};
+
+/**
+ * Timing + functional model of a TCA as seen by the core. Invocations
+ * are identified by the id carried in the Accel MicroOp so the device
+ * can replay the functional work recorded at trace-generation time.
+ */
+class AccelDevice
+{
+  public:
+    virtual ~AccelDevice() = default;
+
+    /**
+     * Begin invocation `id`. Called exactly once per invocation, at
+     * the cycle the core lets the TCA start executing.
+     *
+     * @param id invocation id from the Accel MicroOp
+     * @param[out] requests memory requests to arbitrate through the
+     *             core's memory ports (may be empty)
+     * @return compute latency in cycles, counted after the last
+     *         memory request completes
+     */
+    virtual uint32_t beginInvocation(uint32_t id,
+                                     std::vector<AccelRequest> &requests)
+        = 0;
+
+    /** Device name for stats. */
+    virtual const char *name() const = 0;
+};
+
+} // namespace cpu
+} // namespace tca
+
+#endif // TCASIM_CPU_ACCEL_DEVICE_HH

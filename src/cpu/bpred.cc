@@ -1,0 +1,92 @@
+#include "cpu/bpred.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace cpu {
+
+namespace {
+
+/** Saturating 2-bit counter update. */
+void
+train(uint8_t &counter, bool taken)
+{
+    if (taken)
+        counter = static_cast<uint8_t>(std::min<int>(counter + 1, 3));
+    else
+        counter = static_cast<uint8_t>(std::max<int>(counter - 1, 0));
+}
+
+} // anonymous namespace
+
+BimodalPredictor::BimodalPredictor(uint32_t table_bits)
+{
+    tca_assert(table_bits >= 1 && table_bits <= 24);
+    mask = (1u << table_bits) - 1;
+    counters.assign(1u << table_bits, 1); // weakly not-taken
+}
+
+uint32_t
+BimodalPredictor::indexOf(mem::Addr pc) const
+{
+    return static_cast<uint32_t>(pc >> 2) & mask;
+}
+
+bool
+BimodalPredictor::predict(mem::Addr pc)
+{
+    return counters[indexOf(pc)] >= 2;
+}
+
+void
+BimodalPredictor::update(mem::Addr pc, bool taken)
+{
+    train(counters[indexOf(pc)], taken);
+}
+
+void
+BimodalPredictor::reset()
+{
+    std::fill(counters.begin(), counters.end(), 1);
+}
+
+GsharePredictor::GsharePredictor(uint32_t table_bits,
+                                 uint32_t history_bits)
+{
+    tca_assert(table_bits >= 1 && table_bits <= 24);
+    tca_assert(history_bits <= table_bits);
+    mask = (1u << table_bits) - 1;
+    historyMask = history_bits ? (1u << history_bits) - 1 : 0;
+    counters.assign(1u << table_bits, 1);
+}
+
+uint32_t
+GsharePredictor::indexOf(mem::Addr pc) const
+{
+    return (static_cast<uint32_t>(pc >> 2) ^ history) & mask;
+}
+
+bool
+GsharePredictor::predict(mem::Addr pc)
+{
+    return counters[indexOf(pc)] >= 2;
+}
+
+void
+GsharePredictor::update(mem::Addr pc, bool taken)
+{
+    train(counters[indexOf(pc)], taken);
+    history = ((history << 1) | (taken ? 1 : 0)) & historyMask;
+}
+
+void
+GsharePredictor::reset()
+{
+    std::fill(counters.begin(), counters.end(), 1);
+    history = 0;
+}
+
+} // namespace cpu
+} // namespace tca

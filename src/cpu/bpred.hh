@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Branch predictor models. By default the core trusts the trace's
+ * per-branch `mispredicted` flag (the paper's methodology: the
+ * workload decides). With CoreConfig::useBranchPredictor, branches
+ * instead carry their PC (MicroOp::addr) and outcome
+ * (MicroOp::mispredicted reinterpreted as "taken"), and one of these
+ * predictors decides dynamically whether the front end mispredicts —
+ * making misprediction endogenous, as in gem5.
+ */
+
+#ifndef TCASIM_CPU_BPRED_HH
+#define TCASIM_CPU_BPRED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/mem_types.hh"
+
+namespace tca {
+namespace cpu {
+
+/** Abstract predictor: predict at fetch, update at resolve. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the branch at `pc`. */
+    virtual bool predict(mem::Addr pc) = 0;
+
+    /** Train with the actual outcome. */
+    virtual void update(mem::Addr pc, bool taken) = 0;
+
+    /** Reset all learned state. */
+    virtual void reset() = 0;
+
+    uint64_t lookups() const { return numLookups; }
+    uint64_t mispredicts() const { return numMispredicts; }
+
+    /** Predict + bookkeeping; returns true if mispredicted. */
+    bool
+    predictAndUpdate(mem::Addr pc, bool taken)
+    {
+        ++numLookups;
+        bool mispredicted = predict(pc) != taken;
+        if (mispredicted)
+            ++numMispredicts;
+        update(pc, taken);
+        return mispredicted;
+    }
+
+    double
+    mispredictRate() const
+    {
+        return numLookups
+            ? static_cast<double>(numMispredicts) /
+              static_cast<double>(numLookups)
+            : 0.0;
+    }
+
+  protected:
+    uint64_t numLookups = 0;
+    uint64_t numMispredicts = 0;
+};
+
+/** Always predicts the same direction (a static predictor). */
+class StaticPredictor : public BranchPredictor
+{
+  public:
+    explicit StaticPredictor(bool predict_taken = true)
+        : direction(predict_taken)
+    {}
+
+    bool predict(mem::Addr) override { return direction; }
+    void update(mem::Addr, bool) override {}
+    void reset() override {}
+
+  private:
+    bool direction;
+};
+
+/** Per-PC 2-bit saturating counters (bimodal). */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    /** @param table_bits log2 of the counter-table size. */
+    explicit BimodalPredictor(uint32_t table_bits = 12);
+
+    bool predict(mem::Addr pc) override;
+    void update(mem::Addr pc, bool taken) override;
+    void reset() override;
+
+  private:
+    uint32_t indexOf(mem::Addr pc) const;
+
+    uint32_t mask;
+    std::vector<uint8_t> counters; ///< 0..3, >=2 predicts taken
+};
+
+/** Gshare: global history XOR PC indexing a 2-bit counter table. */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param table_bits log2 of the counter-table size
+     * @param history_bits global-history length (<= table_bits)
+     */
+    explicit GsharePredictor(uint32_t table_bits = 14,
+                             uint32_t history_bits = 12);
+
+    bool predict(mem::Addr pc) override;
+    void update(mem::Addr pc, bool taken) override;
+    void reset() override;
+
+  private:
+    uint32_t indexOf(mem::Addr pc) const;
+
+    uint32_t mask;
+    uint32_t historyMask;
+    uint32_t history = 0;
+    std::vector<uint8_t> counters;
+};
+
+} // namespace cpu
+} // namespace tca
+
+#endif // TCASIM_CPU_BPRED_HH

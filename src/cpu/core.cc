@@ -1,0 +1,488 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace cpu {
+
+std::string
+stallCauseName(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::None:             return "none";
+      case StallCause::TraceEmpty:       return "trace_empty";
+      case StallCause::RobFull:          return "rob_full";
+      case StallCause::IqFull:           return "iq_full";
+      case StallCause::LsqFull:          return "lsq_full";
+      case StallCause::SerializeBarrier: return "serialize_barrier";
+      case StallCause::BranchRedirect:   return "branch_redirect";
+      case StallCause::NumCauses:        break;
+    }
+    panic("invalid StallCause %d", static_cast<int>(cause));
+}
+
+std::string
+SimResult::summary() const
+{
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "cycles=%llu uops=%llu ipc=%.4f accel_invocations=%llu "
+                  "avg_accel_latency=%.1f\n"
+                  "stalls: rob_full=%llu iq_full=%llu lsq_full=%llu "
+                  "barrier=%llu redirect=%llu trace_empty=%llu",
+                  static_cast<unsigned long long>(cycles),
+                  static_cast<unsigned long long>(committedUops), ipc(),
+                  static_cast<unsigned long long>(accelInvocations),
+                  avgAccelLatency(),
+                  static_cast<unsigned long long>(
+                      stalls(StallCause::RobFull)),
+                  static_cast<unsigned long long>(
+                      stalls(StallCause::IqFull)),
+                  static_cast<unsigned long long>(
+                      stalls(StallCause::LsqFull)),
+                  static_cast<unsigned long long>(
+                      stalls(StallCause::SerializeBarrier)),
+                  static_cast<unsigned long long>(
+                      stalls(StallCause::BranchRedirect)),
+                  static_cast<unsigned long long>(
+                      stalls(StallCause::TraceEmpty)));
+    return buf;
+}
+
+Core::Core(const CoreConfig &config, mem::MemHierarchy &hierarchy)
+    : conf(config), mem(hierarchy), rob(config.robSize),
+      fuPool(conf), memPorts(config.memPorts)
+{
+    conf.validate();
+}
+
+void
+Core::bindAccelerator(AccelDevice *device, model::TcaMode mode,
+                      uint8_t port)
+{
+    if (accelPorts.size() <= port)
+        accelPorts.resize(port + 1);
+    accelPorts[port].device = device;
+    accelPorts[port].mode = mode;
+    accelPorts[port].busyUntil = 0;
+}
+
+Core::AccelPortState &
+Core::portFor(const trace::MicroOp &op)
+{
+    tca_assert(op.isAccel());
+    if (op.accelPort >= accelPorts.size() ||
+        !accelPorts[op.accelPort].device) {
+        panic("trace contains an Accel uop for port %u but no "
+              "accelerator is bound there", op.accelPort);
+    }
+    return accelPorts[op.accelPort];
+}
+
+void
+Core::resetRunState()
+{
+    now = 0;
+    rob = Rob(conf.robSize);
+    memPorts.reset();
+    iq.clear();
+    lsq.clear();
+    lastWriter.clear();
+    havePending = false;
+    traceDone = false;
+    redirectPending = false;
+    resumeDispatchAt = 0;
+    barrierActive = false;
+    barrierSeq = 0;
+    for (AccelPortState &port : accelPorts)
+        port.busyUntil = 0;
+    result = SimResult{};
+}
+
+SimResult
+Core::run(trace::TraceSource &trace_source)
+{
+    resetRunState();
+    source = &trace_source;
+
+    uint64_t last_progress_uops = 0;
+    mem::Cycle last_progress_cycle = 0;
+
+    while (!traceDone || !rob.empty()) {
+        commitStage();
+        issueStage();
+        dispatchStage();
+        result.robOccupancySum += rob.size();
+
+        // Deadlock detector: the pipeline must make forward progress.
+        uint64_t progress = result.committedUops + rob.next();
+        if (progress != last_progress_uops) {
+            last_progress_uops = progress;
+            last_progress_cycle = now;
+        } else if (now - last_progress_cycle > 200000) {
+            panic("core deadlock at cycle %llu: rob=%u iq=%zu lsq=%zu "
+                  "barrier=%d redirect=%d",
+                  static_cast<unsigned long long>(now), rob.size(),
+                  iq.size(), lsq.size(), barrierActive ? 1 : 0,
+                  redirectPending ? 1 : 0);
+        }
+        ++now;
+    }
+
+    result.cycles = now;
+    source = nullptr;
+    return result;
+}
+
+void
+Core::regStats(stats::Group &group)
+{
+    auto add = [&](const std::string &name, std::function<double()> fn,
+                   const std::string &desc) {
+        statFormulas.push_back(
+            std::make_unique<stats::Formula>(std::move(fn)));
+        group.addFormula(name, statFormulas.back().get(), desc);
+    };
+    add("cycles", [this] { return double(result.cycles); },
+        "simulated cycles");
+    add("committed_uops",
+        [this] { return double(result.committedUops); },
+        "micro-ops retired");
+    add("ipc", [this] { return result.ipc(); },
+        "committed uops per cycle");
+    add("accel_invocations",
+        [this] { return double(result.accelInvocations); },
+        "TCA invocations executed");
+    add("accel_avg_latency",
+        [this] { return result.avgAccelLatency(); },
+        "mean TCA issue-to-complete latency");
+    add("rob_occupancy",
+        [this] { return result.avgRobOccupancy(); },
+        "mean ROB entries in flight");
+    for (size_t c = 1;
+         c < static_cast<size_t>(StallCause::NumCauses); ++c) {
+        StallCause cause = static_cast<StallCause>(c);
+        add("stall." + stallCauseName(cause),
+            [this, cause] { return double(result.stalls(cause)); },
+            "full dispatch-stall cycles: " + stallCauseName(cause));
+    }
+}
+
+void
+Core::recordStall(StallCause cause)
+{
+    ++result.stallCycles[static_cast<size_t>(cause)];
+}
+
+void
+Core::commitStage()
+{
+    for (uint32_t n = 0; n < conf.commitWidth && !rob.empty(); ++n) {
+        RobEntry &head = rob.head();
+        if (!(head.state == UopState::Issued &&
+              head.completeCycle + conf.commitLatency <= now)) {
+            break;
+        }
+        if (head.op.isStore()) {
+            // Retired stores drain from the store queue to the cache;
+            // this happens off the load critical path via the
+            // write-back buffers, so no port is charged.
+            mem.firstLevel().access(head.op.addr,
+                                    mem::AccessType::Write, now);
+        }
+        if (head.op.isMem()) {
+            tca_assert(!lsq.empty() && lsq.front() == head.seq);
+            lsq.erase(lsq.begin());
+        }
+        ++result.committedUops;
+        ++result.committedByClass[static_cast<size_t>(head.op.cls)];
+        if (head.op.acceleratable || head.op.isAccel())
+            ++result.committedAcceleratable;
+        rob.retireHead();
+    }
+}
+
+bool
+Core::operandsReady(const RobEntry &entry) const
+{
+    for (uint64_t producer : entry.srcProducer) {
+        if (producer == noSeq)
+            continue;
+        if (rob.isRetired(producer))
+            continue;
+        const RobEntry &prod = rob.entryFor(producer);
+        if (!isDone(prod))
+            return false;
+    }
+    return true;
+}
+
+RobEntry *
+Core::youngestOlderStore(const RobEntry &load)
+{
+    RobEntry *found = nullptr;
+    for (uint64_t seq : lsq) {
+        if (seq >= load.seq)
+            break;
+        RobEntry &entry = rob.entryFor(seq);
+        if (!entry.op.isStore())
+            continue;
+        uint64_t s_begin = entry.op.addr;
+        uint64_t s_end = s_begin + entry.op.size;
+        uint64_t l_begin = load.op.addr;
+        uint64_t l_end = l_begin + load.op.size;
+        if (s_begin < l_end && l_begin < s_end)
+            found = &entry;
+    }
+    return found;
+}
+
+bool
+Core::issueLoad(RobEntry &entry)
+{
+    RobEntry *store = youngestOlderStore(entry);
+    if (store) {
+        // Forward from the store queue once the store's data is ready.
+        if (!isDone(*store))
+            return false;
+        entry.completeCycle = now + conf.forwardLatency;
+    } else {
+        if (!memPorts.availableAt(now))
+            return false;
+        mem::Cycle start = memPorts.claim(now);
+        entry.completeCycle = mem.firstLevel().access(
+            entry.op.addr, mem::AccessType::Read, start);
+    }
+    return true;
+}
+
+bool
+Core::issueStore(RobEntry &entry)
+{
+    // Stores only need their data and address; they complete into the
+    // store queue and write the cache at retirement.
+    entry.completeCycle = now + conf.storeLatency;
+    return true;
+}
+
+bool
+Core::issueAccel(RobEntry &entry)
+{
+    AccelPortState &port = portFor(entry.op);
+    if (port.busyUntil > now)
+        return false; // this TCA's previous invocation still running
+    if (!model::allowsLeading(port.mode)) {
+        // NL modes: non-speculative, must wait until all leading
+        // instructions have committed (window drain).
+        if (entry.seq != rob.oldest())
+            return false;
+    } else if (partialSpeculation) {
+        // Partial speculation (Section VIII): only speculate past
+        // branches the predictor is confident about. Any unresolved
+        // older low-confidence branch blocks the TCA.
+        for (uint64_t seq = rob.oldest(); seq < entry.seq; ++seq) {
+            const RobEntry &older = rob.entryFor(seq);
+            if (older.op.isBranch() && older.op.lowConfidence &&
+                !isDone(older)) {
+                return false;
+            }
+        }
+    }
+
+    std::vector<AccelRequest> requests;
+    uint32_t compute = port.device->beginInvocation(
+        entry.op.accelInvocation, requests);
+
+    // Memory requests arbitrate for the shared ports, age priority.
+    mem::Cycle mem_done = now;
+    for (const AccelRequest &req : requests) {
+        mem::Cycle start = memPorts.claim(now);
+        mem::Cycle done = mem.firstLevel().access(
+            req.addr, req.write ? mem::AccessType::Write
+                                : mem::AccessType::Read,
+            start);
+        mem_done = std::max(mem_done, done);
+    }
+
+    entry.completeCycle =
+        std::max(mem_done + compute, static_cast<mem::Cycle>(now + 1));
+    port.busyUntil = entry.completeCycle;
+
+    ++result.accelInvocations;
+    result.accelLatencyTotal += entry.completeCycle - now;
+    return true;
+}
+
+void
+Core::issueSimple(RobEntry &entry)
+{
+    entry.completeCycle = now + conf.latencyOf(entry.op.cls);
+    if (entry.op.isBranch() && entry.op.mispredicted) {
+        // The redirect target is known when the branch resolves; the
+        // front end refills redirectPenalty cycles later.
+        resumeDispatchAt = entry.completeCycle + conf.redirectPenalty;
+        redirectPending = false;
+    }
+}
+
+bool
+Core::tryIssue(RobEntry &entry)
+{
+    using trace::OpClass;
+    if (!operandsReady(entry))
+        return false;
+
+    switch (entry.op.cls) {
+      case OpClass::Load:
+        if (!issueLoad(entry))
+            return false;
+        break;
+      case OpClass::Store:
+        if (!issueStore(entry))
+            return false;
+        break;
+      case OpClass::Accel:
+        if (!issueAccel(entry))
+            return false;
+        break;
+      default:
+        if (!fuPool.available(entry.op.cls))
+            return false;
+        issueSimple(entry);
+        fuPool.consume(entry.op.cls);
+        break;
+    }
+
+    entry.state = UopState::Issued;
+    entry.issueCycle = now;
+    return true;
+}
+
+void
+Core::issueStage()
+{
+    fuPool.newCycle();
+    uint32_t issued = 0;
+    size_t keep = 0;
+    for (size_t i = 0; i < iq.size(); ++i) {
+        uint64_t seq = iq[i];
+        RobEntry &entry = rob.entryFor(seq);
+        bool did_issue = false;
+        if (issued < conf.issueWidth && entry.dispatchCycle < now)
+            did_issue = tryIssue(entry);
+        if (did_issue)
+            ++issued;
+        else
+            iq[keep++] = seq;
+    }
+    iq.resize(keep);
+}
+
+void
+Core::dispatchStage()
+{
+    uint32_t dispatched = 0;
+    StallCause cause = StallCause::None;
+
+    while (dispatched < conf.dispatchWidth) {
+        // Front-end redirect from an in-flight mispredicted branch.
+        if (redirectPending || now < resumeDispatchAt) {
+            cause = StallCause::BranchRedirect;
+            break;
+        }
+        // NT-mode dispatch barrier until the TCA commits.
+        if (barrierActive) {
+            if (rob.isRetired(barrierSeq)) {
+                barrierActive = false;
+            } else {
+                cause = StallCause::SerializeBarrier;
+                break;
+            }
+        }
+        // Refill the one-op lookahead buffer.
+        if (!havePending && !traceDone) {
+            if (source->next(pendingOp))
+                havePending = true;
+            else
+                traceDone = true;
+        }
+        if (traceDone && !havePending) {
+            cause = StallCause::TraceEmpty;
+            break;
+        }
+        if (rob.full()) {
+            cause = StallCause::RobFull;
+            break;
+        }
+        if (iq.size() >= conf.iqSize) {
+            cause = StallCause::IqFull;
+            break;
+        }
+        if (pendingOp.isMem() && lsq.size() >= conf.lsqSize) {
+            cause = StallCause::LsqFull;
+            break;
+        }
+        if (pendingOp.isAccel()) {
+            // Validates the port binding (panics when unbound).
+            portFor(pendingOp);
+        }
+
+        uint64_t seq = rob.next();
+        RobEntry &entry = rob.allocate(seq);
+        entry.op = pendingOp;
+        entry.dispatchCycle = now;
+
+        // With a dynamic predictor, the misprediction decision is
+        // made here (at fetch/dispatch) from the branch's PC and
+        // actual direction, replacing the trace's static flag.
+        if (bpred && entry.op.isBranch()) {
+            entry.op.mispredicted = bpred->predictAndUpdate(
+                entry.op.addr, entry.op.taken);
+        }
+
+        // Resolve register dependencies against the rename scoreboard.
+        for (size_t s = 0; s < trace::maxSrcRegs; ++s) {
+            trace::RegId reg = entry.op.src[s];
+            if (reg == trace::noReg || reg >= lastWriter.size())
+                continue;
+            uint64_t producer = lastWriter[reg];
+            if (producer != noSeq && !rob.isRetired(producer))
+                entry.srcProducer[s] = producer;
+        }
+        if (entry.op.dst != trace::noReg) {
+            if (entry.op.dst >= lastWriter.size())
+                lastWriter.resize(entry.op.dst + 1, noSeq);
+            lastWriter[entry.op.dst] = seq;
+        }
+
+        iq.push_back(seq);
+        if (entry.op.isMem())
+            lsq.push_back(seq);
+
+        if (entry.op.isBranch() && entry.op.mispredicted) {
+            // Younger uops are wrong-path until the branch resolves.
+            redirectPending = true;
+        }
+        if (entry.op.isAccel() &&
+            !model::allowsTrailing(portFor(entry.op).mode)) {
+            barrierActive = true;
+            barrierSeq = seq;
+        }
+
+        havePending = false;
+        ++dispatched;
+    }
+
+    // The model reasons about cycles with zero useful dispatches;
+    // count a stall cycle only then, attributed to its primary cause.
+    if (dispatched == 0 && cause != StallCause::None &&
+        !(traceDone && rob.empty())) {
+        recordStall(cause);
+    }
+}
+
+} // namespace cpu
+} // namespace tca

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The out-of-order core model: a trace-driven, cycle-level pipeline
+ * with dispatch/issue/commit stages, a ROB, an age-ordered LSQ with
+ * store->load forwarding, per-class functional units, and the TCA
+ * integration semantics of Section III:
+ *
+ *  - NL modes flag the Accel uop non-speculative: it may not begin
+ *    executing until it is the oldest uncommitted instruction (so the
+ *    window drains first).
+ *  - NT modes raise a dispatch barrier from the cycle after the Accel
+ *    uop dispatches until it commits (no trailing instructions enter
+ *    the window).
+ *
+ * TCA memory requests arbitrate for the same memory ports as core
+ * loads/stores (age priority), per Section IV.
+ */
+
+#ifndef TCASIM_CPU_CORE_HH
+#define TCASIM_CPU_CORE_HH
+
+#include <memory>
+#include <cstdint>
+#include <vector>
+
+#include "cpu/accel_device.hh"
+#include "cpu/bpred.hh"
+#include "cpu/core_config.hh"
+#include "cpu/fu_pool.hh"
+#include "cpu/port_arbiter.hh"
+#include "cpu/rob.hh"
+#include "cpu/sim_result.hh"
+#include "mem/hierarchy.hh"
+#include "model/tca_mode.hh"
+#include "stats/stats.hh"
+#include "trace/trace_source.hh"
+
+namespace tca {
+namespace cpu {
+
+/**
+ * The core. Construct once per run (run() may be called repeatedly;
+ * it resets microarchitectural state but not the memory hierarchy,
+ * mirroring gem5's warm-cache behaviour between regions; call
+ * MemHierarchy::flush() for cold caches).
+ */
+class Core
+{
+  public:
+    /**
+     * @param config pipeline geometry (validated here)
+     * @param hierarchy memory system; not owned, must outlive the core
+     */
+    Core(const CoreConfig &config, mem::MemHierarchy &hierarchy);
+
+    /**
+     * Bind a TCA to an accelerator port and choose its integration
+     * mode. Several TCAs with different modes can coexist on one core
+     * (Section VIII's standard-interface proposal); Accel uops select
+     * their port via MicroOp::accelPort. Traces referencing an
+     * unbound port panic.
+     */
+    void bindAccelerator(AccelDevice *device, model::TcaMode mode,
+                         uint8_t port = 0);
+
+    /**
+     * Enable the paper's Section-VIII partial-speculation proposal:
+     * in an L mode, the TCA only begins speculative execution when no
+     * older *low-confidence* branch is unresolved; otherwise it waits
+     * for those branches to execute. A design point between the L and
+     * NL modes. No effect in NL modes.
+     */
+    void setPartialSpeculation(bool enable)
+    {
+        partialSpeculation = enable;
+    }
+
+    /**
+     * Attach a dynamic branch predictor (not owned). With one bound,
+     * branch uops are predicted by PC (MicroOp::addr) against their
+     * actual direction (MicroOp::taken), and the trace's static
+     * `mispredicted` flag is ignored. Pass nullptr to revert to
+     * trace-driven mispredictions.
+     */
+    void setBranchPredictor(BranchPredictor *predictor)
+    {
+        bpred = predictor;
+    }
+
+    /**
+     * Simulate a trace to completion.
+     *
+     * @param source the uop stream (consumed)
+     * @return aggregate statistics for the run
+     */
+    SimResult run(trace::TraceSource &source);
+
+    const CoreConfig &config() const { return conf; }
+
+    /** Result of the most recent run (zeroed before each run). */
+    const SimResult &lastResult() const { return result; }
+
+    /**
+     * Register the core's statistics (from the most recent run) under
+     * a stats group, gem5-style. The group holds formulas that read
+     * this core's latest result, so the core must outlive the group.
+     */
+    void regStats(stats::Group &group);
+
+  private:
+    // --- pipeline stages, called once per cycle in this order ---
+    void commitStage();
+    void issueStage();
+    void dispatchStage();
+
+    // --- issue helpers ---
+    bool operandsReady(const RobEntry &entry) const;
+    bool tryIssue(RobEntry &entry);
+    bool issueLoad(RobEntry &entry);
+    bool issueStore(RobEntry &entry);
+    bool issueAccel(RobEntry &entry);
+    void issueSimple(RobEntry &entry);
+
+    /** True when a uop's result is available at the current cycle. */
+    bool isDone(const RobEntry &entry) const
+    {
+        return entry.state == UopState::Issued &&
+               entry.completeCycle <= now;
+    }
+
+    /** Oldest in-flight store overlapping [addr, addr+size), if any. */
+    RobEntry *youngestOlderStore(const RobEntry &load);
+
+    void recordStall(StallCause cause);
+    void resetRunState();
+
+    /** One accelerator attachment point. */
+    struct AccelPortState
+    {
+        AccelDevice *device = nullptr;
+        model::TcaMode mode = model::TcaMode::L_T;
+        /** A port runs one invocation at a time. */
+        mem::Cycle busyUntil = 0;
+    };
+
+    /** Port for an Accel uop; panics when unbound. */
+    AccelPortState &portFor(const trace::MicroOp &op);
+
+    CoreConfig conf;
+    mem::MemHierarchy &mem;
+    std::vector<AccelPortState> accelPorts;
+
+    // --- per-run state ---
+    mem::Cycle now = 0;
+    Rob rob;
+    FuPool fuPool;
+    PortArbiter memPorts;
+    std::vector<uint64_t> iq;   ///< seqs of dispatched-not-issued uops
+    std::vector<uint64_t> lsq;  ///< seqs of in-flight mem uops, by age
+    std::vector<uint64_t> lastWriter; ///< reg -> producing seq (noSeq)
+
+    trace::TraceSource *source = nullptr;
+    trace::MicroOp pendingOp;
+    bool havePending = false;
+    bool traceDone = false;
+
+    // Front-end redirect state for mispredicted branches.
+    bool redirectPending = false;       ///< branch dispatched, unissued
+    mem::Cycle resumeDispatchAt = 0;    ///< known once branch issues
+
+    // NT-mode dispatch barrier.
+    bool barrierActive = false;
+    uint64_t barrierSeq = 0;
+
+    // Section VIII extension: gate speculative TCA issue on
+    // low-confidence branches.
+    bool partialSpeculation = false;
+
+    // Optional dynamic branch predictor (not owned).
+    BranchPredictor *bpred = nullptr;
+
+    SimResult result;
+
+    /** Owns the Formula objects handed to stats groups. */
+    std::vector<std::unique_ptr<stats::Formula>> statFormulas;
+};
+
+} // namespace cpu
+} // namespace tca
+
+#endif // TCASIM_CPU_CORE_HH

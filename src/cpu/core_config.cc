@@ -1,0 +1,108 @@
+#include "cpu/core_config.hh"
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace cpu {
+
+uint32_t
+CoreConfig::latencyOf(trace::OpClass cls) const
+{
+    using trace::OpClass;
+    switch (cls) {
+      case OpClass::IntAlu: return intAluLatency;
+      case OpClass::IntMul: return intMulLatency;
+      case OpClass::FpAdd:  return fpAddLatency;
+      case OpClass::FpMul:  return fpMulLatency;
+      case OpClass::FpMacc: return fpMaccLatency;
+      case OpClass::Branch: return branchLatency;
+      case OpClass::Nop:    return 1;
+      case OpClass::Load:
+      case OpClass::Store:
+      case OpClass::Accel:
+        panic("latencyOf() called for %s, which is scheduled "
+              "specially", trace::opClassName(cls).c_str());
+    }
+    panic("invalid OpClass %d", static_cast<int>(cls));
+}
+
+void
+CoreConfig::validate() const
+{
+    if (dispatchWidth == 0 || issueWidth == 0 || commitWidth == 0)
+        fatal("%s: pipeline widths must be nonzero", name.c_str());
+    if (robSize == 0 || iqSize == 0 || lsqSize == 0)
+        fatal("%s: window structures must be nonzero", name.c_str());
+    if (iqSize > robSize)
+        fatal("%s: IQ (%u) cannot exceed ROB (%u)", name.c_str(),
+              iqSize, robSize);
+    if (lsqSize > robSize)
+        fatal("%s: LSQ (%u) cannot exceed ROB (%u)", name.c_str(),
+              lsqSize, robSize);
+    if (memPorts == 0)
+        fatal("%s: need at least one memory port", name.c_str());
+    if (intAluUnits == 0 || branchUnits == 0)
+        fatal("%s: need at least one ALU and one branch unit",
+              name.c_str());
+}
+
+CoreConfig
+a72CoreConfig()
+{
+    CoreConfig conf;
+    conf.name = "a72";
+    conf.dispatchWidth = 3;
+    conf.issueWidth = 3;
+    conf.commitWidth = 3;
+    conf.robSize = 128;
+    conf.iqSize = 60;
+    conf.lsqSize = 48;
+    conf.memPorts = 2;
+    conf.intAluUnits = 2;
+    conf.fpUnits = 2;
+    conf.commitLatency = 10;
+    conf.redirectPenalty = 12;
+    return conf;
+}
+
+CoreConfig
+highPerfCoreConfig()
+{
+    CoreConfig conf;
+    conf.name = "hp";
+    conf.dispatchWidth = 4;
+    conf.issueWidth = 4;
+    conf.commitWidth = 4;
+    conf.robSize = 256;
+    conf.iqSize = 96;
+    conf.lsqSize = 96;
+    conf.memPorts = 3;
+    conf.intAluUnits = 4;
+    conf.intMulUnits = 2;
+    conf.fpUnits = 3;
+    conf.commitLatency = 12;
+    conf.redirectPenalty = 14;
+    return conf;
+}
+
+CoreConfig
+lowPerfCoreConfig()
+{
+    CoreConfig conf;
+    conf.name = "lp";
+    conf.dispatchWidth = 2;
+    conf.issueWidth = 2;
+    conf.commitWidth = 2;
+    conf.robSize = 64;
+    conf.iqSize = 24;
+    conf.lsqSize = 16;
+    conf.memPorts = 1;
+    conf.intAluUnits = 1;
+    conf.fpUnits = 1;
+    conf.commitLatency = 6;
+    conf.redirectPenalty = 8;
+    return conf;
+}
+
+} // namespace cpu
+} // namespace tca

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Static configuration of the OoO core model, plus presets matching the
+ * analytical-model core presets so simulator and model describe the
+ * same machine.
+ */
+
+#ifndef TCASIM_CPU_CORE_CONFIG_HH
+#define TCASIM_CPU_CORE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/micro_op.hh"
+
+namespace tca {
+namespace cpu {
+
+/** Core pipeline geometry and operation latencies. */
+struct CoreConfig
+{
+    std::string name = "core";
+
+    // Widths (uops per cycle).
+    uint32_t dispatchWidth = 3;
+    uint32_t issueWidth = 3;
+    uint32_t commitWidth = 3;
+
+    // Window structures.
+    uint32_t robSize = 128;
+    uint32_t iqSize = 60;
+    uint32_t lsqSize = 48;
+
+    // Memory issue ports shared by core loads/stores and TCA requests.
+    uint32_t memPorts = 2;
+
+    // Functional-unit counts.
+    uint32_t intAluUnits = 3;
+    uint32_t intMulUnits = 1;
+    uint32_t fpUnits = 2;
+    uint32_t branchUnits = 1;
+
+    // Execution latencies (cycles).
+    uint32_t intAluLatency = 1;
+    uint32_t intMulLatency = 3;
+    uint32_t fpAddLatency = 3;
+    uint32_t fpMulLatency = 4;
+    uint32_t fpMaccLatency = 4;
+    uint32_t branchLatency = 1;
+    uint32_t storeLatency = 1;   ///< into the store queue
+    uint32_t forwardLatency = 1; ///< store->load forwarding
+
+    /**
+     * Back-end commit depth: cycles between a uop completing execution
+     * and retiring. This is the simulator counterpart of the model's
+     * t_commit parameter.
+     */
+    uint32_t commitLatency = 10;
+
+    /** Front-end refill after a branch misprediction resolves. */
+    uint32_t redirectPenalty = 12;
+
+    /** Execution latency of an op class (memory classes excluded). */
+    uint32_t latencyOf(trace::OpClass cls) const;
+
+    /** Validate the configuration; fatal() on nonsense. */
+    void validate() const;
+};
+
+/** 3-wide ARM-A72-like core matching model::armA72Preset(). */
+CoreConfig a72CoreConfig();
+
+/** 4-wide/256-ROB core matching model::highPerfPreset(). */
+CoreConfig highPerfCoreConfig();
+
+/** 2-wide/64-ROB core matching model::lowPerfPreset(). */
+CoreConfig lowPerfCoreConfig();
+
+} // namespace cpu
+} // namespace tca
+
+#endif // TCASIM_CPU_CORE_CONFIG_HH

@@ -1,0 +1,65 @@
+#include "cpu/fu_pool.hh"
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace cpu {
+
+void
+FuPool::newCycle()
+{
+    intAluUsed = intMulUsed = fpUsed = branchUsed = 0;
+}
+
+bool
+FuPool::available(trace::OpClass cls) const
+{
+    using trace::OpClass;
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::Nop:
+        return intAluUsed < conf.intAluUnits;
+      case OpClass::IntMul:
+        return intMulUsed < conf.intMulUnits;
+      case OpClass::FpAdd:
+      case OpClass::FpMul:
+      case OpClass::FpMacc:
+        return fpUsed < conf.fpUnits;
+      case OpClass::Branch:
+        return branchUsed < conf.branchUnits;
+      case OpClass::Load:
+      case OpClass::Store:
+      case OpClass::Accel:
+        // Memory ports and the TCA are not FU-pool resources.
+        return true;
+    }
+    panic("invalid OpClass %d", static_cast<int>(cls));
+}
+
+void
+FuPool::consume(trace::OpClass cls)
+{
+    using trace::OpClass;
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::Nop:
+        ++intAluUsed;
+        break;
+      case OpClass::IntMul:
+        ++intMulUsed;
+        break;
+      case OpClass::FpAdd:
+      case OpClass::FpMul:
+      case OpClass::FpMacc:
+        ++fpUsed;
+        break;
+      case OpClass::Branch:
+        ++branchUsed;
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace cpu
+} // namespace tca

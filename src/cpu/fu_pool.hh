@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Per-cycle functional-unit budget. The scheduler consults the pool
+ * when issuing; the pool resets each cycle. Memory ports are handled
+ * separately by PortArbiter because TCA requests can reserve them
+ * across cycle boundaries.
+ */
+
+#ifndef TCASIM_CPU_FU_POOL_HH
+#define TCASIM_CPU_FU_POOL_HH
+
+#include <cstdint>
+
+#include "cpu/core_config.hh"
+#include "trace/micro_op.hh"
+
+namespace tca {
+namespace cpu {
+
+/**
+ * Counts functional units consumed in the current cycle per class
+ * group: integer ALUs, integer multipliers, FP units (add/mul/macc
+ * share), and branch units.
+ */
+class FuPool
+{
+  public:
+    explicit FuPool(const CoreConfig &config) : conf(config) {}
+
+    /** Begin a new cycle: all units free. */
+    void newCycle();
+
+    /** True if a unit for this op class is available this cycle. */
+    bool available(trace::OpClass cls) const;
+
+    /** Consume one unit for this op class. */
+    void consume(trace::OpClass cls);
+
+  private:
+    const CoreConfig &conf;
+    uint32_t intAluUsed = 0;
+    uint32_t intMulUsed = 0;
+    uint32_t fpUsed = 0;
+    uint32_t branchUsed = 0;
+};
+
+} // namespace cpu
+} // namespace tca
+
+#endif // TCASIM_CPU_FU_POOL_HH

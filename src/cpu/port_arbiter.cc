@@ -1,0 +1,41 @@
+#include "cpu/port_arbiter.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace cpu {
+
+PortArbiter::PortArbiter(uint32_t num_ports)
+    : nextFree(num_ports, 0)
+{
+    tca_assert(num_ports > 0);
+}
+
+bool
+PortArbiter::availableAt(mem::Cycle cycle) const
+{
+    for (mem::Cycle free_at : nextFree)
+        if (free_at <= cycle)
+            return true;
+    return false;
+}
+
+mem::Cycle
+PortArbiter::claim(mem::Cycle earliest)
+{
+    auto it = std::min_element(nextFree.begin(), nextFree.end());
+    mem::Cycle start = std::max(earliest, *it);
+    *it = start + 1;
+    return start;
+}
+
+void
+PortArbiter::reset()
+{
+    std::fill(nextFree.begin(), nextFree.end(), 0);
+}
+
+} // namespace cpu
+} // namespace tca

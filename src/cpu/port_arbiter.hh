@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Memory-port arbitration shared between core loads/stores and TCA
+ * memory requests (Section IV: accelerator requests "pass through
+ * arbitration for shared access to the core's LSQ and memory
+ * hierarchy", with age priority). Ports are modeled as units that are
+ * each busy for one cycle per request; a claimant takes the earliest
+ * port slot at or after its desired start cycle, so older requests
+ * (claimed earlier in simulation order) get priority.
+ */
+
+#ifndef TCASIM_CPU_PORT_ARBITER_HH
+#define TCASIM_CPU_PORT_ARBITER_HH
+
+#include <vector>
+
+#include "mem/mem_types.hh"
+
+namespace tca {
+namespace cpu {
+
+/** Tracks per-port next-free cycles. */
+class PortArbiter
+{
+  public:
+    explicit PortArbiter(uint32_t num_ports);
+
+    /** True if some port can start a request at exactly `cycle`. */
+    bool availableAt(mem::Cycle cycle) const;
+
+    /**
+     * Claim the earliest available port slot at or after `earliest`.
+     *
+     * @return the cycle the request actually starts
+     */
+    mem::Cycle claim(mem::Cycle earliest);
+
+    /** Reset all ports to free (between runs). */
+    void reset();
+
+    uint32_t numPorts() const
+    {
+        return static_cast<uint32_t>(nextFree.size());
+    }
+
+  private:
+    std::vector<mem::Cycle> nextFree;
+};
+
+} // namespace cpu
+} // namespace tca
+
+#endif // TCASIM_CPU_PORT_ARBITER_HH

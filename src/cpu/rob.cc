@@ -1,0 +1,68 @@
+#include "cpu/rob.hh"
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace cpu {
+
+Rob::Rob(uint32_t capacity_in)
+    : capacity(capacity_in), entries(capacity_in)
+{
+    tca_assert(capacity > 0);
+}
+
+RobEntry &
+Rob::allocate(uint64_t seq)
+{
+    tca_assert(!full());
+    tca_assert(seq == nextSeq);
+    RobEntry &entry = entries[slotOf(seq)];
+    entry = RobEntry{};
+    entry.seq = seq;
+    ++nextSeq;
+    ++count;
+    return entry;
+}
+
+RobEntry &
+Rob::head()
+{
+    tca_assert(!empty());
+    return entries[slotOf(oldestSeq)];
+}
+
+const RobEntry &
+Rob::head() const
+{
+    tca_assert(!empty());
+    return entries[slotOf(oldestSeq)];
+}
+
+void
+Rob::retireHead()
+{
+    tca_assert(!empty());
+    ++oldestSeq;
+    --count;
+}
+
+RobEntry &
+Rob::entryFor(uint64_t seq)
+{
+    tca_assert(isLive(seq));
+    RobEntry &entry = entries[slotOf(seq)];
+    tca_assert(entry.seq == seq);
+    return entry;
+}
+
+const RobEntry &
+Rob::entryFor(uint64_t seq) const
+{
+    tca_assert(isLive(seq));
+    const RobEntry &entry = entries[slotOf(seq)];
+    tca_assert(entry.seq == seq);
+    return entry;
+}
+
+} // namespace cpu
+} // namespace tca

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Reorder buffer: a ring buffer of in-flight uops with monotonically
+ * increasing sequence numbers. Because allocation and retirement are
+ * both in order and capacity equals robSize, the slot of a live uop
+ * with sequence number s is always s % robSize.
+ */
+
+#ifndef TCASIM_CPU_ROB_HH
+#define TCASIM_CPU_ROB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/mem_types.hh"
+#include "trace/micro_op.hh"
+
+namespace tca {
+namespace cpu {
+
+/** Lifecycle of a uop in the window. */
+enum class UopState : uint8_t {
+    Dispatched, ///< in ROB + IQ, waiting for operands / resources
+    Issued,     ///< executing; completion scheduled
+    Completed,  ///< result available; waiting for in-order retirement
+};
+
+/** Sentinel sequence number meaning "no producer". */
+inline constexpr uint64_t noSeq = UINT64_MAX;
+
+/** One ROB entry. */
+struct RobEntry
+{
+    trace::MicroOp op;
+    uint64_t seq = noSeq;
+    UopState state = UopState::Dispatched;
+
+    /** Producer sequence numbers for each source operand (noSeq if the
+     *  value was already architected at dispatch). */
+    std::array<uint64_t, trace::maxSrcRegs> srcProducer =
+        {noSeq, noSeq, noSeq};
+
+    mem::Cycle dispatchCycle = 0;
+    mem::Cycle issueCycle = 0;
+    mem::Cycle completeCycle = 0;
+};
+
+/**
+ * The reorder buffer. Head is the oldest live uop.
+ */
+class Rob
+{
+  public:
+    explicit Rob(uint32_t capacity);
+
+    bool full() const { return count == capacity; }
+    bool empty() const { return count == 0; }
+    uint32_t size() const { return count; }
+    uint32_t cap() const { return capacity; }
+
+    /** Allocate the next entry (in program order). */
+    RobEntry &allocate(uint64_t seq);
+
+    /** Oldest live entry; ROB must be non-empty. */
+    RobEntry &head();
+    const RobEntry &head() const;
+
+    /** Retire the head entry. */
+    void retireHead();
+
+    /** Entry for a live sequence number. */
+    RobEntry &entryFor(uint64_t seq);
+    const RobEntry &entryFor(uint64_t seq) const;
+
+    /** True if this sequence number has already retired. */
+    bool isRetired(uint64_t seq) const { return seq < oldestSeq; }
+
+    /** True if the sequence number is currently in the window. */
+    bool isLive(uint64_t seq) const
+    {
+        return seq >= oldestSeq && seq < nextSeq;
+    }
+
+    /**
+     * Visit live entries oldest-to-youngest; the visitor returns false
+     * to stop early.
+     */
+    template <typename Visitor>
+    void
+    forEach(Visitor &&visit)
+    {
+        for (uint64_t s = oldestSeq; s < nextSeq; ++s) {
+            if (!visit(entryFor(s)))
+                return;
+        }
+    }
+
+    uint64_t oldest() const { return oldestSeq; }
+    uint64_t next() const { return nextSeq; }
+
+  private:
+    uint32_t slotOf(uint64_t seq) const
+    {
+        return static_cast<uint32_t>(seq % capacity);
+    }
+
+    uint32_t capacity;
+    uint32_t count = 0;
+    uint64_t oldestSeq = 0; ///< seq of head when non-empty
+    uint64_t nextSeq = 0;   ///< seq the next allocation will get
+    std::vector<RobEntry> entries;
+};
+
+} // namespace cpu
+} // namespace tca
+
+#endif // TCASIM_CPU_ROB_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Results of one simulation run: cycle count, commit statistics, and a
+ * per-cause breakdown of dispatch stalls — the quantity the paper's
+ * interval analysis reasons about.
+ */
+
+#ifndef TCASIM_CPU_SIM_RESULT_HH
+#define TCASIM_CPU_SIM_RESULT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include "trace/micro_op.hh"
+
+namespace tca {
+namespace cpu {
+
+/** Why the dispatch stage produced fewer uops than its width. */
+enum class StallCause : uint8_t {
+    None,            ///< dispatched full width
+    TraceEmpty,      ///< ran out of program
+    RobFull,
+    IqFull,
+    LsqFull,
+    SerializeBarrier,///< NT-mode dispatch barrier behind a TCA
+    BranchRedirect,  ///< waiting on a mispredicted branch to resolve
+    NumCauses,
+};
+
+/** Human-readable stall-cause name. */
+std::string stallCauseName(StallCause cause);
+
+/** Aggregate outcome of Core::run(). */
+struct SimResult
+{
+    uint64_t cycles = 0;
+    uint64_t committedUops = 0;
+    uint64_t committedAcceleratable = 0;
+    uint64_t accelInvocations = 0;
+
+    /** Cycles in which dispatch was fully stalled, by primary cause. */
+    std::array<uint64_t,
+               static_cast<size_t>(StallCause::NumCauses)> stallCycles{};
+
+    /** Sum of per-invocation accelerator latencies (issue->complete). */
+    uint64_t accelLatencyTotal = 0;
+
+    /** Sum of per-cycle ROB occupancy (for average occupancy). */
+    uint64_t robOccupancySum = 0;
+
+    /** Committed uops per operation class (indexed by OpClass). */
+    std::array<uint64_t, 10> committedByClass{};
+
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(committedUops) /
+                        static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /**
+     * Average ROB occupancy over the run. With Little's law this
+     * yields a workload-aware window-drain estimate
+     * (occupancy / IPC) that the analytical model can take as its
+     * explicit drain time.
+     */
+    double avgRobOccupancy() const
+    {
+        return cycles ? static_cast<double>(robOccupancySum) /
+                        static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    double avgAccelLatency() const
+    {
+        return accelInvocations
+            ? static_cast<double>(accelLatencyTotal) /
+              static_cast<double>(accelInvocations)
+            : 0.0;
+    }
+
+    uint64_t stalls(StallCause cause) const
+    {
+        return stallCycles[static_cast<size_t>(cause)];
+    }
+
+    /** Committed uops of one operation class. */
+    uint64_t committed(trace::OpClass cls) const
+    {
+        return committedByClass[static_cast<size_t>(cls)];
+    }
+
+    /** Multi-line summary for logs and examples. */
+    std::string summary() const;
+};
+
+} // namespace cpu
+} // namespace tca
+
+#endif // TCASIM_CPU_SIM_RESULT_HH

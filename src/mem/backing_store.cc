@@ -1,0 +1,57 @@
+#include "mem/backing_store.hh"
+
+namespace tca {
+namespace mem {
+
+BackingStore::Page &
+BackingStore::pageFor(Addr addr)
+{
+    Addr page_addr = addr / pageBytes;
+    Page &page = pages[page_addr];
+    if (page.empty())
+        page.assign(pageBytes, 0);
+    return page;
+}
+
+const BackingStore::Page *
+BackingStore::pageForIfPresent(Addr addr) const
+{
+    auto it = pages.find(addr / pageBytes);
+    return it == pages.end() ? nullptr : &it->second;
+}
+
+void
+BackingStore::read(Addr addr, void *out, size_t len) const
+{
+    uint8_t *dst = static_cast<uint8_t *>(out);
+    while (len > 0) {
+        size_t offset = addr % pageBytes;
+        size_t chunk = std::min(len, pageBytes - offset);
+        const Page *page = pageForIfPresent(addr);
+        if (page)
+            std::memcpy(dst, page->data() + offset, chunk);
+        else
+            std::memset(dst, 0, chunk);
+        dst += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+void
+BackingStore::write(Addr addr, const void *data, size_t len)
+{
+    const uint8_t *src = static_cast<const uint8_t *>(data);
+    while (len > 0) {
+        size_t offset = addr % pageBytes;
+        size_t chunk = std::min(len, pageBytes - offset);
+        Page &page = pageFor(addr);
+        std::memcpy(page.data() + offset, src, chunk);
+        src += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+} // namespace mem
+} // namespace tca

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Sparse functional memory. Workloads read and write real values
+ * through it so accelerator results (e.g. the DGEMM product) can be
+ * checked against a reference, independent of timing.
+ */
+
+#ifndef TCASIM_MEM_BACKING_STORE_HH
+#define TCASIM_MEM_BACKING_STORE_HH
+
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/mem_types.hh"
+
+namespace tca {
+namespace mem {
+
+/**
+ * Page-granular sparse byte store. Unwritten bytes read as zero.
+ */
+class BackingStore
+{
+  public:
+    /** Read `len` bytes at `addr` into `out`. */
+    void read(Addr addr, void *out, size_t len) const;
+
+    /** Write `len` bytes from `data` at `addr`. */
+    void write(Addr addr, const void *data, size_t len);
+
+    /** Typed helpers. */
+    template <typename T>
+    T
+    readValue(Addr addr) const
+    {
+        T value{};
+        read(addr, &value, sizeof(T));
+        return value;
+    }
+
+    template <typename T>
+    void
+    writeValue(Addr addr, const T &value)
+    {
+        write(addr, &value, sizeof(T));
+    }
+
+    /** Number of allocated pages (for tests). */
+    size_t numPages() const { return pages.size(); }
+
+  private:
+    static constexpr size_t pageBytes = 4096;
+
+    using Page = std::vector<uint8_t>;
+
+    Page &pageFor(Addr addr);
+    const Page *pageForIfPresent(Addr addr) const;
+
+    std::unordered_map<Addr, Page> pages;
+};
+
+} // namespace mem
+} // namespace tca
+
+#endif // TCASIM_MEM_BACKING_STORE_HH

@@ -1,0 +1,245 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "mem/prefetcher.hh"
+#include "util/logging.hh"
+
+namespace tca {
+namespace mem {
+
+namespace {
+
+bool
+isPowerOfTwo(uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+} // anonymous namespace
+
+void
+CacheConfig::validate() const
+{
+    if (!isPowerOfTwo(lineBytes))
+        fatal("%s: line size %u not a power of two", name.c_str(),
+              lineBytes);
+    if (sizeBytes % (lineBytes * associativity) != 0)
+        fatal("%s: size %u not divisible by way size", name.c_str(),
+              sizeBytes);
+    if (!isPowerOfTwo(numSets()))
+        fatal("%s: set count %u not a power of two", name.c_str(),
+              numSets());
+    if (mshrs == 0)
+        fatal("%s: need at least one MSHR", name.c_str());
+}
+
+Cache::Cache(const CacheConfig &config, MemLevel *next_level)
+    : conf(config), next(next_level),
+      lineMask(config.lineBytes - 1),
+      replRng(0xca4eULL + config.sizeBytes)
+{
+    conf.validate();
+    tca_assert(next != nullptr);
+    sets.assign(conf.numSets(), std::vector<Line>(conf.associativity));
+    mshrFile.assign(conf.mshrs, Mshr{});
+}
+
+uint32_t
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<uint32_t>(
+        (addr / conf.lineBytes) & (conf.numSets() - 1));
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    Addr tag = lineAddr(addr);
+    for (Line &line : sets[setIndex(addr)])
+        if (line.valid && line.tag == tag)
+            return &line;
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    Addr tag = lineAddr(addr);
+    for (const Line &line : sets[setIndex(addr)])
+        if (line.valid && line.tag == tag)
+            return &line;
+    return nullptr;
+}
+
+bool
+Cache::isResident(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+Cache::Line &
+Cache::chooseVictim(uint32_t set_index)
+{
+    std::vector<Line> &set = sets[set_index];
+    // Prefer an invalid way.
+    for (Line &line : set)
+        if (!line.valid)
+            return line;
+    if (conf.policy == ReplPolicy::Random)
+        return set[replRng.nextBelow(set.size())];
+    // LRU: smallest lastUse.
+    Line *victim = &set[0];
+    for (Line &line : set)
+        if (line.lastUse < victim->lastUse)
+            victim = &line;
+    return *victim;
+}
+
+void
+Cache::retireMshrs(Cycle now)
+{
+    for (Mshr &mshr : mshrFile)
+        if (mshr.valid && mshr.ready <= now)
+            mshr.valid = false;
+}
+
+Cycle
+Cache::handleMiss(Addr line_addr, Cycle now)
+{
+    retireMshrs(now);
+
+    // Coalesce onto an outstanding miss to the same line.
+    for (Mshr &mshr : mshrFile) {
+        if (mshr.valid && mshr.lineAddr == line_addr) {
+            statMshrCoalesced.inc();
+            return mshr.ready;
+        }
+    }
+
+    // Find a free MSHR; if none, stall until the earliest fill returns.
+    Cycle start = now;
+    Mshr *slot = nullptr;
+    for (Mshr &mshr : mshrFile)
+        if (!mshr.valid)
+            slot = &mshr;
+    if (!slot) {
+        statMshrStalls.inc();
+        Mshr *earliest = &mshrFile[0];
+        for (Mshr &mshr : mshrFile)
+            if (mshr.ready < earliest->ready)
+                earliest = &mshr;
+        start = earliest->ready;
+        earliest->valid = false;
+        slot = earliest;
+    }
+
+    Cycle fill_done = next->access(line_addr, AccessType::Read, start);
+    slot->valid = true;
+    slot->lineAddr = line_addr;
+    slot->ready = fill_done;
+
+    // Install the line, possibly evicting a dirty victim whose
+    // write-back goes down the hierarchy off the critical path.
+    uint32_t set_index = setIndex(line_addr);
+    Line &victim = chooseVictim(set_index);
+    if (victim.valid && victim.dirty) {
+        statWritebacks.inc();
+        next->access(victim.tag, AccessType::Write, fill_done);
+    }
+    victim.valid = true;
+    victim.dirty = false;
+    victim.tag = line_addr;
+    victim.lastUse = ++useCounter;
+
+    return fill_done;
+}
+
+Cycle
+Cache::access(Addr addr, AccessType type, Cycle now)
+{
+    Addr line = lineAddr(addr);
+    Cycle done;
+    Line *hit_line = findLine(addr);
+    if (hit_line) {
+        statHits.inc();
+        hit_line->lastUse = ++useCounter;
+        if (type == AccessType::Write)
+            hit_line->dirty = true;
+        // A "hit" on a line whose fill is still in flight must wait
+        // for the fill to return (it coalesces onto the MSHR).
+        Cycle data_ready = now;
+        for (const Mshr &mshr : mshrFile) {
+            if (mshr.valid && mshr.lineAddr == line &&
+                mshr.ready > now) {
+                statMshrCoalesced.inc();
+                data_ready = mshr.ready;
+                break;
+            }
+        }
+        done = data_ready + conf.hitLatency;
+    } else {
+        statMisses.inc();
+        Cycle fill = handleMiss(line, now);
+        Line *filled = findLine(addr);
+        tca_assert(filled != nullptr);
+        if (type == AccessType::Write)
+            filled->dirty = true;
+        done = fill + conf.hitLatency;
+    }
+
+    if (prefetcher) {
+        Addr pf_line = 0;
+        if (prefetcher->observe(line, hit_line == nullptr, pf_line)) {
+            if (!isResident(pf_line)) {
+                statPrefetchIssued.inc();
+                // Prefetch fills happen in the background; issue it so
+                // the line becomes resident, charging no one.
+                handleMiss(lineAddr(pf_line), done);
+                // Do not count the prefetch in demand miss stats: undo.
+                // (handleMiss touches only MSHRs/lines, stats adjusted
+                // here by design: the demand counters above were not
+                // incremented for this fill.)
+            }
+        }
+    }
+
+    return done;
+}
+
+void
+Cache::flush()
+{
+    for (auto &set : sets)
+        for (Line &line : set)
+            line = Line{};
+    for (Mshr &mshr : mshrFile)
+        mshr.valid = false;
+}
+
+double
+Cache::missRate() const
+{
+    uint64_t total = hits() + misses();
+    return total ? static_cast<double>(misses()) /
+                   static_cast<double>(total)
+                 : 0.0;
+}
+
+void
+Cache::regStats(stats::Group &group) const
+{
+    group.addCounter(conf.name + ".hits", &statHits, "demand hits");
+    group.addCounter(conf.name + ".misses", &statMisses, "demand misses");
+    group.addCounter(conf.name + ".mshr_stalls", &statMshrStalls,
+                     "misses delayed by full MSHR file");
+    group.addCounter(conf.name + ".writebacks", &statWritebacks,
+                     "dirty victim write-backs");
+    group.addCounter(conf.name + ".mshr_coalesced", &statMshrCoalesced,
+                     "misses coalesced onto an in-flight fill");
+    group.addCounter(conf.name + ".prefetches", &statPrefetchIssued,
+                     "prefetch fills issued");
+}
+
+} // namespace mem
+} // namespace tca

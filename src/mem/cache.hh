@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Set-associative, write-back, write-allocate cache with LRU or random
+ * replacement and MSHR-limited miss concurrency. Timing-only: data
+ * values live in the functional BackingStore, not here.
+ */
+
+#ifndef TCASIM_MEM_CACHE_HH
+#define TCASIM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/mem_types.hh"
+#include "stats/stats.hh"
+#include "util/random.hh"
+
+namespace tca {
+namespace mem {
+
+/** Replacement policy selector. */
+enum class ReplPolicy : uint8_t { LRU, Random };
+
+/** Static cache geometry and timing. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    uint32_t sizeBytes = 32 * 1024;
+    uint32_t lineBytes = 64;
+    uint32_t associativity = 8;
+    uint32_t hitLatency = 2;      ///< cycles from arrival to data on hit
+    uint32_t mshrs = 8;           ///< max distinct outstanding misses
+    ReplPolicy policy = ReplPolicy::LRU;
+
+    /** Number of sets implied by the geometry. */
+    uint32_t numSets() const
+    {
+        return sizeBytes / (lineBytes * associativity);
+    }
+
+    /** Validate geometry (power-of-two sets etc.); fatal() on error. */
+    void validate() const;
+};
+
+class Prefetcher;
+
+/**
+ * One cache level. Misses are forwarded to the next level; victim
+ * write-backs of dirty lines are also sent down (as writes) and their
+ * latency is accounted as occupancy of the next level, not on the
+ * requesting access's critical path (the write-back buffer hides it).
+ *
+ * Miss concurrency: an access to a line that already has an MSHR
+ * outstanding coalesces onto it; when all MSHRs are busy a new miss
+ * stalls until the earliest one retires.
+ */
+class Cache : public MemLevel
+{
+  public:
+    /**
+     * @param config geometry/timing
+     * @param next_level where misses go (not owned, must outlive)
+     */
+    Cache(const CacheConfig &config, MemLevel *next_level);
+
+    Cycle access(Addr addr, AccessType type, Cycle now) override;
+    const char *name() const override { return conf.name.c_str(); }
+
+    /** Attach an optional prefetcher (not owned). */
+    void setPrefetcher(Prefetcher *pf) { prefetcher = pf; }
+
+    /** True if the line containing addr is currently resident. */
+    bool isResident(Addr addr) const;
+
+    /** Invalidate everything (between benchmark phases). */
+    void flush();
+
+    // Stats, exposed read-only for tests and reporting.
+    uint64_t hits() const { return statHits.value(); }
+    uint64_t misses() const { return statMisses.value(); }
+    uint64_t mshrStalls() const { return statMshrStalls.value(); }
+    uint64_t writebacks() const { return statWritebacks.value(); }
+    double missRate() const;
+
+    /** Register this cache's stats under the given group. */
+    void regStats(stats::Group &group) const;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t lastUse = 0; ///< for LRU
+    };
+
+    /** In-flight miss tracked by an MSHR. */
+    struct Mshr
+    {
+        Addr lineAddr = 0;
+        Cycle ready = 0;
+        bool valid = false;
+    };
+
+    Addr lineAddr(Addr addr) const { return addr & ~lineMask; }
+    uint32_t setIndex(Addr addr) const;
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+    Line &chooseVictim(uint32_t set_index);
+
+    /** Handle a miss: allocate MSHR, fetch from next level. */
+    Cycle handleMiss(Addr line_addr, Cycle now);
+
+    /** Reclaim MSHRs whose fills completed at or before `now`. */
+    void retireMshrs(Cycle now);
+
+    CacheConfig conf;
+    MemLevel *next;
+    Prefetcher *prefetcher = nullptr;
+    uint64_t lineMask;
+    uint64_t useCounter = 0;
+    std::vector<std::vector<Line>> sets;
+    std::vector<Mshr> mshrFile;
+    Rng replRng;
+
+    stats::Counter statHits;
+    stats::Counter statMisses;
+    stats::Counter statMshrStalls;
+    stats::Counter statWritebacks;
+    stats::Counter statMshrCoalesced;
+    stats::Counter statPrefetchIssued;
+};
+
+} // namespace mem
+} // namespace tca
+
+#endif // TCASIM_MEM_CACHE_HH

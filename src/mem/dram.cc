@@ -1,0 +1,40 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace mem {
+
+Dram::Dram(const DramConfig &config)
+    : conf(config)
+{
+    tca_assert(conf.channels > 0);
+    channelFree.assign(conf.channels, 0);
+}
+
+Cycle
+Dram::access(Addr addr, AccessType type, Cycle now)
+{
+    (void)type; // reads and writes cost the same in this model
+    statRequests.inc();
+    // Interleave lines across channels.
+    size_t channel = (addr >> 6) % conf.channels;
+    Cycle start = std::max(now, channelFree[channel]);
+    if (start > now)
+        statQueued.inc();
+    channelFree[channel] = start + conf.cyclesPerRequest;
+    return start + conf.latency;
+}
+
+void
+Dram::regStats(stats::Group &group) const
+{
+    group.addCounter("dram.requests", &statRequests, "total requests");
+    group.addCounter("dram.queued", &statQueued,
+                     "requests delayed by channel occupancy");
+}
+
+} // namespace mem
+} // namespace tca

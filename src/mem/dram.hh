@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Main-memory model: fixed access latency plus a bandwidth limit
+ * expressed as a minimum inter-request interval per channel.
+ */
+
+#ifndef TCASIM_MEM_DRAM_HH
+#define TCASIM_MEM_DRAM_HH
+
+#include <vector>
+
+#include "mem/mem_types.hh"
+#include "stats/stats.hh"
+
+namespace tca {
+namespace mem {
+
+/** DRAM timing parameters. */
+struct DramConfig
+{
+    uint32_t latency = 120;       ///< access latency in core cycles
+    uint32_t channels = 2;        ///< independent channels
+    uint32_t cyclesPerRequest = 4;///< per-channel occupancy per line
+};
+
+/**
+ * Bandwidth-limited constant-latency memory. Requests are assigned to
+ * channels by address interleaving; each channel accepts one request
+ * per `cyclesPerRequest` cycles, so heavy traffic queues.
+ */
+class Dram : public MemLevel
+{
+  public:
+    explicit Dram(const DramConfig &config);
+
+    Cycle access(Addr addr, AccessType type, Cycle now) override;
+    const char *name() const override { return "dram"; }
+
+    uint64_t requests() const { return statRequests.value(); }
+    uint64_t queuedRequests() const { return statQueued.value(); }
+
+    void regStats(stats::Group &group) const;
+
+  private:
+    DramConfig conf;
+    std::vector<Cycle> channelFree; ///< next cycle each channel is free
+
+    stats::Counter statRequests;
+    stats::Counter statQueued;
+};
+
+} // namespace mem
+} // namespace tca
+
+#endif // TCASIM_MEM_DRAM_HH

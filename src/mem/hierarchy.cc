@@ -1,0 +1,40 @@
+#include "mem/hierarchy.hh"
+
+namespace tca {
+namespace mem {
+
+MemHierarchy::MemHierarchy(const HierarchyConfig &config)
+    : conf(config)
+{
+    dramModel = std::make_unique<Dram>(conf.dram);
+    MemLevel *below_l1 = dramModel.get();
+    if (conf.enableL2) {
+        l2Cache = std::make_unique<Cache>(conf.l2, dramModel.get());
+        below_l1 = l2Cache.get();
+    }
+    l1dCache = std::make_unique<Cache>(conf.l1d, below_l1);
+    if (conf.enableL1Prefetcher) {
+        l1Prefetcher = std::make_unique<Prefetcher>(conf.l1d.lineBytes);
+        l1dCache->setPrefetcher(l1Prefetcher.get());
+    }
+}
+
+void
+MemHierarchy::flush()
+{
+    l1dCache->flush();
+    if (l2Cache)
+        l2Cache->flush();
+}
+
+void
+MemHierarchy::regStats(stats::Group &group) const
+{
+    l1dCache->regStats(group);
+    if (l2Cache)
+        l2Cache->regStats(group);
+    dramModel->regStats(group);
+}
+
+} // namespace mem
+} // namespace tca

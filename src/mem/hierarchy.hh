@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Assembled memory hierarchy: L1D -> L2 -> DRAM, the configuration the
+ * paper's gem5 experiments use (32kB L1 per Section V-C).
+ */
+
+#ifndef TCASIM_MEM_HIERARCHY_HH
+#define TCASIM_MEM_HIERARCHY_HH
+
+#include <memory>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/prefetcher.hh"
+
+namespace tca {
+namespace mem {
+
+/** Configuration for the whole hierarchy. */
+struct HierarchyConfig
+{
+    CacheConfig l1d = {"l1d", 32 * 1024, 64, 8, 2, 8, ReplPolicy::LRU};
+    CacheConfig l2 = {"l2", 512 * 1024, 64, 8, 12, 16, ReplPolicy::LRU};
+    DramConfig dram;
+    bool enableL2 = true;
+    bool enableL1Prefetcher = false;
+};
+
+/**
+ * Owns the levels and wires them together. The core talks to
+ * firstLevel() only.
+ */
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const HierarchyConfig &config = {});
+
+    /** The level the core's LSQ should access (the L1D). */
+    MemLevel &firstLevel() { return *l1dCache; }
+
+    Cache &l1d() { return *l1dCache; }
+    const Cache &l1d() const { return *l1dCache; }
+    Cache *l2() { return l2Cache.get(); }
+    Dram &dram() { return *dramModel; }
+
+    /** Invalidate all cached state (between benchmark phases). */
+    void flush();
+
+    /** Register all levels' stats. */
+    void regStats(stats::Group &group) const;
+
+  private:
+    HierarchyConfig conf;
+    std::unique_ptr<Dram> dramModel;
+    std::unique_ptr<Cache> l2Cache;
+    std::unique_ptr<Cache> l1dCache;
+    std::unique_ptr<Prefetcher> l1Prefetcher;
+};
+
+} // namespace mem
+} // namespace tca
+
+#endif // TCASIM_MEM_HIERARCHY_HH

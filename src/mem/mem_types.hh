@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared memory-system types: addresses, cycles, and the level
+ * interface every component of the hierarchy implements.
+ */
+
+#ifndef TCASIM_MEM_MEM_TYPES_HH
+#define TCASIM_MEM_MEM_TYPES_HH
+
+#include <cstdint>
+
+namespace tca {
+namespace mem {
+
+using Addr = uint64_t;
+using Cycle = uint64_t;
+
+/** Kind of access arriving at a memory level. */
+enum class AccessType : uint8_t { Read, Write };
+
+/**
+ * Timing interface of one level of the hierarchy. access() returns the
+ * cycle at which the requested data is available (reads) or accepted
+ * (writes). Implementations model their own occupancy internally, so
+ * callers simply chain levels.
+ */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /**
+     * Perform a timed access.
+     *
+     * @param addr byte address
+     * @param type read or write
+     * @param now cycle the request arrives at this level
+     * @return cycle the access completes
+     */
+    virtual Cycle access(Addr addr, AccessType type, Cycle now) = 0;
+
+    /** Name for stats output. */
+    virtual const char *name() const = 0;
+};
+
+} // namespace mem
+} // namespace tca
+
+#endif // TCASIM_MEM_MEM_TYPES_HH

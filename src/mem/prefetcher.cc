@@ -1,0 +1,28 @@
+#include "mem/prefetcher.hh"
+
+namespace tca {
+namespace mem {
+
+bool
+Prefetcher::observe(Addr line_addr, bool was_miss, Addr &pf_addr)
+{
+    if (!was_miss)
+        return false;
+    bool proposed = false;
+    if (haveLast) {
+        int64_t stride = static_cast<int64_t>(line_addr) -
+                         static_cast<int64_t>(lastMiss);
+        if (stride != 0 && stride == lastStride) {
+            pf_addr = line_addr +
+                      static_cast<Addr>(stride * prefetchDegree);
+            proposed = true;
+        }
+        lastStride = stride;
+    }
+    lastMiss = line_addr;
+    haveLast = true;
+    return proposed;
+}
+
+} // namespace mem
+} // namespace tca

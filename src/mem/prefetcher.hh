@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Next-line / stride prefetcher (extension beyond the paper; off by
+ * default in all experiments, used by the ablation benches to explore
+ * whether prefetching changes the mode ordering).
+ */
+
+#ifndef TCASIM_MEM_PREFETCHER_HH
+#define TCASIM_MEM_PREFETCHER_HH
+
+#include <cstdint>
+
+#include "mem/mem_types.hh"
+
+namespace tca {
+namespace mem {
+
+/**
+ * Stream-based stride detector. Observes the line-address stream of a
+ * cache; when two consecutive misses have the same line-granular
+ * stride it proposes prefetching the next line along the stride.
+ */
+class Prefetcher
+{
+  public:
+    /** @param line_bytes owning cache's line size (stride unit). */
+    explicit Prefetcher(uint32_t line_bytes, uint32_t degree = 1)
+        : lineBytes(line_bytes), prefetchDegree(degree)
+    {}
+
+    /**
+     * Observe an access and optionally propose a prefetch.
+     *
+     * @param line_addr line-aligned address of the demand access
+     * @param was_miss true if the access missed
+     * @param[out] pf_addr proposed prefetch line address
+     * @return true if pf_addr was filled in
+     */
+    bool observe(Addr line_addr, bool was_miss, Addr &pf_addr);
+
+  private:
+    uint32_t lineBytes;
+    uint32_t prefetchDegree;
+    Addr lastMiss = 0;
+    int64_t lastStride = 0;
+    bool haveLast = false;
+};
+
+} // namespace mem
+} // namespace tca
+
+#endif // TCASIM_MEM_PREFETCHER_HH

@@ -1,0 +1,40 @@
+#include "model/drain.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace model {
+
+DrainModel::DrainModel(uint32_t rob_size, double ipc, double beta_in)
+    : beta(beta_in)
+{
+    tca_assert(rob_size > 0);
+    tca_assert(ipc > 0.0);
+    tca_assert(beta > 0.0);
+    // Little's law at the operating point: the full window of s_ROB
+    // instructions drains in s_ROB / IPC cycles.
+    calibratedDrain = static_cast<double>(rob_size) / ipc;
+    // Solve W = alpha * l^beta for alpha at (rob_size, calibratedDrain).
+    alpha = static_cast<double>(rob_size) /
+            std::pow(calibratedDrain, beta);
+}
+
+double
+DrainModel::drainTime() const
+{
+    return calibratedDrain;
+}
+
+double
+DrainModel::drainTimeForWindow(double window_size) const
+{
+    tca_assert(window_size >= 0.0);
+    if (window_size == 0.0)
+        return 0.0;
+    return std::pow(window_size / alpha, 1.0 / beta);
+}
+
+} // namespace model
+} // namespace tca

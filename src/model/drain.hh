@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Window-drain-time estimation (Section III-A).
+ *
+ * Draining the ROB before a non-speculative (NL-mode) TCA may begin
+ * execution costs the critical-path length of the instructions in the
+ * window. Eyerman et al. (TOCS'09) observed a power-law relation between
+ * window size W and critical-path length l: W = alpha * l^beta. The
+ * model either takes an explicit drain time, or estimates one from the
+ * program IPC and ROB size using that power law.
+ */
+
+#ifndef TCASIM_MODEL_DRAIN_HH
+#define TCASIM_MODEL_DRAIN_HH
+
+#include <cstdint>
+
+namespace tca {
+namespace model {
+
+/**
+ * Estimator for ROB window drain time.
+ *
+ * Calibration: in steady state the window holds W = IPC * l
+ * instructions (Little's law), so at the operating point
+ * l(s_ROB) = s_ROB / IPC. The power-law exponent beta controls how the
+ * estimate extrapolates to *other* window sizes: alpha is solved such
+ * that the calibrated point lies on the curve, then
+ * l(W) = (W / alpha)^(1/beta). With any beta the estimate at the
+ * calibrated ROB size equals s_ROB / IPC; beta only matters when
+ * querying a window size different from the calibration size.
+ */
+class DrainModel
+{
+  public:
+    /**
+     * Calibrate the power law at an operating point.
+     *
+     * @param rob_size window size at the operating point (s_ROB)
+     * @param ipc steady-state instructions per cycle
+     * @param beta power-law exponent (Eyerman et al. fit ~2 for
+     *             SPEC2006; must be > 0)
+     */
+    DrainModel(uint32_t rob_size, double ipc, double beta = 2.0);
+
+    /** Drain time for the calibrated window size, in cycles. */
+    double drainTime() const;
+
+    /**
+     * Drain time for an arbitrary window occupancy, extrapolated along
+     * the power law. Used for sensitivity/ablation studies.
+     */
+    double drainTimeForWindow(double window_size) const;
+
+    /** Critical-path power-law exponent in use. */
+    double powerLawBeta() const { return beta; }
+
+    /** Power-law coefficient alpha solved at calibration. */
+    double powerLawAlpha() const { return alpha; }
+
+  private:
+    double alpha;
+    double beta;
+    double calibratedDrain;
+};
+
+} // namespace model
+} // namespace tca
+
+#endif // TCASIM_MODEL_DRAIN_HH

@@ -1,0 +1,113 @@
+#include "model/interval_model.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace model {
+
+IntervalModel::IntervalModel(const TcaParams &params, double drain_beta)
+    : inputs(params)
+{
+    inputs.validate();
+
+    const double a = inputs.acceleratableFraction;
+    const double v = inputs.invocationFrequency;
+    const double ipc = inputs.ipc;
+    const double A = inputs.accelerationFactor;
+
+    IntervalTimes &t = intervals;
+
+    // Equations (1)-(3).
+    t.baseline = 1.0 / (v * ipc);
+    t.accl = a / (v * A * ipc);
+    t.nonAccl = (1.0 - a) / (v * ipc);
+    t.commit = inputs.commitStall;
+
+    // Window drain: explicit override or power-law estimate, clamped to
+    // the non-accelerated work available in the interval (Section
+    // III-A: "if t_non_accl is smaller than t_drain ... t_non_accl is
+    // used instead").
+    if (inputs.explicitDrainTime >= 0.0) {
+        t.drainRaw = inputs.explicitDrainTime;
+    } else {
+        DrainModel drain(inputs.robSize, ipc, drain_beta);
+        t.drainRaw = drain.drainTime();
+    }
+    t.drain = std::min(t.drainRaw, t.nonAccl);
+
+    // ROB fill time: cycles for the front end to refill the window.
+    t.robFill = static_cast<double>(inputs.robSize) /
+                static_cast<double>(inputs.issueWidth);
+
+    // Equation (6): stall once trailing instructions fill the ROB while
+    // a non-speculative TCA drains, executes, and commits.
+    t.nlRobFull = std::max(
+        0.0, t.drain + t.accl + t.commit - t.robFill);
+
+    // Equation (8): in L_T the TCA starts immediately, so only its own
+    // execution can outlast the ROB fill.
+    t.ltRobFull = std::max(0.0, t.accl - t.robFill);
+
+    auto set = [&](TcaMode mode, double value) {
+        t.modeTime[static_cast<size_t>(mode)] = value;
+    };
+
+    // Equation (4).
+    set(TcaMode::NL_NT,
+        t.nonAccl + t.accl + t.drain + 2.0 * t.commit);
+    // Equation (5).
+    set(TcaMode::L_NT, t.nonAccl + t.accl + t.commit);
+    // Equation (7).
+    set(TcaMode::NL_T,
+        std::max(t.nonAccl + t.nlRobFull,
+                 t.accl + t.drain + t.commit));
+    // Equation (9).
+    set(TcaMode::L_T, std::max(t.nonAccl + t.ltRobFull, t.accl));
+}
+
+std::array<double, 4>
+IntervalModel::allSpeedups() const
+{
+    std::array<double, 4> out;
+    for (size_t i = 0; i < allTcaModes.size(); ++i)
+        out[i] = speedup(allTcaModes[i]);
+    return out;
+}
+
+std::string
+IntervalModel::describe() const
+{
+    std::ostringstream os;
+    char buf[160];
+    const IntervalTimes &t = intervals;
+    std::snprintf(buf, sizeof(buf),
+                  "interval model: a=%.4f v=%.3g IPC=%.3f A=%.3f "
+                  "ROB=%u width=%u t_commit=%.1f\n",
+                  inputs.acceleratableFraction,
+                  inputs.invocationFrequency, inputs.ipc,
+                  inputs.accelerationFactor, inputs.robSize,
+                  inputs.issueWidth, inputs.commitStall);
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  t_baseline=%.1f t_accl=%.1f t_non_accl=%.1f "
+                  "t_drain=%.1f (raw %.1f) t_ROB_fill=%.1f\n",
+                  t.baseline, t.accl, t.nonAccl, t.drain, t.drainRaw,
+                  t.robFill);
+    os << buf;
+    for (TcaMode mode : allTcaModes) {
+        std::snprintf(buf, sizeof(buf),
+                      "  %-5s  t=%.1f cycles  speedup=%.4f%s\n",
+                      tcaModeName(mode).c_str(), intervalTime(mode),
+                      speedup(mode),
+                      predictsSlowdown(mode) ? "  (SLOWDOWN)" : "");
+        os << buf;
+    }
+    return os.str();
+}
+
+} // namespace model
+} // namespace tca

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The paper's first-order analytical model (Section III): interval
+ * analysis of a program containing TCA invocations, producing estimated
+ * execution time and speedup for each of the four integration modes.
+ *
+ * An interval is the stretch of program covered by one accelerator
+ * invocation: 1/v baseline instructions. Regardless of how invocations
+ * are actually distributed, the model assumes an even distribution and
+ * evaluates the average interval; total program behaviour follows by
+ * linearity.
+ */
+
+#ifndef TCASIM_MODEL_INTERVAL_MODEL_HH
+#define TCASIM_MODEL_INTERVAL_MODEL_HH
+
+#include <array>
+#include <string>
+
+#include "model/drain.hh"
+#include "model/params.hh"
+#include "model/tca_mode.hh"
+
+namespace tca {
+namespace model {
+
+/**
+ * All per-interval component times (cycles) derived from one set of
+ * TcaParams. Exposed so tests and ablation benches can check every
+ * intermediate term against the paper's equations.
+ */
+struct IntervalTimes
+{
+    double baseline;    ///< eq. (1): 1 / (v * IPC)
+    double accl;        ///< eq. (2): a / (v * A * IPC)
+    double nonAccl;     ///< eq. (3): (1-a) / (v * IPC)
+    double drain;       ///< t_drain after clamping to nonAccl
+    double drainRaw;    ///< t_drain before the clamp
+    double commit;      ///< t_commit parameter
+    double robFill;     ///< s_ROB / w_issue
+    double nlRobFull;   ///< eq. (6)
+    double ltRobFull;   ///< eq. (8)
+    std::array<double, 4> modeTime; ///< indexed by TcaMode enum value
+
+    /** Total interval time for one mode, eqs. (4), (5), (7), (9). */
+    double time(TcaMode mode) const
+    {
+        return modeTime[static_cast<size_t>(mode)];
+    }
+
+    /** Speedup of one mode over the software baseline. */
+    double speedup(TcaMode mode) const { return baseline / time(mode); }
+};
+
+/**
+ * The analytical model. Construct from parameters, query per-mode
+ * execution time and speedup. Stateless apart from the captured
+ * parameters, so cheap to instantiate inside sweeps.
+ */
+class IntervalModel
+{
+  public:
+    /**
+     * @param params Table-I inputs; validated on construction
+     * @param drain_beta power-law exponent for drain estimation when
+     *                   no explicit drain time is given
+     */
+    explicit IntervalModel(const TcaParams &params,
+                           double drain_beta = 2.0);
+
+    /** Full breakdown of interval component times. */
+    const IntervalTimes &times() const { return intervals; }
+
+    /** Interval execution time for a mode, in cycles. */
+    double intervalTime(TcaMode mode) const
+    {
+        return intervals.time(mode);
+    }
+
+    /** Program speedup of a mode over the software baseline. */
+    double speedup(TcaMode mode) const { return intervals.speedup(mode); }
+
+    /** Speedups for all four modes in allTcaModes order. */
+    std::array<double, 4> allSpeedups() const;
+
+    /**
+     * True if the mode is predicted to *slow down* the program
+     * (speedup < 1), the failure case Fig. 7 highlights in blue.
+     */
+    bool predictsSlowdown(TcaMode mode) const
+    {
+        return speedup(mode) < 1.0;
+    }
+
+    /** The parameters this model was built from. */
+    const TcaParams &params() const { return inputs; }
+
+    /** Multi-line human-readable breakdown (for examples/debugging). */
+    std::string describe() const;
+
+  private:
+    TcaParams inputs;
+    IntervalTimes intervals;
+};
+
+} // namespace model
+} // namespace tca
+
+#endif // TCASIM_MODEL_INTERVAL_MODEL_HH

@@ -1,0 +1,86 @@
+#include "model/inverse.hh"
+
+#include <cmath>
+
+#include "model/interval_model.hh"
+#include "util/logging.hh"
+
+namespace tca {
+namespace model {
+
+namespace {
+
+double
+speedupAtGranularity(const TcaParams &base, TcaMode mode, double g)
+{
+    return IntervalModel(base.withGranularity(g)).speedup(mode);
+}
+
+double
+speedupAtFactor(const TcaParams &base, TcaMode mode, double factor)
+{
+    return IntervalModel(base.withAccelerationFactor(factor))
+        .speedup(mode);
+}
+
+} // anonymous namespace
+
+std::optional<double>
+breakEvenGranularity(const TcaParams &base, TcaMode mode,
+                     double max_granularity)
+{
+    tca_assert(max_granularity >= 1.0);
+    // Speedup is monotonically non-decreasing in granularity for a
+    // fixed a (finer invocations amortize penalties worse). If even
+    // the finest granularity speeds the program up, there is no
+    // break-even point to report.
+    if (speedupAtGranularity(base, mode, 1.0) >= 1.0)
+        return std::nullopt;
+    if (speedupAtGranularity(base, mode, max_granularity) < 1.0) {
+        // Slow everywhere in range: break-even is beyond the cap.
+        return std::nullopt;
+    }
+    double lo = 1.0, hi = max_granularity;
+    for (int iter = 0; iter < 200 && hi / lo > 1.0 + 1e-12; ++iter) {
+        double mid = std::sqrt(lo * hi); // geometric: log-scale axis
+        if (speedupAtGranularity(base, mode, mid) >= 1.0)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+double
+speedupCeiling(const TcaParams &base, TcaMode mode)
+{
+    // A very large but finite A approximates t_accl -> 0 without
+    // hitting floating-point degeneracies.
+    return speedupAtFactor(base, mode, 1e12);
+}
+
+std::optional<double>
+requiredAccelerationFactor(const TcaParams &base, TcaMode mode,
+                           double target_speedup, double max_a)
+{
+    tca_assert(target_speedup > 0.0);
+    tca_assert(max_a > 1.0);
+    if (speedupCeiling(base, mode) < target_speedup)
+        return std::nullopt;
+    double lo = 1e-6, hi = max_a;
+    if (speedupAtFactor(base, mode, hi) < target_speedup)
+        return std::nullopt; // reachable only beyond the cap
+    if (speedupAtFactor(base, mode, lo) >= target_speedup)
+        return lo;
+    for (int iter = 0; iter < 200 && hi / lo > 1.0 + 1e-12; ++iter) {
+        double mid = std::sqrt(lo * hi);
+        if (speedupAtFactor(base, mode, mid) >= target_speedup)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+} // namespace model
+} // namespace tca

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Inverse design queries over the analytical model: instead of asking
+ * "what speedup does this design give?", ask "what does the design
+ * need to achieve a target?" — the questions an architect actually
+ * brings to an early-stage model (Section II: "make informed design
+ * estimations as a first step").
+ *
+ * All queries are numeric (bisection over the monotone parameter);
+ * the model is cheap enough (~60 ns/evaluation) that this costs
+ * microseconds.
+ */
+
+#ifndef TCASIM_MODEL_INVERSE_HH
+#define TCASIM_MODEL_INVERSE_HH
+
+#include <optional>
+
+#include "model/params.hh"
+#include "model/tca_mode.hh"
+
+namespace tca {
+namespace model {
+
+/**
+ * Smallest invocation granularity (acceleratable instructions per
+ * invocation) at which the mode stops slowing the program down
+ * (speedup >= 1), holding a, A, and the core fixed.
+ *
+ * @return the break-even granularity, or std::nullopt if the mode
+ *         speeds the program up at every granularity >= 1 (no
+ *         break-even exists because there is no slowdown region)
+ */
+std::optional<double>
+breakEvenGranularity(const TcaParams &base, TcaMode mode,
+                     double max_granularity = 1e9);
+
+/**
+ * Smallest acceleration factor A for which the mode achieves the
+ * target speedup, holding a, v, and the core fixed.
+ *
+ * @return the required A, or std::nullopt if the target is beyond the
+ *         mode's reach even as A -> infinity (the accelerator time
+ *         goes to zero but stalls and the remaining serial work
+ *         bound the speedup)
+ */
+std::optional<double>
+requiredAccelerationFactor(const TcaParams &base, TcaMode mode,
+                           double target_speedup, double max_a = 1e6);
+
+/**
+ * Speedup of the mode in the limit A -> infinity (zero accelerator
+ * execution time): the Amdahl-like ceiling including the mode's
+ * drain/barrier overheads.
+ */
+double speedupCeiling(const TcaParams &base, TcaMode mode);
+
+} // namespace model
+} // namespace tca
+
+#endif // TCASIM_MODEL_INVERSE_HH

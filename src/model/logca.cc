@@ -1,0 +1,88 @@
+#include "model/logca.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace model {
+
+void
+LogCaParams::validate() const
+{
+    if (o < 0.0 || L < 0.0)
+        fatal("LogCA overheads must be non-negative (o=%f, L=%f)", o,
+              L);
+    if (C <= 0.0)
+        fatal("LogCA computational index must be positive, got %f", C);
+    if (beta < 1.0)
+        fatal("LogCA complexity exponent must be >= 1, got %f", beta);
+    if (A <= 0.0)
+        fatal("LogCA acceleration must be positive, got %f", A);
+}
+
+double
+logcaHostTime(const LogCaParams &params, double g)
+{
+    tca_assert(g > 0.0);
+    return params.C * std::pow(g, params.beta);
+}
+
+double
+logcaAccelTime(const LogCaParams &params, double g)
+{
+    tca_assert(g > 0.0);
+    return params.o + params.L * g +
+           params.C * std::pow(g, params.beta) / params.A;
+}
+
+double
+logcaRegionSpeedup(const LogCaParams &params, double g)
+{
+    return logcaHostTime(params, g) / logcaAccelTime(params, g);
+}
+
+double
+logcaProgramSpeedup(const LogCaParams &params, double g,
+                    double offloadable_fraction)
+{
+    tca_assert(offloadable_fraction >= 0.0 &&
+               offloadable_fraction <= 1.0);
+    double region = logcaRegionSpeedup(params, g);
+    // Amdahl with the CPU idle during offloads: the offloadable
+    // fraction shrinks by the region speedup, the rest is untouched.
+    return 1.0 / ((1.0 - offloadable_fraction) +
+                  offloadable_fraction / region);
+}
+
+std::optional<double>
+logcaBreakEvenGranularity(const LogCaParams &params, double max_g)
+{
+    params.validate();
+    if (logcaRegionSpeedup(params, 1.0) >= 1.0)
+        return 1.0;
+    if (logcaRegionSpeedup(params, max_g) < 1.0)
+        return std::nullopt;
+    double lo = 1.0, hi = max_g;
+    for (int iter = 0; iter < 200 && hi / lo > 1.0 + 1e-12; ++iter) {
+        double mid = std::sqrt(lo * hi);
+        if (logcaRegionSpeedup(params, mid) >= 1.0)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+double
+logcaAsymptoticSpeedup(const LogCaParams &params)
+{
+    params.validate();
+    if (params.beta > 1.0 || params.L == 0.0)
+        return params.A; // compute dominates the linear transfer term
+    // beta == 1 with a real transfer term: speedup caps below A.
+    return params.C / (params.L + params.C / params.A);
+}
+
+} // namespace model
+} // namespace tca

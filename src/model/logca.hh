@@ -1,0 +1,72 @@
+/**
+ * @file
+ * LogCA (Altaf & Wood, IEEE CAL 2015): the prior accelerator
+ * performance model the paper positions itself against (Section II).
+ * LogCA targets *loosely-coupled*, coarse-grained accelerators: each
+ * offload of granularity g pays a host-side overhead `o` and an
+ * interface latency `L*g`, the accelerated computation runs `A` times
+ * faster than the host's `C * g^beta` cycles — and the CPU idles
+ * while the accelerator runs (no overlap, no pipeline interactions).
+ *
+ * Implemented here as a faithful comparison baseline: the
+ * `cmp_logca` bench shows where LogCA's single curve diverges from
+ * the paper's mode-resolved TCA model (fine granularity, where drain
+ * and fill penalties and core/TCA overlap dominate).
+ */
+
+#ifndef TCASIM_MODEL_LOGCA_HH
+#define TCASIM_MODEL_LOGCA_HH
+
+#include <optional>
+
+namespace tca {
+namespace model {
+
+/** LogCA parameters (cycles, elements). */
+struct LogCaParams
+{
+    double o = 100.0;  ///< host-side overhead per offload (cycles)
+    double L = 0.1;    ///< interface latency per element (cycles)
+    double C = 1.0;    ///< host cycles per element^beta
+    double beta = 1.0; ///< computational complexity exponent
+    double A = 10.0;   ///< peak acceleration
+
+    /** Validate ranges; fatal() on nonsense. */
+    void validate() const;
+};
+
+/** Host (unaccelerated) time of one offload of granularity g. */
+double logcaHostTime(const LogCaParams &params, double g);
+
+/** Accelerated time of one offload (overhead + transfer + compute). */
+double logcaAccelTime(const LogCaParams &params, double g);
+
+/** Region speedup of one offload: host / accelerated. */
+double logcaRegionSpeedup(const LogCaParams &params, double g);
+
+/**
+ * Whole-program speedup via Amdahl with an idle CPU during offloads
+ * (LogCA's assumption): fraction `a` of time is offloadable work.
+ */
+double logcaProgramSpeedup(const LogCaParams &params, double g,
+                           double offloadable_fraction);
+
+/**
+ * g1: the break-even granularity where the region speedup crosses 1
+ * (LogCA's headline metric). std::nullopt if the accelerator never
+ * breaks even below `max_g`.
+ */
+std::optional<double>
+logcaBreakEvenGranularity(const LogCaParams &params,
+                          double max_g = 1e12);
+
+/**
+ * Asymptotic region speedup as g -> infinity: A when compute
+ * dominates transfer (beta > 1), else bounded by the transfer path.
+ */
+double logcaAsymptoticSpeedup(const LogCaParams &params);
+
+} // namespace model
+} // namespace tca
+
+#endif // TCASIM_MODEL_LOGCA_HH

@@ -1,0 +1,92 @@
+#include "model/optima.hh"
+
+#include <cmath>
+
+#include "model/interval_model.hh"
+#include "util/logging.hh"
+
+namespace tca {
+namespace model {
+
+double
+ltSpeedupBound(double acceleration_factor)
+{
+    tca_assert(acceleration_factor > 0.0);
+    return acceleration_factor + 1.0;
+}
+
+double
+ltOptimalAcceleratable(double acceleration_factor)
+{
+    tca_assert(acceleration_factor > 0.0);
+    return acceleration_factor / (acceleration_factor + 1.0);
+}
+
+namespace {
+
+double
+speedupAt(const TcaParams &base, double insts_per_invocation,
+          TcaMode mode, double a)
+{
+    TcaParams params = base.withAcceleratable(a)
+                           .withGranularity(insts_per_invocation);
+    return IntervalModel(params).speedup(mode);
+}
+
+} // anonymous namespace
+
+SpeedupPeak
+findPeakSpeedup(const TcaParams &base, double insts_per_invocation,
+                TcaMode mode)
+{
+    // Coarse scan first: the NL_T curve can have a local maximum below
+    // the global one, so a pure unimodal search would be wrong.
+    constexpr int scan_points = 393;
+    double best_a = 0.01;
+    double best_s = 0.0;
+    for (int i = 0; i < scan_points; ++i) {
+        double a = 0.01 + (0.99 - 0.01) * static_cast<double>(i) /
+                   static_cast<double>(scan_points - 1);
+        double s = speedupAt(base, insts_per_invocation, mode, a);
+        if (s > best_s) {
+            best_s = s;
+            best_a = a;
+        }
+    }
+
+    // Golden-section refinement in a small bracket around the scan
+    // winner; the curve is locally unimodal there.
+    double step = (0.99 - 0.01) / static_cast<double>(scan_points - 1);
+    double lo = std::max(0.01, best_a - step);
+    double hi = std::min(0.99, best_a + step);
+    constexpr double phi = 0.6180339887498949;
+    double x1 = hi - phi * (hi - lo);
+    double x2 = lo + phi * (hi - lo);
+    double f1 = speedupAt(base, insts_per_invocation, mode, x1);
+    double f2 = speedupAt(base, insts_per_invocation, mode, x2);
+    for (int iter = 0; iter < 60 && (hi - lo) > 1e-10; ++iter) {
+        if (f1 < f2) {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + phi * (hi - lo);
+            f2 = speedupAt(base, insts_per_invocation, mode, x2);
+        } else {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - phi * (hi - lo);
+            f1 = speedupAt(base, insts_per_invocation, mode, x1);
+        }
+    }
+    double a_star = 0.5 * (lo + hi);
+    double s_star = speedupAt(base, insts_per_invocation, mode, a_star);
+    if (s_star < best_s) {
+        a_star = best_a;
+        s_star = best_s;
+    }
+    return {a_star, s_star};
+}
+
+} // namespace model
+} // namespace tca

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Closed-form optima of the analytical model (Section VII): the
+ * core/TCA concurrency result that full OoO integration (L_T) bounds
+ * program speedup by A + 1, peaking when the accelerated and
+ * non-accelerated work are balanced at a* = A / (A + 1).
+ */
+
+#ifndef TCASIM_MODEL_OPTIMA_HH
+#define TCASIM_MODEL_OPTIMA_HH
+
+#include "model/params.hh"
+#include "model/tca_mode.hh"
+
+namespace tca {
+namespace model {
+
+/** Result of a peak-speedup search over the acceleratable fraction. */
+struct SpeedupPeak
+{
+    double bestA;       ///< acceleratable fraction at the peak
+    double bestSpeedup; ///< speedup at the peak
+};
+
+/**
+ * Theoretical L_T upper bound ignoring ROB-fill effects: with the core
+ * and accelerator fully overlapped, total time is
+ * max(1-a, a/A)/(v*IPC), minimized at a = A/(A+1) where the speedup is
+ * A + 1.
+ */
+double ltSpeedupBound(double acceleration_factor);
+
+/** The balance point a* = A / (A + 1) where the L_T bound is reached. */
+double ltOptimalAcceleratable(double acceleration_factor);
+
+/**
+ * Numerically locate the peak speedup of a mode while sweeping the
+ * acceleratable fraction at fixed invocation granularity (matching
+ * Fig. 8's setup). Golden-section refinement over [0.01, 0.99] after a
+ * coarse scan, so NL_T's local/global maxima structure is handled by
+ * returning the global one.
+ */
+SpeedupPeak
+findPeakSpeedup(const TcaParams &base, double insts_per_invocation,
+                TcaMode mode);
+
+} // namespace model
+} // namespace tca
+
+#endif // TCASIM_MODEL_OPTIMA_HH

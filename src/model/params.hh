@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Input parameters of the analytical model (the paper's Table I), plus
+ * named core presets used throughout the evaluation.
+ */
+
+#ifndef TCASIM_MODEL_PARAMS_HH
+#define TCASIM_MODEL_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tca {
+namespace model {
+
+/**
+ * Analytical model inputs (Table I of the paper).
+ *
+ * All times are in cycles; `a` and `v` are dimensionless fractions of
+ * the baseline (pre-acceleration) dynamic instruction stream.
+ */
+struct TcaParams
+{
+    /** Fraction of dynamic instructions that are acceleratable (a). */
+    double acceleratableFraction = 0.3;
+
+    /** Accelerator invocations per baseline instruction (v). */
+    double invocationFrequency = 1e-4;
+
+    /** Average baseline instructions per cycle (IPC). */
+    double ipc = 1.5;
+
+    /** Acceleration factor (A): effective accelerator IPC = A * IPC. */
+    double accelerationFactor = 3.0;
+
+    /** Reorder buffer size in entries (s_ROB). */
+    uint32_t robSize = 128;
+
+    /** Front-end issue/dispatch width in instructions/cycle (w_issue). */
+    uint32_t issueWidth = 3;
+
+    /** Commit/back-end pipeline stall in cycles (t_commit). */
+    double commitStall = 10.0;
+
+    /**
+     * Explicit window-drain time override in cycles. Negative means
+     * "estimate from ROB size and IPC via the drain model" (the
+     * default behaviour described in Section III-A).
+     */
+    double explicitDrainTime = -1.0;
+
+    /** Validate ranges; calls fatal() on nonsensical inputs. */
+    void validate() const;
+
+    /**
+     * Acceleratable instructions per invocation (granularity g = a/v).
+     * The x-axis of the paper's Fig. 2.
+     */
+    double granularity() const
+    {
+        return acceleratableFraction / invocationFrequency;
+    }
+
+    /** Convenience: derive v from a desired granularity, keeping a. */
+    TcaParams withGranularity(double insts_per_invocation) const;
+
+    /** Convenience builders for sweep code. */
+    TcaParams withAcceleratable(double a) const;
+    TcaParams withInvocationFrequency(double v) const;
+    TcaParams withAccelerationFactor(double A) const;
+};
+
+/**
+ * Named core configurations used by the paper's figures:
+ * an ARM-A72-like core for Fig. 2 and the high/low-performance cores
+ * for the Fig. 7 heatmap (Section VI).
+ */
+struct CorePreset
+{
+    std::string name;
+    double ipc;
+    uint32_t robSize;
+    uint32_t issueWidth;
+    double commitStall;
+
+    /** Merge this preset's core fields into a TcaParams. */
+    TcaParams apply(TcaParams base) const;
+};
+
+/** ARM Cortex-A72-like core: IPC 1.5, 128-entry ROB, 3-wide. */
+CorePreset armA72Preset();
+
+/** High-performance core from Fig. 7: 1.8 IPC, 256 ROB, 4-issue. */
+CorePreset highPerfPreset();
+
+/** Low-performance core from Fig. 7: 0.5 IPC, 64 ROB, 2-issue. */
+CorePreset lowPerfPreset();
+
+} // namespace model
+} // namespace tca
+
+#endif // TCASIM_MODEL_PARAMS_HH

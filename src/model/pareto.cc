@@ -1,0 +1,51 @@
+#include "model/pareto.hh"
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace model {
+
+HardwareCost
+defaultModeCost(TcaMode mode)
+{
+    // Relative estimates: speculation support (L) needs state
+    // checkpointing and rollback control; trailing support (T) needs
+    // register/memory dependency resolution integrated into the LSQ
+    // and rename logic. L_T composes both with some shared control.
+    switch (mode) {
+      case TcaMode::NL_NT: return {1.0, 1.0};
+      case TcaMode::NL_T:  return {1.5, 1.4};
+      case TcaMode::L_NT:  return {1.6, 1.5};
+      case TcaMode::L_T:   return {2.1, 1.9};
+    }
+    panic("invalid TcaMode %d", static_cast<int>(mode));
+}
+
+bool
+dominates(const DesignPoint &a, const DesignPoint &b)
+{
+    bool no_worse = a.speedup >= b.speedup &&
+                    a.cost.area <= b.cost.area &&
+                    a.cost.power <= b.cost.power;
+    bool strictly_better = a.speedup > b.speedup ||
+                           a.cost.area < b.cost.area ||
+                           a.cost.power < b.cost.power;
+    return no_worse && strictly_better;
+}
+
+std::vector<size_t>
+paretoFrontier(const std::vector<DesignPoint> &points)
+{
+    std::vector<size_t> frontier;
+    for (size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (size_t j = 0; j < points.size() && !dominated; ++j)
+            dominated = (j != i) && dominates(points[j], points[i]);
+        if (!dominated)
+            frontier.push_back(i);
+    }
+    return frontier;
+}
+
+} // namespace model
+} // namespace tca

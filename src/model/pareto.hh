@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Pareto analysis of TCA integration designs (the paper's Section
+ * VIII: "a pareto-optimal curve of design implementations could show
+ * the trade-off between hardware costs, performance, and which (if
+ * any) design implementations fall outside of the curve").
+ *
+ * Hardware costs here are *relative* engineering estimates of the
+ * integration logic each mode requires (rollback checkpointing for L
+ * modes, LSQ/rename dependency resolution for T modes) — normalized
+ * to the NL_NT baseline — not circuit-level numbers.
+ */
+
+#ifndef TCASIM_MODEL_PARETO_HH
+#define TCASIM_MODEL_PARETO_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/tca_mode.hh"
+
+namespace tca {
+namespace model {
+
+/** Relative integration hardware cost (NL_NT = 1.0). */
+struct HardwareCost
+{
+    double area = 1.0;
+    double power = 1.0;
+};
+
+/** Illustrative default cost of a mode's integration hardware. */
+HardwareCost defaultModeCost(TcaMode mode);
+
+/** One candidate design in the trade-off space. */
+struct DesignPoint
+{
+    std::string label;
+    double speedup = 1.0;  ///< higher is better
+    HardwareCost cost;     ///< lower is better (both axes)
+};
+
+/**
+ * True if `a` dominates `b`: at least as good on every axis
+ * (speedup up, area down, power down) and strictly better on one.
+ */
+bool dominates(const DesignPoint &a, const DesignPoint &b);
+
+/**
+ * Indices of the non-dominated designs, in input order. Duplicate
+ * points are all kept (none strictly dominates the other).
+ */
+std::vector<size_t> paretoFrontier(const std::vector<DesignPoint> &points);
+
+} // namespace model
+} // namespace tca
+
+#endif // TCASIM_MODEL_PARETO_HH

@@ -1,0 +1,40 @@
+#include "model/partial.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace model {
+
+double
+gatedInvocationFraction(double low_conf_branch_rate,
+                        double window_insts)
+{
+    tca_assert(low_conf_branch_rate >= 0.0 &&
+               low_conf_branch_rate <= 1.0);
+    tca_assert(window_insts >= 0.0);
+    return 1.0 - std::pow(1.0 - low_conf_branch_rate, window_insts);
+}
+
+double
+partialIntervalTime(const IntervalModel &model, bool allows_trailing,
+                    double gated_fraction)
+{
+    tca_assert(gated_fraction >= 0.0 && gated_fraction <= 1.0);
+    TcaMode l_mode = allows_trailing ? TcaMode::L_T : TcaMode::L_NT;
+    TcaMode nl_mode = allows_trailing ? TcaMode::NL_T : TcaMode::NL_NT;
+    return (1.0 - gated_fraction) * model.intervalTime(l_mode) +
+           gated_fraction * model.intervalTime(nl_mode);
+}
+
+double
+partialSpeedup(const IntervalModel &model, bool allows_trailing,
+               double gated_fraction)
+{
+    return model.times().baseline /
+           partialIntervalTime(model, allows_trailing, gated_fraction);
+}
+
+} // namespace model
+} // namespace tca

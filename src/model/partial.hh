@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Analytical treatment of the paper's Section-VIII proposal: partial
+ * TCA speculation, where the accelerator speculates only when every
+ * outstanding older branch is high-confidence. The invocation
+ * population splits into a fraction that behaves like the L mode
+ * (no low-confidence branch in the window) and a fraction that pays
+ * the NL-mode drain; interval times interpolate linearly.
+ */
+
+#ifndef TCASIM_MODEL_PARTIAL_HH
+#define TCASIM_MODEL_PARTIAL_HH
+
+#include "model/interval_model.hh"
+
+namespace tca {
+namespace model {
+
+/**
+ * Fraction of invocations expected to find at least one unresolved
+ * low-confidence branch in the window at dispatch.
+ *
+ * @param low_conf_branch_rate low-confidence branches per instruction
+ * @param window_insts instructions typically in flight ahead of the
+ *        TCA (e.g. average ROB occupancy)
+ * @return gated fraction in [0, 1]: 1 - (1 - r)^W
+ */
+double gatedInvocationFraction(double low_conf_branch_rate,
+                               double window_insts);
+
+/**
+ * Interval time of a partial-speculation TCA.
+ *
+ * @param model an IntervalModel for the underlying parameters
+ * @param allows_trailing whether trailing instructions may dispatch
+ *        (the T/NT axis is orthogonal to the speculation gate)
+ * @param gated_fraction fraction of invocations that are gated and
+ *        behave like the NL mode
+ */
+double partialIntervalTime(const IntervalModel &model,
+                           bool allows_trailing,
+                           double gated_fraction);
+
+/** Speedup of the partial-speculation design over the baseline. */
+double partialSpeedup(const IntervalModel &model, bool allows_trailing,
+                      double gated_fraction);
+
+} // namespace model
+} // namespace tca
+
+#endif // TCASIM_MODEL_PARTIAL_HH

@@ -1,0 +1,86 @@
+#include "model/phases.hh"
+
+#include <cmath>
+
+#include "model/interval_model.hh"
+#include "util/logging.hh"
+
+namespace tca {
+namespace model {
+
+PhasedModel::PhasedModel(std::vector<Phase> phases)
+    : phaseList(std::move(phases))
+{
+    if (phaseList.empty())
+        fatal("PhasedModel needs at least one phase");
+    double total_share = 0.0;
+    for (const Phase &phase : phaseList) {
+        if (phase.instructionShare <= 0.0)
+            fatal("phase '%s' has non-positive instruction share",
+                  phase.name.c_str());
+        total_share += phase.instructionShare;
+    }
+    if (std::fabs(total_share - 1.0) > 1e-6)
+        fatal("phase instruction shares sum to %f, expected 1",
+              total_share);
+}
+
+double
+PhasedModel::phaseBaseline(const Phase &phase)
+{
+    // Per baseline instruction: 1 / IPC cycles.
+    return 1.0 / phase.params.ipc;
+}
+
+double
+PhasedModel::phaseTime(const Phase &phase, TcaMode mode)
+{
+    if (!phase.accelerated)
+        return phaseBaseline(phase);
+    IntervalModel model(phase.params);
+    // Interval time is per 1/v instructions; normalize to per
+    // instruction.
+    return model.intervalTime(mode) * phase.params.invocationFrequency;
+}
+
+double
+PhasedModel::baselineTime() const
+{
+    double total = 0.0;
+    for (const Phase &phase : phaseList)
+        total += phase.instructionShare * phaseBaseline(phase);
+    return total;
+}
+
+double
+PhasedModel::time(TcaMode mode) const
+{
+    double total = 0.0;
+    for (const Phase &phase : phaseList)
+        total += phase.instructionShare * phaseTime(phase, mode);
+    return total;
+}
+
+double
+PhasedModel::speedup(TcaMode mode) const
+{
+    return baselineTime() / time(mode);
+}
+
+const Phase &
+PhasedModel::dominantPhase(TcaMode mode) const
+{
+    const Phase *dominant = &phaseList[0];
+    double best = 0.0;
+    for (const Phase &phase : phaseList) {
+        double t = phase.instructionShare * phaseTime(phase, mode);
+        if (t > best) {
+            best = t;
+            dominant = &phase;
+        }
+    }
+    return *dominant;
+}
+
+} // namespace model
+} // namespace tca

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Phase-weighted model composition. Section III notes the interval
+ * analysis applies "to either an entire program or region of
+ * interest"; real programs have phases with different acceleratable
+ * fractions, invocation rates, and IPCs. This module combines
+ * per-phase IntervalModel evaluations into whole-program estimates by
+ * weighting each phase by its share of baseline instructions.
+ */
+
+#ifndef TCASIM_MODEL_PHASES_HH
+#define TCASIM_MODEL_PHASES_HH
+
+#include <string>
+#include <vector>
+
+#include "model/params.hh"
+#include "model/tca_mode.hh"
+
+namespace tca {
+namespace model {
+
+/** One program phase. */
+struct Phase
+{
+    std::string name;
+    double instructionShare = 1.0; ///< fraction of baseline insts
+    TcaParams params;              ///< phase-local model inputs
+
+    /**
+     * A phase with no invocations at all (pure software). Such phases
+     * contribute baseline time unchanged in every mode.
+     */
+    bool accelerated = true;
+};
+
+/** Whole-program view over a set of phases. */
+class PhasedModel
+{
+  public:
+    /**
+     * @param phases instruction shares must sum to ~1 (fatal()
+     *        otherwise); at least one phase
+     */
+    explicit PhasedModel(std::vector<Phase> phases);
+
+    /** Whole-program baseline time (arbitrary units: cycles per
+     *  baseline instruction, times 1). */
+    double baselineTime() const;
+
+    /** Whole-program time with the TCA in the given mode. */
+    double time(TcaMode mode) const;
+
+    /** Whole-program speedup for a mode. */
+    double speedup(TcaMode mode) const;
+
+    /** Phase contributing the most time in the given mode. */
+    const Phase &dominantPhase(TcaMode mode) const;
+
+    size_t numPhases() const { return phaseList.size(); }
+
+  private:
+    /** Per-instruction baseline time of one phase. */
+    static double phaseBaseline(const Phase &phase);
+
+    /** Per-instruction mode time of one phase. */
+    static double phaseTime(const Phase &phase, TcaMode mode);
+
+    std::vector<Phase> phaseList;
+};
+
+} // namespace model
+} // namespace tca
+
+#endif // TCASIM_MODEL_PHASES_HH

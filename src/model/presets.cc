@@ -1,0 +1,103 @@
+#include "model/params.hh"
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace model {
+
+void
+TcaParams::validate() const
+{
+    if (acceleratableFraction < 0.0 || acceleratableFraction > 1.0)
+        fatal("acceleratable fraction a=%f outside [0,1]",
+              acceleratableFraction);
+    if (invocationFrequency <= 0.0 || invocationFrequency > 1.0)
+        fatal("invocation frequency v=%g outside (0,1]",
+              invocationFrequency);
+    if (ipc <= 0.0)
+        fatal("IPC must be positive, got %f", ipc);
+    if (accelerationFactor <= 0.0)
+        fatal("acceleration factor must be positive, got %f",
+              accelerationFactor);
+    if (robSize == 0)
+        fatal("ROB size must be nonzero");
+    if (issueWidth == 0)
+        fatal("issue width must be nonzero");
+    if (commitStall < 0.0)
+        fatal("commit stall must be non-negative, got %f", commitStall);
+    // Note: v > a (each invocation covering less than one baseline
+    // instruction) is a degenerate but well-defined corner; sweeps
+    // legitimately cross it, so it is not diagnosed here.
+}
+
+TcaParams
+TcaParams::withGranularity(double insts_per_invocation) const
+{
+    tca_assert(insts_per_invocation > 0.0);
+    TcaParams out = *this;
+    out.invocationFrequency =
+        acceleratableFraction / insts_per_invocation;
+    return out;
+}
+
+TcaParams
+TcaParams::withAcceleratable(double a) const
+{
+    TcaParams out = *this;
+    out.acceleratableFraction = a;
+    return out;
+}
+
+TcaParams
+TcaParams::withInvocationFrequency(double v) const
+{
+    TcaParams out = *this;
+    out.invocationFrequency = v;
+    return out;
+}
+
+TcaParams
+TcaParams::withAccelerationFactor(double A) const
+{
+    TcaParams out = *this;
+    out.accelerationFactor = A;
+    return out;
+}
+
+TcaParams
+CorePreset::apply(TcaParams base) const
+{
+    base.ipc = ipc;
+    base.robSize = robSize;
+    base.issueWidth = issueWidth;
+    base.commitStall = commitStall;
+    return base;
+}
+
+CorePreset
+armA72Preset()
+{
+    // Cortex-A72: 3-wide decode/dispatch, 128-entry ROB-equivalent,
+    // ~15-stage pipeline. IPC 1.5 is a representative integer-workload
+    // average; commit stall approximates the back-end depth.
+    return {"A72", 1.5, 128, 3, 10.0};
+}
+
+CorePreset
+highPerfPreset()
+{
+    // Section VI: "high performance core (1.8 IPC, 256 entry ROB,
+    // 4-issue)". Deeper pipeline => larger commit stall.
+    return {"HP", 1.8, 256, 4, 12.0};
+}
+
+CorePreset
+lowPerfPreset()
+{
+    // Section VI: "low performance core (0.5 IPC, 64 entry ROB,
+    // 2-issue)".
+    return {"LP", 0.5, 64, 2, 6.0};
+}
+
+} // namespace model
+} // namespace tca

@@ -1,0 +1,172 @@
+#include "model/report.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "model/interval_model.hh"
+#include "model/inverse.hh"
+#include "model/optima.hh"
+#include "model/pareto.hh"
+#include "model/sensitivity.hh"
+#include "util/logging.hh"
+
+namespace tca {
+namespace model {
+
+namespace {
+
+/** Modes from simplest to most complex hardware. */
+constexpr std::array<TcaMode, 4> byComplexity = {
+    TcaMode::NL_NT, TcaMode::NL_T, TcaMode::L_NT, TcaMode::L_T,
+};
+
+} // anonymous namespace
+
+DesignAdvice
+adviseDesign(const TcaParams &params, double tolerance)
+{
+    tca_assert(tolerance >= 0.0);
+    IntervalModel model(params);
+    DesignAdvice advice;
+
+    advice.bestSpeedup = 0.0;
+    for (TcaMode mode : allTcaModes) {
+        double s = model.speedup(mode);
+        if (s > advice.bestSpeedup) {
+            advice.bestSpeedup = s;
+            advice.bestMode = mode;
+        }
+        if (s < 1.0) {
+            advice.slowdownModes |=
+                static_cast<uint8_t>(1u << static_cast<unsigned>(mode));
+        }
+    }
+
+    advice.recommendedMode = advice.bestMode;
+    advice.recommendedSpeedup = advice.bestSpeedup;
+    for (TcaMode mode : byComplexity) {
+        double s = model.speedup(mode);
+        if (s >= (1.0 - tolerance) * advice.bestSpeedup) {
+            advice.recommendedMode = mode;
+            advice.recommendedSpeedup = s;
+            break;
+        }
+    }
+
+    // Pareto over (speedup, area, power), including "build nothing".
+    std::vector<DesignPoint> points;
+    points.push_back({"none", 1.0, {0.0, 0.0}});
+    for (TcaMode mode : allTcaModes) {
+        points.push_back({tcaModeName(mode), model.speedup(mode),
+                          defaultModeCost(mode)});
+    }
+    auto frontier = paretoFrontier(points);
+    uint8_t on_frontier = 0;
+    for (size_t idx : frontier) {
+        if (idx == 0)
+            continue; // the "none" point
+        TcaMode mode = allTcaModes[idx - 1];
+        on_frontier |=
+            static_cast<uint8_t>(1u << static_cast<unsigned>(mode));
+    }
+    for (TcaMode mode : allTcaModes) {
+        if (!(on_frontier &
+              (1u << static_cast<unsigned>(mode)))) {
+            advice.dominatedModes |=
+                static_cast<uint8_t>(1u << static_cast<unsigned>(mode));
+        }
+    }
+    return advice;
+}
+
+std::string
+designReport(const TcaParams &params, double tolerance)
+{
+    IntervalModel model(params);
+    DesignAdvice advice = adviseDesign(params, tolerance);
+    std::ostringstream os;
+    char buf[256];
+
+    os << "== TCA design report ==\n";
+    std::snprintf(buf, sizeof(buf),
+                  "workload: a=%.1f%%, g=%.0f insts/invocation, "
+                  "v=%.3g\naccelerator: A=%.2f\ncore: IPC=%.2f, "
+                  "ROB=%u, %u-issue, t_commit=%.0f\n\n",
+                  100.0 * params.acceleratableFraction,
+                  params.granularity(), params.invocationFrequency,
+                  params.accelerationFactor, params.ipc,
+                  params.robSize, params.issueWidth,
+                  params.commitStall);
+    os << buf;
+
+    os << "[modes]\n";
+    for (TcaMode mode : allTcaModes) {
+        std::snprintf(buf, sizeof(buf),
+                      "  %-5s speedup %6.3f%s%s%s\n",
+                      tcaModeName(mode).c_str(), model.speedup(mode),
+                      advice.slowsDown(mode) ? "  SLOWDOWN" : "",
+                      advice.dominated(mode)
+                          ? "  dominated (do not build)" : "",
+                      mode == advice.recommendedMode
+                          ? "  <== recommended" : "");
+        os << buf;
+    }
+
+    os << "\n[concurrency]\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  L_T speedup bound A+1 = %.2f at a* = %.1f%%\n",
+                  ltSpeedupBound(params.accelerationFactor),
+                  100.0 * ltOptimalAcceleratable(
+                      params.accelerationFactor));
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  speedup ceiling (A->inf) in %s: %.2f\n",
+                  tcaModeName(advice.recommendedMode).c_str(),
+                  speedupCeiling(params, advice.recommendedMode));
+    os << buf;
+
+    os << "\n[boundaries]\n";
+    for (TcaMode mode : allTcaModes) {
+        auto g = breakEvenGranularity(params, mode);
+        if (g) {
+            std::snprintf(buf, sizeof(buf),
+                          "  %-5s breaks even at g >= %.0f "
+                          "insts/invocation\n",
+                          tcaModeName(mode).c_str(), *g);
+            os << buf;
+        } else {
+            std::snprintf(buf, sizeof(buf),
+                          "  %-5s never slows the program down\n",
+                          tcaModeName(mode).c_str());
+            os << buf;
+        }
+    }
+
+    os << "\n[sensitivity of " +
+              tcaModeName(advice.recommendedMode) + "]\n";
+    auto elasticities =
+        speedupElasticities(params, advice.recommendedMode);
+    for (size_t i = 0; i < elasticities.size() && i < 3; ++i) {
+        std::snprintf(buf, sizeof(buf),
+                      "  %-26s elasticity %+.3f\n",
+                      elasticities[i].parameter.c_str(),
+                      elasticities[i].value);
+        os << buf;
+    }
+
+    os << "\n[verdict]\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  build %s: %.3fx at %.1fx/%.1fx relative "
+                  "area/power (best %s: %.3fx)\n",
+                  tcaModeName(advice.recommendedMode).c_str(),
+                  advice.recommendedSpeedup,
+                  defaultModeCost(advice.recommendedMode).area,
+                  defaultModeCost(advice.recommendedMode).power,
+                  tcaModeName(advice.bestMode).c_str(),
+                  advice.bestSpeedup);
+    os << buf;
+    return os.str();
+}
+
+} // namespace model
+} // namespace tca

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Full advisory report for one TCA design point: per-mode speedups,
+ * concurrency optimum, break-even boundaries, ceiling analysis, and a
+ * Pareto verdict over integration hardware — everything the model
+ * can say about a design, in one call. Used by the `tca_advisor`
+ * example and handy for embedding in other tools.
+ */
+
+#ifndef TCASIM_MODEL_REPORT_HH
+#define TCASIM_MODEL_REPORT_HH
+
+#include <string>
+
+#include "model/params.hh"
+#include "model/tca_mode.hh"
+
+namespace tca {
+namespace model {
+
+/** Structured advisory conclusions. */
+struct DesignAdvice
+{
+    /** Fastest mode. */
+    TcaMode bestMode = TcaMode::L_T;
+
+    /** Simplest mode within `tolerance` of the fastest. */
+    TcaMode recommendedMode = TcaMode::L_T;
+
+    /** Modes that slow the program down (bitmask by enum value). */
+    uint8_t slowdownModes = 0;
+
+    /** Modes off the cost/performance Pareto frontier. */
+    uint8_t dominatedModes = 0;
+
+    double bestSpeedup = 1.0;
+    double recommendedSpeedup = 1.0;
+
+    bool slowsDown(TcaMode mode) const
+    {
+        return slowdownModes & (1u << static_cast<unsigned>(mode));
+    }
+
+    bool dominated(TcaMode mode) const
+    {
+        return dominatedModes & (1u << static_cast<unsigned>(mode));
+    }
+};
+
+/**
+ * Analyze a design point.
+ *
+ * @param params the design
+ * @param tolerance recommend the simplest mode within this relative
+ *        distance of the best (default 5%)
+ */
+DesignAdvice adviseDesign(const TcaParams &params,
+                          double tolerance = 0.05);
+
+/**
+ * Render the full multi-section advisory report as text.
+ */
+std::string designReport(const TcaParams &params,
+                         double tolerance = 0.05);
+
+} // namespace model
+} // namespace tca
+
+#endif // TCASIM_MODEL_REPORT_HH

@@ -1,0 +1,117 @@
+#include "model/sensitivity.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "model/interval_model.hh"
+#include "util/logging.hh"
+
+namespace tca {
+namespace model {
+
+namespace {
+
+double
+speedupOf(const TcaParams &params, TcaMode mode)
+{
+    return IntervalModel(params).speedup(mode);
+}
+
+/**
+ * Central-difference elasticity for one parameter accessed through a
+ * scale functor (params, factor) -> perturbed params.
+ */
+double
+elasticity(const TcaParams &params, TcaMode mode, double rel_step,
+           const std::function<TcaParams(const TcaParams &, double)>
+               &scaled)
+{
+    double up = speedupOf(scaled(params, 1.0 + rel_step), mode);
+    double down = speedupOf(scaled(params, 1.0 - rel_step), mode);
+    double base = speedupOf(params, mode);
+    tca_assert(base > 0.0 && up > 0.0 && down > 0.0);
+    return (std::log(up) - std::log(down)) /
+           (std::log(1.0 + rel_step) - std::log(1.0 - rel_step));
+}
+
+} // anonymous namespace
+
+std::vector<Elasticity>
+speedupElasticities(const TcaParams &params, TcaMode mode,
+                    double rel_step)
+{
+    tca_assert(rel_step > 0.0 && rel_step < 0.5);
+    params.validate();
+
+    std::vector<Elasticity> out;
+    auto add = [&](const char *name,
+                   std::function<TcaParams(const TcaParams &, double)>
+                       scaled) {
+        out.push_back(
+            {name, elasticity(params, mode, rel_step, scaled)});
+    };
+
+    add("a (acceleratable fraction)",
+        [](const TcaParams &p, double f) {
+            TcaParams q = p;
+            q.acceleratableFraction =
+                std::min(0.999, p.acceleratableFraction * f);
+            return q;
+        });
+    add("v (invocation frequency)",
+        [](const TcaParams &p, double f) {
+            return p.withInvocationFrequency(p.invocationFrequency *
+                                             f);
+        });
+    add("IPC", [](const TcaParams &p, double f) {
+        TcaParams q = p;
+        q.ipc = p.ipc * f;
+        return q;
+    });
+    add("A (acceleration factor)",
+        [](const TcaParams &p, double f) {
+            return p.withAccelerationFactor(p.accelerationFactor * f);
+        });
+    add("s_ROB", [](const TcaParams &p, double f) {
+        TcaParams q = p;
+        q.robSize = std::max<uint32_t>(
+            1, static_cast<uint32_t>(std::lround(p.robSize * f)));
+        return q;
+    });
+    add("w_issue", [](const TcaParams &p, double f) {
+        TcaParams q = p;
+        // Issue width is small and integral; perturb via a fractional
+        // effective width by scaling robSize inversely is wrong — use
+        // the fill-time path directly through a fractional width.
+        // TcaParams stores an integer, so emulate with rob scaling:
+        // t_ROB_fill = s_ROB / w_issue; scaling w by f equals scaling
+        // s_ROB by 1/f in that term only. To stay faithful we round
+        // the width and accept granularity for small widths.
+        q.issueWidth = std::max<uint32_t>(
+            1, static_cast<uint32_t>(std::lround(p.issueWidth * f)));
+        return q;
+    });
+    add("t_commit", [](const TcaParams &p, double f) {
+        TcaParams q = p;
+        q.commitStall = p.commitStall * f;
+        return q;
+    });
+
+    std::sort(out.begin(), out.end(),
+              [](const Elasticity &x, const Elasticity &y) {
+                  return std::fabs(x.value) > std::fabs(y.value);
+              });
+    return out;
+}
+
+Elasticity
+dominantParameter(const TcaParams &params, TcaMode mode)
+{
+    auto all = speedupElasticities(params, mode);
+    tca_assert(!all.empty());
+    return all.front();
+}
+
+} // namespace model
+} // namespace tca

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Parameter sensitivity of the analytical model: which Table-I input
+ * moves the speedup most? Computed as normalized elasticities
+ * (d log speedup / d log parameter) via central finite differences —
+ * cheap at ~60 ns per model evaluation, and exactly the "limit
+ * studies" use the paper advertises for closed-form models
+ * (Section III-E).
+ */
+
+#ifndef TCASIM_MODEL_SENSITIVITY_HH
+#define TCASIM_MODEL_SENSITIVITY_HH
+
+#include <string>
+#include <vector>
+
+#include "model/params.hh"
+#include "model/tca_mode.hh"
+
+namespace tca {
+namespace model {
+
+/** Elasticity of one parameter. */
+struct Elasticity
+{
+    std::string parameter;
+    /**
+     * d log(speedup) / d log(parameter): +1 means a 1% parameter
+     * increase raises speedup ~1%; 0 means insensitive.
+     */
+    double value = 0.0;
+};
+
+/**
+ * Elasticities of the mode's speedup with respect to every
+ * continuous model input (a, v, IPC, A, s_ROB, w_issue, t_commit),
+ * sorted by descending magnitude.
+ *
+ * @param params operating point (interior: a in (0,1), etc.)
+ * @param mode integration mode under study
+ * @param rel_step relative perturbation for the finite difference
+ */
+std::vector<Elasticity>
+speedupElasticities(const TcaParams &params, TcaMode mode,
+                    double rel_step = 0.01);
+
+/** The single most influential parameter at this operating point. */
+Elasticity dominantParameter(const TcaParams &params, TcaMode mode);
+
+} // namespace model
+} // namespace tca
+
+#endif // TCASIM_MODEL_SENSITIVITY_HH

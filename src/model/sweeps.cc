@@ -1,0 +1,237 @@
+#include "model/sweeps.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace model {
+
+double
+SweepPoint::forMode(TcaMode mode) const
+{
+    for (size_t i = 0; i < allTcaModes.size(); ++i) {
+        if (allTcaModes[i] == mode)
+            return speedup[i];
+    }
+    panic("invalid TcaMode %d", static_cast<int>(mode));
+}
+
+namespace {
+
+/** Log-spaced samples in [lo, hi], inclusive of both endpoints. */
+std::vector<double>
+logSpace(double lo, double hi, size_t count)
+{
+    tca_assert(lo > 0.0 && hi >= lo && count >= 2);
+    std::vector<double> out;
+    out.reserve(count);
+    double log_lo = std::log10(lo);
+    double log_hi = std::log10(hi);
+    for (size_t i = 0; i < count; ++i) {
+        double frac = static_cast<double>(i) /
+                      static_cast<double>(count - 1);
+        out.push_back(std::pow(10.0, log_lo + frac * (log_hi - log_lo)));
+    }
+    return out;
+}
+
+SweepPoint
+evaluate(const TcaParams &params, double x)
+{
+    IntervalModel model(params);
+    SweepPoint point;
+    point.x = x;
+    point.speedup = model.allSpeedups();
+    return point;
+}
+
+} // anonymous namespace
+
+std::vector<SweepPoint>
+granularitySweep(const TcaParams &base, double min_granularity,
+                 double max_granularity, int points_per_decade)
+{
+    tca_assert(min_granularity >= 1.0);
+    tca_assert(max_granularity >= min_granularity);
+    tca_assert(points_per_decade >= 1);
+
+    double decades = std::log10(max_granularity / min_granularity);
+    size_t count = std::max<size_t>(
+        2, static_cast<size_t>(decades * points_per_decade) + 1);
+    std::vector<SweepPoint> points;
+    points.reserve(count);
+    for (double g : logSpace(min_granularity, max_granularity, count))
+        points.push_back(evaluate(base.withGranularity(g), g));
+    return points;
+}
+
+std::vector<SweepPoint>
+acceleratableSweep(const TcaParams &base, double insts_per_invocation,
+                   double a_min, double a_max, int num_points)
+{
+    tca_assert(insts_per_invocation > 0.0);
+    tca_assert(a_min > 0.0 && a_max <= 1.0 && a_min <= a_max);
+    tca_assert(num_points >= 2);
+
+    std::vector<SweepPoint> points;
+    points.reserve(static_cast<size_t>(num_points));
+    for (int i = 0; i < num_points; ++i) {
+        double frac = static_cast<double>(i) /
+                      static_cast<double>(num_points - 1);
+        double a = a_min + frac * (a_max - a_min);
+        TcaParams params = base.withAcceleratable(a)
+                               .withGranularity(insts_per_invocation);
+        points.push_back(evaluate(params, a));
+    }
+    return points;
+}
+
+double
+HeatmapGrid::at(TcaMode mode, size_t row, size_t col) const
+{
+    const auto &grid = speedup[static_cast<size_t>(mode)];
+    tca_assert(row < grid.size() && col < grid[row].size());
+    return grid[row][col];
+}
+
+size_t
+HeatmapGrid::slowdownCells(TcaMode mode) const
+{
+    size_t count = 0;
+    for (const auto &row : speedup[static_cast<size_t>(mode)])
+        for (double s : row)
+            if (s < 1.0)
+                ++count;
+    return count;
+}
+
+std::string
+HeatmapGrid::render(TcaMode mode) const
+{
+    std::ostringstream os;
+    const auto &grid = speedup[static_cast<size_t>(mode)];
+    // Highest acceleratable fraction on top, like the paper's plot.
+    for (size_t r = grid.size(); r-- > 0;) {
+        for (double s : grid[r]) {
+            char c;
+            if (s >= 2.0)
+                c = '#';
+            else if (s > 1.02)
+                c = '+';
+            else if (s >= 0.98)
+                c = '.';
+            else if (s > 0.5)
+                c = '-';
+            else
+                c = '=';
+            os << c;
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+size_t
+HeatmapGrid::nearestColumn(double v) const
+{
+    tca_assert(!vValues.empty());
+    tca_assert(v > 0.0);
+    size_t best = 0;
+    double best_dist = 1e300;
+    for (size_t c = 0; c < vValues.size(); ++c) {
+        double dist = std::fabs(std::log10(vValues[c]) -
+                                std::log10(v));
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = c;
+        }
+    }
+    return best;
+}
+
+std::string
+HeatmapGrid::renderWithCurve(TcaMode mode,
+                             double insts_per_invocation) const
+{
+    tca_assert(insts_per_invocation > 0.0);
+    std::string art = render(mode);
+    size_t cols = vValues.size() + 1; // + newline
+    for (size_t r = 0; r < aValues.size(); ++r) {
+        double v = aValues[r] / insts_per_invocation;
+        if (v < vValues.front() || v > vValues.back())
+            continue; // curve leaves the plotted range
+        size_t col = nearestColumn(v);
+        // Row r is printed (aValues.size()-1-r) lines from the top.
+        size_t line = aValues.size() - 1 - r;
+        art[line * cols + col] = '*';
+    }
+    return art;
+}
+
+HeatmapGrid
+heatmapSweep(const TcaParams &base, size_t a_steps, double v_min,
+             double v_max, size_t v_steps)
+{
+    tca_assert(a_steps >= 2 && v_steps >= 2);
+    HeatmapGrid grid;
+    grid.vValues = logSpace(v_min, v_max, v_steps);
+    grid.aValues.reserve(a_steps);
+    for (size_t i = 0; i < a_steps; ++i) {
+        double frac = static_cast<double>(i) /
+                      static_cast<double>(a_steps - 1);
+        grid.aValues.push_back(0.01 + frac * (0.99 - 0.01));
+    }
+
+    for (auto &mode_grid : grid.speedup)
+        mode_grid.assign(a_steps, std::vector<double>(v_steps, 0.0));
+
+    for (size_t r = 0; r < a_steps; ++r) {
+        for (size_t c = 0; c < v_steps; ++c) {
+            TcaParams params = base
+                .withAcceleratable(grid.aValues[r])
+                .withInvocationFrequency(grid.vValues[c]);
+            IntervalModel model(params);
+            for (TcaMode mode : allTcaModes) {
+                grid.speedup[static_cast<size_t>(mode)][r][c] =
+                    model.speedup(mode);
+            }
+        }
+    }
+    return grid;
+}
+
+std::vector<std::pair<double, double>>
+fixedFunctionCurve(double insts_per_invocation,
+                   const std::vector<double> &a_values)
+{
+    tca_assert(insts_per_invocation > 0.0);
+    std::vector<std::pair<double, double>> curve;
+    curve.reserve(a_values.size());
+    for (double a : a_values)
+        curve.emplace_back(a, a / insts_per_invocation);
+    return curve;
+}
+
+std::vector<GranularityMarker>
+fig2Markers()
+{
+    // Approximate invocation granularities (dynamic instructions
+    // replaced per invocation) for the accelerators annotated on the
+    // paper's Fig. 2, ordered coarse to fine.
+    return {
+        {"H.264 encode", 1e9},
+        {"Google TPU", 1e7},
+        {"GreenDroid", 3e2},
+        {"STTNI speech", 1e3},
+        {"regex (PHP)", 2e2},
+        {"hash map (PHP)", 1e2},
+        {"string fn (PHP)", 8e1},
+        {"heap mgmt (malloc/free)", 5e1},
+    };
+}
+
+} // namespace model
+} // namespace tca

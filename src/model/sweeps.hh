@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Parameter sweeps over the analytical model that generate the paper's
+ * model-only figures: the granularity study (Fig. 2), the
+ * speedup/slowdown heatmap (Fig. 7), and the acceleratable-fraction
+ * concurrency study (Fig. 8).
+ */
+
+#ifndef TCASIM_MODEL_SWEEPS_HH
+#define TCASIM_MODEL_SWEEPS_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "model/interval_model.hh"
+#include "model/params.hh"
+#include "model/tca_mode.hh"
+
+namespace tca {
+namespace model {
+
+/** One sweep sample: the swept value plus per-mode speedups. */
+struct SweepPoint
+{
+    double x; ///< swept parameter value (meaning depends on sweep)
+    std::array<double, 4> speedup; ///< in allTcaModes order
+
+    double forMode(TcaMode mode) const;
+};
+
+/**
+ * Fig. 2: sweep invocation granularity g = a/v on a log axis while
+ * holding the acceleratable fraction fixed. x is instructions per
+ * invocation.
+ *
+ * @param base parameters whose a, IPC, A, core fields are held fixed
+ * @param min_granularity smallest instructions-per-invocation (>=1)
+ * @param max_granularity largest instructions-per-invocation
+ * @param points_per_decade sample density on the log axis
+ */
+std::vector<SweepPoint>
+granularitySweep(const TcaParams &base, double min_granularity,
+                 double max_granularity, int points_per_decade = 4);
+
+/**
+ * Fig. 8: sweep the acceleratable fraction a in [a_min, a_max] while
+ * holding the invocation *granularity* (instructions per invocation)
+ * fixed — the paper's "TCA of 100 instructions" means each invocation
+ * replaces a fixed number of instructions, so v = a/g tracks a.
+ * x is the acceleratable fraction.
+ */
+std::vector<SweepPoint>
+acceleratableSweep(const TcaParams &base, double insts_per_invocation,
+                   double a_min = 0.01, double a_max = 0.99,
+                   int num_points = 99);
+
+/**
+ * Fig. 7: a 2-D heatmap of per-mode speedup over (acceleratable
+ * fraction, invocation frequency). Rows index a (linear), columns
+ * index v (logarithmic).
+ */
+struct HeatmapGrid
+{
+    std::vector<double> aValues; ///< row coordinates (fraction)
+    std::vector<double> vValues; ///< column coordinates (log spaced)
+    /** speedup[mode][row][col] in allTcaModes order. */
+    std::array<std::vector<std::vector<double>>, 4> speedup;
+
+    /** Speedup at (row, col) for a mode. */
+    double at(TcaMode mode, size_t row, size_t col) const;
+
+    /** Count of grid cells predicting slowdown for a mode. */
+    size_t slowdownCells(TcaMode mode) const;
+
+    /**
+     * Render one mode as ASCII art, one character per cell:
+     * '#' strong speedup (>=2x), '+' speedup, '.' near 1x,
+     * '-' slowdown, '=' strong slowdown (<=0.5x).
+     */
+    std::string render(TcaMode mode) const;
+
+    /**
+     * Render with a fixed-function accelerator's operating curve
+     * overlaid as '*' (the paper draws the heap-manager and
+     * GreenDroid curves on Fig. 7): cells nearest to v = a/g along
+     * each row are marked.
+     *
+     * @param insts_per_invocation the accelerator's granularity g
+     */
+    std::string renderWithCurve(TcaMode mode,
+                                double insts_per_invocation) const;
+
+    /** Column index whose v is nearest (in log space) to `v`. */
+    size_t nearestColumn(double v) const;
+};
+
+/**
+ * Build the Fig. 7 heatmap.
+ *
+ * @param base core/accelerator parameters (a and v fields ignored)
+ * @param a_steps number of rows spanning a in [0.01, 0.99]
+ * @param v_min,v_max invocation-frequency bounds (log axis)
+ * @param v_steps number of columns
+ */
+HeatmapGrid
+heatmapSweep(const TcaParams &base, size_t a_steps, double v_min,
+             double v_max, size_t v_steps);
+
+/**
+ * Operating curve of a fixed-function accelerator on the heatmap
+ * (Section VI): an accelerator that replaces a function of
+ * `insts_per_invocation` instructions must be invoked at v = a/g to
+ * reach coverage a. Returns (a, v) pairs for overlaying on the grid.
+ */
+std::vector<std::pair<double, double>>
+fixedFunctionCurve(double insts_per_invocation,
+                   const std::vector<double> &a_values);
+
+/**
+ * Reference markers for Fig. 2: published accelerators and their
+ * approximate invocation granularities (instructions per invocation).
+ */
+struct GranularityMarker
+{
+    std::string name;
+    double instsPerInvocation;
+};
+
+/** The eight reference points annotated on the paper's Fig. 2. */
+std::vector<GranularityMarker> fig2Markers();
+
+} // namespace model
+} // namespace tca
+
+#endif // TCASIM_MODEL_SWEEPS_HH

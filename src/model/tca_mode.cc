@@ -1,0 +1,59 @@
+#include "model/tca_mode.hh"
+
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace tca {
+namespace model {
+
+std::string
+tcaModeName(TcaMode mode)
+{
+    switch (mode) {
+      case TcaMode::NL_NT: return "NL_NT";
+      case TcaMode::L_NT:  return "L_NT";
+      case TcaMode::NL_T:  return "NL_T";
+      case TcaMode::L_T:   return "L_T";
+    }
+    panic("invalid TcaMode %d", static_cast<int>(mode));
+}
+
+TcaMode
+parseTcaMode(const std::string &name)
+{
+    std::string lowered = toLower(trim(name));
+    if (lowered == "nl_nt")
+        return TcaMode::NL_NT;
+    if (lowered == "l_nt")
+        return TcaMode::L_NT;
+    if (lowered == "nl_t")
+        return TcaMode::NL_T;
+    if (lowered == "l_t")
+        return TcaMode::L_T;
+    fatal("unknown TCA mode '%s' (expected one of NL_NT, L_NT, NL_T, L_T)",
+          name.c_str());
+}
+
+std::string
+tcaModeHardware(TcaMode mode)
+{
+    switch (mode) {
+      case TcaMode::NL_NT:
+        return "no rollback, no dependency checks; ROB drain before and "
+               "dispatch barrier after the TCA";
+      case TcaMode::L_NT:
+        return "misspeculation rollback required; dispatch barrier after "
+               "the TCA avoids dependency-resolution hardware";
+      case TcaMode::NL_T:
+        return "no rollback; register/memory dependency checks (LSQ and "
+               "rename integration) for trailing instructions";
+      case TcaMode::L_T:
+        return "full integration: rollback on misspeculation plus "
+               "register/memory dependency resolution with both leading "
+               "and trailing instructions";
+    }
+    panic("invalid TcaMode %d", static_cast<int>(mode));
+}
+
+} // namespace model
+} // namespace tca

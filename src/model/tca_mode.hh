@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The four TCA integration modes from Section III of the paper. A mode
+ * states whether the accelerator may overlap execution with leading (L)
+ * instructions (i.e., execute speculatively) and/or trailing (T)
+ * instructions (i.e., no dispatch barrier after the TCA).
+ */
+
+#ifndef TCASIM_MODEL_TCA_MODE_HH
+#define TCASIM_MODEL_TCA_MODE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace tca {
+namespace model {
+
+/**
+ * TCA integration mode. Naming follows the paper: the first token says
+ * whether overlap with Leading instructions is allowed (L) or not (NL);
+ * the second says the same for Trailing instructions (T / NT).
+ */
+enum class TcaMode : uint8_t {
+    NL_NT, ///< no speculation, dispatch barrier (simplest hardware)
+    L_NT,  ///< speculative execution, dispatch barrier
+    NL_T,  ///< no speculation, trailing instructions flow freely
+    L_T,   ///< full OoO integration (most complex hardware)
+};
+
+/** All four modes in the paper's canonical presentation order. */
+inline constexpr std::array<TcaMode, 4> allTcaModes = {
+    TcaMode::L_T, TcaMode::NL_T, TcaMode::L_NT, TcaMode::NL_NT,
+};
+
+/** True if the mode lets the TCA execute before leading insts commit. */
+constexpr bool
+allowsLeading(TcaMode mode)
+{
+    return mode == TcaMode::L_T || mode == TcaMode::L_NT;
+}
+
+/** True if trailing instructions may dispatch while the TCA executes. */
+constexpr bool
+allowsTrailing(TcaMode mode)
+{
+    return mode == TcaMode::L_T || mode == TcaMode::NL_T;
+}
+
+/** Paper-style mode name, e.g. "NL_NT". */
+std::string tcaModeName(TcaMode mode);
+
+/** Parse a mode name (case-insensitive); throws via fatal() on error. */
+TcaMode parseTcaMode(const std::string &name);
+
+/**
+ * One-line description of the hardware implied by the mode: rollback
+ * support for L modes, dependency-resolution hardware for T modes.
+ */
+std::string tcaModeHardware(TcaMode mode);
+
+} // namespace model
+} // namespace tca
+
+#endif // TCASIM_MODEL_TCA_MODE_HH

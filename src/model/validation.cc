@@ -1,0 +1,37 @@
+#include "model/validation.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace model {
+
+double
+percentError(double estimated, double measured)
+{
+    tca_assert(measured != 0.0);
+    return 100.0 * (estimated - measured) / measured;
+}
+
+ErrorSummary
+summarizeErrors(const std::vector<double> &estimated,
+                const std::vector<double> &measured)
+{
+    tca_assert(estimated.size() == measured.size());
+    ErrorSummary summary{0.0, 0.0, 0.0, estimated.size()};
+    if (estimated.empty())
+        return summary;
+    for (size_t i = 0; i < estimated.size(); ++i) {
+        double err = percentError(estimated[i], measured[i]);
+        summary.meanAbs += std::fabs(err);
+        summary.meanSigned += err;
+        summary.maxAbs = std::max(summary.maxAbs, std::fabs(err));
+    }
+    summary.meanAbs /= static_cast<double>(estimated.size());
+    summary.meanSigned /= static_cast<double>(estimated.size());
+    return summary;
+}
+
+} // namespace model
+} // namespace tca

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Error metrics used when validating the analytical model against the
+ * cycle-level simulator (Section V): signed percent error per point and
+ * aggregate absolute-error statistics per sweep.
+ */
+
+#ifndef TCASIM_MODEL_VALIDATION_HH
+#define TCASIM_MODEL_VALIDATION_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace tca {
+namespace model {
+
+/**
+ * Signed percent error of an estimate against a measurement:
+ * 100 * (estimated - measured) / measured. Positive means the model is
+ * optimistic.
+ */
+double percentError(double estimated, double measured);
+
+/** Aggregate error statistics over a validation sweep. */
+struct ErrorSummary
+{
+    double meanAbs;  ///< mean absolute percent error
+    double maxAbs;   ///< worst-case absolute percent error
+    double meanSigned; ///< bias: mean signed percent error
+    size_t count;
+};
+
+/** Summarize pointwise (estimated, measured) pairs. */
+ErrorSummary
+summarizeErrors(const std::vector<double> &estimated,
+                const std::vector<double> &measured);
+
+} // namespace model
+} // namespace tca
+
+#endif // TCASIM_MODEL_VALIDATION_HH

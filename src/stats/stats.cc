@@ -1,0 +1,128 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tca {
+namespace stats {
+
+Distribution::Distribution(uint64_t bucket_width, size_t num_buckets)
+    : width(bucket_width)
+{
+    if (width > 0 && num_buckets > 0)
+        histogram.assign(num_buckets + 1, 0); // +1 overflow bucket
+}
+
+void
+Distribution::sample(double value)
+{
+    if (samples == 0) {
+        minSeen = maxSeen = value;
+    } else {
+        minSeen = std::min(minSeen, value);
+        maxSeen = std::max(maxSeen, value);
+    }
+    ++samples;
+    sum += value;
+    sumSquares += value * value;
+    if (!histogram.empty()) {
+        size_t idx = value < 0
+            ? 0 : static_cast<size_t>(value / static_cast<double>(width));
+        if (idx >= histogram.size())
+            idx = histogram.size() - 1;
+        ++histogram[idx];
+    }
+}
+
+double
+Distribution::mean() const
+{
+    return samples ? sum / static_cast<double>(samples) : 0.0;
+}
+
+double
+Distribution::variance() const
+{
+    if (samples == 0)
+        return 0.0;
+    double m = mean();
+    double var = sumSquares / static_cast<double>(samples) - m * m;
+    return var > 0.0 ? var : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Distribution::reset()
+{
+    samples = 0;
+    sum = sumSquares = minSeen = maxSeen = 0.0;
+    std::fill(histogram.begin(), histogram.end(), 0);
+}
+
+void
+Group::addCounter(const std::string &stat_name, const Counter *counter,
+                  const std::string &desc)
+{
+    counters.push_back({stat_name, counter, desc});
+}
+
+void
+Group::addDistribution(const std::string &stat_name,
+                       const Distribution *dist, const std::string &desc)
+{
+    distributions.push_back({stat_name, dist, desc});
+}
+
+void
+Group::addFormula(const std::string &stat_name, const Formula *formula,
+                  const std::string &desc)
+{
+    formulas.push_back({stat_name, formula, desc});
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    char buf[256];
+    for (const auto &entry : counters) {
+        std::snprintf(buf, sizeof(buf), "%s.%s %llu",
+                      name.c_str(), entry.name.c_str(),
+                      static_cast<unsigned long long>(entry.stat->value()));
+        os << buf;
+        if (!entry.desc.empty())
+            os << "  # " << entry.desc;
+        os << '\n';
+    }
+    for (const auto &entry : formulas) {
+        std::snprintf(buf, sizeof(buf), "%s.%s %.6f",
+                      name.c_str(), entry.name.c_str(),
+                      entry.stat->value());
+        os << buf;
+        if (!entry.desc.empty())
+            os << "  # " << entry.desc;
+        os << '\n';
+    }
+    for (const auto &entry : distributions) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s.%s samples=%llu mean=%.4f stdev=%.4f "
+                      "min=%.2f max=%.2f",
+                      name.c_str(), entry.name.c_str(),
+                      static_cast<unsigned long long>(
+                          entry.stat->numSamples()),
+                      entry.stat->mean(), entry.stat->stddev(),
+                      entry.stat->minValue(), entry.stat->maxValue());
+        os << buf;
+        if (!entry.desc.empty())
+            os << "  # " << entry.desc;
+        os << '\n';
+    }
+}
+
+} // namespace stats
+} // namespace tca

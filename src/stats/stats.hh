@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Lightweight statistics package in the spirit of gem5's stats framework:
+ * named scalars, distributions, and formulas grouped per component, with
+ * a single dump() that renders everything for inspection.
+ */
+
+#ifndef TCASIM_STATS_STATS_HH
+#define TCASIM_STATS_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tca {
+namespace stats {
+
+/**
+ * A named monotonically-growing counter. The workhorse stat: committed
+ * uops, cache hits, stall cycles, and so on.
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Increment by delta (default 1). */
+    void inc(uint64_t delta = 1) { count += delta; }
+
+    /** Current value. */
+    uint64_t value() const { return count; }
+
+    /** Reset to zero (between simulation regions). */
+    void reset() { count = 0; }
+
+  private:
+    uint64_t count = 0;
+};
+
+/**
+ * Sampled distribution tracking min/max/mean/variance plus a bucketed
+ * histogram. Used for latency distributions (accelerator execution,
+ * memory access) where the mean alone hides tail behaviour.
+ */
+class Distribution
+{
+  public:
+    /**
+     * @param bucket_width width of each histogram bucket (0 disables
+     *                     the histogram and keeps only the moments)
+     * @param num_buckets number of buckets before the overflow bucket
+     */
+    explicit Distribution(uint64_t bucket_width = 0,
+                          size_t num_buckets = 0);
+
+    /** Record one sample. */
+    void sample(double value);
+
+    uint64_t numSamples() const { return samples; }
+    double mean() const;
+    /** Population variance of the recorded samples. */
+    double variance() const;
+    double stddev() const;
+    double minValue() const { return samples ? minSeen : 0.0; }
+    double maxValue() const { return samples ? maxSeen : 0.0; }
+
+    /** Histogram bucket counts; last entry is the overflow bucket. */
+    const std::vector<uint64_t> &buckets() const { return histogram; }
+    uint64_t bucketWidth() const { return width; }
+
+    /** Reset all recorded state. */
+    void reset();
+
+  private:
+    uint64_t width;
+    std::vector<uint64_t> histogram;
+    uint64_t samples = 0;
+    double sum = 0.0;
+    double sumSquares = 0.0;
+    double minSeen = 0.0;
+    double maxSeen = 0.0;
+};
+
+/**
+ * A derived statistic computed on demand from other stats, e.g.
+ * IPC = committed uops / cycles.
+ */
+class Formula
+{
+  public:
+    Formula() = default;
+
+    /** Define the computation. */
+    explicit Formula(std::function<double()> fn) : compute(std::move(fn)) {}
+
+    /** Evaluate the formula; 0 if undefined. */
+    double value() const { return compute ? compute() : 0.0; }
+
+  private:
+    std::function<double()> compute;
+};
+
+/**
+ * A registry of named stats belonging to one component (a cache, the
+ * core, an accelerator). Groups nest by name prefix at dump time.
+ */
+class Group
+{
+  public:
+    /** @param group_name prefix used when dumping, e.g. "core". */
+    explicit Group(std::string group_name) : name(std::move(group_name)) {}
+
+    /** Register a counter under this group. Pointers remain owned by
+     *  the caller and must outlive the group. */
+    void addCounter(const std::string &stat_name, const Counter *counter,
+                    const std::string &desc = "");
+    void addDistribution(const std::string &stat_name,
+                         const Distribution *dist,
+                         const std::string &desc = "");
+    void addFormula(const std::string &stat_name, const Formula *formula,
+                    const std::string &desc = "");
+
+    /** Render all registered stats, one per line: name value # desc. */
+    void dump(std::ostream &os) const;
+
+    const std::string &groupName() const { return name; }
+
+  private:
+    std::string name;
+
+    struct CounterEntry { std::string name; const Counter *stat;
+                          std::string desc; };
+    struct DistEntry { std::string name; const Distribution *stat;
+                       std::string desc; };
+    struct FormulaEntry { std::string name; const Formula *stat;
+                          std::string desc; };
+
+    std::vector<CounterEntry> counters;
+    std::vector<DistEntry> distributions;
+    std::vector<FormulaEntry> formulas;
+};
+
+} // namespace stats
+} // namespace tca
+
+#endif // TCASIM_STATS_STATS_HH

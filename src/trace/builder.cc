@@ -1,0 +1,147 @@
+#include "trace/builder.hh"
+
+namespace tca {
+namespace trace {
+
+MicroOp &
+TraceBuilder::emit(OpClass cls)
+{
+    MicroOp op;
+    op.cls = cls;
+    op.acceleratable = inAcceleratable;
+    ops.push_back(op);
+    return ops.back();
+}
+
+TraceBuilder &
+TraceBuilder::alu(RegId dst, RegId src1, RegId src2)
+{
+    MicroOp &op = emit(OpClass::IntAlu);
+    op.dst = dst;
+    op.src = {src1, src2, noReg};
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::mul(RegId dst, RegId src1, RegId src2)
+{
+    MicroOp &op = emit(OpClass::IntMul);
+    op.dst = dst;
+    op.src = {src1, src2, noReg};
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::fadd(RegId dst, RegId src1, RegId src2)
+{
+    MicroOp &op = emit(OpClass::FpAdd);
+    op.dst = dst;
+    op.src = {src1, src2, noReg};
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::fmul(RegId dst, RegId src1, RegId src2)
+{
+    MicroOp &op = emit(OpClass::FpMul);
+    op.dst = dst;
+    op.src = {src1, src2, noReg};
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::fmacc(RegId dst, RegId src1, RegId src2)
+{
+    MicroOp &op = emit(OpClass::FpMacc);
+    op.dst = dst;
+    // Accumulation reads the destination as well.
+    op.src = {src1, src2, dst};
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::load(RegId dst, uint64_t addr, uint8_t size, RegId addr_src)
+{
+    MicroOp &op = emit(OpClass::Load);
+    op.dst = dst;
+    op.src = {addr_src, noReg, noReg};
+    op.addr = addr;
+    op.size = size;
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::store(RegId src, uint64_t addr, uint8_t size, RegId addr_src)
+{
+    MicroOp &op = emit(OpClass::Store);
+    op.src = {src, addr_src, noReg};
+    op.addr = addr;
+    op.size = size;
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::branch(bool mispredicted, RegId src, bool low_confidence)
+{
+    MicroOp &op = emit(OpClass::Branch);
+    op.src = {src, noReg, noReg};
+    op.mispredicted = mispredicted;
+    op.lowConfidence = low_confidence;
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::branchAt(uint64_t pc, bool taken, RegId src)
+{
+    MicroOp &op = emit(OpClass::Branch);
+    op.src = {src, noReg, noReg};
+    op.addr = pc;
+    op.taken = taken;
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::accel(uint32_t invocation_id, RegId dst, RegId src,
+                    uint8_t port)
+{
+    MicroOp &op = emit(OpClass::Accel);
+    op.dst = dst;
+    op.src = {src, noReg, noReg};
+    op.accelInvocation = invocation_id;
+    op.accelPort = port;
+    op.acceleratable = true;
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::nop()
+{
+    emit(OpClass::Nop);
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::beginAcceleratable()
+{
+    inAcceleratable = true;
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::endAcceleratable()
+{
+    inAcceleratable = false;
+    return *this;
+}
+
+std::vector<MicroOp>
+TraceBuilder::take()
+{
+    std::vector<MicroOp> out;
+    out.swap(ops);
+    inAcceleratable = false;
+    return out;
+}
+
+} // namespace trace
+} // namespace tca

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fluent helper for constructing uop sequences. Workload generators use
+ * it to emit idiomatic instruction patterns (dependent chains, loads
+ * feeding ALU ops, call sequences) without hand-filling every MicroOp
+ * field.
+ */
+
+#ifndef TCASIM_TRACE_BUILDER_HH
+#define TCASIM_TRACE_BUILDER_HH
+
+#include <vector>
+
+#include "trace/micro_op.hh"
+
+namespace tca {
+namespace trace {
+
+/**
+ * Accumulates MicroOps. Register ids are caller-managed; the builder
+ * only packages fields. All emitters return the builder for chaining.
+ */
+class TraceBuilder
+{
+  public:
+    /** Emit an integer ALU op dst <- op(src1, src2). */
+    TraceBuilder &alu(RegId dst, RegId src1 = noReg, RegId src2 = noReg);
+
+    /** Emit an integer multiply. */
+    TraceBuilder &mul(RegId dst, RegId src1, RegId src2);
+
+    /** Emit a floating-point add. */
+    TraceBuilder &fadd(RegId dst, RegId src1, RegId src2);
+
+    /** Emit a floating-point multiply. */
+    TraceBuilder &fmul(RegId dst, RegId src1, RegId src2);
+
+    /** Emit a fused multiply-accumulate dst += src1 * src2. */
+    TraceBuilder &fmacc(RegId dst, RegId src1, RegId src2);
+
+    /** Emit a load of `size` bytes at `addr` into dst. */
+    TraceBuilder &load(RegId dst, uint64_t addr, uint8_t size = 8,
+                       RegId addr_src = noReg);
+
+    /** Emit a store of `size` bytes of src to `addr`. */
+    TraceBuilder &store(RegId src, uint64_t addr, uint8_t size = 8,
+                        RegId addr_src = noReg);
+
+    /** Emit a branch; mispredicted branches redirect the front end,
+     *  low-confidence ones gate partial-speculation TCAs. */
+    TraceBuilder &branch(bool mispredicted = false, RegId src = noReg,
+                         bool low_confidence = false);
+
+    /**
+     * Emit a branch carrying its PC and direction, for cores running
+     * a dynamic predictor (which then decides mispredictions itself).
+     */
+    TraceBuilder &branchAt(uint64_t pc, bool taken, RegId src = noReg);
+
+    /** Emit an accelerator invocation uop (on the given TCA port). */
+    TraceBuilder &accel(uint32_t invocation_id, RegId dst = noReg,
+                        RegId src = noReg, uint8_t port = 0);
+
+    /** Emit a nop. */
+    TraceBuilder &nop();
+
+    /** Mark the uops emitted since mark() as acceleratable. */
+    TraceBuilder &beginAcceleratable();
+    TraceBuilder &endAcceleratable();
+
+    /** Number of uops emitted so far. */
+    size_t size() const { return ops.size(); }
+
+    /** Take the accumulated uops (builder resets). */
+    std::vector<MicroOp> take();
+
+    /** Read-only view of the accumulated uops. */
+    const std::vector<MicroOp> &peek() const { return ops; }
+
+  private:
+    MicroOp &emit(OpClass cls);
+
+    std::vector<MicroOp> ops;
+    bool inAcceleratable = false;
+};
+
+} // namespace trace
+} // namespace tca
+
+#endif // TCASIM_TRACE_BUILDER_HH

@@ -1,0 +1,37 @@
+#include "trace/micro_op.hh"
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace trace {
+
+std::string
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::IntMul: return "IntMul";
+      case OpClass::FpAdd:  return "FpAdd";
+      case OpClass::FpMul:  return "FpMul";
+      case OpClass::FpMacc: return "FpMacc";
+      case OpClass::Load:   return "Load";
+      case OpClass::Store:  return "Store";
+      case OpClass::Branch: return "Branch";
+      case OpClass::Accel:  return "Accel";
+      case OpClass::Nop:    return "Nop";
+    }
+    panic("invalid OpClass %d", static_cast<int>(cls));
+}
+
+int
+MicroOp::numSrcs() const
+{
+    int count = 0;
+    for (RegId reg : src)
+        if (reg != noReg)
+            ++count;
+    return count;
+}
+
+} // namespace trace
+} // namespace tca

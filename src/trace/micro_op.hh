@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Micro-operation representation for the trace-driven core model.
+ *
+ * Workload generators emit streams of MicroOps; the OoO core consumes
+ * them. Register dependencies are expressed through architectural
+ * register ids and resolved by the core's renaming scoreboard at
+ * dispatch. Memory ops carry effective addresses computed functionally
+ * at generation time.
+ */
+
+#ifndef TCASIM_TRACE_MICRO_OP_HH
+#define TCASIM_TRACE_MICRO_OP_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tca {
+namespace trace {
+
+/** Operation classes understood by the core's functional-unit pool. */
+enum class OpClass : uint8_t {
+    IntAlu,   ///< single-cycle integer op
+    IntMul,   ///< pipelined integer multiply
+    FpAdd,    ///< floating-point add
+    FpMul,    ///< floating-point multiply
+    FpMacc,   ///< fused multiply-accumulate
+    Load,     ///< memory load (address in MicroOp::addr)
+    Store,    ///< memory store
+    Branch,   ///< conditional/unconditional branch
+    Accel,    ///< TCA invocation instruction
+    Nop,      ///< consumes a slot, no execution
+};
+
+/** Human-readable op-class name. */
+std::string opClassName(OpClass cls);
+
+/** Architectural register id. Register 0 is hardwired "no register". */
+using RegId = uint16_t;
+
+/** Sentinel meaning "no register operand". */
+inline constexpr RegId noReg = 0;
+
+/** Maximum source operands per uop. */
+inline constexpr size_t maxSrcRegs = 3;
+
+/**
+ * One micro-operation in a trace. Plain data: generators fill it in,
+ * the core copies it into its ROB entry.
+ */
+struct MicroOp
+{
+    OpClass cls = OpClass::Nop;
+
+    /** Destination architectural register (noReg if none). */
+    RegId dst = noReg;
+
+    /** Source architectural registers (noReg entries ignored). */
+    std::array<RegId, maxSrcRegs> src = {noReg, noReg, noReg};
+
+    /** Effective address for Load/Store; first line address for Accel
+     *  ops whose memory behaviour uses accelAddrs instead. */
+    uint64_t addr = 0;
+
+    /** Access size in bytes for Load/Store. */
+    uint8_t size = 8;
+
+    /** Branch behaviour: true if this branch is mispredicted and will
+     *  redirect the front end when it resolves. */
+    bool mispredicted = false;
+
+    /**
+     * Branch only: the predictor has low confidence in this branch.
+     * Used by the partial-speculation TCA policy (the paper's
+     * Section VIII proposal): a speculative TCA may be gated on
+     * outstanding low-confidence branches.
+     */
+    bool lowConfidence = false;
+
+    /**
+     * Branch only: the actual direction. Consulted (together with
+     * `addr` as the branch PC) when the core runs a dynamic branch
+     * predictor, which then decides `mispredicted` itself.
+     */
+    bool taken = false;
+
+    /**
+     * Accel only: id of the accelerator invocation this uop triggers.
+     * The core hands it to the bound Tca to obtain latency and memory
+     * requests.
+     */
+    uint32_t accelInvocation = 0;
+
+    /**
+     * Accel only: which of the core's accelerator ports this uop
+     * targets. Cores may integrate several TCAs, each with its own
+     * integration mode (Section VIII's standard-interface proposal).
+     */
+    uint8_t accelPort = 0;
+
+    /**
+     * True if this uop belongs to an acceleratable region of the
+     * baseline program. Used by the model calibrator to measure the
+     * acceleratable fraction `a` from a baseline run.
+     */
+    bool acceleratable = false;
+
+    bool isLoad() const { return cls == OpClass::Load; }
+    bool isStore() const { return cls == OpClass::Store; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isAccel() const { return cls == OpClass::Accel; }
+    bool isBranch() const { return cls == OpClass::Branch; }
+
+    /** Number of meaningful source registers. */
+    int numSrcs() const;
+};
+
+} // namespace trace
+} // namespace tca
+
+#endif // TCASIM_TRACE_MICRO_OP_HH

@@ -1,0 +1,153 @@
+#include "trace/serialize.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace trace {
+
+namespace {
+
+constexpr char traceMagic[4] = {'T', 'C', 'A', 'T'};
+
+/** Fixed-width on-disk record (little-endian fields, packed). */
+struct DiskRecord
+{
+    uint8_t cls;
+    uint8_t size;
+    uint8_t flags; ///< bit0 mispredicted, bit1 acceleratable,
+                   ///< bit2 lowConfidence
+    uint8_t accelPort = 0;
+    uint16_t dst;
+    uint16_t src[maxSrcRegs];
+    uint16_t pad2 = 0;
+    uint32_t accelInvocation;
+    uint64_t addr;
+};
+static_assert(sizeof(DiskRecord) == 32, "record layout drifted");
+
+DiskRecord
+pack(const MicroOp &op)
+{
+    DiskRecord rec{};
+    rec.cls = static_cast<uint8_t>(op.cls);
+    rec.size = op.size;
+    rec.flags = static_cast<uint8_t>((op.mispredicted ? 1 : 0) |
+                                     (op.acceleratable ? 2 : 0) |
+                                     (op.lowConfidence ? 4 : 0) |
+                                     (op.taken ? 8 : 0));
+    rec.dst = op.dst;
+    for (size_t i = 0; i < maxSrcRegs; ++i)
+        rec.src[i] = op.src[i];
+    rec.accelInvocation = op.accelInvocation;
+    rec.accelPort = op.accelPort;
+    rec.addr = op.addr;
+    return rec;
+}
+
+MicroOp
+unpack(const DiskRecord &rec)
+{
+    MicroOp op;
+    op.cls = static_cast<OpClass>(rec.cls);
+    op.size = rec.size;
+    op.mispredicted = rec.flags & 1;
+    op.acceleratable = rec.flags & 2;
+    op.lowConfidence = rec.flags & 4;
+    op.taken = rec.flags & 8;
+    op.dst = rec.dst;
+    for (size_t i = 0; i < maxSrcRegs; ++i)
+        op.src[i] = rec.src[i];
+    op.accelInvocation = rec.accelInvocation;
+    op.accelPort = rec.accelPort;
+    op.addr = rec.addr;
+    return op;
+}
+
+struct Header
+{
+    char magic[4];
+    uint32_t version;
+    uint64_t count;
+};
+static_assert(sizeof(Header) == 16, "header layout drifted");
+
+} // anonymous namespace
+
+uint64_t
+writeTrace(TraceSource &source, const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+
+    // Reserve the header; the count is patched in afterwards.
+    Header header{};
+    std::memcpy(header.magic, traceMagic, sizeof(traceMagic));
+    header.version = traceFormatVersion;
+    header.count = 0;
+    if (std::fwrite(&header, sizeof(header), 1, file) != 1)
+        fatal("short write on trace header of '%s'", path.c_str());
+
+    uint64_t count = 0;
+    MicroOp op;
+    while (source.next(op)) {
+        DiskRecord rec = pack(op);
+        if (std::fwrite(&rec, sizeof(rec), 1, file) != 1)
+            fatal("short write on trace record %llu of '%s'",
+                  static_cast<unsigned long long>(count),
+                  path.c_str());
+        ++count;
+    }
+
+    header.count = count;
+    if (std::fseek(file, 0, SEEK_SET) != 0 ||
+        std::fwrite(&header, sizeof(header), 1, file) != 1) {
+        fatal("cannot patch trace header of '%s'", path.c_str());
+    }
+    std::fclose(file);
+    return count;
+}
+
+FileTrace::FileTrace(const std::string &path)
+    : fileName(path)
+{
+    file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("cannot open trace file '%s'", path.c_str());
+    Header header{};
+    if (std::fread(&header, sizeof(header), 1, file) != 1)
+        fatal("trace file '%s' is truncated", path.c_str());
+    if (std::memcmp(header.magic, traceMagic, sizeof(traceMagic)) != 0)
+        fatal("'%s' is not a tcasim trace (bad magic)", path.c_str());
+    if (header.version != traceFormatVersion)
+        fatal("'%s' has trace format version %u, expected %u",
+              path.c_str(), header.version, traceFormatVersion);
+    total = header.count;
+}
+
+FileTrace::~FileTrace()
+{
+    if (file)
+        std::fclose(file);
+}
+
+bool
+FileTrace::next(MicroOp &op)
+{
+    if (readCount >= total)
+        return false;
+    DiskRecord rec{};
+    if (std::fread(&rec, sizeof(rec), 1, file) != 1)
+        fatal("trace file '%s' truncated at record %llu of %llu",
+              fileName.c_str(),
+              static_cast<unsigned long long>(readCount),
+              static_cast<unsigned long long>(total));
+    op = unpack(rec);
+    ++readCount;
+    return true;
+}
+
+} // namespace trace
+} // namespace tca

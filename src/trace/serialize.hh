@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Binary trace (de)serialization. Lets a workload's uop stream be
+ * generated once and replayed from disk — the usual workflow for
+ * trace-driven simulators when generation is expensive or the trace
+ * comes from another tool.
+ *
+ * Format: a 16-byte header (magic "TCAT", u32 version, u64 uop count)
+ * followed by fixed-width little-endian records, one per uop. The
+ * format is versioned; readers reject unknown versions.
+ */
+
+#ifndef TCASIM_TRACE_SERIALIZE_HH
+#define TCASIM_TRACE_SERIALIZE_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "trace/trace_source.hh"
+
+namespace tca {
+namespace trace {
+
+/** Current on-disk format version. */
+inline constexpr uint32_t traceFormatVersion = 1;
+
+/**
+ * Write a whole trace to a file.
+ *
+ * @param source the stream to drain
+ * @param path destination file
+ * @return number of uops written
+ */
+uint64_t writeTrace(TraceSource &source, const std::string &path);
+
+/**
+ * Streaming reader for a trace file. Validates the header on
+ * construction (fatal() on a bad magic/version/truncated file).
+ */
+class FileTrace : public TraceSource
+{
+  public:
+    explicit FileTrace(const std::string &path);
+    ~FileTrace() override;
+
+    FileTrace(const FileTrace &) = delete;
+    FileTrace &operator=(const FileTrace &) = delete;
+
+    bool next(MicroOp &op) override;
+    uint64_t expectedLength() const override { return total; }
+
+    /** Uops consumed so far. */
+    uint64_t consumed() const { return readCount; }
+
+  private:
+    std::FILE *file = nullptr;
+    uint64_t total = 0;
+    uint64_t readCount = 0;
+    std::string fileName;
+};
+
+} // namespace trace
+} // namespace tca
+
+#endif // TCASIM_TRACE_SERIALIZE_HH

@@ -1,0 +1,73 @@
+#include "trace/summary.hh"
+
+#include <cstdio>
+#include <sstream>
+#include <unordered_set>
+
+namespace tca {
+namespace trace {
+
+TraceSummary
+summarizeTrace(TraceSource &source)
+{
+    TraceSummary summary;
+    std::unordered_set<uint64_t> lines;
+    MicroOp op;
+    while (source.next(op)) {
+        ++summary.totalUops;
+        ++summary.byClass[static_cast<size_t>(op.cls)];
+        if (op.acceleratable || op.isAccel())
+            ++summary.acceleratableUops;
+        if (op.isAccel())
+            ++summary.accelInvocations;
+        if (op.isBranch()) {
+            summary.mispredictedBranches += op.mispredicted ? 1 : 0;
+            summary.lowConfidenceBranches += op.lowConfidence ? 1 : 0;
+        }
+        if (op.isMem())
+            lines.insert(op.addr >> 6);
+        summary.maxRegister =
+            std::max<uint64_t>(summary.maxRegister, op.dst);
+        for (RegId reg : op.src)
+            summary.maxRegister =
+                std::max<uint64_t>(summary.maxRegister, reg);
+    }
+    summary.distinctLines = lines.size();
+    return summary;
+}
+
+std::string
+TraceSummary::str() const
+{
+    std::ostringstream os;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "uops=%llu a=%.4f v=%.6f invocations=%llu\n",
+                  static_cast<unsigned long long>(totalUops),
+                  acceleratableFraction(), invocationFrequency(),
+                  static_cast<unsigned long long>(accelInvocations));
+    os << buf;
+    os << "mix:";
+    for (size_t c = 0; c < byClass.size(); ++c) {
+        if (!byClass[c])
+            continue;
+        std::snprintf(buf, sizeof(buf), " %s=%.1f%%",
+                      opClassName(static_cast<OpClass>(c)).c_str(),
+                      100.0 * fraction(static_cast<OpClass>(c)));
+        os << buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "\nbranches: mispredicted=%llu low_confidence=%llu"
+                  "\nmemory: %llu distinct 64B lines (%.1f KiB)\n",
+                  static_cast<unsigned long long>(
+                      mispredictedBranches),
+                  static_cast<unsigned long long>(
+                      lowConfidenceBranches),
+                  static_cast<unsigned long long>(distinctLines),
+                  static_cast<double>(distinctLines) * 64.0 / 1024.0);
+    os << buf;
+    return os.str();
+}
+
+} // namespace trace
+} // namespace tca

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Static trace analysis: summarize a uop stream (instruction mix,
+ * acceleratable fraction, invocation count, branch density, memory
+ * footprint) without simulating it. This is how the model's `a` and
+ * `v` inputs can be derived from a captured trace alone, and a handy
+ * sanity tool for new workload generators.
+ */
+
+#ifndef TCASIM_TRACE_SUMMARY_HH
+#define TCASIM_TRACE_SUMMARY_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "trace/trace_source.hh"
+
+namespace tca {
+namespace trace {
+
+/** Aggregate statistics of one trace. */
+struct TraceSummary
+{
+    uint64_t totalUops = 0;
+    std::array<uint64_t, 10> byClass{}; ///< indexed by OpClass
+    uint64_t acceleratableUops = 0;
+    uint64_t accelInvocations = 0;
+    uint64_t mispredictedBranches = 0;
+    uint64_t lowConfidenceBranches = 0;
+    uint64_t distinctLines = 0;   ///< 64B lines touched by mem ops
+    uint64_t maxRegister = 0;     ///< highest architectural reg used
+
+    uint64_t count(OpClass cls) const
+    {
+        return byClass[static_cast<size_t>(cls)];
+    }
+
+    /** Acceleratable fraction `a` of this trace. */
+    double acceleratableFraction() const
+    {
+        return totalUops ? static_cast<double>(acceleratableUops) /
+                           static_cast<double>(totalUops)
+                         : 0.0;
+    }
+
+    /** Invocation frequency `v` of this trace (per uop). */
+    double invocationFrequency() const
+    {
+        return totalUops ? static_cast<double>(accelInvocations) /
+                           static_cast<double>(totalUops)
+                         : 0.0;
+    }
+
+    /** Fraction of uops in a class. */
+    double fraction(OpClass cls) const
+    {
+        return totalUops ? static_cast<double>(count(cls)) /
+                           static_cast<double>(totalUops)
+                         : 0.0;
+    }
+
+    /** Multi-line human-readable rendering. */
+    std::string str() const;
+};
+
+/** Drain a source and summarize it. */
+TraceSummary summarizeTrace(TraceSource &source);
+
+} // namespace trace
+} // namespace tca
+
+#endif // TCASIM_TRACE_SUMMARY_HH

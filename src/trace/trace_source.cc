@@ -1,0 +1,31 @@
+#include "trace/trace_source.hh"
+
+namespace tca {
+namespace trace {
+
+VectorTrace::VectorTrace(std::vector<MicroOp> uops)
+    : ops(std::move(uops))
+{
+}
+
+bool
+VectorTrace::next(MicroOp &op)
+{
+    if (cursor >= ops.size())
+        return false;
+    op = ops[cursor++];
+    return true;
+}
+
+std::vector<MicroOp>
+collect(TraceSource &source, uint64_t max_ops)
+{
+    std::vector<MicroOp> out;
+    MicroOp op;
+    while (out.size() < max_ops && source.next(op))
+        out.push_back(op);
+    return out;
+}
+
+} // namespace trace
+} // namespace tca

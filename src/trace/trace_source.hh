@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Pull-based trace streaming. The core fetches uops one at a time so
+ * multi-million-uop workloads never need to be materialized; generators
+ * that want to precompute can use VectorTrace.
+ */
+
+#ifndef TCASIM_TRACE_TRACE_SOURCE_HH
+#define TCASIM_TRACE_TRACE_SOURCE_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "trace/micro_op.hh"
+
+namespace tca {
+namespace trace {
+
+/**
+ * Abstract stream of micro-ops. next() returns false at end of trace.
+ * Implementations must be deterministic: two instances constructed with
+ * the same configuration yield identical streams.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next uop.
+     *
+     * @param[out] op filled in when the return value is true
+     * @return false at end of trace
+     */
+    virtual bool next(MicroOp &op) = 0;
+
+    /** Expected total uop count if known, 0 otherwise (for progress). */
+    virtual uint64_t expectedLength() const { return 0; }
+};
+
+/** A trace fully materialized in memory. Handy for tests. */
+class VectorTrace : public TraceSource
+{
+  public:
+    VectorTrace() = default;
+    explicit VectorTrace(std::vector<MicroOp> uops);
+
+    bool next(MicroOp &op) override;
+    uint64_t expectedLength() const override { return ops.size(); }
+
+    /** Append a uop (builder-style use in tests). */
+    void push(const MicroOp &op) { ops.push_back(op); }
+
+    /** Reset the read cursor to the beginning. */
+    void rewind() { cursor = 0; }
+
+    const std::vector<MicroOp> &contents() const { return ops; }
+
+  private:
+    std::vector<MicroOp> ops;
+    size_t cursor = 0;
+};
+
+/**
+ * Adapts a generator function into a TraceSource. The function returns
+ * false at end of trace. Useful for lambda-based generators in tests.
+ */
+class CallbackTrace : public TraceSource
+{
+  public:
+    using Fn = std::function<bool(MicroOp &)>;
+
+    explicit CallbackTrace(Fn generator, uint64_t expected_len = 0)
+        : fn(std::move(generator)), expected(expected_len)
+    {}
+
+    bool next(MicroOp &op) override { return fn(op); }
+    uint64_t expectedLength() const override { return expected; }
+
+  private:
+    Fn fn;
+    uint64_t expected;
+};
+
+/** Drain a source into a vector (tests / small workloads only). */
+std::vector<MicroOp> collect(TraceSource &source,
+                             uint64_t max_ops = UINT64_MAX);
+
+} // namespace trace
+} // namespace tca
+
+#endif // TCASIM_TRACE_TRACE_SOURCE_HH

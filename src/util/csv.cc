@@ -1,0 +1,42 @@
+#include "util/csv.hh"
+
+#include <cstdio>
+
+namespace tca {
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+CsvWriter::num(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &fields)
+{
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out << ',';
+        out << escape(fields[i]);
+    }
+    out << '\n';
+}
+
+} // namespace tca

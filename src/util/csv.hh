@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Minimal CSV emission so bench output can be piped into plotting tools
+ * to regenerate the paper's figures.
+ */
+
+#ifndef TCASIM_UTIL_CSV_HH
+#define TCASIM_UTIL_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tca {
+
+/**
+ * Streaming CSV writer. Quotes fields that contain separators; numeric
+ * helpers format at full round-trip precision.
+ */
+class CsvWriter
+{
+  public:
+    /** Write to the given stream; the writer does not own it. */
+    explicit CsvWriter(std::ostream &os) : out(os) {}
+
+    /** Emit one row of fields, quoting where required. */
+    void row(const std::vector<std::string> &fields);
+
+    /** Escape a single field per RFC-4180 quoting rules. */
+    static std::string escape(const std::string &field);
+
+    /** Format a double with round-trip precision. */
+    static std::string num(double value);
+
+  private:
+    std::ostream &out;
+};
+
+} // namespace tca
+
+#endif // TCASIM_UTIL_CSV_HH

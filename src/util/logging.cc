@@ -1,0 +1,105 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace tca {
+
+namespace {
+
+/** Format a printf-style message into a std::string. */
+std::string
+vformat(const char *fmt, va_list args)
+{
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (len < 0)
+        return "<format error>";
+    std::vector<char> buf(static_cast<size_t>(len) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(len));
+}
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Error: return "error";
+      case LogLevel::Fatal: return "fatal";
+    }
+    return "?";
+}
+
+} // anonymous namespace
+
+Logger &
+Logger::global()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::log(LogLevel level, const std::string &msg)
+{
+    if (level >= LogLevel::Warn)
+        ++warnings;
+    if (level < threshold)
+        return;
+    std::fprintf(stderr, "%s: %s\n", levelName(level), msg.c_str());
+}
+
+void
+Logger::logf(LogLevel level, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    log(level, vformat(fmt, args));
+    va_end(args);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    Logger::global().log(LogLevel::Fatal, "panic: " + vformat(fmt, args));
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    Logger::global().log(LogLevel::Fatal, "fatal: " + vformat(fmt, args));
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    Logger::global().log(LogLevel::Warn, vformat(fmt, args));
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    Logger::global().log(LogLevel::Info, vformat(fmt, args));
+    va_end(args);
+}
+
+} // namespace tca

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the style of gem5's
+ * base/logging.hh: panic() for internal invariant violations, fatal() for
+ * user-caused unrecoverable errors, warn()/inform() for diagnostics.
+ */
+
+#ifndef TCASIM_UTIL_LOGGING_HH
+#define TCASIM_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+
+namespace tca {
+
+/** Severity levels recognized by the logger. */
+enum class LogLevel : uint8_t { Debug, Info, Warn, Error, Fatal };
+
+/**
+ * Process-wide logging configuration. Verbosity below the threshold is
+ * suppressed. Defaults to Info so tests and benches stay quiet about
+ * debug chatter.
+ */
+class Logger
+{
+  public:
+    /** Return the process-wide logger. */
+    static Logger &global();
+
+    /** Set the minimum severity that is actually emitted. */
+    void setThreshold(LogLevel level) { threshold = level; }
+
+    /** Current emission threshold. */
+    LogLevel getThreshold() const { return threshold; }
+
+    /**
+     * Emit a printf-formatted message at the given severity.
+     *
+     * @param level severity of this message
+     * @param fmt printf format string
+     */
+    void logf(LogLevel level, const char *fmt, ...)
+        __attribute__((format(printf, 3, 4)));
+
+    /** Emit a preformatted message at the given severity. */
+    void log(LogLevel level, const std::string &msg);
+
+    /** Number of messages emitted at Warn or above (for tests). */
+    uint64_t warnCount() const { return warnings; }
+
+  private:
+    LogLevel threshold = LogLevel::Info;
+    uint64_t warnings = 0;
+};
+
+/**
+ * Report an internal invariant violation and abort. Use for conditions
+ * that indicate a bug in the simulator itself, never for user error.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user-caused error (bad configuration, invalid
+ * arguments) and exit with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Emit a warning about questionable but survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert a simulator invariant; panics with the stringized condition on
+ * failure. Always active (not compiled out in release builds) because
+ * the simulator's correctness checks are cheap relative to simulation.
+ */
+#define tca_assert(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::tca::panic("assertion '%s' failed at %s:%d",                  \
+                         #cond, __FILE__, __LINE__);                        \
+        }                                                                   \
+    } while (0)
+
+} // namespace tca
+
+#endif // TCASIM_UTIL_LOGGING_HH

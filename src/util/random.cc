@@ -1,0 +1,77 @@
+#include "util/random.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace tca {
+
+Rng::Rng(uint64_t seed)
+    : state(seed ? seed : 0x9e3779b97f4a7c15ULL)
+{
+}
+
+uint64_t
+Rng::next()
+{
+    // xorshift64* (Vigna). Nonzero state is a constructor invariant.
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dULL;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    tca_assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0ULL - bound) % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+uint64_t
+Rng::nextRange(uint64_t lo, uint64_t hi)
+{
+    tca_assert(lo <= hi);
+    return lo + nextBelow(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high-quality bits into the mantissa.
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::vector<uint64_t>
+Rng::samplePositions(uint64_t n, uint64_t k)
+{
+    tca_assert(k <= n);
+    // Classic reservoir sampling over [0, n).
+    std::vector<uint64_t> reservoir;
+    reservoir.reserve(k);
+    for (uint64_t i = 0; i < n; ++i) {
+        if (reservoir.size() < k) {
+            reservoir.push_back(i);
+        } else {
+            uint64_t j = nextBelow(i + 1);
+            if (j < k)
+                reservoir[j] = i;
+        }
+    }
+    std::sort(reservoir.begin(), reservoir.end());
+    return reservoir;
+}
+
+} // namespace tca

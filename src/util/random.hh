@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * Every workload generator takes an explicit Rng seeded from its
+ * configuration so traces are reproducible run to run; std::mt19937 is
+ * avoided because its state is large and its distributions are not
+ * specified bit-exactly across standard library implementations.
+ */
+
+#ifndef TCASIM_UTIL_RANDOM_HH
+#define TCASIM_UTIL_RANDOM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tca {
+
+/**
+ * xorshift64* generator: tiny state, good statistical quality for
+ * workload shuffling, and fully deterministic across platforms.
+ */
+class Rng
+{
+  public:
+    /** Construct with a nonzero seed; a zero seed is remapped. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound) using rejection sampling. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    uint64_t nextRange(uint64_t lo, uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool nextBool(double p);
+
+    /**
+     * Fisher-Yates shuffle of a vector, in place.
+     *
+     * @param items the vector to permute
+     */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        for (size_t i = items.size(); i > 1; --i) {
+            size_t j = static_cast<size_t>(nextBelow(i));
+            std::swap(items[i - 1], items[j]);
+        }
+    }
+
+    /**
+     * Choose k distinct positions out of n (reservoir sampling),
+     * returned sorted ascending.
+     */
+    std::vector<uint64_t> samplePositions(uint64_t n, uint64_t k);
+
+  private:
+    uint64_t state;
+};
+
+} // namespace tca
+
+#endif // TCASIM_UTIL_RANDOM_HH

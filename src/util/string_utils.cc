@@ -1,0 +1,67 @@
+#include "util/string_utils.hh"
+
+#include <cctype>
+#include <cstdio>
+
+namespace tca {
+
+std::vector<std::string>
+split(const std::string &text, char delim)
+{
+    std::vector<std::string> fields;
+    std::string current;
+    for (char c : text) {
+        if (c == delim) {
+            fields.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    fields.push_back(current);
+    return fields;
+}
+
+std::string
+trim(const std::string &text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+std::string
+toLower(const std::string &text)
+{
+    std::string out = text;
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::string
+formatBytes(uint64_t bytes)
+{
+    static const char *suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    int idx = 0;
+    uint64_t value = bytes;
+    while (value >= 1024 && (value % 1024) == 0 && idx < 4) {
+        value /= 1024;
+        ++idx;
+    }
+    return std::to_string(value) + suffixes[idx];
+}
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+} // namespace tca

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Small string helpers shared across the library.
+ */
+
+#ifndef TCASIM_UTIL_STRING_UTILS_HH
+#define TCASIM_UTIL_STRING_UTILS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tca {
+
+/** Split a string on a single-character delimiter. Empty fields kept. */
+std::vector<std::string> split(const std::string &text, char delim);
+
+/** Trim ASCII whitespace from both ends. */
+std::string trim(const std::string &text);
+
+/** Lower-case an ASCII string. */
+std::string toLower(const std::string &text);
+
+/** Render a byte count with a binary-unit suffix (e.g. "32KiB"). */
+std::string formatBytes(uint64_t bytes);
+
+/** Render a ratio as a percentage string, e.g. "12.5%". */
+std::string formatPercent(double fraction, int precision = 1);
+
+} // namespace tca
+
+#endif // TCASIM_UTIL_STRING_UTILS_HH

@@ -1,0 +1,110 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hh"
+#include "util/logging.hh"
+
+namespace tca {
+
+void
+TextTable::setHeader(std::vector<std::string> names)
+{
+    header = std::move(names);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    // Compute per-column widths across header and all rows.
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header);
+    for (const auto &row : rows)
+        grow(row);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            os << cells[i];
+            if (i + 1 < cells.size())
+                os << std::string(widths[i] - cells[i].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    if (!header.empty()) {
+        emit(header);
+        size_t total = 0;
+        for (size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows)
+        emit(row);
+}
+
+std::string
+TextTable::str() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    CsvWriter csv(os);
+    if (!header.empty())
+        csv.row(header);
+    for (const auto &row : rows)
+        csv.row(row);
+}
+
+bool
+TextTable::writeCsvIfRequested(const std::string &name) const
+{
+    const char *dir = std::getenv("TCA_CSV_DIR");
+    if (!dir || !*dir)
+        return false;
+    std::string path = std::string(dir) + "/" + name + ".csv";
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write CSV to '%s'", path.c_str());
+        return false;
+    }
+    printCsv(out);
+    inform("wrote %s", path.c_str());
+    return true;
+}
+
+std::string
+TextTable::fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TextTable::fmt(uint64_t value)
+{
+    return std::to_string(value);
+}
+
+} // namespace tca

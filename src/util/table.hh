@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Plain-text table rendering for bench output. Benches print the rows a
+ * paper figure plots; this formats them with aligned columns so the
+ * "figure" is readable on a terminal.
+ */
+
+#ifndef TCASIM_UTIL_TABLE_HH
+#define TCASIM_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tca {
+
+/**
+ * Column-aligned text table. Cells are strings; addRow() overloads
+ * format numeric values with sensible defaults.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> names);
+
+    /** Append a row of preformatted cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows currently in the table. */
+    size_t numRows() const { return rows.size(); }
+
+    /** Render with aligned columns to the given stream. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string (for tests). */
+    std::string str() const;
+
+    /** Render as CSV (header row first) to the given stream. */
+    void printCsv(std::ostream &os) const;
+
+    /**
+     * If the environment variable TCA_CSV_DIR is set, write this
+     * table as <dir>/<name>.csv so bench output can be re-plotted.
+     *
+     * @return true if a file was written
+     */
+    bool writeCsvIfRequested(const std::string &name) const;
+
+    /** Format a double with the given precision. */
+    static std::string fmt(double value, int precision = 4);
+
+    /** Format an integer. */
+    static std::string fmt(uint64_t value);
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace tca
+
+#endif // TCASIM_UTIL_TABLE_HH

@@ -1,0 +1,39 @@
+#include "workloads/calibrator.hh"
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace workloads {
+
+model::TcaParams
+calibrateModel(const cpu::SimResult &baseline, uint64_t invocations,
+               double accel_latency, const cpu::CoreConfig &core)
+{
+    tca_assert(baseline.committedUops > 0);
+    tca_assert(invocations > 0);
+    tca_assert(accel_latency > 0.0);
+
+    model::TcaParams params;
+    double total = static_cast<double>(baseline.committedUops);
+    params.acceleratableFraction =
+        static_cast<double>(baseline.committedAcceleratable) / total;
+    params.invocationFrequency =
+        static_cast<double>(invocations) / total;
+    params.ipc = baseline.ipc();
+
+    // From eq. (2): the per-invocation accelerator time is
+    // a / (v * A * IPC), so with a granularity of g = a/v baseline
+    // instructions per invocation, A = g / (IPC * latency).
+    double granularity = params.acceleratableFraction /
+                         params.invocationFrequency;
+    params.accelerationFactor =
+        granularity / (params.ipc * accel_latency);
+
+    params.robSize = core.robSize;
+    params.issueWidth = core.dispatchWidth;
+    params.commitStall = static_cast<double>(core.commitLatency);
+    return params;
+}
+
+} // namespace workloads
+} // namespace tca

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Derives the analytical model's inputs (Table I) from a baseline
+ * simulation run plus the accelerator's latency estimate, exactly the
+ * information an architect has early in a design cycle.
+ */
+
+#ifndef TCASIM_WORKLOADS_CALIBRATOR_HH
+#define TCASIM_WORKLOADS_CALIBRATOR_HH
+
+#include "cpu/core_config.hh"
+#include "cpu/sim_result.hh"
+#include "model/params.hh"
+
+namespace tca {
+namespace workloads {
+
+/**
+ * Build TcaParams from measurements.
+ *
+ * @param baseline result of simulating the software baseline
+ * @param invocations accelerator invocations the TCA version will make
+ * @param accel_latency per-invocation accelerator latency (cycles)
+ * @param core the core the model should describe
+ */
+model::TcaParams
+calibrateModel(const cpu::SimResult &baseline, uint64_t invocations,
+               double accel_latency, const cpu::CoreConfig &core);
+
+} // namespace workloads
+} // namespace tca
+
+#endif // TCASIM_WORKLOADS_CALIBRATOR_HH

@@ -1,0 +1,367 @@
+#include "workloads/dgemm_workload.hh"
+
+#include <cmath>
+
+#include "trace/builder.hh"
+#include "util/logging.hh"
+
+namespace tca {
+namespace workloads {
+
+using trace::RegId;
+using trace::TraceBuilder;
+
+namespace {
+
+constexpr uint64_t aBase = 0x100000000ULL;
+
+/** Rotating FP accumulator registers for the element-wise kernel. */
+constexpr RegId accRegBase = 10;
+constexpr uint32_t numAccRegs = 8;
+
+/** Scratch registers for loads and addressing. */
+constexpr RegId loadRegA = 20;
+constexpr RegId loadRegB = 21;
+constexpr RegId addrReg = 22;
+
+} // anonymous namespace
+
+DgemmWorkload::DgemmWorkload(const DgemmConfig &config)
+    : conf(config)
+{
+    if (conf.n == 0 || conf.n % conf.blockN != 0)
+        fatal("matrix dim %u must be a positive multiple of the block "
+              "size %u", conf.n, conf.blockN);
+    if (conf.blockN % conf.tileN != 0)
+        fatal("block size %u must be a multiple of the tile size %u",
+              conf.blockN, conf.tileN);
+    initMatrices();
+    computeReference();
+}
+
+DgemmWorkload::~DgemmWorkload() = default;
+
+double
+DgemmWorkload::inputValue(uint64_t seed, uint32_t which, uint32_t i,
+                          uint32_t j)
+{
+    // Deterministic, cheap, and well-conditioned values in [-0.5, 0.5).
+    uint64_t h = seed * 0x9e3779b97f4a7c15ULL;
+    h ^= (static_cast<uint64_t>(which) << 32) ^
+         (static_cast<uint64_t>(i) << 16) ^ j;
+    h *= 0x2545f4914f6cdd1dULL;
+    h ^= h >> 33;
+    return static_cast<double>(h % 4096) / 4096.0 - 0.5;
+}
+
+uint64_t
+DgemmWorkload::aElem(uint32_t i, uint32_t j) const
+{
+    return aBase + (static_cast<uint64_t>(i) * conf.n + j) * 8;
+}
+
+uint64_t
+DgemmWorkload::bElem(uint32_t i, uint32_t j) const
+{
+    uint64_t b_base = aBase + static_cast<uint64_t>(conf.n) * conf.n * 8;
+    return b_base + (static_cast<uint64_t>(i) * conf.n + j) * 8;
+}
+
+uint64_t
+DgemmWorkload::cElem(uint32_t i, uint32_t j) const
+{
+    uint64_t c_base =
+        aBase + 2 * static_cast<uint64_t>(conf.n) * conf.n * 8;
+    return c_base + (static_cast<uint64_t>(i) * conf.n + j) * 8;
+}
+
+void
+DgemmWorkload::initMatrices()
+{
+    for (uint32_t i = 0; i < conf.n; ++i) {
+        for (uint32_t j = 0; j < conf.n; ++j) {
+            memStore.writeValue<double>(
+                aElem(i, j), inputValue(conf.seed, 0, i, j));
+            memStore.writeValue<double>(
+                bElem(i, j), inputValue(conf.seed, 1, i, j));
+            memStore.writeValue<double>(cElem(i, j), 0.0);
+        }
+    }
+    baselineFunctionalDone = false;
+}
+
+void
+DgemmWorkload::computeReference()
+{
+    const uint32_t n = conf.n;
+    reference.assign(static_cast<size_t>(n) * n, 0.0);
+    std::vector<double> a(static_cast<size_t>(n) * n);
+    std::vector<double> b(static_cast<size_t>(n) * n);
+    for (uint32_t i = 0; i < n; ++i) {
+        for (uint32_t j = 0; j < n; ++j) {
+            a[i * n + j] = inputValue(conf.seed, 0, i, j);
+            b[i * n + j] = inputValue(conf.seed, 1, i, j);
+        }
+    }
+    for (uint32_t i = 0; i < n; ++i)
+        for (uint32_t k = 0; k < n; ++k) {
+            double aik = a[i * n + k];
+            for (uint32_t j = 0; j < n; ++j)
+                reference[i * n + j] += aik * b[k * n + j];
+        }
+}
+
+/**
+ * Baseline trace: streams the blocked element-wise kernel one (i-row,
+ * j) inner strip at a time so the multi-million-uop trace is never
+ * fully materialized.
+ */
+class DgemmWorkload::BaselineSource : public trace::TraceSource
+{
+  public:
+    explicit BaselineSource(DgemmWorkload &workload)
+        : wl(workload), nb(workload.conf.n / workload.conf.blockN)
+    {}
+
+    bool
+    next(trace::MicroOp &op) override
+    {
+        while (cursor >= buffer.size()) {
+            if (!fillNextChunk())
+                return false;
+        }
+        op = buffer[cursor++];
+        return true;
+    }
+
+    uint64_t
+    expectedLength() const override
+    {
+        return wl.baselineUopEstimate();
+    }
+
+  private:
+    /** Emit the inner strip for one (block triple, i) row. */
+    bool
+    fillNextChunk()
+    {
+        if (bi >= nb)
+            return false;
+
+        const uint32_t bn = wl.conf.blockN;
+        const uint32_t ii = bi * bn;
+        const uint32_t jj = bj * bn;
+        const uint32_t kk = bk * bn;
+        const uint32_t i = ii + irow;
+
+        TraceBuilder builder;
+        for (uint32_t j = jj; j < jj + bn; ++j) {
+            RegId acc = static_cast<RegId>(
+                accRegBase + (j - jj) % numAccRegs);
+            // Address bookkeeping stays in the program in both the
+            // software and accelerated variants.
+            builder.alu(addrReg, addrReg);
+            builder.beginAcceleratable();
+            builder.load(acc, wl.cElem(i, j), 8, addrReg);
+            for (uint32_t k = kk; k < kk + bn; ++k) {
+                builder.load(loadRegA, wl.aElem(i, k), 8, addrReg);
+                builder.load(loadRegB, wl.bElem(k, j), 8, addrReg);
+                builder.fmacc(acc, loadRegA, loadRegB);
+            }
+            builder.store(acc, wl.cElem(i, j), 8, addrReg);
+            builder.endAcceleratable();
+            builder.branch(false, addrReg);
+        }
+        buffer = builder.take();
+        cursor = 0;
+
+        // Advance loop state: i-row, then block triple (bk innermost
+        // so partial products accumulate in order).
+        if (++irow == bn) {
+            irow = 0;
+            if (++bk == nb) {
+                bk = 0;
+                if (++bj == nb) {
+                    bj = 0;
+                    ++bi;
+                }
+            }
+        }
+        return true;
+    }
+
+    DgemmWorkload &wl;
+    uint32_t nb;
+    uint32_t bi = 0, bj = 0, bk = 0, irow = 0;
+    std::vector<trace::MicroOp> buffer;
+    size_t cursor = 0;
+};
+
+/**
+ * Accelerated trace: per block triple, one MatrixTca invocation per
+ * (i0, j0, k0) tile, with the same addressing glue the software
+ * version keeps.
+ */
+class DgemmWorkload::AccelSource : public trace::TraceSource
+{
+  public:
+    explicit AccelSource(DgemmWorkload &workload)
+        : wl(workload), nb(workload.conf.n / workload.conf.blockN)
+    {}
+
+    bool
+    next(trace::MicroOp &op) override
+    {
+        while (cursor >= buffer.size()) {
+            if (!fillNextChunk())
+                return false;
+        }
+        op = buffer[cursor++];
+        return true;
+    }
+
+    uint64_t
+    expectedLength() const override
+    {
+        // One accel uop plus two glue uops per tile.
+        return 3 * wl.numInvocations();
+    }
+
+  private:
+    bool
+    fillNextChunk()
+    {
+        if (bi >= nb)
+            return false;
+
+        const uint32_t bn = wl.conf.blockN;
+        const uint32_t t = wl.conf.tileN;
+        const uint32_t ii = bi * bn;
+        const uint32_t jj = bj * bn;
+        const uint32_t kk = bk * bn;
+        const uint32_t row_stride = wl.conf.n * 8;
+
+        TraceBuilder builder;
+        for (uint32_t i0 = 0; i0 < bn; i0 += t) {
+            for (uint32_t j0 = 0; j0 < bn; j0 += t) {
+                for (uint32_t k0 = 0; k0 < bn; k0 += t) {
+                    accel::TileOp tile;
+                    tile.aAddr = wl.aElem(ii + i0, kk + k0);
+                    tile.bAddr = wl.bElem(kk + k0, jj + j0);
+                    tile.cAddr = wl.cElem(ii + i0, jj + j0);
+                    tile.aStride = row_stride;
+                    tile.bStride = row_stride;
+                    tile.cStride = row_stride;
+                    uint32_t id = wl.tca->registerTile(tile);
+                    builder.alu(addrReg, addrReg);
+                    builder.accel(id);
+                    builder.branch(false, addrReg);
+                }
+            }
+        }
+        buffer = builder.take();
+        cursor = 0;
+
+        if (++bk == nb) {
+            bk = 0;
+            if (++bj == nb) {
+                bj = 0;
+                ++bi;
+            }
+        }
+        return true;
+    }
+
+    DgemmWorkload &wl;
+    uint32_t nb;
+    uint32_t bi = 0, bj = 0, bk = 0;
+    std::vector<trace::MicroOp> buffer;
+    size_t cursor = 0;
+};
+
+std::unique_ptr<trace::TraceSource>
+DgemmWorkload::makeBaselineTrace()
+{
+    initMatrices();
+    tca.reset();
+    // The baseline's functional result: the reference product, written
+    // once (the trace itself is timing-only).
+    for (uint32_t i = 0; i < conf.n; ++i)
+        for (uint32_t j = 0; j < conf.n; ++j)
+            memStore.writeValue<double>(cElem(i, j),
+                                        reference[i * conf.n + j]);
+    baselineFunctionalDone = true;
+    return std::make_unique<BaselineSource>(*this);
+}
+
+std::unique_ptr<trace::TraceSource>
+DgemmWorkload::makeAcceleratedTrace()
+{
+    initMatrices();
+    tca = std::make_unique<accel::MatrixTca>(conf.tileN, memStore);
+    return std::make_unique<AccelSource>(*this);
+}
+
+cpu::AccelDevice &
+DgemmWorkload::device()
+{
+    tca_assert(tca != nullptr);
+    return *tca;
+}
+
+uint64_t
+DgemmWorkload::numInvocations() const
+{
+    uint64_t nb = conf.n / conf.blockN;
+    uint64_t tiles_per_block = conf.blockN / conf.tileN;
+    return nb * nb * nb * tiles_per_block * tiles_per_block *
+           tiles_per_block;
+}
+
+double
+DgemmWorkload::accelLatencyEstimate() const
+{
+    // 4*tileN row requests over 2 ports, an L1-hit pipeline, and the
+    // MACC array latency.
+    double t = conf.tileN;
+    return 2.0 * t + 2.0 + (t + 2.0);
+}
+
+std::string
+DgemmWorkload::name() const
+{
+    return "dgemm" + std::to_string(conf.tileN) + "x" +
+           std::to_string(conf.tileN);
+}
+
+bool
+DgemmWorkload::verifyFunctional() const
+{
+    for (uint32_t i = 0; i < conf.n; ++i) {
+        for (uint32_t j = 0; j < conf.n; ++j) {
+            double got = memStore.readValue<double>(cElem(i, j));
+            double want = reference[i * conf.n + j];
+            if (std::fabs(got - want) >
+                1e-9 * std::max(1.0, std::fabs(want))) {
+                warn("dgemm mismatch at (%u,%u): got %f want %f", i, j,
+                     got, want);
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+uint64_t
+DgemmWorkload::baselineUopEstimate() const
+{
+    // Per (i, j) element of each block triple: 1 addr alu, 1 C load,
+    // blockN * 3 inner uops, 1 C store, 1 branch.
+    uint64_t nb = conf.n / conf.blockN;
+    uint64_t per_elem = 4ULL + 3ULL * conf.blockN;
+    uint64_t elems = static_cast<uint64_t>(conf.blockN) * conf.blockN;
+    return nb * nb * nb * elems * per_elem;
+}
+
+} // namespace workloads
+} // namespace tca

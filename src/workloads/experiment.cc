@@ -1,0 +1,85 @@
+#include "workloads/experiment.hh"
+
+#include "cpu/core.hh"
+#include "model/interval_model.hh"
+#include "model/validation.hh"
+#include "util/logging.hh"
+#include "workloads/calibrator.hh"
+
+namespace tca {
+namespace workloads {
+
+const ModeOutcome &
+ExperimentResult::forMode(model::TcaMode mode) const
+{
+    for (const ModeOutcome &outcome : modes)
+        if (outcome.mode == mode)
+            return outcome;
+    panic("mode %d missing from experiment result",
+          static_cast<int>(mode));
+}
+
+ExperimentResult
+runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
+              const ExperimentOptions &options)
+{
+    ExperimentResult result;
+    result.workloadName = workload.name();
+
+    // Software baseline on a cold hierarchy.
+    {
+        mem::MemHierarchy hierarchy(options.hierarchy);
+        cpu::Core cpu(core, hierarchy);
+        auto trace = workload.makeBaselineTrace();
+        result.baseline = cpu.run(*trace);
+    }
+
+    // Calibrate the model from the baseline run and the architect's
+    // latency estimate.
+    result.params = calibrateModel(result.baseline,
+                                   workload.numInvocations(),
+                                   workload.accelLatencyEstimate(),
+                                   core);
+    if (options.drainFromOccupancy) {
+        result.params.explicitDrainTime =
+            result.baseline.avgRobOccupancy() / result.params.ipc;
+    }
+    model::IntervalModel predictor(result.params);
+
+    double base_cycles = static_cast<double>(result.baseline.cycles);
+
+    for (size_t m = 0; m < model::allTcaModes.size(); ++m) {
+        model::TcaMode mode = model::allTcaModes[m];
+        ModeOutcome &outcome = result.modes[m];
+        outcome.mode = mode;
+
+        mem::MemHierarchy hierarchy(options.hierarchy);
+        cpu::Core cpu(core, hierarchy);
+        auto trace = workload.makeAcceleratedTrace();
+        cpu.bindAccelerator(&workload.device(), mode);
+        outcome.sim = cpu.run(*trace);
+        outcome.functionalOk = workload.verifyFunctional();
+
+        outcome.measuredSpeedup =
+            base_cycles / static_cast<double>(outcome.sim.cycles);
+
+        if (options.useMeasuredAccelLatency &&
+            outcome.sim.accelInvocations > 0) {
+            model::TcaParams tuned = calibrateModel(
+                result.baseline, workload.numInvocations(),
+                outcome.sim.avgAccelLatency(), core);
+            tuned.explicitDrainTime =
+                result.params.explicitDrainTime;
+            outcome.modeledSpeedup =
+                model::IntervalModel(tuned).speedup(mode);
+        } else {
+            outcome.modeledSpeedup = predictor.speedup(mode);
+        }
+        outcome.errorPercent = model::percentError(
+            outcome.modeledSpeedup, outcome.measuredSpeedup);
+    }
+    return result;
+}
+
+} // namespace workloads
+} // namespace tca

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The paper's validation methodology in one call: simulate a
+ * workload's software baseline, simulate its TCA version in each of
+ * the four integration modes, calibrate the analytical model from the
+ * baseline, and report measured vs. estimated speedup with errors
+ * (the contents of Figs. 4-6).
+ */
+
+#ifndef TCASIM_WORKLOADS_EXPERIMENT_HH
+#define TCASIM_WORKLOADS_EXPERIMENT_HH
+
+#include <array>
+#include <string>
+
+#include "cpu/core_config.hh"
+#include "cpu/sim_result.hh"
+#include "mem/hierarchy.hh"
+#include "model/params.hh"
+#include "model/tca_mode.hh"
+#include "workloads/workload.hh"
+
+namespace tca {
+namespace workloads {
+
+/** Outcome of one TCA mode's run. */
+struct ModeOutcome
+{
+    model::TcaMode mode;
+    cpu::SimResult sim;
+    double measuredSpeedup = 0.0; ///< baseline cycles / mode cycles
+    double modeledSpeedup = 0.0;  ///< analytical prediction
+    double errorPercent = 0.0;    ///< signed, modeled vs measured
+    bool functionalOk = true;
+};
+
+/** Full experiment record. */
+struct ExperimentResult
+{
+    std::string workloadName;
+    cpu::SimResult baseline;
+    model::TcaParams params;      ///< calibrated model inputs
+    std::array<ModeOutcome, 4> modes; ///< in allTcaModes order
+
+    const ModeOutcome &forMode(model::TcaMode mode) const;
+};
+
+/** Experiment options. */
+struct ExperimentOptions
+{
+    /**
+     * When true, re-derive the model's acceleration factor from the
+     * average accelerator latency *measured* in each run instead of
+     * the workload's a-priori estimate. Default off: the paper's use
+     * case is prediction before detailed simulation.
+     */
+    bool useMeasuredAccelLatency = false;
+
+    /**
+     * When true, feed the model an explicit drain time derived from
+     * the baseline run's average ROB occupancy (occupancy / IPC,
+     * Little's law) instead of the full-window power-law default.
+     * This exercises the paper's "window drain time can be explicitly
+     * entered into the formula" path and substantially tightens the
+     * NL-mode estimates on ILP-rich workloads whose window is never
+     * full of unexecuted work.
+     */
+    bool drainFromOccupancy = false;
+
+    mem::HierarchyConfig hierarchy{};
+};
+
+/**
+ * Run the full validation flow for one workload on one core.
+ * Each run uses a cold memory hierarchy.
+ */
+ExperimentResult
+runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
+              const ExperimentOptions &options = {});
+
+} // namespace workloads
+} // namespace tca
+
+#endif // TCASIM_WORKLOADS_EXPERIMENT_HH

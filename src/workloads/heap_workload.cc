@@ -1,0 +1,189 @@
+#include "workloads/heap_workload.hh"
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace workloads {
+
+using trace::RegId;
+using trace::TraceBuilder;
+
+namespace {
+
+/** Data segment for the filler work. */
+constexpr uint64_t dataBase = 0x60000000ULL;
+
+/** Registers 1..fillerRegs cycle through the filler stream. */
+constexpr uint32_t fillerRegs = 48;
+
+/** Live allocation slot s carries its pointer in register 100+s. */
+constexpr RegId ptrRegBase = 100;
+
+/** Maximum simultaneously live allocations. */
+constexpr uint32_t maxLive = 48;
+
+} // anonymous namespace
+
+HeapWorkload::HeapWorkload(const HeapConfig &config)
+    : conf(config)
+{
+    tca_assert(conf.numCalls > 0);
+    // Guarantee the always-hit fast path: every class has enough
+    // prewarmed entries to cover the deepest possible live set.
+    for (uint32_t cls = 0; cls < alloc::numSizeClasses; ++cls)
+        allocator.prewarm(cls, maxLive + 16);
+    buildScript();
+}
+
+void
+HeapWorkload::buildScript()
+{
+    Rng rng(conf.seed);
+    struct LiveSlot
+    {
+        uint64_t addr;
+        uint32_t sizeClass;
+        bool used = false;
+    };
+    std::vector<LiveSlot> live(maxLive);
+    std::vector<uint32_t> free_slots;
+    std::vector<uint32_t> used_slots;
+    for (uint32_t s = 0; s < maxLive; ++s)
+        free_slots.push_back(s);
+
+    for (uint32_t call = 0; call < conf.numCalls; ++call) {
+        bool do_malloc;
+        if (used_slots.empty())
+            do_malloc = true;
+        else if (free_slots.empty())
+            do_malloc = false;
+        else
+            do_malloc = rng.nextBool(0.5);
+
+        if (do_malloc) {
+            uint32_t bytes = static_cast<uint32_t>(
+                rng.nextRange(1, alloc::maxSmallSize));
+            uint64_t addr = allocator.malloc(bytes);
+            uint32_t slot = free_slots.back();
+            free_slots.pop_back();
+            used_slots.push_back(slot);
+            live[slot] = {addr, alloc::sizeClassFor(bytes), true};
+            script.push_back({true, live[slot].sizeClass, addr,
+                              static_cast<RegId>(ptrRegBase + slot)});
+            ++mallocCount;
+        } else {
+            size_t pick = rng.nextBelow(used_slots.size());
+            uint32_t slot = used_slots[pick];
+            used_slots[pick] = used_slots.back();
+            used_slots.pop_back();
+            free_slots.push_back(slot);
+            allocator.free(live[slot].addr);
+            script.push_back({false, live[slot].sizeClass,
+                              live[slot].addr,
+                              static_cast<RegId>(ptrRegBase + slot)});
+            live[slot].used = false;
+        }
+    }
+}
+
+void
+HeapWorkload::emitFillerGap(TraceBuilder &builder, Rng &rng) const
+{
+    auto pick_reg = [&]() -> RegId {
+        return static_cast<RegId>(1 + rng.nextBelow(fillerRegs));
+    };
+    for (uint32_t i = 0; i < conf.fillerUopsPerGap; ++i) {
+        double roll = rng.nextDouble();
+        if (roll < conf.loadFraction) {
+            uint64_t addr = dataBase +
+                rng.nextBelow(conf.workingSetBytes / 8) * 8;
+            builder.load(pick_reg(), addr, 8, pick_reg());
+        } else if (roll < conf.loadFraction + conf.storeFraction) {
+            uint64_t addr = dataBase +
+                rng.nextBelow(conf.workingSetBytes / 8) * 8;
+            builder.store(pick_reg(), addr, 8, pick_reg());
+        } else if (roll < conf.loadFraction + conf.storeFraction +
+                          conf.branchFraction) {
+            builder.branch(false, pick_reg());
+        } else {
+            builder.alu(pick_reg(), pick_reg(), pick_reg());
+        }
+    }
+}
+
+std::vector<trace::MicroOp>
+HeapWorkload::generate(bool accelerated)
+{
+    if (accelerated) {
+        // Fresh hardware tables per run, re-recording the script so
+        // invocation ids line up with Accel uops.
+        tca = std::make_unique<accel::HeapTca>(
+            /*table_entries=*/2 * maxLive + 32,
+            /*initial_fill=*/maxLive + 16);
+    }
+
+    TraceBuilder builder;
+    Rng filler_rng(conf.seed ^ 0x5eedULL);
+    for (const Call &call : script) {
+        emitFillerGap(builder, filler_rng);
+        uint64_t meta = allocator.freeListHeadAddr(call.sizeClass);
+        if (accelerated) {
+            uint32_t id = tca->recordInvocation(
+                {call.isMalloc, call.sizeClass, call.addr});
+            if (call.isMalloc)
+                builder.accel(id, call.ptrReg);
+            else
+                builder.accel(id, trace::noReg, call.ptrReg);
+        } else if (call.isMalloc) {
+            alloc::emitMallocSequence(builder, conf.uopBudget,
+                                      call.ptrReg, call.addr, meta);
+        } else {
+            alloc::emitFreeSequence(builder, conf.uopBudget,
+                                    call.ptrReg, call.addr, meta);
+        }
+        if (call.isMalloc && conf.dependentUsesPerMalloc > 0) {
+            // Program code consuming the fresh allocation: initialize
+            // the object through the returned pointer, then work on
+            // the loaded header. Present in both variants (it is not
+            // allocator code), and dependent on the call's result.
+            const RegId tmp = 90;
+            builder.store(call.ptrReg, call.addr, 8, call.ptrReg);
+            builder.load(tmp, call.addr, 8, call.ptrReg);
+            for (uint32_t u = 2; u < conf.dependentUsesPerMalloc; ++u)
+                builder.alu(tmp, tmp, call.ptrReg);
+        }
+    }
+    return builder.take();
+}
+
+std::unique_ptr<trace::TraceSource>
+HeapWorkload::makeBaselineTrace()
+{
+    return std::make_unique<trace::VectorTrace>(generate(false));
+}
+
+std::unique_ptr<trace::TraceSource>
+HeapWorkload::makeAcceleratedTrace()
+{
+    return std::make_unique<trace::VectorTrace>(generate(true));
+}
+
+bool
+HeapWorkload::verifyFunctional() const
+{
+    // The experiment is constructed so the TCA always hits its tables
+    // (the paper's common-case assumption); a miss means the setup is
+    // broken.
+    return !tca || tca->tableMisses() == 0;
+}
+
+uint64_t
+HeapWorkload::acceleratableUops() const
+{
+    uint64_t frees = script.size() - mallocCount;
+    return mallocCount * conf.uopBudget.mallocUops +
+           frees * conf.uopBudget.freeUops;
+}
+
+} // namespace workloads
+} // namespace tca

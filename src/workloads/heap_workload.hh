@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Heap-management microbenchmark (Section V-B): random malloc/free
+ * calls over the four small size classes, interleaved with filler
+ * work. The baseline invokes the software TCMalloc fast path (69/37
+ * uops); the accelerated version replaces each call with a
+ * single-cycle heap-TCA invocation. Each free depends on the register
+ * holding the pointer the corresponding malloc produced.
+ */
+
+#ifndef TCASIM_WORKLOADS_HEAP_WORKLOAD_HH
+#define TCASIM_WORKLOADS_HEAP_WORKLOAD_HH
+
+#include <memory>
+#include <vector>
+
+#include "accel/heap_tca.hh"
+#include "alloc/malloc_uops.hh"
+#include "alloc/tcmalloc_model.hh"
+#include "util/random.hh"
+#include "workloads/workload.hh"
+
+namespace tca {
+namespace workloads {
+
+/** Configuration of the heap microbenchmark. */
+struct HeapConfig
+{
+    uint32_t numCalls = 2000;       ///< malloc+free call count
+    uint32_t fillerUopsPerGap = 200;///< non-acceleratable work between
+                                    ///< calls (controls v)
+    double loadFraction = 0.15;     ///< filler mix
+    double storeFraction = 0.05;
+    double branchFraction = 0.10;
+    uint32_t workingSetBytes = 24 * 1024; // L1-resident, uniform IPC
+    uint64_t seed = 7;
+
+    /**
+     * Emit this many uops after each malloc that *use* the returned
+     * pointer (a store to the allocation plus dependent ALU work).
+     * This creates the explicit malloc->consumer dependencies the
+     * paper's Section VI-3 identifies as a blind spot of the model:
+     * the consumers stall until the (possibly delayed) TCA produces
+     * its pointer, which the model's uniform-IPC assumption misses.
+     */
+    uint32_t dependentUsesPerMalloc = 0;
+
+    alloc::MallocUopParams uopBudget; ///< 69/37-uop fast paths
+};
+
+/** The workload. */
+class HeapWorkload : public TcaWorkload
+{
+  public:
+    explicit HeapWorkload(const HeapConfig &config);
+
+    std::unique_ptr<trace::TraceSource> makeBaselineTrace() override;
+    std::unique_ptr<trace::TraceSource> makeAcceleratedTrace() override;
+    cpu::AccelDevice &device() override { return *tca; }
+    uint64_t numInvocations() const override { return script.size(); }
+    double accelLatencyEstimate() const override
+    {
+        return accel::HeapTca::operationLatency;
+    }
+    std::string name() const override { return "heap"; }
+    bool verifyFunctional() const override;
+
+    /** Baseline uops attributable to allocator calls. */
+    uint64_t acceleratableUops() const;
+
+    /** Calls that are mallocs (the rest are frees). */
+    uint64_t numMallocs() const { return mallocCount; }
+
+  private:
+    /** One call in the precomputed allocation script. */
+    struct Call
+    {
+        bool isMalloc;
+        uint32_t sizeClass;
+        uint64_t addr;       ///< functional object address
+        trace::RegId ptrReg; ///< register carrying the pointer
+    };
+
+    void buildScript();
+    void emitFillerGap(trace::TraceBuilder &builder, Rng &rng) const;
+    std::vector<trace::MicroOp> generate(bool accelerated);
+
+    HeapConfig conf;
+    alloc::TcmallocModel allocator;
+    std::unique_ptr<accel::HeapTca> tca;
+    std::vector<Call> script;
+    uint64_t mallocCount = 0;
+};
+
+} // namespace workloads
+} // namespace tca
+
+#endif // TCASIM_WORKLOADS_HEAP_WORKLOAD_HH

@@ -1,0 +1,223 @@
+#include "workloads/string_workload.hh"
+
+#include <algorithm>
+
+#include "trace/builder.hh"
+#include "util/logging.hh"
+
+namespace tca {
+namespace workloads {
+
+using trace::RegId;
+using trace::TraceBuilder;
+
+namespace {
+
+/** Strings live here, one 256B-aligned slot each. */
+constexpr uint64_t dictBase = 0x200000000ULL;
+constexpr uint64_t slotBytes = 256;
+
+/** Filler data segment. */
+constexpr uint64_t dataBase = 0x70000000ULL;
+
+constexpr uint32_t fillerRegs = 32;
+
+} // anonymous namespace
+
+StringWorkload::StringWorkload(const StringConfig &config)
+    : conf(config)
+{
+    tca_assert(conf.numStrings >= 2);
+    tca_assert(conf.minLength > 0 &&
+               conf.minLength <= conf.maxLength);
+    tca_assert(conf.maxLength <= slotBytes);
+    buildDictionary();
+    buildScript();
+}
+
+uint64_t
+StringWorkload::stringAddr(uint32_t idx) const
+{
+    return dictBase + static_cast<uint64_t>(idx) * slotBytes;
+}
+
+void
+StringWorkload::buildDictionary()
+{
+    Rng rng(conf.seed);
+    dictionary.resize(conf.numStrings);
+    for (uint32_t i = 0; i < conf.numStrings; ++i) {
+        uint32_t len = static_cast<uint32_t>(
+            rng.nextRange(conf.minLength, conf.maxLength));
+        dictionary[i].resize(len);
+        for (uint8_t &byte : dictionary[i])
+            byte = static_cast<uint8_t>(rng.nextRange(
+                'a', 'z')); // small alphabet: common prefixes happen
+        memStore.write(stringAddr(i), dictionary[i].data(), len);
+    }
+}
+
+void
+StringWorkload::buildScript()
+{
+    Rng rng(conf.seed ^ 0xc0de);
+    compares.reserve(conf.numCompares);
+    for (uint32_t c = 0; c < conf.numCompares; ++c) {
+        uint32_t a = static_cast<uint32_t>(
+            rng.nextBelow(conf.numStrings));
+        uint32_t b = rng.nextBool(conf.duplicateFraction)
+            ? a
+            : static_cast<uint32_t>(rng.nextBelow(conf.numStrings));
+        uint32_t length = static_cast<uint32_t>(std::min(
+            dictionary[a].size(), dictionary[b].size()));
+        // Host-side reference result.
+        uint32_t match = length;
+        bool equal = true;
+        for (uint32_t i = 0; i < length; ++i) {
+            if (dictionary[a][i] != dictionary[b][i]) {
+                match = i;
+                equal = false;
+                break;
+            }
+        }
+        compares.push_back({a, b, length, match, equal});
+    }
+}
+
+void
+StringWorkload::emitFillerGap(TraceBuilder &builder, Rng &rng) const
+{
+    auto pick_reg = [&]() -> RegId {
+        return static_cast<RegId>(1 + rng.nextBelow(fillerRegs));
+    };
+    for (uint32_t i = 0; i < conf.fillerUopsPerGap; ++i) {
+        double roll = rng.nextDouble();
+        if (roll < 0.15) {
+            builder.load(pick_reg(),
+                         dataBase + rng.nextBelow(2048) * 8, 8,
+                         pick_reg());
+        } else if (roll < 0.25) {
+            builder.branch(false, pick_reg());
+        } else {
+            builder.alu(pick_reg(), pick_reg(), pick_reg());
+        }
+    }
+}
+
+void
+StringWorkload::emitCompareLoop(TraceBuilder &builder,
+                                const Compare &cmp) const
+{
+    // Word-at-a-time software memcmp: per 8 bytes, two loads, an XOR
+    // compare, and a loop/exit branch — executed up to and including
+    // the word containing the first mismatch.
+    const RegId wa = 60, wb = 61, diff = 62;
+    uint32_t scanned = cmp.expectedEqual ? cmp.length
+                                         : cmp.expectedMatch + 1;
+    builder.beginAcceleratable();
+    builder.alu(63); // loop setup
+    for (uint32_t offset = 0; offset < scanned; offset += 8) {
+        builder.load(wa, stringAddr(cmp.aIdx) + offset, 8);
+        builder.load(wb, stringAddr(cmp.bIdx) + offset, 8);
+        builder.alu(diff, wa, wb);
+        builder.branch(false, diff);
+    }
+    builder.alu(63, diff); // produce the result
+    builder.endAcceleratable();
+}
+
+std::vector<trace::MicroOp>
+StringWorkload::generate(bool accelerated)
+{
+    if (accelerated) {
+        tca = std::make_unique<accel::StringTca>(memStore);
+        for (const Compare &cmp : compares) {
+            tca->registerCompare({stringAddr(cmp.aIdx),
+                                  stringAddr(cmp.bIdx), cmp.length});
+        }
+    }
+
+    TraceBuilder builder;
+    Rng filler_rng(conf.seed ^ 0xf111e4);
+    uint32_t id = 0;
+    for (const Compare &cmp : compares) {
+        emitFillerGap(builder, filler_rng);
+        if (accelerated)
+            builder.accel(id, /*dst=*/63);
+        else
+            emitCompareLoop(builder, cmp);
+        ++id;
+    }
+    return builder.take();
+}
+
+std::unique_ptr<trace::TraceSource>
+StringWorkload::makeBaselineTrace()
+{
+    return std::make_unique<trace::VectorTrace>(generate(false));
+}
+
+std::unique_ptr<trace::TraceSource>
+StringWorkload::makeAcceleratedTrace()
+{
+    return std::make_unique<trace::VectorTrace>(generate(true));
+}
+
+cpu::AccelDevice &
+StringWorkload::device()
+{
+    tca_assert(tca != nullptr);
+    return *tca;
+}
+
+double
+StringWorkload::accelLatencyEstimate() const
+{
+    // Average scanned bytes across the script, streamed at 16 B/cycle
+    // with 2 cycles of overhead, plus the line loads (2 ports).
+    double total_scanned = 0.0;
+    for (const Compare &cmp : compares) {
+        total_scanned +=
+            cmp.expectedEqual ? cmp.length : cmp.expectedMatch + 1;
+    }
+    double avg = compares.empty()
+        ? 0.0 : total_scanned / static_cast<double>(compares.size());
+    double lines = 2.0 * ((avg + 63.0) / 64.0);
+    return 2.0 + avg / 16.0 + lines / 2.0 + 2.0;
+}
+
+bool
+StringWorkload::verifyFunctional() const
+{
+    if (!tca)
+        return true;
+    for (uint32_t id = 0; id < compares.size(); ++id) {
+        if (!tca->executed(id))
+            return false;
+        const accel::CompareResult &got = tca->result(id);
+        if (got.equal != compares[id].expectedEqual ||
+            got.matchLength != compares[id].expectedMatch) {
+            warn("string compare %u: got (eq=%d, match=%u) want "
+                 "(eq=%d, match=%u)", id, got.equal ? 1 : 0,
+                 got.matchLength, compares[id].expectedEqual ? 1 : 0,
+                 compares[id].expectedMatch);
+            return false;
+        }
+    }
+    return true;
+}
+
+uint64_t
+StringWorkload::acceleratableUops() const
+{
+    uint64_t total = 0;
+    for (const Compare &cmp : compares) {
+        uint32_t scanned = cmp.expectedEqual ? cmp.length
+                                             : cmp.expectedMatch + 1;
+        total += 2 + 4ULL * ((scanned + 7) / 8);
+    }
+    return total;
+}
+
+} // namespace workloads
+} // namespace tca

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * String-compare microbenchmark: a dictionary of byte strings in
+ * functional memory, compared pairwise — the hash-map/string-function
+ * usage pattern the paper's Fig. 2 places at 80-100 instructions per
+ * invocation. The baseline runs a word-at-a-time software compare
+ * loop; the accelerated version invokes the StringTca once per
+ * compare. Results are verified against a host-side reference.
+ */
+
+#ifndef TCASIM_WORKLOADS_STRING_WORKLOAD_HH
+#define TCASIM_WORKLOADS_STRING_WORKLOAD_HH
+
+#include <memory>
+#include <vector>
+
+#include "accel/string_tca.hh"
+#include "mem/backing_store.hh"
+#include "trace/builder.hh"
+#include "util/random.hh"
+#include "workloads/workload.hh"
+
+namespace tca {
+namespace workloads {
+
+/** Configuration of the string microbenchmark. */
+struct StringConfig
+{
+    uint32_t numStrings = 64;       ///< dictionary size
+    uint32_t minLength = 16;        ///< string length range (bytes)
+    uint32_t maxLength = 96;
+    uint32_t numCompares = 500;     ///< compare calls
+    uint32_t fillerUopsPerGap = 120;///< work between calls
+    double duplicateFraction = 0.3; ///< compares of equal strings
+    uint64_t seed = 13;
+};
+
+/** The workload. */
+class StringWorkload : public TcaWorkload
+{
+  public:
+    explicit StringWorkload(const StringConfig &config);
+
+    std::unique_ptr<trace::TraceSource> makeBaselineTrace() override;
+    std::unique_ptr<trace::TraceSource> makeAcceleratedTrace() override;
+    cpu::AccelDevice &device() override;
+    uint64_t numInvocations() const override
+    {
+        return compares.size();
+    }
+    double accelLatencyEstimate() const override;
+    std::string name() const override { return "string"; }
+    bool verifyFunctional() const override;
+
+    /** Baseline uops attributable to compare loops. */
+    uint64_t acceleratableUops() const;
+
+  private:
+    struct Compare
+    {
+        uint32_t aIdx;
+        uint32_t bIdx;
+        uint32_t length;        ///< min(len(a), len(b))
+        uint32_t expectedMatch; ///< host-computed match length
+        bool expectedEqual;
+    };
+
+    void buildDictionary();
+    void buildScript();
+    void emitFillerGap(trace::TraceBuilder &builder, Rng &rng) const;
+    void emitCompareLoop(trace::TraceBuilder &builder,
+                         const Compare &cmp) const;
+    std::vector<trace::MicroOp> generate(bool accelerated);
+
+    uint64_t stringAddr(uint32_t idx) const;
+
+    StringConfig conf;
+    mem::BackingStore memStore;
+    std::vector<std::vector<uint8_t>> dictionary;
+    std::vector<Compare> compares;
+    std::unique_ptr<accel::StringTca> tca;
+};
+
+} // namespace workloads
+} // namespace tca
+
+#endif // TCASIM_WORKLOADS_STRING_WORKLOAD_HH

@@ -1,0 +1,131 @@
+#include "workloads/synthetic.hh"
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace workloads {
+
+using trace::RegId;
+using trace::TraceBuilder;
+
+namespace {
+
+/** Base of the synthetic workload's data segment. */
+constexpr uint64_t dataBase = 0x40000000ULL;
+
+} // anonymous namespace
+
+SyntheticWorkload::SyntheticWorkload(const SyntheticConfig &config)
+    : conf(config), tca(config.accelLatency)
+{
+    tca_assert(conf.numRegisters >= 8);
+    tca_assert(conf.fillerUops > 0);
+    // Random region placement, fixed for the workload's lifetime so
+    // baseline and accelerated traces line up.
+    Rng rng(conf.seed * 0x9e37ULL + 17);
+    regionStarts =
+        rng.samplePositions(conf.fillerUops, conf.numInvocations);
+}
+
+void
+SyntheticWorkload::emitFiller(TraceBuilder &builder, Rng &rng) const
+{
+    // Registers 1..numRegisters; reg 0 is the "no register" sentinel.
+    auto pick_reg = [&]() -> RegId {
+        return static_cast<RegId>(1 + rng.nextBelow(conf.numRegisters));
+    };
+    double roll = rng.nextDouble();
+    if (roll < conf.loadFraction) {
+        uint64_t addr = dataBase +
+            (rng.nextBelow(conf.workingSetBytes / 8) * 8);
+        builder.load(pick_reg(), addr, 8, pick_reg());
+    } else if (roll < conf.loadFraction + conf.storeFraction) {
+        uint64_t addr = dataBase +
+            (rng.nextBelow(conf.workingSetBytes / 8) * 8);
+        builder.store(pick_reg(), addr, 8, pick_reg());
+    } else if (roll < conf.loadFraction + conf.storeFraction +
+                      conf.branchFraction) {
+        builder.branch(rng.nextBool(conf.mispredictRate), pick_reg(),
+                       rng.nextBool(conf.lowConfidenceRate));
+    } else {
+        builder.alu(pick_reg(), pick_reg(), pick_reg());
+    }
+}
+
+void
+SyntheticWorkload::emitRegion(TraceBuilder &builder, Rng &rng) const
+{
+    // Acceleratable regions use the same mix as the filler so the
+    // region's software IPC matches the program's, per the model's
+    // uniform-IPC assumption.
+    builder.beginAcceleratable();
+    for (uint32_t i = 0; i < conf.regionUops; ++i)
+        emitFiller(builder, rng);
+    builder.endAcceleratable();
+}
+
+std::vector<trace::MicroOp>
+SyntheticWorkload::generate(bool accelerated)
+{
+    TraceBuilder builder;
+    Rng filler_rng(conf.seed);
+    Rng region_rng(conf.seed ^ 0xabcdef12345ULL);
+
+    size_t next_region = 0;
+    uint32_t invocation_id = 0;
+    for (uint64_t pos = 0; pos < conf.fillerUops; ++pos) {
+        while (next_region < regionStarts.size() &&
+               regionStarts[next_region] == pos) {
+            if (accelerated) {
+                if (conf.accelMemRequests > 0) {
+                    std::vector<cpu::AccelRequest> requests;
+                    for (uint32_t r = 0; r < conf.accelMemRequests;
+                         ++r) {
+                        uint64_t addr = dataBase +
+                            region_rng.nextBelow(
+                                conf.workingSetBytes / 64) * 64;
+                        requests.push_back({addr, false, 64});
+                    }
+                    tca.registerInvocation(invocation_id,
+                                           std::move(requests));
+                }
+                builder.accel(invocation_id);
+            } else {
+                emitRegion(builder, region_rng);
+            }
+            ++invocation_id;
+            ++next_region;
+        }
+        emitFiller(builder, filler_rng);
+    }
+    return builder.take();
+}
+
+std::unique_ptr<trace::TraceSource>
+SyntheticWorkload::makeBaselineTrace()
+{
+    return std::make_unique<trace::VectorTrace>(generate(false));
+}
+
+std::unique_ptr<trace::TraceSource>
+SyntheticWorkload::makeAcceleratedTrace()
+{
+    return std::make_unique<trace::VectorTrace>(generate(true));
+}
+
+double
+SyntheticWorkload::accelLatencyEstimate() const
+{
+    // Compute latency plus one L1-hit-ish cycle pair per request.
+    return conf.accelLatency + 2.0 * conf.accelMemRequests;
+}
+
+uint64_t
+SyntheticWorkload::baselineUops() const
+{
+    return conf.fillerUops +
+           static_cast<uint64_t>(conf.numInvocations) * conf.regionUops;
+}
+
+} // namespace workloads
+} // namespace tca

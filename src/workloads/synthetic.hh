@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The adaptive synthetic microbenchmark (Section V-A): a filler
+ * instruction stream with a configurable number of acceleratable
+ * regions placed at *random* positions (deliberately violating the
+ * model's even-distribution assumption, as the paper does). Growing
+ * the region count raises both the invocation frequency and the
+ * acceleratable fraction together, which is exactly the Fig. 4 sweep.
+ */
+
+#ifndef TCASIM_WORKLOADS_SYNTHETIC_HH
+#define TCASIM_WORKLOADS_SYNTHETIC_HH
+
+#include <vector>
+
+#include "accel/fixed_latency_tca.hh"
+#include "trace/builder.hh"
+#include "util/random.hh"
+#include "workloads/workload.hh"
+
+namespace tca {
+namespace workloads {
+
+/** Configuration of the synthetic microbenchmark. */
+struct SyntheticConfig
+{
+    uint64_t fillerUops = 200000;   ///< non-acceleratable stream length
+    uint32_t numInvocations = 100;  ///< acceleratable regions
+    uint32_t regionUops = 200;      ///< baseline uops per region
+    uint32_t accelLatency = 40;     ///< TCA compute cycles per region
+    uint32_t accelMemRequests = 0;  ///< TCA memory requests per region
+
+    double loadFraction = 0.20;     ///< filler mix
+    double storeFraction = 0.08;
+    double branchFraction = 0.10;
+    double mispredictRate = 0.002;  ///< of branches
+    double lowConfidenceRate = 0.0; ///< of branches (partial-spec ext)
+    uint32_t workingSetBytes = 1 << 20;
+    uint32_t numRegisters = 48;     ///< registers the filler cycles over
+
+    uint64_t seed = 1;
+};
+
+/**
+ * The workload. Trace generation is deterministic from the seed; the
+ * baseline and accelerated traces share an identical filler stream.
+ */
+class SyntheticWorkload : public TcaWorkload
+{
+  public:
+    explicit SyntheticWorkload(const SyntheticConfig &config);
+
+    std::unique_ptr<trace::TraceSource> makeBaselineTrace() override;
+    std::unique_ptr<trace::TraceSource> makeAcceleratedTrace() override;
+    cpu::AccelDevice &device() override { return tca; }
+    uint64_t numInvocations() const override
+    {
+        return conf.numInvocations;
+    }
+    double accelLatencyEstimate() const override;
+    std::string name() const override { return "synthetic"; }
+
+    /** Total baseline uops (filler + regions). */
+    uint64_t baselineUops() const;
+
+  private:
+    /** Emit one filler uop chosen by the rng. */
+    void emitFiller(trace::TraceBuilder &builder, Rng &rng) const;
+
+    /** Emit one acceleratable region (baseline form). */
+    void emitRegion(trace::TraceBuilder &builder, Rng &rng) const;
+
+    std::vector<trace::MicroOp> generate(bool accelerated);
+
+    SyntheticConfig conf;
+    accel::FixedLatencyTca tca;
+    std::vector<uint64_t> regionStarts; ///< filler offsets of regions
+};
+
+} // namespace workloads
+} // namespace tca
+
+#endif // TCASIM_WORKLOADS_SYNTHETIC_HH

@@ -1,0 +1,9 @@
+#include "workloads/workload.hh"
+
+// The interface is header-only today; this translation unit anchors the
+// vtable of TcaWorkload so every user does not emit its RTTI.
+
+namespace tca {
+namespace workloads {
+} // namespace workloads
+} // namespace tca

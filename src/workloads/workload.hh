@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Common interface of the validation workloads (Section IV): each one
+ * can produce a software-baseline trace and an accelerated trace in
+ * which acceleratable regions are replaced by Accel uops bound to a
+ * device. Trace creation also (re)initializes the workload's
+ * functional state, so one workload object supports repeated runs
+ * across the four TCA modes.
+ */
+
+#ifndef TCASIM_WORKLOADS_WORKLOAD_HH
+#define TCASIM_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+
+#include "cpu/accel_device.hh"
+#include "trace/trace_source.hh"
+
+namespace tca {
+namespace workloads {
+
+/** Abstract validation workload. */
+class TcaWorkload
+{
+  public:
+    virtual ~TcaWorkload() = default;
+
+    /**
+     * Build the software-baseline trace. Resets functional state; the
+     * returned source is valid until the next make*Trace call.
+     */
+    virtual std::unique_ptr<trace::TraceSource> makeBaselineTrace() = 0;
+
+    /**
+     * Build the accelerated trace and prepare the device. Resets
+     * functional state (including the device's).
+     */
+    virtual std::unique_ptr<trace::TraceSource>
+    makeAcceleratedTrace() = 0;
+
+    /** Device to bind for accelerated runs (valid after
+     *  makeAcceleratedTrace()). */
+    virtual cpu::AccelDevice &device() = 0;
+
+    /** Number of accelerator invocations in the accelerated trace. */
+    virtual uint64_t numInvocations() const = 0;
+
+    /**
+     * Architect's estimate of per-invocation accelerator latency in
+     * cycles (compute plus expected memory time), used to derive the
+     * model's acceleration factor A before any simulation.
+     */
+    virtual double accelLatencyEstimate() const = 0;
+
+    /** Workload name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Verify functional correctness after a run, if the workload
+     * supports it. Returns true when results match the reference (or
+     * the workload has nothing to check).
+     */
+    virtual bool verifyFunctional() const { return true; }
+};
+
+} // namespace workloads
+} // namespace tca
+
+#endif // TCASIM_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "accel/fixed_latency_tca.hh"
+
+namespace tca {
+namespace accel {
+namespace {
+
+TEST(FixedLatencyTcaTest, DefaultLatencyNoRequests)
+{
+    FixedLatencyTca tca(25);
+    std::vector<cpu::AccelRequest> reqs = {{1, true, 8}}; // stale
+    EXPECT_EQ(tca.beginInvocation(0, reqs), 25u);
+    EXPECT_TRUE(reqs.empty());
+}
+
+TEST(FixedLatencyTcaTest, RegisteredRequestsReturned)
+{
+    FixedLatencyTca tca(25);
+    tca.registerInvocation(3, {{0x100, false, 64}, {0x200, true, 32}});
+    std::vector<cpu::AccelRequest> reqs;
+    EXPECT_EQ(tca.beginInvocation(3, reqs), 25u);
+    ASSERT_EQ(reqs.size(), 2u);
+    EXPECT_EQ(reqs[0].addr, 0x100u);
+    EXPECT_FALSE(reqs[0].write);
+    EXPECT_TRUE(reqs[1].write);
+}
+
+TEST(FixedLatencyTcaTest, LatencyOverride)
+{
+    FixedLatencyTca tca(25);
+    tca.registerInvocation(7, {}, 99);
+    std::vector<cpu::AccelRequest> reqs;
+    EXPECT_EQ(tca.beginInvocation(7, reqs), 99u);
+}
+
+TEST(FixedLatencyTcaTest, CountsInvocations)
+{
+    FixedLatencyTca tca(5);
+    std::vector<cpu::AccelRequest> reqs;
+    tca.beginInvocation(0, reqs);
+    tca.beginInvocation(1, reqs);
+    tca.beginInvocation(0, reqs);
+    EXPECT_EQ(tca.invocationsStarted(), 3u);
+}
+
+TEST(FixedLatencyTcaDeathTest, ZeroLatencyRejected)
+{
+    EXPECT_DEATH(FixedLatencyTca(0), "");
+}
+
+} // namespace
+} // namespace accel
+} // namespace tca

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "accel/heap_tca.hh"
+
+namespace tca {
+namespace accel {
+namespace {
+
+TEST(HeapTcaTest, SingleCycleNoMemoryTraffic)
+{
+    HeapTca tca;
+    uint32_t id = tca.recordInvocation({true, 0, 0x1000});
+    std::vector<cpu::AccelRequest> reqs = {{1, true, 8}};
+    EXPECT_EQ(tca.beginInvocation(id, reqs),
+              HeapTca::operationLatency);
+    EXPECT_TRUE(reqs.empty());
+}
+
+TEST(HeapTcaTest, MallocDecrementsFreeIncrementsTable)
+{
+    HeapTca tca(32, 16);
+    uint32_t m = tca.recordInvocation({true, 2, 0x1000});
+    uint32_t f = tca.recordInvocation({false, 2, 0x1000});
+    std::vector<cpu::AccelRequest> reqs;
+
+    EXPECT_EQ(tca.tableDepth(2), 16u);
+    tca.beginInvocation(m, reqs);
+    EXPECT_EQ(tca.tableDepth(2), 15u);
+    tca.beginInvocation(f, reqs);
+    EXPECT_EQ(tca.tableDepth(2), 16u);
+    EXPECT_EQ(tca.tableHits(), 2u);
+    EXPECT_EQ(tca.tableMisses(), 0u);
+}
+
+TEST(HeapTcaTest, EmptyTableMallocCountsMiss)
+{
+    HeapTca tca(8, 0);
+    uint32_t m = tca.recordInvocation({true, 1, 0x1000});
+    std::vector<cpu::AccelRequest> reqs;
+    tca.beginInvocation(m, reqs);
+    EXPECT_EQ(tca.tableMisses(), 1u);
+    EXPECT_EQ(tca.tableDepth(1), 0u);
+}
+
+TEST(HeapTcaTest, FullTableFreeCountsMiss)
+{
+    HeapTca tca(4, 4);
+    uint32_t f = tca.recordInvocation({false, 0, 0x1000});
+    std::vector<cpu::AccelRequest> reqs;
+    tca.beginInvocation(f, reqs);
+    EXPECT_EQ(tca.tableMisses(), 1u);
+    EXPECT_EQ(tca.tableDepth(0), 4u);
+}
+
+TEST(HeapTcaTest, ClassesIndependent)
+{
+    HeapTca tca(32, 10);
+    uint32_t m = tca.recordInvocation({true, 0, 0x1000});
+    std::vector<cpu::AccelRequest> reqs;
+    tca.beginInvocation(m, reqs);
+    EXPECT_EQ(tca.tableDepth(0), 9u);
+    EXPECT_EQ(tca.tableDepth(1), 10u);
+    EXPECT_EQ(tca.tableDepth(3), 10u);
+}
+
+TEST(HeapTcaTest, InvocationRecordsRetrievable)
+{
+    HeapTca tca;
+    uint32_t id = tca.recordInvocation({false, 3, 0xabcd});
+    const HeapInvocation &inv = tca.invocation(id);
+    EXPECT_FALSE(inv.isMalloc);
+    EXPECT_EQ(inv.sizeClass, 3u);
+    EXPECT_EQ(inv.addr, 0xabcdu);
+}
+
+TEST(HeapTcaDeathTest, UnknownIdPanics)
+{
+    HeapTca tca;
+    std::vector<cpu::AccelRequest> reqs;
+    EXPECT_DEATH(tca.beginInvocation(99, reqs), "");
+}
+
+} // namespace
+} // namespace accel
+} // namespace tca

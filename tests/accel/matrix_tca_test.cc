@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "accel/matrix_tca.hh"
+
+namespace tca {
+namespace accel {
+namespace {
+
+/** Write an n x n tile of doubles at base with the given row stride. */
+void
+writeTile(mem::BackingStore &store, uint64_t base, uint32_t stride,
+          uint32_t n, const std::vector<double> &values)
+{
+    for (uint32_t i = 0; i < n; ++i)
+        for (uint32_t j = 0; j < n; ++j)
+            store.writeValue<double>(base + i * stride + j * 8,
+                                     values[i * n + j]);
+}
+
+TEST(MatrixTcaTest, TwoByTwoProductCorrect)
+{
+    mem::BackingStore store;
+    MatrixTca tca(2, store);
+    uint32_t stride = 64;
+    writeTile(store, 0x1000, stride, 2, {1, 2, 3, 4});
+    writeTile(store, 0x2000, stride, 2, {5, 6, 7, 8});
+    writeTile(store, 0x3000, stride, 2, {0, 0, 0, 0});
+
+    uint32_t id = tca.registerTile(
+        {0x1000, 0x2000, 0x3000, stride, stride, stride});
+    std::vector<cpu::AccelRequest> reqs;
+    tca.beginInvocation(id, reqs);
+
+    // [[1,2],[3,4]] * [[5,6],[7,8]] = [[19,22],[43,50]]
+    EXPECT_DOUBLE_EQ(store.readValue<double>(0x3000), 19.0);
+    EXPECT_DOUBLE_EQ(store.readValue<double>(0x3008), 22.0);
+    EXPECT_DOUBLE_EQ(store.readValue<double>(0x3000 + stride), 43.0);
+    EXPECT_DOUBLE_EQ(store.readValue<double>(0x3008 + stride), 50.0);
+}
+
+TEST(MatrixTcaTest, AccumulatesIntoC)
+{
+    mem::BackingStore store;
+    MatrixTca tca(2, store);
+    uint32_t stride = 16; // tight 2x2 tiles
+    writeTile(store, 0x1000, stride, 2, {1, 0, 0, 1}); // identity
+    writeTile(store, 0x2000, stride, 2, {1, 2, 3, 4});
+    writeTile(store, 0x3000, stride, 2, {10, 10, 10, 10});
+
+    uint32_t id = tca.registerTile(
+        {0x1000, 0x2000, 0x3000, stride, stride, stride});
+    std::vector<cpu::AccelRequest> reqs;
+    tca.beginInvocation(id, reqs);
+
+    // C += I * B
+    EXPECT_DOUBLE_EQ(store.readValue<double>(0x3000), 11.0);
+    EXPECT_DOUBLE_EQ(store.readValue<double>(0x3008), 12.0);
+}
+
+TEST(MatrixTcaTest, RequestPatternFourPerRow)
+{
+    mem::BackingStore store;
+    MatrixTca tca(4, store);
+    uint32_t id = tca.registerTile(
+        {0x1000, 0x2000, 0x3000, 256, 256, 256});
+    std::vector<cpu::AccelRequest> reqs;
+    uint32_t lat = tca.beginInvocation(id, reqs);
+
+    // Per row: A load, B load, C load, C store = 4 * tileN requests.
+    EXPECT_EQ(reqs.size(), 16u);
+    EXPECT_EQ(lat, tca.computeLatency());
+    int writes = 0;
+    for (const auto &r : reqs) {
+        EXPECT_EQ(r.size, 4 * 8); // contiguous row, 32 bytes
+        writes += r.write ? 1 : 0;
+    }
+    EXPECT_EQ(writes, 4); // one store per C row
+}
+
+TEST(MatrixTcaTest, EightByEightRowsAreFullCacheLines)
+{
+    mem::BackingStore store;
+    MatrixTca tca(8, store);
+    uint32_t id = tca.registerTile(
+        {0x1000, 0x4000, 0x8000, 512, 512, 512});
+    std::vector<cpu::AccelRequest> reqs;
+    tca.beginInvocation(id, reqs);
+    EXPECT_EQ(reqs.size(), 32u);
+    for (const auto &r : reqs)
+        EXPECT_EQ(r.size, 64); // 8 doubles = one line (AVX-512 width)
+}
+
+TEST(MatrixTcaTest, ComputeLatencyScalesWithTile)
+{
+    mem::BackingStore store;
+    MatrixTca t2(2, store), t4(4, store), t8(8, store);
+    EXPECT_LT(t2.computeLatency(), t4.computeLatency());
+    EXPECT_LT(t4.computeLatency(), t8.computeLatency());
+}
+
+TEST(MatrixTcaTest, CountsExecutedTiles)
+{
+    mem::BackingStore store;
+    MatrixTca tca(2, store);
+    std::vector<cpu::AccelRequest> reqs;
+    uint32_t a = tca.registerTile({0x0, 0x100, 0x200, 16, 16, 16});
+    uint32_t b = tca.registerTile({0x0, 0x100, 0x300, 16, 16, 16});
+    tca.beginInvocation(a, reqs);
+    tca.beginInvocation(b, reqs);
+    EXPECT_EQ(tca.tilesExecuted(), 2u);
+}
+
+TEST(MatrixTcaDeathTest, UnsupportedTileSizeFatal)
+{
+    mem::BackingStore store;
+    EXPECT_EXIT(MatrixTca(3, store), testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(MatrixTca(16, store), testing::ExitedWithCode(1), "");
+}
+
+TEST(MatrixTcaDeathTest, TightStrideRejected)
+{
+    mem::BackingStore store;
+    MatrixTca tca(4, store);
+    // Stride smaller than a row of 4 doubles is invalid.
+    EXPECT_DEATH(tca.registerTile({0x0, 0x100, 0x200, 16, 32, 32}), "");
+}
+
+} // namespace
+} // namespace accel
+} // namespace tca

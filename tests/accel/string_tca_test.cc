@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "accel/string_tca.hh"
+
+namespace tca {
+namespace accel {
+namespace {
+
+void
+putString(mem::BackingStore &store, uint64_t addr, const char *text)
+{
+    store.write(addr, text, std::strlen(text));
+}
+
+TEST(StringTcaTest, EqualStringsFullMatch)
+{
+    mem::BackingStore store;
+    StringTca tca(store);
+    putString(store, 0x1000, "hello world!");
+    putString(store, 0x2000, "hello world!");
+    uint32_t id = tca.registerCompare({0x1000, 0x2000, 12});
+    std::vector<cpu::AccelRequest> reqs;
+    tca.beginInvocation(id, reqs);
+    EXPECT_TRUE(tca.result(id).equal);
+    EXPECT_EQ(tca.result(id).matchLength, 12u);
+}
+
+TEST(StringTcaTest, MismatchReportsPosition)
+{
+    mem::BackingStore store;
+    StringTca tca(store);
+    putString(store, 0x1000, "hello world!");
+    putString(store, 0x2000, "hello wOrld!");
+    uint32_t id = tca.registerCompare({0x1000, 0x2000, 12});
+    std::vector<cpu::AccelRequest> reqs;
+    tca.beginInvocation(id, reqs);
+    EXPECT_FALSE(tca.result(id).equal);
+    EXPECT_EQ(tca.result(id).matchLength, 7u);
+}
+
+TEST(StringTcaTest, MismatchAtFirstByte)
+{
+    mem::BackingStore store;
+    StringTca tca(store);
+    putString(store, 0x1000, "abc");
+    putString(store, 0x2000, "xbc");
+    uint32_t id = tca.registerCompare({0x1000, 0x2000, 3});
+    std::vector<cpu::AccelRequest> reqs;
+    tca.beginInvocation(id, reqs);
+    EXPECT_EQ(tca.result(id).matchLength, 0u);
+}
+
+TEST(StringTcaTest, RequestsCoverBothStrings)
+{
+    mem::BackingStore store;
+    StringTca tca(store);
+    // 100 equal bytes: two lines per string.
+    std::vector<uint8_t> data(100, 0x41);
+    store.write(0x1000, data.data(), data.size());
+    store.write(0x2000, data.data(), data.size());
+    uint32_t id = tca.registerCompare({0x1000, 0x2000, 100});
+    std::vector<cpu::AccelRequest> reqs;
+    tca.beginInvocation(id, reqs);
+    // ceil(100/64) = 2 line chunks per string.
+    EXPECT_EQ(reqs.size(), 4u);
+    for (const auto &r : reqs)
+        EXPECT_FALSE(r.write);
+}
+
+TEST(StringTcaTest, EarlyMismatchFetchesLess)
+{
+    mem::BackingStore store;
+    StringTca tca(store);
+    std::vector<uint8_t> a(200, 0x41), b(200, 0x41);
+    b[3] = 0x42; // mismatch in the first line
+    store.write(0x1000, a.data(), a.size());
+    store.write(0x2000, b.data(), b.size());
+    uint32_t id = tca.registerCompare({0x1000, 0x2000, 200});
+    std::vector<cpu::AccelRequest> reqs;
+    uint32_t lat = tca.beginInvocation(id, reqs);
+    EXPECT_EQ(reqs.size(), 2u); // one line each
+    // Latency covers only the scanned prefix: 2 + ceil(4/16) = 3.
+    EXPECT_EQ(lat, 3u);
+}
+
+TEST(StringTcaTest, LatencyScalesWithLength)
+{
+    mem::BackingStore store;
+    StringTca tca(store);
+    std::vector<uint8_t> data(128, 0x41);
+    store.write(0x1000, data.data(), data.size());
+    store.write(0x2000, data.data(), data.size());
+    uint32_t short_id = tca.registerCompare({0x1000, 0x2000, 16});
+    uint32_t long_id = tca.registerCompare({0x1000, 0x2000, 128});
+    std::vector<cpu::AccelRequest> reqs;
+    uint32_t short_lat = tca.beginInvocation(short_id, reqs);
+    uint32_t long_lat = tca.beginInvocation(long_id, reqs);
+    EXPECT_EQ(short_lat, 2u + 1u);
+    EXPECT_EQ(long_lat, 2u + 8u);
+}
+
+TEST(StringTcaTest, ExecutedFlagTracksInvocations)
+{
+    mem::BackingStore store;
+    StringTca tca(store);
+    putString(store, 0x1000, "ab");
+    putString(store, 0x2000, "ab");
+    uint32_t id0 = tca.registerCompare({0x1000, 0x2000, 2});
+    uint32_t id1 = tca.registerCompare({0x1000, 0x2000, 2});
+    EXPECT_FALSE(tca.executed(id0));
+    std::vector<cpu::AccelRequest> reqs;
+    tca.beginInvocation(id0, reqs);
+    EXPECT_TRUE(tca.executed(id0));
+    EXPECT_FALSE(tca.executed(id1));
+    EXPECT_EQ(tca.comparesExecuted(), 1u);
+}
+
+TEST(StringTcaDeathTest, ResultBeforeExecutionPanics)
+{
+    mem::BackingStore store;
+    StringTca tca(store);
+    putString(store, 0x1000, "ab");
+    uint32_t id = tca.registerCompare({0x1000, 0x1000, 2});
+    EXPECT_DEATH(tca.result(id), "");
+}
+
+} // namespace
+} // namespace accel
+} // namespace tca

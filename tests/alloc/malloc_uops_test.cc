@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "alloc/malloc_uops.hh"
+#include "cpu/core.hh"
+
+namespace tca {
+namespace alloc {
+namespace {
+
+using trace::OpClass;
+using trace::TraceBuilder;
+
+TEST(MallocUopsTest, BudgetsMatchPaper)
+{
+    MallocUopParams params;
+    TraceBuilder b;
+    emitMallocSequence(b, params, 5, 0x20000000, 0x10000000);
+    EXPECT_EQ(b.size(), 69u);
+    emitFreeSequence(b, params, 5, 0x20000000, 0x10000000);
+    EXPECT_EQ(b.size(), 69u + 37u);
+}
+
+TEST(MallocUopsTest, MallocWritesResultRegister)
+{
+    MallocUopParams params;
+    TraceBuilder b;
+    emitMallocSequence(b, params, 42, 0x20000000, 0x10000000);
+    auto ops = b.take();
+    bool writes_result = false;
+    for (const auto &op : ops)
+        writes_result |= (op.dst == 42);
+    EXPECT_TRUE(writes_result);
+}
+
+TEST(MallocUopsTest, FreeReadsPointerRegister)
+{
+    MallocUopParams params;
+    TraceBuilder b;
+    emitFreeSequence(b, params, 42, 0x20000000, 0x10000000);
+    auto ops = b.take();
+    bool reads_ptr = false;
+    for (const auto &op : ops)
+        for (trace::RegId r : op.src)
+            reads_ptr |= (r == 42);
+    EXPECT_TRUE(reads_ptr);
+}
+
+TEST(MallocUopsTest, SequencesTouchMetadata)
+{
+    MallocUopParams params;
+    TraceBuilder b;
+    emitMallocSequence(b, params, 5, 0x20000000, 0x10000000);
+    auto ops = b.take();
+    int loads = 0, stores = 0;
+    for (const auto &op : ops) {
+        if (op.isLoad())
+            ++loads;
+        if (op.isStore())
+            ++stores;
+        if (op.isMem()) {
+            EXPECT_TRUE(op.addr == 0x20000000 ||
+                        (op.addr >= 0x10000000 &&
+                         op.addr < 0x10000010));
+        }
+    }
+    EXPECT_GE(loads, 2);
+    EXPECT_GE(stores, 1);
+}
+
+TEST(MallocUopsTest, AllUopsMarkedAcceleratable)
+{
+    MallocUopParams params;
+    TraceBuilder b;
+    emitMallocSequence(b, params, 5, 0x20000000, 0x10000000);
+    for (const auto &op : b.peek())
+        EXPECT_TRUE(op.acceleratable);
+}
+
+TEST(MallocUopsTest, AcceleratableMarkingCanBeDisabled)
+{
+    MallocUopParams params;
+    TraceBuilder b;
+    emitFreeSequence(b, params, 5, 0x20000000, 0x10000000, false);
+    for (const auto &op : b.peek())
+        EXPECT_FALSE(op.acceleratable);
+}
+
+/**
+ * Calibration check: on the A72-like core, the warmed malloc fast path
+ * costs on the order of the paper's 39 cycles and free around 20
+ * (Section IV). We accept a generous band since our core is not an
+ * exact A72.
+ */
+TEST(MallocUopsTest, FastPathLatencyCalibration)
+{
+    MallocUopParams params;
+    // Warm caches with a first round, then measure many calls.
+    TraceBuilder b;
+    constexpr int calls = 200;
+    for (int i = 0; i < calls; ++i) {
+        emitMallocSequence(b, params, 60, 0x20000000 + (i % 4) * 64,
+                           0x10000000);
+        emitFreeSequence(b, params, 60, 0x20000000 + (i % 4) * 64,
+                         0x10000000);
+    }
+    mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+    cpu::Core core(cpu::a72CoreConfig(), hierarchy);
+    trace::VectorTrace tr(b.take());
+    cpu::SimResult r = core.run(tr);
+
+    double cycles_per_pair =
+        static_cast<double>(r.cycles) / calls;
+    // Paper: 39 + 20 = 59 cycles per malloc+free pair.
+    EXPECT_GT(cycles_per_pair, 25.0);
+    EXPECT_LT(cycles_per_pair, 120.0);
+}
+
+TEST(MallocUopsTest, CustomBudgetsRespected)
+{
+    MallocUopParams params;
+    params.mallocUops = 20;
+    params.freeUops = 10;
+    TraceBuilder b;
+    emitMallocSequence(b, params, 5, 0x20000000, 0x10000000);
+    EXPECT_EQ(b.size(), 20u);
+    b.take();
+    emitFreeSequence(b, params, 5, 0x20000000, 0x10000000);
+    EXPECT_EQ(b.size(), 10u);
+}
+
+} // namespace
+} // namespace alloc
+} // namespace tca

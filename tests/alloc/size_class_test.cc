@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include "alloc/size_class.hh"
+
+namespace tca {
+namespace alloc {
+namespace {
+
+TEST(SizeClassTest, PaperClassBoundaries)
+{
+    // Section V-B: 0-32B, 33-64B, 65-96B, 97-128B.
+    EXPECT_EQ(sizeClassFor(1), 0u);
+    EXPECT_EQ(sizeClassFor(32), 0u);
+    EXPECT_EQ(sizeClassFor(33), 1u);
+    EXPECT_EQ(sizeClassFor(64), 1u);
+    EXPECT_EQ(sizeClassFor(65), 2u);
+    EXPECT_EQ(sizeClassFor(96), 2u);
+    EXPECT_EQ(sizeClassFor(97), 3u);
+    EXPECT_EQ(sizeClassFor(128), 3u);
+}
+
+TEST(SizeClassTest, ObjectSizes)
+{
+    EXPECT_EQ(classObjectSize(0), 32u);
+    EXPECT_EQ(classObjectSize(1), 64u);
+    EXPECT_EQ(classObjectSize(2), 96u);
+    EXPECT_EQ(classObjectSize(3), 128u);
+}
+
+TEST(SizeClassTest, ObjectSizeCoversRequests)
+{
+    for (uint32_t bytes = 1; bytes <= maxSmallSize; ++bytes)
+        EXPECT_GE(classObjectSize(sizeClassFor(bytes)), bytes);
+}
+
+TEST(SizeClassDeathTest, RejectsOutOfRange)
+{
+    EXPECT_EXIT(sizeClassFor(0), testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(sizeClassFor(129), testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace alloc
+} // namespace tca

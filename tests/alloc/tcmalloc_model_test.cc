@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "alloc/tcmalloc_model.hh"
+
+namespace tca {
+namespace alloc {
+namespace {
+
+TEST(TcmallocModelTest, MallocReturnsDistinctAddresses)
+{
+    TcmallocModel heap;
+    std::set<uint64_t> addrs;
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(addrs.insert(heap.malloc(24)).second);
+    EXPECT_EQ(heap.liveObjects(), 100u);
+}
+
+TEST(TcmallocModelTest, FreeThenMallocReusesAddress)
+{
+    TcmallocModel heap;
+    uint64_t a = heap.malloc(24);
+    heap.free(a);
+    // LIFO free list: the same address comes back.
+    EXPECT_EQ(heap.malloc(24), a);
+}
+
+TEST(TcmallocModelTest, ClassOfTracksLiveObjects)
+{
+    TcmallocModel heap;
+    uint64_t a = heap.malloc(100); // class 3
+    EXPECT_EQ(heap.classOf(a), 3u);
+}
+
+TEST(TcmallocModelTest, DifferentClassesDifferentSpans)
+{
+    TcmallocModel heap;
+    uint64_t small = heap.malloc(8);
+    uint64_t large = heap.malloc(128);
+    // Objects of different classes never share a 4 KiB span.
+    EXPECT_NE(small / 4096, large / 4096);
+}
+
+TEST(TcmallocModelTest, ObjectsDoNotOverlap)
+{
+    TcmallocModel heap;
+    std::vector<std::pair<uint64_t, uint32_t>> objs;
+    for (uint32_t bytes : {8u, 40u, 70u, 120u, 8u, 120u})
+        objs.emplace_back(heap.malloc(bytes),
+                          classObjectSize(sizeClassFor(bytes)));
+    for (size_t i = 0; i < objs.size(); ++i) {
+        for (size_t j = i + 1; j < objs.size(); ++j) {
+            uint64_t a0 = objs[i].first, a1 = a0 + objs[i].second;
+            uint64_t b0 = objs[j].first, b1 = b0 + objs[j].second;
+            EXPECT_TRUE(a1 <= b0 || b1 <= a0)
+                << "objects " << i << " and " << j << " overlap";
+        }
+    }
+}
+
+TEST(TcmallocModelTest, PrewarmGuaranteesHits)
+{
+    TcmallocModel heap;
+    heap.prewarm(0, 50);
+    EXPECT_GE(heap.freeListDepth(0), 50u);
+    uint64_t spans_before = heap.spansAllocated();
+    for (int i = 0; i < 50; ++i)
+        heap.malloc(16);
+    // No refill happened: all 50 came from the warmed list.
+    EXPECT_EQ(heap.spansAllocated(), spans_before);
+}
+
+TEST(TcmallocModelTest, FreeListHasEntryReflectsDepth)
+{
+    TcmallocModel heap;
+    EXPECT_FALSE(heap.freeListHasEntry(2));
+    heap.prewarm(2, 1);
+    EXPECT_TRUE(heap.freeListHasEntry(2));
+}
+
+TEST(TcmallocModelTest, MetadataAddressesPerClassDistinctLines)
+{
+    TcmallocModel heap;
+    std::set<uint64_t> lines;
+    for (uint32_t cls = 0; cls < numSizeClasses; ++cls)
+        lines.insert(heap.freeListHeadAddr(cls) / 64);
+    EXPECT_EQ(lines.size(), static_cast<size_t>(numSizeClasses));
+}
+
+TEST(TcmallocModelTest, MetadataAndHeapDisjoint)
+{
+    TcmallocModel heap;
+    uint64_t obj = heap.malloc(16);
+    EXPECT_GE(obj, TcmallocModel::heapBase);
+    EXPECT_LT(heap.freeListHeadAddr(0), TcmallocModel::heapBase);
+}
+
+TEST(TcmallocModelDeathTest, DoubleFreeFatal)
+{
+    TcmallocModel heap;
+    uint64_t a = heap.malloc(16);
+    heap.free(a);
+    EXPECT_EXIT(heap.free(a), testing::ExitedWithCode(1), "");
+}
+
+TEST(TcmallocModelDeathTest, FreeUnknownFatal)
+{
+    TcmallocModel heap;
+    EXPECT_EXIT(heap.free(0x1234), testing::ExitedWithCode(1), "");
+}
+
+TEST(TcmallocModelTest, MallocFreeChurnStaysBalanced)
+{
+    TcmallocModel heap;
+    std::vector<uint64_t> live;
+    for (int round = 0; round < 1000; ++round) {
+        if (live.size() < 20) {
+            live.push_back(heap.malloc(1 + (round % 128)));
+        } else {
+            heap.free(live.back());
+            live.pop_back();
+        }
+    }
+    EXPECT_EQ(heap.liveObjects(), live.size());
+}
+
+} // namespace
+} // namespace alloc
+} // namespace tca

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "accel/fixed_latency_tca.hh"
+#include "cpu/core.hh"
+#include "trace/builder.hh"
+
+namespace tca {
+namespace cpu {
+namespace {
+
+using model::TcaMode;
+using trace::TraceBuilder;
+using trace::VectorTrace;
+
+CoreConfig
+testConfig()
+{
+    CoreConfig conf;
+    conf.name = "test";
+    conf.dispatchWidth = 3;
+    conf.issueWidth = 3;
+    conf.commitWidth = 3;
+    conf.robSize = 64;
+    conf.iqSize = 32;
+    conf.lsqSize = 32;
+    conf.memPorts = 2;
+    conf.commitLatency = 10;
+    conf.redirectPenalty = 10;
+    return conf;
+}
+
+/** Leading work, one accel uop, trailing work. */
+std::vector<trace::MicroOp>
+sandwichTrace(int leading, int trailing, uint32_t invocation = 0)
+{
+    TraceBuilder b;
+    for (int i = 0; i < leading; ++i)
+        b.alu(static_cast<trace::RegId>(1 + (i % 20)));
+    b.accel(invocation, /*dst=*/50);
+    for (int i = 0; i < trailing; ++i)
+        b.alu(static_cast<trace::RegId>(1 + (i % 20)));
+    return b.take();
+}
+
+SimResult
+runMode(AccelDevice &device, TcaMode mode,
+        std::vector<trace::MicroOp> ops,
+        const CoreConfig &conf = testConfig())
+{
+    mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+    Core core(conf, hierarchy);
+    core.bindAccelerator(&device, mode);
+    VectorTrace trace(std::move(ops));
+    return core.run(trace);
+}
+
+TEST(CoreModesTest, InvocationCountedOnceWithExactLatency)
+{
+    accel::FixedLatencyTca tca(50);
+    SimResult r = runMode(tca, TcaMode::L_T, sandwichTrace(100, 100));
+    EXPECT_EQ(r.accelInvocations, 1u);
+    EXPECT_DOUBLE_EQ(r.avgAccelLatency(), 50.0);
+    EXPECT_EQ(tca.invocationsStarted(), 1u);
+}
+
+TEST(CoreModesTest, ModePerformanceOrdering)
+{
+    // Cycle counts: L_T <= NL_T <= NL_NT and L_T <= L_NT <= NL_NT.
+    // Trailing work is execution-bound (FP dependency chains) so the
+    // overlap the T modes enable is visible rather than being hidden
+    // behind in-order commit bandwidth.
+    CoreConfig conf = testConfig();
+    conf.robSize = 512;
+    conf.iqSize = 256;
+    conf.lsqSize = 256;
+    accel::FixedLatencyTca tca(100);
+    TraceBuilder b;
+    for (int i = 0; i < 500; ++i)
+        b.alu(static_cast<trace::RegId>(1 + (i % 20)));
+    b.accel(0, /*dst=*/50);
+    for (int i = 0; i < 500; ++i)
+        b.fmul(static_cast<trace::RegId>(60 + (i % 4)),
+               static_cast<trace::RegId>(60 + (i % 4)),
+               static_cast<trace::RegId>(60 + ((i + 1) % 4)));
+    auto ops = b.take();
+    SimResult lt = runMode(tca, TcaMode::L_T, ops, conf);
+    SimResult nlt = runMode(tca, TcaMode::NL_T, ops, conf);
+    SimResult lnt = runMode(tca, TcaMode::L_NT, ops, conf);
+    SimResult nlnt = runMode(tca, TcaMode::NL_NT, ops, conf);
+
+    EXPECT_LE(lt.cycles, nlt.cycles);
+    EXPECT_LE(lt.cycles, lnt.cycles);
+    EXPECT_LE(nlt.cycles, nlnt.cycles);
+    EXPECT_LE(lnt.cycles, nlnt.cycles);
+    // And the gap is real: full serialization costs at least most of
+    // the accelerator latency relative to full overlap here.
+    EXPECT_GE(nlnt.cycles, lt.cycles + 80);
+}
+
+TEST(CoreModesTest, NtModesRaiseDispatchBarrier)
+{
+    accel::FixedLatencyTca tca(80);
+    auto ops = sandwichTrace(200, 200);
+    SimResult lnt = runMode(tca, TcaMode::L_NT, ops);
+    SimResult nlnt = runMode(tca, TcaMode::NL_NT, ops);
+    SimResult lt = runMode(tca, TcaMode::L_T, ops);
+    SimResult nlt = runMode(tca, TcaMode::NL_T, ops);
+
+    EXPECT_GT(lnt.stalls(StallCause::SerializeBarrier), 0u);
+    EXPECT_GT(nlnt.stalls(StallCause::SerializeBarrier), 0u);
+    EXPECT_EQ(lt.stalls(StallCause::SerializeBarrier), 0u);
+    EXPECT_EQ(nlt.stalls(StallCause::SerializeBarrier), 0u);
+
+    // The NL_NT barrier holds for the drain as well as the
+    // accelerator execution, so it stalls at least as long.
+    EXPECT_GE(nlnt.stalls(StallCause::SerializeBarrier),
+              lnt.stalls(StallCause::SerializeBarrier));
+}
+
+TEST(CoreModesTest, NlModesDelayAccelUntilDrain)
+{
+    // In NL modes the accelerator may not begin until all leading
+    // work has committed. Leading work ending in long-latency cold
+    // loads keeps the window undrained when the TCA dispatches, so
+    // the NL delay is clearly visible.
+    CoreConfig conf = testConfig();
+    TraceBuilder b;
+    for (int i = 0; i < 100; ++i)
+        b.alu(static_cast<trace::RegId>(1 + (i % 20)));
+    for (int i = 0; i < 8; ++i)
+        b.load(static_cast<trace::RegId>(30 + i),
+               0x700000ULL + 4096ULL * i); // cold DRAM misses
+    b.accel(0);
+    for (int i = 0; i < 10; ++i)
+        b.alu(static_cast<trace::RegId>(1 + (i % 20)));
+    auto ops = b.take();
+
+    accel::FixedLatencyTca tca(200);
+    SimResult lt = runMode(tca, TcaMode::L_T, ops, conf);
+    SimResult nlt = runMode(tca, TcaMode::NL_T, ops, conf);
+
+    // L_T starts the TCA while the loads are outstanding; NL_T waits
+    // for them to return and commit (> 100 cycles of DRAM latency).
+    EXPECT_GT(nlt.cycles, lt.cycles + 60);
+}
+
+TEST(CoreModesTest, LtOverlapsAccelWithTrailingWork)
+{
+    // An accelerator shorter than the ROB-fill time with
+    // execution-bound trailing work: in L_T the trailing instructions
+    // start executing immediately (eq. 8's MAX clamps to zero); in
+    // L_NT they cannot even dispatch until the TCA commits.
+    CoreConfig conf = testConfig();
+    conf.robSize = 256; // fill time 256/3 ~ 85 > accel latency
+    conf.iqSize = 128;
+    conf.lsqSize = 128;
+    accel::FixedLatencyTca tca(60);
+    TraceBuilder b;
+    b.accel(0, /*dst=*/50);
+    for (int i = 0; i < 150; ++i)
+        b.fmul(static_cast<trace::RegId>(60 + (i % 2)),
+               static_cast<trace::RegId>(60 + (i % 2)),
+               static_cast<trace::RegId>(60 + ((i + 1) % 2)));
+    auto ops = b.take();
+    SimResult lt = runMode(tca, TcaMode::L_T, ops, conf);
+    SimResult lnt = runMode(tca, TcaMode::L_NT, ops, conf);
+    EXPECT_GT(lnt.cycles, lt.cycles + 25);
+}
+
+TEST(CoreModesTest, BackToBackInvocationsSerializeOnDevice)
+{
+    accel::FixedLatencyTca tca(100);
+    TraceBuilder b;
+    b.accel(0);
+    b.accel(1);
+    SimResult r = runMode(tca, TcaMode::L_T, b.take());
+    EXPECT_EQ(r.accelInvocations, 2u);
+    // One TCA: the second invocation starts after the first ends.
+    EXPECT_GE(r.cycles, 200u);
+}
+
+TEST(CoreModesTest, AccelOutputFeedsDependentConsumers)
+{
+    accel::FixedLatencyTca tca(60);
+    TraceBuilder dep, indep;
+    dep.accel(0, /*dst=*/50);
+    for (int i = 0; i < 80; ++i)
+        dep.alu(50, 50); // serial chain on the accel result
+    indep.accel(0, /*dst=*/50);
+    for (int i = 0; i < 80; ++i)
+        indep.alu(static_cast<trace::RegId>(1 + (i % 20)));
+
+    SimResult r_dep = runMode(tca, TcaMode::L_T, dep.take());
+    SimResult r_indep = runMode(tca, TcaMode::L_T, indep.take());
+    // The dependent chain serializes after the accelerator; the
+    // independent work overlaps with it.
+    EXPECT_GT(r_dep.cycles, r_indep.cycles + 40);
+}
+
+TEST(CoreModesTest, AccelMemoryRequestsReachTheHierarchy)
+{
+    accel::FixedLatencyTca tca(5);
+    std::vector<AccelRequest> reqs;
+    for (int i = 0; i < 8; ++i)
+        reqs.push_back({0x900000ULL + 4096ULL * i, false, 64});
+    tca.registerInvocation(0, reqs);
+
+    mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+    Core core(testConfig(), hierarchy);
+    core.bindAccelerator(&tca, TcaMode::L_T);
+    TraceBuilder b;
+    b.accel(0);
+    VectorTrace trace(b.take());
+    SimResult r = core.run(trace);
+
+    // All 8 cold lines were fetched.
+    EXPECT_EQ(hierarchy.l1d().misses(), 8u);
+    // Accel latency includes the memory time, far above compute-only.
+    EXPECT_GT(r.avgAccelLatency(), 100.0);
+}
+
+TEST(CoreModesTest, AccelRequestsArbitrageSharedPorts)
+{
+    // With 1 port, 8 requests take ~8 port cycles; with 4 ports, ~2.
+    accel::FixedLatencyTca tca(1);
+    std::vector<AccelRequest> reqs;
+    for (int i = 0; i < 32; ++i)
+        reqs.push_back({0xa00000ULL + 64ULL * i, false, 64});
+    tca.registerInvocation(0, reqs);
+
+    TraceBuilder b;
+    b.accel(0);
+    auto ops = b.take();
+
+    CoreConfig one_port = testConfig();
+    one_port.memPorts = 1;
+    CoreConfig four_ports = testConfig();
+    four_ports.memPorts = 4;
+
+    SimResult r1 = runMode(tca, TcaMode::L_T, ops, one_port);
+    SimResult r4 = runMode(tca, TcaMode::L_T, ops, four_ports);
+    EXPECT_GT(r1.avgAccelLatency(), r4.avgAccelLatency());
+}
+
+TEST(CoreModesTest, ManyInvocationsAllModesCommitEverything)
+{
+    accel::FixedLatencyTca tca(10);
+    TraceBuilder b;
+    for (uint32_t i = 0; i < 50; ++i) {
+        for (int j = 0; j < 40; ++j)
+            b.alu(static_cast<trace::RegId>(1 + (j % 20)));
+        b.accel(i);
+    }
+    auto ops = b.take();
+    for (TcaMode mode : model::allTcaModes) {
+        SimResult r = runMode(tca, mode, ops);
+        EXPECT_EQ(r.committedUops, 50u * 41u)
+            << tcaModeName(mode);
+        EXPECT_EQ(r.accelInvocations, 50u) << tcaModeName(mode);
+    }
+}
+
+} // namespace
+} // namespace cpu
+} // namespace tca

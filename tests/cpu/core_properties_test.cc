@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Parameterized property tests: invariants that must hold for every
+ * core configuration and workload shape combination — conservation of
+ * committed uops, determinism, mode ordering, and resource bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/fixed_latency_tca.hh"
+#include "cpu/core.hh"
+#include "trace/builder.hh"
+#include "util/random.hh"
+
+namespace tca {
+namespace cpu {
+namespace {
+
+using model::TcaMode;
+
+struct PropertyCase
+{
+    const char *coreName;
+    const char *shapeName;
+};
+
+CoreConfig
+coreFor(const std::string &name)
+{
+    if (name == "a72")
+        return a72CoreConfig();
+    if (name == "hp")
+        return highPerfCoreConfig();
+    return lowPerfCoreConfig();
+}
+
+/** Build a mixed trace with the given shape. */
+std::vector<trace::MicroOp>
+traceFor(const std::string &shape, uint32_t accel_every)
+{
+    trace::TraceBuilder b;
+    Rng rng(99);
+    uint32_t invocation = 0;
+    for (int i = 0; i < 4000; ++i) {
+        if (shape == "alu") {
+            b.alu(static_cast<trace::RegId>(1 + (i % 24)));
+        } else if (shape == "chain") {
+            b.fmacc(5, 6, 7);
+        } else if (shape == "mem") {
+            if (i % 3 == 0)
+                b.load(static_cast<trace::RegId>(1 + (i % 8)),
+                       0x300000 + rng.nextBelow(4096) * 8);
+            else if (i % 7 == 0)
+                b.store(static_cast<trace::RegId>(1 + (i % 8)),
+                        0x300000 + rng.nextBelow(4096) * 8);
+            else
+                b.alu(static_cast<trace::RegId>(1 + (i % 8)));
+        } else { // "branchy"
+            if (i % 11 == 0)
+                b.branch(rng.nextBool(0.2),
+                         static_cast<trace::RegId>(1 + (i % 8)));
+            else
+                b.alu(static_cast<trace::RegId>(1 + (i % 8)));
+        }
+        if (accel_every && i % accel_every == accel_every - 1)
+            b.accel(invocation++);
+    }
+    return b.take();
+}
+
+class CorePropertyTest
+    : public testing::TestWithParam<std::tuple<const char *,
+                                               const char *>>
+{};
+
+TEST_P(CorePropertyTest, CommitsEveryUopExactlyOnce)
+{
+    auto [core_name, shape] = GetParam();
+    auto ops = traceFor(shape, 0);
+    mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+    Core core(coreFor(core_name), hierarchy);
+    trace::VectorTrace trace(ops);
+    SimResult r = core.run(trace);
+    EXPECT_EQ(r.committedUops, ops.size());
+}
+
+TEST_P(CorePropertyTest, DeterministicRepeatRuns)
+{
+    auto [core_name, shape] = GetParam();
+    auto ops = traceFor(shape, 0);
+    uint64_t first = 0;
+    for (int rep = 0; rep < 2; ++rep) {
+        mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+        Core core(coreFor(core_name), hierarchy);
+        trace::VectorTrace trace(ops);
+        SimResult r = core.run(trace);
+        if (rep == 0)
+            first = r.cycles;
+        else
+            EXPECT_EQ(r.cycles, first);
+    }
+}
+
+TEST_P(CorePropertyTest, OccupancyNeverExceedsRob)
+{
+    auto [core_name, shape] = GetParam();
+    CoreConfig conf = coreFor(core_name);
+    auto ops = traceFor(shape, 0);
+    mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+    Core core(conf, hierarchy);
+    trace::VectorTrace trace(ops);
+    SimResult r = core.run(trace);
+    EXPECT_LE(r.avgRobOccupancy(), static_cast<double>(conf.robSize));
+}
+
+TEST_P(CorePropertyTest, ModeOrderingHoldsWithAccelerator)
+{
+    auto [core_name, shape] = GetParam();
+    auto ops = traceFor(shape, 200);
+    accel::FixedLatencyTca tca(40);
+
+    uint64_t cycles[4];
+    for (size_t m = 0; m < model::allTcaModes.size(); ++m) {
+        mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+        Core core(coreFor(core_name), hierarchy);
+        core.bindAccelerator(&tca, model::allTcaModes[m]);
+        trace::VectorTrace trace(ops);
+        cycles[m] = core.run(trace).cycles;
+    }
+    // allTcaModes order: L_T, NL_T, L_NT, NL_NT. More restrictions
+    // can never be faster (1-cycle tolerance for stage alignment).
+    uint64_t lt = cycles[0], nlt = cycles[1], lnt = cycles[2],
+             nlnt = cycles[3];
+    EXPECT_LE(lt, nlt + 1);
+    EXPECT_LE(lt, lnt + 1);
+    EXPECT_LE(nlt, nlnt + 1);
+    EXPECT_LE(lnt, nlnt + 1);
+}
+
+TEST_P(CorePropertyTest, IpcNeverExceedsDispatchWidth)
+{
+    auto [core_name, shape] = GetParam();
+    CoreConfig conf = coreFor(core_name);
+    auto ops = traceFor(shape, 0);
+    mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+    Core core(conf, hierarchy);
+    trace::VectorTrace trace(ops);
+    SimResult r = core.run(trace);
+    EXPECT_LE(r.ipc(), static_cast<double>(conf.dispatchWidth));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCoresAllShapes, CorePropertyTest,
+    testing::Combine(testing::Values("a72", "hp", "lp"),
+                     testing::Values("alu", "chain", "mem",
+                                     "branchy")),
+    [](const testing::TestParamInfo<CorePropertyTest::ParamType>
+           &info) {
+        return std::string(std::get<0>(info.param)) + "_" +
+               std::get<1>(info.param);
+    });
+
+} // namespace
+} // namespace cpu
+} // namespace tca

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "trace/builder.hh"
+
+namespace tca {
+namespace cpu {
+namespace {
+
+using trace::TraceBuilder;
+using trace::VectorTrace;
+
+CoreConfig
+testConfig()
+{
+    CoreConfig conf;
+    conf.name = "test";
+    conf.dispatchWidth = 3;
+    conf.issueWidth = 3;
+    conf.commitWidth = 3;
+    conf.robSize = 32;
+    conf.iqSize = 16;
+    conf.lsqSize = 16;
+    conf.memPorts = 2;
+    conf.intAluUnits = 3;
+    conf.commitLatency = 10;
+    conf.redirectPenalty = 10;
+    return conf;
+}
+
+SimResult
+runTrace(const CoreConfig &conf, std::vector<trace::MicroOp> ops,
+         mem::MemHierarchy *hier_out = nullptr)
+{
+    static mem::HierarchyConfig mem_conf;
+    mem::MemHierarchy hierarchy(mem_conf);
+    Core core(conf, hierarchy);
+    VectorTrace trace(std::move(ops));
+    SimResult result = core.run(trace);
+    if (hier_out)
+        *hier_out = std::move(hierarchy);
+    return result;
+}
+
+TEST(CoreTest, EmptyTraceFinishesImmediately)
+{
+    SimResult r = runTrace(testConfig(), {});
+    EXPECT_EQ(r.committedUops, 0u);
+    EXPECT_LE(r.cycles, 2u);
+}
+
+TEST(CoreTest, SingleAluOpCommits)
+{
+    TraceBuilder b;
+    b.alu(1);
+    SimResult r = runTrace(testConfig(), b.take());
+    EXPECT_EQ(r.committedUops, 1u);
+    // dispatch (1) + issue (1) + execute (1) + commit depth (10), give
+    // or take pipeline skew.
+    EXPECT_GE(r.cycles, 12u);
+    EXPECT_LE(r.cycles, 16u);
+}
+
+TEST(CoreTest, IndependentOpsExploitWidth)
+{
+    CoreConfig conf = testConfig();
+    TraceBuilder dep, indep;
+    constexpr int n = 3000;
+    for (int i = 0; i < n; ++i) {
+        dep.alu(1, 1);                          // serial chain
+        indep.alu(static_cast<trace::RegId>(1 + (i % 30))); // parallel
+    }
+    SimResult r_dep = runTrace(conf, dep.take());
+    SimResult r_indep = runTrace(conf, indep.take());
+    EXPECT_EQ(r_dep.committedUops, static_cast<uint64_t>(n));
+    // The dependent chain executes one per cycle; the independent
+    // stream sustains ~dispatchWidth per cycle.
+    EXPECT_GE(r_dep.cycles, static_cast<uint64_t>(n));
+    EXPECT_LT(r_indep.cycles, static_cast<uint64_t>(n) / 2);
+    EXPECT_GT(r_indep.ipc(), 2.0);
+}
+
+TEST(CoreTest, FuLimitCapsIssueRate)
+{
+    CoreConfig conf = testConfig();
+    conf.intAluUnits = 1;
+    conf.dispatchWidth = 4;
+    conf.issueWidth = 4;
+    TraceBuilder b;
+    constexpr int n = 2000;
+    for (int i = 0; i < n; ++i)
+        b.alu(static_cast<trace::RegId>(1 + (i % 30)));
+    SimResult r = runTrace(conf, b.take());
+    // One ALU: cannot exceed 1 uop/cycle.
+    EXPECT_LE(r.ipc(), 1.01);
+    EXPECT_GE(r.ipc(), 0.9);
+}
+
+TEST(CoreTest, ColdLoadPaysMemoryLatency)
+{
+    TraceBuilder b;
+    b.load(1, 0x10000);
+    SimResult r = runTrace(testConfig(), b.take());
+    mem::HierarchyConfig mem_conf;
+    // Cold miss travels to DRAM.
+    EXPECT_GE(r.cycles, mem_conf.dram.latency);
+}
+
+TEST(CoreTest, WarmLoadsHitInL1)
+{
+    TraceBuilder b;
+    constexpr int n = 500;
+    for (int i = 0; i < n; ++i)
+        b.load(static_cast<trace::RegId>(1 + (i % 8)),
+               0x10000 + (i % 4) * 8);
+    SimResult r = runTrace(testConfig(), b.take());
+    // One cold miss, everything else L1 hits: far faster than if each
+    // load paid the DRAM latency.
+    EXPECT_LT(r.cycles, 2000u);
+    EXPECT_GT(r.ipc(), 0.5);
+}
+
+TEST(CoreTest, StoreToLoadForwarding)
+{
+    // A load that overlaps an older in-flight store forwards instead
+    // of going to (cold) memory.
+    TraceBuilder fwd;
+    fwd.alu(1);
+    fwd.store(1, 0x20000);
+    fwd.load(2, 0x20000);
+
+    TraceBuilder cold;
+    cold.alu(1);
+    cold.store(1, 0x20000);
+    cold.load(2, 0x30000); // different line: cold miss
+
+    SimResult r_fwd = runTrace(testConfig(), fwd.take());
+    SimResult r_cold = runTrace(testConfig(), cold.take());
+    EXPECT_LT(r_fwd.cycles, r_cold.cycles);
+    mem::HierarchyConfig mem_conf;
+    EXPECT_LT(r_fwd.cycles, mem_conf.dram.latency);
+}
+
+TEST(CoreTest, PartialOverlapStillForwards)
+{
+    // 8-byte store covering a 4-byte load: ranges intersect.
+    TraceBuilder b;
+    b.alu(1);
+    b.store(1, 0x20000, 8);
+    b.load(2, 0x20004, 4);
+    SimResult r = runTrace(testConfig(), b.take());
+    mem::HierarchyConfig mem_conf;
+    EXPECT_LT(r.cycles, mem_conf.dram.latency);
+}
+
+TEST(CoreTest, MispredictedBranchCostsRedirect)
+{
+    CoreConfig conf = testConfig();
+    TraceBuilder good, bad;
+    for (int i = 0; i < 200; ++i) {
+        good.alu(static_cast<trace::RegId>(1 + (i % 20)));
+        bad.alu(static_cast<trace::RegId>(1 + (i % 20)));
+    }
+    good.branch(false);
+    bad.branch(true);
+    for (int i = 0; i < 200; ++i) {
+        good.alu(static_cast<trace::RegId>(1 + (i % 20)));
+        bad.alu(static_cast<trace::RegId>(1 + (i % 20)));
+    }
+    SimResult r_good = runTrace(conf, good.take());
+    SimResult r_bad = runTrace(conf, bad.take());
+    EXPECT_GT(r_bad.cycles, r_good.cycles);
+    EXPECT_GT(r_bad.stalls(StallCause::BranchRedirect), 0u);
+    EXPECT_EQ(r_good.stalls(StallCause::BranchRedirect), 0u);
+}
+
+TEST(CoreTest, RobFullStallBehindLongLoad)
+{
+    CoreConfig conf = testConfig(); // ROB 32
+    TraceBuilder b;
+    b.load(1, 0x50000); // cold miss to DRAM at the head
+    for (int i = 0; i < 200; ++i)
+        b.alu(static_cast<trace::RegId>(2 + (i % 20)));
+    SimResult r = runTrace(conf, b.take());
+    EXPECT_GT(r.stalls(StallCause::RobFull), 0u);
+}
+
+TEST(CoreTest, CommittedUopCountExact)
+{
+    TraceBuilder b;
+    for (int i = 0; i < 137; ++i)
+        b.alu(static_cast<trace::RegId>(1 + (i % 10)));
+    SimResult r = runTrace(testConfig(), b.take());
+    EXPECT_EQ(r.committedUops, 137u);
+}
+
+TEST(CoreTest, AcceleratableUopsCounted)
+{
+    TraceBuilder b;
+    b.alu(1);
+    b.beginAcceleratable();
+    b.alu(2);
+    b.alu(3);
+    b.endAcceleratable();
+    b.alu(4);
+    SimResult r = runTrace(testConfig(), b.take());
+    EXPECT_EQ(r.committedAcceleratable, 2u);
+}
+
+TEST(CoreTest, DeterministicAcrossRuns)
+{
+    TraceBuilder b;
+    for (int i = 0; i < 500; ++i) {
+        b.alu(static_cast<trace::RegId>(1 + (i % 16)));
+        if (i % 7 == 0)
+            b.load(3, 0x10000 + (i % 64) * 8);
+    }
+    auto ops = b.take();
+    SimResult r1 = runTrace(testConfig(), ops);
+    SimResult r2 = runTrace(testConfig(), ops);
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.committedUops, r2.committedUops);
+}
+
+TEST(CoreTest, FpLatencyLongerThanAlu)
+{
+    CoreConfig conf = testConfig();
+    TraceBuilder alu_chain, fp_chain;
+    for (int i = 0; i < 500; ++i) {
+        alu_chain.alu(1, 1);
+        fp_chain.fmul(1, 1, 1);
+    }
+    SimResult r_alu = runTrace(conf, alu_chain.take());
+    SimResult r_fp = runTrace(conf, fp_chain.take());
+    // FP multiply latency 4 vs ALU 1 on a serial chain.
+    EXPECT_GT(r_fp.cycles, 3 * r_alu.cycles);
+}
+
+TEST(CoreTest, WiderCoreFasterOnParallelWork)
+{
+    TraceBuilder b;
+    for (int i = 0; i < 3000; ++i)
+        b.alu(static_cast<trace::RegId>(1 + (i % 40)));
+    auto ops = b.take();
+
+    SimResult narrow = runTrace(lowPerfCoreConfig(), ops);
+    SimResult wide = runTrace(highPerfCoreConfig(), ops);
+    EXPECT_LT(wide.cycles, narrow.cycles);
+}
+
+TEST(CoreDeathTest, AccelWithoutDevicePanics)
+{
+    TraceBuilder b;
+    b.accel(0);
+    auto ops = b.take();
+    EXPECT_DEATH(runTrace(testConfig(), ops), "no accelerator");
+}
+
+} // namespace
+} // namespace cpu
+} // namespace tca

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "cpu/fu_pool.hh"
+
+namespace tca {
+namespace cpu {
+namespace {
+
+using trace::OpClass;
+
+TEST(FuPoolTest, AluBudgetPerCycle)
+{
+    CoreConfig conf;
+    conf.intAluUnits = 2;
+    FuPool pool(conf);
+    pool.newCycle();
+    EXPECT_TRUE(pool.available(OpClass::IntAlu));
+    pool.consume(OpClass::IntAlu);
+    EXPECT_TRUE(pool.available(OpClass::IntAlu));
+    pool.consume(OpClass::IntAlu);
+    EXPECT_FALSE(pool.available(OpClass::IntAlu));
+}
+
+TEST(FuPoolTest, NewCycleRestoresBudget)
+{
+    CoreConfig conf;
+    conf.intAluUnits = 1;
+    FuPool pool(conf);
+    pool.newCycle();
+    pool.consume(OpClass::IntAlu);
+    EXPECT_FALSE(pool.available(OpClass::IntAlu));
+    pool.newCycle();
+    EXPECT_TRUE(pool.available(OpClass::IntAlu));
+}
+
+TEST(FuPoolTest, FpClassesShareUnits)
+{
+    CoreConfig conf;
+    conf.fpUnits = 1;
+    FuPool pool(conf);
+    pool.newCycle();
+    pool.consume(OpClass::FpMul);
+    EXPECT_FALSE(pool.available(OpClass::FpAdd));
+    EXPECT_FALSE(pool.available(OpClass::FpMacc));
+}
+
+TEST(FuPoolTest, IntMulSeparateFromAlu)
+{
+    CoreConfig conf;
+    conf.intAluUnits = 1;
+    conf.intMulUnits = 1;
+    FuPool pool(conf);
+    pool.newCycle();
+    pool.consume(OpClass::IntAlu);
+    EXPECT_TRUE(pool.available(OpClass::IntMul));
+}
+
+TEST(FuPoolTest, MemAndAccelNotFuLimited)
+{
+    CoreConfig conf;
+    FuPool pool(conf);
+    pool.newCycle();
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(pool.available(OpClass::Load));
+        EXPECT_TRUE(pool.available(OpClass::Store));
+        EXPECT_TRUE(pool.available(OpClass::Accel));
+    }
+}
+
+TEST(FuPoolTest, NopUsesAluSlot)
+{
+    CoreConfig conf;
+    conf.intAluUnits = 1;
+    FuPool pool(conf);
+    pool.newCycle();
+    pool.consume(OpClass::Nop);
+    EXPECT_FALSE(pool.available(OpClass::IntAlu));
+}
+
+} // namespace
+} // namespace cpu
+} // namespace tca

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "accel/fixed_latency_tca.hh"
+#include "cpu/core.hh"
+#include "trace/builder.hh"
+
+namespace tca {
+namespace cpu {
+namespace {
+
+using model::TcaMode;
+using trace::TraceBuilder;
+using trace::VectorTrace;
+
+CoreConfig
+testConfig()
+{
+    CoreConfig conf;
+    conf.robSize = 64;
+    conf.iqSize = 32;
+    conf.lsqSize = 32;
+    conf.commitLatency = 10;
+    return conf;
+}
+
+TEST(MultiTcaTest, InvocationsRouteToTheRightDevice)
+{
+    accel::FixedLatencyTca fast(5), slow(50);
+    mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+    Core core(testConfig(), hierarchy);
+    core.bindAccelerator(&fast, TcaMode::L_T, 0);
+    core.bindAccelerator(&slow, TcaMode::L_T, 1);
+
+    TraceBuilder b;
+    b.accel(0, trace::noReg, trace::noReg, /*port=*/0);
+    b.accel(1, trace::noReg, trace::noReg, /*port=*/1);
+    b.accel(2, trace::noReg, trace::noReg, /*port=*/0);
+    VectorTrace trace(b.take());
+    SimResult r = core.run(trace);
+
+    EXPECT_EQ(r.accelInvocations, 3u);
+    EXPECT_EQ(fast.invocationsStarted(), 2u);
+    EXPECT_EQ(slow.invocationsStarted(), 1u);
+}
+
+TEST(MultiTcaTest, PortsExecuteConcurrently)
+{
+    // Two 100-cycle TCAs on separate ports overlap; on the same port
+    // they serialize.
+    accel::FixedLatencyTca tca_a(100), tca_b(100);
+
+    TraceBuilder two_ports;
+    two_ports.accel(0, trace::noReg, trace::noReg, 0);
+    two_ports.accel(1, trace::noReg, trace::noReg, 1);
+    TraceBuilder one_port;
+    one_port.accel(0, trace::noReg, trace::noReg, 0);
+    one_port.accel(1, trace::noReg, trace::noReg, 0);
+
+    mem::MemHierarchy h1{mem::HierarchyConfig{}};
+    Core c1(testConfig(), h1);
+    c1.bindAccelerator(&tca_a, TcaMode::L_T, 0);
+    c1.bindAccelerator(&tca_b, TcaMode::L_T, 1);
+    VectorTrace t1(two_ports.take());
+    SimResult parallel = c1.run(t1);
+
+    mem::MemHierarchy h2{mem::HierarchyConfig{}};
+    Core c2(testConfig(), h2);
+    c2.bindAccelerator(&tca_a, TcaMode::L_T, 0);
+    VectorTrace t2(one_port.take());
+    SimResult serial = c2.run(t2);
+
+    EXPECT_LT(parallel.cycles, serial.cycles - 50);
+}
+
+TEST(MultiTcaTest, PerPortIntegrationModes)
+{
+    // Port 0 runs L_T (no barrier); port 1 runs NL_NT (barrier). Only
+    // invocations of port 1 stall dispatch.
+    accel::FixedLatencyTca relaxed(30), strict(30);
+
+    TraceBuilder b;
+    for (int i = 0; i < 100; ++i)
+        b.alu(static_cast<trace::RegId>(1 + (i % 16)));
+    b.accel(0, trace::noReg, trace::noReg, 0); // L_T port
+    for (int i = 0; i < 100; ++i)
+        b.alu(static_cast<trace::RegId>(1 + (i % 16)));
+    b.accel(0, trace::noReg, trace::noReg, 1); // NL_NT port
+    for (int i = 0; i < 100; ++i)
+        b.alu(static_cast<trace::RegId>(1 + (i % 16)));
+    auto ops = b.take();
+
+    mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+    Core core(testConfig(), hierarchy);
+    core.bindAccelerator(&relaxed, TcaMode::L_T, 0);
+    core.bindAccelerator(&strict, TcaMode::NL_NT, 1);
+    VectorTrace trace(ops);
+    SimResult r = core.run(trace);
+
+    EXPECT_GT(r.stalls(StallCause::SerializeBarrier), 0u);
+    EXPECT_EQ(r.accelInvocations, 2u);
+}
+
+TEST(MultiTcaTest, MixedModesOrderedAgainstUniformStrict)
+{
+    // A core where only the rare coarse TCA is NL_NT beats a core
+    // where both TCAs are NL_NT.
+    accel::FixedLatencyTca fine(10), coarse(200);
+
+    TraceBuilder b;
+    for (uint32_t i = 0; i < 40; ++i) {
+        for (int j = 0; j < 60; ++j)
+            b.alu(static_cast<trace::RegId>(1 + (j % 16)));
+        b.accel(i, trace::noReg, trace::noReg, 0); // fine, frequent
+    }
+    b.accel(0, trace::noReg, trace::noReg, 1); // coarse, once
+    auto ops = b.take();
+
+    auto run_with = [&](TcaMode fine_mode) {
+        mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+        Core core(testConfig(), hierarchy);
+        core.bindAccelerator(&fine, fine_mode, 0);
+        core.bindAccelerator(&coarse, TcaMode::NL_NT, 1);
+        VectorTrace trace(ops);
+        return core.run(trace).cycles;
+    };
+    EXPECT_LT(run_with(TcaMode::L_T), run_with(TcaMode::NL_NT));
+}
+
+TEST(MultiTcaDeathTest, UnboundPortPanics)
+{
+    accel::FixedLatencyTca tca(10);
+    mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+    Core core(testConfig(), hierarchy);
+    core.bindAccelerator(&tca, TcaMode::L_T, 0);
+    TraceBuilder b;
+    b.accel(0, trace::noReg, trace::noReg, /*port=*/3);
+    VectorTrace trace(b.take());
+    EXPECT_DEATH(core.run(trace), "port 3");
+}
+
+} // namespace
+} // namespace cpu
+} // namespace tca

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "accel/fixed_latency_tca.hh"
+#include "cpu/core.hh"
+#include "trace/builder.hh"
+
+namespace tca {
+namespace cpu {
+namespace {
+
+using model::TcaMode;
+using trace::TraceBuilder;
+using trace::VectorTrace;
+
+CoreConfig
+testConfig()
+{
+    CoreConfig conf;
+    conf.name = "test";
+    conf.robSize = 64;
+    conf.iqSize = 32;
+    conf.lsqSize = 32;
+    conf.commitLatency = 10;
+    conf.redirectPenalty = 10;
+    return conf;
+}
+
+/**
+ * A load feeding a branch (so the branch resolves late), then the
+ * accelerator, then trailing work. The load is cold: the branch stays
+ * unresolved for the DRAM latency.
+ */
+std::vector<trace::MicroOp>
+gateTrace(bool low_confidence)
+{
+    TraceBuilder b;
+    b.load(5, 0x880000); // cold miss ~ DRAM latency
+    b.branch(false, 5, low_confidence);
+    b.accel(0);
+    for (int i = 0; i < 20; ++i)
+        b.alu(static_cast<trace::RegId>(10 + (i % 8)));
+    return b.take();
+}
+
+SimResult
+run(TcaMode mode, bool partial, std::vector<trace::MicroOp> ops)
+{
+    accel::FixedLatencyTca tca(80);
+    mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+    Core core(testConfig(), hierarchy);
+    core.bindAccelerator(&tca, mode);
+    core.setPartialSpeculation(partial);
+    VectorTrace trace(std::move(ops));
+    return core.run(trace);
+}
+
+TEST(PartialSpecTest, LowConfidenceBranchGatesTheTca)
+{
+    // Partial speculation behind a low-confidence branch delays the
+    // TCA until the branch resolves: the run takes roughly the DRAM
+    // latency longer than full speculation.
+    SimResult full = run(TcaMode::L_T, false, gateTrace(true));
+    SimResult partial = run(TcaMode::L_T, true, gateTrace(true));
+    EXPECT_GT(partial.cycles, full.cycles + 50);
+}
+
+TEST(PartialSpecTest, HighConfidenceBranchDoesNotGate)
+{
+    // The same branch marked high-confidence: partial == full.
+    SimResult full = run(TcaMode::L_T, false, gateTrace(false));
+    SimResult partial = run(TcaMode::L_T, true, gateTrace(false));
+    EXPECT_EQ(partial.cycles, full.cycles);
+}
+
+TEST(PartialSpecTest, PartialFasterThanNonSpeculative)
+{
+    // Gated design still beats NL: it only waits for the branch to
+    // *execute*, not for the whole window to commit.
+    SimResult partial = run(TcaMode::L_T, true, gateTrace(true));
+    SimResult nl = run(TcaMode::NL_T, false, gateTrace(true));
+    EXPECT_LT(partial.cycles, nl.cycles);
+}
+
+TEST(PartialSpecTest, BracketedBetweenModes)
+{
+    SimResult full = run(TcaMode::L_T, false, gateTrace(true));
+    SimResult partial = run(TcaMode::L_T, true, gateTrace(true));
+    SimResult nl = run(TcaMode::NL_T, false, gateTrace(true));
+    EXPECT_GE(partial.cycles, full.cycles);
+    EXPECT_LE(partial.cycles, nl.cycles);
+}
+
+TEST(PartialSpecTest, NoEffectInNlModes)
+{
+    // NL already waits for everything; the gate is a no-op.
+    SimResult plain = run(TcaMode::NL_T, false, gateTrace(true));
+    SimResult gated = run(TcaMode::NL_T, true, gateTrace(true));
+    EXPECT_EQ(plain.cycles, gated.cycles);
+}
+
+TEST(PartialSpecTest, ResolvedBranchNoLongerGates)
+{
+    // Low-confidence branch far ahead of the TCA: by the time the
+    // accelerator dispatches, the branch has executed; no delay.
+    TraceBuilder b;
+    b.branch(false, trace::noReg, true); // resolves in 1 cycle
+    for (int i = 0; i < 200; ++i)
+        b.alu(static_cast<trace::RegId>(10 + (i % 8)));
+    b.accel(0);
+    auto ops = b.take();
+
+    SimResult full = run(TcaMode::L_T, false, ops);
+    SimResult partial = run(TcaMode::L_T, true, ops);
+    EXPECT_EQ(partial.cycles, full.cycles);
+}
+
+} // namespace
+} // namespace cpu
+} // namespace tca

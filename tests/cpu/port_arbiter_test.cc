@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "cpu/port_arbiter.hh"
+
+namespace tca {
+namespace cpu {
+namespace {
+
+TEST(PortArbiterTest, ClaimsImmediatelyWhenFree)
+{
+    PortArbiter ports(2);
+    EXPECT_TRUE(ports.availableAt(0));
+    EXPECT_EQ(ports.claim(5), 5u);
+}
+
+TEST(PortArbiterTest, TwoPortsTwoClaimsSameCycle)
+{
+    PortArbiter ports(2);
+    EXPECT_EQ(ports.claim(0), 0u);
+    EXPECT_EQ(ports.claim(0), 0u);
+    // Third claim slips to the next cycle.
+    EXPECT_EQ(ports.claim(0), 1u);
+    EXPECT_FALSE(ports.availableAt(0));
+}
+
+TEST(PortArbiterTest, AvailabilityTracksOccupancy)
+{
+    PortArbiter ports(1);
+    ports.claim(0);
+    EXPECT_FALSE(ports.availableAt(0));
+    EXPECT_TRUE(ports.availableAt(1));
+}
+
+TEST(PortArbiterTest, EarlierClaimsGetEarlierSlots)
+{
+    // Age priority: claims made first (older uops) get the earliest
+    // slots.
+    PortArbiter ports(1);
+    mem::Cycle first = ports.claim(10);
+    mem::Cycle second = ports.claim(10);
+    EXPECT_LT(first, second);
+}
+
+TEST(PortArbiterTest, ResetFreesAllPorts)
+{
+    PortArbiter ports(1);
+    ports.claim(0);
+    ports.claim(0);
+    ports.reset();
+    EXPECT_TRUE(ports.availableAt(0));
+    EXPECT_EQ(ports.claim(0), 0u);
+}
+
+TEST(PortArbiterTest, BackloggedPortsDrainInOrder)
+{
+    PortArbiter ports(2);
+    std::vector<mem::Cycle> starts;
+    for (int i = 0; i < 6; ++i)
+        starts.push_back(ports.claim(0));
+    // 2 per cycle: 0,0,1,1,2,2.
+    EXPECT_EQ(starts[0], 0u);
+    EXPECT_EQ(starts[1], 0u);
+    EXPECT_EQ(starts[2], 1u);
+    EXPECT_EQ(starts[3], 1u);
+    EXPECT_EQ(starts[4], 2u);
+    EXPECT_EQ(starts[5], 2u);
+}
+
+} // namespace
+} // namespace cpu
+} // namespace tca

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "cpu/rob.hh"
+
+namespace tca {
+namespace cpu {
+namespace {
+
+TEST(RobTest, AllocateRetireCycle)
+{
+    Rob rob(4);
+    EXPECT_TRUE(rob.empty());
+    EXPECT_FALSE(rob.full());
+
+    rob.allocate(0);
+    rob.allocate(1);
+    EXPECT_EQ(rob.size(), 2u);
+    EXPECT_EQ(rob.head().seq, 0u);
+
+    rob.retireHead();
+    EXPECT_EQ(rob.head().seq, 1u);
+    EXPECT_TRUE(rob.isRetired(0));
+    EXPECT_FALSE(rob.isRetired(1));
+}
+
+TEST(RobTest, FullAtCapacity)
+{
+    Rob rob(2);
+    rob.allocate(0);
+    rob.allocate(1);
+    EXPECT_TRUE(rob.full());
+    rob.retireHead();
+    EXPECT_FALSE(rob.full());
+    rob.allocate(2);
+    EXPECT_TRUE(rob.full());
+}
+
+TEST(RobTest, SlotReuseAfterWraparound)
+{
+    Rob rob(3);
+    for (uint64_t s = 0; s < 10; ++s) {
+        rob.allocate(s);
+        EXPECT_EQ(rob.entryFor(s).seq, s);
+        rob.retireHead();
+    }
+    EXPECT_TRUE(rob.empty());
+    EXPECT_EQ(rob.next(), 10u);
+}
+
+TEST(RobTest, LivenessQueries)
+{
+    Rob rob(8);
+    rob.allocate(0);
+    rob.allocate(1);
+    rob.allocate(2);
+    rob.retireHead();
+    EXPECT_FALSE(rob.isLive(0));
+    EXPECT_TRUE(rob.isLive(1));
+    EXPECT_TRUE(rob.isLive(2));
+    EXPECT_FALSE(rob.isLive(3)); // not yet allocated
+}
+
+TEST(RobTest, ForEachVisitsOldestToYoungest)
+{
+    Rob rob(4);
+    rob.allocate(0);
+    rob.allocate(1);
+    rob.allocate(2);
+    std::vector<uint64_t> seen;
+    rob.forEach([&](RobEntry &entry) {
+        seen.push_back(entry.seq);
+        return true;
+    });
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], 0u);
+    EXPECT_EQ(seen[2], 2u);
+}
+
+TEST(RobTest, ForEachEarlyStop)
+{
+    Rob rob(4);
+    rob.allocate(0);
+    rob.allocate(1);
+    int visits = 0;
+    rob.forEach([&](RobEntry &) {
+        ++visits;
+        return false;
+    });
+    EXPECT_EQ(visits, 1);
+}
+
+TEST(RobDeathTest, AllocateWhenFullPanics)
+{
+    Rob rob(1);
+    rob.allocate(0);
+    EXPECT_DEATH(rob.allocate(1), "");
+}
+
+TEST(RobDeathTest, HeadOfEmptyPanics)
+{
+    Rob rob(2);
+    EXPECT_DEATH(rob.head(), "");
+}
+
+TEST(RobTest, EntryStateDefaults)
+{
+    Rob rob(2);
+    RobEntry &entry = rob.allocate(0);
+    EXPECT_EQ(entry.state, UopState::Dispatched);
+    for (uint64_t p : entry.srcProducer)
+        EXPECT_EQ(p, noSeq);
+}
+
+} // namespace
+} // namespace cpu
+} // namespace tca

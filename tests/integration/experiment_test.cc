@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "workloads/experiment.hh"
+#include "workloads/heap_workload.hh"
+#include "workloads/synthetic.hh"
+
+namespace tca {
+namespace workloads {
+namespace {
+
+using model::TcaMode;
+
+TEST(ExperimentTest, SyntheticEndToEnd)
+{
+    SyntheticConfig conf;
+    conf.fillerUops = 20000;
+    conf.numInvocations = 40;
+    conf.regionUops = 150;
+    conf.accelLatency = 30;
+    SyntheticWorkload wl(conf);
+
+    ExperimentResult r = runExperiment(wl, cpu::a72CoreConfig());
+
+    EXPECT_EQ(r.workloadName, "synthetic");
+    EXPECT_GT(r.baseline.cycles, 0u);
+    EXPECT_NEAR(r.params.acceleratableFraction,
+                40.0 * 150.0 / (20000.0 + 6000.0), 0.01);
+
+    for (const ModeOutcome &mode : r.modes) {
+        EXPECT_GT(mode.measuredSpeedup, 0.0);
+        EXPECT_GT(mode.modeledSpeedup, 0.0);
+        EXPECT_TRUE(mode.functionalOk);
+        EXPECT_EQ(mode.sim.accelInvocations, 40u);
+    }
+
+    // Measured mode ordering mirrors the model's.
+    EXPECT_GE(r.forMode(TcaMode::L_T).measuredSpeedup,
+              r.forMode(TcaMode::NL_NT).measuredSpeedup);
+}
+
+TEST(ExperimentTest, HeapEndToEndAlwaysHits)
+{
+    HeapConfig conf;
+    conf.numCalls = 300;
+    conf.fillerUopsPerGap = 150;
+    HeapWorkload wl(conf);
+
+    ExperimentResult r = runExperiment(wl, cpu::a72CoreConfig());
+    for (const ModeOutcome &mode : r.modes) {
+        EXPECT_TRUE(mode.functionalOk)
+            << "heap TCA missed its tables in "
+            << tcaModeName(mode.mode);
+        EXPECT_EQ(mode.sim.accelInvocations, 300u);
+        if (model::allowsTrailing(mode.mode)) {
+            // With trailing instructions flowing, a 1-cycle allocator
+            // TCA helps at this granularity.
+            EXPECT_GT(mode.measuredSpeedup, 1.0)
+                << tcaModeName(mode.mode);
+        } else {
+            // NT modes at this fine granularity can slow the program
+            // down — the paper's headline motivation. Just sanity-
+            // bound it.
+            EXPECT_GT(mode.measuredSpeedup, 0.4)
+                << tcaModeName(mode.mode);
+        }
+    }
+}
+
+TEST(ExperimentTest, ForModeLookup)
+{
+    SyntheticConfig conf;
+    conf.fillerUops = 5000;
+    conf.numInvocations = 5;
+    conf.regionUops = 100;
+    SyntheticWorkload wl(conf);
+    ExperimentResult r = runExperiment(wl, cpu::a72CoreConfig());
+    for (TcaMode mode : model::allTcaModes)
+        EXPECT_EQ(r.forMode(mode).mode, mode);
+}
+
+TEST(ExperimentTest, MeasuredLatencyOptionTightensA)
+{
+    SyntheticConfig conf;
+    conf.fillerUops = 10000;
+    conf.numInvocations = 20;
+    conf.regionUops = 120;
+    conf.accelLatency = 25;
+    SyntheticWorkload wl(conf);
+
+    ExperimentOptions opts;
+    opts.useMeasuredAccelLatency = true;
+    ExperimentResult r =
+        runExperiment(wl, cpu::a72CoreConfig(), opts);
+    for (const ModeOutcome &mode : r.modes)
+        EXPECT_GT(mode.modeledSpeedup, 0.0);
+}
+
+} // namespace
+} // namespace workloads
+} // namespace tca

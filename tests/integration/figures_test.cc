@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Miniature versions of the figure-level shape claims recorded in
+ * EXPERIMENTS.md, run at test scale so regressions in any layer
+ * (workload, simulator, calibration) surface in ctest rather than
+ * only in the bench output.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/dgemm_workload.hh"
+#include "workloads/experiment.hh"
+
+namespace tca {
+namespace workloads {
+namespace {
+
+using model::TcaMode;
+
+TEST(FigureShapeTest, Fig6MiniDgemmModeOrderingAndGrowth)
+{
+    // 64x64 with 8x8 tiles: big speedup, modes ordered, functional.
+    DgemmConfig conf;
+    conf.n = 64;
+    conf.blockN = 32;
+    conf.tileN = 8;
+    DgemmWorkload wl(conf);
+
+    ExperimentOptions opts;
+    opts.useMeasuredAccelLatency = true;
+    ExperimentResult r = runExperiment(wl, cpu::a72CoreConfig(), opts);
+
+    double lt = r.forMode(TcaMode::L_T).measuredSpeedup;
+    double nlt = r.forMode(TcaMode::NL_T).measuredSpeedup;
+    double lnt = r.forMode(TcaMode::L_NT).measuredSpeedup;
+    double nlnt = r.forMode(TcaMode::NL_NT).measuredSpeedup;
+
+    // Large acceleration (log-scale growth in the full figure).
+    EXPECT_GT(lt, 5.0);
+    // Mode ordering.
+    EXPECT_GE(lt, nlt);
+    EXPECT_GE(lt, lnt);
+    EXPECT_GE(nlt, nlnt);
+    EXPECT_GE(lnt, nlnt);
+    // Even the weakest mode wins at this coarse tile granularity.
+    EXPECT_GT(nlnt, 1.0);
+    // Model exactness for L_T under measured-latency calibration,
+    // pessimism for the others (the paper's Fig. 6 signature).
+    EXPECT_NEAR(r.forMode(TcaMode::L_T).errorPercent, 0.0, 5.0);
+    EXPECT_LE(r.forMode(TcaMode::NL_NT).errorPercent, 5.0);
+    // Functional product verified in all four runs.
+    for (const ModeOutcome &mode : r.modes)
+        EXPECT_TRUE(mode.functionalOk);
+}
+
+TEST(FigureShapeTest, Fig6TileSizeShrinksModeSpread)
+{
+    // The paper: "larger absolute difference ... between the 4
+    // different modes of the 2x2 accelerator" — relative spread
+    // shrinks as tiles grow.
+    auto spread = [](uint32_t tile) {
+        DgemmConfig conf;
+        conf.n = 64;
+        conf.blockN = 32;
+        conf.tileN = tile;
+        DgemmWorkload wl(conf);
+        ExperimentResult r =
+            runExperiment(wl, cpu::a72CoreConfig());
+        return r.forMode(TcaMode::L_T).measuredSpeedup /
+               r.forMode(TcaMode::NL_NT).measuredSpeedup;
+    };
+    double spread2 = spread(2);
+    double spread8 = spread(8);
+    EXPECT_GT(spread2, spread8);
+}
+
+} // namespace
+} // namespace workloads
+} // namespace tca

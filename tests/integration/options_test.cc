@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the experiment runner's calibration options and the
+ * workload knobs added beyond the paper's defaults: occupancy-based
+ * drain calibration, measured accelerator latency, dependent malloc
+ * consumers, and per-class commit accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpu/core.hh"
+#include "workloads/experiment.hh"
+#include "workloads/heap_workload.hh"
+#include "workloads/string_workload.hh"
+#include "workloads/synthetic.hh"
+
+namespace tca {
+namespace workloads {
+namespace {
+
+using model::TcaMode;
+
+TEST(OptionsTest, DrainFromOccupancySetsExplicitDrain)
+{
+    SyntheticConfig conf;
+    conf.fillerUops = 15000;
+    conf.numInvocations = 30;
+    conf.regionUops = 150;
+    SyntheticWorkload wl(conf);
+
+    ExperimentOptions opts;
+    opts.drainFromOccupancy = true;
+    ExperimentResult r = runExperiment(wl, cpu::a72CoreConfig(), opts);
+    EXPECT_GE(r.params.explicitDrainTime, 0.0);
+    EXPECT_NEAR(r.params.explicitDrainTime,
+                r.baseline.avgRobOccupancy() / r.params.ipc, 1e-9);
+}
+
+TEST(OptionsTest, DefaultLeavesDrainEstimated)
+{
+    SyntheticConfig conf;
+    conf.fillerUops = 10000;
+    conf.numInvocations = 10;
+    SyntheticWorkload wl(conf);
+    ExperimentResult r = runExperiment(wl, cpu::a72CoreConfig());
+    EXPECT_LT(r.params.explicitDrainTime, 0.0);
+}
+
+TEST(OptionsTest, OccupancyDrainReducesNlPessimismOnIlpRichCode)
+{
+    // The headline benefit of the occupancy calibration: on a high-ILP
+    // workload the NL_T estimate tightens substantially.
+    SyntheticConfig conf;
+    conf.fillerUops = 40000;
+    conf.numInvocations = 60;
+    conf.regionUops = 250;
+    conf.accelLatency = 50;
+    conf.loadFraction = 0.0; // pure ALU: maximal ILP, empty window
+    conf.storeFraction = 0.0;
+    SyntheticWorkload wl(conf);
+
+    ExperimentResult plain = runExperiment(wl, cpu::a72CoreConfig());
+    ExperimentOptions opts;
+    opts.drainFromOccupancy = true;
+    ExperimentResult tuned =
+        runExperiment(wl, cpu::a72CoreConfig(), opts);
+
+    double plain_err =
+        std::fabs(plain.forMode(TcaMode::NL_T).errorPercent);
+    double tuned_err =
+        std::fabs(tuned.forMode(TcaMode::NL_T).errorPercent);
+    EXPECT_LT(tuned_err, plain_err);
+}
+
+TEST(OptionsTest, DependentMallocConsumersSlowTheSimulator)
+{
+    HeapConfig base;
+    base.numCalls = 300;
+    base.fillerUopsPerGap = 100;
+    HeapConfig with_deps = base;
+    with_deps.dependentUsesPerMalloc = 32;
+
+    HeapWorkload wl_base(base), wl_deps(with_deps);
+    ExperimentResult r_base =
+        runExperiment(wl_base, cpu::a72CoreConfig());
+    ExperimentResult r_deps =
+        runExperiment(wl_deps, cpu::a72CoreConfig());
+
+    // Dependent consumers reduce the achievable L_NT speedup (they
+    // serialize behind the barrier + the TCA's result).
+    EXPECT_LT(r_deps.forMode(TcaMode::L_NT).measuredSpeedup,
+              r_base.forMode(TcaMode::L_NT).measuredSpeedup);
+}
+
+TEST(OptionsTest, DependentUsesAppearInBothTraceVariants)
+{
+    HeapConfig conf;
+    conf.numCalls = 50;
+    conf.fillerUopsPerGap = 20;
+    conf.dependentUsesPerMalloc = 10;
+    HeapWorkload wl(conf);
+    auto base_ops = trace::collect(*wl.makeBaselineTrace());
+    auto accel_ops = trace::collect(*wl.makeAcceleratedTrace());
+    // Baseline has software sequences instead of accel uops; the
+    // dependent-use uops (non-acceleratable) are identical in count.
+    auto count_non_acc = [](const std::vector<trace::MicroOp> &ops) {
+        uint64_t n = 0;
+        for (const auto &op : ops)
+            n += (!op.acceleratable && !op.isAccel()) ? 1 : 0;
+        return n;
+    };
+    EXPECT_EQ(count_non_acc(base_ops), count_non_acc(accel_ops));
+}
+
+TEST(OptionsTest, PerClassCommitCountsSumToTotal)
+{
+    SyntheticConfig conf;
+    conf.fillerUops = 8000;
+    conf.numInvocations = 10;
+    SyntheticWorkload wl(conf);
+    mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+    cpu::Core core(cpu::a72CoreConfig(), hierarchy);
+    auto trace = wl.makeBaselineTrace();
+    cpu::SimResult r = core.run(*trace);
+
+    uint64_t sum = 0;
+    for (uint64_t c : r.committedByClass)
+        sum += c;
+    EXPECT_EQ(sum, r.committedUops);
+    EXPECT_GT(r.committed(trace::OpClass::IntAlu), 0u);
+    EXPECT_GT(r.committed(trace::OpClass::Load), 0u);
+    EXPECT_EQ(r.committed(trace::OpClass::Accel), 0u);
+}
+
+TEST(OptionsTest, StringWorkloadRunsThroughExperiment)
+{
+    StringConfig conf;
+    conf.numStrings = 24;
+    conf.numCompares = 120;
+    conf.fillerUopsPerGap = 80;
+    StringWorkload wl(conf);
+    ExperimentResult r = runExperiment(wl, cpu::a72CoreConfig());
+    for (const ModeOutcome &mode : r.modes) {
+        EXPECT_TRUE(mode.functionalOk) << tcaModeName(mode.mode);
+        EXPECT_EQ(mode.sim.accelInvocations, 120u);
+    }
+}
+
+} // namespace
+} // namespace workloads
+} // namespace tca

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Model-vs-simulator validation at test scale: miniature versions of
+ * the paper's Section V experiments, asserting the *shape* results the
+ * paper reports — the model tracks the simulator's mode ordering, and
+ * errors stay within loose bands.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/validation.hh"
+#include "workloads/experiment.hh"
+#include "workloads/heap_workload.hh"
+#include "workloads/synthetic.hh"
+
+namespace tca {
+namespace workloads {
+namespace {
+
+using model::TcaMode;
+
+TEST(ValidationIntegrationTest, SyntheticModelTracksSimulator)
+{
+    // Moderate granularity, modest acceleration: the regime where the
+    // paper reports <5% error. We assert a looser band plus correct
+    // ordering, since our substrate is not gem5 itself.
+    SyntheticConfig conf;
+    conf.fillerUops = 60000;
+    conf.numInvocations = 60;
+    conf.regionUops = 300;
+    conf.accelLatency = 60;
+    SyntheticWorkload wl(conf);
+    ExperimentResult r = runExperiment(wl, cpu::a72CoreConfig());
+
+    for (const ModeOutcome &mode : r.modes) {
+        EXPECT_LT(std::fabs(mode.errorPercent), 35.0)
+            << tcaModeName(mode.mode) << ": modeled "
+            << mode.modeledSpeedup << " vs measured "
+            << mode.measuredSpeedup;
+    }
+}
+
+TEST(ValidationIntegrationTest, ModelOrderingMatchesSimulator)
+{
+    SyntheticConfig conf;
+    conf.fillerUops = 40000;
+    conf.numInvocations = 80;
+    conf.regionUops = 200;
+    conf.accelLatency = 45;
+    SyntheticWorkload wl(conf);
+    ExperimentResult r = runExperiment(wl, cpu::a72CoreConfig());
+
+    auto measured = [&](TcaMode m) {
+        return r.forMode(m).measuredSpeedup;
+    };
+    auto modeled = [&](TcaMode m) {
+        return r.forMode(m).modeledSpeedup;
+    };
+    // Both agree that full OoO support wins and NL_NT loses.
+    EXPECT_GE(measured(TcaMode::L_T), measured(TcaMode::NL_NT));
+    EXPECT_GE(modeled(TcaMode::L_T), modeled(TcaMode::NL_NT));
+    EXPECT_GE(measured(TcaMode::L_T) + 1e-9,
+              measured(TcaMode::L_NT));
+    EXPECT_GE(measured(TcaMode::NL_T) + 1e-9,
+              measured(TcaMode::NL_NT));
+}
+
+TEST(ValidationIntegrationTest, HeapErrorBandAndOrdering)
+{
+    HeapConfig conf;
+    conf.numCalls = 500;
+    conf.fillerUopsPerGap = 120;
+    HeapWorkload wl(conf);
+    ExperimentResult r = runExperiment(wl, cpu::a72CoreConfig());
+
+    // The paper reports up to 8.5% heap error against gem5; against
+    // our own substrate the non-L_T modes deviate more (the model is
+    // pessimistic about drains, as the paper itself observes on
+    // DGEMM, where errors reach 44%). Bound loosely.
+    for (const ModeOutcome &mode : r.modes) {
+        EXPECT_LT(std::fabs(mode.errorPercent), 100.0)
+            << tcaModeName(mode.mode);
+    }
+    EXPECT_GE(r.forMode(TcaMode::L_T).measuredSpeedup,
+              r.forMode(TcaMode::NL_NT).measuredSpeedup);
+}
+
+TEST(ValidationIntegrationTest, ErrorGrowsWithInvocationFrequency)
+{
+    // Fig. 5's observation: the model's absolute error tends to grow
+    // as invocations become more frequent. Compare a sparse and a
+    // dense heap workload; assert the dense one is not dramatically
+    // *better* modeled (loose, shape-level claim).
+    HeapConfig sparse;
+    sparse.numCalls = 200;
+    sparse.fillerUopsPerGap = 600;
+    HeapConfig dense = sparse;
+    dense.fillerUopsPerGap = 40;
+
+    HeapWorkload ws(sparse), wd(dense);
+    ExperimentResult rs = runExperiment(ws, cpu::a72CoreConfig());
+    ExperimentResult rd = runExperiment(wd, cpu::a72CoreConfig());
+
+    double err_sparse = 0.0, err_dense = 0.0;
+    for (TcaMode mode : model::allTcaModes) {
+        err_sparse += std::fabs(rs.forMode(mode).errorPercent);
+        err_dense += std::fabs(rd.forMode(mode).errorPercent);
+    }
+    // Sparse invocations: the model should be decently accurate.
+    EXPECT_LT(err_sparse / 4.0, 25.0);
+    // No assertion that dense is worse in *every* run, just sanity.
+    EXPECT_LT(err_dense / 4.0, 150.0);
+    // The shape claim: error grows as invocations get denser.
+    EXPECT_GT(err_dense, err_sparse);
+}
+
+TEST(ValidationIntegrationTest, SpeedupGrowsWithInvocationFrequency)
+{
+    // Fig. 5's headline: more frequent malloc/free calls -> larger
+    // overall speedup from the heap TCA (in the OoO modes).
+    HeapConfig sparse;
+    sparse.numCalls = 150;
+    sparse.fillerUopsPerGap = 800;
+    HeapConfig dense = sparse;
+    dense.fillerUopsPerGap = 60;
+
+    HeapWorkload ws(sparse), wd(dense);
+    ExperimentResult rs = runExperiment(ws, cpu::a72CoreConfig());
+    ExperimentResult rd = runExperiment(wd, cpu::a72CoreConfig());
+
+    EXPECT_GT(rd.forMode(TcaMode::L_T).measuredSpeedup,
+              rs.forMode(TcaMode::L_T).measuredSpeedup);
+}
+
+} // namespace
+} // namespace workloads
+} // namespace tca

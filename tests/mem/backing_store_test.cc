@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hh"
+
+namespace tca {
+namespace mem {
+namespace {
+
+TEST(BackingStoreTest, UnwrittenReadsAsZero)
+{
+    BackingStore store;
+    EXPECT_EQ(store.readValue<uint64_t>(0x1234), 0u);
+    EXPECT_DOUBLE_EQ(store.readValue<double>(0x99999), 0.0);
+}
+
+TEST(BackingStoreTest, RoundTripsValues)
+{
+    BackingStore store;
+    store.writeValue<uint64_t>(0x1000, 0xdeadbeefcafeULL);
+    EXPECT_EQ(store.readValue<uint64_t>(0x1000), 0xdeadbeefcafeULL);
+    store.writeValue<double>(0x2000, 3.25);
+    EXPECT_DOUBLE_EQ(store.readValue<double>(0x2000), 3.25);
+}
+
+TEST(BackingStoreTest, CrossPageAccess)
+{
+    BackingStore store;
+    // Write 16 bytes straddling a 4 KiB page boundary.
+    uint8_t data[16];
+    for (int i = 0; i < 16; ++i)
+        data[i] = static_cast<uint8_t>(i + 1);
+    store.write(4096 - 8, data, 16);
+    uint8_t out[16] = {};
+    store.read(4096 - 8, out, 16);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(out[i], i + 1);
+    EXPECT_EQ(store.numPages(), 2u);
+}
+
+TEST(BackingStoreTest, SparsePagesAllocatedLazily)
+{
+    BackingStore store;
+    EXPECT_EQ(store.numPages(), 0u);
+    store.writeValue<uint8_t>(0, 1);
+    store.writeValue<uint8_t>(1 << 30, 2);
+    EXPECT_EQ(store.numPages(), 2u);
+}
+
+TEST(BackingStoreTest, OverwriteReplaces)
+{
+    BackingStore store;
+    store.writeValue<uint32_t>(0x100, 7);
+    store.writeValue<uint32_t>(0x100, 9);
+    EXPECT_EQ(store.readValue<uint32_t>(0x100), 9u);
+}
+
+TEST(BackingStoreTest, AdjacentValuesIndependent)
+{
+    BackingStore store;
+    store.writeValue<double>(0x100, 1.5);
+    store.writeValue<double>(0x108, 2.5);
+    EXPECT_DOUBLE_EQ(store.readValue<double>(0x100), 1.5);
+    EXPECT_DOUBLE_EQ(store.readValue<double>(0x108), 2.5);
+}
+
+} // namespace
+} // namespace mem
+} // namespace tca

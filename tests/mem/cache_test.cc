@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace tca {
+namespace mem {
+namespace {
+
+/** Constant-latency backing level for isolating one cache. */
+class FakeMem : public MemLevel
+{
+  public:
+    explicit FakeMem(Cycle latency) : lat(latency) {}
+
+    Cycle
+    access(Addr addr, AccessType type, Cycle now) override
+    {
+        ++count;
+        lastAddr = addr;
+        lastType = type;
+        return now + lat;
+    }
+
+    const char *name() const override { return "fake"; }
+
+    Cycle lat;
+    uint64_t count = 0;
+    Addr lastAddr = 0;
+    AccessType lastType = AccessType::Read;
+};
+
+CacheConfig
+smallCache()
+{
+    CacheConfig conf;
+    conf.name = "test_l1";
+    conf.sizeBytes = 1024; // 16 lines
+    conf.lineBytes = 64;
+    conf.associativity = 2; // 8 sets
+    conf.hitLatency = 2;
+    conf.mshrs = 4;
+    return conf;
+}
+
+TEST(CacheConfigTest, GeometryDerivation)
+{
+    CacheConfig conf = smallCache();
+    EXPECT_EQ(conf.numSets(), 8u);
+}
+
+TEST(CacheConfigDeathTest, RejectsBadGeometry)
+{
+    CacheConfig conf = smallCache();
+    conf.lineBytes = 48; // not a power of two
+    EXPECT_EXIT(conf.validate(), testing::ExitedWithCode(1), "");
+}
+
+TEST(CacheTest, ColdMissThenHit)
+{
+    FakeMem backing(100);
+    Cache cache(smallCache(), &backing);
+
+    Cycle t1 = cache.access(0x1000, AccessType::Read, 0);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(t1, 0 + 100 + 2); // fill then hit latency
+
+    Cycle t2 = cache.access(0x1000, AccessType::Read, t1);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(t2, t1 + 2);
+}
+
+TEST(CacheTest, SameLineDifferentOffsetHits)
+{
+    FakeMem backing(50);
+    Cache cache(smallCache(), &backing);
+    cache.access(0x1000, AccessType::Read, 0);
+    cache.access(0x1038, AccessType::Read, 200);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(CacheTest, LruEvictionOrder)
+{
+    FakeMem backing(10);
+    CacheConfig conf = smallCache(); // 2-way, 8 sets
+    Cache cache(conf, &backing);
+
+    // Three lines mapping to the same set (stride = 64 * 8 = 512).
+    cache.access(0x0000, AccessType::Read, 0);
+    cache.access(0x0200, AccessType::Read, 100);
+    // Touch the first line so 0x200 becomes LRU.
+    cache.access(0x0000, AccessType::Read, 200);
+    // Insert a third line: should evict 0x200, keep 0x0.
+    cache.access(0x0400, AccessType::Read, 300);
+
+    EXPECT_TRUE(cache.isResident(0x0000));
+    EXPECT_FALSE(cache.isResident(0x0200));
+    EXPECT_TRUE(cache.isResident(0x0400));
+}
+
+TEST(CacheTest, DirtyVictimWritesBack)
+{
+    FakeMem backing(10);
+    Cache cache(smallCache(), &backing);
+
+    cache.access(0x0000, AccessType::Write, 0); // miss + dirty
+    cache.access(0x0200, AccessType::Read, 100);
+    cache.access(0x0400, AccessType::Read, 200); // evicts dirty 0x0
+
+    EXPECT_EQ(cache.writebacks(), 1u);
+    EXPECT_EQ(backing.lastType, AccessType::Write);
+    EXPECT_EQ(backing.lastAddr, 0x0000u);
+}
+
+TEST(CacheTest, CleanVictimSilentlyDropped)
+{
+    FakeMem backing(10);
+    Cache cache(smallCache(), &backing);
+    cache.access(0x0000, AccessType::Read, 0);
+    cache.access(0x0200, AccessType::Read, 100);
+    cache.access(0x0400, AccessType::Read, 200);
+    EXPECT_EQ(cache.writebacks(), 0u);
+}
+
+TEST(CacheTest, MshrCoalescingSameLine)
+{
+    FakeMem backing(100);
+    Cache cache(smallCache(), &backing);
+    // Two accesses to the same missing line at the same time: one fill.
+    Cycle t1 = cache.access(0x1000, AccessType::Read, 0);
+    Cycle t2 = cache.access(0x1010, AccessType::Read, 1);
+    EXPECT_EQ(backing.count, 1u);
+    // Second access can't finish before the fill that feeds it.
+    EXPECT_GE(t2, t1 - 2);
+}
+
+TEST(CacheTest, MshrExhaustionSerializes)
+{
+    FakeMem backing(100);
+    CacheConfig conf = smallCache();
+    conf.mshrs = 2;
+    Cache cache(conf, &backing);
+
+    // Three distinct-line misses at t=0; with 2 MSHRs the third must
+    // wait for the earliest fill.
+    cache.access(0x0000, AccessType::Read, 0);
+    cache.access(0x1000, AccessType::Read, 0);
+    Cycle t3 = cache.access(0x2000, AccessType::Read, 0);
+    EXPECT_EQ(cache.mshrStalls(), 1u);
+    EXPECT_GE(t3, 200u); // waited ~one fill (100) then its own fill
+}
+
+TEST(CacheTest, FlushInvalidatesEverything)
+{
+    FakeMem backing(10);
+    Cache cache(smallCache(), &backing);
+    cache.access(0x1000, AccessType::Read, 0);
+    EXPECT_TRUE(cache.isResident(0x1000));
+    cache.flush();
+    EXPECT_FALSE(cache.isResident(0x1000));
+}
+
+TEST(CacheTest, MissRate)
+{
+    FakeMem backing(10);
+    Cache cache(smallCache(), &backing);
+    cache.access(0x1000, AccessType::Read, 0);   // miss
+    cache.access(0x1000, AccessType::Read, 100); // hit
+    cache.access(0x1000, AccessType::Read, 200); // hit
+    cache.access(0x1000, AccessType::Read, 300); // hit
+    EXPECT_DOUBLE_EQ(cache.missRate(), 0.25);
+}
+
+TEST(CacheTest, RandomReplacementStillCorrect)
+{
+    FakeMem backing(10);
+    CacheConfig conf = smallCache();
+    conf.policy = ReplPolicy::Random;
+    Cache cache(conf, &backing);
+    cache.access(0x0000, AccessType::Read, 0);
+    cache.access(0x0200, AccessType::Read, 100);
+    cache.access(0x0400, AccessType::Read, 200);
+    // Two of the three conflicting lines remain resident.
+    int resident = cache.isResident(0x0000) + cache.isResident(0x0200) +
+                   cache.isResident(0x0400);
+    EXPECT_EQ(resident, 2);
+}
+
+TEST(CacheTest, WorkingSetLargerThanCacheThrashes)
+{
+    FakeMem backing(10);
+    Cache cache(smallCache(), &backing); // 1 KiB
+    // Stream 64 distinct lines twice; 4 KiB working set cannot fit.
+    for (int pass = 0; pass < 2; ++pass)
+        for (Addr a = 0; a < 64 * 64; a += 64)
+            cache.access(a, AccessType::Read, pass * 100000 + a);
+    EXPECT_EQ(cache.misses(), 128u);
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(CacheTest, L1ResidentBlockReusesLines)
+{
+    // The DGEMM blocking argument: a 24 KiB working set in a 32 KiB
+    // cache has only cold misses.
+    FakeMem backing(100);
+    CacheConfig conf;
+    conf.name = "l1";
+    conf.sizeBytes = 32 * 1024;
+    conf.lineBytes = 64;
+    conf.associativity = 8;
+    conf.hitLatency = 2;
+    conf.mshrs = 8;
+    Cache cache(conf, &backing);
+
+    Cycle t = 0;
+    for (int pass = 0; pass < 4; ++pass)
+        for (Addr a = 0; a < 24 * 1024; a += 8)
+            t = cache.access(a, AccessType::Read, t);
+    uint64_t lines = 24 * 1024 / 64;
+    EXPECT_EQ(cache.misses(), lines);
+    EXPECT_EQ(cache.hits(), 4 * 24 * 1024 / 8 - lines);
+}
+
+} // namespace
+} // namespace mem
+} // namespace tca

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+
+namespace tca {
+namespace mem {
+namespace {
+
+TEST(DramTest, FixedLatency)
+{
+    DramConfig conf;
+    conf.latency = 120;
+    conf.channels = 1;
+    conf.cyclesPerRequest = 4;
+    Dram dram(conf);
+    EXPECT_EQ(dram.access(0x1000, AccessType::Read, 10), 10u + 120u);
+}
+
+TEST(DramTest, ChannelOccupancyQueues)
+{
+    DramConfig conf;
+    conf.latency = 100;
+    conf.channels = 1;
+    conf.cyclesPerRequest = 4;
+    Dram dram(conf);
+    Cycle t1 = dram.access(0x0000, AccessType::Read, 0);
+    Cycle t2 = dram.access(0x0040, AccessType::Read, 0);
+    Cycle t3 = dram.access(0x0080, AccessType::Read, 0);
+    EXPECT_EQ(t1, 100u);
+    EXPECT_EQ(t2, 104u); // queued behind request 1
+    EXPECT_EQ(t3, 108u);
+    EXPECT_EQ(dram.queuedRequests(), 2u);
+}
+
+TEST(DramTest, ChannelsInterleaveByLineAddress)
+{
+    DramConfig conf;
+    conf.latency = 100;
+    conf.channels = 2;
+    conf.cyclesPerRequest = 4;
+    Dram dram(conf);
+    // Adjacent lines land on different channels: no queueing.
+    Cycle t1 = dram.access(0x0000, AccessType::Read, 0);
+    Cycle t2 = dram.access(0x0040, AccessType::Read, 0);
+    EXPECT_EQ(t1, 100u);
+    EXPECT_EQ(t2, 100u);
+    EXPECT_EQ(dram.queuedRequests(), 0u);
+}
+
+TEST(DramTest, IdleChannelAcceptsImmediately)
+{
+    DramConfig conf;
+    conf.latency = 50;
+    conf.channels = 1;
+    conf.cyclesPerRequest = 10;
+    Dram dram(conf);
+    dram.access(0x0000, AccessType::Read, 0);
+    // Long after the occupancy window, no queueing.
+    Cycle t = dram.access(0x0040, AccessType::Read, 1000);
+    EXPECT_EQ(t, 1050u);
+    EXPECT_EQ(dram.queuedRequests(), 0u);
+}
+
+TEST(DramTest, CountsRequests)
+{
+    Dram dram(DramConfig{});
+    dram.access(0, AccessType::Read, 0);
+    dram.access(64, AccessType::Write, 0);
+    EXPECT_EQ(dram.requests(), 2u);
+}
+
+} // namespace
+} // namespace mem
+} // namespace tca

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "mem/prefetcher.hh"
+
+namespace tca {
+namespace mem {
+namespace {
+
+TEST(PrefetcherTest, DetectsUnitStride)
+{
+    Prefetcher pf(64);
+    Addr out = 0;
+    EXPECT_FALSE(pf.observe(0x0000, true, out)); // first miss
+    EXPECT_FALSE(pf.observe(0x0040, true, out)); // stride learned
+    ASSERT_TRUE(pf.observe(0x0080, true, out));  // stride confirmed
+    EXPECT_EQ(out, 0x00c0u);
+}
+
+TEST(PrefetcherTest, DetectsLargeStride)
+{
+    Prefetcher pf(64);
+    Addr out = 0;
+    pf.observe(0x0000, true, out);
+    pf.observe(0x1000, true, out);
+    ASSERT_TRUE(pf.observe(0x2000, true, out));
+    EXPECT_EQ(out, 0x3000u);
+}
+
+TEST(PrefetcherTest, IgnoresHits)
+{
+    Prefetcher pf(64);
+    Addr out = 0;
+    pf.observe(0x0000, true, out);
+    pf.observe(0x0040, true, out);
+    EXPECT_FALSE(pf.observe(0x0080, false, out));
+}
+
+TEST(PrefetcherTest, RandomPatternNoPrefetch)
+{
+    Prefetcher pf(64);
+    Addr out = 0;
+    EXPECT_FALSE(pf.observe(0x0000, true, out));
+    EXPECT_FALSE(pf.observe(0x5000, true, out));
+    EXPECT_FALSE(pf.observe(0x0040, true, out));
+    EXPECT_FALSE(pf.observe(0x9000, true, out));
+}
+
+TEST(PrefetcherTest, DegreeScalesDistance)
+{
+    Prefetcher pf(64, 4);
+    Addr out = 0;
+    pf.observe(0x0000, true, out);
+    pf.observe(0x0040, true, out);
+    ASSERT_TRUE(pf.observe(0x0080, true, out));
+    EXPECT_EQ(out, 0x0080u + 4u * 0x40u);
+}
+
+} // namespace
+} // namespace mem
+} // namespace tca

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "model/drain.hh"
+
+namespace tca {
+namespace model {
+namespace {
+
+TEST(DrainModelTest, CalibratedPointObeysLittlesLaw)
+{
+    // At the calibrated window size the drain time is s_ROB / IPC
+    // regardless of beta.
+    for (double beta : {1.0, 1.5, 2.0, 3.0}) {
+        DrainModel drain(128, 1.6, beta);
+        EXPECT_NEAR(drain.drainTime(), 128.0 / 1.6, 1e-9);
+        EXPECT_NEAR(drain.drainTimeForWindow(128.0), 128.0 / 1.6, 1e-9);
+    }
+}
+
+TEST(DrainModelTest, PowerLawExtrapolationMonotonic)
+{
+    DrainModel drain(128, 1.5, 2.0);
+    double d64 = drain.drainTimeForWindow(64);
+    double d128 = drain.drainTimeForWindow(128);
+    double d256 = drain.drainTimeForWindow(256);
+    EXPECT_LT(d64, d128);
+    EXPECT_LT(d128, d256);
+}
+
+TEST(DrainModelTest, PowerLawExponentTwoIsSqrtScaling)
+{
+    // With W = alpha * l^2, quadrupling the window doubles the drain.
+    DrainModel drain(128, 2.0, 2.0);
+    double d = drain.drainTimeForWindow(128);
+    EXPECT_NEAR(drain.drainTimeForWindow(512), 2.0 * d, 1e-9);
+}
+
+TEST(DrainModelTest, BetaOneIsLinearScaling)
+{
+    DrainModel drain(100, 2.0, 1.0);
+    EXPECT_NEAR(drain.drainTimeForWindow(200),
+                2.0 * drain.drainTimeForWindow(100), 1e-9);
+}
+
+TEST(DrainModelTest, ZeroWindowDrainsInstantly)
+{
+    DrainModel drain(128, 1.5);
+    EXPECT_DOUBLE_EQ(drain.drainTimeForWindow(0.0), 0.0);
+}
+
+TEST(DrainModelTest, HigherIpcDrainsFaster)
+{
+    DrainModel slow(128, 0.5);
+    DrainModel fast(128, 2.0);
+    EXPECT_GT(slow.drainTime(), fast.drainTime());
+}
+
+TEST(DrainModelTest, AlphaSolvedConsistently)
+{
+    DrainModel drain(128, 1.6, 2.0);
+    // W = alpha * l^beta must hold at the calibration point.
+    double l = drain.drainTime();
+    EXPECT_NEAR(drain.powerLawAlpha() * l * l, 128.0, 1e-6);
+}
+
+} // namespace
+} // namespace model
+} // namespace tca

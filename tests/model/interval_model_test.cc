@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/interval_model.hh"
+
+namespace tca {
+namespace model {
+namespace {
+
+/** Reference parameters with a modest drain so every term is active. */
+TcaParams
+refParams()
+{
+    TcaParams p;
+    p.acceleratableFraction = 0.3;
+    p.invocationFrequency = 1e-3;
+    p.ipc = 1.5;
+    p.accelerationFactor = 3.0;
+    p.robSize = 128;
+    p.issueWidth = 3;
+    p.commitStall = 10.0;
+    return p;
+}
+
+TEST(IntervalModelTest, BaselineTimesMatchEquations)
+{
+    TcaParams p = refParams();
+    IntervalModel m(p);
+    const IntervalTimes &t = m.times();
+    // eq (1)-(3)
+    EXPECT_NEAR(t.baseline, 1.0 / (1e-3 * 1.5), 1e-9);
+    EXPECT_NEAR(t.accl, 0.3 / (1e-3 * 3.0 * 1.5), 1e-9);
+    EXPECT_NEAR(t.nonAccl, 0.7 / (1e-3 * 1.5), 1e-9);
+    EXPECT_NEAR(t.robFill, 128.0 / 3.0, 1e-9);
+}
+
+TEST(IntervalModelTest, DrainDefaultsToLittlesLawAndClamps)
+{
+    TcaParams p = refParams();
+    IntervalModel m(p);
+    EXPECT_NEAR(m.times().drainRaw, 128.0 / 1.5, 1e-9);
+    // nonAccl = 466.7 > drainRaw = 85.3, so no clamp here.
+    EXPECT_NEAR(m.times().drain, m.times().drainRaw, 1e-9);
+
+    // Very frequent invocations: interval shorter than the drain.
+    TcaParams q = p.withInvocationFrequency(0.05);
+    IntervalModel m2(q);
+    EXPECT_NEAR(m2.times().drain, m2.times().nonAccl, 1e-9);
+    EXPECT_LT(m2.times().drain, m2.times().drainRaw);
+}
+
+TEST(IntervalModelTest, ExplicitDrainOverride)
+{
+    TcaParams p = refParams();
+    p.explicitDrainTime = 12.5;
+    IntervalModel m(p);
+    EXPECT_DOUBLE_EQ(m.times().drainRaw, 12.5);
+}
+
+TEST(IntervalModelTest, EquationFourNlNt)
+{
+    TcaParams p = refParams();
+    IntervalModel m(p);
+    const IntervalTimes &t = m.times();
+    EXPECT_NEAR(m.intervalTime(TcaMode::NL_NT),
+                t.nonAccl + t.accl + t.drain + 2.0 * t.commit, 1e-9);
+}
+
+TEST(IntervalModelTest, EquationFiveLNt)
+{
+    TcaParams p = refParams();
+    IntervalModel m(p);
+    const IntervalTimes &t = m.times();
+    EXPECT_NEAR(m.intervalTime(TcaMode::L_NT),
+                t.nonAccl + t.accl + t.commit, 1e-9);
+}
+
+TEST(IntervalModelTest, EquationSevenNlT)
+{
+    TcaParams p = refParams();
+    IntervalModel m(p);
+    const IntervalTimes &t = m.times();
+    double expected = std::max(t.nonAccl + t.nlRobFull,
+                               t.accl + t.drain + t.commit);
+    EXPECT_NEAR(m.intervalTime(TcaMode::NL_T), expected, 1e-9);
+}
+
+TEST(IntervalModelTest, EquationNineLT)
+{
+    TcaParams p = refParams();
+    IntervalModel m(p);
+    const IntervalTimes &t = m.times();
+    EXPECT_NEAR(m.intervalTime(TcaMode::L_T),
+                std::max(t.nonAccl + t.ltRobFull, t.accl), 1e-9);
+}
+
+TEST(IntervalModelTest, RobFullTermsNonNegativeAndOrdered)
+{
+    TcaParams p = refParams();
+    IntervalModel m(p);
+    EXPECT_GE(m.times().nlRobFull, 0.0);
+    EXPECT_GE(m.times().ltRobFull, 0.0);
+    // The NL fill penalty includes the drain and commit on top of the
+    // accelerator time, so it is never smaller than the L_T one.
+    EXPECT_GE(m.times().nlRobFull, m.times().ltRobFull);
+}
+
+TEST(IntervalModelTest, ModePerformanceOrdering)
+{
+    // More OoO support never hurts: L_T >= NL_T and L_T >= L_NT >=
+    // NL_NT, across a broad parameter sweep.
+    for (double a : {0.05, 0.3, 0.6, 0.9}) {
+        for (double g : {20.0, 200.0, 2000.0, 2e6}) {
+            for (double A : {1.5, 3.0, 10.0}) {
+                TcaParams p = refParams()
+                                  .withAcceleratable(a)
+                                  .withAccelerationFactor(A)
+                                  .withGranularity(g);
+                IntervalModel m(p);
+                double lt = m.speedup(TcaMode::L_T);
+                double nlt = m.speedup(TcaMode::NL_T);
+                double lnt = m.speedup(TcaMode::L_NT);
+                double nlnt = m.speedup(TcaMode::NL_NT);
+                EXPECT_GE(lt, nlt - 1e-12) << "a=" << a << " g=" << g;
+                EXPECT_GE(lt, lnt - 1e-12) << "a=" << a << " g=" << g;
+                EXPECT_GE(lnt, nlnt - 1e-12) << "a=" << a << " g=" << g;
+                EXPECT_GE(nlt, nlnt - 1e-12) << "a=" << a << " g=" << g;
+            }
+        }
+    }
+}
+
+TEST(IntervalModelTest, CoarseGrainedModesConverge)
+{
+    // At very coarse granularity all four modes approach the same
+    // speedup (left side of Fig. 2).
+    TcaParams p = refParams().withGranularity(1e9);
+    IntervalModel m(p);
+    auto s = m.allSpeedups();
+    double lo = *std::min_element(s.begin(), s.end());
+    double hi = *std::max_element(s.begin(), s.end());
+    EXPECT_NEAR(hi / lo, 1.0, 1e-3);
+}
+
+TEST(IntervalModelTest, FineGrainedNlNtSlowsDown)
+{
+    // The headline motivation: at fine granularity, NL_NT causes
+    // program slowdown (right side of Fig. 2).
+    TcaParams p = refParams().withGranularity(30.0);
+    IntervalModel m(p);
+    EXPECT_LT(m.speedup(TcaMode::NL_NT), 1.0);
+    EXPECT_TRUE(m.predictsSlowdown(TcaMode::NL_NT));
+    // While full OoO support still speeds up.
+    EXPECT_GT(m.speedup(TcaMode::L_T), 1.0);
+}
+
+TEST(IntervalModelTest, SpeedupIsBaselineOverModeTime)
+{
+    TcaParams p = refParams();
+    IntervalModel m(p);
+    for (TcaMode mode : allTcaModes) {
+        EXPECT_NEAR(m.speedup(mode),
+                    m.times().baseline / m.intervalTime(mode), 1e-12);
+    }
+}
+
+TEST(IntervalModelTest, LtRobFullKicksInForLongAccelerators)
+{
+    // An accelerator whose execution outlasts the ROB fill stalls even
+    // the L_T front end (eq. 8).
+    TcaParams p = refParams();
+    p.acceleratableFraction = 0.98;
+    p.accelerationFactor = 1.1; // slow accelerator, long t_accl
+    p.invocationFrequency = 1e-4;
+    IntervalModel m(p);
+    EXPECT_GT(m.times().ltRobFull, 0.0);
+}
+
+TEST(IntervalModelTest, DescribeMentionsAllModes)
+{
+    IntervalModel m(refParams());
+    std::string text = m.describe();
+    for (TcaMode mode : allTcaModes)
+        EXPECT_NE(text.find(tcaModeName(mode)), std::string::npos);
+}
+
+struct GridCase
+{
+    double a, g, A;
+};
+
+class IntervalModelPropertyTest
+    : public testing::TestWithParam<GridCase>
+{};
+
+TEST_P(IntervalModelPropertyTest, SpeedupsFiniteAndPositive)
+{
+    GridCase c = GetParam();
+    TcaParams p = refParams()
+                      .withAcceleratable(c.a)
+                      .withAccelerationFactor(c.A)
+                      .withGranularity(c.g);
+    IntervalModel m(p);
+    for (TcaMode mode : allTcaModes) {
+        double s = m.speedup(mode);
+        EXPECT_TRUE(std::isfinite(s));
+        EXPECT_GT(s, 0.0);
+        // Speedup can never exceed the concurrency bound A + 1.
+        EXPECT_LE(s, c.A + 1.0 + 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, IntervalModelPropertyTest,
+    testing::Values(GridCase{0.01, 10.0, 2.0}, GridCase{0.1, 50.0, 1.2},
+                    GridCase{0.3, 300.0, 3.0}, GridCase{0.5, 1e4, 5.0},
+                    GridCase{0.7, 1e5, 10.0}, GridCase{0.9, 1e7, 2.0},
+                    GridCase{0.99, 1e8, 50.0},
+                    GridCase{0.25, 25.0, 1.01}));
+
+} // namespace
+} // namespace model
+} // namespace tca

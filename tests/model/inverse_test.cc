@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "model/interval_model.hh"
+#include "model/inverse.hh"
+
+namespace tca {
+namespace model {
+namespace {
+
+TcaParams
+refParams()
+{
+    TcaParams p = armA72Preset().apply(TcaParams{});
+    p.acceleratableFraction = 0.3;
+    p.accelerationFactor = 3.0;
+    return p;
+}
+
+TEST(InverseTest, BreakEvenGranularityBracketsSlowdown)
+{
+    TcaParams p = refParams();
+    auto g = breakEvenGranularity(p, TcaMode::NL_NT);
+    ASSERT_TRUE(g.has_value());
+    // Just below break-even: slowdown; at break-even: speedup.
+    EXPECT_LT(IntervalModel(p.withGranularity(*g * 0.9))
+                  .speedup(TcaMode::NL_NT), 1.0);
+    EXPECT_GE(IntervalModel(p.withGranularity(*g))
+                  .speedup(TcaMode::NL_NT), 1.0 - 1e-9);
+}
+
+TEST(InverseTest, LtHasNoBreakEven)
+{
+    // L_T with A > 1 never slows the program down, so there is no
+    // break-even point.
+    EXPECT_FALSE(
+        breakEvenGranularity(refParams(), TcaMode::L_T).has_value());
+}
+
+TEST(InverseTest, WeakerModesBreakEvenAtCoarserGranularity)
+{
+    TcaParams p = refParams();
+    auto g_nlnt = breakEvenGranularity(p, TcaMode::NL_NT);
+    auto g_lnt = breakEvenGranularity(p, TcaMode::L_NT);
+    ASSERT_TRUE(g_nlnt.has_value());
+    if (g_lnt.has_value()) {
+        EXPECT_GT(*g_nlnt, *g_lnt);
+    }
+}
+
+TEST(InverseTest, SpeedupCeilingIsAmdahlBoundForLNt)
+{
+    // For L_NT with t_accl -> 0: t = t_non_accl + t_commit, so the
+    // ceiling is baseline / (nonAccl + commit).
+    TcaParams p = refParams();
+    IntervalModel m(p);
+    double expected = m.times().baseline /
+                      (m.times().nonAccl + m.times().commit);
+    EXPECT_NEAR(speedupCeiling(p, TcaMode::L_NT), expected, 1e-6);
+}
+
+TEST(InverseTest, RequiredFactorAchievesTarget)
+{
+    TcaParams p = refParams().withGranularity(5000.0);
+    auto A = requiredAccelerationFactor(p, TcaMode::L_T, 1.3);
+    ASSERT_TRUE(A.has_value());
+    EXPECT_GE(IntervalModel(p.withAccelerationFactor(*A))
+                  .speedup(TcaMode::L_T), 1.3 - 1e-6);
+    // And it is minimal: slightly less misses the target.
+    EXPECT_LT(IntervalModel(p.withAccelerationFactor(*A * 0.98))
+                  .speedup(TcaMode::L_T), 1.3);
+}
+
+TEST(InverseTest, UnreachableTargetReturnsNullopt)
+{
+    // a = 0.3: even infinite acceleration caps at ~1/(1-a) = 1.43.
+    TcaParams p = refParams().withGranularity(5000.0);
+    EXPECT_FALSE(
+        requiredAccelerationFactor(p, TcaMode::L_T, 5.0).has_value());
+}
+
+TEST(InverseTest, CeilingOrderedByModeStrength)
+{
+    TcaParams p = refParams().withGranularity(300.0);
+    EXPECT_GE(speedupCeiling(p, TcaMode::L_T),
+              speedupCeiling(p, TcaMode::L_NT));
+    EXPECT_GE(speedupCeiling(p, TcaMode::L_NT),
+              speedupCeiling(p, TcaMode::NL_NT));
+}
+
+TEST(InverseTest, HigherCoverageNeedsSmallerFactor)
+{
+    TcaParams lo = refParams().withAcceleratable(0.3)
+                       .withGranularity(5000.0);
+    TcaParams hi = refParams().withAcceleratable(0.6)
+                       .withGranularity(5000.0);
+    auto a_lo = requiredAccelerationFactor(lo, TcaMode::L_T, 1.25);
+    auto a_hi = requiredAccelerationFactor(hi, TcaMode::L_T, 1.25);
+    ASSERT_TRUE(a_lo.has_value());
+    ASSERT_TRUE(a_hi.has_value());
+    EXPECT_LT(*a_hi, *a_lo);
+}
+
+} // namespace
+} // namespace model
+} // namespace tca

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "model/interval_model.hh"
+#include "model/logca.hh"
+
+namespace tca {
+namespace model {
+namespace {
+
+LogCaParams
+refLogCa()
+{
+    LogCaParams p;
+    p.o = 200.0;
+    p.L = 0.05;
+    p.C = 1.0;
+    p.beta = 1.0;
+    p.A = 8.0;
+    return p;
+}
+
+TEST(LogCaTest, HostTimeFollowsComplexity)
+{
+    LogCaParams p = refLogCa();
+    EXPECT_DOUBLE_EQ(logcaHostTime(p, 100.0), 100.0);
+    p.beta = 2.0;
+    EXPECT_DOUBLE_EQ(logcaHostTime(p, 100.0), 10000.0);
+}
+
+TEST(LogCaTest, SmallOffloadsLoseToOverhead)
+{
+    LogCaParams p = refLogCa();
+    // g = 10: host 10 cycles vs o = 200 -> big slowdown.
+    EXPECT_LT(logcaRegionSpeedup(p, 10.0), 0.1);
+}
+
+TEST(LogCaTest, LargeOffloadsApproachAsymptote)
+{
+    LogCaParams p = refLogCa();
+    double limit = logcaAsymptoticSpeedup(p);
+    EXPECT_NEAR(logcaRegionSpeedup(p, 1e9), limit, 0.01 * limit);
+    // With a transfer term and beta=1 the cap is below A.
+    EXPECT_LT(limit, p.A);
+    // Superlinear compute hides the transfer: cap becomes A.
+    p.beta = 1.5;
+    EXPECT_DOUBLE_EQ(logcaAsymptoticSpeedup(p), p.A);
+}
+
+TEST(LogCaTest, SpeedupMonotonicInGranularity)
+{
+    LogCaParams p = refLogCa();
+    double prev = 0.0;
+    for (double g : {10.0, 100.0, 1e3, 1e5, 1e7}) {
+        double s = logcaRegionSpeedup(p, g);
+        EXPECT_GT(s, prev);
+        prev = s;
+    }
+}
+
+TEST(LogCaTest, BreakEvenBracketsUnity)
+{
+    LogCaParams p = refLogCa();
+    auto g1 = logcaBreakEvenGranularity(p);
+    ASSERT_TRUE(g1.has_value());
+    EXPECT_LT(logcaRegionSpeedup(p, *g1 * 0.9), 1.0);
+    EXPECT_GE(logcaRegionSpeedup(p, *g1), 1.0 - 1e-9);
+}
+
+TEST(LogCaTest, NoBreakEvenForUselessAccelerator)
+{
+    LogCaParams p = refLogCa();
+    p.A = 1.0;
+    p.L = 1.0; // transfer costs as much as computing
+    EXPECT_FALSE(logcaBreakEvenGranularity(p).has_value());
+}
+
+TEST(LogCaTest, ProgramSpeedupAmdahlBounded)
+{
+    LogCaParams p = refLogCa();
+    double s = logcaProgramSpeedup(p, 1e6, 0.5);
+    EXPECT_LT(s, 2.0); // idle CPU: at most 1/(1-a)
+    EXPECT_GT(s, 1.5);
+}
+
+TEST(LogCaTest, DivergesFromTcaModelAtFineGranularity)
+{
+    // The paper's core criticism: LogCA has one curve; the TCA model
+    // resolves modes. Calibrate both to the same coarse-grained
+    // behaviour, then look at fine granularity.
+    LogCaParams logca = refLogCa();
+    logca.o = 50.0;
+
+    TcaParams tca = armA72Preset().apply(TcaParams{});
+    tca.acceleratableFraction = 0.5;
+    tca.accelerationFactor = 8.0;
+
+    // Coarse: both predict substantial, comparable program speedup.
+    double coarse_logca = logcaProgramSpeedup(logca, 1e7, 0.5);
+    IntervalModel coarse_tca(tca.withGranularity(1e7));
+    EXPECT_GT(coarse_logca, 1.5);
+    EXPECT_GT(coarse_tca.speedup(TcaMode::NL_NT), 1.5);
+
+    // Fine (g=50): the TCA model separates a >1x L_T from a <1x
+    // NL_NT; LogCA necessarily reports a single number and, with its
+    // offload overhead, predicts deep slowdown even for the design
+    // that full OoO integration would save.
+    IntervalModel fine_tca(tca.withGranularity(50.0));
+    double fine_logca = logcaProgramSpeedup(logca, 50.0, 0.5);
+    EXPECT_GT(fine_tca.speedup(TcaMode::L_T), 1.0);
+    EXPECT_LT(fine_tca.speedup(TcaMode::NL_NT), 1.0);
+    EXPECT_LT(fine_logca, fine_tca.speedup(TcaMode::L_T));
+}
+
+TEST(LogCaDeathTest, RejectsBadParameters)
+{
+    LogCaParams p = refLogCa();
+    p.beta = 0.5;
+    EXPECT_EXIT(p.validate(), testing::ExitedWithCode(1), "");
+    LogCaParams q = refLogCa();
+    q.A = 0.0;
+    EXPECT_EXIT(q.validate(), testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace model
+} // namespace tca

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "model/interval_model.hh"
+#include "model/optima.hh"
+
+namespace tca {
+namespace model {
+namespace {
+
+TcaParams
+cleanParams()
+{
+    // Negligible commit stall and drain so the closed-form optimum is
+    // approached tightly.
+    TcaParams p;
+    p.ipc = 1.5;
+    p.robSize = 256;
+    p.issueWidth = 4;
+    p.commitStall = 0.0;
+    p.explicitDrainTime = 0.0;
+    return p;
+}
+
+TEST(OptimaTest, ClosedFormBound)
+{
+    EXPECT_DOUBLE_EQ(ltSpeedupBound(2.0), 3.0);
+    EXPECT_DOUBLE_EQ(ltSpeedupBound(5.0), 6.0);
+    EXPECT_NEAR(ltOptimalAcceleratable(2.0), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(ltOptimalAcceleratable(5.0), 5.0 / 6.0, 1e-12);
+}
+
+TEST(OptimaTest, Fig8PeakAtTwoThirdsForAEqualTwo)
+{
+    // Section VII: a TCA with A=2 peaks at speedup 3 when 67% of the
+    // code is acceleratable.
+    TcaParams p = cleanParams().withAccelerationFactor(2.0);
+    SpeedupPeak peak = findPeakSpeedup(p, 100.0, TcaMode::L_T);
+    EXPECT_NEAR(peak.bestA, 2.0 / 3.0, 0.02);
+    EXPECT_NEAR(peak.bestSpeedup, 3.0, 0.05);
+}
+
+TEST(OptimaTest, PeakForAFiveAtFiveSixths)
+{
+    TcaParams p = cleanParams().withAccelerationFactor(5.0);
+    SpeedupPeak peak = findPeakSpeedup(p, 500.0, TcaMode::L_T);
+    EXPECT_NEAR(peak.bestA, 5.0 / 6.0, 0.02);
+    EXPECT_NEAR(peak.bestSpeedup, 6.0, 0.1);
+}
+
+TEST(OptimaTest, BarrierModesPeakLower)
+{
+    // Dispatch stalls forfeit the extra concurrency (Section VII).
+    TcaParams p = cleanParams().withAccelerationFactor(2.0);
+    p.commitStall = 10.0;
+    p.explicitDrainTime = -1.0; // estimated drain
+    SpeedupPeak lt = findPeakSpeedup(p, 100.0, TcaMode::L_T);
+    SpeedupPeak lnt = findPeakSpeedup(p, 100.0, TcaMode::L_NT);
+    SpeedupPeak nlnt = findPeakSpeedup(p, 100.0, TcaMode::NL_NT);
+    EXPECT_GT(lt.bestSpeedup, lnt.bestSpeedup);
+    EXPECT_GE(lnt.bestSpeedup, nlnt.bestSpeedup);
+}
+
+TEST(OptimaTest, PeakNeverExceedsBound)
+{
+    for (double A : {1.2, 2.0, 4.0, 8.0}) {
+        TcaParams p = cleanParams().withAccelerationFactor(A);
+        SpeedupPeak peak = findPeakSpeedup(p, 200.0, TcaMode::L_T);
+        EXPECT_LE(peak.bestSpeedup, ltSpeedupBound(A) + 1e-6);
+    }
+}
+
+TEST(OptimaTest, PeakSpeedupAtLeastEndpointValues)
+{
+    TcaParams p = cleanParams().withAccelerationFactor(3.0);
+    SpeedupPeak peak = findPeakSpeedup(p, 100.0, TcaMode::NL_T);
+    for (double a : {0.01, 0.5, 0.99}) {
+        TcaParams q = p.withAcceleratable(a).withGranularity(100.0);
+        EXPECT_GE(peak.bestSpeedup + 1e-9,
+                  IntervalModel(q).speedup(TcaMode::NL_T));
+    }
+}
+
+} // namespace
+} // namespace model
+} // namespace tca

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "model/params.hh"
+
+namespace tca {
+namespace model {
+namespace {
+
+TEST(TcaParamsTest, GranularityIsAOverV)
+{
+    TcaParams p;
+    p.acceleratableFraction = 0.3;
+    p.invocationFrequency = 1e-3;
+    EXPECT_DOUBLE_EQ(p.granularity(), 300.0);
+}
+
+TEST(TcaParamsTest, WithGranularityRoundTrips)
+{
+    TcaParams p;
+    p.acceleratableFraction = 0.5;
+    TcaParams q = p.withGranularity(1000.0);
+    EXPECT_DOUBLE_EQ(q.granularity(), 1000.0);
+    EXPECT_DOUBLE_EQ(q.invocationFrequency, 0.5 / 1000.0);
+}
+
+TEST(TcaParamsTest, BuildersPreserveOtherFields)
+{
+    TcaParams p;
+    p.ipc = 1.7;
+    p.robSize = 192;
+    TcaParams q = p.withAcceleratable(0.6)
+                      .withInvocationFrequency(1e-2)
+                      .withAccelerationFactor(9.0);
+    EXPECT_DOUBLE_EQ(q.ipc, 1.7);
+    EXPECT_EQ(q.robSize, 192u);
+    EXPECT_DOUBLE_EQ(q.acceleratableFraction, 0.6);
+    EXPECT_DOUBLE_EQ(q.invocationFrequency, 1e-2);
+    EXPECT_DOUBLE_EQ(q.accelerationFactor, 9.0);
+}
+
+TEST(TcaParamsDeathTest, ValidationRejectsNonsense)
+{
+    TcaParams p;
+    p.acceleratableFraction = 1.5;
+    EXPECT_EXIT(p.validate(), testing::ExitedWithCode(1), "");
+
+    TcaParams q;
+    q.ipc = -1.0;
+    EXPECT_EXIT(q.validate(), testing::ExitedWithCode(1), "");
+
+    TcaParams r;
+    r.invocationFrequency = 0.0;
+    EXPECT_EXIT(r.validate(), testing::ExitedWithCode(1), "");
+}
+
+TEST(CorePresetTest, PaperFig7Cores)
+{
+    CorePreset hp = highPerfPreset();
+    EXPECT_DOUBLE_EQ(hp.ipc, 1.8);
+    EXPECT_EQ(hp.robSize, 256u);
+    EXPECT_EQ(hp.issueWidth, 4u);
+
+    CorePreset lp = lowPerfPreset();
+    EXPECT_DOUBLE_EQ(lp.ipc, 0.5);
+    EXPECT_EQ(lp.robSize, 64u);
+    EXPECT_EQ(lp.issueWidth, 2u);
+}
+
+TEST(CorePresetTest, ApplyOverwritesCoreFieldsOnly)
+{
+    TcaParams base;
+    base.acceleratableFraction = 0.42;
+    TcaParams hp = highPerfPreset().apply(base);
+    EXPECT_DOUBLE_EQ(hp.acceleratableFraction, 0.42);
+    EXPECT_DOUBLE_EQ(hp.ipc, 1.8);
+    EXPECT_EQ(hp.robSize, 256u);
+}
+
+TEST(CorePresetTest, A72IsThreeWide)
+{
+    CorePreset a72 = armA72Preset();
+    EXPECT_EQ(a72.issueWidth, 3u);
+    EXPECT_EQ(a72.robSize, 128u);
+}
+
+} // namespace
+} // namespace model
+} // namespace tca

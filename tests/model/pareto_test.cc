@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "model/pareto.hh"
+
+namespace tca {
+namespace model {
+namespace {
+
+TEST(ParetoTest, DefaultCostsOrderedByComplexity)
+{
+    // NL_NT is the cheapest, L_T the most expensive; partial support
+    // sits in between on both axes.
+    HardwareCost nlnt = defaultModeCost(TcaMode::NL_NT);
+    HardwareCost nlt = defaultModeCost(TcaMode::NL_T);
+    HardwareCost lnt = defaultModeCost(TcaMode::L_NT);
+    HardwareCost lt = defaultModeCost(TcaMode::L_T);
+    EXPECT_LT(nlnt.area, nlt.area);
+    EXPECT_LT(nlt.area, lt.area);
+    EXPECT_LT(lnt.area, lt.area);
+    EXPECT_LT(nlnt.power, lt.power);
+}
+
+TEST(ParetoTest, DominanceDefinition)
+{
+    DesignPoint better{"b", 2.0, {1.0, 1.0}};
+    DesignPoint worse{"w", 1.5, {1.2, 1.1}};
+    EXPECT_TRUE(dominates(better, worse));
+    EXPECT_FALSE(dominates(worse, better));
+}
+
+TEST(ParetoTest, IncomparablePointsDoNotDominate)
+{
+    DesignPoint fast{"fast", 2.0, {2.0, 2.0}};
+    DesignPoint cheap{"cheap", 1.2, {1.0, 1.0}};
+    EXPECT_FALSE(dominates(fast, cheap));
+    EXPECT_FALSE(dominates(cheap, fast));
+}
+
+TEST(ParetoTest, IdenticalPointsDoNotDominateEachOther)
+{
+    DesignPoint a{"a", 1.5, {1.0, 1.0}};
+    DesignPoint b{"b", 1.5, {1.0, 1.0}};
+    EXPECT_FALSE(dominates(a, b));
+    EXPECT_FALSE(dominates(b, a));
+    auto frontier = paretoFrontier({a, b});
+    EXPECT_EQ(frontier.size(), 2u); // both kept
+}
+
+TEST(ParetoTest, FrontierRemovesDominatedDesigns)
+{
+    std::vector<DesignPoint> points = {
+        {"nl_nt", 1.0, {1.0, 1.0}},   // cheapest
+        {"l_nt", 1.1, {1.6, 1.5}},
+        {"nl_t", 1.3, {1.5, 1.4}},    // dominates l_nt
+        {"l_t", 1.5, {2.1, 1.9}},     // fastest
+    };
+    auto frontier = paretoFrontier(points);
+    // l_nt is dominated by nl_t (faster, cheaper on both axes).
+    ASSERT_EQ(frontier.size(), 3u);
+    EXPECT_EQ(std::count(frontier.begin(), frontier.end(), 1u), 0);
+}
+
+TEST(ParetoTest, AllPointsOnFrontierWhenTradeOffIsMonotone)
+{
+    // Strictly increasing speedup AND cost: nothing is dominated.
+    std::vector<DesignPoint> points = {
+        {"a", 1.0, {1.0, 1.0}},
+        {"b", 1.2, {1.3, 1.2}},
+        {"c", 1.5, {1.8, 1.6}},
+    };
+    EXPECT_EQ(paretoFrontier(points).size(), 3u);
+}
+
+TEST(ParetoTest, SlowdownDesignDominatedByDoingNothing)
+{
+    // Include a "no accelerator" point: any mode that slows the
+    // program down while costing hardware is off the frontier.
+    std::vector<DesignPoint> points = {
+        {"no_tca", 1.0, {0.0, 0.0}},
+        {"nl_nt_slow", 0.8, {1.0, 1.0}},
+        {"l_t", 1.4, {2.1, 1.9}},
+    };
+    auto frontier = paretoFrontier(points);
+    ASSERT_EQ(frontier.size(), 2u);
+    EXPECT_EQ(frontier[0], 0u);
+    EXPECT_EQ(frontier[1], 2u);
+}
+
+TEST(ParetoTest, EmptyInput)
+{
+    EXPECT_TRUE(paretoFrontier({}).empty());
+}
+
+} // namespace
+} // namespace model
+} // namespace tca

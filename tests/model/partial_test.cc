@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "model/partial.hh"
+
+namespace tca {
+namespace model {
+namespace {
+
+TcaParams
+refParams()
+{
+    TcaParams p;
+    p.acceleratableFraction = 0.3;
+    p.invocationFrequency = 1e-3;
+    p.ipc = 1.5;
+    p.accelerationFactor = 3.0;
+    p.robSize = 128;
+    p.issueWidth = 3;
+    p.commitStall = 10.0;
+    return p;
+}
+
+TEST(PartialSpeculationModelTest, GatedFractionLimits)
+{
+    EXPECT_DOUBLE_EQ(gatedInvocationFraction(0.0, 100.0), 0.0);
+    EXPECT_DOUBLE_EQ(gatedInvocationFraction(1.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(gatedInvocationFraction(0.5, 0.0), 0.0);
+}
+
+TEST(PartialSpeculationModelTest, GatedFractionMonotonic)
+{
+    double prev = 0.0;
+    for (double rate : {0.001, 0.01, 0.05, 0.2}) {
+        double f = gatedInvocationFraction(rate, 64.0);
+        EXPECT_GT(f, prev);
+        EXPECT_LE(f, 1.0);
+        prev = f;
+    }
+    // More in-flight instructions -> more likely gated.
+    EXPECT_LT(gatedInvocationFraction(0.01, 16.0),
+              gatedInvocationFraction(0.01, 256.0));
+}
+
+TEST(PartialSpeculationModelTest, InterpolatesBetweenLAndNl)
+{
+    IntervalModel model(refParams());
+    // gated = 0 -> exactly the L mode; gated = 1 -> exactly NL.
+    EXPECT_DOUBLE_EQ(partialIntervalTime(model, true, 0.0),
+                     model.intervalTime(TcaMode::L_T));
+    EXPECT_DOUBLE_EQ(partialIntervalTime(model, true, 1.0),
+                     model.intervalTime(TcaMode::NL_T));
+    EXPECT_DOUBLE_EQ(partialIntervalTime(model, false, 0.0),
+                     model.intervalTime(TcaMode::L_NT));
+    EXPECT_DOUBLE_EQ(partialIntervalTime(model, false, 1.0),
+                     model.intervalTime(TcaMode::NL_NT));
+}
+
+TEST(PartialSpeculationModelTest, SpeedupBracketedByModes)
+{
+    IntervalModel model(refParams());
+    for (double gated : {0.1, 0.3, 0.5, 0.9}) {
+        double s = partialSpeedup(model, true, gated);
+        EXPECT_LE(s, model.speedup(TcaMode::L_T) + 1e-12);
+        EXPECT_GE(s, model.speedup(TcaMode::NL_T) - 1e-12);
+    }
+}
+
+TEST(PartialSpeculationModelTest, SpeedupDecreasesWithGating)
+{
+    IntervalModel model(refParams());
+    double prev = 1e18;
+    for (double gated : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        double s = partialSpeedup(model, false, gated);
+        EXPECT_LE(s, prev + 1e-12);
+        prev = s;
+    }
+}
+
+TEST(PartialSpeculationModelDeathTest, RejectsOutOfRangeFraction)
+{
+    IntervalModel model(refParams());
+    EXPECT_DEATH(partialIntervalTime(model, true, 1.5), "");
+    EXPECT_DEATH(partialIntervalTime(model, true, -0.1), "");
+}
+
+} // namespace
+} // namespace model
+} // namespace tca

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "model/interval_model.hh"
+#include "model/phases.hh"
+
+namespace tca {
+namespace model {
+namespace {
+
+TcaParams
+phaseParams(double a, double g, double ipc)
+{
+    TcaParams p = armA72Preset().apply(TcaParams{});
+    p.ipc = ipc;
+    p.accelerationFactor = 3.0;
+    return p.withAcceleratable(a).withGranularity(g);
+}
+
+TEST(PhasedModelTest, SinglePhaseMatchesIntervalModel)
+{
+    TcaParams p = phaseParams(0.3, 300.0, 1.5);
+    PhasedModel phased({{"all", 1.0, p, true}});
+    IntervalModel plain(p);
+    for (TcaMode mode : allTcaModes)
+        EXPECT_NEAR(phased.speedup(mode), plain.speedup(mode), 1e-9);
+}
+
+TEST(PhasedModelTest, UnacceleratedPhaseDilutesSpeedup)
+{
+    TcaParams p = phaseParams(0.5, 500.0, 1.5);
+    PhasedModel pure({{"hot", 1.0, p, true}});
+    PhasedModel diluted({
+        {"hot", 0.5, p, true},
+        {"cold", 0.5, p, false},
+    });
+    for (TcaMode mode : allTcaModes) {
+        if (pure.speedup(mode) > 1.0) {
+            EXPECT_LT(diluted.speedup(mode), pure.speedup(mode));
+        }
+        EXPECT_GT(diluted.speedup(mode), 0.0);
+    }
+}
+
+TEST(PhasedModelTest, AmdahlOverPhases)
+{
+    // Hot phase infinitely accelerated (huge A, L_T): total speedup
+    // bounded by the cold phase's share.
+    TcaParams hot = phaseParams(0.99, 1e6, 1.5)
+                        .withAccelerationFactor(1e9);
+    PhasedModel phased({
+        {"hot", 0.5, hot, true},
+        {"cold", 0.5, hot, false},
+    });
+    // Cold phase is half the instructions at the same IPC: speedup
+    // can approach but not exceed ~2.
+    EXPECT_LT(phased.speedup(TcaMode::L_T), 2.0 + 1e-6);
+    EXPECT_GT(phased.speedup(TcaMode::L_T), 1.8);
+}
+
+TEST(PhasedModelTest, PhasesWithDifferentIpcWeighted)
+{
+    // A slow phase (IPC 0.5) dominates baseline time over a fast one
+    // (IPC 2.0) with equal instruction shares.
+    TcaParams slow = phaseParams(0.3, 300.0, 0.5);
+    TcaParams fast = phaseParams(0.3, 300.0, 2.0);
+    PhasedModel phased({
+        {"slow", 0.5, slow, true},
+        {"fast", 0.5, fast, true},
+    });
+    EXPECT_NEAR(phased.baselineTime(), 0.5 / 0.5 + 0.5 / 2.0, 1e-12);
+    EXPECT_EQ(phased.dominantPhase(TcaMode::L_T).name, "slow");
+}
+
+TEST(PhasedModelTest, DominantPhaseShiftsWithMode)
+{
+    // A fine-grained phase is cheap in L_T but blows up in NL_NT.
+    TcaParams fine = phaseParams(0.5, 30.0, 2.0);
+    TcaParams coarse = phaseParams(0.3, 1e6, 2.0);
+    PhasedModel phased({
+        {"fine", 0.4, fine, true},
+        {"coarse", 0.6, coarse, true},
+    });
+    EXPECT_EQ(phased.dominantPhase(TcaMode::NL_NT).name, "fine");
+}
+
+TEST(PhasedModelDeathTest, RejectsBadShares)
+{
+    TcaParams p = phaseParams(0.3, 300.0, 1.5);
+    EXPECT_EXIT(PhasedModel({{"half", 0.5, p, true}}),
+                testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(PhasedModel({}), testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace model
+} // namespace tca

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "model/interval_model.hh"
+#include "model/report.hh"
+
+namespace tca {
+namespace model {
+namespace {
+
+TcaParams
+fineGrained()
+{
+    TcaParams p = armA72Preset().apply(TcaParams{});
+    p.accelerationFactor = 2.0;
+    return p.withAcceleratable(0.3).withGranularity(50.0);
+}
+
+TcaParams
+coarseGrained()
+{
+    TcaParams p = armA72Preset().apply(TcaParams{});
+    p.accelerationFactor = 10.0;
+    return p.withAcceleratable(0.4).withGranularity(1e7);
+}
+
+TEST(ReportTest, FineGrainedRecommendsFullIntegration)
+{
+    DesignAdvice advice = adviseDesign(fineGrained());
+    EXPECT_EQ(advice.bestMode, TcaMode::L_T);
+    EXPECT_EQ(advice.recommendedMode, TcaMode::L_T);
+    // The NT modes slow the program down here.
+    EXPECT_TRUE(advice.slowsDown(TcaMode::NL_NT));
+    EXPECT_FALSE(advice.slowsDown(TcaMode::L_T));
+}
+
+TEST(ReportTest, CoarseGrainedRecommendsSimplestMode)
+{
+    // All modes effectively tie at coarse granularity: the simplest
+    // one is within tolerance of the best. (L_T stays microscopically
+    // faster, so strictly it remains on the Pareto frontier — the
+    // recommendation logic is what steers away from it.)
+    DesignAdvice advice = adviseDesign(coarseGrained());
+    EXPECT_EQ(advice.recommendedMode, TcaMode::NL_NT);
+    EXPECT_FALSE(advice.dominated(TcaMode::NL_NT));
+    IntervalModel model(coarseGrained());
+    EXPECT_NEAR(model.speedup(TcaMode::L_T) /
+                    model.speedup(TcaMode::NL_NT),
+                1.0, 1e-3);
+}
+
+TEST(ReportTest, SlowdownModesAreDominatedByNotBuilding)
+{
+    DesignAdvice advice = adviseDesign(fineGrained());
+    for (TcaMode mode : allTcaModes) {
+        if (advice.slowsDown(mode)) {
+            EXPECT_TRUE(advice.dominated(mode))
+                << tcaModeName(mode)
+                << " slows down but is not dominated";
+        }
+    }
+}
+
+TEST(ReportTest, RecommendedWithinTolerance)
+{
+    for (double tol : {0.0, 0.05, 0.25}) {
+        DesignAdvice advice = adviseDesign(fineGrained(), tol);
+        EXPECT_GE(advice.recommendedSpeedup,
+                  (1.0 - tol) * advice.bestSpeedup - 1e-12);
+    }
+}
+
+TEST(ReportTest, TextReportContainsAllSections)
+{
+    std::string text = designReport(fineGrained());
+    EXPECT_NE(text.find("[modes]"), std::string::npos);
+    EXPECT_NE(text.find("[concurrency]"), std::string::npos);
+    EXPECT_NE(text.find("[boundaries]"), std::string::npos);
+    EXPECT_NE(text.find("[verdict]"), std::string::npos);
+    EXPECT_NE(text.find("recommended"), std::string::npos);
+    EXPECT_NE(text.find("SLOWDOWN"), std::string::npos);
+}
+
+TEST(ReportTest, ReportMatchesModelNumbers)
+{
+    TcaParams p = fineGrained();
+    DesignAdvice advice = adviseDesign(p);
+    IntervalModel model(p);
+    EXPECT_NEAR(advice.bestSpeedup, model.speedup(advice.bestMode),
+                1e-12);
+    EXPECT_NEAR(advice.recommendedSpeedup,
+                model.speedup(advice.recommendedMode), 1e-12);
+}
+
+} // namespace
+} // namespace model
+} // namespace tca

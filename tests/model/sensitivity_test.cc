@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/interval_model.hh"
+#include "model/sensitivity.hh"
+
+namespace tca {
+namespace model {
+namespace {
+
+TcaParams
+refParams()
+{
+    TcaParams p = armA72Preset().apply(TcaParams{});
+    p.accelerationFactor = 3.0;
+    return p.withAcceleratable(0.3).withGranularity(200.0);
+}
+
+TEST(SensitivityTest, CoversAllContinuousParameters)
+{
+    auto all = speedupElasticities(refParams(), TcaMode::L_T);
+    EXPECT_EQ(all.size(), 7u);
+    // Sorted by descending magnitude.
+    for (size_t i = 1; i < all.size(); ++i)
+        EXPECT_GE(std::fabs(all[i - 1].value),
+                  std::fabs(all[i].value));
+}
+
+TEST(SensitivityTest, LtInsensitiveToCommitStall)
+{
+    // Eq. (9) has no t_commit term.
+    auto all = speedupElasticities(refParams(), TcaMode::L_T);
+    for (const Elasticity &e : all) {
+        if (e.parameter == "t_commit")
+            EXPECT_NEAR(e.value, 0.0, 1e-9);
+    }
+}
+
+TEST(SensitivityTest, NlNtSensitiveToCommitStall)
+{
+    // Eq. (4) charges t_commit twice: more commit stall, less speedup.
+    auto all = speedupElasticities(refParams(), TcaMode::NL_NT);
+    bool found = false;
+    for (const Elasticity &e : all) {
+        if (e.parameter == "t_commit") {
+            EXPECT_LT(e.value, 0.0);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(SensitivityTest, AcceleratableFractionHelpsLt)
+{
+    // More coverage -> more speedup in L_T (below the a* optimum).
+    auto all = speedupElasticities(refParams(), TcaMode::L_T);
+    for (const Elasticity &e : all) {
+        if (e.parameter.rfind("a (", 0) == 0)
+            EXPECT_GT(e.value, 0.0);
+    }
+}
+
+TEST(SensitivityTest, InvocationFrequencyHurtsNlModes)
+{
+    // At fixed a, higher v = finer invocations = more drain/commit
+    // penalties per instruction in NL_NT.
+    auto all = speedupElasticities(refParams(), TcaMode::NL_NT);
+    for (const Elasticity &e : all) {
+        if (e.parameter.rfind("v (", 0) == 0)
+            EXPECT_LT(e.value, 0.0);
+    }
+}
+
+TEST(SensitivityTest, ElasticityPredictsSmallPerturbations)
+{
+    // First-order check: speedup(p * 1.02) ~ speedup * (1.02)^E.
+    TcaParams p = refParams();
+    auto all = speedupElasticities(p, TcaMode::NL_NT);
+    double e_a = 0.0;
+    for (const Elasticity &e : all)
+        if (e.parameter.rfind("a (", 0) == 0)
+            e_a = e.value;
+
+    double base = IntervalModel(p).speedup(TcaMode::NL_NT);
+    TcaParams bumped = p.withAcceleratable(
+        p.acceleratableFraction * 1.02);
+    double actual = IntervalModel(bumped).speedup(TcaMode::NL_NT);
+    double predicted = base * std::pow(1.02, e_a);
+    EXPECT_NEAR(actual, predicted, 0.01 * base);
+}
+
+TEST(SensitivityTest, DominantParameterIsTheLargest)
+{
+    TcaParams p = refParams();
+    auto all = speedupElasticities(p, TcaMode::NL_T);
+    Elasticity top = dominantParameter(p, TcaMode::NL_T);
+    EXPECT_EQ(top.parameter, all.front().parameter);
+    EXPECT_DOUBLE_EQ(top.value, all.front().value);
+}
+
+} // namespace
+} // namespace model
+} // namespace tca

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/sweeps.hh"
+
+namespace tca {
+namespace model {
+namespace {
+
+TcaParams
+fig2Params()
+{
+    // Fig. 2 setup: A72-like core, 30% acceleratable, A = 3.
+    TcaParams p = armA72Preset().apply(TcaParams{});
+    p.acceleratableFraction = 0.3;
+    p.accelerationFactor = 3.0;
+    return p;
+}
+
+TEST(GranularitySweepTest, CoversRequestedRange)
+{
+    auto points = granularitySweep(fig2Params(), 10.0, 1e9, 4);
+    ASSERT_GE(points.size(), 2u);
+    EXPECT_NEAR(points.front().x, 10.0, 1e-6);
+    EXPECT_NEAR(points.back().x, 1e9, 1.0);
+    for (size_t i = 1; i < points.size(); ++i)
+        EXPECT_GT(points[i].x, points[i - 1].x);
+}
+
+TEST(GranularitySweepTest, Fig2ShapeFineGrainedSpreads)
+{
+    auto points = granularitySweep(fig2Params(), 10.0, 1e9, 4);
+    // Coarse end: all modes within a hair of each other.
+    const SweepPoint &coarse = points.back();
+    double spread_coarse = coarse.forMode(TcaMode::L_T) -
+                           coarse.forMode(TcaMode::NL_NT);
+    EXPECT_LT(spread_coarse, 0.01);
+    // Fine end: large spread and NL_NT slowdown.
+    const SweepPoint &fine = points.front();
+    EXPECT_LT(fine.forMode(TcaMode::NL_NT), 1.0);
+    EXPECT_GT(fine.forMode(TcaMode::L_T), 1.0);
+}
+
+TEST(GranularitySweepTest, LtSpeedupMonotonicallyNonWorseningAtCoarse)
+{
+    // For fixed a and A, the L_T speedup is essentially flat in
+    // granularity once the ROB-fill term vanishes.
+    auto points = granularitySweep(fig2Params(), 1e5, 1e9, 2);
+    double first = points.front().forMode(TcaMode::L_T);
+    for (const auto &p : points)
+        EXPECT_NEAR(p.forMode(TcaMode::L_T), first, 0.02 * first);
+}
+
+TEST(AcceleratableSweepTest, XAxisIsAcceleratableFraction)
+{
+    auto points = acceleratableSweep(fig2Params(), 100.0, 0.1, 0.9, 17);
+    ASSERT_EQ(points.size(), 17u);
+    EXPECT_NEAR(points.front().x, 0.1, 1e-9);
+    EXPECT_NEAR(points.back().x, 0.9, 1e-9);
+}
+
+TEST(HeatmapTest, DimensionsMatchRequest)
+{
+    HeatmapGrid grid =
+        heatmapSweep(fig2Params(), 20, 1e-6, 1e-1, 25);
+    EXPECT_EQ(grid.aValues.size(), 20u);
+    EXPECT_EQ(grid.vValues.size(), 25u);
+    for (const auto &mode_grid : grid.speedup) {
+        ASSERT_EQ(mode_grid.size(), 20u);
+        ASSERT_EQ(mode_grid[0].size(), 25u);
+    }
+}
+
+TEST(HeatmapTest, SlowdownRegionOrdering)
+{
+    // Less OoO support can only enlarge the slowdown (blue) region.
+    HeatmapGrid grid =
+        heatmapSweep(fig2Params(), 24, 1e-6, 1e-1, 24);
+    EXPECT_LE(grid.slowdownCells(TcaMode::L_T),
+              grid.slowdownCells(TcaMode::L_NT));
+    EXPECT_LE(grid.slowdownCells(TcaMode::L_NT),
+              grid.slowdownCells(TcaMode::NL_NT));
+    EXPECT_LE(grid.slowdownCells(TcaMode::NL_T),
+              grid.slowdownCells(TcaMode::NL_NT));
+}
+
+TEST(HeatmapTest, LtNeverSlowsDown)
+{
+    // Full OoO support never predicts slowdown in the model.
+    HeatmapGrid grid =
+        heatmapSweep(fig2Params(), 16, 1e-6, 1e-1, 16);
+    EXPECT_EQ(grid.slowdownCells(TcaMode::L_T), 0u);
+}
+
+TEST(HeatmapTest, HpCoreMoreModeSensitiveThanLp)
+{
+    // Section VI observation 1: high-performance cores see bigger
+    // differences between modes. Compare NL_NT slowdown areas.
+    TcaParams base;
+    base.accelerationFactor = 1.5;
+    HeatmapGrid hp = heatmapSweep(highPerfPreset().apply(base), 20,
+                                  1e-5, 1e-1, 20);
+    HeatmapGrid lp = heatmapSweep(lowPerfPreset().apply(base), 20,
+                                  1e-5, 1e-1, 20);
+    EXPECT_GT(hp.slowdownCells(TcaMode::NL_NT),
+              lp.slowdownCells(TcaMode::NL_NT));
+}
+
+TEST(HeatmapTest, RenderProducesOneCharPerCell)
+{
+    HeatmapGrid grid = heatmapSweep(fig2Params(), 5, 1e-5, 1e-2, 7);
+    std::string art = grid.render(TcaMode::L_T);
+    // 5 rows of 7 chars plus newlines.
+    EXPECT_EQ(art.size(), 5u * 8u);
+}
+
+TEST(HeatmapTest, NearestColumnLogScale)
+{
+    HeatmapGrid grid = heatmapSweep(fig2Params(), 4, 1e-6, 1e-2, 5);
+    // Columns at 1e-6, 1e-5, 1e-4, 1e-3, 1e-2.
+    EXPECT_EQ(grid.nearestColumn(1e-6), 0u);
+    EXPECT_EQ(grid.nearestColumn(1e-2), 4u);
+    EXPECT_EQ(grid.nearestColumn(9e-5), 2u);
+}
+
+TEST(HeatmapTest, CurveOverlayMarksCells)
+{
+    HeatmapGrid grid = heatmapSweep(fig2Params(), 10, 1e-6, 1e-1, 20);
+    std::string plain = grid.render(TcaMode::L_T);
+    std::string overlaid = grid.renderWithCurve(TcaMode::L_T, 100.0);
+    EXPECT_EQ(plain.size(), overlaid.size());
+    EXPECT_EQ(plain.find('*'), std::string::npos);
+    // The g=100 curve (v = a/100, a in [0.01,0.99]) lies inside the
+    // plotted v range, so stars appear — one per row at most.
+    size_t stars = 0;
+    for (char c : overlaid)
+        stars += (c == '*');
+    EXPECT_GT(stars, 0u);
+    EXPECT_LE(stars, grid.aValues.size());
+}
+
+TEST(HeatmapTest, CurveOutsideRangeLeavesArtUntouched)
+{
+    HeatmapGrid grid = heatmapSweep(fig2Params(), 8, 1e-3, 1e-1, 10);
+    // g = 1e9: v = a/1e9 is far below the plotted v range.
+    std::string overlaid = grid.renderWithCurve(TcaMode::L_T, 1e9);
+    EXPECT_EQ(overlaid.find('*'), std::string::npos);
+}
+
+TEST(FixedFunctionCurveTest, VEqualsAOverG)
+{
+    auto curve = fixedFunctionCurve(100.0, {0.1, 0.5, 1.0});
+    ASSERT_EQ(curve.size(), 3u);
+    EXPECT_NEAR(curve[0].second, 0.001, 1e-12);
+    EXPECT_NEAR(curve[1].second, 0.005, 1e-12);
+    EXPECT_NEAR(curve[2].second, 0.01, 1e-12);
+}
+
+TEST(Fig2MarkersTest, HasEightReferenceAccelerators)
+{
+    auto markers = fig2Markers();
+    EXPECT_EQ(markers.size(), 8u);
+    // Spot-check the extremes: H.264 is the coarsest, heap the finest.
+    EXPECT_EQ(markers.front().name.substr(0, 5), "H.264");
+    double coarsest = 0, finest = 1e18;
+    for (const auto &m : markers) {
+        coarsest = std::max(coarsest, m.instsPerInvocation);
+        finest = std::min(finest, m.instsPerInvocation);
+    }
+    EXPECT_GE(coarsest / finest, 1e6);
+}
+
+} // namespace
+} // namespace model
+} // namespace tca

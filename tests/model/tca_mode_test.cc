@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "model/tca_mode.hh"
+
+namespace tca {
+namespace model {
+namespace {
+
+TEST(TcaModeTest, LeadingCapability)
+{
+    EXPECT_TRUE(allowsLeading(TcaMode::L_T));
+    EXPECT_TRUE(allowsLeading(TcaMode::L_NT));
+    EXPECT_FALSE(allowsLeading(TcaMode::NL_T));
+    EXPECT_FALSE(allowsLeading(TcaMode::NL_NT));
+}
+
+TEST(TcaModeTest, TrailingCapability)
+{
+    EXPECT_TRUE(allowsTrailing(TcaMode::L_T));
+    EXPECT_TRUE(allowsTrailing(TcaMode::NL_T));
+    EXPECT_FALSE(allowsTrailing(TcaMode::L_NT));
+    EXPECT_FALSE(allowsTrailing(TcaMode::NL_NT));
+}
+
+TEST(TcaModeTest, NamesRoundTrip)
+{
+    for (TcaMode mode : allTcaModes)
+        EXPECT_EQ(parseTcaMode(tcaModeName(mode)), mode);
+}
+
+TEST(TcaModeTest, ParseIsCaseInsensitive)
+{
+    EXPECT_EQ(parseTcaMode("nl_nt"), TcaMode::NL_NT);
+    EXPECT_EQ(parseTcaMode(" L_T "), TcaMode::L_T);
+}
+
+TEST(TcaModeTest, AllModesListedOnce)
+{
+    EXPECT_EQ(allTcaModes.size(), 4u);
+    for (size_t i = 0; i < allTcaModes.size(); ++i)
+        for (size_t j = i + 1; j < allTcaModes.size(); ++j)
+            EXPECT_NE(allTcaModes[i], allTcaModes[j]);
+}
+
+TEST(TcaModeTest, HardwareDescriptionsMentionKeyMechanisms)
+{
+    // L modes need rollback; T modes need dependency resolution.
+    EXPECT_NE(tcaModeHardware(TcaMode::L_NT).find("rollback"),
+              std::string::npos);
+    EXPECT_NE(tcaModeHardware(TcaMode::NL_T).find("dependency"),
+              std::string::npos);
+    EXPECT_NE(tcaModeHardware(TcaMode::NL_NT).find("drain"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace model
+} // namespace tca

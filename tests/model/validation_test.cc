@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "model/validation.hh"
+
+namespace tca {
+namespace model {
+namespace {
+
+TEST(ValidationTest, SignedPercentError)
+{
+    EXPECT_NEAR(percentError(1.1, 1.0), 10.0, 1e-9);
+    EXPECT_NEAR(percentError(0.9, 1.0), -10.0, 1e-9);
+    EXPECT_DOUBLE_EQ(percentError(2.0, 2.0), 0.0);
+}
+
+TEST(ValidationTest, SummaryStatistics)
+{
+    std::vector<double> est = {1.1, 0.8, 2.0};
+    std::vector<double> meas = {1.0, 1.0, 2.0};
+    ErrorSummary s = summarizeErrors(est, meas);
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_NEAR(s.maxAbs, 20.0, 1e-9);
+    EXPECT_NEAR(s.meanAbs, 10.0, 1e-9);
+    EXPECT_NEAR(s.meanSigned, -10.0 / 3.0, 1e-9);
+}
+
+TEST(ValidationTest, EmptySummary)
+{
+    ErrorSummary s = summarizeErrors({}, {});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.meanAbs, 0.0);
+    EXPECT_DOUBLE_EQ(s.maxAbs, 0.0);
+}
+
+TEST(ValidationTest, PerfectEstimatesHaveZeroError)
+{
+    std::vector<double> v = {1.0, 2.0, 3.0};
+    ErrorSummary s = summarizeErrors(v, v);
+    EXPECT_DOUBLE_EQ(s.meanAbs, 0.0);
+    EXPECT_DOUBLE_EQ(s.maxAbs, 0.0);
+    EXPECT_DOUBLE_EQ(s.meanSigned, 0.0);
+}
+
+} // namespace
+} // namespace model
+} // namespace tca

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "stats/stats.hh"
+
+namespace tca {
+namespace stats {
+namespace {
+
+TEST(CounterTest, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(DistributionTest, MomentsOfKnownSamples)
+{
+    Distribution d;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_EQ(d.numSamples(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_NEAR(d.variance(), 4.0, 1e-9);
+    EXPECT_NEAR(d.stddev(), 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(d.minValue(), 2.0);
+    EXPECT_DOUBLE_EQ(d.maxValue(), 9.0);
+}
+
+TEST(DistributionTest, EmptyIsZero)
+{
+    Distribution d;
+    EXPECT_EQ(d.numSamples(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(d.minValue(), 0.0);
+}
+
+TEST(DistributionTest, SingleSample)
+{
+    Distribution d;
+    d.sample(3.5);
+    EXPECT_DOUBLE_EQ(d.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(d.minValue(), 3.5);
+    EXPECT_DOUBLE_EQ(d.maxValue(), 3.5);
+}
+
+TEST(DistributionTest, HistogramBuckets)
+{
+    Distribution d(10, 3); // buckets [0,10) [10,20) [20,30) + overflow
+    d.sample(5);
+    d.sample(15);
+    d.sample(25);
+    d.sample(99);
+    ASSERT_EQ(d.buckets().size(), 4u);
+    EXPECT_EQ(d.buckets()[0], 1u);
+    EXPECT_EQ(d.buckets()[1], 1u);
+    EXPECT_EQ(d.buckets()[2], 1u);
+    EXPECT_EQ(d.buckets()[3], 1u); // overflow
+}
+
+TEST(DistributionTest, NegativeSampleGoesToFirstBucket)
+{
+    Distribution d(10, 2);
+    d.sample(-5.0);
+    EXPECT_EQ(d.buckets()[0], 1u);
+}
+
+TEST(DistributionTest, Reset)
+{
+    Distribution d(10, 2);
+    d.sample(5);
+    d.reset();
+    EXPECT_EQ(d.numSamples(), 0u);
+    EXPECT_EQ(d.buckets()[0], 0u);
+}
+
+TEST(FormulaTest, EvaluatesLazily)
+{
+    Counter num, den;
+    Formula ipc([&]() {
+        return den.value()
+            ? static_cast<double>(num.value()) / den.value() : 0.0;
+    });
+    EXPECT_DOUBLE_EQ(ipc.value(), 0.0);
+    num.inc(30);
+    den.inc(10);
+    EXPECT_DOUBLE_EQ(ipc.value(), 3.0);
+}
+
+TEST(FormulaTest, DefaultIsZero)
+{
+    Formula f;
+    EXPECT_DOUBLE_EQ(f.value(), 0.0);
+}
+
+TEST(GroupTest, DumpContainsAllStats)
+{
+    Counter c;
+    c.inc(7);
+    Distribution d;
+    d.sample(1.0);
+    Formula f([] { return 2.5; });
+
+    Group group("core");
+    group.addCounter("uops", &c, "committed micro-ops");
+    group.addDistribution("lat", &d);
+    group.addFormula("ipc", &f);
+
+    std::ostringstream os;
+    group.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("core.uops 7"), std::string::npos);
+    EXPECT_NE(out.find("committed micro-ops"), std::string::npos);
+    EXPECT_NE(out.find("core.ipc 2.5"), std::string::npos);
+    EXPECT_NE(out.find("core.lat samples=1"), std::string::npos);
+}
+
+} // namespace
+} // namespace stats
+} // namespace tca

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "trace/builder.hh"
+
+namespace tca {
+namespace trace {
+namespace {
+
+TEST(BuilderTest, EmitsExpectedClasses)
+{
+    TraceBuilder b;
+    b.alu(1, 2, 3).mul(4, 1, 1).fadd(5, 4, 4).fmul(6, 5, 5)
+        .load(7, 0x1000).store(7, 0x1008).branch().nop();
+    auto ops = b.take();
+    ASSERT_EQ(ops.size(), 8u);
+    EXPECT_EQ(ops[0].cls, OpClass::IntAlu);
+    EXPECT_EQ(ops[1].cls, OpClass::IntMul);
+    EXPECT_EQ(ops[2].cls, OpClass::FpAdd);
+    EXPECT_EQ(ops[3].cls, OpClass::FpMul);
+    EXPECT_EQ(ops[4].cls, OpClass::Load);
+    EXPECT_EQ(ops[5].cls, OpClass::Store);
+    EXPECT_EQ(ops[6].cls, OpClass::Branch);
+    EXPECT_EQ(ops[7].cls, OpClass::Nop);
+}
+
+TEST(BuilderTest, FmaccReadsItsDestination)
+{
+    TraceBuilder b;
+    b.fmacc(9, 2, 3);
+    auto ops = b.take();
+    ASSERT_EQ(ops.size(), 1u);
+    EXPECT_EQ(ops[0].dst, 9);
+    // Accumulation: dst appears among the sources.
+    bool reads_dst = false;
+    for (RegId r : ops[0].src)
+        reads_dst |= (r == 9);
+    EXPECT_TRUE(reads_dst);
+}
+
+TEST(BuilderTest, LoadCarriesAddressAndSize)
+{
+    TraceBuilder b;
+    b.load(3, 0xdeadbeef, 4, 8);
+    auto ops = b.take();
+    EXPECT_EQ(ops[0].addr, 0xdeadbeefu);
+    EXPECT_EQ(ops[0].size, 4);
+    EXPECT_EQ(ops[0].dst, 3);
+    EXPECT_EQ(ops[0].src[0], 8);
+}
+
+TEST(BuilderTest, StoreSourcesDataAndAddress)
+{
+    TraceBuilder b;
+    b.store(5, 0x2000, 8, 6);
+    auto ops = b.take();
+    EXPECT_EQ(ops[0].src[0], 5);
+    EXPECT_EQ(ops[0].src[1], 6);
+    EXPECT_EQ(ops[0].dst, noReg);
+}
+
+TEST(BuilderTest, AcceleratableRegionMarking)
+{
+    TraceBuilder b;
+    b.alu(1);
+    b.beginAcceleratable();
+    b.alu(2);
+    b.alu(3);
+    b.endAcceleratable();
+    b.alu(4);
+    auto ops = b.take();
+    EXPECT_FALSE(ops[0].acceleratable);
+    EXPECT_TRUE(ops[1].acceleratable);
+    EXPECT_TRUE(ops[2].acceleratable);
+    EXPECT_FALSE(ops[3].acceleratable);
+}
+
+TEST(BuilderTest, AccelUopAlwaysAcceleratable)
+{
+    TraceBuilder b;
+    b.accel(42, 7, 8);
+    auto ops = b.take();
+    EXPECT_EQ(ops[0].cls, OpClass::Accel);
+    EXPECT_EQ(ops[0].accelInvocation, 42u);
+    EXPECT_EQ(ops[0].dst, 7);
+    EXPECT_EQ(ops[0].src[0], 8);
+    EXPECT_TRUE(ops[0].acceleratable);
+}
+
+TEST(BuilderTest, MispredictedBranchFlag)
+{
+    TraceBuilder b;
+    b.branch(true, 3);
+    auto ops = b.take();
+    EXPECT_TRUE(ops[0].mispredicted);
+    EXPECT_EQ(ops[0].src[0], 3);
+}
+
+TEST(BuilderTest, TakeResetsBuilder)
+{
+    TraceBuilder b;
+    b.alu(1);
+    auto first = b.take();
+    EXPECT_EQ(first.size(), 1u);
+    EXPECT_EQ(b.size(), 0u);
+    b.alu(2);
+    auto second = b.take();
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_EQ(second[0].dst, 2);
+}
+
+} // namespace
+} // namespace trace
+} // namespace tca

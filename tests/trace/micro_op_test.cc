@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "trace/micro_op.hh"
+
+namespace tca {
+namespace trace {
+namespace {
+
+TEST(MicroOpTest, Predicates)
+{
+    MicroOp op;
+    op.cls = OpClass::Load;
+    EXPECT_TRUE(op.isLoad());
+    EXPECT_TRUE(op.isMem());
+    EXPECT_FALSE(op.isStore());
+    EXPECT_FALSE(op.isAccel());
+
+    op.cls = OpClass::Store;
+    EXPECT_TRUE(op.isStore());
+    EXPECT_TRUE(op.isMem());
+
+    op.cls = OpClass::Accel;
+    EXPECT_TRUE(op.isAccel());
+    EXPECT_FALSE(op.isMem());
+
+    op.cls = OpClass::Branch;
+    EXPECT_TRUE(op.isBranch());
+}
+
+TEST(MicroOpTest, DefaultIsNopWithNoOperands)
+{
+    MicroOp op;
+    EXPECT_EQ(op.cls, OpClass::Nop);
+    EXPECT_EQ(op.dst, noReg);
+    EXPECT_EQ(op.numSrcs(), 0);
+    EXPECT_FALSE(op.acceleratable);
+    EXPECT_FALSE(op.mispredicted);
+}
+
+TEST(MicroOpTest, NumSrcsCountsNonSentinel)
+{
+    MicroOp op;
+    op.src = {3, noReg, 7};
+    EXPECT_EQ(op.numSrcs(), 2);
+}
+
+TEST(MicroOpTest, OpClassNamesUnique)
+{
+    EXPECT_EQ(opClassName(OpClass::IntAlu), "IntAlu");
+    EXPECT_EQ(opClassName(OpClass::Accel), "Accel");
+    EXPECT_EQ(opClassName(OpClass::FpMacc), "FpMacc");
+    EXPECT_NE(opClassName(OpClass::Load), opClassName(OpClass::Store));
+}
+
+} // namespace
+} // namespace trace
+} // namespace tca

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/builder.hh"
+#include "trace/serialize.hh"
+#include "workloads/synthetic.hh"
+
+namespace tca {
+namespace trace {
+namespace {
+
+std::string
+tmpPath(const char *tag)
+{
+    return testing::TempDir() + "/tcasim_" + tag + "_" +
+           std::to_string(::getpid()) + ".trace";
+}
+
+TEST(SerializeTest, RoundTripPreservesEveryField)
+{
+    TraceBuilder b;
+    b.alu(3, 4, 5);
+    b.load(6, 0xdeadbeefcafeULL, 4, 7);
+    b.store(8, 0x1234, 2, 9);
+    b.branch(true, 10, true);
+    b.beginAcceleratable();
+    b.fmacc(11, 12, 13);
+    b.endAcceleratable();
+    b.accel(42, 14, 15, /*port=*/3);
+    auto original = b.take();
+
+    std::string path = tmpPath("roundtrip");
+    VectorTrace source(original);
+    EXPECT_EQ(writeTrace(source, path), original.size());
+
+    FileTrace reader(path);
+    EXPECT_EQ(reader.expectedLength(), original.size());
+    auto loaded = collect(reader);
+    ASSERT_EQ(loaded.size(), original.size());
+    for (size_t i = 0; i < original.size(); ++i) {
+        const MicroOp &a = original[i];
+        const MicroOp &c = loaded[i];
+        EXPECT_EQ(a.cls, c.cls) << i;
+        EXPECT_EQ(a.dst, c.dst) << i;
+        EXPECT_EQ(a.src, c.src) << i;
+        EXPECT_EQ(a.addr, c.addr) << i;
+        EXPECT_EQ(a.size, c.size) << i;
+        EXPECT_EQ(a.mispredicted, c.mispredicted) << i;
+        EXPECT_EQ(a.lowConfidence, c.lowConfidence) << i;
+        EXPECT_EQ(a.acceleratable, c.acceleratable) << i;
+        EXPECT_EQ(a.accelInvocation, c.accelInvocation) << i;
+        EXPECT_EQ(a.accelPort, c.accelPort) << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SerializeTest, EmptyTrace)
+{
+    std::string path = tmpPath("empty");
+    VectorTrace source;
+    EXPECT_EQ(writeTrace(source, path), 0u);
+    FileTrace reader(path);
+    MicroOp op;
+    EXPECT_FALSE(reader.next(op));
+    std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LargeWorkloadRoundTrip)
+{
+    workloads::SyntheticConfig conf;
+    conf.fillerUops = 20000;
+    conf.numInvocations = 20;
+    workloads::SyntheticWorkload workload(conf);
+
+    std::string path = tmpPath("synthetic");
+    auto source = workload.makeBaselineTrace();
+    uint64_t written = writeTrace(*source, path);
+
+    FileTrace reader(path);
+    auto loaded = collect(reader);
+    EXPECT_EQ(loaded.size(), written);
+
+    // Spot-check against a fresh generation.
+    auto reference = collect(*workload.makeBaselineTrace());
+    ASSERT_EQ(loaded.size(), reference.size());
+    for (size_t i = 0; i < loaded.size(); i += 997) {
+        EXPECT_EQ(loaded[i].cls, reference[i].cls);
+        EXPECT_EQ(loaded[i].addr, reference[i].addr);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SerializeDeathTest, RejectsGarbageFile)
+{
+    std::string path = tmpPath("garbage");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is not a trace file at all, sorry", f);
+    std::fclose(f);
+    EXPECT_EXIT(FileTrace{path}, testing::ExitedWithCode(1), "");
+    std::remove(path.c_str());
+}
+
+TEST(SerializeDeathTest, RejectsMissingFile)
+{
+    EXPECT_EXIT(FileTrace{"/nonexistent/nope.trace"},
+                testing::ExitedWithCode(1), "");
+}
+
+TEST(SerializeDeathTest, DetectsTruncation)
+{
+    TraceBuilder b;
+    for (int i = 0; i < 100; ++i)
+        b.alu(1);
+    std::string path = tmpPath("trunc");
+    VectorTrace source(b.take());
+    writeTrace(source, path);
+
+    // Chop the tail off.
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(::ftruncate(::fileno(f), 16 + 50 * 32), 0);
+    std::fclose(f);
+
+    FileTrace reader(path);
+    MicroOp op;
+    EXPECT_EXIT(
+        {
+            while (reader.next(op)) {
+            }
+        },
+        testing::ExitedWithCode(1), "");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace trace
+} // namespace tca

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "trace/builder.hh"
+#include "trace/summary.hh"
+#include "workloads/heap_workload.hh"
+
+namespace tca {
+namespace trace {
+namespace {
+
+TEST(TraceSummaryTest, CountsByClass)
+{
+    TraceBuilder b;
+    b.alu(1).alu(2).load(3, 0x1000).store(3, 0x1040).branch(true)
+        .fmacc(4, 5, 6);
+    VectorTrace tr(b.take());
+    TraceSummary s = summarizeTrace(tr);
+    EXPECT_EQ(s.totalUops, 6u);
+    EXPECT_EQ(s.count(OpClass::IntAlu), 2u);
+    EXPECT_EQ(s.count(OpClass::Load), 1u);
+    EXPECT_EQ(s.count(OpClass::Store), 1u);
+    EXPECT_EQ(s.count(OpClass::Branch), 1u);
+    EXPECT_EQ(s.count(OpClass::FpMacc), 1u);
+    EXPECT_EQ(s.mispredictedBranches, 1u);
+}
+
+TEST(TraceSummaryTest, AcceleratableAndInvocationRates)
+{
+    TraceBuilder b;
+    for (int i = 0; i < 6; ++i)
+        b.alu(1);
+    b.beginAcceleratable();
+    b.alu(2).alu(2).alu(2);
+    b.endAcceleratable();
+    b.accel(0);
+    VectorTrace tr(b.take());
+    TraceSummary s = summarizeTrace(tr);
+    EXPECT_EQ(s.totalUops, 10u);
+    EXPECT_EQ(s.acceleratableUops, 4u); // region + accel uop
+    EXPECT_EQ(s.accelInvocations, 1u);
+    EXPECT_DOUBLE_EQ(s.acceleratableFraction(), 0.4);
+    EXPECT_DOUBLE_EQ(s.invocationFrequency(), 0.1);
+}
+
+TEST(TraceSummaryTest, DistinctLinesDeduplicates)
+{
+    TraceBuilder b;
+    b.load(1, 0x1000).load(1, 0x1008).load(1, 0x1040)
+        .store(1, 0x1000);
+    VectorTrace tr(b.take());
+    TraceSummary s = summarizeTrace(tr);
+    EXPECT_EQ(s.distinctLines, 2u); // 0x1000-line and 0x1040-line
+}
+
+TEST(TraceSummaryTest, MaxRegisterTracksSources)
+{
+    TraceBuilder b;
+    b.alu(5, 200, 3);
+    VectorTrace tr(b.take());
+    EXPECT_EQ(summarizeTrace(tr).maxRegister, 200u);
+}
+
+TEST(TraceSummaryTest, EmptyTrace)
+{
+    VectorTrace tr;
+    TraceSummary s = summarizeTrace(tr);
+    EXPECT_EQ(s.totalUops, 0u);
+    EXPECT_DOUBLE_EQ(s.acceleratableFraction(), 0.0);
+}
+
+TEST(TraceSummaryTest, MatchesWorkloadAccounting)
+{
+    // The summary's a and v over a heap baseline trace agree with the
+    // workload's own bookkeeping.
+    workloads::HeapConfig conf;
+    conf.numCalls = 100;
+    conf.fillerUopsPerGap = 60;
+    workloads::HeapWorkload wl(conf);
+    auto tr = wl.makeBaselineTrace();
+    TraceSummary s = summarizeTrace(*tr);
+    EXPECT_EQ(s.acceleratableUops, wl.acceleratableUops());
+    EXPECT_EQ(s.accelInvocations, 0u);
+
+    auto accel_tr = wl.makeAcceleratedTrace();
+    TraceSummary s2 = summarizeTrace(*accel_tr);
+    EXPECT_EQ(s2.accelInvocations, wl.numInvocations());
+}
+
+TEST(TraceSummaryTest, RenderingMentionsKeyNumbers)
+{
+    TraceBuilder b;
+    b.alu(1).load(2, 0x2000);
+    VectorTrace tr(b.take());
+    std::string text = summarizeTrace(tr).str();
+    EXPECT_NE(text.find("uops=2"), std::string::npos);
+    EXPECT_NE(text.find("IntAlu=50.0%"), std::string::npos);
+    EXPECT_NE(text.find("distinct 64B lines"), std::string::npos);
+}
+
+} // namespace
+} // namespace trace
+} // namespace tca

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "trace/trace_source.hh"
+
+namespace tca {
+namespace trace {
+namespace {
+
+MicroOp
+aluOp(RegId dst)
+{
+    MicroOp op;
+    op.cls = OpClass::IntAlu;
+    op.dst = dst;
+    return op;
+}
+
+TEST(VectorTraceTest, StreamsInOrder)
+{
+    VectorTrace tr({aluOp(1), aluOp(2), aluOp(3)});
+    MicroOp op;
+    ASSERT_TRUE(tr.next(op));
+    EXPECT_EQ(op.dst, 1);
+    ASSERT_TRUE(tr.next(op));
+    EXPECT_EQ(op.dst, 2);
+    ASSERT_TRUE(tr.next(op));
+    EXPECT_EQ(op.dst, 3);
+    EXPECT_FALSE(tr.next(op));
+}
+
+TEST(VectorTraceTest, EmptyTraceEndsImmediately)
+{
+    VectorTrace tr;
+    MicroOp op;
+    EXPECT_FALSE(tr.next(op));
+    EXPECT_EQ(tr.expectedLength(), 0u);
+}
+
+TEST(VectorTraceTest, RewindRestarts)
+{
+    VectorTrace tr({aluOp(1), aluOp(2)});
+    MicroOp op;
+    while (tr.next(op)) {
+    }
+    tr.rewind();
+    ASSERT_TRUE(tr.next(op));
+    EXPECT_EQ(op.dst, 1);
+}
+
+TEST(VectorTraceTest, ExpectedLength)
+{
+    VectorTrace tr({aluOp(1), aluOp(2)});
+    EXPECT_EQ(tr.expectedLength(), 2u);
+}
+
+TEST(CallbackTraceTest, GeneratorDrivesStream)
+{
+    int remaining = 3;
+    CallbackTrace tr(
+        [&](MicroOp &op) {
+            if (remaining == 0)
+                return false;
+            op = aluOp(static_cast<RegId>(remaining--));
+            return true;
+        },
+        3);
+    EXPECT_EQ(tr.expectedLength(), 3u);
+    auto ops = collect(tr);
+    ASSERT_EQ(ops.size(), 3u);
+    EXPECT_EQ(ops[0].dst, 3);
+    EXPECT_EQ(ops[2].dst, 1);
+}
+
+TEST(CollectTest, HonorsMaxOps)
+{
+    VectorTrace tr({aluOp(1), aluOp(2), aluOp(3)});
+    auto ops = collect(tr, 2);
+    EXPECT_EQ(ops.size(), 2u);
+}
+
+} // namespace
+} // namespace trace
+} // namespace tca

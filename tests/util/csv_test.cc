@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hh"
+
+namespace tca {
+namespace {
+
+TEST(CsvTest, SimpleRow)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.row({"a", "b", "c"});
+    EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvTest, QuotesFieldsWithCommas)
+{
+    EXPECT_EQ(CsvWriter::escape("x,y"), "\"x,y\"");
+}
+
+TEST(CsvTest, EscapesEmbeddedQuotes)
+{
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvTest, PlainFieldUnchanged)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+}
+
+TEST(CsvTest, NumberRoundTrips)
+{
+    std::string s = CsvWriter::num(0.1);
+    EXPECT_EQ(std::stod(s), 0.1);
+}
+
+TEST(CsvTest, MultipleRows)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.row({"h1", "h2"});
+    csv.row({"1", "2"});
+    EXPECT_EQ(os.str(), "h1,h2\n1,2\n");
+}
+
+} // namespace
+} // namespace tca

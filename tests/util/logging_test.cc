@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace {
+
+TEST(LoggingTest, WarnCountsAccumulate)
+{
+    Logger &logger = Logger::global();
+    uint64_t before = logger.warnCount();
+    warn("test warning %d", 1);
+    warn("test warning %d", 2);
+    EXPECT_EQ(logger.warnCount(), before + 2);
+}
+
+TEST(LoggingTest, ThresholdSuppressionStillCountsWarnings)
+{
+    Logger &logger = Logger::global();
+    LogLevel old_level = logger.getThreshold();
+    logger.setThreshold(LogLevel::Fatal);
+    uint64_t before = logger.warnCount();
+    warn("suppressed warning");
+    EXPECT_EQ(logger.warnCount(), before + 1);
+    logger.setThreshold(old_level);
+}
+
+TEST(LoggingTest, InformDoesNotCountAsWarning)
+{
+    Logger &logger = Logger::global();
+    LogLevel old_level = logger.getThreshold();
+    logger.setThreshold(LogLevel::Fatal); // quiet output
+    uint64_t before = logger.warnCount();
+    inform("hello %s", "world");
+    EXPECT_EQ(logger.warnCount(), before);
+    logger.setThreshold(old_level);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 3), "");
+}
+
+TEST(LoggingDeathTest, AssertMacroFiresOnFalse)
+{
+    EXPECT_DEATH(tca_assert(1 == 2), "");
+}
+
+TEST(LoggingTest, AssertMacroPassesOnTrue)
+{
+    tca_assert(1 + 1 == 2);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace tca

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.hh"
+
+namespace tca {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ZeroSeedRemapped)
+{
+    Rng rng(0);
+    EXPECT_NE(rng.next(), 0u);
+}
+
+TEST(RngTest, NextBelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBelow(13), 13u);
+}
+
+TEST(RngTest, NextBelowOneAlwaysZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(RngTest, NextRangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        uint64_t v = rng.nextRange(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliFrequency)
+{
+    Rng rng(17);
+    int hits = 0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (rng.nextBool(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+    }
+}
+
+TEST(RngTest, SamplePositionsSortedUniqueInRange)
+{
+    Rng rng(23);
+    auto picks = rng.samplePositions(1000, 50);
+    ASSERT_EQ(picks.size(), 50u);
+    std::set<uint64_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), 50u);
+    for (size_t i = 1; i < picks.size(); ++i)
+        EXPECT_LT(picks[i - 1], picks[i]);
+    for (uint64_t p : picks)
+        EXPECT_LT(p, 1000u);
+}
+
+TEST(RngTest, SampleAllPositions)
+{
+    Rng rng(29);
+    auto picks = rng.samplePositions(10, 10);
+    ASSERT_EQ(picks.size(), 10u);
+    for (uint64_t i = 0; i < 10; ++i)
+        EXPECT_EQ(picks[i], i);
+}
+
+TEST(RngTest, SampleZero)
+{
+    Rng rng(31);
+    EXPECT_TRUE(rng.samplePositions(10, 0).empty());
+}
+
+TEST(RngTest, ShufflePreservesElements)
+{
+    Rng rng(37);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto orig = v;
+    rng.shuffle(v);
+    std::multiset<int> a(v.begin(), v.end());
+    std::multiset<int> b(orig.begin(), orig.end());
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace tca

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "util/string_utils.hh"
+
+namespace tca {
+namespace {
+
+TEST(StringUtilsTest, SplitBasic)
+{
+    auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilsTest, SplitKeepsEmptyFields)
+{
+    auto parts = split("a,,b,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilsTest, TrimWhitespace)
+{
+    EXPECT_EQ(trim("  hi  "), "hi");
+    EXPECT_EQ(trim("\t x\n"), "x");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtilsTest, ToLower)
+{
+    EXPECT_EQ(toLower("NL_NT"), "nl_nt");
+    EXPECT_EQ(toLower("abc123"), "abc123");
+}
+
+TEST(StringUtilsTest, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512B");
+    EXPECT_EQ(formatBytes(32 * 1024), "32KiB");
+    EXPECT_EQ(formatBytes(2 * 1024 * 1024), "2MiB");
+}
+
+TEST(StringUtilsTest, FormatBytesNonAligned)
+{
+    // 1536 is 1.5 KiB; stays in bytes because not a whole unit.
+    EXPECT_EQ(formatBytes(1536), "1536B");
+}
+
+TEST(StringUtilsTest, FormatPercent)
+{
+    EXPECT_EQ(formatPercent(0.125, 1), "12.5%");
+    EXPECT_EQ(formatPercent(1.0, 0), "100%");
+}
+
+} // namespace
+} // namespace tca

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace tca {
+namespace {
+
+TEST(TextTableTest, AlignsColumns)
+{
+    TextTable table;
+    table.setHeader({"name", "value"});
+    table.addRow({"x", "1"});
+    table.addRow({"longer", "22"});
+    std::string out = table.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header separator line present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, RowCount)
+{
+    TextTable table;
+    EXPECT_EQ(table.numRows(), 0u);
+    table.addRow({"a"});
+    table.addRow({"b"});
+    EXPECT_EQ(table.numRows(), 2u);
+}
+
+TEST(TextTableTest, FormatDouble)
+{
+    EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::fmt(2.0, 1), "2.0");
+}
+
+TEST(TextTableTest, FormatInteger)
+{
+    EXPECT_EQ(TextTable::fmt(uint64_t{42}), "42");
+}
+
+TEST(TextTableTest, NoHeaderNoSeparator)
+{
+    TextTable table;
+    table.addRow({"a", "b"});
+    EXPECT_EQ(table.str().find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvRendering)
+{
+    TextTable table;
+    table.setHeader({"a", "b"});
+    table.addRow({"1", "x,y"});
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,\"x,y\"\n");
+}
+
+TEST(TextTableTest, CsvExportHonorsEnvironment)
+{
+    TextTable table;
+    table.setHeader({"col"});
+    table.addRow({"7"});
+
+    ::unsetenv("TCA_CSV_DIR");
+    EXPECT_FALSE(table.writeCsvIfRequested("table_test"));
+
+    std::string dir = testing::TempDir();
+    ::setenv("TCA_CSV_DIR", dir.c_str(), 1);
+    EXPECT_TRUE(table.writeCsvIfRequested("table_test"));
+    std::ifstream in(dir + "/table_test.csv");
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "col");
+    ::unsetenv("TCA_CSV_DIR");
+    std::remove((dir + "/table_test.csv").c_str());
+}
+
+TEST(TextTableTest, RaggedRowsHandled)
+{
+    TextTable table;
+    table.setHeader({"a"});
+    table.addRow({"1", "2", "3"});
+    std::string out = table.str();
+    EXPECT_NE(out.find("3"), std::string::npos);
+}
+
+} // namespace
+} // namespace tca

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "workloads/calibrator.hh"
+
+namespace tca {
+namespace workloads {
+namespace {
+
+cpu::SimResult
+fakeBaseline(uint64_t cycles, uint64_t uops, uint64_t acceleratable)
+{
+    cpu::SimResult r;
+    r.cycles = cycles;
+    r.committedUops = uops;
+    r.committedAcceleratable = acceleratable;
+    return r;
+}
+
+TEST(CalibratorTest, BasicDerivation)
+{
+    // 100k uops in 50k cycles (IPC 2), 30k acceleratable, 300
+    // invocations (g = 100 uops each), accel latency 10 cycles.
+    cpu::SimResult base = fakeBaseline(50000, 100000, 30000);
+    cpu::CoreConfig core = cpu::a72CoreConfig();
+    model::TcaParams p = calibrateModel(base, 300, 10.0, core);
+
+    EXPECT_NEAR(p.acceleratableFraction, 0.3, 1e-12);
+    EXPECT_NEAR(p.invocationFrequency, 300.0 / 100000.0, 1e-12);
+    EXPECT_NEAR(p.ipc, 2.0, 1e-12);
+    // A = g / (IPC * L) = 100 / (2 * 10) = 5.
+    EXPECT_NEAR(p.accelerationFactor, 5.0, 1e-9);
+    EXPECT_EQ(p.robSize, core.robSize);
+    EXPECT_EQ(p.issueWidth, core.dispatchWidth);
+    EXPECT_DOUBLE_EQ(p.commitStall, core.commitLatency);
+}
+
+TEST(CalibratorTest, AccelTimeIdentityHolds)
+{
+    // eq (2) round trip: per-invocation accel time equals the latency
+    // we calibrated from.
+    cpu::SimResult base = fakeBaseline(80000, 120000, 24000);
+    model::TcaParams p =
+        calibrateModel(base, 400, 25.0, cpu::a72CoreConfig());
+    double per_invocation_accl =
+        p.acceleratableFraction /
+        (p.invocationFrequency * p.accelerationFactor * p.ipc);
+    EXPECT_NEAR(per_invocation_accl, 25.0, 1e-9);
+}
+
+TEST(CalibratorTest, SingleCycleAcceleratorHighA)
+{
+    // Heap-TCA case: 69-uop regions replaced by 1-cycle invocations.
+    cpu::SimResult base = fakeBaseline(60000, 100000, 6900);
+    model::TcaParams p =
+        calibrateModel(base, 100, 1.0, cpu::a72CoreConfig());
+    // g = 69, IPC = 5/3 -> A = 69 / (5/3) = 41.4.
+    EXPECT_NEAR(p.accelerationFactor, 41.4, 0.1);
+}
+
+TEST(CalibratorDeathTest, RejectsDegenerateInputs)
+{
+    cpu::SimResult base = fakeBaseline(1000, 1000, 100);
+    EXPECT_DEATH(
+        calibrateModel(base, 0, 1.0, cpu::a72CoreConfig()), "");
+    EXPECT_DEATH(
+        calibrateModel(base, 10, 0.0, cpu::a72CoreConfig()), "");
+}
+
+} // namespace
+} // namespace workloads
+} // namespace tca

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "workloads/dgemm_workload.hh"
+
+namespace tca {
+namespace workloads {
+namespace {
+
+DgemmConfig
+tinyConfig(uint32_t tile = 4)
+{
+    DgemmConfig conf;
+    conf.n = 64; // 2x2x2 = 8 block triples of 32x32
+    conf.blockN = 32;
+    conf.tileN = tile;
+    return conf;
+}
+
+TEST(DgemmWorkloadTest, BaselineUopCountMatchesEstimate)
+{
+    DgemmWorkload wl(tinyConfig());
+    auto ops = trace::collect(*wl.makeBaselineTrace());
+    EXPECT_EQ(ops.size(), wl.baselineUopEstimate());
+}
+
+TEST(DgemmWorkloadTest, InvocationCountFormula)
+{
+    // 64/32 = 2 blocks per dim -> 8 block triples; each holds
+    // (32/4)^3 = 512 tiles.
+    DgemmWorkload wl(tinyConfig(4));
+    EXPECT_EQ(wl.numInvocations(), 8u * 512u);
+
+    DgemmWorkload wl8(tinyConfig(8));
+    EXPECT_EQ(wl8.numInvocations(), 8u * 64u);
+}
+
+TEST(DgemmWorkloadTest, AcceleratedTraceHasOneAccelPerTile)
+{
+    DgemmWorkload wl(tinyConfig(8));
+    auto src = wl.makeAcceleratedTrace();
+    uint64_t expected = src->expectedLength();
+    auto ops = trace::collect(*src);
+    EXPECT_EQ(ops.size(), expected);
+    uint64_t accels = 0;
+    for (const auto &op : ops)
+        accels += op.isAccel() ? 1 : 0;
+    EXPECT_EQ(accels, wl.numInvocations());
+}
+
+TEST(DgemmWorkloadTest, BaselineFunctionalResultCorrect)
+{
+    DgemmWorkload wl(tinyConfig());
+    wl.makeBaselineTrace();
+    EXPECT_TRUE(wl.verifyFunctional());
+}
+
+TEST(DgemmWorkloadTest, AcceleratedFunctionalViaSimulation)
+{
+    // Run the accelerated trace through the core; the MatrixTca
+    // computes the product tile by tile. The result must match the
+    // element-wise reference.
+    DgemmConfig conf;
+    conf.n = 32; // one block triple keeps the test fast
+    conf.blockN = 32;
+    conf.tileN = 8;
+    DgemmWorkload wl(conf);
+
+    auto trace = wl.makeAcceleratedTrace();
+    mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+    cpu::Core core(cpu::a72CoreConfig(), hierarchy);
+    core.bindAccelerator(&wl.device(), model::TcaMode::L_T);
+    cpu::SimResult r = core.run(*trace);
+
+    EXPECT_EQ(r.accelInvocations, wl.numInvocations());
+    EXPECT_TRUE(wl.verifyFunctional());
+}
+
+class DgemmTileTest : public testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(DgemmTileTest, EveryTileSizeComputesCorrectProduct)
+{
+    DgemmConfig conf;
+    conf.n = 32;
+    conf.blockN = 32;
+    conf.tileN = GetParam();
+    DgemmWorkload wl(conf);
+
+    auto trace = wl.makeAcceleratedTrace();
+    mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+    cpu::Core core(cpu::a72CoreConfig(), hierarchy);
+    core.bindAccelerator(&wl.device(), model::TcaMode::L_T);
+    cpu::SimResult r = core.run(*trace);
+    EXPECT_EQ(r.accelInvocations, wl.numInvocations());
+    EXPECT_TRUE(wl.verifyFunctional());
+}
+
+TEST_P(DgemmTileTest, EveryModePreservesFunctionalResult)
+{
+    DgemmConfig conf;
+    conf.n = 32;
+    conf.blockN = 32;
+    conf.tileN = GetParam();
+    DgemmWorkload wl(conf);
+    for (model::TcaMode mode : model::allTcaModes) {
+        auto trace = wl.makeAcceleratedTrace();
+        mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+        cpu::Core core(cpu::a72CoreConfig(), hierarchy);
+        core.bindAccelerator(&wl.device(), mode);
+        core.run(*trace);
+        EXPECT_TRUE(wl.verifyFunctional()) << tcaModeName(mode);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiles, DgemmTileTest,
+                         testing::Values(2u, 4u, 8u),
+                         [](const testing::TestParamInfo<uint32_t>
+                                &info) {
+                             return "t" +
+                                    std::to_string(info.param);
+                         });
+
+TEST(DgemmWorkloadTest, AcceleratedWithoutSimulationFailsVerify)
+{
+    // If no one executes the tiles, C stays zero and verification
+    // fails (guards against the verify being a no-op).
+    DgemmConfig conf;
+    conf.n = 32;
+    conf.tileN = 8;
+    DgemmWorkload wl(conf);
+    wl.makeAcceleratedTrace();
+    EXPECT_FALSE(wl.verifyFunctional());
+}
+
+TEST(DgemmWorkloadTest, AddressLayoutRowMajorDisjoint)
+{
+    DgemmConfig conf = tinyConfig();
+    DgemmWorkload wl(conf);
+    // Row-major stride.
+    EXPECT_EQ(wl.aElem(0, 1) - wl.aElem(0, 0), 8u);
+    EXPECT_EQ(wl.aElem(1, 0) - wl.aElem(0, 0),
+              static_cast<uint64_t>(conf.n) * 8);
+    // A, B, C regions distinct.
+    uint64_t mat_bytes = static_cast<uint64_t>(conf.n) * conf.n * 8;
+    EXPECT_GE(wl.bElem(0, 0), wl.aElem(0, 0) + mat_bytes);
+    EXPECT_GE(wl.cElem(0, 0), wl.bElem(0, 0) + mat_bytes);
+}
+
+TEST(DgemmWorkloadTest, MostBaselineUopsAcceleratable)
+{
+    DgemmWorkload wl(tinyConfig());
+    auto ops = trace::collect(*wl.makeBaselineTrace());
+    uint64_t acc = 0;
+    for (const auto &op : ops)
+        acc += op.acceleratable ? 1 : 0;
+    double frac = static_cast<double>(acc) /
+                  static_cast<double>(ops.size());
+    // Only the addressing glue (2 of ~100 uops per strip element) is
+    // not acceleratable.
+    EXPECT_GT(frac, 0.9);
+    EXPECT_LT(frac, 1.0);
+}
+
+TEST(DgemmWorkloadDeathTest, BadGeometryFatal)
+{
+    DgemmConfig conf;
+    conf.n = 48; // not a multiple of 32
+    EXPECT_EXIT(DgemmWorkload{conf}, testing::ExitedWithCode(1), "");
+
+    DgemmConfig conf2;
+    conf2.n = 64;
+    conf2.blockN = 32;
+    conf2.tileN = 5;
+    EXPECT_EXIT(DgemmWorkload{conf2}, testing::ExitedWithCode(1), "");
+}
+
+TEST(DgemmWorkloadTest, LatencyEstimateGrowsWithTile)
+{
+    DgemmWorkload w2(tinyConfig(2)), w8(tinyConfig(8));
+    EXPECT_LT(w2.accelLatencyEstimate(), w8.accelLatencyEstimate());
+}
+
+} // namespace
+} // namespace workloads
+} // namespace tca

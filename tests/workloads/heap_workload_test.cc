@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "workloads/heap_workload.hh"
+
+namespace tca {
+namespace workloads {
+namespace {
+
+HeapConfig
+smallConfig()
+{
+    HeapConfig conf;
+    conf.numCalls = 100;
+    conf.fillerUopsPerGap = 50;
+    conf.seed = 11;
+    return conf;
+}
+
+TEST(HeapWorkloadTest, InvocationCountMatchesCalls)
+{
+    HeapWorkload wl(smallConfig());
+    EXPECT_EQ(wl.numInvocations(), 100u);
+    EXPECT_GT(wl.numMallocs(), 0u);
+    EXPECT_LT(wl.numMallocs(), 100u); // some frees happen too
+}
+
+TEST(HeapWorkloadTest, BaselineContainsSoftwareSequences)
+{
+    HeapWorkload wl(smallConfig());
+    auto ops = trace::collect(*wl.makeBaselineTrace());
+    uint64_t acceleratable = 0, accel_uops = 0;
+    for (const auto &op : ops) {
+        acceleratable += op.acceleratable ? 1 : 0;
+        accel_uops += op.isAccel() ? 1 : 0;
+    }
+    EXPECT_EQ(accel_uops, 0u);
+    EXPECT_EQ(acceleratable, wl.acceleratableUops());
+}
+
+TEST(HeapWorkloadTest, AcceleratedUsesOneUopPerCall)
+{
+    HeapWorkload wl(smallConfig());
+    auto ops = trace::collect(*wl.makeAcceleratedTrace());
+    uint64_t accel_uops = 0;
+    for (const auto &op : ops)
+        accel_uops += op.isAccel() ? 1 : 0;
+    EXPECT_EQ(accel_uops, 100u);
+    // 100 calls * 50 filler + 100 accel uops.
+    EXPECT_EQ(ops.size(), 100u * 50u + 100u);
+}
+
+TEST(HeapWorkloadTest, AcceleratableUopsUsePaperBudgets)
+{
+    HeapWorkload wl(smallConfig());
+    uint64_t frees = wl.numInvocations() - wl.numMallocs();
+    EXPECT_EQ(wl.acceleratableUops(),
+              wl.numMallocs() * 69 + frees * 37);
+}
+
+TEST(HeapWorkloadTest, FreeDependsOnMallocRegister)
+{
+    HeapWorkload wl(smallConfig());
+    auto ops = trace::collect(*wl.makeAcceleratedTrace());
+    // Every free (Accel with src reg) must read a register some
+    // earlier malloc (Accel with dst) wrote.
+    std::set<trace::RegId> written;
+    for (const auto &op : ops) {
+        if (!op.isAccel())
+            continue;
+        if (op.dst != trace::noReg) {
+            written.insert(op.dst);
+        } else {
+            ASSERT_NE(op.src[0], trace::noReg);
+            EXPECT_TRUE(written.count(op.src[0]))
+                << "free reads a register no malloc wrote";
+        }
+    }
+}
+
+TEST(HeapWorkloadTest, SingleCycleLatencyEstimate)
+{
+    HeapWorkload wl(smallConfig());
+    EXPECT_DOUBLE_EQ(wl.accelLatencyEstimate(), 1.0);
+}
+
+TEST(HeapWorkloadTest, ScriptBalancedFreesNeverExceedMallocs)
+{
+    HeapWorkload wl(smallConfig());
+    auto ops = trace::collect(*wl.makeAcceleratedTrace());
+    int64_t live = 0;
+    for (const auto &op : ops) {
+        if (!op.isAccel())
+            continue;
+        live += (op.dst != trace::noReg) ? 1 : -1;
+        EXPECT_GE(live, 0);
+    }
+}
+
+TEST(HeapWorkloadTest, InvocationFrequencyScalesWithGap)
+{
+    HeapConfig dense = smallConfig();
+    dense.fillerUopsPerGap = 10;
+    HeapConfig sparse = smallConfig();
+    sparse.fillerUopsPerGap = 500;
+    HeapWorkload wd(dense), ws(sparse);
+    auto nd = trace::collect(*wd.makeBaselineTrace()).size();
+    auto ns = trace::collect(*ws.makeBaselineTrace()).size();
+    EXPECT_LT(nd, ns);
+}
+
+TEST(HeapWorkloadTest, RepeatedAcceleratedTracesIdentical)
+{
+    HeapWorkload wl(smallConfig());
+    auto a = trace::collect(*wl.makeAcceleratedTrace());
+    auto b = trace::collect(*wl.makeAcceleratedTrace());
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); i += 31) {
+        EXPECT_EQ(a[i].cls, b[i].cls);
+        EXPECT_EQ(a[i].accelInvocation, b[i].accelInvocation);
+    }
+}
+
+} // namespace
+} // namespace workloads
+} // namespace tca

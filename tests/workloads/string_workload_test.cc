@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "workloads/string_workload.hh"
+
+namespace tca {
+namespace workloads {
+namespace {
+
+StringConfig
+smallConfig()
+{
+    StringConfig conf;
+    conf.numStrings = 16;
+    conf.numCompares = 50;
+    conf.fillerUopsPerGap = 40;
+    return conf;
+}
+
+TEST(StringWorkloadTest, InvocationCount)
+{
+    StringWorkload wl(smallConfig());
+    EXPECT_EQ(wl.numInvocations(), 50u);
+}
+
+TEST(StringWorkloadTest, BaselineAcceleratableUopsMatchEstimate)
+{
+    StringWorkload wl(smallConfig());
+    auto ops = trace::collect(*wl.makeBaselineTrace());
+    uint64_t acc = 0;
+    for (const auto &op : ops)
+        acc += op.acceleratable ? 1 : 0;
+    EXPECT_EQ(acc, wl.acceleratableUops());
+}
+
+TEST(StringWorkloadTest, AcceleratedHasOneUopPerCompare)
+{
+    StringWorkload wl(smallConfig());
+    auto ops = trace::collect(*wl.makeAcceleratedTrace());
+    uint64_t accels = 0;
+    for (const auto &op : ops)
+        accels += op.isAccel() ? 1 : 0;
+    EXPECT_EQ(accels, 50u);
+}
+
+TEST(StringWorkloadTest, FunctionalVerificationViaSimulation)
+{
+    StringWorkload wl(smallConfig());
+    auto trace = wl.makeAcceleratedTrace();
+    mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+    cpu::Core core(cpu::a72CoreConfig(), hierarchy);
+    core.bindAccelerator(&wl.device(), model::TcaMode::L_T);
+    cpu::SimResult r = core.run(*trace);
+    EXPECT_EQ(r.accelInvocations, 50u);
+    EXPECT_TRUE(wl.verifyFunctional());
+}
+
+TEST(StringWorkloadTest, UnexecutedComparesFailVerification)
+{
+    StringWorkload wl(smallConfig());
+    wl.makeAcceleratedTrace();
+    // No simulation ran: nothing executed.
+    EXPECT_FALSE(wl.verifyFunctional());
+}
+
+TEST(StringWorkloadTest, DuplicateFractionProducesEqualCompares)
+{
+    StringConfig conf = smallConfig();
+    conf.numCompares = 400;
+    conf.duplicateFraction = 0.5;
+    StringWorkload wl(conf);
+    // Run to get results.
+    auto trace = wl.makeAcceleratedTrace();
+    mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+    cpu::Core core(cpu::a72CoreConfig(), hierarchy);
+    core.bindAccelerator(&wl.device(), model::TcaMode::L_T);
+    core.run(*trace);
+    auto &tca = static_cast<accel::StringTca &>(wl.device());
+    uint64_t equal = 0;
+    for (uint32_t id = 0; id < 400; ++id)
+        equal += tca.result(id).equal ? 1 : 0;
+    // At least the duplicate pairs match (plus rare genuine ties).
+    EXPECT_GT(equal, 130u);
+    EXPECT_LT(equal, 300u);
+}
+
+TEST(StringWorkloadTest, LatencyEstimatePositiveAndBounded)
+{
+    StringWorkload wl(smallConfig());
+    double est = wl.accelLatencyEstimate();
+    EXPECT_GT(est, 2.0);
+    EXPECT_LT(est, 40.0); // strings are <= 96B
+}
+
+TEST(StringWorkloadTest, DeterministicScripts)
+{
+    StringWorkload a(smallConfig()), b(smallConfig());
+    auto ops_a = trace::collect(*a.makeBaselineTrace());
+    auto ops_b = trace::collect(*b.makeBaselineTrace());
+    ASSERT_EQ(ops_a.size(), ops_b.size());
+    for (size_t i = 0; i < ops_a.size(); i += 13) {
+        EXPECT_EQ(ops_a[i].cls, ops_b[i].cls);
+        EXPECT_EQ(ops_a[i].addr, ops_b[i].addr);
+    }
+}
+
+} // namespace
+} // namespace workloads
+} // namespace tca

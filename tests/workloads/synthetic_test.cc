@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "workloads/synthetic.hh"
+
+namespace tca {
+namespace workloads {
+namespace {
+
+SyntheticConfig
+smallConfig()
+{
+    SyntheticConfig conf;
+    conf.fillerUops = 5000;
+    conf.numInvocations = 10;
+    conf.regionUops = 100;
+    conf.accelLatency = 30;
+    conf.seed = 5;
+    return conf;
+}
+
+TEST(SyntheticWorkloadTest, BaselineLengthMatchesConfig)
+{
+    SyntheticWorkload wl(smallConfig());
+    auto tr = wl.makeBaselineTrace();
+    auto ops = trace::collect(*tr);
+    EXPECT_EQ(ops.size(), 5000u + 10u * 100u);
+    EXPECT_EQ(ops.size(), wl.baselineUops());
+}
+
+TEST(SyntheticWorkloadTest, AcceleratedReplacesRegionsWithAccelUops)
+{
+    SyntheticWorkload wl(smallConfig());
+    auto tr = wl.makeAcceleratedTrace();
+    auto ops = trace::collect(*tr);
+    EXPECT_EQ(ops.size(), 5000u + 10u);
+    uint64_t accels = 0;
+    for (const auto &op : ops)
+        accels += op.isAccel() ? 1 : 0;
+    EXPECT_EQ(accels, 10u);
+}
+
+TEST(SyntheticWorkloadTest, AcceleratableFractionMatches)
+{
+    SyntheticWorkload wl(smallConfig());
+    auto tr = wl.makeBaselineTrace();
+    auto ops = trace::collect(*tr);
+    uint64_t acc = 0;
+    for (const auto &op : ops)
+        acc += op.acceleratable ? 1 : 0;
+    EXPECT_EQ(acc, 10u * 100u);
+}
+
+TEST(SyntheticWorkloadTest, FillerStreamsIdenticalAcrossVariants)
+{
+    SyntheticWorkload wl(smallConfig());
+    auto base = trace::collect(*wl.makeBaselineTrace());
+    auto accel = trace::collect(*wl.makeAcceleratedTrace());
+    // Strip acceleratable/accel uops: the residue must be identical.
+    std::vector<trace::MicroOp> base_filler, accel_filler;
+    for (const auto &op : base)
+        if (!op.acceleratable)
+            base_filler.push_back(op);
+    for (const auto &op : accel)
+        if (!op.isAccel())
+            accel_filler.push_back(op);
+    ASSERT_EQ(base_filler.size(), accel_filler.size());
+    for (size_t i = 0; i < base_filler.size(); ++i) {
+        EXPECT_EQ(base_filler[i].cls, accel_filler[i].cls);
+        EXPECT_EQ(base_filler[i].dst, accel_filler[i].dst);
+        EXPECT_EQ(base_filler[i].addr, accel_filler[i].addr);
+    }
+}
+
+TEST(SyntheticWorkloadTest, DeterministicAcrossInstances)
+{
+    SyntheticWorkload a(smallConfig()), b(smallConfig());
+    auto ops_a = trace::collect(*a.makeBaselineTrace());
+    auto ops_b = trace::collect(*b.makeBaselineTrace());
+    ASSERT_EQ(ops_a.size(), ops_b.size());
+    for (size_t i = 0; i < ops_a.size(); i += 97) {
+        EXPECT_EQ(ops_a[i].cls, ops_b[i].cls);
+        EXPECT_EQ(ops_a[i].addr, ops_b[i].addr);
+    }
+}
+
+TEST(SyntheticWorkloadTest, SeedChangesPlacement)
+{
+    SyntheticConfig c1 = smallConfig();
+    SyntheticConfig c2 = smallConfig();
+    c2.seed = 99;
+    SyntheticWorkload a(c1), b(c2);
+    auto ops_a = trace::collect(*a.makeAcceleratedTrace());
+    auto ops_b = trace::collect(*b.makeAcceleratedTrace());
+    // Find accel positions.
+    std::vector<size_t> pos_a, pos_b;
+    for (size_t i = 0; i < ops_a.size(); ++i)
+        if (ops_a[i].isAccel())
+            pos_a.push_back(i);
+    for (size_t i = 0; i < ops_b.size(); ++i)
+        if (ops_b[i].isAccel())
+            pos_b.push_back(i);
+    EXPECT_NE(pos_a, pos_b);
+}
+
+TEST(SyntheticWorkloadTest, MemRequestsRegisteredWithDevice)
+{
+    SyntheticConfig conf = smallConfig();
+    conf.accelMemRequests = 4;
+    SyntheticWorkload wl(conf);
+    wl.makeAcceleratedTrace();
+    std::vector<cpu::AccelRequest> reqs;
+    static_cast<accel::FixedLatencyTca &>(wl.device())
+        .beginInvocation(0, reqs);
+    EXPECT_EQ(reqs.size(), 4u);
+    EXPECT_DOUBLE_EQ(wl.accelLatencyEstimate(), 30.0 + 8.0);
+}
+
+TEST(SyntheticWorkloadTest, MixRatiosRoughlyHonored)
+{
+    SyntheticConfig conf = smallConfig();
+    conf.fillerUops = 50000;
+    conf.numInvocations = 0;
+    SyntheticWorkload wl(conf);
+    auto ops = trace::collect(*wl.makeBaselineTrace());
+    uint64_t loads = 0, stores = 0, branches = 0;
+    for (const auto &op : ops) {
+        loads += op.isLoad();
+        stores += op.isStore();
+        branches += op.isBranch();
+    }
+    double n = static_cast<double>(ops.size());
+    EXPECT_NEAR(loads / n, conf.loadFraction, 0.02);
+    EXPECT_NEAR(stores / n, conf.storeFraction, 0.02);
+    EXPECT_NEAR(branches / n, conf.branchFraction, 0.02);
+}
+
+} // namespace
+} // namespace workloads
+} // namespace tca
