@@ -10,10 +10,13 @@
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <numeric>
 
 #include "cpu/core.hh"
 #include "model/interval_model.hh"
 #include "model/validation.hh"
+#include "obs/interval_profiler.hh"
+#include "obs/timeseries.hh"
 #include "util/table.hh"
 #include "workloads/calibrator.hh"
 #include "workloads/synthetic.hh"
@@ -25,7 +28,8 @@ using namespace tca::workloads;
 namespace {
 
 cpu::SimResult
-simulate(SyntheticWorkload &workload, TcaMode mode, bool accelerated)
+simulate(SyntheticWorkload &workload, TcaMode mode, bool accelerated,
+         obs::EventSink *sink = nullptr)
 {
     mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
     cpu::Core core(cpu::a72CoreConfig(), hierarchy);
@@ -33,6 +37,7 @@ simulate(SyntheticWorkload &workload, TcaMode mode, bool accelerated)
                              : workload.makeBaselineTrace();
     if (accelerated)
         core.bindAccelerator(&workload.device(), mode);
+    core.setEventSink(sink);
     return core.run(*trace);
 }
 
@@ -60,8 +65,14 @@ main()
     table.setHeader({"estimator", "t_drain", "NL_T err %",
                      "NL_NT err %"});
     double base_cycles = static_cast<double>(baseline.cycles);
+    obs::IntervalProfiler profiler;
+    obs::TimeSeriesRecorder timeseries(2048);
+    obs::MultiSink sinks({&profiler, &timeseries});
     double meas_nlt =
-        base_cycles / simulate(workload, TcaMode::NL_T, true).cycles;
+        base_cycles /
+        simulate(workload, TcaMode::NL_T, true, &sinks).cycles;
+    obs::IntervalSummary nlt_intervals = profiler.summary();
+    std::vector<obs::Epoch> nlt_epochs = timeseries.epochs();
     double meas_nlnt =
         base_cycles / simulate(workload, TcaMode::NL_NT, true).cycles;
 
@@ -94,6 +105,34 @@ main()
                             2)});
     }
     table.print(std::cout);
+
+    // Ground truth from the interval profiler: the drain the NL_T run
+    // actually paid per invocation, vs the estimators above.
+    std::printf("\nmeasured NL_T drain (interval profiler, %llu "
+                "intervals): %.1f cycles/invocation\n",
+                static_cast<unsigned long long>(nlt_intervals.count),
+                nlt_intervals.mean.drain);
+
+    // ROB-occupancy time series of the same NL_T run: is the window
+    // actually full of unexecuted work when the TCA dispatches?
+    std::printf("\nNL_T ROB occupancy by epoch (2048 cycles each, "
+                "ROB=%u):\n", cpu::a72CoreConfig().robSize);
+    size_t shown = 0;
+    for (const obs::Epoch &epoch : nlt_epochs) {
+        if (shown++ >= 8) {
+            std::printf("  ... (%zu epochs total)\n",
+                        nlt_epochs.size());
+            break;
+        }
+        std::printf("  cycle %7llu: avg occupancy %6.1f, "
+                    "accel starts %3llu, stalled %llu\n",
+                    static_cast<unsigned long long>(epoch.startCycle),
+                    epoch.avgRobOccupancy(),
+                    static_cast<unsigned long long>(epoch.accelStarts),
+                    static_cast<unsigned long long>(std::accumulate(
+                        epoch.stallCycles.begin(),
+                        epoch.stallCycles.end(), uint64_t{0})));
+    }
 
     std::printf("\nmeasured: NL_T %.4fx, NL_NT %.4fx; drain clamp "
                 "t_non_accl = %.1f cycles\n",

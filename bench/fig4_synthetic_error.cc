@@ -31,7 +31,11 @@ main()
 
     TextTable table;
     table.setHeader({"#accel", "a", "v", "mode", "sim speedup",
-                     "model speedup", "error %"});
+                     "model speedup", "error %", "t_accl(sim)",
+                     "t_drain(sim)"});
+
+    ExperimentOptions options;
+    options.profileIntervals = true;
 
     std::vector<double> est, meas;
     for (uint32_t invocations : {10, 20, 40, 80, 160, 320, 640}) {
@@ -44,7 +48,7 @@ main()
         SyntheticWorkload workload(conf);
 
         ExperimentResult r =
-            runExperiment(workload, cpu::a72CoreConfig());
+            runExperiment(workload, cpu::a72CoreConfig(), options);
         for (const ModeOutcome &mode : r.modes) {
             table.addRow(
                 {TextTable::fmt(uint64_t{invocations}),
@@ -53,7 +57,9 @@ main()
                  tcaModeName(mode.mode),
                  TextTable::fmt(mode.measuredSpeedup),
                  TextTable::fmt(mode.modeledSpeedup),
-                 TextTable::fmt(mode.errorPercent, 2)});
+                 TextTable::fmt(mode.errorPercent, 2),
+                 TextTable::fmt(mode.intervals.mean.accl, 1),
+                 TextTable::fmt(mode.intervals.mean.drain, 1)});
             est.push_back(mode.modeledSpeedup);
             meas.push_back(mode.measuredSpeedup);
         }

@@ -5,12 +5,25 @@
  * (c) model error — for all four integration modes. The baseline
  * executes the TCMalloc software fast paths (69/37 uops); the TCA
  * serves every call in a single cycle from its hardware tables.
+ *
+ * Beyond the speedup sweep, this bench compares the model's interval
+ * terms (eqs. 1-9) against the *measured* per-interval breakdown from
+ * obs::IntervalProfiler, and, when TCA_OUT_DIR is set, writes
+ * manifest.json + stats.json under $TCA_OUT_DIR/fig5_heap/.
  */
 
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <memory>
+#include <sstream>
+#include <vector>
 
+#include "model/interval_model.hh"
+#include "obs/interval_profiler.hh"
+#include "obs/manifest.hh"
+#include "stats/stats.hh"
+#include "util/json.hh"
 #include "util/table.hh"
 #include "workloads/experiment.hh"
 #include "workloads/heap_workload.hh"
@@ -19,28 +32,67 @@ using namespace tca;
 using namespace tca::model;
 using namespace tca::workloads;
 
+namespace {
+
+constexpr uint32_t kNumCalls = 1200;
+constexpr uint64_t kSeed = 7;
+constexpr uint32_t kTermTableGap = 400; ///< representative design point
+
+void
+addTermRows(TextTable &table, const ExperimentResult &r)
+{
+    IntervalModel predictor(r.params);
+    IntervalTimes times = predictor.times();
+    for (const ModeOutcome &mode : r.modes) {
+        obs::IntervalBreakdown model = obs::modelTerms(times, mode.mode);
+        const obs::IntervalBreakdown &meas = mode.intervals.mean;
+        auto row = [&](const char *term, double predicted,
+                       double measured) {
+            table.addRow({tcaModeName(mode.mode), term,
+                          TextTable::fmt(predicted, 1),
+                          TextTable::fmt(measured, 1)});
+        };
+        row("t_non_accl", model.nonAccl, meas.nonAccl);
+        row("t_accl", model.accl, meas.accl);
+        row("t_drain", model.drain, meas.drain);
+        row("t_commit", model.commit, meas.commit);
+    }
+}
+
+} // anonymous namespace
+
 int
 main()
 {
     std::printf("=== Fig. 5: heap-manager TCA, speedup vs call "
                 "frequency ===\n");
-    std::printf("core: A72-like; 1200 malloc/free calls; 1-cycle "
-                "heap TCA (always hits)\n\n");
+    std::printf("core: A72-like; %u malloc/free calls; 1-cycle "
+                "heap TCA (always hits)\n\n", kNumCalls);
 
     TextTable table;
     table.setHeader({"filler/gap", "call freq", "mode", "sim speedup",
                      "model speedup", "error %"});
 
+    TextTable terms;
+    terms.setHeader({"mode", "term", "model cycles", "sim cycles"});
+
+    ExperimentOptions options;
+    options.profileIntervals = true;
+
+    const ExperimentResult *representative = nullptr;
+    std::vector<std::unique_ptr<ExperimentResult>> results;
+
     double worst_error = 0.0;
     for (uint32_t gap : {1600, 800, 400, 200, 100, 50}) {
         HeapConfig conf;
-        conf.numCalls = 1200;
+        conf.numCalls = kNumCalls;
         conf.fillerUopsPerGap = gap;
-        conf.seed = 7;
+        conf.seed = kSeed;
         HeapWorkload workload(conf);
 
-        ExperimentResult r =
-            runExperiment(workload, cpu::a72CoreConfig());
+        results.push_back(std::make_unique<ExperimentResult>(
+            runExperiment(workload, cpu::a72CoreConfig(), options)));
+        const ExperimentResult &r = *results.back();
         for (const ModeOutcome &mode : r.modes) {
             table.addRow(
                 {TextTable::fmt(uint64_t{gap}),
@@ -57,9 +109,80 @@ main()
                             tcaModeName(mode.mode).c_str(), gap);
             }
         }
+        if (gap == kTermTableGap)
+            representative = &r;
     }
     table.print(std::cout);
     table.writeCsvIfRequested("fig5_heap");
+
+    if (representative) {
+        std::printf("\n--- interval terms at gap %u: model eq. vs "
+                    "measured breakdown (cycles/interval) ---\n",
+                    kTermTableGap);
+        addTermRows(terms, *representative);
+        terms.print(std::cout);
+        terms.writeCsvIfRequested("fig5_heap_terms");
+    }
+
+    // Machine-readable artifacts under $TCA_OUT_DIR/fig5_heap/.
+    if (representative) {
+        const ExperimentResult &rep = *representative;
+
+        stats::Group group("fig5_heap");
+        std::vector<std::unique_ptr<stats::Formula>> formulas;
+        auto add = [&](const std::string &name, double v,
+                       const std::string &desc) {
+            formulas.push_back(
+                std::make_unique<stats::Formula>([v] { return v; }));
+            group.addFormula(name, formulas.back().get(), desc);
+        };
+        add("baseline_cycles", double(rep.baseline.cycles),
+            "software-baseline cycles at the representative gap");
+        add("worst_abs_error_percent", worst_error,
+            "worst |model error| across the whole sweep");
+        IntervalTimes times = IntervalModel(rep.params).times();
+        for (const ModeOutcome &mode : rep.modes) {
+            std::string prefix = tcaModeName(mode.mode) + ".";
+            add(prefix + "sim_speedup", mode.measuredSpeedup,
+                "simulated speedup");
+            add(prefix + "model_speedup", mode.modeledSpeedup,
+                "analytical-model speedup");
+            add(prefix + "error_percent", mode.errorPercent,
+                "signed model error");
+            add(prefix + "intervals", double(mode.intervals.count),
+                "profiled accelerator intervals");
+            obs::IntervalBreakdown model =
+                obs::modelTerms(times, mode.mode);
+            const obs::IntervalBreakdown &meas = mode.intervals.mean;
+            add(prefix + "measured.t_non_accl", meas.nonAccl, "");
+            add(prefix + "measured.t_accl", meas.accl, "");
+            add(prefix + "measured.t_drain", meas.drain, "");
+            add(prefix + "measured.t_commit", meas.commit, "");
+            add(prefix + "model.t_non_accl", model.nonAccl, "");
+            add(prefix + "model.t_accl", model.accl, "");
+            add(prefix + "model.t_drain", model.drain, "");
+            add(prefix + "model.t_commit", model.commit, "");
+        }
+
+        obs::RunManifest manifest("fig5_heap");
+        manifest.set("seed", kSeed);
+        manifest.set("num_calls", uint64_t{kNumCalls});
+        manifest.set("term_table_gap", uint64_t{kTermTableGap});
+        manifest.setRawJson("gaps", "[1600, 800, 400, 200, 100, 50]");
+        {
+            std::ostringstream os;
+            JsonWriter json(os);
+            cpu::a72CoreConfig().writeJson(json);
+            manifest.setRawJson("core_config", os.str());
+        }
+        {
+            std::ostringstream os;
+            JsonWriter json(os);
+            rep.params.writeJson(json);
+            manifest.setRawJson("tca_params", os.str());
+        }
+        obs::writeRunArtifacts(manifest, {&group});
+    }
 
     std::printf("\nshape checks (paper claims):\n");
     std::printf("  - speedup grows with invocation frequency in the "

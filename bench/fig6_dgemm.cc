@@ -37,7 +37,8 @@ main()
 
     TextTable table;
     table.setHeader({"accel", "mode", "sim speedup", "model speedup",
-                     "error %", "functional"});
+                     "error %", "t_accl(sim)", "t_drain(sim)",
+                     "functional"});
 
     double prev_lt = 0.0;
     for (uint32_t tile : {2u, 4u, 8u}) {
@@ -53,6 +54,7 @@ main()
         // effectively does.
         ExperimentOptions opts;
         opts.useMeasuredAccelLatency = true;
+        opts.profileIntervals = true;
         ExperimentResult r =
             runExperiment(workload, cpu::a72CoreConfig(), opts);
         for (const ModeOutcome &mode : r.modes) {
@@ -61,6 +63,8 @@ main()
                  TextTable::fmt(mode.measuredSpeedup, 2),
                  TextTable::fmt(mode.modeledSpeedup, 2),
                  TextTable::fmt(mode.errorPercent, 1),
+                 TextTable::fmt(mode.intervals.mean.accl, 1),
+                 TextTable::fmt(mode.intervals.mean.drain, 1),
                  mode.functionalOk ? "ok" : "MISMATCH"});
         }
 

@@ -11,6 +11,9 @@
 #include "cpu/core.hh"
 #include "model/interval_model.hh"
 #include "model/sweeps.hh"
+#include "obs/interval_profiler.hh"
+#include "obs/pipeview.hh"
+#include "obs/timeseries.hh"
 #include "workloads/synthetic.hh"
 
 using namespace tca;
@@ -47,7 +50,7 @@ BM_HeatmapSweep(benchmark::State &state)
 BENCHMARK(BM_HeatmapSweep)->Arg(16)->Arg(32);
 
 static void
-BM_SimulatorThroughput(benchmark::State &state)
+simulatorThroughput(benchmark::State &state, obs::EventSink *sink)
 {
     workloads::SyntheticConfig conf;
     conf.fillerUops = static_cast<uint64_t>(state.range(0));
@@ -59,6 +62,7 @@ BM_SimulatorThroughput(benchmark::State &state)
     for (auto _ : state) {
         mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
         cpu::Core core(core_conf, hierarchy);
+        core.setEventSink(sink);
         auto trace = workload.makeBaselineTrace();
         cpu::SimResult r = core.run(*trace);
         uops += r.committedUops;
@@ -66,7 +70,38 @@ BM_SimulatorThroughput(benchmark::State &state)
     }
     state.SetItemsProcessed(static_cast<int64_t>(uops));
 }
+
+/** Tracing disabled (the default): every emission site is one
+ *  null-pointer test. The acceptance bar is <1% off the seed. */
+static void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    simulatorThroughput(state, nullptr);
+}
 BENCHMARK(BM_SimulatorThroughput)->Arg(50000)->Unit(
+    benchmark::kMillisecond);
+
+/** Sink attached but every handler a no-op: the virtual-call floor. */
+static void
+BM_SimulatorThroughputNullSink(benchmark::State &state)
+{
+    obs::EventSink null_sink;
+    simulatorThroughput(state, &null_sink);
+}
+BENCHMARK(BM_SimulatorThroughputNullSink)->Arg(50000)->Unit(
+    benchmark::kMillisecond);
+
+/** The full observability stack a figure bench would attach. */
+static void
+BM_SimulatorThroughputProfiled(benchmark::State &state)
+{
+    obs::IntervalProfiler profiler;
+    obs::TimeSeriesRecorder timeseries;
+    obs::PipeViewWriter pipeview;
+    obs::MultiSink sinks({&profiler, &timeseries, &pipeview});
+    simulatorThroughput(state, &sinks);
+}
+BENCHMARK(BM_SimulatorThroughputProfiled)->Arg(50000)->Unit(
     benchmark::kMillisecond);
 
 static void

@@ -43,6 +43,7 @@ HeapTca::beginInvocation(uint32_t id,
             // are constructed so this never happens (Section IV), but
             // we count it rather than silently mispredict.
             ++misses;
+            deviceEvent("malloc_table_miss", misses);
         }
     } else {
         if (d < capacity) {
@@ -50,6 +51,7 @@ HeapTca::beginInvocation(uint32_t id,
             ++hits;
         } else {
             ++misses;
+            deviceEvent("free_table_overflow", misses);
         }
     }
     return operationLatency;

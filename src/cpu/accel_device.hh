@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mem/mem_types.hh"
+#include "obs/event_sink.hh"
 
 namespace tca {
 namespace cpu {
@@ -51,6 +52,25 @@ class AccelDevice
 
     /** Device name for stats. */
     virtual const char *name() const = 0;
+
+    /**
+     * Observe device-level events. The core re-wires this at the start
+     * of every run to its own sink; devices report through
+     * deviceEvent() below (a no-op when tracing is disabled).
+     */
+    void setEventSink(obs::EventSink *s) { sink = s; }
+
+  protected:
+    /** Publish a device-specific event (e.g. a lookup-table miss). */
+    void
+    deviceEvent(const char *event, uint64_t value)
+    {
+        if (sink)
+            sink->onAccelDeviceEvent(name(), event, value);
+    }
+
+  private:
+    obs::EventSink *sink = nullptr;
 };
 
 } // namespace cpu

@@ -108,6 +108,31 @@ Core::run(trace::TraceSource &trace_source)
     resetRunState();
     source = &trace_source;
 
+    // resetRunState() rebuilds the ROB, so (re-)wire the sink into the
+    // owned structures every run.
+    rob.setEventSink(sink);
+    memPorts.setEventSink(sink);
+    for (AccelPortState &port : accelPorts) {
+        if (port.device)
+            port.device->setEventSink(sink);
+    }
+    if (sink) {
+        obs::RunContext ctx;
+        ctx.coreName = conf.name;
+        ctx.robSize = conf.robSize;
+        ctx.dispatchWidth = conf.dispatchWidth;
+        ctx.issueWidth = conf.issueWidth;
+        ctx.commitWidth = conf.commitWidth;
+        ctx.commitLatency = conf.commitLatency;
+        ctx.memPorts = conf.memPorts;
+        for (size_t c = 0;
+             c < static_cast<size_t>(StallCause::NumCauses); ++c) {
+            ctx.stallCauseNames.push_back(
+                stallCauseName(static_cast<StallCause>(c)));
+        }
+        sink->onRunBegin(ctx);
+    }
+
     uint64_t last_progress_uops = 0;
     mem::Cycle last_progress_cycle = 0;
 
@@ -116,6 +141,8 @@ Core::run(trace::TraceSource &trace_source)
         issueStage();
         dispatchStage();
         result.robOccupancySum += rob.size();
+        if (sink)
+            sink->onCycle(now, rob.size());
 
         // Deadlock detector: the pipeline must make forward progress.
         uint64_t progress = result.committedUops + rob.next();
@@ -133,6 +160,8 @@ Core::run(trace::TraceSource &trace_source)
     }
 
     result.cycles = now;
+    if (sink)
+        sink->onRunEnd(result.cycles, result.committedUops);
     source = nullptr;
     return result;
 }
@@ -175,6 +204,8 @@ void
 Core::recordStall(StallCause cause)
 {
     ++result.stallCycles[static_cast<size_t>(cause)];
+    if (sink)
+        sink->onDispatchStall(static_cast<uint8_t>(cause), now);
 }
 
 void
@@ -201,6 +232,20 @@ Core::commitStage()
         ++result.committedByClass[static_cast<size_t>(head.op.cls)];
         if (head.op.acceleratable || head.op.isAccel())
             ++result.committedAcceleratable;
+        if (sink) {
+            obs::UopLifecycle uop;
+            uop.seq = head.seq;
+            uop.cls = head.op.cls;
+            uop.addr = head.op.addr;
+            uop.accelPort = head.op.accelPort;
+            uop.accelInvocation = head.op.accelInvocation;
+            uop.mispredicted = head.op.mispredicted;
+            uop.dispatch = head.dispatchCycle;
+            uop.issue = head.issueCycle;
+            uop.complete = head.completeCycle;
+            uop.commit = now;
+            sink->onCommit(uop);
+        }
         rob.retireHead();
     }
 }
@@ -313,6 +358,12 @@ Core::issueAccel(RobEntry &entry)
 
     ++result.accelInvocations;
     result.accelLatencyTotal += entry.completeCycle - now;
+    if (sink) {
+        sink->onAccelInvocation(
+            entry.op.accelPort, entry.op.accelInvocation,
+            port.device->name(), now, entry.completeCycle, compute,
+            static_cast<uint32_t>(requests.size()));
+    }
     return true;
 }
 
@@ -358,6 +409,8 @@ Core::tryIssue(RobEntry &entry)
 
     entry.state = UopState::Issued;
     entry.issueCycle = now;
+    if (sink)
+        sink->onIssue(entry.seq, now);
     return true;
 }
 
@@ -461,6 +514,8 @@ Core::dispatchStage()
         iq.push_back(seq);
         if (entry.op.isMem())
             lsq.push_back(seq);
+        if (sink)
+            sink->onDispatch(seq, entry.op, now);
 
         if (entry.op.isBranch() && entry.op.mispredicted) {
             // Younger uops are wrong-path until the branch resolves.

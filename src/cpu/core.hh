@@ -32,6 +32,7 @@
 #include "cpu/sim_result.hh"
 #include "mem/hierarchy.hh"
 #include "model/tca_mode.hh"
+#include "obs/event_sink.hh"
 #include "stats/stats.hh"
 #include "trace/trace_source.hh"
 
@@ -86,6 +87,15 @@ class Core
     {
         bpred = predictor;
     }
+
+    /**
+     * Attach a pipeline-event sink (not owned; nullptr detaches). The
+     * sink observes every run until replaced: run() re-wires it into
+     * the ROB, the memory-port arbiter, and all bound accelerator
+     * devices after per-run state is reset. With no sink (the default)
+     * every emission site reduces to one null-pointer test.
+     */
+    void setEventSink(obs::EventSink *s) { sink = s; }
 
     /**
      * Simulate a trace to completion.
@@ -178,6 +188,9 @@ class Core
 
     // Optional dynamic branch predictor (not owned).
     BranchPredictor *bpred = nullptr;
+
+    // Optional pipeline-event sink (not owned).
+    obs::EventSink *sink = nullptr;
 
     SimResult result;
 

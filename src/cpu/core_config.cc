@@ -1,5 +1,6 @@
 #include "cpu/core_config.hh"
 
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace tca {
@@ -44,6 +45,40 @@ CoreConfig::validate() const
     if (intAluUnits == 0 || branchUnits == 0)
         fatal("%s: need at least one ALU and one branch unit",
               name.c_str());
+}
+
+void
+CoreConfig::writeJson(JsonWriter &json) const
+{
+    auto put = [&](const char *key, uint32_t v) {
+        json.key(key);
+        json.value(static_cast<uint64_t>(v));
+    };
+    json.beginObject();
+    json.key("name");
+    json.value(name);
+    put("dispatch_width", dispatchWidth);
+    put("issue_width", issueWidth);
+    put("commit_width", commitWidth);
+    put("rob_size", robSize);
+    put("iq_size", iqSize);
+    put("lsq_size", lsqSize);
+    put("mem_ports", memPorts);
+    put("int_alu_units", intAluUnits);
+    put("int_mul_units", intMulUnits);
+    put("fp_units", fpUnits);
+    put("branch_units", branchUnits);
+    put("int_alu_latency", intAluLatency);
+    put("int_mul_latency", intMulLatency);
+    put("fp_add_latency", fpAddLatency);
+    put("fp_mul_latency", fpMulLatency);
+    put("fp_macc_latency", fpMaccLatency);
+    put("branch_latency", branchLatency);
+    put("store_latency", storeLatency);
+    put("forward_latency", forwardLatency);
+    put("commit_latency", commitLatency);
+    put("redirect_penalty", redirectPenalty);
+    json.endObject();
 }
 
 CoreConfig

@@ -14,6 +14,9 @@
 #include "trace/micro_op.hh"
 
 namespace tca {
+
+class JsonWriter;
+
 namespace cpu {
 
 /** Core pipeline geometry and operation latencies. */
@@ -65,6 +68,9 @@ struct CoreConfig
 
     /** Validate the configuration; fatal() on nonsense. */
     void validate() const;
+
+    /** Emit the configuration as one JSON object (for run manifests). */
+    void writeJson(JsonWriter &json) const;
 };
 
 /** 3-wide ARM-A72-like core matching model::armA72Preset(). */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/event_sink.hh"
 #include "util/logging.hh"
 
 namespace tca {
@@ -28,6 +29,8 @@ PortArbiter::claim(mem::Cycle earliest)
     auto it = std::min_element(nextFree.begin(), nextFree.end());
     mem::Cycle start = std::max(earliest, *it);
     *it = start + 1;
+    if (sink)
+        sink->onMemPortClaim(earliest, start);
     return start;
 }
 

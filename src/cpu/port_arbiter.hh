@@ -17,6 +17,9 @@
 #include "mem/mem_types.hh"
 
 namespace tca {
+namespace obs {
+class EventSink;
+} // namespace obs
 namespace cpu {
 
 /** Tracks per-port next-free cycles. */
@@ -43,8 +46,12 @@ class PortArbiter
         return static_cast<uint32_t>(nextFree.size());
     }
 
+    /** Observe claims (requested vs granted cycle; nullptr disables). */
+    void setEventSink(obs::EventSink *s) { sink = s; }
+
   private:
     std::vector<mem::Cycle> nextFree;
+    obs::EventSink *sink = nullptr;
 };
 
 } // namespace cpu

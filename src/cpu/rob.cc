@@ -1,5 +1,6 @@
 #include "cpu/rob.hh"
 
+#include "obs/event_sink.hh"
 #include "util/logging.hh"
 
 namespace tca {
@@ -21,6 +22,8 @@ Rob::allocate(uint64_t seq)
     entry.seq = seq;
     ++nextSeq;
     ++count;
+    if (sink)
+        sink->onRobAllocate(seq, count);
     return entry;
 }
 
@@ -42,8 +45,11 @@ void
 Rob::retireHead()
 {
     tca_assert(!empty());
+    uint64_t seq = oldestSeq;
     ++oldestSeq;
     --count;
+    if (sink)
+        sink->onRobRetire(seq, count);
 }
 
 RobEntry &

@@ -16,6 +16,9 @@
 #include "trace/micro_op.hh"
 
 namespace tca {
+namespace obs {
+class EventSink;
+} // namespace obs
 namespace cpu {
 
 /** Lifecycle of a uop in the window. */
@@ -98,6 +101,9 @@ class Rob
     uint64_t oldest() const { return oldestSeq; }
     uint64_t next() const { return nextSeq; }
 
+    /** Observe allocation/retirement edges (nullptr disables). */
+    void setEventSink(obs::EventSink *s) { sink = s; }
+
   private:
     uint32_t slotOf(uint64_t seq) const
     {
@@ -109,6 +115,7 @@ class Rob
     uint64_t oldestSeq = 0; ///< seq of head when non-empty
     uint64_t nextSeq = 0;   ///< seq the next allocation will get
     std::vector<RobEntry> entries;
+    obs::EventSink *sink = nullptr;
 };
 
 } // namespace cpu

@@ -11,6 +11,9 @@
 #include <string>
 
 namespace tca {
+
+class JsonWriter;
+
 namespace model {
 
 /**
@@ -51,6 +54,9 @@ struct TcaParams
 
     /** Validate ranges; calls fatal() on nonsensical inputs. */
     void validate() const;
+
+    /** Emit the parameters as one JSON object (for run manifests). */
+    void writeJson(JsonWriter &json) const;
 
     /**
      * Acceleratable instructions per invocation (granularity g = a/v).

@@ -1,5 +1,6 @@
 #include "model/params.hh"
 
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace tca {
@@ -28,6 +29,31 @@ TcaParams::validate() const
     // Note: v > a (each invocation covering less than one baseline
     // instruction) is a degenerate but well-defined corner; sweeps
     // legitimately cross it, so it is not diagnosed here.
+}
+
+void
+TcaParams::writeJson(JsonWriter &json) const
+{
+    json.beginObject();
+    json.key("acceleratable_fraction");
+    json.value(acceleratableFraction);
+    json.key("invocation_frequency");
+    json.value(invocationFrequency);
+    json.key("ipc");
+    json.value(ipc);
+    json.key("acceleration_factor");
+    json.value(accelerationFactor);
+    json.key("rob_size");
+    json.value(static_cast<uint64_t>(robSize));
+    json.key("issue_width");
+    json.value(static_cast<uint64_t>(issueWidth));
+    json.key("commit_stall");
+    json.value(commitStall);
+    json.key("explicit_drain_time");
+    json.value(explicitDrainTime);
+    json.key("granularity");
+    json.value(granularity());
+    json.endObject();
 }
 
 TcaParams

@@ -1,0 +1,100 @@
+#include "obs/event_sink.hh"
+
+namespace tca {
+namespace obs {
+
+EventSink::~EventSink() = default;
+
+void
+MultiSink::onRunBegin(const RunContext &ctx)
+{
+    for (EventSink *sink : sinks)
+        sink->onRunBegin(ctx);
+}
+
+void
+MultiSink::onRunEnd(mem::Cycle cycles, uint64_t committed_uops)
+{
+    for (EventSink *sink : sinks)
+        sink->onRunEnd(cycles, committed_uops);
+}
+
+void
+MultiSink::onCycle(mem::Cycle now, uint32_t rob_occupancy)
+{
+    for (EventSink *sink : sinks)
+        sink->onCycle(now, rob_occupancy);
+}
+
+void
+MultiSink::onDispatch(uint64_t seq, const trace::MicroOp &op,
+                      mem::Cycle now)
+{
+    for (EventSink *sink : sinks)
+        sink->onDispatch(seq, op, now);
+}
+
+void
+MultiSink::onIssue(uint64_t seq, mem::Cycle now)
+{
+    for (EventSink *sink : sinks)
+        sink->onIssue(seq, now);
+}
+
+void
+MultiSink::onCommit(const UopLifecycle &uop)
+{
+    for (EventSink *sink : sinks)
+        sink->onCommit(uop);
+}
+
+void
+MultiSink::onDispatchStall(uint8_t cause, mem::Cycle now)
+{
+    for (EventSink *sink : sinks)
+        sink->onDispatchStall(cause, now);
+}
+
+void
+MultiSink::onRobAllocate(uint64_t seq, uint32_t occupancy)
+{
+    for (EventSink *sink : sinks)
+        sink->onRobAllocate(seq, occupancy);
+}
+
+void
+MultiSink::onRobRetire(uint64_t seq, uint32_t occupancy)
+{
+    for (EventSink *sink : sinks)
+        sink->onRobRetire(seq, occupancy);
+}
+
+void
+MultiSink::onMemPortClaim(mem::Cycle requested, mem::Cycle granted)
+{
+    for (EventSink *sink : sinks)
+        sink->onMemPortClaim(requested, granted);
+}
+
+void
+MultiSink::onAccelInvocation(uint8_t port, uint32_t invocation,
+                             const char *device, mem::Cycle start,
+                             mem::Cycle complete, uint32_t compute_latency,
+                             uint32_t num_requests)
+{
+    for (EventSink *sink : sinks) {
+        sink->onAccelInvocation(port, invocation, device, start, complete,
+                                compute_latency, num_requests);
+    }
+}
+
+void
+MultiSink::onAccelDeviceEvent(const char *device, const char *event,
+                              uint64_t value)
+{
+    for (EventSink *sink : sinks)
+        sink->onAccelDeviceEvent(device, event, value);
+}
+
+} // namespace obs
+} // namespace tca

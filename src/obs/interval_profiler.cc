@@ -1,0 +1,152 @@
+#include "obs/interval_profiler.hh"
+
+#include <algorithm>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace tca {
+namespace obs {
+
+IntervalBreakdown
+modelTerms(const model::IntervalTimes &times, model::TcaMode mode)
+{
+    IntervalBreakdown terms;
+    terms.nonAccl = times.nonAccl;
+    terms.accl = times.accl;
+    terms.drain = model::allowsLeading(mode) ? 0.0 : times.drain;
+    switch (mode) {
+      case model::TcaMode::NL_NT: terms.commit = 2.0 * times.commit; break;
+      case model::TcaMode::L_NT:  terms.commit = times.commit; break;
+      case model::TcaMode::NL_T:  terms.commit = times.commit; break;
+      case model::TcaMode::L_T:   terms.commit = 0.0; break;
+    }
+    return terms;
+}
+
+void
+IntervalProfiler::onRunBegin(const RunContext &ctx)
+{
+    (void)ctx;
+    records.clear();
+    lastBoundary = 0;
+    uopsSinceBoundary = 0;
+    runCycles = 0;
+    runUops = 0;
+    runEnded = false;
+}
+
+void
+IntervalProfiler::onCommit(const UopLifecycle &uop)
+{
+    ++uopsSinceBoundary;
+    if (!uop.isAccel())
+        return;
+    if (portFilter >= 0 && uop.accelPort != portFilter)
+        return;
+
+    IntervalRecord rec;
+    rec.index = records.size();
+    rec.accelPort = uop.accelPort;
+    rec.accelInvocation = uop.accelInvocation;
+    rec.beginCycle = lastBoundary;
+    rec.endCycle = uop.commit;
+    rec.committedUops = uopsSinceBoundary;
+
+    rec.total = static_cast<double>(uop.commit - lastBoundary);
+    rec.accl = static_cast<double>(uop.complete - uop.issue);
+    rec.commit = static_cast<double>(uop.commit - uop.complete);
+    // "Ready" is the cycle after dispatch (the earliest issue
+    // opportunity), clamped to the interval start: in T modes the next
+    // accel uop may dispatch inside the previous interval, and the
+    // wait accrued there belongs to that interval's overlap.
+    mem::Cycle ready = std::max(uop.dispatch + 1, lastBoundary);
+    rec.drain = uop.issue > ready
+        ? static_cast<double>(uop.issue - ready) : 0.0;
+    rec.nonAccl =
+        std::max(0.0, rec.total - rec.accl - rec.drain - rec.commit);
+
+    records.push_back(rec);
+    lastBoundary = uop.commit;
+    uopsSinceBoundary = 0;
+}
+
+void
+IntervalProfiler::onRunEnd(mem::Cycle cycles, uint64_t committed_uops)
+{
+    runCycles = cycles;
+    runUops = committed_uops;
+    runEnded = true;
+    tca_debug("obs", "interval profiler: %zu intervals over %llu cycles",
+              records.size(),
+              static_cast<unsigned long long>(cycles));
+}
+
+IntervalSummary
+IntervalProfiler::summary() const
+{
+    IntervalSummary s;
+    s.count = records.size();
+    for (const IntervalRecord &rec : records) {
+        s.mean.nonAccl += rec.nonAccl;
+        s.mean.accl += rec.accl;
+        s.mean.drain += rec.drain;
+        s.mean.commit += rec.commit;
+        s.meanTotal += rec.total;
+        s.meanUops += static_cast<double>(rec.committedUops);
+    }
+    if (s.count) {
+        double n = static_cast<double>(s.count);
+        s.mean.nonAccl /= n;
+        s.mean.accl /= n;
+        s.mean.drain /= n;
+        s.mean.commit /= n;
+        s.meanTotal /= n;
+        s.meanUops /= n;
+    }
+    if (runEnded && runCycles >= lastBoundary) {
+        s.tailCycles = runCycles - lastBoundary;
+        s.tailUops = uopsSinceBoundary;
+    }
+    return s;
+}
+
+void
+IntervalProfiler::toJson(JsonWriter &json) const
+{
+    IntervalSummary s = summary();
+    json.beginObject();
+    json.key("summary");
+    json.beginObject();
+    json.kv("intervals", s.count);
+    json.kv("mean_total", s.meanTotal);
+    json.kv("mean_t_non_accl", s.mean.nonAccl);
+    json.kv("mean_t_accl", s.mean.accl);
+    json.kv("mean_t_drain", s.mean.drain);
+    json.kv("mean_t_commit", s.mean.commit);
+    json.kv("mean_uops", s.meanUops);
+    json.kv("tail_cycles", s.tailCycles);
+    json.kv("tail_uops", s.tailUops);
+    json.endObject();
+    json.key("intervals");
+    json.beginArray();
+    for (const IntervalRecord &rec : records) {
+        json.beginObject();
+        json.kv("index", rec.index);
+        json.kv("port", static_cast<uint64_t>(rec.accelPort));
+        json.kv("invocation", static_cast<uint64_t>(rec.accelInvocation));
+        json.kv("begin", rec.beginCycle);
+        json.kv("end", rec.endCycle);
+        json.kv("uops", rec.committedUops);
+        json.kv("t_non_accl", rec.nonAccl);
+        json.kv("t_accl", rec.accl);
+        json.kv("t_drain", rec.drain);
+        json.kv("t_commit", rec.commit);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+} // namespace obs
+} // namespace tca

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Measured interval breakdown (the observability counterpart of the
+ * paper's Section III equations). The profiler segments the committed
+ * uop stream at Accel uops: each interval ends at an accelerator
+ * commit, and its wall time decomposes into
+ *
+ *   t_accl   = accel complete - accel issue     (accelerator busy)
+ *   t_drain  = accel issue - accel ready        (wait to start: the
+ *              window drain in NL modes, port/arbitration waits in L)
+ *   t_commit = accel commit - accel complete    (back-end depth)
+ *   t_non_accl = remainder                      (non-accelerated work)
+ *
+ * where "ready" is the cycle after dispatch, clamped to the interval
+ * start. The terms are directly comparable to the model's IntervalTimes
+ * (eqs. 1-9); modelTerms() maps the model's per-mode equations onto the
+ * same four slots. In T modes the accelerator overlaps leading/trailing
+ * work, so the measured segments can overlap interval boundaries and
+ * t_non_accl is clamped at zero — exactly the overlap the MAX-form
+ * equations (7) and (9) reason about.
+ */
+
+#ifndef TCASIM_OBS_INTERVAL_PROFILER_HH
+#define TCASIM_OBS_INTERVAL_PROFILER_HH
+
+#include <vector>
+
+#include "model/interval_model.hh"
+#include "model/tca_mode.hh"
+#include "obs/event_sink.hh"
+
+namespace tca {
+
+class JsonWriter;
+
+namespace obs {
+
+/** Measured decomposition of one invocation interval. */
+struct IntervalRecord
+{
+    uint64_t index = 0;          ///< 0-based interval number
+    uint8_t accelPort = 0;
+    uint32_t accelInvocation = 0;
+    mem::Cycle beginCycle = 0;   ///< previous boundary commit (or 0)
+    mem::Cycle endCycle = 0;     ///< this interval's accel commit
+    uint64_t committedUops = 0;  ///< uops retired in the interval
+
+    double total = 0.0;          ///< endCycle - beginCycle
+    double nonAccl = 0.0;        ///< residual non-accelerated time
+    double accl = 0.0;           ///< accelerator issue->complete
+    double drain = 0.0;          ///< accelerator ready->issue wait
+    double commit = 0.0;         ///< accelerator complete->retire
+};
+
+/** The four interval terms, as means or as model predictions. */
+struct IntervalBreakdown
+{
+    double nonAccl = 0.0;
+    double accl = 0.0;
+    double drain = 0.0;
+    double commit = 0.0;
+
+    double sum() const { return nonAccl + accl + drain + commit; }
+};
+
+/** Aggregate over a run's intervals. */
+struct IntervalSummary
+{
+    uint64_t count = 0;          ///< intervals (accel commits) observed
+    IntervalBreakdown mean;      ///< mean of each term across intervals
+    double meanTotal = 0.0;      ///< mean interval wall time
+    double meanUops = 0.0;       ///< mean committed uops per interval
+    uint64_t tailCycles = 0;     ///< cycles after the last boundary
+    uint64_t tailUops = 0;       ///< uops committed after it
+};
+
+/**
+ * Map the analytical model's per-mode interval equation onto the same
+ * four slots the profiler measures, so benches can print model vs sim
+ * per term. The drain term participates only in NL modes; the commit
+ * term is counted twice in NL_NT, once in L_NT/NL_T, and is hidden
+ * under overlap in L_T (eqs. 4, 5, 7, 9). Because equations (7) and
+ * (9) take a MAX, the sum of the returned terms can exceed the model's
+ * interval time for the T modes.
+ */
+IntervalBreakdown modelTerms(const model::IntervalTimes &times,
+                             model::TcaMode mode);
+
+/**
+ * EventSink that measures the interval breakdown. State resets at
+ * onRunBegin, so one profiler instance observes one run at a time;
+ * query it between runs.
+ */
+class IntervalProfiler : public EventSink
+{
+  public:
+    /**
+     * @param port accelerator port whose uops bound intervals, or -1
+     *             to segment at every Accel commit regardless of port
+     */
+    explicit IntervalProfiler(int port = -1) : portFilter(port) {}
+
+    const std::vector<IntervalRecord> &intervals() const
+    {
+        return records;
+    }
+
+    IntervalSummary summary() const;
+
+    /** Emit per-interval records plus the summary as a JSON object. */
+    void toJson(JsonWriter &json) const;
+
+    // EventSink
+    void onRunBegin(const RunContext &ctx) override;
+    void onCommit(const UopLifecycle &uop) override;
+    void onRunEnd(mem::Cycle cycles, uint64_t committed_uops) override;
+
+  private:
+    int portFilter;
+    std::vector<IntervalRecord> records;
+    mem::Cycle lastBoundary = 0;
+    uint64_t uopsSinceBoundary = 0;
+    mem::Cycle runCycles = 0;
+    uint64_t runUops = 0;
+    bool runEnded = false;
+};
+
+} // namespace obs
+} // namespace tca
+
+#endif // TCASIM_OBS_INTERVAL_PROFILER_HH

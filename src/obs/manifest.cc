@@ -1,0 +1,173 @@
+#include "obs/manifest.hh"
+
+#include <cstdlib>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+#ifndef TCA_GIT_DESCRIBE
+#define TCA_GIT_DESCRIBE "unknown"
+#endif
+
+namespace tca {
+namespace obs {
+
+const char *
+RunManifest::buildVersion()
+{
+    return TCA_GIT_DESCRIBE;
+}
+
+RunManifest::RunManifest(std::string run_name) : name(std::move(run_name))
+{
+    set("run", name);
+    set("tool", "tcasim");
+    set("version", buildVersion());
+
+    std::time_t now = std::time(nullptr);
+    char stamp[64];
+    std::tm tm_utc{};
+    gmtime_r(&now, &tm_utc);
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    set("wall_time", stamp);
+}
+
+RunManifest::Entry &
+RunManifest::add(const std::string &key)
+{
+    for (Entry &entry : entries) {
+        if (entry.key == key)
+            return entry; // overwrite, keep first-set position
+    }
+    entries.push_back(Entry{});
+    entries.back().key = key;
+    return entries.back();
+}
+
+void
+RunManifest::set(const std::string &key, const std::string &value)
+{
+    Entry &entry = add(key);
+    entry.kind = Kind::String;
+    entry.str = value;
+}
+
+void
+RunManifest::set(const std::string &key, const char *value)
+{
+    set(key, std::string(value));
+}
+
+void
+RunManifest::set(const std::string &key, double value)
+{
+    Entry &entry = add(key);
+    entry.kind = Kind::Number;
+    entry.number = value;
+}
+
+void
+RunManifest::set(const std::string &key, uint64_t value)
+{
+    Entry &entry = add(key);
+    entry.kind = Kind::Integer;
+    entry.integer = value;
+}
+
+void
+RunManifest::set(const std::string &key, bool value)
+{
+    Entry &entry = add(key);
+    entry.kind = Kind::Bool;
+    entry.boolean = value;
+}
+
+void
+RunManifest::setRawJson(const std::string &key, const std::string &json)
+{
+    Entry &entry = add(key);
+    entry.kind = Kind::Raw;
+    entry.str = json;
+}
+
+void
+RunManifest::write(JsonWriter &json) const
+{
+    json.beginObject();
+    for (const Entry &entry : entries) {
+        json.key(entry.key);
+        switch (entry.kind) {
+          case Kind::String:  json.value(entry.str); break;
+          case Kind::Number:  json.value(entry.number); break;
+          case Kind::Integer: json.value(entry.integer); break;
+          case Kind::Bool:    json.value(entry.boolean); break;
+          case Kind::Raw:     json.rawValue(entry.str); break;
+        }
+    }
+    json.endObject();
+}
+
+std::string
+RunManifest::str() const
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    write(json);
+    return os.str();
+}
+
+std::string
+artifactDir(const std::string &run_name)
+{
+    const char *base = std::getenv("TCA_OUT_DIR");
+    if (!base || !*base)
+        return "";
+    std::filesystem::path dir =
+        std::filesystem::path(base) / run_name;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        warn("cannot create artifact dir '%s': %s", dir.c_str(),
+             ec.message().c_str());
+        return "";
+    }
+    return dir.string();
+}
+
+std::string
+writeRunArtifacts(const RunManifest &manifest,
+                  const std::vector<const stats::Group *> &groups)
+{
+    std::string dir = artifactDir(manifest.runName());
+    if (dir.empty())
+        return "";
+
+    {
+        std::string path = dir + "/manifest.json";
+        std::ofstream out(path);
+        if (!out) {
+            warn("cannot write '%s'", path.c_str());
+            return "";
+        }
+        out << manifest.str() << '\n';
+    }
+    {
+        std::string path = dir + "/stats.json";
+        std::ofstream out(path);
+        if (!out) {
+            warn("cannot write '%s'", path.c_str());
+            return "";
+        }
+        stats::dumpGroupsJson(groups, out);
+    }
+    inform("wrote run artifacts under %s", dir.c_str());
+    tca_debug("obs", "manifest: %s", manifest.str().c_str());
+    return dir;
+}
+
+} // namespace obs
+} // namespace tca

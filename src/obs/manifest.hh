@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Machine-readable run artifacts. A RunManifest records everything
+ * needed to reproduce and attribute a run — tool version (git
+ * describe, baked in at configure time), wall-clock time, seed, and
+ * arbitrary typed or raw-JSON sections (core config, model params) —
+ * and writeRunArtifacts() drops manifest.json + stats.json under
+ * $TCA_OUT_DIR/<run-name>/ so figure benches produce parseable outputs
+ * instead of only stdout tables.
+ */
+
+#ifndef TCASIM_OBS_MANIFEST_HH
+#define TCASIM_OBS_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/stats.hh"
+
+namespace tca {
+
+class JsonWriter;
+
+namespace obs {
+
+/**
+ * Ordered key/value document rendered as one JSON object. Values are
+ * typed scalars or pre-rendered JSON fragments (for nested sections
+ * like a CoreConfig). Standard fields (tool, version, wall time) are
+ * filled by the constructor.
+ */
+class RunManifest
+{
+  public:
+    /** @param run_name identifies the run (e.g. the bench name). */
+    explicit RunManifest(std::string run_name);
+
+    void set(const std::string &key, const std::string &value);
+    void set(const std::string &key, const char *value);
+    void set(const std::string &key, double value);
+    void set(const std::string &key, uint64_t value);
+    void set(const std::string &key, bool value);
+
+    /**
+     * Attach a pre-rendered JSON fragment (object/array/scalar) under
+     * a key; the fragment is embedded verbatim, so it must be valid
+     * JSON (e.g. produced by a JsonWriter over a string stream).
+     */
+    void setRawJson(const std::string &key, const std::string &json);
+
+    const std::string &runName() const { return name; }
+
+    /** Render the manifest as a JSON object. */
+    void write(JsonWriter &json) const;
+
+    /** Render to a string (for tests). */
+    std::string str() const;
+
+    /** The git describe string baked in at configure time. */
+    static const char *buildVersion();
+
+  private:
+    enum class Kind : uint8_t { String, Number, Integer, Bool, Raw };
+    struct Entry
+    {
+        std::string key;
+        Kind kind;
+        std::string str;
+        double number = 0.0;
+        uint64_t integer = 0;
+        bool boolean = false;
+    };
+
+    Entry &add(const std::string &key);
+
+    std::string name;
+    std::vector<Entry> entries;
+};
+
+/**
+ * Resolve the output directory for run artifacts: $TCA_OUT_DIR/<run>,
+ * created on demand. Empty string when TCA_OUT_DIR is unset.
+ */
+std::string artifactDir(const std::string &run_name);
+
+/**
+ * Write <dir>/manifest.json and <dir>/stats.json for a run when
+ * TCA_OUT_DIR is set (no-op otherwise).
+ *
+ * @param manifest the run manifest
+ * @param groups stat groups serialized into stats.json
+ * @return the directory written to, or "" when disabled/failed
+ */
+std::string writeRunArtifacts(
+    const RunManifest &manifest,
+    const std::vector<const stats::Group *> &groups);
+
+} // namespace obs
+} // namespace tca
+
+#endif // TCASIM_OBS_MANIFEST_HH

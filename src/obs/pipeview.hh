@@ -1,0 +1,67 @@
+/**
+ * @file
+ * gem5-O3PipeView-style per-uop pipeline timeline. The sink keeps the
+ * last `window` committed uops in a fixed ring buffer, so tracing a
+ * multi-million-uop run stays O(window) in memory; write() renders the
+ * window either in gem5's O3PipeView text format (consumable by the
+ * usual pipeline viewers: gem5's util/o3-pipeview.py, Konata) or as
+ * CSV for ad-hoc analysis.
+ */
+
+#ifndef TCASIM_OBS_PIPEVIEW_HH
+#define TCASIM_OBS_PIPEVIEW_HH
+
+#include <cstddef>
+#include <ostream>
+#include <vector>
+
+#include "obs/event_sink.hh"
+
+namespace tca {
+namespace obs {
+
+/** Output format for PipeViewWriter::write(). */
+enum class PipeViewFormat : uint8_t {
+    O3PipeView, ///< gem5 trace lines: O3PipeView:stage:cycle...
+    Csv,        ///< seq,class,addr,dispatch,issue,complete,retire
+};
+
+/**
+ * Bounded ring buffer of committed-uop lifecycles. Records overwrite
+ * oldest-first once the window is full; totalCommitted() keeps the
+ * running count so callers know how much history was dropped.
+ */
+class PipeViewWriter : public EventSink
+{
+  public:
+    /** @param window maximum retained records (must be > 0). */
+    explicit PipeViewWriter(size_t window = 4096);
+
+    /** Records currently retained (<= window). */
+    size_t size() const;
+
+    /** Total committed uops observed, including overwritten ones. */
+    uint64_t totalCommitted() const { return total; }
+
+    /** Retained records, oldest first. */
+    std::vector<UopLifecycle> snapshot() const;
+
+    /** Render the retained window, oldest first. */
+    void write(std::ostream &os,
+               PipeViewFormat format = PipeViewFormat::O3PipeView) const;
+
+    // EventSink
+    void onRunBegin(const RunContext &ctx) override;
+    void onCommit(const UopLifecycle &uop) override;
+
+  private:
+    size_t window;
+    std::vector<UopLifecycle> ring;
+    size_t next = 0;     ///< ring slot the next record goes to
+    uint64_t total = 0;  ///< lifetime committed count
+};
+
+} // namespace obs
+} // namespace tca
+
+#endif // TCASIM_OBS_PIPEVIEW_HH

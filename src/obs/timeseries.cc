@@ -1,0 +1,143 @@
+#include "obs/timeseries.hh"
+
+#include <cstdio>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace tca {
+namespace obs {
+
+TimeSeriesRecorder::TimeSeriesRecorder(uint64_t epoch_length)
+    : epochLength(epoch_length)
+{
+    tca_assert(epochLength > 0);
+}
+
+void
+TimeSeriesRecorder::onRunBegin(const RunContext &ctx)
+{
+    causeNames = ctx.stallCauseNames;
+    numCauses = causeNames.size();
+    series.clear();
+}
+
+Epoch &
+TimeSeriesRecorder::epochFor(mem::Cycle now)
+{
+    size_t index = static_cast<size_t>(now / epochLength);
+    while (series.size() <= index) {
+        Epoch epoch;
+        epoch.startCycle = series.size() * epochLength;
+        epoch.stallCycles.assign(numCauses, 0);
+        series.push_back(std::move(epoch));
+    }
+    return series[index];
+}
+
+void
+TimeSeriesRecorder::onCycle(mem::Cycle now, uint32_t rob_occupancy)
+{
+    Epoch &epoch = epochFor(now);
+    ++epoch.cycles;
+    epoch.robOccupancySum += rob_occupancy;
+}
+
+void
+TimeSeriesRecorder::onCommit(const UopLifecycle &uop)
+{
+    ++epochFor(uop.commit).commits;
+}
+
+void
+TimeSeriesRecorder::onDispatchStall(uint8_t cause, mem::Cycle now)
+{
+    Epoch &epoch = epochFor(now);
+    if (cause < epoch.stallCycles.size())
+        ++epoch.stallCycles[cause];
+}
+
+void
+TimeSeriesRecorder::onMemPortClaim(mem::Cycle requested, mem::Cycle granted)
+{
+    Epoch &epoch = epochFor(requested);
+    ++epoch.memPortClaims;
+    epoch.memPortWaitSum += granted - requested;
+}
+
+void
+TimeSeriesRecorder::onAccelInvocation(uint8_t port, uint32_t invocation,
+                                      const char *device, mem::Cycle start,
+                                      mem::Cycle complete,
+                                      uint32_t compute_latency,
+                                      uint32_t num_requests)
+{
+    (void)port;
+    (void)invocation;
+    (void)device;
+    (void)complete;
+    (void)compute_latency;
+    (void)num_requests;
+    ++epochFor(start).accelStarts;
+}
+
+void
+TimeSeriesRecorder::writeCsv(std::ostream &os) const
+{
+    os << "epoch_start,cycles,avg_rob_occupancy,commits,accel_starts,"
+          "mem_port_claims,mem_port_wait";
+    for (const std::string &name : causeNames)
+        os << ",stall_" << name;
+    os << '\n';
+    char buf[128];
+    for (const Epoch &epoch : series) {
+        std::snprintf(buf, sizeof(buf), "%llu,%llu,%.3f,%llu,%llu,%llu,%llu",
+                      static_cast<unsigned long long>(epoch.startCycle),
+                      static_cast<unsigned long long>(epoch.cycles),
+                      epoch.avgRobOccupancy(),
+                      static_cast<unsigned long long>(epoch.commits),
+                      static_cast<unsigned long long>(epoch.accelStarts),
+                      static_cast<unsigned long long>(epoch.memPortClaims),
+                      static_cast<unsigned long long>(
+                          epoch.memPortWaitSum));
+        os << buf;
+        for (uint64_t count : epoch.stallCycles)
+            os << ',' << count;
+        os << '\n';
+    }
+}
+
+void
+TimeSeriesRecorder::toJson(JsonWriter &json) const
+{
+    json.beginObject();
+    json.kv("epoch_length", epochLength);
+    json.key("stall_causes");
+    json.beginArray();
+    for (const std::string &name : causeNames)
+        json.value(name);
+    json.endArray();
+    json.key("epochs");
+    json.beginArray();
+    for (const Epoch &epoch : series) {
+        json.beginObject();
+        json.kv("start", epoch.startCycle);
+        json.kv("cycles", epoch.cycles);
+        json.kv("avg_rob_occupancy", epoch.avgRobOccupancy());
+        json.kv("commits", epoch.commits);
+        json.kv("accel_starts", epoch.accelStarts);
+        json.kv("mem_port_claims", epoch.memPortClaims);
+        json.kv("mem_port_wait", epoch.memPortWaitSum);
+        json.key("stalls");
+        json.beginArray();
+        for (uint64_t count : epoch.stallCycles)
+            json.value(count);
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+} // namespace obs
+} // namespace tca

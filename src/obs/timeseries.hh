@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Coarse time-series sampling of pipeline health: per-epoch mean ROB
+ * occupancy, per-cause dispatch-stall cycles, memory-port queueing,
+ * and accelerator busy starts. Feeds the drain-model ablation (is the
+ * window actually full of unexecuted work when an NL-mode TCA
+ * dispatches?) without storing per-cycle history: memory is O(cycles /
+ * epochLength).
+ */
+
+#ifndef TCASIM_OBS_TIMESERIES_HH
+#define TCASIM_OBS_TIMESERIES_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "obs/event_sink.hh"
+
+namespace tca {
+
+class JsonWriter;
+
+namespace obs {
+
+/** Aggregates for one epoch of `epochLength` cycles. */
+struct Epoch
+{
+    mem::Cycle startCycle = 0;
+    uint64_t cycles = 0;            ///< cycles observed (last may be short)
+    uint64_t robOccupancySum = 0;   ///< sum of per-cycle occupancy
+    uint64_t commits = 0;           ///< uops retired this epoch
+    uint64_t accelStarts = 0;       ///< accel invocations begun
+    uint64_t memPortClaims = 0;
+    uint64_t memPortWaitSum = 0;    ///< sum of (granted - requested)
+    std::vector<uint64_t> stallCycles; ///< per cause id
+
+    double
+    avgRobOccupancy() const
+    {
+        return cycles ? static_cast<double>(robOccupancySum) /
+                        static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/**
+ * EventSink accumulating per-epoch aggregates. State resets at
+ * onRunBegin; query between runs.
+ */
+class TimeSeriesRecorder : public EventSink
+{
+  public:
+    /** @param epoch_length cycles per epoch (must be > 0). */
+    explicit TimeSeriesRecorder(uint64_t epoch_length = 1024);
+
+    const std::vector<Epoch> &epochs() const { return series; }
+
+    /** Stall-cause names captured from the RunContext. */
+    const std::vector<std::string> &stallCauseNames() const
+    {
+        return causeNames;
+    }
+
+    /** Render one row per epoch. */
+    void writeCsv(std::ostream &os) const;
+
+    /** Emit the series as a JSON object. */
+    void toJson(JsonWriter &json) const;
+
+    // EventSink
+    void onRunBegin(const RunContext &ctx) override;
+    void onCycle(mem::Cycle now, uint32_t rob_occupancy) override;
+    void onCommit(const UopLifecycle &uop) override;
+    void onDispatchStall(uint8_t cause, mem::Cycle now) override;
+    void onMemPortClaim(mem::Cycle requested, mem::Cycle granted) override;
+    void onAccelInvocation(uint8_t port, uint32_t invocation,
+                           const char *device, mem::Cycle start,
+                           mem::Cycle complete, uint32_t compute_latency,
+                           uint32_t num_requests) override;
+
+  private:
+    Epoch &epochFor(mem::Cycle now);
+
+    uint64_t epochLength;
+    size_t numCauses = 0;
+    std::vector<std::string> causeNames;
+    std::vector<Epoch> series;
+};
+
+} // namespace obs
+} // namespace tca
+
+#endif // TCASIM_OBS_TIMESERIES_HH

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/json.hh"
+
 namespace tca {
 namespace stats {
 
@@ -27,10 +29,21 @@ Distribution::sample(double value)
     sum += value;
     sumSquares += value * value;
     if (!histogram.empty()) {
-        size_t idx = value < 0
-            ? 0 : static_cast<size_t>(value / static_cast<double>(width));
-        if (idx >= histogram.size())
-            idx = histogram.size() - 1;
+        // Bucket in double space and clamp BEFORE converting to an
+        // index: casting an out-of-range double to size_t is undefined
+        // behaviour, which used to corrupt the overflow bucket for
+        // huge samples, and a sample exactly on the last regular
+        // bucket's upper edge (value == num_buckets * width) must land
+        // in the overflow bucket, not past the array.
+        size_t overflow = histogram.size() - 1;
+        size_t idx;
+        if (value < 0) {
+            idx = 0;
+        } else {
+            double quotient = value / static_cast<double>(width);
+            idx = quotient >= static_cast<double>(overflow)
+                ? overflow : static_cast<size_t>(quotient);
+        }
         ++histogram[idx];
     }
 }
@@ -55,6 +68,26 @@ double
 Distribution::stddev() const
 {
     return std::sqrt(variance());
+}
+
+void
+Distribution::toJson(JsonWriter &json) const
+{
+    json.beginObject();
+    json.kv("samples", numSamples());
+    json.kv("mean", mean());
+    json.kv("stddev", stddev());
+    json.kv("min", minValue());
+    json.kv("max", maxValue());
+    if (!histogram.empty()) {
+        json.kv("bucket_width", width);
+        json.key("buckets");
+        json.beginArray();
+        for (uint64_t count : histogram)
+            json.value(count);
+        json.endArray();
+    }
+    json.endObject();
 }
 
 void
@@ -122,6 +155,34 @@ Group::dump(std::ostream &os) const
             os << "  # " << entry.desc;
         os << '\n';
     }
+}
+
+void
+Group::dumpJson(JsonWriter &json) const
+{
+    json.beginObject();
+    for (const auto &entry : counters)
+        json.kv(entry.name, entry.stat->value());
+    for (const auto &entry : formulas)
+        json.kv(entry.name, entry.stat->value());
+    for (const auto &entry : distributions) {
+        json.key(entry.name);
+        entry.stat->toJson(json);
+    }
+    json.endObject();
+}
+
+void
+dumpGroupsJson(const std::vector<const Group *> &groups, std::ostream &os)
+{
+    JsonWriter json(os);
+    json.beginObject();
+    for (const Group *group : groups) {
+        json.key(group->groupName());
+        group->dumpJson(json);
+    }
+    json.endObject();
+    os << '\n';
 }
 
 } // namespace stats

@@ -16,6 +16,9 @@
 #include <vector>
 
 namespace tca {
+
+class JsonWriter;
+
 namespace stats {
 
 /**
@@ -70,6 +73,13 @@ class Distribution
     /** Histogram bucket counts; last entry is the overflow bucket. */
     const std::vector<uint64_t> &buckets() const { return histogram; }
     uint64_t bucketWidth() const { return width; }
+
+    /**
+     * Emit this distribution as a JSON object (moments plus, when the
+     * histogram is enabled, bucket width and counts) — the
+     * machine-readable counterpart of Group::dump's text line.
+     */
+    void toJson(JsonWriter &json) const;
 
     /** Reset all recorded state. */
     void reset();
@@ -126,6 +136,12 @@ class Group
     /** Render all registered stats, one per line: name value # desc. */
     void dump(std::ostream &os) const;
 
+    /**
+     * Emit all registered stats as one JSON object keyed by stat name
+     * (counters and formulas as numbers, distributions as objects).
+     */
+    void dumpJson(JsonWriter &json) const;
+
     const std::string &groupName() const { return name; }
 
   private:
@@ -142,6 +158,14 @@ class Group
     std::vector<DistEntry> distributions;
     std::vector<FormulaEntry> formulas;
 };
+
+/**
+ * Dump several groups as one JSON document:
+ * { "<group>": { "<stat>": ... }, ... }. The machine-readable run
+ * artifact written next to the manifest (see src/obs).
+ */
+void dumpGroupsJson(const std::vector<const Group *> &groups,
+                    std::ostream &os);
 
 } // namespace stats
 } // namespace tca

@@ -1,0 +1,436 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace tca {
+
+JsonWriter::JsonWriter(std::ostream &os, int indent_width)
+    : out(os), indentWidth(indent_width)
+{
+}
+
+void
+JsonWriter::indent()
+{
+    if (indentWidth <= 0)
+        return;
+    out << '\n';
+    for (size_t i = 0; i < stack.size() * indentWidth; ++i)
+        out << ' ';
+}
+
+void
+JsonWriter::separate()
+{
+    if (stack.empty()) {
+        tca_assert(!rootEmitted);
+        rootEmitted = true;
+        return;
+    }
+    Level &top = stack.back();
+    if (top.scope == Scope::Object && !keyPending)
+        panic("JsonWriter: value emitted without a key inside an object");
+    if (top.scope == Scope::Array) {
+        if (top.hasElements)
+            out << ',';
+        indent();
+    }
+    top.hasElements = true;
+    keyPending = false;
+}
+
+void
+JsonWriter::key(const std::string &name)
+{
+    tca_assert(!stack.empty() && stack.back().scope == Scope::Object);
+    tca_assert(!keyPending);
+    if (stack.back().hasElements)
+        out << ',';
+    indent();
+    out << '"' << escape(name) << "\": ";
+    keyPending = true;
+}
+
+void
+JsonWriter::beginObject()
+{
+    separate();
+    out << '{';
+    stack.push_back({Scope::Object});
+}
+
+void
+JsonWriter::endObject()
+{
+    tca_assert(!stack.empty() && stack.back().scope == Scope::Object);
+    tca_assert(!keyPending);
+    bool had = stack.back().hasElements;
+    stack.pop_back();
+    if (had)
+        indent();
+    out << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    separate();
+    out << '[';
+    stack.push_back({Scope::Array});
+}
+
+void
+JsonWriter::endArray()
+{
+    tca_assert(!stack.empty() && stack.back().scope == Scope::Array);
+    bool had = stack.back().hasElements;
+    stack.pop_back();
+    if (had)
+        indent();
+    out << ']';
+}
+
+void
+JsonWriter::value(const std::string &s)
+{
+    separate();
+    out << '"' << escape(s) << '"';
+}
+
+void
+JsonWriter::value(const char *s)
+{
+    value(std::string(s));
+}
+
+void
+JsonWriter::value(double v)
+{
+    separate();
+    if (!std::isfinite(v)) {
+        // JSON has no Inf/NaN; emit null so the document stays valid.
+        out << "null";
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out << buf;
+}
+
+void
+JsonWriter::value(uint64_t v)
+{
+    separate();
+    out << v;
+}
+
+void
+JsonWriter::value(int64_t v)
+{
+    separate();
+    out << v;
+}
+
+void
+JsonWriter::value(bool b)
+{
+    separate();
+    out << (b ? "true" : "false");
+}
+
+void
+JsonWriter::nullValue()
+{
+    separate();
+    out << "null";
+}
+
+void
+JsonWriter::rawValue(const std::string &json)
+{
+    separate();
+    out << json;
+}
+
+bool
+JsonWriter::complete() const
+{
+    return rootEmitted && stack.empty();
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string result;
+    result.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':  result += "\\\""; break;
+          case '\\': result += "\\\\"; break;
+          case '\b': result += "\\b"; break;
+          case '\f': result += "\\f"; break;
+          case '\n': result += "\\n"; break;
+          case '\r': result += "\\r"; break;
+          case '\t': result += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                result += buf;
+            } else {
+                result += static_cast<char>(c);
+            }
+        }
+    }
+    return result;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &name) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    auto it = members.find(name);
+    return it == members.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a string. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : src(text), err(error)
+    {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos != src.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        if (err) {
+            *err = msg + " at offset " + std::to_string(pos);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < src.size() &&
+               (src[pos] == ' ' || src[pos] == '\t' || src[pos] == '\n' ||
+                src[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < src.size() && src[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word, JsonValue &out, JsonValue::Kind kind,
+            bool bool_value)
+    {
+        size_t len = std::char_traits<char>::length(word);
+        if (src.compare(pos, len, word) != 0)
+            return fail("invalid literal");
+        pos += len;
+        out.kind = kind;
+        out.boolean = bool_value;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        out.clear();
+        while (pos < src.size()) {
+            char c = src[pos++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos >= src.size())
+                    return fail("dangling escape");
+                char e = src[pos++];
+                switch (e) {
+                  case '"':  out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/':  out += '/'; break;
+                  case 'b':  out += '\b'; break;
+                  case 'f':  out += '\f'; break;
+                  case 'n':  out += '\n'; break;
+                  case 'r':  out += '\r'; break;
+                  case 't':  out += '\t'; break;
+                  case 'u': {
+                    if (pos + 4 > src.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = src[pos++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= h - '0';
+                        else if (h >= 'a' && h <= 'f')
+                            code |= h - 'a' + 10;
+                        else if (h >= 'A' && h <= 'F')
+                            code |= h - 'A' + 10;
+                        else
+                            return fail("bad \\u escape digit");
+                    }
+                    // UTF-8 encode (surrogate pairs unsupported; the
+                    // writer never emits them).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        size_t start = pos;
+        if (consume('-')) {}
+        while (pos < src.size() &&
+               (std::isdigit(static_cast<unsigned char>(src[pos])) ||
+                src[pos] == '.' || src[pos] == 'e' || src[pos] == 'E' ||
+                src[pos] == '+' || src[pos] == '-')) {
+            ++pos;
+        }
+        if (pos == start)
+            return fail("expected number");
+        char *end = nullptr;
+        std::string token = src.substr(start, pos - start);
+        double v = std::strtod(token.c_str(), &end);
+        if (!end || *end != '\0')
+            return fail("malformed number '" + token + "'");
+        out.kind = JsonValue::Kind::Number;
+        out.number = v;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos >= src.size())
+            return fail("unexpected end of document");
+        char c = src[pos];
+        switch (c) {
+          case '{': {
+            ++pos;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (consume('}'))
+                return true;
+            while (true) {
+                skipWs();
+                std::string name;
+                if (!parseString(name))
+                    return false;
+                skipWs();
+                if (!consume(':'))
+                    return fail("expected ':' in object");
+                JsonValue member;
+                if (!parseValue(member))
+                    return false;
+                out.members[name] = std::move(member);
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}' in object");
+            }
+          }
+          case '[': {
+            ++pos;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (consume(']'))
+                return true;
+            while (true) {
+                JsonValue item;
+                if (!parseValue(item))
+                    return false;
+                out.items.push_back(std::move(item));
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail("expected ',' or ']' in array");
+            }
+          }
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+          case 't':
+            return literal("true", out, JsonValue::Kind::Bool, true);
+          case 'f':
+            return literal("false", out, JsonValue::Kind::Bool, false);
+          case 'n':
+            return literal("null", out, JsonValue::Kind::Null, false);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    const std::string &src;
+    std::string *err;
+    size_t pos = 0;
+};
+
+} // anonymous namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string *error)
+{
+    out = JsonValue{};
+    Parser parser(text, error);
+    return parser.parse(out);
+}
+
+} // namespace tca

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Minimal JSON support for machine-readable run artifacts: a streaming
+ * writer (stack-tracked nesting, automatic commas, RFC-8259 string
+ * escaping) and a small recursive-descent parser used by tests to
+ * verify that everything the library emits round-trips.
+ */
+
+#ifndef TCASIM_UTIL_JSON_HH
+#define TCASIM_UTIL_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tca {
+
+/**
+ * Streaming JSON writer. Nesting, commas, and indentation are handled
+ * by the writer; callers just emit begin/end, keys, and values in
+ * order. Misuse (a key outside an object, unbalanced end) panics.
+ */
+class JsonWriter
+{
+  public:
+    /** Write to the given stream; the writer does not own it. */
+    explicit JsonWriter(std::ostream &os, int indent_width = 2);
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit an object key; the next emission is its value. */
+    void key(const std::string &name);
+
+    void value(const std::string &s);
+    void value(const char *s);
+    void value(double v);
+    void value(uint64_t v);
+    void value(int64_t v);
+    void value(int v) { value(static_cast<int64_t>(v)); }
+    void value(unsigned v) { value(static_cast<uint64_t>(v)); }
+    void value(bool b);
+    void nullValue();
+
+    /**
+     * Embed a pre-rendered JSON fragment verbatim as the next value.
+     * The caller guarantees the fragment is itself valid JSON.
+     */
+    void rawValue(const std::string &json);
+
+    /** Convenience: key + value in one call. */
+    template <typename T>
+    void
+    kv(const std::string &name, const T &v)
+    {
+        key(name);
+        value(v);
+    }
+
+    /** True once every container has been closed. */
+    bool complete() const;
+
+    /** Escape a string per RFC 8259 (without surrounding quotes). */
+    static std::string escape(const std::string &s);
+
+  private:
+    enum class Scope : uint8_t { Object, Array };
+
+    void separate(); ///< comma/newline/indent before a new element
+    void indent();
+
+    std::ostream &out;
+    int indentWidth;
+    bool rootEmitted = false;
+    bool keyPending = false;
+    struct Level { Scope scope; bool hasElements = false; };
+    std::vector<Level> stack;
+};
+
+/**
+ * Parsed JSON value (object model). Heap-allocates children; good
+ * enough for tests and manifest inspection, not for bulk data.
+ */
+struct JsonValue
+{
+    enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> items;                ///< Kind::Array
+    std::map<std::string, JsonValue> members;    ///< Kind::Object
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &name) const;
+};
+
+/**
+ * Parse a complete JSON document.
+ *
+ * @param text the document
+ * @param[out] out parsed value on success
+ * @param[out] error human-readable message on failure (may be null)
+ * @return true on success
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string *error = nullptr);
+
+} // namespace tca
+
+#endif // TCASIM_UTIL_JSON_HH

@@ -1,5 +1,7 @@
 #include "util/logging.hh"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -38,11 +40,65 @@ levelName(LogLevel level)
 
 } // anonymous namespace
 
+LogLevel
+parseLogLevel(const std::string &name, bool *ok)
+{
+    std::string lower(name);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (ok)
+        *ok = true;
+    if (lower == "debug") return LogLevel::Debug;
+    if (lower == "info")  return LogLevel::Info;
+    if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+    if (lower == "error") return LogLevel::Error;
+    if (lower == "fatal") return LogLevel::Fatal;
+    if (ok)
+        *ok = false;
+    return LogLevel::Info;
+}
+
 Logger &
 Logger::global()
 {
     static Logger logger;
     return logger;
+}
+
+void
+Logger::applyEnvOverrides()
+{
+    if (const char *level = std::getenv("TCA_LOG_LEVEL");
+        level && *level) {
+        bool ok = false;
+        LogLevel parsed = parseLogLevel(level, &ok);
+        if (ok) {
+            threshold = parsed;
+        } else {
+            std::fprintf(stderr,
+                         "warn: TCA_LOG_LEVEL='%s' not recognized "
+                         "(want debug|info|warn|error|fatal)\n", level);
+        }
+    }
+    if (const char *tag_list = std::getenv("TCA_LOG_TAGS");
+        tag_list && *tag_list) {
+        allTags = false;
+        tags.clear();
+        std::string token;
+        for (const char *p = tag_list; ; ++p) {
+            if (*p == ',' || *p == '\0') {
+                if (token == "all")
+                    allTags = true;
+                else if (!token.empty())
+                    tags.insert(token);
+                token.clear();
+                if (*p == '\0')
+                    break;
+            } else if (!std::isspace(static_cast<unsigned char>(*p))) {
+                token += *p;
+            }
+        }
+    }
 }
 
 void
@@ -62,6 +118,21 @@ Logger::logf(LogLevel level, const char *fmt, ...)
     va_start(args, fmt);
     log(level, vformat(fmt, args));
     va_end(args);
+}
+
+void
+Logger::logfTagged(const char *tag, LogLevel level, const char *fmt, ...)
+{
+    if (level >= LogLevel::Warn)
+        ++warnings;
+    if (level < threshold && !tagEnabled(tag))
+        return;
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "%s [%s]: %s\n", levelName(level), tag,
+                 msg.c_str());
 }
 
 void

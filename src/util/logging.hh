@@ -2,7 +2,13 @@
  * @file
  * Logging and error-reporting helpers in the style of gem5's
  * base/logging.hh: panic() for internal invariant violations, fatal() for
- * user-caused unrecoverable errors, warn()/inform() for diagnostics.
+ * user-caused unrecoverable errors, warn()/inform() for diagnostics, and
+ * gem5-DPRINTF-style per-component debug tags (tca_debug) that can be
+ * enabled at runtime without recompiling.
+ *
+ * Environment knobs (read once at startup, see applyEnvOverrides()):
+ *  - TCA_LOG_LEVEL=debug|info|warn|error|fatal   emission threshold
+ *  - TCA_LOG_TAGS=core,obs,...  (or "all")       per-component debug tags
  */
 
 #ifndef TCASIM_UTIL_LOGGING_HH
@@ -10,6 +16,7 @@
 
 #include <cstdarg>
 #include <cstdint>
+#include <set>
 #include <string>
 
 namespace tca {
@@ -18,9 +25,18 @@ namespace tca {
 enum class LogLevel : uint8_t { Debug, Info, Warn, Error, Fatal };
 
 /**
+ * Parse a level name (case-insensitive: "debug", "info", "warn",
+ * "error", "fatal").
+ *
+ * @param[out] ok set to whether the name was recognized (may be null)
+ * @return the parsed level, or LogLevel::Info when unrecognized
+ */
+LogLevel parseLogLevel(const std::string &name, bool *ok = nullptr);
+
+/**
  * Process-wide logging configuration. Verbosity below the threshold is
  * suppressed. Defaults to Info so tests and benches stay quiet about
- * debug chatter.
+ * debug chatter; TCA_LOG_LEVEL overrides the default at startup.
  */
 class Logger
 {
@@ -35,6 +51,27 @@ class Logger
     LogLevel getThreshold() const { return threshold; }
 
     /**
+     * Enable/disable a component debug tag. Tagged debug messages for
+     * an enabled tag are emitted regardless of the threshold.
+     */
+    void enableTag(const std::string &tag) { tags.insert(tag); }
+    void disableTag(const std::string &tag) { tags.erase(tag); }
+
+    /** True if tagged debug output for this component is enabled. */
+    bool
+    tagEnabled(const std::string &tag) const
+    {
+        return allTags || tags.count(tag) != 0;
+    }
+
+    /**
+     * Re-read TCA_LOG_LEVEL and TCA_LOG_TAGS from the environment.
+     * Called once from the constructor; exposed so tests can exercise
+     * the override path after setenv().
+     */
+    void applyEnvOverrides();
+
+    /**
      * Emit a printf-formatted message at the given severity.
      *
      * @param level severity of this message
@@ -43,6 +80,14 @@ class Logger
     void logf(LogLevel level, const char *fmt, ...)
         __attribute__((format(printf, 3, 4)));
 
+    /**
+     * Emit a component-tagged printf-formatted message. The message is
+     * printed when the severity passes the threshold OR the tag is
+     * enabled, prefixed "level [tag]:".
+     */
+    void logfTagged(const char *tag, LogLevel level, const char *fmt, ...)
+        __attribute__((format(printf, 4, 5)));
+
     /** Emit a preformatted message at the given severity. */
     void log(LogLevel level, const std::string &msg);
 
@@ -50,8 +95,12 @@ class Logger
     uint64_t warnCount() const { return warnings; }
 
   private:
+    Logger() { applyEnvOverrides(); }
+
     LogLevel threshold = LogLevel::Info;
     uint64_t warnings = 0;
+    bool allTags = false;          ///< TCA_LOG_TAGS=all
+    std::set<std::string> tags;    ///< enabled component tags
 };
 
 /**
@@ -73,6 +122,20 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Emit an informational status message. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Component-tagged debug message, e.g. tca_debug("obs", "wrote %s", p).
+ * Evaluates its arguments only when the message would be emitted, so it
+ * is safe to leave in moderately warm paths (not per-uop loops).
+ */
+#define tca_debug(tag, ...)                                                 \
+    do {                                                                    \
+        ::tca::Logger &logger_ = ::tca::Logger::global();                   \
+        if (logger_.getThreshold() <= ::tca::LogLevel::Debug ||             \
+            logger_.tagEnabled(tag)) {                                      \
+            logger_.logfTagged(tag, ::tca::LogLevel::Debug, __VA_ARGS__);   \
+        }                                                                   \
+    } while (0)
 
 /**
  * Assert a simulator invariant; panics with the stringized condition on

@@ -57,8 +57,13 @@ runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
         cpu::Core cpu(core, hierarchy);
         auto trace = workload.makeAcceleratedTrace();
         cpu.bindAccelerator(&workload.device(), mode);
+        obs::IntervalProfiler profiler;
+        if (options.profileIntervals)
+            cpu.setEventSink(&profiler);
         outcome.sim = cpu.run(*trace);
         outcome.functionalOk = workload.verifyFunctional();
+        if (options.profileIntervals)
+            outcome.intervals = profiler.summary();
 
         outcome.measuredSpeedup =
             base_cycles / static_cast<double>(outcome.sim.cycles);

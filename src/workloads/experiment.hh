@@ -18,6 +18,7 @@
 #include "mem/hierarchy.hh"
 #include "model/params.hh"
 #include "model/tca_mode.hh"
+#include "obs/interval_profiler.hh"
 #include "workloads/workload.hh"
 
 namespace tca {
@@ -32,6 +33,10 @@ struct ModeOutcome
     double modeledSpeedup = 0.0;  ///< analytical prediction
     double errorPercent = 0.0;    ///< signed, modeled vs measured
     bool functionalOk = true;
+
+    /** Measured interval breakdown; populated only when
+     *  ExperimentOptions::profileIntervals is set. */
+    obs::IntervalSummary intervals;
 };
 
 /** Full experiment record. */
@@ -66,6 +71,14 @@ struct ExperimentOptions
      * full of unexecuted work.
      */
     bool drainFromOccupancy = false;
+
+    /**
+     * When true, attach an obs::IntervalProfiler to every mode run and
+     * record the measured t_non_accl/t_accl/t_drain/t_commit means in
+     * each ModeOutcome::intervals, for term-by-term comparison against
+     * the model via obs::modelTerms().
+     */
+    bool profileIntervals = false;
 
     mem::HierarchyConfig hierarchy{};
 };

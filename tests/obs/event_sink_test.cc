@@ -1,0 +1,223 @@
+/**
+ * @file
+ * EventSink plumbing tests: MultiSink fan-out, and a counting sink
+ * attached to a real core run cross-checked against the SimResult the
+ * run itself reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "accel/fixed_latency_tca.hh"
+#include "cpu/core.hh"
+#include "mem/hierarchy.hh"
+#include "obs/event_sink.hh"
+#include "trace/trace_source.hh"
+
+using namespace tca;
+
+namespace {
+
+/** Counts every event category and keeps the last RunContext. */
+struct CountingSink : obs::EventSink
+{
+    obs::RunContext ctx;
+    uint64_t runBegins = 0, runEnds = 0, cycles = 0;
+    uint64_t dispatches = 0, issues = 0, commits = 0;
+    uint64_t accelCommits = 0, stalls = 0;
+    uint64_t robAllocates = 0, robRetires = 0;
+    uint64_t memPortClaims = 0, memPortWait = 0;
+    uint64_t accelInvocations = 0, deviceEvents = 0;
+    uint32_t maxOccupancy = 0;
+    mem::Cycle endCycles = 0;
+    uint64_t endUops = 0;
+
+    void onRunBegin(const obs::RunContext &c) override
+    {
+        ctx = c;
+        ++runBegins;
+    }
+    void onRunEnd(mem::Cycle c, uint64_t uops) override
+    {
+        ++runEnds;
+        endCycles = c;
+        endUops = uops;
+    }
+    void onCycle(mem::Cycle, uint32_t occupancy) override
+    {
+        ++cycles;
+        if (occupancy > maxOccupancy)
+            maxOccupancy = occupancy;
+    }
+    void onDispatch(uint64_t, const trace::MicroOp &,
+                    mem::Cycle) override
+    {
+        ++dispatches;
+    }
+    void onIssue(uint64_t, mem::Cycle) override { ++issues; }
+    void onCommit(const obs::UopLifecycle &uop) override
+    {
+        ++commits;
+        if (uop.isAccel())
+            ++accelCommits;
+        EXPECT_LE(uop.dispatch, uop.issue);
+        EXPECT_LE(uop.issue, uop.complete);
+        EXPECT_LE(uop.complete, uop.commit);
+    }
+    void onDispatchStall(uint8_t cause, mem::Cycle) override
+    {
+        ASSERT_LT(cause, ctx.stallCauseNames.size());
+        ++stalls;
+    }
+    void onRobAllocate(uint64_t, uint32_t) override { ++robAllocates; }
+    void onRobRetire(uint64_t, uint32_t) override { ++robRetires; }
+    void onMemPortClaim(mem::Cycle requested,
+                        mem::Cycle granted) override
+    {
+        ++memPortClaims;
+        ASSERT_GE(granted, requested);
+        memPortWait += granted - requested;
+    }
+    void onAccelInvocation(uint8_t, uint32_t, const char *device,
+                           mem::Cycle start, mem::Cycle complete,
+                           uint32_t, uint32_t) override
+    {
+        ++accelInvocations;
+        EXPECT_STREQ(device, "fixed_latency_tca");
+        EXPECT_LT(start, complete);
+    }
+    void onAccelDeviceEvent(const char *, const char *,
+                            uint64_t) override
+    {
+        ++deviceEvents;
+    }
+};
+
+trace::MicroOp
+makeOp(trace::OpClass cls)
+{
+    trace::MicroOp op;
+    op.cls = cls;
+    return op;
+}
+
+} // anonymous namespace
+
+TEST(EventSink, CoreRunMatchesSimResult)
+{
+    cpu::CoreConfig conf;
+    conf.name = "sink-test";
+    mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+    cpu::Core core(conf, hierarchy);
+    accel::FixedLatencyTca tca(15);
+    core.bindAccelerator(&tca, model::TcaMode::NL_NT);
+
+    trace::VectorTrace trace;
+    for (int inv = 0; inv < 4; ++inv) {
+        for (int i = 0; i < 40; ++i)
+            trace.push(makeOp(trace::OpClass::IntAlu));
+        trace.push(makeOp(trace::OpClass::Accel));
+    }
+
+    CountingSink sink;
+    core.setEventSink(&sink);
+    cpu::SimResult r = core.run(trace);
+
+    // Run lifetime.
+    EXPECT_EQ(sink.runBegins, 1u);
+    EXPECT_EQ(sink.runEnds, 1u);
+    EXPECT_EQ(sink.endCycles, r.cycles);
+    EXPECT_EQ(sink.endUops, r.committedUops);
+    EXPECT_EQ(sink.cycles, r.cycles);
+
+    // The RunContext mirrors the config.
+    EXPECT_EQ(sink.ctx.coreName, conf.name);
+    EXPECT_EQ(sink.ctx.robSize, conf.robSize);
+    EXPECT_EQ(sink.ctx.dispatchWidth, conf.dispatchWidth);
+    EXPECT_EQ(sink.ctx.issueWidth, conf.issueWidth);
+    EXPECT_EQ(sink.ctx.commitWidth, conf.commitWidth);
+    EXPECT_EQ(sink.ctx.commitLatency, conf.commitLatency);
+    EXPECT_EQ(sink.ctx.memPorts, conf.memPorts);
+    ASSERT_EQ(sink.ctx.stallCauseNames.size(),
+              static_cast<size_t>(cpu::StallCause::NumCauses));
+    EXPECT_EQ(sink.ctx.stallCauseNames[static_cast<size_t>(
+                  cpu::StallCause::RobFull)],
+              cpu::stallCauseName(cpu::StallCause::RobFull));
+
+    // Every committed uop produced one dispatch, issue, commit, ROB
+    // allocate, and ROB retire (the simulator models no wrong path).
+    EXPECT_EQ(sink.commits, r.committedUops);
+    EXPECT_EQ(sink.dispatches, r.committedUops);
+    EXPECT_EQ(sink.issues, r.committedUops);
+    EXPECT_EQ(sink.robAllocates, r.committedUops);
+    EXPECT_EQ(sink.robRetires, r.committedUops);
+    EXPECT_EQ(sink.accelCommits, r.accelInvocations);
+    EXPECT_EQ(sink.accelInvocations, r.accelInvocations);
+    EXPECT_EQ(sink.accelCommits, 4u);
+
+    // Stall events match the per-cause totals in the SimResult.
+    uint64_t result_stalls = 0;
+    for (uint64_t cycles : r.stallCycles)
+        result_stalls += cycles;
+    EXPECT_EQ(sink.stalls, result_stalls);
+    // NL_NT over 4 invocations must have stalled at least once on the
+    // dispatch barrier.
+    EXPECT_GT(r.stalls(cpu::StallCause::SerializeBarrier), 0u);
+    EXPECT_LE(sink.maxOccupancy, conf.robSize);
+}
+
+TEST(EventSink, DetachedSinkSeesNothing)
+{
+    cpu::CoreConfig conf;
+    mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+    cpu::Core core(conf, hierarchy);
+    trace::VectorTrace trace;
+    for (int i = 0; i < 10; ++i)
+        trace.push(makeOp(trace::OpClass::IntAlu));
+
+    CountingSink sink;
+    core.setEventSink(&sink);
+    core.setEventSink(nullptr); // detach again before running
+    core.run(trace);
+    EXPECT_EQ(sink.runBegins, 0u);
+    EXPECT_EQ(sink.commits, 0u);
+    EXPECT_EQ(sink.cycles, 0u);
+}
+
+TEST(EventSink, MultiSinkFansOutToAll)
+{
+    CountingSink a, b;
+    obs::MultiSink multi({&a});
+    multi.add(&b);
+
+    obs::RunContext ctx;
+    ctx.coreName = "fanout";
+    ctx.stallCauseNames = {"none", "rob_full"};
+    multi.onRunBegin(ctx);
+    multi.onCycle(1, 3);
+    multi.onCycle(2, 5);
+    obs::UopLifecycle uop;
+    uop.seq = 7;
+    uop.dispatch = 1;
+    uop.issue = 2;
+    uop.complete = 3;
+    uop.commit = 4;
+    multi.onCommit(uop);
+    multi.onDispatchStall(1, 2);
+    multi.onMemPortClaim(4, 6);
+    multi.onRunEnd(10, 1);
+
+    for (const CountingSink *sink : {&a, &b}) {
+        EXPECT_EQ(sink->runBegins, 1u);
+        EXPECT_EQ(sink->ctx.coreName, "fanout");
+        EXPECT_EQ(sink->cycles, 2u);
+        EXPECT_EQ(sink->maxOccupancy, 5u);
+        EXPECT_EQ(sink->commits, 1u);
+        EXPECT_EQ(sink->stalls, 1u);
+        EXPECT_EQ(sink->memPortClaims, 1u);
+        EXPECT_EQ(sink->memPortWait, 2u);
+        EXPECT_EQ(sink->runEnds, 1u);
+        EXPECT_EQ(sink->endCycles, 10u);
+    }
+}

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Exact-value tests for the measured interval breakdown: hand-built
+ * VectorTraces on a hand-sized core whose per-stage timing can be
+ * derived on paper, checked in all four TCA integration modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "accel/fixed_latency_tca.hh"
+#include "cpu/core.hh"
+#include "mem/hierarchy.hh"
+#include "obs/interval_profiler.hh"
+#include "trace/trace_source.hh"
+#include "util/json.hh"
+
+using namespace tca;
+
+namespace {
+
+constexpr uint32_t kAccelLatency = 20;
+constexpr uint32_t kCommitLatency = 5;
+
+/** 4-wide core with cheap, fully deterministic IntAlu timing. */
+cpu::CoreConfig
+testConfig()
+{
+    cpu::CoreConfig conf;
+    conf.name = "obs-test";
+    conf.dispatchWidth = 4;
+    conf.issueWidth = 4;
+    conf.commitWidth = 4;
+    conf.robSize = 32;
+    conf.iqSize = 32;
+    conf.lsqSize = 8;
+    conf.intAluUnits = 4;
+    conf.commitLatency = kCommitLatency;
+    return conf;
+}
+
+trace::MicroOp
+alu()
+{
+    trace::MicroOp op;
+    op.cls = trace::OpClass::IntAlu;
+    return op;
+}
+
+trace::MicroOp
+accelOp(uint32_t invocation)
+{
+    trace::MicroOp op;
+    op.cls = trace::OpClass::Accel;
+    op.accelInvocation = invocation;
+    return op;
+}
+
+obs::IntervalProfiler
+profileRun(trace::VectorTrace &trace, model::TcaMode mode,
+           accel::FixedLatencyTca &tca)
+{
+    trace.rewind();
+    mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+    cpu::Core core(testConfig(), hierarchy);
+    core.bindAccelerator(&tca, mode);
+    obs::IntervalProfiler profiler;
+    core.setEventSink(&profiler);
+    core.run(trace);
+    return profiler;
+}
+
+} // anonymous namespace
+
+// A lone Accel uop: dispatch at 0, issue at 1, complete at 1+L,
+// retire commitLatency cycles later — identically in all four modes
+// (the NL oldest-uop condition and the NT barrier are trivially met).
+TEST(IntervalProfiler, LoneAccelUopExactInAllModes)
+{
+    for (model::TcaMode mode : model::allTcaModes) {
+        accel::FixedLatencyTca tca(kAccelLatency);
+        trace::VectorTrace trace;
+        trace.push(accelOp(0));
+
+        obs::IntervalProfiler profiler = profileRun(trace, mode, tca);
+        ASSERT_EQ(profiler.intervals().size(), 1u)
+            << tcaModeName(mode);
+        const obs::IntervalRecord &rec = profiler.intervals()[0];
+        EXPECT_EQ(rec.beginCycle, 0u) << tcaModeName(mode);
+        EXPECT_EQ(rec.endCycle, 1 + kAccelLatency + kCommitLatency);
+        EXPECT_DOUBLE_EQ(rec.accl, kAccelLatency);
+        EXPECT_DOUBLE_EQ(rec.commit, kCommitLatency);
+        EXPECT_DOUBLE_EQ(rec.drain, 0.0);
+        // total - accl - drain - commit = the 1-cycle dispatch->issue
+        // front-end latency.
+        EXPECT_DOUBLE_EQ(rec.nonAccl, 1.0);
+        EXPECT_EQ(rec.committedUops, 1u);
+    }
+}
+
+// 24 independent leading ALU uops, the Accel uop, 24 trailing:
+//  - leading uops dispatch 4/cycle over cycles 0..5, so the Accel uop
+//    dispatches at cycle 6;
+//  - L modes: it issues the next cycle (7) -> t_drain = 0;
+//  - NL modes: the last leading batch (dispatched at 5, complete at 7)
+//    retires at cycle 12, so the Accel uop is oldest and issues at 12
+//    -> t_drain = 12 - 7 = 5 measured window-drain cycles;
+//  - either way t_accl = L exactly and t_commit = commitLatency.
+TEST(IntervalProfiler, WindowDrainMeasuredExactly)
+{
+    struct Expect
+    {
+        model::TcaMode mode;
+        double drain;
+        mem::Cycle end;
+    };
+    const Expect expectations[] = {
+        {model::TcaMode::L_T, 0.0, 32},
+        {model::TcaMode::L_NT, 0.0, 32},
+        {model::TcaMode::NL_T, 5.0, 37},
+        {model::TcaMode::NL_NT, 5.0, 37},
+    };
+    for (const Expect &e : expectations) {
+        accel::FixedLatencyTca tca(kAccelLatency);
+        trace::VectorTrace trace;
+        for (int i = 0; i < 24; ++i)
+            trace.push(alu());
+        trace.push(accelOp(0));
+        for (int i = 0; i < 24; ++i)
+            trace.push(alu());
+
+        obs::IntervalProfiler profiler =
+            profileRun(trace, e.mode, tca);
+        ASSERT_EQ(profiler.intervals().size(), 1u)
+            << tcaModeName(e.mode);
+        const obs::IntervalRecord &rec = profiler.intervals()[0];
+        EXPECT_DOUBLE_EQ(rec.accl, kAccelLatency)
+            << tcaModeName(e.mode);
+        EXPECT_DOUBLE_EQ(rec.commit, kCommitLatency)
+            << tcaModeName(e.mode);
+        EXPECT_DOUBLE_EQ(rec.drain, e.drain) << tcaModeName(e.mode);
+        EXPECT_EQ(rec.endCycle, e.end) << tcaModeName(e.mode);
+        // Residual: accel dispatch (cycle 6) + 1 front-end cycle,
+        // identical in all modes.
+        EXPECT_DOUBLE_EQ(rec.nonAccl, 7.0) << tcaModeName(e.mode);
+        EXPECT_EQ(rec.committedUops, 25u) << tcaModeName(e.mode);
+
+        obs::IntervalSummary summary = profiler.summary();
+        EXPECT_EQ(summary.count, 1u);
+        EXPECT_DOUBLE_EQ(summary.mean.drain, e.drain);
+        EXPECT_EQ(summary.tailUops, 24u); // trailing, after boundary
+        EXPECT_GT(summary.tailCycles, 0u);
+    }
+}
+
+TEST(IntervalProfiler, MultipleIntervalsAndSummaryMeans)
+{
+    accel::FixedLatencyTca tca(kAccelLatency);
+    trace::VectorTrace trace;
+    for (int inv = 0; inv < 3; ++inv) {
+        for (int i = 0; i < 8; ++i)
+            trace.push(alu());
+        trace.push(accelOp(inv));
+    }
+    obs::IntervalProfiler profiler =
+        profileRun(trace, model::TcaMode::L_T, tca);
+    ASSERT_EQ(profiler.intervals().size(), 3u);
+    for (const obs::IntervalRecord &rec : profiler.intervals()) {
+        EXPECT_DOUBLE_EQ(rec.accl, kAccelLatency);
+        EXPECT_EQ(rec.committedUops, 9u);
+    }
+    // Intervals tile the committed stream: each begins at the previous
+    // accelerator commit.
+    EXPECT_EQ(profiler.intervals()[1].beginCycle,
+              profiler.intervals()[0].endCycle);
+    EXPECT_EQ(profiler.intervals()[2].beginCycle,
+              profiler.intervals()[1].endCycle);
+
+    obs::IntervalSummary summary = profiler.summary();
+    EXPECT_EQ(summary.count, 3u);
+    EXPECT_DOUBLE_EQ(summary.mean.accl, kAccelLatency);
+    EXPECT_DOUBLE_EQ(summary.meanUops, 9.0);
+    EXPECT_EQ(summary.tailUops, 0u);
+}
+
+TEST(IntervalProfiler, ModelTermsPerModeMapping)
+{
+    model::IntervalTimes times{};
+    times.nonAccl = 100.0;
+    times.accl = 10.0;
+    times.drain = 30.0;
+    times.commit = 8.0;
+
+    obs::IntervalBreakdown lt =
+        obs::modelTerms(times, model::TcaMode::L_T);
+    EXPECT_DOUBLE_EQ(lt.nonAccl, 100.0);
+    EXPECT_DOUBLE_EQ(lt.accl, 10.0);
+    EXPECT_DOUBLE_EQ(lt.drain, 0.0);  // leading overlap hides drain
+    EXPECT_DOUBLE_EQ(lt.commit, 0.0); // trailing overlap hides commit
+
+    obs::IntervalBreakdown nlt =
+        obs::modelTerms(times, model::TcaMode::NL_T);
+    EXPECT_DOUBLE_EQ(nlt.drain, 30.0);
+    EXPECT_DOUBLE_EQ(nlt.commit, 8.0);
+
+    obs::IntervalBreakdown lnt =
+        obs::modelTerms(times, model::TcaMode::L_NT);
+    EXPECT_DOUBLE_EQ(lnt.drain, 0.0);
+    EXPECT_DOUBLE_EQ(lnt.commit, 8.0);
+
+    obs::IntervalBreakdown nlnt =
+        obs::modelTerms(times, model::TcaMode::NL_NT);
+    EXPECT_DOUBLE_EQ(nlnt.drain, 30.0);
+    EXPECT_DOUBLE_EQ(nlnt.commit, 16.0); // eq. 4: 2 * t_commit
+    EXPECT_DOUBLE_EQ(nlnt.sum(), 100.0 + 10.0 + 30.0 + 16.0);
+}
+
+TEST(IntervalProfiler, ToJsonRoundTrips)
+{
+    accel::FixedLatencyTca tca(kAccelLatency);
+    trace::VectorTrace trace;
+    for (int i = 0; i < 8; ++i)
+        trace.push(alu());
+    trace.push(accelOp(0));
+    obs::IntervalProfiler profiler =
+        profileRun(trace, model::TcaMode::NL_NT, tca);
+
+    std::ostringstream os;
+    JsonWriter json(os);
+    profiler.toJson(json);
+    EXPECT_TRUE(json.complete());
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(os.str(), doc, &error)) << error;
+    const JsonValue *summary = doc.find("summary");
+    ASSERT_NE(summary, nullptr);
+    const JsonValue *count = summary->find("intervals");
+    ASSERT_NE(count, nullptr);
+    EXPECT_DOUBLE_EQ(count->number, 1.0);
+    const JsonValue *intervals = doc.find("intervals");
+    ASSERT_NE(intervals, nullptr);
+    ASSERT_EQ(intervals->items.size(), 1u);
+    const JsonValue *accl = intervals->items[0].find("t_accl");
+    ASSERT_NE(accl, nullptr);
+    EXPECT_DOUBLE_EQ(accl->number, double(kAccelLatency));
+}

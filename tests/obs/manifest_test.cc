@@ -1,0 +1,165 @@
+/**
+ * @file
+ * RunManifest and run-artifact tests: the manifest always emits valid
+ * JSON (checked with the library's own parser), overwriting a key
+ * keeps its position, and writeRunArtifacts() honours TCA_OUT_DIR.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/manifest.hh"
+#include "stats/stats.hh"
+#include "util/json.hh"
+
+using namespace tca;
+
+namespace {
+
+std::string
+slurp(const std::filesystem::path &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** Scoped TCA_OUT_DIR override that restores the old value. */
+class ScopedOutDir
+{
+  public:
+    explicit ScopedOutDir(const char *value)
+    {
+        if (const char *old = std::getenv("TCA_OUT_DIR"))
+            saved = old;
+        if (value)
+            setenv("TCA_OUT_DIR", value, 1);
+        else
+            unsetenv("TCA_OUT_DIR");
+    }
+    ~ScopedOutDir()
+    {
+        if (saved.empty())
+            unsetenv("TCA_OUT_DIR");
+        else
+            setenv("TCA_OUT_DIR", saved.c_str(), 1);
+    }
+
+  private:
+    std::string saved;
+};
+
+} // anonymous namespace
+
+TEST(RunManifest, StandardFieldsAndTypedValues)
+{
+    obs::RunManifest manifest("unit-test");
+    manifest.set("seed", uint64_t{7});
+    manifest.set("speedup", 1.25);
+    manifest.set("functional_ok", true);
+    manifest.setRawJson("modes", "[\"L_T\", \"NL_NT\"]");
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(manifest.str(), doc, &error)) << error;
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.find("run")->str, "unit-test");
+    EXPECT_EQ(doc.find("tool")->str, "tcasim");
+    // Baked in at configure time; never empty even outside git.
+    ASSERT_NE(doc.find("version"), nullptr);
+    EXPECT_FALSE(doc.find("version")->str.empty());
+    EXPECT_STREQ(obs::RunManifest::buildVersion(),
+                 doc.find("version")->str.c_str());
+    // ISO-8601 UTC stamp, e.g. 2026-08-05T12:00:00Z.
+    const std::string &stamp = doc.find("wall_time")->str;
+    ASSERT_EQ(stamp.size(), 20u);
+    EXPECT_EQ(stamp[4], '-');
+    EXPECT_EQ(stamp[10], 'T');
+    EXPECT_EQ(stamp.back(), 'Z');
+
+    EXPECT_DOUBLE_EQ(doc.find("seed")->number, 7.0);
+    EXPECT_DOUBLE_EQ(doc.find("speedup")->number, 1.25);
+    EXPECT_TRUE(doc.find("functional_ok")->boolean);
+    const JsonValue *modes = doc.find("modes");
+    ASSERT_NE(modes, nullptr);
+    ASSERT_TRUE(modes->isArray());
+    ASSERT_EQ(modes->items.size(), 2u);
+    EXPECT_EQ(modes->items[1].str, "NL_NT");
+}
+
+TEST(RunManifest, OverwriteKeepsFirstPosition)
+{
+    obs::RunManifest manifest("overwrite");
+    manifest.set("alpha", uint64_t{1});
+    manifest.set("beta", uint64_t{2});
+    manifest.set("alpha", "updated");
+
+    std::string text = manifest.str();
+    size_t alpha_pos = text.find("\"alpha\"");
+    size_t beta_pos = text.find("\"beta\"");
+    ASSERT_NE(alpha_pos, std::string::npos);
+    ASSERT_NE(beta_pos, std::string::npos);
+    EXPECT_LT(alpha_pos, beta_pos);
+    // Only one alpha entry remains, with the new value.
+    EXPECT_EQ(text.find("\"alpha\"", alpha_pos + 1),
+              std::string::npos);
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(text, doc));
+    EXPECT_EQ(doc.find("alpha")->str, "updated");
+}
+
+TEST(RunManifest, ArtifactDirDisabledWithoutEnv)
+{
+    ScopedOutDir scope(nullptr);
+    EXPECT_EQ(obs::artifactDir("nope"), "");
+    obs::RunManifest manifest("nope");
+    EXPECT_EQ(obs::writeRunArtifacts(manifest, {}), "");
+}
+
+TEST(RunManifest, WriteRunArtifactsProducesParseableFiles)
+{
+    std::filesystem::path base =
+        std::filesystem::temp_directory_path() / "tca_obs_test_out";
+    std::filesystem::remove_all(base);
+    ScopedOutDir scope(base.c_str());
+
+    stats::Counter commits;
+    commits.inc(42);
+    stats::Distribution latency(10, 4);
+    latency.sample(5.0);
+    latency.sample(25.0);
+    stats::Group group("core");
+    group.addCounter("commits", &commits, "committed uops");
+    group.addDistribution("accel_latency", &latency, "cycles");
+
+    obs::RunManifest manifest("artifact-test");
+    manifest.set("seed", uint64_t{13});
+    std::string dir = obs::writeRunArtifacts(manifest, {&group});
+    ASSERT_FALSE(dir.empty());
+    EXPECT_EQ(dir, (base / "artifact-test").string());
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(slurp(dir + "/manifest.json"), doc, &error))
+        << error;
+    EXPECT_EQ(doc.find("run")->str, "artifact-test");
+    EXPECT_DOUBLE_EQ(doc.find("seed")->number, 13.0);
+
+    JsonValue stats_doc;
+    ASSERT_TRUE(
+        parseJson(slurp(dir + "/stats.json"), stats_doc, &error))
+        << error;
+    const JsonValue *core = stats_doc.find("core");
+    ASSERT_NE(core, nullptr);
+    EXPECT_DOUBLE_EQ(core->find("commits")->number, 42.0);
+    const JsonValue *dist = core->find("accel_latency");
+    ASSERT_NE(dist, nullptr);
+    EXPECT_DOUBLE_EQ(dist->find("samples")->number, 2.0);
+
+    std::filesystem::remove_all(base);
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * PipeViewWriter tests: ring-buffer retention semantics and both
+ * render formats (gem5 O3PipeView text and CSV).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/pipeview.hh"
+
+using namespace tca;
+
+namespace {
+
+obs::UopLifecycle
+uop(uint64_t seq)
+{
+    obs::UopLifecycle u;
+    u.seq = seq;
+    u.cls = trace::OpClass::IntAlu;
+    u.addr = 0x1000 + seq * 4;
+    u.dispatch = seq;
+    u.issue = seq + 1;
+    u.complete = seq + 2;
+    u.commit = seq + 3;
+    return u;
+}
+
+size_t
+countLines(const std::string &text)
+{
+    size_t lines = 0;
+    for (char c : text)
+        if (c == '\n')
+            ++lines;
+    return lines;
+}
+
+} // anonymous namespace
+
+TEST(PipeView, RingKeepsNewestOldestFirst)
+{
+    obs::PipeViewWriter writer(4);
+    EXPECT_EQ(writer.size(), 0u);
+    for (uint64_t seq = 0; seq < 6; ++seq)
+        writer.onCommit(uop(seq));
+
+    EXPECT_EQ(writer.size(), 4u);
+    EXPECT_EQ(writer.totalCommitted(), 6u);
+
+    std::vector<obs::UopLifecycle> snap = writer.snapshot();
+    ASSERT_EQ(snap.size(), 4u);
+    for (size_t i = 0; i < snap.size(); ++i)
+        EXPECT_EQ(snap[i].seq, 2 + i); // oldest two overwritten
+}
+
+TEST(PipeView, PartialWindowSnapshot)
+{
+    obs::PipeViewWriter writer(8);
+    for (uint64_t seq = 0; seq < 3; ++seq)
+        writer.onCommit(uop(seq));
+    EXPECT_EQ(writer.size(), 3u);
+    EXPECT_EQ(writer.totalCommitted(), 3u);
+    std::vector<obs::UopLifecycle> snap = writer.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap.front().seq, 0u);
+    EXPECT_EQ(snap.back().seq, 2u);
+}
+
+TEST(PipeView, RunBeginResetsRetainedWindow)
+{
+    obs::PipeViewWriter writer(4);
+    for (uint64_t seq = 0; seq < 4; ++seq)
+        writer.onCommit(uop(seq));
+    writer.onRunBegin(obs::RunContext{});
+    EXPECT_EQ(writer.size(), 0u);
+    EXPECT_EQ(writer.totalCommitted(), 0u);
+    writer.onCommit(uop(9));
+    ASSERT_EQ(writer.snapshot().size(), 1u);
+    EXPECT_EQ(writer.snapshot()[0].seq, 9u);
+}
+
+TEST(PipeView, O3PipeViewFormat)
+{
+    obs::PipeViewWriter writer(8);
+    writer.onCommit(uop(0));
+    writer.onCommit(uop(1));
+
+    std::ostringstream os;
+    writer.write(os, obs::PipeViewFormat::O3PipeView);
+    std::string text = os.str();
+
+    // Each uop renders the gem5 stage lines, fetch through retire.
+    EXPECT_NE(text.find("O3PipeView:fetch:0:"), std::string::npos);
+    EXPECT_NE(text.find("O3PipeView:decode:"), std::string::npos);
+    EXPECT_NE(text.find("O3PipeView:rename:"), std::string::npos);
+    EXPECT_NE(text.find("O3PipeView:dispatch:"), std::string::npos);
+    EXPECT_NE(text.find("O3PipeView:issue:"), std::string::npos);
+    EXPECT_NE(text.find("O3PipeView:complete:"), std::string::npos);
+    EXPECT_NE(text.find("O3PipeView:retire:"), std::string::npos);
+    // Two records -> two fetch and two retire lines.
+    EXPECT_EQ(text.find("O3PipeView:fetch:"),
+              text.rfind("O3PipeView:fetch:0:"));
+    EXPECT_NE(text.find("O3PipeView:fetch:1:"), std::string::npos);
+}
+
+TEST(PipeView, CsvFormat)
+{
+    obs::PipeViewWriter writer(8);
+    writer.onCommit(uop(3));
+    writer.onCommit(uop(4));
+
+    std::ostringstream os;
+    writer.write(os, obs::PipeViewFormat::Csv);
+    std::string text = os.str();
+
+    EXPECT_EQ(text.rfind("seq,class,addr,dispatch,issue,complete,"
+                         "retire\n", 0), 0u);
+    EXPECT_EQ(countLines(text), 3u); // header + 2 records
+    EXPECT_NE(text.find("3,"), std::string::npos);
+    EXPECT_NE(text.find(",4,5,6\n"), std::string::npos); // uop 3 timing
+}

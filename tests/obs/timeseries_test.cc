@@ -1,0 +1,134 @@
+/**
+ * @file
+ * TimeSeriesRecorder tests: epoch boundary attribution for every event
+ * category, CSV header shape, and JSON round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/timeseries.hh"
+#include "util/json.hh"
+
+using namespace tca;
+
+namespace {
+
+obs::RunContext
+context()
+{
+    obs::RunContext ctx;
+    ctx.coreName = "ts-test";
+    ctx.stallCauseNames = {"none", "rob_full", "iq_full"};
+    return ctx;
+}
+
+} // anonymous namespace
+
+TEST(TimeSeries, EpochBoundariesAndAttribution)
+{
+    obs::TimeSeriesRecorder recorder(10);
+    recorder.onRunBegin(context());
+
+    // Cycles 0..24: epochs [0,10), [10,20), [20,25).
+    for (mem::Cycle c = 0; c < 25; ++c)
+        recorder.onCycle(c, c < 10 ? 4 : 8);
+
+    obs::UopLifecycle uop;
+    uop.commit = 9;
+    recorder.onCommit(uop); // epoch 0, by commit cycle
+    uop.commit = 10;
+    recorder.onCommit(uop); // epoch 1
+
+    recorder.onDispatchStall(1, 3);  // epoch 0, cause rob_full
+    recorder.onDispatchStall(1, 12); // epoch 1
+    recorder.onDispatchStall(2, 12); // epoch 1, cause iq_full
+    recorder.onDispatchStall(9, 12); // unknown cause id: dropped
+
+    recorder.onMemPortClaim(8, 13);  // epoch 0 by requested; wait 5
+    recorder.onAccelInvocation(0, 0, "dev", 21, 40, 19, 0); // epoch 2
+
+    const std::vector<obs::Epoch> &epochs = recorder.epochs();
+    ASSERT_EQ(epochs.size(), 3u);
+
+    EXPECT_EQ(epochs[0].startCycle, 0u);
+    EXPECT_EQ(epochs[1].startCycle, 10u);
+    EXPECT_EQ(epochs[2].startCycle, 20u);
+    EXPECT_EQ(epochs[0].cycles, 10u);
+    EXPECT_EQ(epochs[2].cycles, 5u); // short final epoch
+    EXPECT_DOUBLE_EQ(epochs[0].avgRobOccupancy(), 4.0);
+    EXPECT_DOUBLE_EQ(epochs[1].avgRobOccupancy(), 8.0);
+
+    EXPECT_EQ(epochs[0].commits, 1u);
+    EXPECT_EQ(epochs[1].commits, 1u);
+    ASSERT_EQ(epochs[0].stallCycles.size(), 3u);
+    EXPECT_EQ(epochs[0].stallCycles[1], 1u);
+    EXPECT_EQ(epochs[1].stallCycles[1], 1u);
+    EXPECT_EQ(epochs[1].stallCycles[2], 1u);
+    EXPECT_EQ(epochs[0].memPortClaims, 1u);
+    EXPECT_EQ(epochs[0].memPortWaitSum, 5u);
+    EXPECT_EQ(epochs[1].memPortClaims, 0u);
+    EXPECT_EQ(epochs[2].accelStarts, 1u);
+}
+
+TEST(TimeSeries, RunBeginResetsSeries)
+{
+    obs::TimeSeriesRecorder recorder(10);
+    recorder.onRunBegin(context());
+    recorder.onCycle(0, 1);
+    ASSERT_EQ(recorder.epochs().size(), 1u);
+    recorder.onRunBegin(context());
+    EXPECT_TRUE(recorder.epochs().empty());
+    EXPECT_EQ(recorder.stallCauseNames().size(), 3u);
+}
+
+TEST(TimeSeries, CsvHasPerCauseColumns)
+{
+    obs::TimeSeriesRecorder recorder(10);
+    recorder.onRunBegin(context());
+    recorder.onCycle(0, 2);
+    recorder.onDispatchStall(2, 0);
+
+    std::ostringstream os;
+    recorder.writeCsv(os);
+    std::string text = os.str();
+    EXPECT_EQ(text.rfind("epoch_start,cycles,avg_rob_occupancy,commits,"
+                         "accel_starts,mem_port_claims,mem_port_wait,"
+                         "stall_none,stall_rob_full,stall_iq_full\n",
+                         0),
+              0u);
+    EXPECT_NE(text.find("\n0,1,2.000,0,0,0,0,0,0,1\n"),
+              std::string::npos);
+}
+
+TEST(TimeSeries, ToJsonRoundTrips)
+{
+    obs::TimeSeriesRecorder recorder(16);
+    recorder.onRunBegin(context());
+    for (mem::Cycle c = 0; c < 20; ++c)
+        recorder.onCycle(c, 3);
+    recorder.onDispatchStall(1, 2);
+
+    std::ostringstream os;
+    JsonWriter json(os);
+    recorder.toJson(json);
+    EXPECT_TRUE(json.complete());
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(os.str(), doc, &error)) << error;
+    const JsonValue *epoch_length = doc.find("epoch_length");
+    ASSERT_NE(epoch_length, nullptr);
+    EXPECT_DOUBLE_EQ(epoch_length->number, 16.0);
+    const JsonValue *causes = doc.find("stall_causes");
+    ASSERT_NE(causes, nullptr);
+    ASSERT_EQ(causes->items.size(), 3u);
+    EXPECT_EQ(causes->items[1].str, "rob_full");
+    const JsonValue *json_epochs = doc.find("epochs");
+    ASSERT_NE(json_epochs, nullptr);
+    ASSERT_EQ(json_epochs->items.size(), 2u);
+    const JsonValue *stalls = json_epochs->items[0].find("stalls");
+    ASSERT_NE(stalls, nullptr);
+    EXPECT_DOUBLE_EQ(stalls->items[1].number, 1.0);
+}

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "stats/stats.hh"
+#include "util/json.hh"
 
 namespace tca {
 namespace stats {
@@ -71,6 +73,89 @@ TEST(DistributionTest, NegativeSampleGoesToFirstBucket)
     Distribution d(10, 2);
     d.sample(-5.0);
     EXPECT_EQ(d.buckets()[0], 1u);
+}
+
+TEST(DistributionTest, ExactBucketEdgeLandsInNextBucket)
+{
+    Distribution d(10, 3);
+    d.sample(10.0); // exactly on the [0,10)/[10,20) edge
+    d.sample(30.0); // exactly on the last-bucket/overflow edge
+    EXPECT_EQ(d.buckets()[0], 0u);
+    EXPECT_EQ(d.buckets()[1], 1u);
+    EXPECT_EQ(d.buckets()[3], 1u); // overflow, not bucket 2
+}
+
+TEST(DistributionTest, HugeSamplesClampToOverflow)
+{
+    // Values whose bucket quotient exceeds size_t (double->size_t cast
+    // would be UB) must land in the overflow bucket, not crash.
+    Distribution d(10, 3);
+    d.sample(1e30);
+    d.sample(std::numeric_limits<double>::max());
+    ASSERT_EQ(d.buckets().size(), 4u);
+    EXPECT_EQ(d.buckets()[3], 2u);
+    EXPECT_EQ(d.numSamples(), 2u);
+    EXPECT_DOUBLE_EQ(d.maxValue(), std::numeric_limits<double>::max());
+}
+
+TEST(DistributionTest, ToJsonRoundTrips)
+{
+    Distribution d(10, 2);
+    d.sample(5.0);
+    d.sample(15.0);
+    d.sample(99.0);
+
+    std::ostringstream os;
+    JsonWriter json(os);
+    d.toJson(json);
+    EXPECT_TRUE(json.complete());
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(os.str(), doc, &error)) << error;
+    EXPECT_DOUBLE_EQ(doc.find("samples")->number, 3.0);
+    EXPECT_DOUBLE_EQ(doc.find("min")->number, 5.0);
+    EXPECT_DOUBLE_EQ(doc.find("max")->number, 99.0);
+    EXPECT_DOUBLE_EQ(doc.find("bucket_width")->number, 10.0);
+    const JsonValue *buckets = doc.find("buckets");
+    ASSERT_NE(buckets, nullptr);
+    ASSERT_EQ(buckets->items.size(), 3u); // 2 + overflow
+    EXPECT_DOUBLE_EQ(buckets->items[0].number, 1.0);
+    EXPECT_DOUBLE_EQ(buckets->items[1].number, 1.0);
+    EXPECT_DOUBLE_EQ(buckets->items[2].number, 1.0);
+}
+
+TEST(DistributionTest, MomentsOnlyToJsonOmitsHistogram)
+{
+    Distribution d; // histogram disabled
+    d.sample(2.0);
+    std::ostringstream os;
+    JsonWriter json(os);
+    d.toJson(json);
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(os.str(), doc));
+    EXPECT_EQ(doc.find("buckets"), nullptr);
+    EXPECT_DOUBLE_EQ(doc.find("mean")->number, 2.0);
+}
+
+TEST(GroupTest, DumpJsonParses)
+{
+    Counter c;
+    c.inc(7);
+    Formula f([] { return 2.5; });
+    Group group("core");
+    group.addCounter("uops", &c);
+    group.addFormula("ipc", &f);
+
+    std::ostringstream os;
+    dumpGroupsJson({&group}, os);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(os.str(), doc, &error)) << error;
+    const JsonValue *core = doc.find("core");
+    ASSERT_NE(core, nullptr);
+    EXPECT_DOUBLE_EQ(core->find("uops")->number, 7.0);
+    EXPECT_DOUBLE_EQ(core->find("ipc")->number, 2.5);
 }
 
 TEST(DistributionTest, Reset)

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * JsonWriter / parseJson tests: writer shape, string escaping, raw
+ * fragments, round-tripping, and parser error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "util/json.hh"
+
+using namespace tca;
+
+namespace {
+
+std::string
+writeDoc(const std::function<void(JsonWriter &)> &fn)
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    fn(json);
+    return os.str();
+}
+
+} // anonymous namespace
+
+TEST(JsonWriter, ObjectsArraysAndScalarsRoundTrip)
+{
+    std::string text = writeDoc([](JsonWriter &json) {
+        json.beginObject();
+        json.kv("name", "tcasim");
+        json.kv("cycles", uint64_t{123456789});
+        json.kv("ipc", 1.5);
+        json.kv("negative", int64_t{-42});
+        json.kv("ok", true);
+        json.key("missing");
+        json.nullValue();
+        json.key("modes");
+        json.beginArray();
+        json.value("L_T");
+        json.value(uint64_t{4});
+        json.endArray();
+        json.key("nested");
+        json.beginObject();
+        json.kv("depth", 2);
+        json.endObject();
+        json.endObject();
+        EXPECT_TRUE(json.complete());
+    });
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(text, doc, &error)) << error;
+    EXPECT_EQ(doc.find("name")->str, "tcasim");
+    EXPECT_DOUBLE_EQ(doc.find("cycles")->number, 123456789.0);
+    EXPECT_DOUBLE_EQ(doc.find("ipc")->number, 1.5);
+    EXPECT_DOUBLE_EQ(doc.find("negative")->number, -42.0);
+    EXPECT_TRUE(doc.find("ok")->boolean);
+    EXPECT_TRUE(doc.find("missing")->isNull());
+    ASSERT_TRUE(doc.find("modes")->isArray());
+    EXPECT_EQ(doc.find("modes")->items[0].str, "L_T");
+    EXPECT_DOUBLE_EQ(doc.find("nested")->find("depth")->number, 2.0);
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+    EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(JsonWriter::escape("line\nbreak\ttab"),
+              "line\\nbreak\\ttab");
+    EXPECT_EQ(JsonWriter::escape(std::string("nul\x01")),
+              "nul\\u0001");
+
+    std::string text = writeDoc([](JsonWriter &json) {
+        json.beginObject();
+        json.kv("path", "C:\\tmp\n\"quoted\"");
+        json.endObject();
+    });
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(text, doc));
+    EXPECT_EQ(doc.find("path")->str, "C:\\tmp\n\"quoted\"");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    std::string text = writeDoc([](JsonWriter &json) {
+        json.beginObject();
+        json.kv("inf", std::numeric_limits<double>::infinity());
+        json.kv("nan", std::nan(""));
+        json.endObject();
+    });
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(text, doc));
+    EXPECT_TRUE(doc.find("inf")->isNull());
+    EXPECT_TRUE(doc.find("nan")->isNull());
+}
+
+TEST(JsonWriter, RawValueEmbedsFragmentVerbatim)
+{
+    std::string text = writeDoc([](JsonWriter &json) {
+        json.beginObject();
+        json.key("config");
+        json.rawValue("{\"rob\": 128, \"ports\": [1, 2]}");
+        json.endObject();
+    });
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(text, doc));
+    const JsonValue *config = doc.find("config");
+    ASSERT_NE(config, nullptr);
+    EXPECT_DOUBLE_EQ(config->find("rob")->number, 128.0);
+    EXPECT_DOUBLE_EQ(config->find("ports")->items[1].number, 2.0);
+}
+
+TEST(JsonParser, AcceptsEscapesAndUnicode)
+{
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(R"({"s": "a\u0041\n\/"})", doc));
+    EXPECT_EQ(doc.find("s")->str, "aA\n/");
+
+    ASSERT_TRUE(parseJson(R"({"eur": "\u20ac"})", doc));
+    EXPECT_EQ(doc.find("eur")->str, "\xe2\x82\xac"); // UTF-8 euro
+}
+
+TEST(JsonParser, NumbersAndLiterals)
+{
+    JsonValue doc;
+    ASSERT_TRUE(parseJson("[-1.5e3, 0, true, false, null]", doc));
+    ASSERT_EQ(doc.items.size(), 5u);
+    EXPECT_DOUBLE_EQ(doc.items[0].number, -1500.0);
+    EXPECT_DOUBLE_EQ(doc.items[1].number, 0.0);
+    EXPECT_TRUE(doc.items[2].boolean);
+    EXPECT_FALSE(doc.items[3].boolean);
+    EXPECT_TRUE(doc.items[4].isNull());
+}
+
+TEST(JsonParser, RejectsMalformedDocuments)
+{
+    JsonValue doc;
+    std::string error;
+    EXPECT_FALSE(parseJson("", doc, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(parseJson("{", doc, &error));
+    EXPECT_FALSE(parseJson("{\"a\": }", doc, &error));
+    EXPECT_FALSE(parseJson("[1, 2", doc, &error));
+    EXPECT_FALSE(parseJson("{\"a\": 1} trailing", doc, &error));
+    EXPECT_FALSE(parseJson("{'a': 1}", doc, &error));
+    EXPECT_FALSE(parseJson("{\"a\": 01x}", doc, &error));
+}
+
+TEST(JsonParser, FindOnNonObjectReturnsNull)
+{
+    JsonValue doc;
+    ASSERT_TRUE(parseJson("[1]", doc));
+    EXPECT_EQ(doc.find("anything"), nullptr);
+    ASSERT_TRUE(parseJson("{\"a\": 1}", doc));
+    EXPECT_EQ(doc.find("b"), nullptr);
+}

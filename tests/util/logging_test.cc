@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "util/logging.hh"
 
 namespace tca {
@@ -50,6 +52,84 @@ TEST(LoggingTest, AssertMacroPassesOnTrue)
 {
     tca_assert(1 + 1 == 2);
     SUCCEED();
+}
+
+TEST(LoggingTest, ParseLogLevelNames)
+{
+    bool ok = false;
+    EXPECT_EQ(parseLogLevel("debug", &ok), LogLevel::Debug);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseLogLevel("WARN", &ok), LogLevel::Warn);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseLogLevel("warning", &ok), LogLevel::Warn);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseLogLevel("Fatal", &ok), LogLevel::Fatal);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseLogLevel("nonsense", &ok), LogLevel::Info);
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(parseLogLevel("", nullptr), LogLevel::Info);
+}
+
+TEST(LoggingTest, TagEnableDisable)
+{
+    Logger &logger = Logger::global();
+    EXPECT_FALSE(logger.tagEnabled("obs-test-tag"));
+    logger.enableTag("obs-test-tag");
+    EXPECT_TRUE(logger.tagEnabled("obs-test-tag"));
+    EXPECT_FALSE(logger.tagEnabled("other-tag"));
+    logger.disableTag("obs-test-tag");
+    EXPECT_FALSE(logger.tagEnabled("obs-test-tag"));
+}
+
+TEST(LoggingTest, EnvOverridesThresholdAndTags)
+{
+    Logger &logger = Logger::global();
+    LogLevel old_level = logger.getThreshold();
+
+    setenv("TCA_LOG_LEVEL", "error", 1);
+    setenv("TCA_LOG_TAGS", "core, obs", 1);
+    logger.applyEnvOverrides();
+    EXPECT_EQ(logger.getThreshold(), LogLevel::Error);
+    EXPECT_TRUE(logger.tagEnabled("core"));
+    EXPECT_TRUE(logger.tagEnabled("obs"));
+    EXPECT_FALSE(logger.tagEnabled("mem"));
+
+    // An unrecognized level leaves the threshold untouched.
+    setenv("TCA_LOG_LEVEL", "shout", 1);
+    logger.applyEnvOverrides();
+    EXPECT_EQ(logger.getThreshold(), LogLevel::Error);
+
+    // "all" enables every tag.
+    setenv("TCA_LOG_TAGS", "all", 1);
+    logger.applyEnvOverrides();
+    EXPECT_TRUE(logger.tagEnabled("anything"));
+
+    // Restore: a tag list without "all" clears the wildcard, and an
+    // unset variable leaves the state alone.
+    setenv("TCA_LOG_TAGS", "cleanup-sentinel", 1);
+    logger.applyEnvOverrides();
+    EXPECT_FALSE(logger.tagEnabled("anything"));
+    unsetenv("TCA_LOG_TAGS");
+    unsetenv("TCA_LOG_LEVEL");
+    logger.applyEnvOverrides();
+    EXPECT_TRUE(logger.tagEnabled("cleanup-sentinel"));
+    logger.disableTag("cleanup-sentinel");
+    logger.setThreshold(old_level);
+}
+
+TEST(LoggingTest, TaggedDebugRespectsTagGate)
+{
+    Logger &logger = Logger::global();
+    LogLevel old_level = logger.getThreshold();
+    logger.setThreshold(LogLevel::Fatal); // quiet output
+    uint64_t before = logger.warnCount();
+    tca_debug("logging-test", "invisible %d", 1);
+    logger.enableTag("logging-test");
+    tca_debug("logging-test", "tag-gated %d", 2);
+    logger.disableTag("logging-test");
+    // Debug messages never count as warnings either way.
+    EXPECT_EQ(logger.warnCount(), before);
+    logger.setThreshold(old_level);
 }
 
 } // namespace
