@@ -22,6 +22,7 @@
 #include "model/interval_model.hh"
 #include "obs/interval_profiler.hh"
 #include "obs/manifest.hh"
+#include "obs/timeline.hh"
 #include "stats/stats.hh"
 #include "util/json.hh"
 #include "util/table.hh"
@@ -122,6 +123,22 @@ main()
         addTermRows(terms, *representative);
         terms.print(std::cout);
         terms.writeCsvIfRequested("fig5_heap_terms");
+
+        std::printf("\n--- accelerator latency at gap %u "
+                    "(t_accl cycles/invocation) ---\n", kTermTableGap);
+        TextTable latency;
+        latency.setHeader({"mode", "mean", "p50", "p95", "p99"});
+        for (const ModeOutcome &mode : representative->modes) {
+            const stats::Distribution &d =
+                mode.intervals.accelLatency;
+            latency.addRow({tcaModeName(mode.mode),
+                            TextTable::fmt(d.mean(), 1),
+                            TextTable::fmt(d.p50(), 1),
+                            TextTable::fmt(d.p95(), 1),
+                            TextTable::fmt(d.p99(), 1)});
+        }
+        latency.print(std::cout);
+        latency.writeCsvIfRequested("fig5_heap_latency");
     }
 
     // Machine-readable artifacts under $TCA_OUT_DIR/fig5_heap/.
@@ -162,6 +179,11 @@ main()
             add(prefix + "model.t_accl", model.accl, "");
             add(prefix + "model.t_drain", model.drain, "");
             add(prefix + "model.t_commit", model.commit, "");
+            const stats::Distribution &lat =
+                mode.intervals.accelLatency;
+            add(prefix + "accel_latency_p95", lat.p95(),
+                "95th-percentile per-invocation accelerator cycles");
+            add(prefix + "accel_latency_p99", lat.p99(), "");
         }
 
         obs::RunManifest manifest("fig5_heap");
@@ -182,6 +204,21 @@ main()
             manifest.setRawJson("tca_params", os.str());
         }
         obs::writeRunArtifacts(manifest, {&group});
+    }
+
+    // Opt-in per-uop timeline ($TCA_TIMELINE=chrome|o3|csv): rerun
+    // the representative design point in NL_T — the mode whose drain
+    // windows the timeline makes visible — with the selected sink
+    // attached, then drop the artifact next to manifest.json.
+    if (auto timeline = obs::requestedTimelineSink()) {
+        HeapConfig conf;
+        conf.numCalls = kNumCalls;
+        conf.fillerUopsPerGap = kTermTableGap;
+        conf.seed = kSeed;
+        HeapWorkload workload(conf);
+        runAcceleratedOnce(workload, cpu::a72CoreConfig(),
+                           TcaMode::NL_T, &timeline->sink());
+        timeline->writeArtifact("fig5_heap");
     }
 
     std::printf("\nshape checks (paper claims):\n");

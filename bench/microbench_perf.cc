@@ -11,9 +11,11 @@
 #include "cpu/core.hh"
 #include "model/interval_model.hh"
 #include "model/sweeps.hh"
+#include "obs/bench_harness.hh"
 #include "obs/interval_profiler.hh"
 #include "obs/pipeview.hh"
 #include "obs/timeseries.hh"
+#include "workloads/experiment.hh"
 #include "workloads/synthetic.hh"
 
 using namespace tca;
@@ -49,6 +51,14 @@ BM_HeatmapSweep(benchmark::State &state)
 }
 BENCHMARK(BM_HeatmapSweep)->Arg(16)->Arg(32);
 
+/**
+ * Shared body of the throughput benchmarks: the single-run helper
+ * (workloads::runBaselineOnce) replaces the hierarchy/core/trace
+ * boilerplate each variant used to spell out, and obs::WallTimer
+ * cross-checks google-benchmark's own timing with the same clock
+ * tca_bench records — the number reported here and the number in
+ * BENCH_sim_throughput.json are directly comparable.
+ */
 static void
 simulatorThroughput(benchmark::State &state, obs::EventSink *sink)
 {
@@ -59,16 +69,16 @@ simulatorThroughput(benchmark::State &state, obs::EventSink *sink)
     cpu::CoreConfig core_conf = cpu::a72CoreConfig();
 
     uint64_t uops = 0;
+    obs::WallTimer timer;
     for (auto _ : state) {
-        mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
-        cpu::Core core(core_conf, hierarchy);
-        core.setEventSink(sink);
-        auto trace = workload.makeBaselineTrace();
-        cpu::SimResult r = core.run(*trace);
+        cpu::SimResult r =
+            workloads::runBaselineOnce(workload, core_conf, sink);
         uops += r.committedUops;
         benchmark::DoNotOptimize(r.cycles);
     }
     state.SetItemsProcessed(static_cast<int64_t>(uops));
+    state.counters["uops_per_sec"] = benchmark::Counter(
+        obs::throughputPerSec(uops, timer.seconds()));
 }
 
 /** Tracing disabled (the default): every emission site is one

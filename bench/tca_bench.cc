@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Unified benchmark runner: the machine-readable perf trajectory of
+ * the repo. Registers a scenario per representative workload (the
+ * fig4/fig5/fig6 sweep points, the string-TCA extension, the
+ * drain-calibration ablation) plus raw simulator/model throughput
+ * cases, runs each with warmup + N repeats through obs::BenchHarness,
+ * and writes one BENCH_<scenario>.json per scenario with median/MAD
+ * wall time, uops/sec, simulated cycles, and per-mode model error
+ * including per-term attribution (which of t_non_accl/t_accl/t_drain/
+ * t_commit drives the gap). tools/tca_compare diffs these records
+ * across runs; CI gates on them.
+ *
+ * Usage: tca_bench [--repeats N] [--warmup N] [--quick] [--filter S]
+ *                  [--out DIR] [--list]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "model/interval_model.hh"
+#include "obs/bench_harness.hh"
+#include "workloads/dgemm_workload.hh"
+#include "workloads/experiment.hh"
+#include "workloads/heap_workload.hh"
+#include "workloads/string_workload.hh"
+#include "workloads/synthetic.hh"
+
+using namespace tca;
+using namespace tca::model;
+using namespace tca::obs;
+using namespace tca::workloads;
+
+namespace {
+
+/**
+ * Fold one experiment into scenario metrics: cycles and uops summed
+ * over the baseline + all four mode runs, and one ModeErrorReport per
+ * mode (|speedup error| plus the |model - measured| gap per interval
+ * term). Called once per design point; accumulate() averages the
+ * error across points afterwards.
+ */
+void
+accumulateExperiment(const ExperimentResult &r, ScenarioMetrics &m)
+{
+    m.simCycles += r.baseline.cycles;
+    m.committedUops += r.baseline.committedUops;
+
+    IntervalModel predictor(r.params);
+    IntervalTimes times = predictor.times();
+    for (size_t i = 0; i < r.modes.size(); ++i) {
+        const ModeOutcome &mode = r.modes[i];
+        if (m.modeErrors.size() <= i) {
+            ModeErrorReport report;
+            report.mode = tcaModeName(mode.mode);
+            m.modeErrors.push_back(std::move(report));
+        }
+        ModeErrorReport &report = m.modeErrors[i];
+        m.simCycles += mode.sim.cycles;
+        m.committedUops += mode.sim.committedUops;
+        report.meanAbsErrorPercent += std::fabs(mode.errorPercent);
+        IntervalBreakdown model = modelTerms(times, mode.mode);
+        const IntervalBreakdown &meas = mode.intervals.mean;
+        report.termGap.nonAccl += std::fabs(model.nonAccl - meas.nonAccl);
+        report.termGap.accl += std::fabs(model.accl - meas.accl);
+        report.termGap.drain += std::fabs(model.drain - meas.drain);
+        report.termGap.commit += std::fabs(model.commit - meas.commit);
+    }
+}
+
+/** Average the accumulated per-mode errors over `points` experiments. */
+void
+finishModeErrors(ScenarioMetrics &m, size_t points)
+{
+    if (points == 0)
+        return;
+    double n = static_cast<double>(points);
+    for (ModeErrorReport &report : m.modeErrors) {
+        report.meanAbsErrorPercent /= n;
+        report.termGap.nonAccl /= n;
+        report.termGap.accl /= n;
+        report.termGap.drain /= n;
+        report.termGap.commit /= n;
+        report.dominantTerm = dominantTermName(report.termGap);
+    }
+}
+
+/**
+ * Build a scenario that runs `make_workload` at each design point and
+ * reports the mean per-mode model error across the points.
+ */
+template <typename MakeWorkload>
+BenchScenario
+experimentScenario(std::string name, std::string description,
+                   std::vector<int> points, MakeWorkload make_workload,
+                   ExperimentOptions options = {})
+{
+    options.profileIntervals = true;
+    BenchScenario scenario;
+    scenario.name = std::move(name);
+    scenario.description = std::move(description);
+    scenario.run = [points = std::move(points), make_workload,
+                    options](bool quick) {
+        ScenarioMetrics metrics;
+        for (int point : points) {
+            auto workload = make_workload(point, quick);
+            ExperimentResult r = runExperiment(
+                *workload, cpu::a72CoreConfig(), options);
+            accumulateExperiment(r, metrics);
+        }
+        finishModeErrors(metrics, points.size());
+        return metrics;
+    };
+    return scenario;
+}
+
+/** Raw simulator throughput: a plain baseline run, no model at all. */
+BenchScenario
+simulatorThroughputScenario()
+{
+    BenchScenario scenario;
+    scenario.name = "sim_throughput";
+    scenario.description =
+        "simulator speed on a pure filler stream (no TCA, no model)";
+    scenario.run = [](bool quick) {
+        SyntheticConfig conf;
+        conf.fillerUops = quick ? 20000 : 200000;
+        conf.numInvocations = 0;
+        SyntheticWorkload workload(conf);
+        cpu::SimResult r =
+            runBaselineOnce(workload, cpu::a72CoreConfig());
+        ScenarioMetrics metrics;
+        metrics.simCycles = r.cycles;
+        metrics.committedUops = r.committedUops;
+        return metrics;
+    };
+    return scenario;
+}
+
+/**
+ * Analytical-model evaluation throughput: the paper's pitch is that
+ * the model replaces hours of simulation, so its own cost is a watched
+ * quantity. "Uops" here are model evaluations.
+ */
+BenchScenario
+modelEvalScenario()
+{
+    BenchScenario scenario;
+    scenario.name = "model_eval";
+    scenario.description =
+        "analytical-model evaluations per second (items = evaluations)";
+    scenario.run = [](bool quick) {
+        uint64_t evals = quick ? 20000 : 200000;
+        TcaParams params = armA72Preset().apply(TcaParams{});
+        params.acceleratableFraction = 0.3;
+        params.accelerationFactor = 3.0;
+        double sum = 0.0;
+        for (uint64_t i = 0; i < evals; ++i) {
+            // Vary an input so the optimizer cannot hoist the model.
+            params.invocationFrequency =
+                1e-6 + 1e-3 * static_cast<double>(i % 97);
+            IntervalModel m(params);
+            for (double s : m.allSpeedups())
+                sum += s;
+        }
+        ScenarioMetrics metrics;
+        metrics.committedUops = evals;
+        // Cycles have no meaning here; record the checksum's magnitude
+        // bucket instead of 0 so a silently-diverging model shows up.
+        metrics.simCycles = static_cast<uint64_t>(sum) / evals;
+        return metrics;
+    };
+    return scenario;
+}
+
+void
+registerScenarios(BenchHarness &harness)
+{
+    harness.add(experimentScenario(
+        "synthetic_sparse",
+        "fig4 low-frequency point: few random acceleratable regions",
+        {20, 40}, [](int invocations, bool quick) {
+            SyntheticConfig conf;
+            conf.fillerUops = quick ? 20000 : 120000;
+            conf.numInvocations = static_cast<uint32_t>(invocations);
+            conf.seed = 11;
+            return std::make_unique<SyntheticWorkload>(conf);
+        }));
+    harness.add(experimentScenario(
+        "synthetic_dense",
+        "fig4 high-frequency point: acceleratable regions dominate",
+        {200, 400}, [](int invocations, bool quick) {
+            SyntheticConfig conf;
+            conf.fillerUops = quick ? 20000 : 120000;
+            conf.numInvocations = static_cast<uint32_t>(
+                quick ? invocations / 4 : invocations);
+            conf.seed = 11;
+            return std::make_unique<SyntheticWorkload>(conf);
+        }));
+    harness.add(experimentScenario(
+        "heap_hot",
+        "fig5 high call frequency: heap TCA invoked every ~100 uops",
+        {100, 200}, [](int gap, bool quick) {
+            HeapConfig conf;
+            conf.numCalls = quick ? 200 : 1200;
+            conf.fillerUopsPerGap = static_cast<uint32_t>(gap);
+            conf.seed = 7;
+            return std::make_unique<HeapWorkload>(conf);
+        }));
+    harness.add(experimentScenario(
+        "heap_cold",
+        "fig5 low call frequency: long filler gaps between heap calls",
+        {800, 1600}, [](int gap, bool quick) {
+            HeapConfig conf;
+            conf.numCalls = quick ? 100 : 600;
+            conf.fillerUopsPerGap = static_cast<uint32_t>(gap);
+            conf.seed = 7;
+            return std::make_unique<HeapWorkload>(conf);
+        }));
+    harness.add(experimentScenario(
+        "dgemm_tile4",
+        "fig6 blocked dgemm with a 4x4-tile matrix TCA",
+        {4}, [](int tile, bool quick) {
+            DgemmConfig conf;
+            conf.n = quick ? 32 : 64;
+            conf.blockN = quick ? 16 : 32;
+            conf.tileN = static_cast<uint32_t>(tile);
+            return std::make_unique<DgemmWorkload>(conf);
+        }));
+    harness.add(experimentScenario(
+        "string_compare",
+        "string-compare TCA extension workload",
+        {120}, [](int gap, bool quick) {
+            StringConfig conf;
+            conf.numCompares = quick ? 100 : 500;
+            conf.fillerUopsPerGap = static_cast<uint32_t>(gap);
+            return std::make_unique<StringWorkload>(conf);
+        }));
+    {
+        ExperimentOptions options;
+        options.drainFromOccupancy = true;
+        harness.add(experimentScenario(
+            "heap_drain_calibrated",
+            "ablation: drain time calibrated from baseline occupancy",
+            {200, 400}, [](int gap, bool quick) {
+                HeapConfig conf;
+                conf.numCalls = quick ? 200 : 1200;
+                conf.fillerUopsPerGap = static_cast<uint32_t>(gap);
+                conf.seed = 7;
+                return std::make_unique<HeapWorkload>(conf);
+            }, options));
+    }
+    harness.add(simulatorThroughputScenario());
+    harness.add(modelEvalScenario());
+}
+
+int
+usage(const char *argv0, int code)
+{
+    std::fprintf(
+        code ? stderr : stdout,
+        "usage: %s [--repeats N] [--warmup N] [--quick] [--filter S]\n"
+        "          [--out DIR] [--list]\n"
+        "\n"
+        "Runs the scenario registry and writes one BENCH_<name>.json\n"
+        "per scenario (to --out, else $TCA_OUT_DIR, else '.').\n"
+        "  --repeats N   timed repeats per scenario (default 3)\n"
+        "  --warmup N    untimed warmup runs per scenario (default 1)\n"
+        "  --quick       reduced workload sizes (CI smoke)\n"
+        "  --filter S    only scenarios whose name contains S\n"
+        "  --list        print scenario names and exit\n",
+        argv0);
+    return code;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options;
+    bool list = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(usage(argv[0], 2));
+            }
+            return argv[++i];
+        };
+        if (arg == "--repeats") {
+            options.repeats = std::atoi(value());
+        } else if (arg == "--warmup") {
+            options.warmup = std::atoi(value());
+        } else if (arg == "--quick") {
+            options.quick = true;
+        } else if (arg == "--filter") {
+            options.filter = value();
+        } else if (arg == "--out") {
+            options.outDir = value();
+        } else if (arg == "--list") {
+            list = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+            return usage(argv[0], 2);
+        }
+    }
+    if (options.repeats < 1 || options.warmup < 0) {
+        std::fprintf(stderr, "--repeats must be >= 1, --warmup >= 0\n");
+        return 2;
+    }
+
+    BenchHarness harness(options);
+    registerScenarios(harness);
+
+    if (list) {
+        for (const BenchScenario &s : harness.scenarios())
+            std::printf("%-24s %s\n", s.name.c_str(),
+                        s.description.c_str());
+        return 0;
+    }
+
+    std::printf("=== tca_bench: %d warmup + %d repeats%s -> %s ===\n\n",
+                options.warmup, options.repeats,
+                options.quick ? " (quick)" : "",
+                harness.resolvedOutDir().c_str());
+    std::vector<ScenarioOutcome> outcomes = harness.runAll();
+    if (outcomes.empty()) {
+        std::fprintf(stderr, "no scenario matches filter '%s'\n",
+                     options.filter.c_str());
+        return 1;
+    }
+    std::printf("\n");
+    BenchHarness::printSummary(outcomes, std::cout);
+    size_t written = 0;
+    for (const ScenarioOutcome &o : outcomes)
+        written += o.jsonPath.empty() ? 0 : 1;
+    std::printf("\nwrote %zu of %zu BENCH_*.json record(s)\n", written,
+                outcomes.size());
+    return written == outcomes.size() ? 0 : 1;
+}

@@ -1,0 +1,257 @@
+#include "obs/bench_harness.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/manifest.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace tca {
+namespace obs {
+
+double
+medianOf(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    size_t mid = values.size() / 2;
+    std::nth_element(values.begin(), values.begin() + mid, values.end());
+    double upper = values[mid];
+    if (values.size() % 2)
+        return upper;
+    double lower = *std::max_element(values.begin(), values.begin() + mid);
+    return 0.5 * (lower + upper);
+}
+
+MetricSummary
+summarize(std::vector<double> samples)
+{
+    MetricSummary s;
+    s.median = medianOf(samples);
+    std::vector<double> deviations;
+    deviations.reserve(samples.size());
+    for (double v : samples)
+        deviations.push_back(std::fabs(v - s.median));
+    s.mad = medianOf(std::move(deviations));
+    s.samples = std::move(samples);
+    return s;
+}
+
+double
+throughputPerSec(uint64_t items, double seconds)
+{
+    return seconds > 0.0 ? static_cast<double>(items) / seconds : 0.0;
+}
+
+std::string
+dominantTermName(const IntervalBreakdown &gap)
+{
+    const char *name = "t_non_accl";
+    double best = gap.nonAccl;
+    if (gap.accl > best) {
+        best = gap.accl;
+        name = "t_accl";
+    }
+    if (gap.drain > best) {
+        best = gap.drain;
+        name = "t_drain";
+    }
+    if (gap.commit > best) {
+        best = gap.commit;
+        name = "t_commit";
+    }
+    return name;
+}
+
+BenchHarness::BenchHarness(BenchOptions options) : opts(std::move(options))
+{
+    tca_assert(opts.repeats >= 1);
+    tca_assert(opts.warmup >= 0);
+}
+
+void
+BenchHarness::add(BenchScenario scenario)
+{
+    tca_assert(!scenario.name.empty());
+    tca_assert(static_cast<bool>(scenario.run));
+    registry.push_back(std::move(scenario));
+}
+
+std::string
+BenchHarness::resolvedOutDir() const
+{
+    if (!opts.outDir.empty())
+        return opts.outDir;
+    const char *env = std::getenv("TCA_OUT_DIR");
+    if (env && *env)
+        return env;
+    return ".";
+}
+
+ScenarioOutcome
+BenchHarness::runScenario(const BenchScenario &scenario)
+{
+    ScenarioOutcome outcome;
+    outcome.name = scenario.name;
+    outcome.description = scenario.description;
+
+    for (int i = 0; i < opts.warmup; ++i)
+        scenario.run(opts.quick);
+
+    std::vector<double> wall, rate;
+    for (int i = 0; i < opts.repeats; ++i) {
+        WallTimer timer;
+        ScenarioMetrics metrics = scenario.run(opts.quick);
+        double seconds = timer.seconds();
+        wall.push_back(seconds);
+        rate.push_back(throughputPerSec(metrics.committedUops, seconds));
+        // The simulator is deterministic, so cycle counts and model
+        // errors are repeat-invariant; keep the last repeat's.
+        outcome.simCycles = metrics.simCycles;
+        outcome.committedUops = metrics.committedUops;
+        outcome.modeErrors = std::move(metrics.modeErrors);
+    }
+    outcome.wallSeconds = summarize(std::move(wall));
+    outcome.uopsPerSec = summarize(std::move(rate));
+    return outcome;
+}
+
+std::vector<ScenarioOutcome>
+BenchHarness::runAll()
+{
+    std::vector<ScenarioOutcome> outcomes;
+    std::string dir = resolvedOutDir();
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        warn("cannot create bench output dir '%s': %s (error %d)",
+             dir.c_str(), ec.message().c_str(), ec.value());
+    }
+
+    for (const BenchScenario &scenario : registry) {
+        if (!opts.filter.empty() &&
+            scenario.name.find(opts.filter) == std::string::npos)
+            continue;
+        inform("bench: %s (%d warmup + %d repeats%s)",
+               scenario.name.c_str(), opts.warmup, opts.repeats,
+               opts.quick ? ", quick" : "");
+        ScenarioOutcome outcome = runScenario(scenario);
+
+        std::string path = dir + "/BENCH_" + scenario.name + ".json";
+        std::ofstream out(path);
+        if (!out) {
+            warn("dropping bench record: cannot write '%s'",
+                 path.c_str());
+        } else {
+            JsonWriter json(out);
+            writeBenchJson(outcome, json);
+            out << '\n';
+            outcome.jsonPath = path;
+        }
+        outcomes.push_back(std::move(outcome));
+    }
+    return outcomes;
+}
+
+void
+BenchHarness::writeBenchJson(const ScenarioOutcome &outcome,
+                             JsonWriter &json) const
+{
+    // The manifest contributes the environment block (tool, version,
+    // UTC wall time) every other run artifact carries.
+    RunManifest manifest(outcome.name);
+    manifest.set("kind", "bench");
+    manifest.set("bench_schema", uint64_t{1});
+    if (!outcome.description.empty())
+        manifest.set("description", outcome.description);
+    manifest.set("repeats", static_cast<uint64_t>(opts.repeats));
+    manifest.set("warmup", static_cast<uint64_t>(opts.warmup));
+    manifest.set("quick", opts.quick);
+
+    auto summaryJson = [](const MetricSummary &s) {
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.beginObject();
+        w.kv("median", s.median);
+        w.kv("mad", s.mad);
+        w.key("samples");
+        w.beginArray();
+        for (double v : s.samples)
+            w.value(v);
+        w.endArray();
+        w.endObject();
+        return os.str();
+    };
+
+    {
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.beginObject();
+        w.kv("sim_cycles", outcome.simCycles);
+        w.kv("committed_uops", outcome.committedUops);
+        w.key("wall_seconds");
+        w.rawValue(summaryJson(outcome.wallSeconds));
+        w.key("uops_per_sec");
+        w.rawValue(summaryJson(outcome.uopsPerSec));
+        w.endObject();
+        manifest.setRawJson("metrics", os.str());
+    }
+    {
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.beginObject();
+        for (const ModeErrorReport &mode : outcome.modeErrors) {
+            w.key(mode.mode);
+            w.beginObject();
+            w.kv("mean_abs_error_percent", mode.meanAbsErrorPercent);
+            w.kv("dominant_term", mode.dominantTerm);
+            w.key("term_gap");
+            w.beginObject();
+            w.kv("t_non_accl", mode.termGap.nonAccl);
+            w.kv("t_accl", mode.termGap.accl);
+            w.kv("t_drain", mode.termGap.drain);
+            w.kv("t_commit", mode.termGap.commit);
+            w.endObject();
+            w.endObject();
+        }
+        w.endObject();
+        manifest.setRawJson("model_error", os.str());
+    }
+    manifest.write(json);
+}
+
+void
+BenchHarness::printSummary(const std::vector<ScenarioOutcome> &outcomes,
+                           std::ostream &os)
+{
+    TextTable table;
+    table.setHeader({"scenario", "wall s (median)", "±MAD", "Muops/s",
+                     "sim cycles", "uops", "worst mode |err|%",
+                     "dominant term"});
+    for (const ScenarioOutcome &o : outcomes) {
+        double worst = 0.0;
+        std::string term = "-";
+        for (const ModeErrorReport &mode : o.modeErrors) {
+            if (mode.meanAbsErrorPercent >= worst) {
+                worst = mode.meanAbsErrorPercent;
+                term = mode.dominantTerm;
+            }
+        }
+        table.addRow({o.name, TextTable::fmt(o.wallSeconds.median, 3),
+                      TextTable::fmt(o.wallSeconds.mad, 3),
+                      TextTable::fmt(o.uopsPerSec.median / 1e6, 2),
+                      TextTable::fmt(o.simCycles),
+                      TextTable::fmt(o.committedUops),
+                      TextTable::fmt(worst, 2), term});
+    }
+    table.print(os);
+}
+
+} // namespace obs
+} // namespace tca

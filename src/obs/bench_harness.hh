@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Cross-run benchmark harness (the machinery behind bench/tca_bench).
+ * A BenchHarness owns a registry of named scenarios; each scenario is
+ * a callback that runs some simulation work and reports what it
+ * measured (simulated cycles, committed uops, per-mode model error
+ * with per-term attribution). The harness times warmup + N repeats of
+ * every scenario, aggregates wall time and throughput robustly
+ * (median + median-absolute-deviation, so one noisy repeat cannot
+ * skew the record), and writes one BENCH_<scenario>.json per scenario
+ * — the machine-readable perf trajectory that tools/tca_compare diffs
+ * across runs and CI gates on.
+ *
+ * Layering: tca_obs sits below tca_cpu, so the harness knows nothing
+ * about cores or workloads — scenarios close over whatever they need
+ * and are registered by the bench binary.
+ */
+
+#ifndef TCASIM_OBS_BENCH_HARNESS_HH
+#define TCASIM_OBS_BENCH_HARNESS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/interval_profiler.hh"
+
+namespace tca {
+
+class JsonWriter;
+
+namespace obs {
+
+/** Wall-clock stopwatch on the steady clock. */
+class WallTimer
+{
+  public:
+    WallTimer() : start(std::chrono::steady_clock::now()) {}
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }
+
+    void reset() { start = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start;
+};
+
+/** Robust summary of repeated measurements. */
+struct MetricSummary
+{
+    std::vector<double> samples;
+    double median = 0.0;
+    double mad = 0.0; ///< median absolute deviation
+};
+
+/** Median of a sample set (empty -> 0). */
+double medianOf(std::vector<double> values);
+
+/** Median + MAD over the samples (which the summary keeps). */
+MetricSummary summarize(std::vector<double> samples);
+
+/** items/second for one timed sample (0 when seconds is not > 0). */
+double throughputPerSec(uint64_t items, double seconds);
+
+/**
+ * Model-vs-simulator error for one TCA mode: the headline mean
+ * absolute speedup error plus, per interval term, how far the model's
+ * equation is from the measured breakdown — so a regression report
+ * says not just "error grew" but *which* of t_non_accl/t_accl/
+ * t_drain/t_commit drives it.
+ */
+struct ModeErrorReport
+{
+    std::string mode;                 ///< paper name, e.g. "NL_T"
+    double meanAbsErrorPercent = 0.0; ///< mean |speedup error| (%)
+    IntervalBreakdown termGap;        ///< mean |model - measured|/term
+    std::string dominantTerm;         ///< term with the largest gap
+};
+
+/** Name of the interval term with the largest gap. */
+std::string dominantTermName(const IntervalBreakdown &gap);
+
+/** What one scenario execution measured (totals over all its runs). */
+struct ScenarioMetrics
+{
+    uint64_t simCycles = 0;      ///< simulated cycles, all runs summed
+    uint64_t committedUops = 0;  ///< committed uops, all runs summed
+    std::vector<ModeErrorReport> modeErrors;
+};
+
+/** A registered scenario. */
+struct BenchScenario
+{
+    std::string name;        ///< BENCH_<name>.json
+    std::string description;
+    /** Run the scenario once; `quick` asks for a reduced workload. */
+    std::function<ScenarioMetrics(bool quick)> run;
+};
+
+/** Harness configuration (mirrors tca_bench's flags). */
+struct BenchOptions
+{
+    int repeats = 3;
+    int warmup = 1;
+    bool quick = false;
+    std::string filter; ///< substring filter; empty matches all
+    std::string outDir; ///< "" -> $TCA_OUT_DIR, else "."
+};
+
+/** Aggregated outcome of one scenario. */
+struct ScenarioOutcome
+{
+    std::string name;
+    std::string description;
+    MetricSummary wallSeconds;
+    MetricSummary uopsPerSec;
+    uint64_t simCycles = 0;
+    uint64_t committedUops = 0;
+    std::vector<ModeErrorReport> modeErrors;
+    std::string jsonPath; ///< BENCH_<name>.json written ("" on failure)
+};
+
+/**
+ * The harness. add() scenarios, then runAll(); every selected scenario
+ * runs `warmup + repeats` times and produces one ScenarioOutcome plus
+ * one BENCH_<name>.json in the output directory.
+ */
+class BenchHarness
+{
+  public:
+    explicit BenchHarness(BenchOptions options);
+
+    void add(BenchScenario scenario);
+
+    const std::vector<BenchScenario> &scenarios() const
+    {
+        return registry;
+    }
+
+    /** Directory BENCH_*.json files go to. */
+    std::string resolvedOutDir() const;
+
+    /** Run every scenario matching the filter. */
+    std::vector<ScenarioOutcome> runAll();
+
+    /** Render one outcome as a BENCH json document. */
+    void writeBenchJson(const ScenarioOutcome &outcome,
+                        JsonWriter &json) const;
+
+    /** One summary row per outcome, as a text table. */
+    static void printSummary(const std::vector<ScenarioOutcome> &outcomes,
+                             std::ostream &os);
+
+  private:
+    ScenarioOutcome runScenario(const BenchScenario &scenario);
+
+    BenchOptions opts;
+    std::vector<BenchScenario> registry;
+};
+
+} // namespace obs
+} // namespace tca
+
+#endif // TCASIM_OBS_BENCH_HARNESS_HH

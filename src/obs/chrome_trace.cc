@@ -1,0 +1,280 @@
+#include "obs/chrome_trace.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/manifest.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace tca {
+namespace obs {
+
+namespace {
+
+/** Stage tracks uop duration events land on (trace tids). */
+constexpr uint64_t kPid = 1;
+constexpr uint64_t kTidWindow = 1;  ///< dispatch -> issue
+constexpr uint64_t kTidExecute = 2; ///< issue -> complete
+constexpr uint64_t kTidCommit = 3;  ///< complete -> retire
+constexpr uint64_t kTidAccel = 4;   ///< async accelerator spans
+constexpr uint64_t kTidDrain = 5;   ///< async ROB-drain spans
+
+/** Emit the fixed fields every event carries. */
+void
+eventHeader(JsonWriter &json, const char *name, const char *cat,
+            const char *phase, uint64_t ts, uint64_t tid)
+{
+    json.kv("name", name);
+    json.kv("cat", cat);
+    json.kv("ph", phase);
+    json.kv("ts", ts);
+    json.kv("pid", kPid);
+    json.kv("tid", tid);
+}
+
+} // anonymous namespace
+
+ChromeTraceWriter::ChromeTraceWriter(size_t window_size,
+                                     mem::Cycle counter_period)
+    : window(window_size), counterPeriod(counter_period)
+{
+    tca_assert(window > 0);
+    ring.reserve(window < 4096 ? window : 4096);
+}
+
+size_t
+ChromeTraceWriter::size() const
+{
+    return ring.size();
+}
+
+void
+ChromeTraceWriter::onRunBegin(const RunContext &ctx)
+{
+    context = ctx;
+    ring.clear();
+    next = 0;
+    total = 0;
+    accelSpans.clear();
+    counters.clear();
+    nextCounterAt = 0;
+    runCycles = 0;
+    runUops = 0;
+}
+
+void
+ChromeTraceWriter::onRunEnd(mem::Cycle cycles, uint64_t committed_uops)
+{
+    runCycles = cycles;
+    runUops = committed_uops;
+}
+
+void
+ChromeTraceWriter::onCycle(mem::Cycle now, uint32_t rob_occupancy)
+{
+    if (counterPeriod == 0 || now < nextCounterAt)
+        return;
+    // Bounded like the uop ring: drop oldest-first by overwriting is
+    // pointless for a counter, so once full just stop sampling.
+    if (counters.size() >= window)
+        return;
+    counters.push_back({now, rob_occupancy});
+    nextCounterAt = now + counterPeriod;
+}
+
+void
+ChromeTraceWriter::onCommit(const UopLifecycle &uop)
+{
+    if (ring.size() < window) {
+        ring.push_back(uop);
+    } else {
+        ring[next] = uop;
+        next = (next + 1) % window;
+    }
+    ++total;
+}
+
+void
+ChromeTraceWriter::onAccelInvocation(uint8_t port, uint32_t invocation,
+                                     const char *device, mem::Cycle start,
+                                     mem::Cycle complete,
+                                     uint32_t compute_latency,
+                                     uint32_t num_requests)
+{
+    if (accelSpans.size() >= window)
+        return;
+    accelSpans.push_back({port, invocation, device ? device : "accel",
+                          start, complete, compute_latency,
+                          num_requests});
+}
+
+void
+ChromeTraceWriter::writeUopEvents(JsonWriter &json) const
+{
+    // Oldest first: when the ring wrapped, `next` is the oldest slot.
+    for (size_t i = 0; i < ring.size(); ++i) {
+        const UopLifecycle &u = ring[(next + i) % ring.size()];
+        std::string name = trace::opClassName(u.cls);
+        if (u.isAccel())
+            name += " inv" + std::to_string(u.accelInvocation);
+
+        auto stage = [&](uint64_t tid, mem::Cycle begin, mem::Cycle end) {
+            if (end < begin)
+                end = begin;
+            json.beginObject();
+            eventHeader(json, name.c_str(), "uop", "X", begin, tid);
+            json.kv("dur", end - begin);
+            json.key("args");
+            json.beginObject();
+            json.kv("seq", u.seq);
+            json.endObject();
+            json.endObject();
+        };
+        stage(kTidWindow, u.dispatch, u.issue);
+        stage(kTidExecute, u.issue, u.complete);
+        stage(kTidCommit, u.complete, u.commit);
+
+        // An accel uop that sat in the window before issuing marks an
+        // NL-mode drain (or an L-mode arbitration wait): surface the
+        // wait as its own async span so it is visible at a glance.
+        mem::Cycle ready = u.dispatch + 1;
+        if (u.isAccel() && u.issue > ready) {
+            json.beginObject();
+            eventHeader(json, "rob_drain", "rob", "b", ready, kTidDrain);
+            json.kv("id", u.seq);
+            json.endObject();
+            json.beginObject();
+            eventHeader(json, "rob_drain", "rob", "e", u.issue,
+                        kTidDrain);
+            json.kv("id", u.seq);
+            json.endObject();
+        }
+    }
+}
+
+void
+ChromeTraceWriter::writeAccelEvents(JsonWriter &json) const
+{
+    for (const AccelSpan &span : accelSpans) {
+        json.beginObject();
+        eventHeader(json, span.device.c_str(), "accel", "b", span.start,
+                    kTidAccel);
+        json.kv("id", static_cast<uint64_t>(span.invocation));
+        json.key("args");
+        json.beginObject();
+        json.kv("port", static_cast<uint64_t>(span.port));
+        json.kv("compute_latency",
+                static_cast<uint64_t>(span.computeLatency));
+        json.kv("mem_requests", static_cast<uint64_t>(span.numRequests));
+        json.endObject();
+        json.endObject();
+
+        json.beginObject();
+        mem::Cycle end = span.complete < span.start ? span.start
+                                                    : span.complete;
+        eventHeader(json, span.device.c_str(), "accel", "e", end,
+                    kTidAccel);
+        json.kv("id", static_cast<uint64_t>(span.invocation));
+        json.endObject();
+    }
+}
+
+void
+ChromeTraceWriter::writeCounterEvents(JsonWriter &json) const
+{
+    for (const CounterSample &sample : counters) {
+        json.beginObject();
+        eventHeader(json, "rob_occupancy", "rob", "C", sample.cycle, 0);
+        json.key("args");
+        json.beginObject();
+        json.kv("occupancy", static_cast<uint64_t>(sample.occupancy));
+        json.endObject();
+        json.endObject();
+    }
+}
+
+void
+ChromeTraceWriter::writeMetadata(JsonWriter &json) const
+{
+    std::string process = "tcasim";
+    if (!context.coreName.empty())
+        process += " (" + context.coreName + ")";
+    json.beginObject();
+    eventHeader(json, "process_name", "__metadata", "M", 0, 0);
+    json.key("args");
+    json.beginObject();
+    json.kv("name", process);
+    json.endObject();
+    json.endObject();
+
+    auto thread = [&](uint64_t tid, const char *label) {
+        json.beginObject();
+        eventHeader(json, "thread_name", "__metadata", "M", 0, tid);
+        json.key("args");
+        json.beginObject();
+        json.kv("name", label);
+        json.endObject();
+        json.endObject();
+    };
+    thread(kTidWindow, "window: dispatch->issue");
+    thread(kTidExecute, "execute: issue->complete");
+    thread(kTidCommit, "commit wait: complete->retire");
+    thread(kTidAccel, "accelerator invocations");
+    thread(kTidDrain, "rob drain windows");
+}
+
+void
+ChromeTraceWriter::write(std::ostream &os) const
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.key("traceEvents");
+    json.beginArray();
+    writeMetadata(json);
+    writeUopEvents(json);
+    writeAccelEvents(json);
+    writeCounterEvents(json);
+    json.endArray();
+    // One simulated cycle == one trace microsecond.
+    json.kv("displayTimeUnit", "ms");
+    json.key("otherData");
+    json.beginObject();
+    json.kv("tool", "tcasim");
+    json.kv("version", RunManifest::buildVersion());
+    json.kv("run_cycles", runCycles);
+    json.kv("run_uops", runUops);
+    json.kv("committed_seen", total);
+    json.kv("committed_retained", static_cast<uint64_t>(ring.size()));
+    json.endObject();
+    json.endObject();
+    os << '\n';
+}
+
+std::string
+ChromeTraceWriter::str() const
+{
+    std::ostringstream os;
+    write(os);
+    return os.str();
+}
+
+std::string
+ChromeTraceWriter::writeIfRequested(const std::string &run_name) const
+{
+    std::string dir = artifactDir(run_name);
+    if (dir.empty())
+        return "";
+    std::string path = dir + "/trace.json";
+    std::ofstream out(path);
+    if (!out) {
+        warn("dropping chrome trace: cannot write '%s'", path.c_str());
+        return "";
+    }
+    write(out);
+    inform("wrote chrome trace %s", path.c_str());
+    return path;
+}
+
+} // namespace obs
+} // namespace tca

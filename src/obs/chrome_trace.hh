@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Chrome trace-event / Perfetto JSON timeline. A ChromeTraceWriter is
+ * an EventSink (attachable wherever a PipeViewWriter is today) that
+ * renders a run as a trace-event document loadable in Perfetto or
+ * chrome://tracing:
+ *
+ *  - uop lifecycles as duration ("X") events on three per-stage
+ *    tracks: window wait (dispatch->issue), execute (issue->complete),
+ *    and commit wait (complete->retire);
+ *  - accelerator invocations and NL-mode ROB-drain windows as
+ *    nestable async ("b"/"e") spans;
+ *  - ROB occupancy as periodic counter ("C") events.
+ *
+ * One simulated cycle maps to one trace microsecond. Like the
+ * O3PipeView ring, only the last `window` committed uops are retained,
+ * so tracing a multi-million-uop run stays bounded in memory.
+ */
+
+#ifndef TCASIM_OBS_CHROME_TRACE_HH
+#define TCASIM_OBS_CHROME_TRACE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/event_sink.hh"
+
+namespace tca {
+
+class JsonWriter;
+
+namespace obs {
+
+/**
+ * Trace-event recorder. State resets at onRunBegin, so one writer
+ * observes one run at a time; call write() between runs.
+ */
+class ChromeTraceWriter : public EventSink
+{
+  public:
+    /**
+     * @param window maximum retained uop records (must be > 0)
+     * @param counter_period cycles between ROB-occupancy counter
+     *        samples (0 disables the counter track)
+     */
+    explicit ChromeTraceWriter(size_t window = 4096,
+                               mem::Cycle counter_period = 64);
+
+    /** Retained uop records (<= window). */
+    size_t size() const;
+
+    /** Total committed uops observed, including overwritten ones. */
+    uint64_t totalCommitted() const { return total; }
+
+    /**
+     * Render the retained events as one trace-event JSON document:
+     * {"traceEvents": [...], "displayTimeUnit": "ms", ...}.
+     */
+    void write(std::ostream &os) const;
+
+    /** Render to a string (for tests). */
+    std::string str() const;
+
+    /**
+     * Write <$TCA_OUT_DIR>/<run_name>/trace.json (the same directory
+     * writeRunArtifacts uses). No-op returning "" when TCA_OUT_DIR is
+     * unset or the directory cannot be created.
+     *
+     * @return the path written, or "" when disabled/failed
+     */
+    std::string writeIfRequested(const std::string &run_name) const;
+
+    // EventSink
+    void onRunBegin(const RunContext &ctx) override;
+    void onRunEnd(mem::Cycle cycles, uint64_t committed_uops) override;
+    void onCycle(mem::Cycle now, uint32_t rob_occupancy) override;
+    void onCommit(const UopLifecycle &uop) override;
+    void onAccelInvocation(uint8_t port, uint32_t invocation,
+                           const char *device, mem::Cycle start,
+                           mem::Cycle complete, uint32_t compute_latency,
+                           uint32_t num_requests) override;
+
+  private:
+    /** One accelerator invocation span. */
+    struct AccelSpan
+    {
+        uint8_t port;
+        uint32_t invocation;
+        std::string device;
+        mem::Cycle start;
+        mem::Cycle complete;
+        uint32_t computeLatency;
+        uint32_t numRequests;
+    };
+
+    /** One ROB-occupancy counter sample. */
+    struct CounterSample
+    {
+        mem::Cycle cycle;
+        uint32_t occupancy;
+    };
+
+    void writeUopEvents(JsonWriter &json) const;
+    void writeAccelEvents(JsonWriter &json) const;
+    void writeCounterEvents(JsonWriter &json) const;
+    void writeMetadata(JsonWriter &json) const;
+
+    size_t window;
+    mem::Cycle counterPeriod;
+
+    RunContext context;
+    std::vector<UopLifecycle> ring;
+    size_t next = 0;     ///< ring slot the next record goes to
+    uint64_t total = 0;  ///< lifetime committed count
+
+    std::vector<AccelSpan> accelSpans;     ///< capped at window entries
+    std::vector<CounterSample> counters;   ///< capped at window entries
+    mem::Cycle nextCounterAt = 0;
+    mem::Cycle runCycles = 0;
+    uint64_t runUops = 0;
+};
+
+} // namespace obs
+} // namespace tca
+
+#endif // TCASIM_OBS_CHROME_TRACE_HH

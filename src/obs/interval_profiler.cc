@@ -94,6 +94,7 @@ IntervalProfiler::summary() const
         s.mean.commit += rec.commit;
         s.meanTotal += rec.total;
         s.meanUops += static_cast<double>(rec.committedUops);
+        s.accelLatency.sample(rec.accl);
     }
     if (s.count) {
         double n = static_cast<double>(s.count);
@@ -127,6 +128,8 @@ IntervalProfiler::toJson(JsonWriter &json) const
     json.kv("mean_uops", s.meanUops);
     json.kv("tail_cycles", s.tailCycles);
     json.kv("tail_uops", s.tailUops);
+    json.key("accel_latency");
+    s.accelLatency.toJson(json);
     json.endObject();
     json.key("intervals");
     json.beginArray();

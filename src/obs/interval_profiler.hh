@@ -28,6 +28,7 @@
 #include "model/interval_model.hh"
 #include "model/tca_mode.hh"
 #include "obs/event_sink.hh"
+#include "stats/stats.hh"
 
 namespace tca {
 
@@ -72,6 +73,17 @@ struct IntervalSummary
     double meanUops = 0.0;       ///< mean committed uops per interval
     uint64_t tailCycles = 0;     ///< cycles after the last boundary
     uint64_t tailUops = 0;       ///< uops committed after it
+
+    static constexpr uint64_t accelLatencyBucketWidth = 2;
+    static constexpr size_t accelLatencyNumBuckets = 512;
+
+    /**
+     * Per-invocation accelerator latency (the t_accl term of each
+     * interval) as a bucketed distribution, so benches can report
+     * tail latency (p95/p99) next to the mean.
+     */
+    stats::Distribution accelLatency{
+        accelLatencyBucketWidth, accelLatencyNumBuckets};
 };
 
 /**

@@ -1,6 +1,8 @@
 #include "obs/manifest.hh"
 
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <ctime>
 #include <filesystem>
 #include <fstream>
@@ -131,8 +133,9 @@ artifactDir(const std::string &run_name)
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     if (ec) {
-        warn("cannot create artifact dir '%s': %s", dir.c_str(),
-             ec.message().c_str());
+        warn("dropping run artifacts: cannot create '%s': %s "
+             "(error %d)",
+             dir.c_str(), ec.message().c_str(), ec.value());
         return "";
     }
     return dir.string();
@@ -150,7 +153,9 @@ writeRunArtifacts(const RunManifest &manifest,
         std::string path = dir + "/manifest.json";
         std::ofstream out(path);
         if (!out) {
-            warn("cannot write '%s'", path.c_str());
+            warn("dropping run artifacts: cannot write '%s': %s "
+                 "(errno %d)",
+                 path.c_str(), std::strerror(errno), errno);
             return "";
         }
         out << manifest.str() << '\n';
@@ -159,7 +164,9 @@ writeRunArtifacts(const RunManifest &manifest,
         std::string path = dir + "/stats.json";
         std::ofstream out(path);
         if (!out) {
-            warn("cannot write '%s'", path.c_str());
+            warn("dropping stats.json: cannot write '%s': %s "
+                 "(errno %d)",
+                 path.c_str(), std::strerror(errno), errno);
             return "";
         }
         stats::dumpGroupsJson(groups, out);

@@ -1,0 +1,223 @@
+#include "obs/stat_diff.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/table.hh"
+
+namespace tca {
+namespace obs {
+
+namespace {
+
+bool
+containsToken(const std::string &path, const char *token)
+{
+    return path.find(token) != std::string::npos;
+}
+
+bool
+watchedPath(const std::string &path,
+            const std::vector<std::string> &watch)
+{
+    if (watch.empty())
+        return true;
+    for (const std::string &prefix : watch) {
+        if (path.compare(0, prefix.size(), prefix) == 0)
+            return true;
+    }
+    return false;
+}
+
+void
+flattenInto(const JsonValue &value, const std::string &prefix,
+            std::map<std::string, double> &out)
+{
+    switch (value.kind) {
+      case JsonValue::Kind::Number:
+        if (!prefix.empty())
+            out[prefix] = value.number;
+        break;
+      case JsonValue::Kind::Object:
+        for (const auto &[key, member] : value.members) {
+            flattenInto(member,
+                        prefix.empty() ? key : prefix + "." + key, out);
+        }
+        break;
+      default:
+        // Arrays hold raw samples; strings/bools/nulls are metadata.
+        break;
+    }
+}
+
+} // anonymous namespace
+
+MetricDirection
+inferDirection(const std::string &path)
+{
+    // Throughput-like tokens first: "uops_per_sec" must not match the
+    // cost rules below via a shared substring.
+    for (const char *token : {"per_sec", "speedup", "throughput", "ipc",
+                              "hit_rate", "hits"}) {
+        if (containsToken(path, token))
+            return MetricDirection::HigherIsBetter;
+    }
+    for (const char *token : {"error", "cycles", "seconds", "wall",
+                              "latency", "stall", "miss", "mad", "gap",
+                              "drain"}) {
+        if (containsToken(path, token))
+            return MetricDirection::LowerIsBetter;
+    }
+    return MetricDirection::Unknown;
+}
+
+std::map<std::string, double>
+flattenNumeric(const JsonValue &doc)
+{
+    std::map<std::string, double> out;
+    flattenInto(doc, "", out);
+    return out;
+}
+
+std::string
+diffStatusName(DiffStatus status)
+{
+    switch (status) {
+      case DiffStatus::Unchanged:    return "unchanged";
+      case DiffStatus::Improved:     return "improved";
+      case DiffStatus::Regressed:    return "REGRESSED";
+      case DiffStatus::Changed:      return "changed";
+      case DiffStatus::MissingInNew: return "MISSING";
+      case DiffStatus::MissingInOld: return "new";
+    }
+    return "?";
+}
+
+DiffReport
+diffStats(const std::map<std::string, double> &old_stats,
+          const std::map<std::string, double> &new_stats,
+          const DiffOptions &options)
+{
+    DiffReport report;
+
+    auto classify = [&](StatDelta &d) {
+        if (!d.inOld || !d.inNew) {
+            d.status = d.inOld ? DiffStatus::MissingInNew
+                               : DiffStatus::MissingInOld;
+            if (d.status == DiffStatus::MissingInNew && d.watched)
+                ++report.numMissing;
+            return;
+        }
+        d.delta = d.newValue - d.oldValue;
+        if (std::fabs(d.delta) <= options.absoluteEpsilon) {
+            d.status = DiffStatus::Unchanged;
+            return;
+        }
+        d.relPercent = d.oldValue != 0.0
+            ? 100.0 * d.delta / std::fabs(d.oldValue)
+            : (d.delta > 0 ? 100.0 : -100.0); // appeared from zero
+        if (std::fabs(d.relPercent) <= options.thresholdPercent) {
+            d.status = DiffStatus::Unchanged;
+            return;
+        }
+        bool worse;
+        switch (d.direction) {
+          case MetricDirection::LowerIsBetter:
+            worse = d.delta > 0;
+            break;
+          case MetricDirection::HigherIsBetter:
+            worse = d.delta < 0;
+            break;
+          case MetricDirection::Unknown:
+          default:
+            d.status = DiffStatus::Changed;
+            return;
+        }
+        d.status = worse ? DiffStatus::Regressed : DiffStatus::Improved;
+        if (worse && d.watched)
+            ++report.numRegressions;
+        else if (!worse)
+            ++report.numImprovements;
+    };
+
+    // Walk the union of both key sets (both maps are sorted).
+    auto it_old = old_stats.begin();
+    auto it_new = new_stats.begin();
+    while (it_old != old_stats.end() || it_new != new_stats.end()) {
+        StatDelta d;
+        bool take_old = it_new == new_stats.end() ||
+            (it_old != old_stats.end() && it_old->first <= it_new->first);
+        bool take_new = it_old == old_stats.end() ||
+            (it_new != new_stats.end() && it_new->first <= it_old->first);
+        if (take_old) {
+            d.path = it_old->first;
+            d.inOld = true;
+            d.oldValue = it_old->second;
+            ++it_old;
+        }
+        if (take_new) {
+            d.path = it_new->first;
+            d.inNew = true;
+            d.newValue = it_new->second;
+            ++it_new;
+        }
+        d.direction = inferDirection(d.path);
+        d.watched = watchedPath(d.path, options.watch) &&
+            (d.direction != MetricDirection::Unknown || !d.inNew);
+        classify(d);
+        report.deltas.push_back(std::move(d));
+    }
+    return report;
+}
+
+bool
+diffJsonDocuments(const std::string &old_text, const std::string &new_text,
+                  const DiffOptions &options, DiffReport &report,
+                  std::string *error)
+{
+    JsonValue old_doc, new_doc;
+    std::string parse_error;
+    if (!parseJson(old_text, old_doc, &parse_error)) {
+        if (error)
+            *error = "old document: " + parse_error;
+        return false;
+    }
+    if (!parseJson(new_text, new_doc, &parse_error)) {
+        if (error)
+            *error = "new document: " + parse_error;
+        return false;
+    }
+    report = diffStats(flattenNumeric(old_doc), flattenNumeric(new_doc),
+                       options);
+    return true;
+}
+
+void
+printDiff(const DiffReport &report, std::ostream &os, bool only_changed)
+{
+    TextTable table;
+    table.setHeader({"stat", "old", "new", "delta", "delta %",
+                     "status"});
+    for (const StatDelta &d : report.deltas) {
+        if (only_changed && d.status == DiffStatus::Unchanged)
+            continue;
+        std::string status = diffStatusName(d.status);
+        if ((d.status == DiffStatus::Regressed ||
+             d.status == DiffStatus::MissingInNew) && !d.watched)
+            status += " (unwatched)";
+        table.addRow(
+            {d.path, d.inOld ? TextTable::fmt(d.oldValue, 4) : "-",
+             d.inNew ? TextTable::fmt(d.newValue, 4) : "-",
+             d.inOld && d.inNew ? TextTable::fmt(d.delta, 4) : "-",
+             d.inOld && d.inNew ? TextTable::fmt(d.relPercent, 2) : "-",
+             status});
+    }
+    if (table.numRows() == 0) {
+        os << "no stat moved past the threshold\n";
+        return;
+    }
+    table.print(os);
+}
+
+} // namespace obs
+} // namespace tca

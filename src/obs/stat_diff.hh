@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Cross-run stat diffing (the library behind tools/tca_compare). Two
+ * machine-readable run artifacts — stats.json or BENCH_*.json — are
+ * flattened into dot-joined numeric leaves, paired up, and classified
+ * per stat as improved / regressed / changed / missing against a
+ * relative threshold. Each metric's "good" direction is inferred from
+ * its name (error, cycles, latency shrink; uops_per_sec, speedup
+ * grow), so the same tool gates both perf and model-accuracy
+ * regressions in CI.
+ */
+
+#ifndef TCASIM_OBS_STAT_DIFF_HH
+#define TCASIM_OBS_STAT_DIFF_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace tca {
+namespace obs {
+
+/** Which way a metric should move to count as an improvement. */
+enum class MetricDirection : uint8_t {
+    LowerIsBetter,
+    HigherIsBetter,
+    Unknown, ///< reported, never gates
+};
+
+/**
+ * Infer a metric's direction from its path. Name tokens decide:
+ * throughput-like names (per_sec, speedup, ipc, hit) grow; cost-like
+ * names (error, cycles, seconds, latency, stall, miss, mad, gap)
+ * shrink; anything else is Unknown and purely informational.
+ */
+MetricDirection inferDirection(const std::string &path);
+
+/**
+ * Flatten a parsed JSON document into numeric leaves keyed by
+ * dot-joined object paths. Arrays, strings, bools, and nulls are
+ * skipped — a run artifact's comparable surface is its numbers.
+ */
+std::map<std::string, double> flattenNumeric(const JsonValue &doc);
+
+/** Outcome classification of one stat's delta. */
+enum class DiffStatus : uint8_t {
+    Unchanged,
+    Improved,
+    Regressed,
+    Changed,      ///< moved past threshold, direction unknown
+    MissingInNew, ///< stat disappeared
+    MissingInOld, ///< stat is new
+};
+
+/** Human-readable status label. */
+std::string diffStatusName(DiffStatus status);
+
+/** One stat's comparison. */
+struct StatDelta
+{
+    std::string path;
+    bool inOld = false;
+    bool inNew = false;
+    double oldValue = 0.0;
+    double newValue = 0.0;
+    double delta = 0.0;      ///< new - old
+    double relPercent = 0.0; ///< 100 * delta / |old|
+    MetricDirection direction = MetricDirection::Unknown;
+    DiffStatus status = DiffStatus::Unchanged;
+    bool watched = false;    ///< participates in the exit-code gate
+};
+
+/** Comparison policy. */
+struct DiffOptions
+{
+    /** Relative change (percent) below which a stat is unchanged. */
+    double thresholdPercent = 5.0;
+
+    /**
+     * Path prefixes that gate the exit code. Empty = every stat with
+     * a known direction gates. A watched stat missing from the new
+     * run also counts as a failure.
+     */
+    std::vector<std::string> watch;
+
+    /** Absolute deltas at or below this are noise, never flagged. */
+    double absoluteEpsilon = 1e-12;
+};
+
+/** Full comparison result. */
+struct DiffReport
+{
+    std::vector<StatDelta> deltas; ///< sorted by path
+    size_t numRegressions = 0;     ///< watched regressions
+    size_t numImprovements = 0;
+    size_t numMissing = 0;         ///< watched stats gone in new
+
+    /** True when the comparison should fail (non-zero exit). */
+    bool failed() const { return numRegressions > 0 || numMissing > 0; }
+};
+
+/** Compare two flattened stat maps. */
+DiffReport diffStats(const std::map<std::string, double> &old_stats,
+                     const std::map<std::string, double> &new_stats,
+                     const DiffOptions &options = {});
+
+/**
+ * Parse both documents and compare. Returns false (with *error set)
+ * when either input is not valid JSON.
+ */
+bool diffJsonDocuments(const std::string &old_text,
+                       const std::string &new_text,
+                       const DiffOptions &options, DiffReport &report,
+                       std::string *error = nullptr);
+
+/**
+ * Render the report as a per-stat delta table.
+ *
+ * @param only_changed suppress Unchanged rows
+ */
+void printDiff(const DiffReport &report, std::ostream &os,
+               bool only_changed = true);
+
+} // namespace obs
+} // namespace tca
+
+#endif // TCASIM_OBS_STAT_DIFF_HH

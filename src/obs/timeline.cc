@@ -1,0 +1,80 @@
+#include "obs/timeline.hh"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/manifest.hh"
+#include "util/logging.hh"
+
+namespace tca {
+namespace obs {
+
+TimelineKind
+parseTimelineKind(const std::string &value)
+{
+    if (value == "o3" || value == "pipeview")
+        return TimelineKind::O3;
+    if (value == "csv")
+        return TimelineKind::Csv;
+    if (value == "chrome" || value == "perfetto" || value == "trace")
+        return TimelineKind::Chrome;
+    if (!value.empty()) {
+        warn("unknown TCA_TIMELINE '%s' (want o3, csv, or chrome)",
+             value.c_str());
+    }
+    return TimelineKind::None;
+}
+
+TimelineSink::TimelineSink(TimelineKind kind, size_t window)
+    : selected(kind)
+{
+    if (kind == TimelineKind::Chrome)
+        chrome = std::make_unique<ChromeTraceWriter>(window);
+    else
+        pipeview = std::make_unique<PipeViewWriter>(window);
+}
+
+EventSink &
+TimelineSink::sink()
+{
+    if (chrome)
+        return *chrome;
+    return *pipeview;
+}
+
+std::string
+TimelineSink::writeArtifact(const std::string &run_name) const
+{
+    if (selected == TimelineKind::Chrome)
+        return chrome->writeIfRequested(run_name);
+
+    std::string dir = artifactDir(run_name);
+    if (dir.empty())
+        return "";
+    bool csv = selected == TimelineKind::Csv;
+    std::string path = dir + (csv ? "/pipeview.csv" : "/pipeview.txt");
+    std::ofstream out(path);
+    if (!out) {
+        warn("dropping timeline: cannot write '%s'", path.c_str());
+        return "";
+    }
+    pipeview->write(out, csv ? PipeViewFormat::Csv
+                             : PipeViewFormat::O3PipeView);
+    inform("wrote timeline %s", path.c_str());
+    return path;
+}
+
+std::unique_ptr<TimelineSink>
+requestedTimelineSink(size_t window)
+{
+    const char *env = std::getenv("TCA_TIMELINE");
+    if (!env || !*env)
+        return nullptr;
+    TimelineKind kind = parseTimelineKind(env);
+    if (kind == TimelineKind::None)
+        return nullptr;
+    return std::make_unique<TimelineSink>(kind, window);
+}
+
+} // namespace obs
+} // namespace tca

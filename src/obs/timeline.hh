@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Environment-selected timeline sink. Benches that want a per-uop
+ * timeline attach whatever `TCA_TIMELINE` asks for — the O3PipeView
+ * text ring, its CSV form, or the Chrome trace-event JSON writer —
+ * through one factory, so every place that could attach a
+ * PipeViewWriter can produce a Perfetto-loadable trace instead by
+ * flipping an environment variable:
+ *
+ *   TCA_TIMELINE=chrome TCA_OUT_DIR=out ./build/bench/fig5_heap
+ *   -> out/fig5_heap/trace.json (open in ui.perfetto.dev)
+ *   TCA_TIMELINE=o3 ...          -> out/fig5_heap/pipeview.txt
+ *   TCA_TIMELINE=csv ...         -> out/fig5_heap/pipeview.csv
+ */
+
+#ifndef TCASIM_OBS_TIMELINE_HH
+#define TCASIM_OBS_TIMELINE_HH
+
+#include <memory>
+#include <string>
+
+#include "obs/chrome_trace.hh"
+#include "obs/pipeview.hh"
+
+namespace tca {
+namespace obs {
+
+/** Timeline formats TCA_TIMELINE can select. */
+enum class TimelineKind : uint8_t {
+    None,   ///< unset or unrecognized: no timeline
+    O3,     ///< gem5 O3PipeView text
+    Csv,    ///< pipeview CSV
+    Chrome, ///< Chrome trace-event / Perfetto JSON
+};
+
+/** Parse a TCA_TIMELINE value ("o3", "csv", "chrome"; else None). */
+TimelineKind parseTimelineKind(const std::string &value);
+
+/**
+ * One selected timeline: the sink to attach and the writer that turns
+ * it into a run artifact afterwards.
+ */
+class TimelineSink
+{
+  public:
+    explicit TimelineSink(TimelineKind kind, size_t window = 4096);
+
+    TimelineKind kind() const { return selected; }
+
+    /** The sink to attach to a core (never null). */
+    EventSink &sink();
+
+    /**
+     * Write the captured timeline under $TCA_OUT_DIR/<run_name>/
+     * (trace.json, pipeview.txt, or pipeview.csv by kind).
+     *
+     * @return the path written, or "" when TCA_OUT_DIR is unset or
+     *         the write failed
+     */
+    std::string writeArtifact(const std::string &run_name) const;
+
+  private:
+    TimelineKind selected;
+    std::unique_ptr<PipeViewWriter> pipeview;
+    std::unique_ptr<ChromeTraceWriter> chrome;
+};
+
+/**
+ * The sink $TCA_TIMELINE asks for, or nullptr when it is unset (the
+ * common case: timelines cost memory and are opt-in).
+ */
+std::unique_ptr<TimelineSink> requestedTimelineSink(size_t window = 4096);
+
+} // namespace obs
+} // namespace tca
+
+#endif // TCASIM_OBS_TIMELINE_HH

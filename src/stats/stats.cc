@@ -70,6 +70,49 @@ Distribution::stddev() const
     return std::sqrt(variance());
 }
 
+double
+Distribution::percentile(double p) const
+{
+    if (samples == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    if (histogram.empty()) {
+        // Moments-only distribution: the exact order statistics are
+        // gone, so answer what is still known for certain.
+        if (p == 0.0)
+            return minSeen;
+        if (p == 1.0)
+            return maxSeen;
+        return mean();
+    }
+
+    // Index (0-based) of the target sample in sorted order, fractional
+    // so neighbouring percentiles interpolate smoothly.
+    double target = p * static_cast<double>(samples - 1);
+    uint64_t seen = 0;
+    size_t overflow = histogram.size() - 1;
+    for (size_t i = 0; i < histogram.size(); ++i) {
+        uint64_t count = histogram[i];
+        if (count == 0)
+            continue;
+        if (static_cast<double>(seen + count) - 1.0 < target) {
+            seen += count;
+            continue;
+        }
+        // Target sample lands in bucket i: interpolate by the
+        // fraction of the bucket's samples below the target.
+        double within = (target - static_cast<double>(seen)) /
+                        static_cast<double>(count);
+        double lo = static_cast<double>(i) * static_cast<double>(width);
+        double hi = i == overflow
+            ? std::max(maxSeen, lo)
+            : lo + static_cast<double>(width);
+        double value = lo + within * (hi - lo);
+        return std::clamp(value, minSeen, maxSeen);
+    }
+    return maxSeen;
+}
+
 void
 Distribution::toJson(JsonWriter &json) const
 {
@@ -80,6 +123,9 @@ Distribution::toJson(JsonWriter &json) const
     json.kv("min", minValue());
     json.kv("max", maxValue());
     if (!histogram.empty()) {
+        json.kv("p50", p50());
+        json.kv("p95", p95());
+        json.kv("p99", p99());
         json.kv("bucket_width", width);
         json.key("buckets");
         json.beginArray();
@@ -151,6 +197,13 @@ Group::dump(std::ostream &os) const
                       entry.stat->mean(), entry.stat->stddev(),
                       entry.stat->minValue(), entry.stat->maxValue());
         os << buf;
+        if (!entry.stat->buckets().empty()) {
+            std::snprintf(buf, sizeof(buf),
+                          " p50=%.2f p95=%.2f p99=%.2f",
+                          entry.stat->p50(), entry.stat->p95(),
+                          entry.stat->p99());
+            os << buf;
+        }
         if (!entry.desc.empty())
             os << "  # " << entry.desc;
         os << '\n';

@@ -75,6 +75,21 @@ class Distribution
     uint64_t bucketWidth() const { return width; }
 
     /**
+     * Estimate the p-th percentile (p in [0, 1]) by linear
+     * interpolation inside the histogram bucket that holds the target
+     * sample. Requires the histogram to be enabled; with no histogram
+     * (or no samples) it falls back to min/mean/max for p of 0 / 0.5 /
+     * 1 and returns the mean otherwise. Overflow-bucket hits
+     * interpolate toward the recorded maximum, and results are clamped
+     * into [min, max].
+     */
+    double percentile(double p) const;
+
+    double p50() const { return percentile(0.50); }
+    double p95() const { return percentile(0.95); }
+    double p99() const { return percentile(0.99); }
+
+    /**
      * Emit this distribution as a JSON object (moments plus, when the
      * histogram is enabled, bucket width and counts) — the
      * machine-readable counterpart of Group::dump's text line.

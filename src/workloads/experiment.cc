@@ -19,6 +19,31 @@ ExperimentResult::forMode(model::TcaMode mode) const
           static_cast<int>(mode));
 }
 
+cpu::SimResult
+runBaselineOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
+                obs::EventSink *sink,
+                const mem::HierarchyConfig &hierarchy_config)
+{
+    mem::MemHierarchy hierarchy(hierarchy_config);
+    cpu::Core cpu(core, hierarchy);
+    cpu.setEventSink(sink);
+    auto trace = workload.makeBaselineTrace();
+    return cpu.run(*trace);
+}
+
+cpu::SimResult
+runAcceleratedOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
+                   model::TcaMode mode, obs::EventSink *sink,
+                   const mem::HierarchyConfig &hierarchy_config)
+{
+    mem::MemHierarchy hierarchy(hierarchy_config);
+    cpu::Core cpu(core, hierarchy);
+    auto trace = workload.makeAcceleratedTrace();
+    cpu.bindAccelerator(&workload.device(), mode);
+    cpu.setEventSink(sink);
+    return cpu.run(*trace);
+}
+
 ExperimentResult
 runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
               const ExperimentOptions &options)
@@ -27,12 +52,8 @@ runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
     result.workloadName = workload.name();
 
     // Software baseline on a cold hierarchy.
-    {
-        mem::MemHierarchy hierarchy(options.hierarchy);
-        cpu::Core cpu(core, hierarchy);
-        auto trace = workload.makeBaselineTrace();
-        result.baseline = cpu.run(*trace);
-    }
+    result.baseline =
+        runBaselineOnce(workload, core, nullptr, options.hierarchy);
 
     // Calibrate the model from the baseline run and the architect's
     // latency estimate.
@@ -53,14 +74,11 @@ runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
         ModeOutcome &outcome = result.modes[m];
         outcome.mode = mode;
 
-        mem::MemHierarchy hierarchy(options.hierarchy);
-        cpu::Core cpu(core, hierarchy);
-        auto trace = workload.makeAcceleratedTrace();
-        cpu.bindAccelerator(&workload.device(), mode);
         obs::IntervalProfiler profiler;
-        if (options.profileIntervals)
-            cpu.setEventSink(&profiler);
-        outcome.sim = cpu.run(*trace);
+        outcome.sim = runAcceleratedOnce(
+            workload, core, mode,
+            options.profileIntervals ? &profiler : nullptr,
+            options.hierarchy);
         outcome.functionalOk = workload.verifyFunctional();
         if (options.profileIntervals)
             outcome.intervals = profiler.summary();

@@ -84,6 +84,26 @@ struct ExperimentOptions
 };
 
 /**
+ * Run a workload's software-baseline trace once: fresh core, cold
+ * hierarchy, optional event sink. The single-run building block that
+ * runExperiment, the benches, and the microbenchmarks share instead
+ * of each spelling out the hierarchy/core/trace boilerplate.
+ */
+cpu::SimResult
+runBaselineOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
+                obs::EventSink *sink = nullptr,
+                const mem::HierarchyConfig &hierarchy = {});
+
+/**
+ * Run a workload's accelerated trace once in the given TCA mode:
+ * fresh core, cold hierarchy, device bound, optional event sink.
+ */
+cpu::SimResult
+runAcceleratedOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
+                   model::TcaMode mode, obs::EventSink *sink = nullptr,
+                   const mem::HierarchyConfig &hierarchy = {});
+
+/**
  * Run the full validation flow for one workload on one core.
  * Each run uses a cold memory hierarchy.
  */

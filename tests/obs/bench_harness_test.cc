@@ -1,0 +1,203 @@
+/**
+ * @file
+ * BenchHarness tests: robust aggregation (median/MAD), dominant-term
+ * attribution, scenario filtering, and the BENCH_*.json round trip —
+ * written by the harness, parsed back with the library's own JSON
+ * parser, every schema key present.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/bench_harness.hh"
+#include "util/json.hh"
+
+using namespace tca;
+using namespace tca::obs;
+
+namespace {
+
+std::string
+slurp(const std::filesystem::path &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** A deterministic fake scenario with one mode-error report. */
+BenchScenario
+fakeScenario(const std::string &name, int *runs = nullptr)
+{
+    BenchScenario scenario;
+    scenario.name = name;
+    scenario.description = "fake scenario for the round-trip test";
+    scenario.run = [runs](bool quick) {
+        if (runs)
+            ++*runs;
+        ScenarioMetrics m;
+        m.simCycles = quick ? 100 : 1000;
+        m.committedUops = 4000;
+        ModeErrorReport mode;
+        mode.mode = "NL_T";
+        mode.meanAbsErrorPercent = 7.5;
+        mode.termGap.nonAccl = 1.0;
+        mode.termGap.accl = 0.5;
+        mode.termGap.drain = 4.0;
+        mode.termGap.commit = 2.0;
+        mode.dominantTerm = dominantTermName(mode.termGap);
+        m.modeErrors.push_back(std::move(mode));
+        return m;
+    };
+    return scenario;
+}
+
+} // anonymous namespace
+
+TEST(BenchHarness, MedianOfOddEvenEmpty)
+{
+    EXPECT_EQ(medianOf({}), 0.0);
+    EXPECT_EQ(medianOf({3.0}), 3.0);
+    EXPECT_EQ(medianOf({5.0, 1.0, 3.0}), 3.0);
+    EXPECT_EQ(medianOf({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(BenchHarness, SummarizeMedianAndMad)
+{
+    MetricSummary s = summarize({1.0, 2.0, 3.0, 4.0, 100.0});
+    EXPECT_EQ(s.median, 3.0);
+    // Deviations from 3: {2, 1, 0, 1, 97} -> MAD 1: one outlier
+    // cannot move the record.
+    EXPECT_EQ(s.mad, 1.0);
+    EXPECT_EQ(s.samples.size(), 5u);
+}
+
+TEST(BenchHarness, ThroughputGuardsZeroSeconds)
+{
+    EXPECT_EQ(throughputPerSec(1000, 0.0), 0.0);
+    EXPECT_EQ(throughputPerSec(1000, 0.5), 2000.0);
+}
+
+TEST(BenchHarness, DominantTermPicksLargestGap)
+{
+    IntervalBreakdown gap;
+    gap.nonAccl = 1.0;
+    gap.accl = 2.0;
+    gap.drain = 8.0;
+    gap.commit = 4.0;
+    EXPECT_EQ(dominantTermName(gap), "t_drain");
+    gap.commit = 9.0;
+    EXPECT_EQ(dominantTermName(gap), "t_commit");
+    EXPECT_EQ(dominantTermName(IntervalBreakdown{}), "t_non_accl");
+}
+
+TEST(BenchHarness, BenchJsonRoundTrip)
+{
+    auto dir = std::filesystem::temp_directory_path() /
+        "tca_bench_harness_test";
+    std::filesystem::remove_all(dir);
+
+    BenchOptions options;
+    options.repeats = 3;
+    options.warmup = 1;
+    options.outDir = dir.string();
+
+    int runs = 0;
+    BenchHarness harness(options);
+    harness.add(fakeScenario("fake", &runs));
+    std::vector<ScenarioOutcome> outcomes = harness.runAll();
+
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(runs, 4); // 1 warmup + 3 repeats
+    EXPECT_EQ(outcomes[0].simCycles, 1000u);
+    EXPECT_EQ(outcomes[0].uopsPerSec.samples.size(), 3u);
+    ASSERT_FALSE(outcomes[0].jsonPath.empty());
+
+    // Round trip: the file the harness wrote parses with util/json
+    // and carries every schema key tca_compare relies on.
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(slurp(outcomes[0].jsonPath), doc, &error))
+        << error;
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.find("run")->str, "fake");
+    EXPECT_EQ(doc.find("kind")->str, "bench");
+    EXPECT_EQ(doc.find("bench_schema")->number, 1.0);
+    EXPECT_EQ(doc.find("repeats")->number, 3.0);
+    EXPECT_NE(doc.find("version"), nullptr);
+
+    const JsonValue *metrics = doc.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_EQ(metrics->find("sim_cycles")->number, 1000.0);
+    EXPECT_EQ(metrics->find("committed_uops")->number, 4000.0);
+    for (const char *key : {"wall_seconds", "uops_per_sec"}) {
+        const JsonValue *summary = metrics->find(key);
+        ASSERT_NE(summary, nullptr) << key;
+        EXPECT_NE(summary->find("median"), nullptr);
+        EXPECT_NE(summary->find("mad"), nullptr);
+        ASSERT_NE(summary->find("samples"), nullptr);
+        EXPECT_EQ(summary->find("samples")->items.size(), 3u);
+    }
+
+    const JsonValue *mode = doc.find("model_error")->find("NL_T");
+    ASSERT_NE(mode, nullptr);
+    EXPECT_EQ(mode->find("mean_abs_error_percent")->number, 7.5);
+    EXPECT_EQ(mode->find("dominant_term")->str, "t_drain");
+    const JsonValue *gap = mode->find("term_gap");
+    ASSERT_NE(gap, nullptr);
+    for (const char *term :
+         {"t_non_accl", "t_accl", "t_drain", "t_commit"})
+        EXPECT_NE(gap->find(term), nullptr) << term;
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(BenchHarness, FilterSelectsBySubstring)
+{
+    auto dir = std::filesystem::temp_directory_path() /
+        "tca_bench_filter_test";
+    std::filesystem::remove_all(dir);
+
+    BenchOptions options;
+    options.repeats = 1;
+    options.warmup = 0;
+    options.outDir = dir.string();
+    options.filter = "heap";
+
+    BenchHarness harness(options);
+    harness.add(fakeScenario("heap_hot"));
+    harness.add(fakeScenario("dgemm"));
+    std::vector<ScenarioOutcome> outcomes = harness.runAll();
+
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].name, "heap_hot");
+    EXPECT_TRUE(std::filesystem::exists(dir / "BENCH_heap_hot.json"));
+    EXPECT_FALSE(std::filesystem::exists(dir / "BENCH_dgemm.json"));
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(BenchHarness, QuickFlagReachesScenario)
+{
+    auto dir = std::filesystem::temp_directory_path() /
+        "tca_bench_quick_test";
+    std::filesystem::remove_all(dir);
+
+    BenchOptions options;
+    options.repeats = 1;
+    options.warmup = 0;
+    options.quick = true;
+    options.outDir = dir.string();
+
+    BenchHarness harness(options);
+    harness.add(fakeScenario("fake"));
+    std::vector<ScenarioOutcome> outcomes = harness.runAll();
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].simCycles, 100u); // the quick path ran
+
+    std::filesystem::remove_all(dir);
+}

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * ChromeTraceWriter tests: a byte-exact golden document for a small
+ * deterministic event sequence (the contract chrome://tracing and
+ * Perfetto load), structural checks through the library's own JSON
+ * parser, ring-buffer retention, and the TCA_OUT_DIR artifact path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/chrome_trace.hh"
+#include "obs/manifest.hh"
+#include "util/json.hh"
+
+using namespace tca;
+
+namespace {
+
+obs::UopLifecycle
+uop(uint64_t seq, mem::Cycle dispatch)
+{
+    obs::UopLifecycle u;
+    u.seq = seq;
+    u.cls = trace::OpClass::IntAlu;
+    u.dispatch = dispatch;
+    u.issue = dispatch + 2;
+    u.complete = dispatch + 4;
+    u.commit = dispatch + 6;
+    return u;
+}
+
+/** The deterministic event sequence the golden document captures. */
+void
+feedSmallTrace(obs::ChromeTraceWriter &writer)
+{
+    obs::RunContext ctx;
+    ctx.coreName = "test-core";
+    writer.onRunBegin(ctx);
+    writer.onCycle(0, 1);
+    writer.onCycle(5, 2);  // skipped: inside the 10-cycle period
+    writer.onCycle(12, 3);
+
+    obs::UopLifecycle alu;
+    alu.seq = 1;
+    alu.cls = trace::OpClass::IntAlu;
+    alu.dispatch = 2;
+    alu.issue = 4;
+    alu.complete = 6;
+    alu.commit = 8;
+    writer.onCommit(alu);
+
+    obs::UopLifecycle acc;
+    acc.seq = 2;
+    acc.cls = trace::OpClass::Accel;
+    acc.accelInvocation = 7;
+    acc.dispatch = 3;
+    acc.issue = 9; // > dispatch+1: surfaces as a rob_drain span
+    acc.complete = 15;
+    acc.commit = 16;
+    writer.onCommit(acc);
+
+    writer.onAccelInvocation(0, 7, "heap-tca", 9, 15, 6, 2);
+    writer.onRunEnd(20, 2);
+}
+
+std::string
+slurp(const std::filesystem::path &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** Scoped TCA_OUT_DIR override that restores the old value. */
+class ScopedOutDir
+{
+  public:
+    explicit ScopedOutDir(const char *value)
+    {
+        if (const char *old = std::getenv("TCA_OUT_DIR"))
+            saved = old;
+        if (value)
+            setenv("TCA_OUT_DIR", value, 1);
+        else
+            unsetenv("TCA_OUT_DIR");
+    }
+    ~ScopedOutDir()
+    {
+        if (saved.empty())
+            unsetenv("TCA_OUT_DIR");
+        else
+            setenv("TCA_OUT_DIR", saved.c_str(), 1);
+    }
+
+  private:
+    std::string saved;
+};
+
+/**
+ * The golden trace-event document for feedSmallTrace(). @VERSION@ is
+ * the configure-time git-describe string, spliced at runtime so the
+ * golden survives new commits.
+ */
+const char *kGolden = R"gold({
+  "traceEvents": [
+    {
+      "name": "process_name",
+      "cat": "__metadata",
+      "ph": "M",
+      "ts": 0,
+      "pid": 1,
+      "tid": 0,
+      "args": {
+        "name": "tcasim (test-core)"
+      }
+    },
+    {
+      "name": "thread_name",
+      "cat": "__metadata",
+      "ph": "M",
+      "ts": 0,
+      "pid": 1,
+      "tid": 1,
+      "args": {
+        "name": "window: dispatch->issue"
+      }
+    },
+    {
+      "name": "thread_name",
+      "cat": "__metadata",
+      "ph": "M",
+      "ts": 0,
+      "pid": 1,
+      "tid": 2,
+      "args": {
+        "name": "execute: issue->complete"
+      }
+    },
+    {
+      "name": "thread_name",
+      "cat": "__metadata",
+      "ph": "M",
+      "ts": 0,
+      "pid": 1,
+      "tid": 3,
+      "args": {
+        "name": "commit wait: complete->retire"
+      }
+    },
+    {
+      "name": "thread_name",
+      "cat": "__metadata",
+      "ph": "M",
+      "ts": 0,
+      "pid": 1,
+      "tid": 4,
+      "args": {
+        "name": "accelerator invocations"
+      }
+    },
+    {
+      "name": "thread_name",
+      "cat": "__metadata",
+      "ph": "M",
+      "ts": 0,
+      "pid": 1,
+      "tid": 5,
+      "args": {
+        "name": "rob drain windows"
+      }
+    },
+    {
+      "name": "IntAlu",
+      "cat": "uop",
+      "ph": "X",
+      "ts": 2,
+      "pid": 1,
+      "tid": 1,
+      "dur": 2,
+      "args": {
+        "seq": 1
+      }
+    },
+    {
+      "name": "IntAlu",
+      "cat": "uop",
+      "ph": "X",
+      "ts": 4,
+      "pid": 1,
+      "tid": 2,
+      "dur": 2,
+      "args": {
+        "seq": 1
+      }
+    },
+    {
+      "name": "IntAlu",
+      "cat": "uop",
+      "ph": "X",
+      "ts": 6,
+      "pid": 1,
+      "tid": 3,
+      "dur": 2,
+      "args": {
+        "seq": 1
+      }
+    },
+    {
+      "name": "Accel inv7",
+      "cat": "uop",
+      "ph": "X",
+      "ts": 3,
+      "pid": 1,
+      "tid": 1,
+      "dur": 6,
+      "args": {
+        "seq": 2
+      }
+    },
+    {
+      "name": "Accel inv7",
+      "cat": "uop",
+      "ph": "X",
+      "ts": 9,
+      "pid": 1,
+      "tid": 2,
+      "dur": 6,
+      "args": {
+        "seq": 2
+      }
+    },
+    {
+      "name": "Accel inv7",
+      "cat": "uop",
+      "ph": "X",
+      "ts": 15,
+      "pid": 1,
+      "tid": 3,
+      "dur": 1,
+      "args": {
+        "seq": 2
+      }
+    },
+    {
+      "name": "rob_drain",
+      "cat": "rob",
+      "ph": "b",
+      "ts": 4,
+      "pid": 1,
+      "tid": 5,
+      "id": 2
+    },
+    {
+      "name": "rob_drain",
+      "cat": "rob",
+      "ph": "e",
+      "ts": 9,
+      "pid": 1,
+      "tid": 5,
+      "id": 2
+    },
+    {
+      "name": "heap-tca",
+      "cat": "accel",
+      "ph": "b",
+      "ts": 9,
+      "pid": 1,
+      "tid": 4,
+      "id": 7,
+      "args": {
+        "port": 0,
+        "compute_latency": 6,
+        "mem_requests": 2
+      }
+    },
+    {
+      "name": "heap-tca",
+      "cat": "accel",
+      "ph": "e",
+      "ts": 15,
+      "pid": 1,
+      "tid": 4,
+      "id": 7
+    },
+    {
+      "name": "rob_occupancy",
+      "cat": "rob",
+      "ph": "C",
+      "ts": 0,
+      "pid": 1,
+      "tid": 0,
+      "args": {
+        "occupancy": 1
+      }
+    },
+    {
+      "name": "rob_occupancy",
+      "cat": "rob",
+      "ph": "C",
+      "ts": 12,
+      "pid": 1,
+      "tid": 0,
+      "args": {
+        "occupancy": 3
+      }
+    }
+  ],
+  "displayTimeUnit": "ms",
+  "otherData": {
+    "tool": "tcasim",
+    "version": "@VERSION@",
+    "run_cycles": 20,
+    "run_uops": 2,
+    "committed_seen": 2,
+    "committed_retained": 2
+  }
+}
+)gold";
+
+std::string
+expectedGolden()
+{
+    std::string expected = kGolden;
+    const std::string placeholder = "@VERSION@";
+    size_t at = expected.find(placeholder);
+    EXPECT_NE(at, std::string::npos);
+    expected.replace(at, placeholder.size(),
+                     obs::RunManifest::buildVersion());
+    return expected;
+}
+
+} // anonymous namespace
+
+TEST(ChromeTrace, GoldenSmallTrace)
+{
+    obs::ChromeTraceWriter writer(4, 10);
+    feedSmallTrace(writer);
+    EXPECT_EQ(writer.str(), expectedGolden());
+}
+
+TEST(ChromeTrace, GoldenIsValidTraceEventJson)
+{
+    obs::ChromeTraceWriter writer(4, 10);
+    feedSmallTrace(writer);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(writer.str(), doc, &error)) << error;
+    ASSERT_TRUE(doc.isObject());
+
+    const JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    EXPECT_EQ(events->items.size(), 18u);
+    for (const JsonValue &event : events->items) {
+        // Every event carries the required trace-event fields.
+        ASSERT_TRUE(event.isObject());
+        EXPECT_NE(event.find("name"), nullptr);
+        EXPECT_NE(event.find("ph"), nullptr);
+        EXPECT_NE(event.find("ts"), nullptr);
+        EXPECT_NE(event.find("pid"), nullptr);
+        const JsonValue *phase = event.find("ph");
+        const std::string &ph = phase->str;
+        EXPECT_TRUE(ph == "M" || ph == "X" || ph == "b" || ph == "e" ||
+                    ph == "C")
+            << "unexpected phase " << ph;
+        if (ph == "X") {
+            EXPECT_NE(event.find("dur"), nullptr);
+        }
+        if (ph == "b" || ph == "e") {
+            EXPECT_NE(event.find("id"), nullptr);
+        }
+    }
+    EXPECT_NE(doc.find("displayTimeUnit"), nullptr);
+    EXPECT_EQ(doc.find("otherData")->find("run_cycles")->number, 20.0);
+}
+
+TEST(ChromeTrace, RingOverwritesOldestAndResets)
+{
+    obs::ChromeTraceWriter writer(2, 0);
+    writer.onRunBegin(obs::RunContext{});
+    for (uint64_t seq = 0; seq < 5; ++seq)
+        writer.onCommit(uop(seq, seq * 10));
+    EXPECT_EQ(writer.size(), 2u);
+    EXPECT_EQ(writer.totalCommitted(), 5u);
+
+    // Only the two newest uops (seq 3, 4) render.
+    std::string text = writer.str();
+    EXPECT_EQ(text.find("\"seq\": 0"), std::string::npos);
+    EXPECT_NE(text.find("\"seq\": 3"), std::string::npos);
+    EXPECT_NE(text.find("\"seq\": 4"), std::string::npos);
+
+    writer.onRunBegin(obs::RunContext{});
+    EXPECT_EQ(writer.size(), 0u);
+    EXPECT_EQ(writer.totalCommitted(), 0u);
+}
+
+TEST(ChromeTrace, CounterPeriodZeroDisablesCounterTrack)
+{
+    obs::ChromeTraceWriter writer(4, 0);
+    writer.onRunBegin(obs::RunContext{});
+    for (mem::Cycle c = 0; c < 100; ++c)
+        writer.onCycle(c, 3);
+    EXPECT_EQ(writer.str().find("rob_occupancy"), std::string::npos);
+}
+
+TEST(ChromeTrace, WriteIfRequestedHonorsOutDir)
+{
+    auto dir = std::filesystem::temp_directory_path() /
+        "tca_chrome_trace_test";
+    std::filesystem::remove_all(dir);
+    ScopedOutDir scope(dir.c_str());
+
+    obs::ChromeTraceWriter writer(4, 10);
+    feedSmallTrace(writer);
+    std::string path = writer.writeIfRequested("unit-run");
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path, (dir / "unit-run" / "trace.json").string());
+    EXPECT_EQ(slurp(path), expectedGolden());
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ChromeTrace, WriteIfRequestedNoOpWithoutOutDir)
+{
+    ScopedOutDir scope(nullptr);
+    obs::ChromeTraceWriter writer(4, 10);
+    feedSmallTrace(writer);
+    EXPECT_EQ(writer.writeIfRequested("unit-run"), "");
+}

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Stat-diff tests (the library behind tools/tca_compare): direction
+ * inference, JSON flattening, and the improved / regressed / missing
+ * classifications with their effect on the exit-code gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/stat_diff.hh"
+
+using namespace tca;
+using namespace tca::obs;
+
+namespace {
+
+/** The delta for one path, which must exist. */
+const StatDelta &
+deltaFor(const DiffReport &report, const std::string &path)
+{
+    for (const StatDelta &d : report.deltas) {
+        if (d.path == path)
+            return d;
+    }
+    ADD_FAILURE() << "no delta for " << path;
+    static StatDelta missing;
+    return missing;
+}
+
+} // anonymous namespace
+
+TEST(StatDiff, InferDirectionFromNameTokens)
+{
+    using MD = MetricDirection;
+    EXPECT_EQ(inferDirection("metrics.uops_per_sec.median"),
+              MD::HigherIsBetter);
+    EXPECT_EQ(inferDirection("L_T.sim_speedup"), MD::HigherIsBetter);
+    EXPECT_EQ(inferDirection("model_error.NL_T.mean_abs_error_percent"),
+              MD::LowerIsBetter);
+    EXPECT_EQ(inferDirection("metrics.sim_cycles"), MD::LowerIsBetter);
+    EXPECT_EQ(inferDirection("metrics.wall_seconds.median"),
+              MD::LowerIsBetter);
+    EXPECT_EQ(inferDirection("NL_T.accel_latency_p99"),
+              MD::LowerIsBetter);
+    EXPECT_EQ(inferDirection("bench_schema"), MD::Unknown);
+}
+
+TEST(StatDiff, FlattenNumericLeavesOnly)
+{
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(R"({
+        "run": "x",
+        "quick": true,
+        "metrics": {"sim_cycles": 100, "nested": {"mad": 0.5}},
+        "samples": [1, 2, 3]
+    })", doc, &error)) << error;
+
+    std::map<std::string, double> flat = flattenNumeric(doc);
+    ASSERT_EQ(flat.size(), 2u); // strings/bools/arrays skipped
+    EXPECT_EQ(flat.at("metrics.sim_cycles"), 100.0);
+    EXPECT_EQ(flat.at("metrics.nested.mad"), 0.5);
+}
+
+TEST(StatDiff, ClassifiesImprovedRegressedUnchanged)
+{
+    std::map<std::string, double> old_stats{
+        {"a.sim_cycles", 1000.0},  // lower is better
+        {"b.uops_per_sec", 500.0}, // higher is better
+        {"c.sim_cycles", 1000.0},
+    };
+    std::map<std::string, double> new_stats{
+        {"a.sim_cycles", 800.0},  // -20%: improved
+        {"b.uops_per_sec", 400.0}, // -20%: regressed
+        {"c.sim_cycles", 1010.0},  // +1%: inside threshold
+    };
+    DiffReport report = diffStats(old_stats, new_stats, {});
+
+    EXPECT_EQ(deltaFor(report, "a.sim_cycles").status,
+              DiffStatus::Improved);
+    EXPECT_EQ(deltaFor(report, "b.uops_per_sec").status,
+              DiffStatus::Regressed);
+    EXPECT_EQ(deltaFor(report, "c.sim_cycles").status,
+              DiffStatus::Unchanged);
+    EXPECT_EQ(report.numRegressions, 1u);
+    EXPECT_EQ(report.numImprovements, 1u);
+    EXPECT_TRUE(report.failed());
+}
+
+TEST(StatDiff, MissingStatsGateOnlyWhenWatched)
+{
+    std::map<std::string, double> old_stats{
+        {"model_error.NL_T.mean_abs_error_percent", 5.0}};
+    std::map<std::string, double> new_stats{
+        {"metrics.sim_cycles", 100.0}};
+
+    DiffReport report = diffStats(old_stats, new_stats, {});
+    EXPECT_EQ(
+        deltaFor(report, "model_error.NL_T.mean_abs_error_percent")
+            .status,
+        DiffStatus::MissingInNew);
+    EXPECT_EQ(deltaFor(report, "metrics.sim_cycles").status,
+              DiffStatus::MissingInOld);
+    EXPECT_EQ(report.numMissing, 1u);
+    EXPECT_TRUE(report.failed());
+
+    // The disappeared stat is outside the watch list: report-only.
+    DiffOptions watch_other;
+    watch_other.watch = {"metrics"};
+    report = diffStats(old_stats, new_stats, watch_other);
+    EXPECT_EQ(report.numMissing, 0u);
+    EXPECT_FALSE(report.failed());
+}
+
+TEST(StatDiff, WatchPrefixLimitsTheGate)
+{
+    std::map<std::string, double> old_stats{
+        {"metrics.wall_seconds.median", 1.0},
+        {"model_error.NL_T.mean_abs_error_percent", 5.0},
+    };
+    std::map<std::string, double> new_stats{
+        {"metrics.wall_seconds.median", 2.0},  // +100% perf regression
+        {"model_error.NL_T.mean_abs_error_percent", 5.0},
+    };
+
+    // Unwatched perf regression: reported but the gate stays green.
+    DiffOptions options;
+    options.watch = {"model_error"};
+    DiffReport report = diffStats(old_stats, new_stats, options);
+    EXPECT_EQ(deltaFor(report, "metrics.wall_seconds.median").status,
+              DiffStatus::Regressed);
+    EXPECT_EQ(report.numRegressions, 0u);
+    EXPECT_FALSE(report.failed());
+
+    // Model error grows: the same inputs with error regressed fail.
+    new_stats["model_error.NL_T.mean_abs_error_percent"] = 9.0;
+    report = diffStats(old_stats, new_stats, options);
+    EXPECT_EQ(report.numRegressions, 1u);
+    EXPECT_TRUE(report.failed());
+}
+
+TEST(StatDiff, ThresholdIsRelative)
+{
+    std::map<std::string, double> old_stats{{"x.sim_cycles", 100.0}};
+    std::map<std::string, double> new_stats{{"x.sim_cycles", 104.0}};
+
+    DiffOptions tight;
+    tight.thresholdPercent = 2.0;
+    EXPECT_EQ(diffStats(old_stats, new_stats, tight).numRegressions, 1u);
+
+    DiffOptions loose;
+    loose.thresholdPercent = 10.0;
+    EXPECT_EQ(diffStats(old_stats, new_stats, loose).numRegressions, 0u);
+}
+
+TEST(StatDiff, UnknownDirectionNeverGates)
+{
+    std::map<std::string, double> old_stats{{"bench_schema", 1.0}};
+    std::map<std::string, double> new_stats{{"bench_schema", 2.0}};
+    DiffReport report = diffStats(old_stats, new_stats, {});
+    EXPECT_EQ(deltaFor(report, "bench_schema").status,
+              DiffStatus::Changed);
+    EXPECT_FALSE(report.failed());
+}
+
+TEST(StatDiff, DiffJsonDocumentsReportsParseErrors)
+{
+    DiffReport report;
+    std::string error;
+    EXPECT_FALSE(
+        diffJsonDocuments("{]", "{}", {}, report, &error));
+    EXPECT_NE(error.find("old document"), std::string::npos);
+    EXPECT_FALSE(
+        diffJsonDocuments("{}", "nope", {}, report, &error));
+    EXPECT_NE(error.find("new document"), std::string::npos);
+    EXPECT_TRUE(diffJsonDocuments("{\"a.cycles\": 1}",
+                                  "{\"a.cycles\": 1}", {}, report,
+                                  &error));
+}
+
+TEST(StatDiff, PrintDiffRendersChangedRows)
+{
+    std::map<std::string, double> old_stats{
+        {"a.sim_cycles", 100.0}, {"b.sim_cycles", 100.0}};
+    std::map<std::string, double> new_stats{
+        {"a.sim_cycles", 200.0}, {"b.sim_cycles", 100.0}};
+    DiffReport report = diffStats(old_stats, new_stats, {});
+
+    std::ostringstream os;
+    printDiff(report, os);
+    EXPECT_NE(os.str().find("a.sim_cycles"), std::string::npos);
+    EXPECT_NE(os.str().find("REGRESSED"), std::string::npos);
+    // Unchanged rows suppressed by default.
+    EXPECT_EQ(os.str().find("b.sim_cycles"), std::string::npos);
+
+    std::ostringstream all;
+    printDiff(report, all, false);
+    EXPECT_NE(all.str().find("b.sim_cycles"), std::string::npos);
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * TimelineSink tests: TCA_TIMELINE parsing and the per-kind artifact
+ * each selection writes under $TCA_OUT_DIR.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/timeline.hh"
+#include "util/json.hh"
+
+using namespace tca;
+
+namespace {
+
+std::string
+slurp(const std::filesystem::path &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** Scoped env override that restores the old value. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : key(name)
+    {
+        if (const char *old = std::getenv(name))
+            saved = old;
+        if (value)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (saved.empty())
+            unsetenv(key.c_str());
+        else
+            setenv(key.c_str(), saved.c_str(), 1);
+    }
+
+  private:
+    std::string key;
+    std::string saved;
+};
+
+obs::UopLifecycle
+uop(uint64_t seq)
+{
+    obs::UopLifecycle u;
+    u.seq = seq;
+    u.cls = trace::OpClass::IntAlu;
+    u.dispatch = seq;
+    u.issue = seq + 1;
+    u.complete = seq + 2;
+    u.commit = seq + 3;
+    return u;
+}
+
+} // anonymous namespace
+
+TEST(Timeline, ParseKind)
+{
+    using obs::TimelineKind;
+    EXPECT_EQ(obs::parseTimelineKind("o3"), TimelineKind::O3);
+    EXPECT_EQ(obs::parseTimelineKind("pipeview"), TimelineKind::O3);
+    EXPECT_EQ(obs::parseTimelineKind("csv"), TimelineKind::Csv);
+    EXPECT_EQ(obs::parseTimelineKind("chrome"), TimelineKind::Chrome);
+    EXPECT_EQ(obs::parseTimelineKind("perfetto"), TimelineKind::Chrome);
+    EXPECT_EQ(obs::parseTimelineKind(""), TimelineKind::None);
+    EXPECT_EQ(obs::parseTimelineKind("bogus"), TimelineKind::None);
+}
+
+TEST(Timeline, RequestedSinkFollowsEnvironment)
+{
+    {
+        ScopedEnv env("TCA_TIMELINE", nullptr);
+        EXPECT_EQ(obs::requestedTimelineSink(), nullptr);
+    }
+    {
+        ScopedEnv env("TCA_TIMELINE", "bogus");
+        EXPECT_EQ(obs::requestedTimelineSink(), nullptr);
+    }
+    {
+        ScopedEnv env("TCA_TIMELINE", "chrome");
+        auto sink = obs::requestedTimelineSink();
+        ASSERT_NE(sink, nullptr);
+        EXPECT_EQ(sink->kind(), obs::TimelineKind::Chrome);
+    }
+}
+
+TEST(Timeline, WritesArtifactPerKind)
+{
+    auto dir = std::filesystem::temp_directory_path() /
+        "tca_timeline_test";
+    std::filesystem::remove_all(dir);
+    ScopedEnv out("TCA_OUT_DIR", dir.c_str());
+
+    struct Case
+    {
+        obs::TimelineKind kind;
+        const char *file;
+    };
+    for (const Case &c :
+         {Case{obs::TimelineKind::Chrome, "trace.json"},
+          Case{obs::TimelineKind::O3, "pipeview.txt"},
+          Case{obs::TimelineKind::Csv, "pipeview.csv"}}) {
+        obs::TimelineSink timeline(c.kind, 16);
+        timeline.sink().onRunBegin(obs::RunContext{});
+        for (uint64_t seq = 0; seq < 4; ++seq)
+            timeline.sink().onCommit(uop(seq));
+        timeline.sink().onRunEnd(10, 4);
+
+        std::string path = timeline.writeArtifact("tl-run");
+        ASSERT_FALSE(path.empty());
+        EXPECT_EQ(path, (dir / "tl-run" / c.file).string());
+        std::string text = slurp(path);
+        ASSERT_FALSE(text.empty());
+        if (c.kind == obs::TimelineKind::Chrome) {
+            JsonValue doc;
+            std::string error;
+            ASSERT_TRUE(parseJson(text, doc, &error)) << error;
+            EXPECT_NE(doc.find("traceEvents"), nullptr);
+        } else if (c.kind == obs::TimelineKind::O3) {
+            EXPECT_NE(text.find("O3PipeView:"), std::string::npos);
+        } else {
+            EXPECT_EQ(text.rfind("seq,", 0), 0u);
+        }
+    }
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Timeline, ArtifactNoOpWithoutOutDir)
+{
+    ScopedEnv out("TCA_OUT_DIR", nullptr);
+    obs::TimelineSink timeline(obs::TimelineKind::Csv, 16);
+    EXPECT_EQ(timeline.writeArtifact("tl-run"), "");
+}

@@ -186,6 +186,90 @@ TEST(FormulaTest, DefaultIsZero)
     EXPECT_DOUBLE_EQ(f.value(), 0.0);
 }
 
+TEST(DistributionTest, PercentileUniformSamples)
+{
+    // 100 samples 0..99 into width-1 buckets: every percentile is an
+    // exact order statistic and interpolation is the identity.
+    Distribution d(1, 128);
+    for (int i = 0; i < 100; ++i)
+        d.sample(i);
+    EXPECT_NEAR(d.p50(), 49.5, 0.51);
+    EXPECT_NEAR(d.p95(), 94.05, 0.51);
+    EXPECT_NEAR(d.p99(), 98.01, 0.51);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 99.0);
+}
+
+TEST(DistributionTest, PercentileInterpolatesInsideBucket)
+{
+    // All mass in one wide bucket: percentiles spread across it
+    // (clamped into [min, max]) instead of snapping to an edge.
+    Distribution d(100, 4);
+    for (int i = 0; i < 10; ++i)
+        d.sample(50.0);
+    EXPECT_GE(d.p50(), 50.0);
+    EXPECT_LE(d.p99(), 50.0 + 1e-9); // clamp to maxSeen
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 50.0);
+}
+
+TEST(DistributionTest, PercentileSkewedTail)
+{
+    // 99 fast samples and one slow one: p50 stays low, p99+ sees the
+    // tail bucket.
+    Distribution d(10, 16);
+    for (int i = 0; i < 99; ++i)
+        d.sample(5.0);
+    d.sample(120.0);
+    EXPECT_LT(d.p50(), 10.0);
+    EXPECT_LT(d.p95(), 10.0);
+    EXPECT_GT(d.percentile(0.995), 100.0);
+}
+
+TEST(DistributionTest, PercentileOverflowBucketUsesMax)
+{
+    Distribution d(10, 2); // buckets [0,10), [10,20), overflow
+    for (int i = 0; i < 10; ++i)
+        d.sample(500.0);
+    EXPECT_LE(d.p99(), 500.0);
+    EXPECT_GT(d.p99(), 20.0); // interpolates toward max, not bucket lo
+}
+
+TEST(DistributionTest, PercentileWithoutHistogramFallsBack)
+{
+    Distribution d; // moments only
+    d.sample(1.0);
+    d.sample(3.0);
+    d.sample(8.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 8.0);
+    EXPECT_DOUBLE_EQ(d.p95(), d.mean());
+    EXPECT_DOUBLE_EQ(Distribution().p99(), 0.0); // empty
+}
+
+TEST(DistributionTest, PercentilesInJsonAndDump)
+{
+    Distribution d(2, 64);
+    for (int i = 0; i < 50; ++i)
+        d.sample(i % 20);
+
+    std::ostringstream os;
+    JsonWriter json(os);
+    d.toJson(json);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(os.str(), doc, &error)) << error;
+    ASSERT_NE(doc.find("p50"), nullptr);
+    ASSERT_NE(doc.find("p95"), nullptr);
+    ASSERT_NE(doc.find("p99"), nullptr);
+    EXPECT_NEAR(doc.find("p50")->number, d.p50(), 1e-9);
+
+    Group group("g");
+    group.addDistribution("lat", &d);
+    std::ostringstream dump;
+    group.dump(dump);
+    EXPECT_NE(dump.str().find("p95="), std::string::npos);
+}
+
 TEST(GroupTest, DumpContainsAllStats)
 {
     Counter c;

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Cross-run stat diff CLI. Compares two machine-readable run
+ * artifacts (stats.json or BENCH_*.json), prints a per-stat delta
+ * table, and exits non-zero when a watched metric regresses past the
+ * threshold — so both perf and model-accuracy regressions are
+ * CI-detectable:
+ *
+ *   tca_compare baseline/BENCH_heap_hot.json out/BENCH_heap_hot.json
+ *   tca_compare --threshold 10 --watch model_error old.json new.json
+ *
+ * Exit codes: 0 no watched regression, 1 watched regression or
+ * missing watched stat, 2 usage or parse error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/stat_diff.hh"
+
+using namespace tca;
+using namespace tca::obs;
+
+namespace {
+
+int
+usage(const char *argv0, int code)
+{
+    std::fprintf(
+        code ? stderr : stdout,
+        "usage: %s [options] OLD.json NEW.json\n"
+        "\n"
+        "Diff two run artifacts (stats.json or BENCH_*.json) and exit\n"
+        "non-zero when a watched metric regresses past the threshold.\n"
+        "  --threshold PCT   relative change treated as noise\n"
+        "                    (default 5)\n"
+        "  --watch PREFIX    gate only stats under this dot-path\n"
+        "                    prefix (repeatable; default: every stat\n"
+        "                    with a known good-direction)\n"
+        "  --all             print unchanged stats too\n"
+        "  --informational   always exit 0 (report, never gate)\n",
+        argv0);
+    return code;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out = buffer.str();
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    DiffOptions options;
+    bool show_all = false;
+    bool informational = false;
+    std::string old_path, new_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(usage(argv[0], 2));
+            }
+            return argv[++i];
+        };
+        if (arg == "--threshold") {
+            options.thresholdPercent = std::atof(value());
+        } else if (arg == "--watch") {
+            options.watch.push_back(value());
+        } else if (arg == "--all") {
+            show_all = true;
+        } else if (arg == "--informational") {
+            informational = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0], 0);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+            return usage(argv[0], 2);
+        } else if (old_path.empty()) {
+            old_path = arg;
+        } else if (new_path.empty()) {
+            new_path = arg;
+        } else {
+            std::fprintf(stderr, "extra argument '%s'\n", arg.c_str());
+            return usage(argv[0], 2);
+        }
+    }
+    if (old_path.empty() || new_path.empty())
+        return usage(argv[0], 2);
+    if (options.thresholdPercent < 0.0) {
+        std::fprintf(stderr, "--threshold must be >= 0\n");
+        return 2;
+    }
+
+    std::string old_text, new_text;
+    if (!readFile(old_path, old_text)) {
+        std::fprintf(stderr, "cannot read '%s'\n", old_path.c_str());
+        return 2;
+    }
+    if (!readFile(new_path, new_text)) {
+        std::fprintf(stderr, "cannot read '%s'\n", new_path.c_str());
+        return 2;
+    }
+
+    DiffReport report;
+    std::string error;
+    if (!diffJsonDocuments(old_text, new_text, options, report, &error)) {
+        std::fprintf(stderr, "parse error: %s\n", error.c_str());
+        return 2;
+    }
+
+    std::printf("--- %s\n+++ %s\n", old_path.c_str(), new_path.c_str());
+    printDiff(report, std::cout, !show_all);
+    std::printf("\n%zu improved, %zu watched regression(s), "
+                "%zu watched stat(s) missing "
+                "(threshold %.2f%%)\n",
+                report.numImprovements, report.numRegressions,
+                report.numMissing, options.thresholdPercent);
+
+    if (report.failed() && !informational) {
+        std::printf("FAIL: watched metrics regressed\n");
+        return 1;
+    }
+    std::printf("OK\n");
+    return 0;
+}
