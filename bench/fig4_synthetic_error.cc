@@ -37,21 +37,31 @@ main()
     ExperimentOptions options;
     options.profileIntervals = true;
 
-    std::vector<double> est, meas;
-    for (uint32_t invocations : {10, 20, 40, 80, 160, 320, 640}) {
-        SyntheticConfig conf;
-        conf.fillerUops = 120000;
-        conf.numInvocations = invocations;
-        conf.regionUops = 200;
-        conf.accelLatency = 50;
-        conf.seed = 1000 + invocations; // varies placement per point
-        SyntheticWorkload workload(conf);
+    // The sweep points are independent, so they run through the batch
+    // API: one pool job per point (TCA_JOBS-wide), each deriving its
+    // workload purely from the point index. The table and the error
+    // summary are folded serially afterwards, in point order, so the
+    // output is identical to the old serial loop.
+    const std::vector<uint32_t> sweep = {10, 20, 40, 80, 160, 320, 640};
+    ExperimentBatch batch = runExperimentBatch(
+        sweep.size(),
+        [&](size_t i) {
+            SyntheticConfig conf;
+            conf.fillerUops = 120000;
+            conf.numInvocations = sweep[i];
+            conf.regionUops = 200;
+            conf.accelLatency = 50;
+            conf.seed = 1000 + sweep[i]; // varies placement per point
+            return std::make_unique<SyntheticWorkload>(conf);
+        },
+        cpu::a72CoreConfig(), options);
 
-        ExperimentResult r =
-            runExperiment(workload, cpu::a72CoreConfig(), options);
+    std::vector<ValidationPoint> points;
+    for (size_t i = 0; i < batch.results.size(); ++i) {
+        const ExperimentResult &r = batch.results[i];
         for (const ModeOutcome &mode : r.modes) {
             table.addRow(
-                {TextTable::fmt(uint64_t{invocations}),
+                {TextTable::fmt(uint64_t{sweep[i]}),
                  TextTable::fmt(r.params.acceleratableFraction, 4),
                  TextTable::fmt(r.params.invocationFrequency, 6),
                  tcaModeName(mode.mode),
@@ -60,14 +70,13 @@ main()
                  TextTable::fmt(mode.errorPercent, 2),
                  TextTable::fmt(mode.intervals.mean.accl, 1),
                  TextTable::fmt(mode.intervals.mean.drain, 1)});
-            est.push_back(mode.modeledSpeedup);
-            meas.push_back(mode.measuredSpeedup);
+            points.push_back({mode.modeledSpeedup, mode.measuredSpeedup});
         }
     }
     table.print(std::cout);
     table.writeCsvIfRequested("fig4_synthetic_error");
 
-    ErrorSummary summary = summarizeErrors(est, meas);
+    ErrorSummary summary = summarizeErrors(points);
     std::printf("\nerror summary over %zu points: mean |err| %.2f%%, "
                 "max |err| %.2f%%, bias %+.2f%%\n",
                 summary.count, summary.meanAbs, summary.maxAbs,

@@ -12,7 +12,7 @@
  * across runs; CI gates on them.
  *
  * Usage: tca_bench [--repeats N] [--warmup N] [--quick] [--filter S]
- *                  [--out DIR] [--list]
+ *                  [--out DIR] [--jobs N] [--list]
  */
 
 #include <cmath>
@@ -25,7 +25,9 @@
 #include <vector>
 
 #include "model/interval_model.hh"
+#include "model/sweeps.hh"
 #include "obs/bench_harness.hh"
+#include "util/thread_pool.hh"
 #include "workloads/dgemm_workload.hh"
 #include "workloads/experiment.hh"
 #include "workloads/heap_workload.hh"
@@ -179,6 +181,54 @@ modelEvalScenario()
     return scenario;
 }
 
+/**
+ * Dense model-only sweep through the parallel grid engine: a Fig. 7
+ * heatmap plus a Fig. 2 granularity sweep at grid resolutions that
+ * would be painful serially. When the harness runs scenarios serially
+ * (TCA_JOBS for the inner sweeps is still honored) this is the
+ * scenario whose own wall time shows the parallel speedup; under
+ * scenario-level parallelism the inner fan-out degrades to serial and
+ * the speedup shows up in the envelope's parallel_speedup instead.
+ */
+BenchScenario
+sweepDenseScenario()
+{
+    BenchScenario scenario;
+    scenario.name = "sweep_dense";
+    scenario.description =
+        "dense heatmap + granularity sweeps (items = grid cells)";
+    scenario.run = [](bool quick) {
+        TcaParams base = armA72Preset().apply(TcaParams{});
+        base.accelerationFactor = 1.5;
+
+        size_t a_steps = quick ? 48 : 160;
+        size_t v_steps = quick ? 48 : 160;
+        HeatmapGrid grid =
+            heatmapSweep(base, a_steps, 1e-6, 1e-1, v_steps);
+
+        std::vector<SweepPoint> gran = granularitySweep(
+            base, 10.0, 1e7, quick ? 8 : 32);
+
+        // Checksum over everything computed so the optimizer cannot
+        // drop the sweeps and divergence shows up in the record.
+        double sum = 0.0;
+        for (TcaMode mode : allTcaModes)
+            for (size_t r = 0; r < a_steps; ++r)
+                for (size_t c = 0; c < v_steps; ++c)
+                    sum += grid.at(mode, r, c);
+        for (const SweepPoint &p : gran)
+            for (double s : p.speedup)
+                sum += s;
+
+        uint64_t cells = a_steps * v_steps + gran.size();
+        ScenarioMetrics metrics;
+        metrics.committedUops = cells;
+        metrics.simCycles = static_cast<uint64_t>(sum) / cells;
+        return metrics;
+    };
+    return scenario;
+}
+
 void
 registerScenarios(BenchHarness &harness)
 {
@@ -258,6 +308,7 @@ registerScenarios(BenchHarness &harness)
     }
     harness.add(simulatorThroughputScenario());
     harness.add(modelEvalScenario());
+    harness.add(sweepDenseScenario());
 }
 
 int
@@ -266,7 +317,7 @@ usage(const char *argv0, int code)
     std::fprintf(
         code ? stderr : stdout,
         "usage: %s [--repeats N] [--warmup N] [--quick] [--filter S]\n"
-        "          [--out DIR] [--list]\n"
+        "          [--out DIR] [--jobs N] [--list]\n"
         "\n"
         "Runs the scenario registry and writes one BENCH_<name>.json\n"
         "per scenario (to --out, else $TCA_OUT_DIR, else '.').\n"
@@ -274,6 +325,8 @@ usage(const char *argv0, int code)
         "  --warmup N    untimed warmup runs per scenario (default 1)\n"
         "  --quick       reduced workload sizes (CI smoke)\n"
         "  --filter S    only scenarios whose name contains S\n"
+        "  --jobs N      scenario-level parallelism (default $TCA_JOBS,\n"
+        "                else hardware concurrency; 1 = serial)\n"
         "  --list        print scenario names and exit\n",
         argv0);
     return code;
@@ -305,6 +358,12 @@ main(int argc, char **argv)
             options.filter = value();
         } else if (arg == "--out") {
             options.outDir = value();
+        } else if (arg == "--jobs") {
+            options.jobs = std::atoi(value());
+            if (options.jobs < 1) {
+                std::fprintf(stderr, "--jobs must be >= 1\n");
+                return 2;
+            }
         } else if (arg == "--list") {
             list = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -329,10 +388,10 @@ main(int argc, char **argv)
         return 0;
     }
 
-    std::printf("=== tca_bench: %d warmup + %d repeats%s -> %s ===\n\n",
-                options.warmup, options.repeats,
-                options.quick ? " (quick)" : "",
-                harness.resolvedOutDir().c_str());
+    std::printf(
+        "=== tca_bench: %d warmup + %d repeats%s, %zu job(s) -> %s ===\n\n",
+        options.warmup, options.repeats, options.quick ? " (quick)" : "",
+        harness.resolvedJobs(), harness.resolvedOutDir().c_str());
     std::vector<ScenarioOutcome> outcomes = harness.runAll();
     if (outcomes.empty()) {
         std::fprintf(stderr, "no scenario matches filter '%s'\n",
@@ -341,6 +400,8 @@ main(int argc, char **argv)
     }
     std::printf("\n");
     BenchHarness::printSummary(outcomes, std::cout);
+    std::printf("\nscenario-level parallel speedup: %.2fx over %zu job(s)\n",
+                harness.achievedParallelSpeedup(), harness.resolvedJobs());
     size_t written = 0;
     for (const ScenarioOutcome &o : outcomes)
         written += o.jsonPath.empty() ? 0 : 1;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace tca {
 namespace model {
@@ -61,11 +62,15 @@ granularitySweep(const TcaParams &base, double min_granularity,
     double decades = std::log10(max_granularity / min_granularity);
     size_t count = std::max<size_t>(
         2, static_cast<size_t>(decades * points_per_decade) + 1);
-    std::vector<SweepPoint> points;
-    points.reserve(count);
-    for (double g : logSpace(min_granularity, max_granularity, count))
-        points.push_back(evaluate(base.withGranularity(g), g));
-    return points;
+    std::vector<double> grans =
+        logSpace(min_granularity, max_granularity, count);
+    // Each sample evaluates an independent model; slot-indexed results
+    // keep the output bit-identical to the serial loop (TCA_JOBS=1).
+    return util::parallelMapIndexed<SweepPoint>(
+        grans.size(), [&](size_t i) {
+            double g = grans[i];
+            return evaluate(base.withGranularity(g), g);
+        });
 }
 
 std::vector<SweepPoint>
@@ -76,17 +81,16 @@ acceleratableSweep(const TcaParams &base, double insts_per_invocation,
     tca_assert(a_min > 0.0 && a_max <= 1.0 && a_min <= a_max);
     tca_assert(num_points >= 2);
 
-    std::vector<SweepPoint> points;
-    points.reserve(static_cast<size_t>(num_points));
-    for (int i = 0; i < num_points; ++i) {
-        double frac = static_cast<double>(i) /
-                      static_cast<double>(num_points - 1);
-        double a = a_min + frac * (a_max - a_min);
-        TcaParams params = base.withAcceleratable(a)
-                               .withGranularity(insts_per_invocation);
-        points.push_back(evaluate(params, a));
-    }
-    return points;
+    return util::parallelMapIndexed<SweepPoint>(
+        static_cast<size_t>(num_points), [&](size_t i) {
+            double frac = static_cast<double>(i) /
+                          static_cast<double>(num_points - 1);
+            double a = a_min + frac * (a_max - a_min);
+            TcaParams params =
+                base.withAcceleratable(a)
+                    .withGranularity(insts_per_invocation);
+            return evaluate(params, a);
+        });
 }
 
 double
@@ -188,18 +192,20 @@ heatmapSweep(const TcaParams &base, size_t a_steps, double v_min,
     for (auto &mode_grid : grid.speedup)
         mode_grid.assign(a_steps, std::vector<double>(v_steps, 0.0));
 
-    for (size_t r = 0; r < a_steps; ++r) {
-        for (size_t c = 0; c < v_steps; ++c) {
-            TcaParams params = base
-                .withAcceleratable(grid.aValues[r])
-                .withInvocationFrequency(grid.vValues[c]);
-            IntervalModel model(params);
-            for (TcaMode mode : allTcaModes) {
-                grid.speedup[static_cast<size_t>(mode)][r][c] =
-                    model.speedup(mode);
-            }
+    // One job per cell; every job writes only its own (r, c) slots, so
+    // the filled grid is identical no matter how cells were scheduled.
+    util::parallelForIndexed(a_steps * v_steps, [&](size_t cell) {
+        size_t r = cell / v_steps;
+        size_t c = cell % v_steps;
+        TcaParams params = base
+            .withAcceleratable(grid.aValues[r])
+            .withInvocationFrequency(grid.vValues[c]);
+        IntervalModel model(params);
+        for (TcaMode mode : allTcaModes) {
+            grid.speedup[static_cast<size_t>(mode)][r][c] =
+                model.speedup(mode);
         }
-    }
+    });
     return grid;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace tca {
 namespace model {
@@ -31,6 +32,27 @@ summarizeErrors(const std::vector<double> &estimated,
     summary.meanAbs /= static_cast<double>(estimated.size());
     summary.meanSigned /= static_cast<double>(estimated.size());
     return summary;
+}
+
+std::vector<ValidationPoint>
+collectValidationPoints(
+    size_t count, const std::function<ValidationPoint(size_t)> &point_fn)
+{
+    tca_assert(static_cast<bool>(point_fn));
+    return util::parallelMapIndexed<ValidationPoint>(count, point_fn);
+}
+
+ErrorSummary
+summarizeErrors(const std::vector<ValidationPoint> &points)
+{
+    std::vector<double> est, meas;
+    est.reserve(points.size());
+    meas.reserve(points.size());
+    for (const ValidationPoint &p : points) {
+        est.push_back(p.estimated);
+        meas.push_back(p.measured);
+    }
+    return summarizeErrors(est, meas);
 }
 
 } // namespace model

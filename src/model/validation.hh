@@ -9,6 +9,7 @@
 #define TCASIM_MODEL_VALIDATION_HH
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 namespace tca {
@@ -34,6 +35,29 @@ struct ErrorSummary
 ErrorSummary
 summarizeErrors(const std::vector<double> &estimated,
                 const std::vector<double> &measured);
+
+/** One sim-vs-model validation sample. */
+struct ValidationPoint
+{
+    double estimated = 0.0; ///< analytical-model prediction
+    double measured = 0.0;  ///< simulator measurement
+};
+
+/**
+ * Evaluate `count` independent validation points in parallel (TCA_JOBS
+ * workers; see util/thread_pool.hh) and return them in index order —
+ * identical to the serial loop. `point_fn` is invoked concurrently and
+ * must be self-contained: build the workload, the core, and the model
+ * from the index alone (runExperiment / runExperimentBatch already
+ * satisfy this).
+ */
+std::vector<ValidationPoint>
+collectValidationPoints(
+    size_t count,
+    const std::function<ValidationPoint(size_t)> &point_fn);
+
+/** Summarize a collected point set. */
+ErrorSummary summarizeErrors(const std::vector<ValidationPoint> &points);
 
 } // namespace model
 } // namespace tca

@@ -11,6 +11,7 @@
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 namespace tca {
 namespace obs {
@@ -94,6 +95,13 @@ BenchHarness::resolvedOutDir() const
     return ".";
 }
 
+size_t
+BenchHarness::resolvedJobs() const
+{
+    return opts.jobs > 0 ? static_cast<size_t>(opts.jobs)
+                         : util::configuredJobs();
+}
+
 ScenarioOutcome
 BenchHarness::runScenario(const BenchScenario &scenario)
 {
@@ -101,8 +109,16 @@ BenchHarness::runScenario(const BenchScenario &scenario)
     outcome.name = scenario.name;
     outcome.description = scenario.description;
 
-    for (int i = 0; i < opts.warmup; ++i)
+    // Warmup is timed into its own summary, never into wallSeconds:
+    // the reported repeat median must exclude cache warming and any
+    // one-time setup (the warmup-exclusion test asserts this).
+    std::vector<double> warm;
+    for (int i = 0; i < opts.warmup; ++i) {
+        WallTimer timer;
         scenario.run(opts.quick);
+        warm.push_back(timer.seconds());
+    }
+    outcome.warmupSeconds = summarize(std::move(warm));
 
     std::vector<double> wall, rate;
     for (int i = 0; i < opts.repeats; ++i) {
@@ -125,7 +141,6 @@ BenchHarness::runScenario(const BenchScenario &scenario)
 std::vector<ScenarioOutcome>
 BenchHarness::runAll()
 {
-    std::vector<ScenarioOutcome> outcomes;
     std::string dir = resolvedOutDir();
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
@@ -134,16 +149,53 @@ BenchHarness::runAll()
              dir.c_str(), ec.message().c_str(), ec.value());
     }
 
+    std::vector<const BenchScenario *> selected;
     for (const BenchScenario &scenario : registry) {
         if (!opts.filter.empty() &&
             scenario.name.find(opts.filter) == std::string::npos)
             continue;
-        inform("bench: %s (%d warmup + %d repeats%s)",
-               scenario.name.c_str(), opts.warmup, opts.repeats,
-               opts.quick ? ", quick" : "");
-        ScenarioOutcome outcome = runScenario(scenario);
+        selected.push_back(&scenario);
+    }
 
-        std::string path = dir + "/BENCH_" + scenario.name + ".json";
+    size_t jobs = resolvedJobs();
+    // Spin the worker pool up BEFORE the harness timer starts, so
+    // neither the achieved-speedup denominator nor any per-repeat
+    // timer (which only ever runs inside a worker) includes thread
+    // startup.
+    if (jobs > 1)
+        util::parallelForIndexed(jobs, [](size_t) {}, jobs);
+
+    // One job per scenario; repeats stay serial inside the job so each
+    // scenario's median is a median of comparable runs. Outcomes land
+    // in their selection slot: output order is scheduling-independent.
+    std::vector<ScenarioOutcome> outcomes(selected.size());
+    WallTimer harness_timer;
+    util::parallelForIndexed(
+        selected.size(),
+        [&](size_t i) {
+            inform("bench: %s (%d warmup + %d repeats%s)",
+                   selected[i]->name.c_str(), opts.warmup, opts.repeats,
+                   opts.quick ? ", quick" : "");
+            outcomes[i] = runScenario(*selected[i]);
+        },
+        jobs);
+    double harness_seconds = harness_timer.seconds();
+
+    // Achieved scenario-level speedup: total busy time (every timed
+    // phase of every scenario) over the harness's own wall time.
+    double busy = 0.0;
+    for (const ScenarioOutcome &outcome : outcomes) {
+        for (double s : outcome.wallSeconds.samples)
+            busy += s;
+        for (double s : outcome.warmupSeconds.samples)
+            busy += s;
+    }
+    lastSpeedup = (jobs > 1 && harness_seconds > 0.0)
+        ? busy / harness_seconds : 1.0;
+
+    // Records are written serially, in selection order.
+    for (ScenarioOutcome &outcome : outcomes) {
+        std::string path = dir + "/BENCH_" + outcome.name + ".json";
         std::ofstream out(path);
         if (!out) {
             warn("dropping bench record: cannot write '%s'",
@@ -154,7 +206,6 @@ BenchHarness::runAll()
             out << '\n';
             outcome.jsonPath = path;
         }
-        outcomes.push_back(std::move(outcome));
     }
     return outcomes;
 }
@@ -173,6 +224,11 @@ BenchHarness::writeBenchJson(const ScenarioOutcome &outcome,
     manifest.set("repeats", static_cast<uint64_t>(opts.repeats));
     manifest.set("warmup", static_cast<uint64_t>(opts.warmup));
     manifest.set("quick", opts.quick);
+    manifest.set("jobs", static_cast<uint64_t>(resolvedJobs()));
+    // Scenario-level speedup the harness achieved on this run; written
+    // into every record so tca_compare can gate on it ("speedup" infers
+    // higher-is-better in obs::stat_diff).
+    manifest.set("parallel_speedup", lastSpeedup);
 
     auto summaryJson = [](const MetricSummary &s) {
         std::ostringstream os;
@@ -199,6 +255,8 @@ BenchHarness::writeBenchJson(const ScenarioOutcome &outcome,
         w.rawValue(summaryJson(outcome.wallSeconds));
         w.key("uops_per_sec");
         w.rawValue(summaryJson(outcome.uopsPerSec));
+        w.key("warmup_seconds");
+        w.rawValue(summaryJson(outcome.warmupSeconds));
         w.endObject();
         manifest.setRawJson("metrics", os.str());
     }

@@ -114,6 +114,15 @@ struct BenchOptions
     bool quick = false;
     std::string filter; ///< substring filter; empty matches all
     std::string outDir; ///< "" -> $TCA_OUT_DIR, else "."
+
+    /**
+     * Scenario-level concurrency: scenarios run in parallel across
+     * this many pool workers, while each scenario's warmup + repeats
+     * stay serial inside one worker so wall-time medians are honest.
+     * 0 selects TCA_JOBS (default: hardware concurrency); 1 is the
+     * exact serial path. See docs/PARALLELISM.md.
+     */
+    int jobs = 0;
 };
 
 /** Aggregated outcome of one scenario. */
@@ -121,8 +130,11 @@ struct ScenarioOutcome
 {
     std::string name;
     std::string description;
-    MetricSummary wallSeconds;
+    MetricSummary wallSeconds;   ///< timed repeats only (never warmup)
     MetricSummary uopsPerSec;
+    /** Warmup runs, timed separately so pool startup and cache-warming
+     *  cost can never leak into the reported repeat median. */
+    MetricSummary warmupSeconds;
     uint64_t simCycles = 0;
     uint64_t committedUops = 0;
     std::vector<ModeErrorReport> modeErrors;
@@ -149,8 +161,23 @@ class BenchHarness
     /** Directory BENCH_*.json files go to. */
     std::string resolvedOutDir() const;
 
-    /** Run every scenario matching the filter. */
+    /** Scenario-level concurrency runAll() will use (>= 1). */
+    size_t resolvedJobs() const;
+
+    /**
+     * Run every scenario matching the filter. Scenarios execute in
+     * parallel across resolvedJobs() workers (repeats serial within a
+     * scenario); outcomes and BENCH_*.json files are produced in
+     * registration order regardless of scheduling.
+     */
     std::vector<ScenarioOutcome> runAll();
+
+    /**
+     * Wall-time speedup the last runAll() achieved from scenario-level
+     * parallelism: sum of per-scenario busy time over the harness's
+     * own wall time. 1.0 before runAll() and on the serial path.
+     */
+    double achievedParallelSpeedup() const { return lastSpeedup; }
 
     /** Render one outcome as a BENCH json document. */
     void writeBenchJson(const ScenarioOutcome &outcome,
@@ -165,6 +192,7 @@ class BenchHarness
 
     BenchOptions opts;
     std::vector<BenchScenario> registry;
+    double lastSpeedup = 1.0; ///< achieved by the last runAll()
 };
 
 } // namespace obs

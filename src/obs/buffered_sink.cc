@@ -1,0 +1,177 @@
+#include "obs/buffered_sink.hh"
+
+namespace tca {
+namespace obs {
+
+BufferingEventSink::Record &
+BufferingEventSink::push(Kind kind)
+{
+    events.emplace_back();
+    events.back().kind = kind;
+    return events.back();
+}
+
+void
+BufferingEventSink::clear()
+{
+    events.clear();
+    contexts.clear();
+}
+
+void
+BufferingEventSink::onRunBegin(const RunContext &ctx)
+{
+    Record &rec = push(Kind::RunBegin);
+    rec.ctxIndex = contexts.size();
+    contexts.push_back(ctx);
+}
+
+void
+BufferingEventSink::onRunEnd(mem::Cycle cycles, uint64_t committed_uops)
+{
+    Record &rec = push(Kind::RunEnd);
+    rec.a = cycles;
+    rec.b = committed_uops;
+}
+
+void
+BufferingEventSink::onCycle(mem::Cycle now, uint32_t rob_occupancy)
+{
+    Record &rec = push(Kind::Cycle);
+    rec.a = now;
+    rec.b = rob_occupancy;
+}
+
+void
+BufferingEventSink::onDispatch(uint64_t seq, const trace::MicroOp &op,
+                               mem::Cycle now)
+{
+    Record &rec = push(Kind::Dispatch);
+    rec.a = seq;
+    rec.b = now;
+    rec.op = op;
+}
+
+void
+BufferingEventSink::onIssue(uint64_t seq, mem::Cycle now)
+{
+    Record &rec = push(Kind::Issue);
+    rec.a = seq;
+    rec.b = now;
+}
+
+void
+BufferingEventSink::onCommit(const UopLifecycle &uop)
+{
+    push(Kind::Commit).uop = uop;
+}
+
+void
+BufferingEventSink::onDispatchStall(uint8_t cause, mem::Cycle now)
+{
+    Record &rec = push(Kind::DispatchStall);
+    rec.small = cause;
+    rec.a = now;
+}
+
+void
+BufferingEventSink::onRobAllocate(uint64_t seq, uint32_t occupancy)
+{
+    Record &rec = push(Kind::RobAllocate);
+    rec.a = seq;
+    rec.b = occupancy;
+}
+
+void
+BufferingEventSink::onRobRetire(uint64_t seq, uint32_t occupancy)
+{
+    Record &rec = push(Kind::RobRetire);
+    rec.a = seq;
+    rec.b = occupancy;
+}
+
+void
+BufferingEventSink::onMemPortClaim(mem::Cycle requested, mem::Cycle granted)
+{
+    Record &rec = push(Kind::MemPortClaim);
+    rec.a = requested;
+    rec.b = granted;
+}
+
+void
+BufferingEventSink::onAccelInvocation(uint8_t port, uint32_t invocation,
+                                      const char *device, mem::Cycle start,
+                                      mem::Cycle complete,
+                                      uint32_t compute_latency,
+                                      uint32_t num_requests)
+{
+    Record &rec = push(Kind::AccelInvocation);
+    rec.small = port;
+    rec.u = invocation;
+    rec.name = device ? device : "";
+    rec.a = start;
+    rec.c = complete;
+    rec.b = compute_latency;
+    rec.v = num_requests;
+}
+
+void
+BufferingEventSink::onAccelDeviceEvent(const char *device,
+                                       const char *event, uint64_t value)
+{
+    Record &rec = push(Kind::AccelDeviceEvent);
+    rec.name = device ? device : "";
+    rec.label = event ? event : "";
+    rec.b = value;
+}
+
+void
+BufferingEventSink::replayTo(EventSink &sink) const
+{
+    for (const Record &rec : events) {
+        switch (rec.kind) {
+          case Kind::RunBegin:
+            sink.onRunBegin(contexts[rec.ctxIndex]);
+            break;
+          case Kind::RunEnd:
+            sink.onRunEnd(rec.a, rec.b);
+            break;
+          case Kind::Cycle:
+            sink.onCycle(rec.a, static_cast<uint32_t>(rec.b));
+            break;
+          case Kind::Dispatch:
+            sink.onDispatch(rec.a, rec.op, rec.b);
+            break;
+          case Kind::Issue:
+            sink.onIssue(rec.a, rec.b);
+            break;
+          case Kind::Commit:
+            sink.onCommit(rec.uop);
+            break;
+          case Kind::DispatchStall:
+            sink.onDispatchStall(rec.small, rec.a);
+            break;
+          case Kind::RobAllocate:
+            sink.onRobAllocate(rec.a, static_cast<uint32_t>(rec.b));
+            break;
+          case Kind::RobRetire:
+            sink.onRobRetire(rec.a, static_cast<uint32_t>(rec.b));
+            break;
+          case Kind::MemPortClaim:
+            sink.onMemPortClaim(rec.a, rec.b);
+            break;
+          case Kind::AccelInvocation:
+            sink.onAccelInvocation(rec.small, rec.u, rec.name.c_str(),
+                                   rec.a, rec.c,
+                                   static_cast<uint32_t>(rec.b), rec.v);
+            break;
+          case Kind::AccelDeviceEvent:
+            sink.onAccelDeviceEvent(rec.name.c_str(), rec.label.c_str(),
+                                    rec.b);
+            break;
+        }
+    }
+}
+
+} // namespace obs
+} // namespace tca

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * An EventSink that records every pipeline event into memory and can
+ * replay the whole stream, in original order, into another sink.
+ *
+ * This is how parallel experiment batches keep traces well-formed
+ * (see docs/PARALLELISM.md): each worker observes its own runs through
+ * a private BufferingEventSink, and after the pool completes the
+ * buffers are replayed into the user's real sink in job-index order —
+ * the downstream sink sees exactly the event sequence a serial batch
+ * would have produced, never two runs interleaved.
+ *
+ * Device and event names arriving as `const char *` are copied into
+ * owned strings, so a buffer outlives the workloads and devices whose
+ * events it recorded. Buffering the per-cycle firehose costs O(cycles)
+ * memory; use it for bounded validation runs, not open-ended ones.
+ */
+
+#ifndef TCASIM_OBS_BUFFERED_SINK_HH
+#define TCASIM_OBS_BUFFERED_SINK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event_sink.hh"
+
+namespace tca {
+namespace obs {
+
+/** Records every event; replayTo() re-emits them in order. */
+class BufferingEventSink : public EventSink
+{
+  public:
+    BufferingEventSink() = default;
+
+    /** Re-emit every recorded event into `sink`, in recorded order. */
+    void replayTo(EventSink &sink) const;
+
+    /** Number of events recorded so far. */
+    size_t numEvents() const { return events.size(); }
+
+    /** Drop all recorded events. */
+    void clear();
+
+    // EventSink
+    void onRunBegin(const RunContext &ctx) override;
+    void onRunEnd(mem::Cycle cycles, uint64_t committed_uops) override;
+    void onCycle(mem::Cycle now, uint32_t rob_occupancy) override;
+    void onDispatch(uint64_t seq, const trace::MicroOp &op,
+                    mem::Cycle now) override;
+    void onIssue(uint64_t seq, mem::Cycle now) override;
+    void onCommit(const UopLifecycle &uop) override;
+    void onDispatchStall(uint8_t cause, mem::Cycle now) override;
+    void onRobAllocate(uint64_t seq, uint32_t occupancy) override;
+    void onRobRetire(uint64_t seq, uint32_t occupancy) override;
+    void onMemPortClaim(mem::Cycle requested, mem::Cycle granted) override;
+    void onAccelInvocation(uint8_t port, uint32_t invocation,
+                           const char *device, mem::Cycle start,
+                           mem::Cycle complete, uint32_t compute_latency,
+                           uint32_t num_requests) override;
+    void onAccelDeviceEvent(const char *device, const char *event,
+                            uint64_t value) override;
+
+  private:
+    enum class Kind : uint8_t {
+        RunBegin,
+        RunEnd,
+        Cycle,
+        Dispatch,
+        Issue,
+        Commit,
+        DispatchStall,
+        RobAllocate,
+        RobRetire,
+        MemPortClaim,
+        AccelInvocation,
+        AccelDeviceEvent,
+    };
+
+    /** One recorded event; only the fields its kind uses are set. */
+    struct Record
+    {
+        Kind kind;
+        uint64_t a = 0;       ///< seq / cycles / now / requested / start
+        uint64_t b = 0;       ///< occupancy / committed / granted / value
+        uint64_t c = 0;       ///< complete cycle
+        uint32_t u = 0;       ///< invocation / compute latency
+        uint32_t v = 0;       ///< num_requests
+        uint8_t small = 0;    ///< cause / port
+        trace::MicroOp op;    ///< Dispatch only
+        UopLifecycle uop;     ///< Commit only
+        size_t ctxIndex = 0;  ///< RunBegin: index into contexts
+        std::string name;     ///< device name (owned copy)
+        std::string label;    ///< device event label (owned copy)
+    };
+
+    Record &push(Kind kind);
+
+    std::vector<Record> events;
+    std::vector<RunContext> contexts; ///< owned RunContext copies
+};
+
+} // namespace obs
+} // namespace tca
+
+#endif // TCASIM_OBS_BUFFERED_SINK_HH

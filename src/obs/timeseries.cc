@@ -82,6 +82,22 @@ TimeSeriesRecorder::onAccelInvocation(uint8_t port, uint32_t invocation,
 }
 
 void
+TimeSeriesRecorder::merge(const TimeSeriesRecorder &other)
+{
+    tca_assert(epochLength == other.epochLength);
+    if (causeNames.empty()) {
+        causeNames = other.causeNames;
+        numCauses = other.numCauses;
+    }
+    uint64_t base = series.size() * epochLength;
+    for (const Epoch &epoch : other.series) {
+        Epoch copy = epoch;
+        copy.startCycle += base;
+        series.push_back(std::move(copy));
+    }
+}
+
+void
 TimeSeriesRecorder::writeCsv(std::ostream &os) const
 {
     os << "epoch_start,cycles,avg_rob_occupancy,commits,accel_starts,"

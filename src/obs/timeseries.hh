@@ -62,6 +62,17 @@ class TimeSeriesRecorder : public EventSink
         return causeNames;
     }
 
+    /**
+     * Append another recorder's epochs after this one's, renumbering
+     * their start cycles as if the runs had executed back to back —
+     * how a parallel experiment batch folds per-worker recorders into
+     * one series. Both recorders must use the same epoch length
+     * (panics otherwise); merge per-worker recorders in job-index
+     * order for deterministic output. Stall-cause names are adopted
+     * from the first non-empty recorder.
+     */
+    void merge(const TimeSeriesRecorder &other);
+
     /** Render one row per epoch. */
     void writeCsv(std::ostream &os) const;
 

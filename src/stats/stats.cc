@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "util/json.hh"
+#include "util/logging.hh"
 
 namespace tca {
 namespace stats {
@@ -111,6 +112,33 @@ Distribution::percentile(double p) const
         return std::clamp(value, minSeen, maxSeen);
     }
     return maxSeen;
+}
+
+void
+Distribution::merge(const Distribution &other)
+{
+    if (width != other.width ||
+        histogram.size() != other.histogram.size()) {
+        panic("merging distributions with different bucket geometry "
+              "(width %llu/%llu, buckets %zu/%zu)",
+              static_cast<unsigned long long>(width),
+              static_cast<unsigned long long>(other.width),
+              histogram.size(), other.histogram.size());
+    }
+    if (other.samples == 0)
+        return;
+    if (samples == 0) {
+        minSeen = other.minSeen;
+        maxSeen = other.maxSeen;
+    } else {
+        minSeen = std::min(minSeen, other.minSeen);
+        maxSeen = std::max(maxSeen, other.maxSeen);
+    }
+    samples += other.samples;
+    sum += other.sum;
+    sumSquares += other.sumSquares;
+    for (size_t i = 0; i < histogram.size(); ++i)
+        histogram[i] += other.histogram[i];
 }
 
 void

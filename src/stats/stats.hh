@@ -90,6 +90,16 @@ class Distribution
     double p99() const { return percentile(0.99); }
 
     /**
+     * Fold another distribution's samples into this one. Both must
+     * share the same bucket geometry (width and count); panics
+     * otherwise. Merging is commutative on the counts and min/max but
+     * NOT on the floating-point moment accumulators, so parallel
+     * producers must merge in a fixed (index) order for bit-identical
+     * results — see docs/PARALLELISM.md.
+     */
+    void merge(const Distribution &other);
+
+    /**
      * Emit this distribution as a JSON object (moments plus, when the
      * histogram is enabled, bucket width and counts) — the
      * machine-readable counterpart of Group::dump's text line.

@@ -14,6 +14,7 @@
 #ifndef TCASIM_UTIL_LOGGING_HH
 #define TCASIM_UTIL_LOGGING_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdint>
 #include <set>
@@ -92,13 +93,14 @@ class Logger
     void log(LogLevel level, const std::string &msg);
 
     /** Number of messages emitted at Warn or above (for tests). */
-    uint64_t warnCount() const { return warnings; }
+    uint64_t warnCount() const { return warnings.load(); }
 
   private:
     Logger() { applyEnvOverrides(); }
 
     LogLevel threshold = LogLevel::Info;
-    uint64_t warnings = 0;
+    /** Atomic: warnings may be emitted from pool workers. */
+    std::atomic<uint64_t> warnings{0};
     bool allTags = false;          ///< TCA_LOG_TAGS=all
     std::set<std::string> tags;    ///< enabled component tags
 };

@@ -1,0 +1,173 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace tca {
+namespace util {
+
+namespace {
+
+/** Set while the current thread is executing jobs for some pool. */
+thread_local bool tl_inside_worker = false;
+
+} // anonymous namespace
+
+size_t
+hardwareJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+size_t
+parseJobs(const char *text, size_t fallback)
+{
+    if (!text || !*text)
+        return fallback;
+    char *end = nullptr;
+    long value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || value <= 0)
+        return fallback;
+    return std::min<size_t>(static_cast<size_t>(value), maxJobs);
+}
+
+size_t
+configuredJobs()
+{
+    return parseJobs(std::getenv("TCA_JOBS"), hardwareJobs());
+}
+
+bool
+ThreadPool::insideWorker()
+{
+    return tl_inside_worker;
+}
+
+ThreadPool::ThreadPool(size_t num_workers)
+{
+    size_t count = std::max<size_t>(1, num_workers);
+    threads.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (std::thread &t : threads)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tl_inside_worker = true;
+    uint64_t seen = 0;
+    while (true) {
+        std::shared_ptr<Batch> b;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            wake.wait(lock, [&] {
+                return stopping || (batch && generation != seen);
+            });
+            if (stopping)
+                return;
+            seen = generation;
+            b = batch;
+        }
+
+        size_t ran = 0;
+        size_t i;
+        while ((i = b->next.fetch_add(1, std::memory_order_relaxed)) <
+               b->n) {
+            try {
+                (*b->fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mtx);
+                if (!b->error || i < b->errorIndex) {
+                    b->error = std::current_exception();
+                    b->errorIndex = i;
+                }
+            }
+            ++ran;
+        }
+        if (ran) {
+            std::lock_guard<std::mutex> lock(mtx);
+            b->completed += ran;
+            if (b->completed == b->n)
+                done.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (tl_inside_worker) {
+        throw std::logic_error(
+            "ThreadPool::parallelFor called from inside a pool worker "
+            "(nested submission would deadlock a fixed-size pool)");
+    }
+    if (n == 0)
+        return;
+
+    // One batch at a time; external callers queue here.
+    std::lock_guard<std::mutex> submit(submitMtx);
+
+    auto b = std::make_shared<Batch>();
+    b->fn = &fn;
+    b->n = n;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        batch = b;
+        ++generation;
+    }
+    wake.notify_all();
+
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        done.wait(lock, [&] { return b->completed == b->n; });
+        batch = nullptr;
+    }
+    if (b->error)
+        std::rethrow_exception(b->error);
+}
+
+namespace {
+
+/** Process-wide shared pool, rebuilt when the requested size changes. */
+std::mutex shared_pool_mtx;
+std::unique_ptr<ThreadPool> shared_pool;
+
+} // anonymous namespace
+
+void
+parallelForIndexed(size_t n, const std::function<void(size_t)> &fn,
+                   size_t jobs)
+{
+    if (jobs == 0)
+        jobs = configuredJobs();
+
+    // The serial path: identical to a plain loop. Nested fan-outs
+    // (a parallel scenario that itself sweeps a grid) also land here,
+    // so inner parallelism degrades gracefully instead of deadlocking.
+    if (jobs <= 1 || n <= 1 || ThreadPool::insideWorker()) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> lock(shared_pool_mtx);
+    if (!shared_pool || shared_pool->workers() != jobs)
+        shared_pool = std::make_unique<ThreadPool>(jobs);
+    shared_pool->parallelFor(n, fn);
+}
+
+} // namespace util
+} // namespace tca

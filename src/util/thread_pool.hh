@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Deterministic parallel execution for embarrassingly-parallel fan-out
+ * loops (sweep grids, validation points, experiment batches, bench
+ * scenarios). A fixed-size ThreadPool executes N independent index
+ * jobs; results are written into pre-sized vectors BY INDEX, so output
+ * ordering is bit-identical to the serial loop regardless of which
+ * worker ran which job. Concurrency is chosen by the TCA_JOBS
+ * environment variable (default: hardware concurrency); TCA_JOBS=1
+ * recovers the exact serial code path — no pool, no extra threads.
+ *
+ * Determinism contract (see docs/PARALLELISM.md):
+ *  - jobs must be independent: no shared mutable state without the
+ *    caller's own synchronization;
+ *  - anything order-sensitive (floating-point accumulation, stats
+ *    merging, event replay) happens AFTER the pool completes, in
+ *    index order, on the calling thread;
+ *  - exceptions propagate: the lowest-index job failure is rethrown
+ *    on the calling thread once every job finished or was skipped.
+ */
+
+#ifndef TCASIM_UTIL_THREAD_POOL_HH
+#define TCASIM_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tca {
+namespace util {
+
+/** Hardware concurrency, never less than 1. */
+size_t hardwareJobs();
+
+/** Upper bound on worker threads parseJobs() will return. */
+inline constexpr size_t maxJobs = 256;
+
+/**
+ * Parse a TCA_JOBS-style value. Accepts a positive decimal integer;
+ * anything else (null, empty, zero, negative, garbage, trailing
+ * junk) yields `fallback`. Values above maxJobs clamp to maxJobs.
+ */
+size_t parseJobs(const char *text, size_t fallback);
+
+/**
+ * Concurrency selected by the environment: TCA_JOBS when set and
+ * parseable, hardware concurrency otherwise. Read on every call so
+ * tests can flip the variable between runs.
+ */
+size_t configuredJobs();
+
+/**
+ * A fixed-size worker pool. parallelFor() hands indices [0, n) to the
+ * workers and blocks until every job ran; it may be called repeatedly.
+ * Calling parallelFor() from inside one of this or any other pool's
+ * workers is rejected with std::logic_error (nested submission would
+ * deadlock a fixed-size pool); use parallelForIndexed(), which
+ * degrades nested calls to the serial path instead.
+ */
+class ThreadPool
+{
+  public:
+    /** @param num_workers worker threads to spawn (clamped to >= 1). */
+    explicit ThreadPool(size_t num_workers);
+
+    /** Joins all workers; outstanding parallelFor() calls finish. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    size_t workers() const { return threads.size(); }
+
+    /**
+     * Run fn(0) .. fn(n-1) on the workers; returns when all are done.
+     * If jobs threw, the exception of the lowest job index is rethrown
+     * here after every job completed or was skipped. n == 0 returns
+     * immediately. Calls from different external threads serialize
+     * internally (one batch in flight at a time).
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /** True when called from inside any ThreadPool worker. */
+    static bool insideWorker();
+
+  private:
+    /**
+     * One parallelFor() invocation. Workers snapshot the shared_ptr
+     * under the pool mutex, then drain `next` lock-free; a late-waking
+     * worker holding an exhausted old batch can never touch a newer
+     * batch's indices or function.
+     */
+    struct Batch
+    {
+        const std::function<void(size_t)> *fn = nullptr;
+        size_t n = 0;
+        std::atomic<size_t> next{0};
+        size_t completed = 0;       ///< guarded by the pool mutex
+        size_t errorIndex = 0;      ///< guarded by the pool mutex
+        std::exception_ptr error;   ///< lowest-index job failure
+    };
+
+    void workerLoop();
+
+    std::mutex mtx;
+    std::condition_variable wake;  ///< workers wait here for a batch
+    std::condition_variable done;  ///< caller waits here for completion
+
+    std::shared_ptr<Batch> batch;  ///< current batch (guarded by mtx)
+    uint64_t generation = 0;       ///< bumps once per batch
+    bool stopping = false;
+
+    std::mutex submitMtx;          ///< serializes external callers
+    std::vector<std::thread> threads;
+};
+
+/**
+ * Execute fn(0) .. fn(n-1) with `jobs` workers and block until done.
+ *
+ * jobs == 0 selects configuredJobs() (TCA_JOBS / hardware). jobs <= 1,
+ * n <= 1, or a call from inside a pool worker (a nested fan-out) all
+ * run the plain serial loop on the calling thread — the exact code
+ * path a serial build would take. Otherwise a process-wide shared pool
+ * sized to `jobs` runs the batch; the pool is rebuilt only when the
+ * requested size changes.
+ */
+void parallelForIndexed(size_t n, const std::function<void(size_t)> &fn,
+                        size_t jobs = 0);
+
+/**
+ * Map [0, n) through fn in parallel, writing fn(i) into slot i of a
+ * pre-sized vector — the result is bit-identical to the serial loop
+ * `for (i) out.push_back(fn(i))` no matter how jobs were scheduled.
+ */
+template <typename T, typename Fn>
+std::vector<T>
+parallelMapIndexed(size_t n, Fn &&fn, size_t jobs = 0)
+{
+    std::vector<T> out(n);
+    parallelForIndexed(
+        n, [&](size_t i) { out[i] = fn(i); }, jobs);
+    return out;
+}
+
+} // namespace util
+} // namespace tca
+
+#endif // TCASIM_UTIL_THREAD_POOL_HH

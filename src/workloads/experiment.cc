@@ -3,7 +3,9 @@
 #include "cpu/core.hh"
 #include "model/interval_model.hh"
 #include "model/validation.hh"
+#include "obs/buffered_sink.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 #include "workloads/calibrator.hh"
 
 namespace tca {
@@ -53,7 +55,7 @@ runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
 
     // Software baseline on a cold hierarchy.
     result.baseline =
-        runBaselineOnce(workload, core, nullptr, options.hierarchy);
+        runBaselineOnce(workload, core, options.sink, options.hierarchy);
 
     // Calibrate the model from the baseline run and the architect's
     // latency estimate.
@@ -75,10 +77,19 @@ runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
         outcome.mode = mode;
 
         obs::IntervalProfiler profiler;
-        outcome.sim = runAcceleratedOnce(
-            workload, core, mode,
-            options.profileIntervals ? &profiler : nullptr,
-            options.hierarchy);
+        obs::MultiSink fanout;
+        obs::EventSink *run_sink = nullptr;
+        if (options.profileIntervals && options.sink) {
+            fanout.add(&profiler);
+            fanout.add(options.sink);
+            run_sink = &fanout;
+        } else if (options.profileIntervals) {
+            run_sink = &profiler;
+        } else {
+            run_sink = options.sink;
+        }
+        outcome.sim = runAcceleratedOnce(workload, core, mode, run_sink,
+                                         options.hierarchy);
         outcome.functionalOk = workload.verifyFunctional();
         if (options.profileIntervals)
             outcome.intervals = profiler.summary();
@@ -102,6 +113,48 @@ runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
             outcome.modeledSpeedup, outcome.measuredSpeedup);
     }
     return result;
+}
+
+ExperimentBatch
+runExperimentBatch(size_t count, const WorkloadFactory &factory,
+                   const cpu::CoreConfig &core,
+                   const ExperimentOptions &options, size_t jobs)
+{
+    tca_assert(static_cast<bool>(factory));
+
+    ExperimentBatch batch;
+    batch.results.resize(count);
+
+    // Each job records events into a private buffer; the user's sink
+    // only ever sees whole runs, replayed in job-index order below.
+    std::vector<std::unique_ptr<obs::BufferingEventSink>> buffers(count);
+
+    util::parallelForIndexed(
+        count,
+        [&](size_t i) {
+            ExperimentOptions job_options = options;
+            if (options.sink) {
+                buffers[i] = std::make_unique<obs::BufferingEventSink>();
+                job_options.sink = buffers[i].get();
+            }
+            std::unique_ptr<TcaWorkload> workload = factory(i);
+            tca_assert(workload != nullptr);
+            batch.results[i] = runExperiment(*workload, core, job_options);
+        },
+        jobs);
+
+    // Order-sensitive folds happen serially, in index order, so the
+    // batch output is bit-identical no matter how jobs were scheduled.
+    if (options.sink) {
+        for (const auto &buffer : buffers)
+            buffer->replayTo(*options.sink);
+    }
+    if (options.profileIntervals) {
+        for (const ExperimentResult &result : batch.results)
+            for (const ModeOutcome &outcome : result.modes)
+                batch.accelLatency.merge(outcome.intervals.accelLatency);
+    }
+    return batch;
 }
 
 } // namespace workloads

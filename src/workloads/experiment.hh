@@ -11,7 +11,11 @@
 #define TCASIM_WORKLOADS_EXPERIMENT_HH
 
 #include <array>
+#include <cstddef>
+#include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "cpu/core_config.hh"
 #include "cpu/sim_result.hh"
@@ -80,6 +84,16 @@ struct ExperimentOptions
      */
     bool profileIntervals = false;
 
+    /**
+     * Optional pipeline-event sink (not owned) observing every run of
+     * the experiment: the baseline plus all four mode runs. In a
+     * parallel batch each job records into a private buffer that is
+     * replayed into this sink in job-index order after the pool
+     * completes, so the downstream trace is well-formed (never two
+     * runs interleaved) and identical to a serial batch's.
+     */
+    obs::EventSink *sink = nullptr;
+
     mem::HierarchyConfig hierarchy{};
 };
 
@@ -110,6 +124,49 @@ runAcceleratedOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
 ExperimentResult
 runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
               const ExperimentOptions &options = {});
+
+/**
+ * Builds the workload for one batch job. Invoked CONCURRENTLY from
+ * pool workers, so it must not touch shared mutable state: derive
+ * everything (sizes, seeds) from the job index and captured-by-value
+ * configuration. Seeding a per-job Rng from `index` keeps each job's
+ * trace deterministic regardless of scheduling.
+ */
+using WorkloadFactory =
+    std::function<std::unique_ptr<TcaWorkload>(size_t index)>;
+
+/** Outcome of a parallel experiment batch. */
+struct ExperimentBatch
+{
+    /** Per-job results in job-index order (bit-identical to running
+     *  the same factory serially). */
+    std::vector<ExperimentResult> results;
+
+    /**
+     * Per-invocation accelerator latency pooled over every job and
+     * mode (populated when ExperimentOptions::profileIntervals is
+     * set). Per-job distributions are merged in job-index order, so
+     * moments and percentiles are independent of scheduling.
+     */
+    stats::Distribution accelLatency{
+        obs::IntervalSummary::accelLatencyBucketWidth,
+        obs::IntervalSummary::accelLatencyNumBuckets};
+};
+
+/**
+ * Run `count` independent experiments in parallel: job i simulates
+ * factory(i)'s workload with its own Core, cold MemHierarchy, and
+ * IntervalProfiler. Concurrency follows TCA_JOBS (see
+ * util/thread_pool.hh) unless `jobs` overrides it; TCA_JOBS=1 is the
+ * exact serial loop. All outputs — results vector, merged latency
+ * distribution, and events replayed into options.sink — are
+ * deterministic and identical to the serial run.
+ */
+ExperimentBatch
+runExperimentBatch(size_t count, const WorkloadFactory &factory,
+                   const cpu::CoreConfig &core,
+                   const ExperimentOptions &options = {},
+                   size_t jobs = 0);
 
 } // namespace workloads
 } // namespace tca

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Property-based fuzz over the OoO core: ~200 seeded-random (but
+ * always valid) core geometries x small synthetic workloads, each run
+ * observed by an EventSink that checks the window invariants the rest
+ * of the test suite only probes pointwise:
+ *  - ROB occupancy never exceeds robSize and matches the
+ *    allocate/retire edge accounting exactly;
+ *  - retirement and commit are in order (monotone sequence numbers,
+ *    monotone per-uop lifecycle timestamps);
+ *  - in NL modes the window drains before the accelerator executes:
+ *    when the Accel uop issues, every older uop has retired;
+ *  - the ROB is empty when the run ends.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "cpu/core_config.hh"
+#include "model/tca_mode.hh"
+#include "obs/event_sink.hh"
+#include "util/random.hh"
+#include "workloads/experiment.hh"
+#include "workloads/synthetic.hh"
+
+namespace tca {
+namespace {
+
+/** Checks window invariants; collects violations instead of spewing
+ *  one gtest failure per event. */
+class InvariantChecker : public obs::EventSink
+{
+  public:
+    explicit InvariantChecker(model::TcaMode mode, bool accelerated)
+        : mode(mode), accelerated(accelerated)
+    {}
+
+    size_t violations() const { return violationCount; }
+    const std::string &firstViolation() const { return first; }
+    uint64_t commits() const { return numCommits; }
+
+    void
+    onRunBegin(const obs::RunContext &ctx) override
+    {
+        robSize = ctx.robSize;
+        check(robSize > 0, "RunContext.robSize is zero");
+    }
+
+    void
+    onRobAllocate(uint64_t seq, uint32_t occupancy) override
+    {
+        ++live;
+        check(occupancy == live,
+              "allocate occupancy mismatch: reported %u tracked %zu",
+              occupancy, live);
+        check(occupancy <= robSize,
+              "occupancy %u exceeds robSize %u", occupancy, robSize);
+        check(seq > lastAllocated || !anyAllocated,
+              "allocation out of order: seq %llu after %llu",
+              (unsigned long long)seq, (unsigned long long)lastAllocated);
+        if (!anyAllocated)
+            firstAllocated = seq;
+        lastAllocated = seq;
+        anyAllocated = true;
+    }
+
+    void
+    onRobRetire(uint64_t seq, uint32_t occupancy) override
+    {
+        check(live > 0, "retire from an empty window");
+        --live;
+        check(occupancy == live,
+              "retire occupancy mismatch: reported %u tracked %zu",
+              occupancy, live);
+        check(seq > lastRetired || !anyRetired,
+              "retirement out of order: seq %llu after %llu",
+              (unsigned long long)seq, (unsigned long long)lastRetired);
+        lastRetired = seq;
+        anyRetired = true;
+    }
+
+    void
+    onDispatch(uint64_t seq, const trace::MicroOp &op,
+               mem::Cycle) override
+    {
+        if (op.cls == trace::OpClass::Accel)
+            accelSeqs.insert(seq);
+    }
+
+    void
+    onIssue(uint64_t seq, mem::Cycle) override
+    {
+        if (!accelerated || model::allowsLeading(mode))
+            return;
+        if (accelSeqs.count(seq) == 0)
+            return;
+        // NL modes: the accelerator executes non-speculatively, so the
+        // window must have drained — the Accel uop is the oldest live
+        // uop when it issues. Allocation and retirement are both
+        // in-order, so the oldest live seq is one past the last
+        // retired (or the very first allocation).
+        uint64_t oldest = anyRetired ? lastRetired + 1 : firstAllocated;
+        check(seq == oldest,
+              "NL accel issued before drain: seq %llu oldest live %llu",
+              (unsigned long long)seq, (unsigned long long)oldest);
+    }
+
+    void
+    onCommit(const obs::UopLifecycle &uop) override
+    {
+        ++numCommits;
+        check(uop.seq > lastCommitted || numCommits == 1,
+              "commit out of order: seq %llu after %llu",
+              (unsigned long long)uop.seq,
+              (unsigned long long)lastCommitted);
+        lastCommitted = uop.seq;
+        check(uop.dispatch <= uop.issue && uop.issue <= uop.complete &&
+                  uop.complete <= uop.commit,
+              "non-monotone lifecycle for seq %llu",
+              (unsigned long long)uop.seq);
+    }
+
+    void
+    onRunEnd(mem::Cycle, uint64_t committed) override
+    {
+        check(live == 0, "run ended with %zu uops live in the window",
+              live);
+        check(committed == numCommits,
+              "onRunEnd committed %llu but saw %llu commit events",
+              (unsigned long long)committed,
+              (unsigned long long)numCommits);
+    }
+
+  private:
+    template <typename... Args>
+    void
+    check(bool ok, const char *fmt, Args... args)
+    {
+        if (ok)
+            return;
+        ++violationCount;
+        if (first.empty()) {
+            char buf[256];
+            std::snprintf(buf, sizeof(buf), fmt, args...);
+            first = buf;
+        }
+    }
+
+    model::TcaMode mode;
+    bool accelerated;
+    uint32_t robSize = 0;
+    size_t live = 0;
+    bool anyAllocated = false;
+    bool anyRetired = false;
+    uint64_t firstAllocated = 0;
+    uint64_t lastAllocated = 0;
+    uint64_t lastRetired = 0;
+    uint64_t lastCommitted = 0;
+    uint64_t numCommits = 0;
+    std::set<uint64_t> accelSeqs;
+    size_t violationCount = 0;
+    std::string first;
+};
+
+/** A random but always-valid core geometry. */
+cpu::CoreConfig
+randomCore(Rng &rng, size_t index)
+{
+    cpu::CoreConfig core;
+    core.name = "fuzz" + std::to_string(index);
+    core.dispatchWidth = static_cast<uint32_t>(rng.nextRange(1, 4));
+    core.issueWidth = static_cast<uint32_t>(rng.nextRange(1, 4));
+    core.commitWidth = static_cast<uint32_t>(rng.nextRange(1, 4));
+    core.robSize = static_cast<uint32_t>(rng.nextRange(16, 96));
+    core.iqSize = std::min(
+        core.robSize, static_cast<uint32_t>(rng.nextRange(8, 64)));
+    core.lsqSize = std::min(
+        core.robSize, static_cast<uint32_t>(rng.nextRange(8, 48)));
+    core.memPorts = static_cast<uint32_t>(rng.nextRange(1, 3));
+    core.intAluUnits = static_cast<uint32_t>(rng.nextRange(1, 3));
+    core.intMulUnits = static_cast<uint32_t>(rng.nextRange(1, 2));
+    core.fpUnits = static_cast<uint32_t>(rng.nextRange(1, 2));
+    core.branchUnits = static_cast<uint32_t>(rng.nextRange(1, 2));
+    core.commitLatency = static_cast<uint32_t>(rng.nextRange(1, 12));
+    core.redirectPenalty = static_cast<uint32_t>(rng.nextRange(4, 16));
+    core.validate();
+    return core;
+}
+
+workloads::SyntheticConfig
+randomWorkload(Rng &rng, size_t index)
+{
+    workloads::SyntheticConfig conf;
+    conf.fillerUops = rng.nextRange(600, 2400);
+    conf.numInvocations = static_cast<uint32_t>(rng.nextRange(1, 4));
+    conf.regionUops = static_cast<uint32_t>(rng.nextRange(40, 120));
+    conf.accelLatency = static_cast<uint32_t>(rng.nextRange(8, 64));
+    conf.accelMemRequests = static_cast<uint32_t>(rng.nextRange(0, 4));
+    conf.mispredictRate = rng.nextDouble() * 0.01;
+    conf.seed = 7000 + index;
+    return conf;
+}
+
+TEST(CoreInvariantsFuzzTest, RandomConfigsHoldWindowInvariants)
+{
+    constexpr size_t kConfigs = 200;
+    for (size_t i = 0; i < kConfigs; ++i) {
+        Rng rng(0xfeed0000 + i);
+        cpu::CoreConfig core = randomCore(rng, i);
+        workloads::SyntheticWorkload workload(randomWorkload(rng, i));
+        model::TcaMode mode = model::allTcaModes[i % 4];
+
+        {
+            InvariantChecker checker(mode, /*accelerated=*/false);
+            cpu::SimResult r =
+                workloads::runBaselineOnce(workload, core, &checker);
+            EXPECT_EQ(checker.violations(), 0u)
+                << "config " << i << " baseline: "
+                << checker.firstViolation() << " ("
+                << checker.violations() << " total)";
+            EXPECT_EQ(checker.commits(), r.committedUops);
+        }
+        {
+            InvariantChecker checker(mode, /*accelerated=*/true);
+            cpu::SimResult r = workloads::runAcceleratedOnce(
+                workload, core, mode, &checker);
+            EXPECT_EQ(checker.violations(), 0u)
+                << "config " << i << " mode "
+                << model::tcaModeName(mode) << ": "
+                << checker.firstViolation() << " ("
+                << checker.violations() << " total)";
+            EXPECT_GT(r.accelInvocations, 0u) << "config " << i;
+        }
+        if (HasFatalFailure() || HasNonfatalFailure())
+            break; // one broken config is enough signal
+    }
+}
+
+} // namespace
+} // namespace tca

@@ -8,9 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "obs/bench_harness.hh"
 #include "util/json.hh"
@@ -177,6 +179,105 @@ TEST(BenchHarness, FilterSelectsBySubstring)
     EXPECT_EQ(outcomes[0].name, "heap_hot");
     EXPECT_TRUE(std::filesystem::exists(dir / "BENCH_heap_hot.json"));
     EXPECT_FALSE(std::filesystem::exists(dir / "BENCH_dgemm.json"));
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(BenchHarness, WarmupIsTimedSeparatelyFromRepeats)
+{
+    auto dir = std::filesystem::temp_directory_path() /
+        "tca_bench_warmup_test";
+    std::filesystem::remove_all(dir);
+
+    BenchOptions options;
+    options.repeats = 3;
+    options.warmup = 1;
+    options.jobs = 1;
+    options.outDir = dir.string();
+
+    // The first execution (the warmup) is two orders of magnitude
+    // slower than the repeats — the shape of pool startup, page
+    // faults, and cold caches. None of it may leak into the repeat
+    // median.
+    int calls = 0;
+    BenchScenario scenario;
+    scenario.name = "coldstart";
+    scenario.run = [&calls](bool) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(calls == 0 ? 200 : 2));
+        ++calls;
+        return ScenarioMetrics{};
+    };
+
+    BenchHarness harness(options);
+    harness.add(scenario);
+    std::vector<ScenarioOutcome> outcomes = harness.runAll();
+    ASSERT_EQ(outcomes.size(), 1u);
+    const ScenarioOutcome &o = outcomes[0];
+
+    ASSERT_EQ(o.warmupSeconds.samples.size(), 1u);
+    ASSERT_EQ(o.wallSeconds.samples.size(), 3u);
+    EXPECT_GE(o.warmupSeconds.median, 0.2);
+    // The repeat median must reflect the 2ms steady state, not the
+    // 200ms warmup (generous bound for loaded CI machines).
+    EXPECT_LT(o.wallSeconds.median, 0.1);
+    for (double s : o.wallSeconds.samples)
+        EXPECT_LT(s, 0.1);
+
+    // The record carries the warmup summary and the parallelism
+    // envelope fields.
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(slurp(o.jsonPath), doc, &error)) << error;
+    EXPECT_EQ(doc.find("jobs")->number, 1.0);
+    EXPECT_DOUBLE_EQ(doc.find("parallel_speedup")->number, 1.0);
+    const JsonValue *warm = doc.find("metrics")->find("warmup_seconds");
+    ASSERT_NE(warm, nullptr);
+    ASSERT_NE(warm->find("samples"), nullptr);
+    EXPECT_EQ(warm->find("samples")->items.size(), 1u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(BenchHarness, ParallelScenariosRecordAchievedSpeedup)
+{
+    auto dir = std::filesystem::temp_directory_path() /
+        "tca_bench_speedup_test";
+    std::filesystem::remove_all(dir);
+
+    BenchOptions options;
+    options.repeats = 1;
+    options.warmup = 0;
+    options.jobs = 4;
+    options.outDir = dir.string();
+
+    BenchHarness harness(options);
+    EXPECT_DOUBLE_EQ(harness.achievedParallelSpeedup(), 1.0);
+    for (int s = 0; s < 4; ++s) {
+        BenchScenario scenario;
+        scenario.name = "sleep" + std::to_string(s);
+        scenario.run = [](bool) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(60));
+            return ScenarioMetrics{};
+        };
+        harness.add(scenario);
+    }
+    std::vector<ScenarioOutcome> outcomes = harness.runAll();
+    ASSERT_EQ(outcomes.size(), 4u);
+    // Registration order is preserved regardless of scheduling.
+    for (int s = 0; s < 4; ++s)
+        EXPECT_EQ(outcomes[s].name, "sleep" + std::to_string(s));
+    // Four 60ms scenarios across 4 workers: busy/wall must show real
+    // overlap (4x ideal; generous floor for loaded CI machines).
+    EXPECT_GT(harness.achievedParallelSpeedup(), 1.5);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(slurp(outcomes[0].jsonPath), doc, &error))
+        << error;
+    EXPECT_EQ(doc.find("jobs")->number, 4.0);
+    EXPECT_DOUBLE_EQ(doc.find("parallel_speedup")->number,
+                     harness.achievedParallelSpeedup());
 
     std::filesystem::remove_all(dir);
 }

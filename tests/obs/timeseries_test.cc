@@ -102,6 +102,46 @@ TEST(TimeSeries, CsvHasPerCauseColumns)
               std::string::npos);
 }
 
+TEST(TimeSeries, MergeConcatenatesAndRenumbers)
+{
+    obs::TimeSeriesRecorder a(10), b(10);
+    a.onRunBegin(context());
+    for (mem::Cycle c = 0; c < 20; ++c)
+        a.onCycle(c, 4); // two full epochs
+    b.onRunBegin(context());
+    for (mem::Cycle c = 0; c < 5; ++c)
+        b.onCycle(c, 9); // one short epoch
+    b.onDispatchStall(1, 2);
+
+    a.merge(b);
+    const std::vector<obs::Epoch> &epochs = a.epochs();
+    ASSERT_EQ(epochs.size(), 3u);
+    // b's epoch is renumbered as if the runs executed back to back.
+    EXPECT_EQ(epochs[2].startCycle, 20u);
+    EXPECT_EQ(epochs[2].cycles, 5u);
+    EXPECT_DOUBLE_EQ(epochs[2].avgRobOccupancy(), 9.0);
+    EXPECT_EQ(epochs[2].stallCycles[1], 1u);
+}
+
+TEST(TimeSeries, MergeIntoEmptyAdoptsCauseNames)
+{
+    obs::TimeSeriesRecorder a(10), b(10);
+    b.onRunBegin(context());
+    b.onCycle(0, 2);
+
+    a.merge(b);
+    ASSERT_EQ(a.epochs().size(), 1u);
+    EXPECT_EQ(a.epochs()[0].startCycle, 0u);
+    ASSERT_EQ(a.stallCauseNames().size(), 3u);
+    EXPECT_EQ(a.stallCauseNames()[1], "rob_full");
+}
+
+TEST(TimeSeriesDeathTest, MergeEpochLengthMismatchPanics)
+{
+    obs::TimeSeriesRecorder a(10), b(16);
+    EXPECT_DEATH(a.merge(b), "");
+}
+
 TEST(TimeSeries, ToJsonRoundTrips)
 {
     obs::TimeSeriesRecorder recorder(16);

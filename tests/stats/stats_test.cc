@@ -270,6 +270,68 @@ TEST(DistributionTest, PercentilesInJsonAndDump)
     EXPECT_NE(dump.str().find("p95="), std::string::npos);
 }
 
+TEST(DistributionMergeTest, FoldsMomentsAndBuckets)
+{
+    Distribution a(10, 3), b(10, 3);
+    for (double v : {2.0, 4.0, 15.0})
+        a.sample(v);
+    for (double v : {1.0, 25.0, 99.0})
+        b.sample(v);
+
+    a.merge(b);
+    EXPECT_EQ(a.numSamples(), 6u);
+    EXPECT_DOUBLE_EQ(a.minValue(), 1.0);
+    EXPECT_DOUBLE_EQ(a.maxValue(), 99.0);
+    EXPECT_DOUBLE_EQ(a.mean(), (2.0 + 4.0 + 15.0 + 1.0 + 25.0 + 99.0) / 6);
+    ASSERT_EQ(a.buckets().size(), 4u);
+    EXPECT_EQ(a.buckets()[0], 3u); // 2, 4, 1
+    EXPECT_EQ(a.buckets()[1], 1u); // 15
+    EXPECT_EQ(a.buckets()[2], 1u); // 25
+    EXPECT_EQ(a.buckets()[3], 1u); // 99 overflow
+}
+
+TEST(DistributionMergeTest, MatchesSerialSamplingExactly)
+{
+    // Small integers are FP-exact, so merging per-worker partials in
+    // index order reproduces the serial accumulation bit for bit —
+    // the property parallel experiment batches rely on.
+    Distribution serial(2, 64), left(2, 64), right(2, 64);
+    for (int i = 0; i < 40; ++i) {
+        serial.sample(i % 23);
+        (i < 20 ? left : right).sample(i % 23);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.numSamples(), serial.numSamples());
+    EXPECT_DOUBLE_EQ(left.mean(), serial.mean());
+    EXPECT_DOUBLE_EQ(left.variance(), serial.variance());
+    EXPECT_DOUBLE_EQ(left.p50(), serial.p50());
+    EXPECT_DOUBLE_EQ(left.p95(), serial.p95());
+    EXPECT_DOUBLE_EQ(left.p99(), serial.p99());
+    EXPECT_EQ(left.buckets(), serial.buckets());
+}
+
+TEST(DistributionMergeTest, EmptySidesAreNeutral)
+{
+    Distribution a(10, 2), empty(10, 2);
+    a.sample(5.0);
+    a.merge(empty); // merging nothing changes nothing
+    EXPECT_EQ(a.numSamples(), 1u);
+    EXPECT_DOUBLE_EQ(a.minValue(), 5.0);
+
+    Distribution target(10, 2);
+    target.merge(a); // merging into empty adopts min/max
+    EXPECT_EQ(target.numSamples(), 1u);
+    EXPECT_DOUBLE_EQ(target.minValue(), 5.0);
+    EXPECT_DOUBLE_EQ(target.maxValue(), 5.0);
+}
+
+TEST(DistributionMergeDeathTest, GeometryMismatchPanics)
+{
+    Distribution a(10, 2), b(20, 2), c(10, 4);
+    EXPECT_DEATH(a.merge(b), "");
+    EXPECT_DEATH(a.merge(c), "");
+}
+
 TEST(GroupTest, DumpContainsAllStats)
 {
     Counter c;

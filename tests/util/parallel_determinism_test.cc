@@ -1,0 +1,328 @@
+/**
+ * @file
+ * The determinism contract of docs/PARALLELISM.md, enforced: every
+ * parallel fan-out site must produce byte-identical results under
+ * TCA_JOBS=1 (the exact serial loop) and TCA_JOBS=8. Doubles are
+ * serialized as hexfloat so the comparison is bitwise, not approximate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "model/sweeps.hh"
+#include "model/validation.hh"
+#include "obs/bench_harness.hh"
+#include "obs/event_sink.hh"
+#include "stats/stats.hh"
+#include "util/json.hh"
+#include "util/thread_pool.hh"
+#include "workloads/experiment.hh"
+#include "workloads/synthetic.hh"
+
+namespace tca {
+namespace {
+
+using model::HeatmapGrid;
+using model::SweepPoint;
+using model::TcaParams;
+using model::ValidationPoint;
+using workloads::ExperimentBatch;
+using workloads::ExperimentOptions;
+using workloads::ExperimentResult;
+
+/** Run `body` with TCA_JOBS set to `jobs`, restoring the old value. */
+template <typename Body>
+auto
+withJobs(const char *jobs, Body &&body)
+{
+    const char *old = std::getenv("TCA_JOBS");
+    std::string saved = old ? old : "";
+    bool had = old != nullptr;
+    setenv("TCA_JOBS", jobs, 1);
+    auto result = body();
+    if (had)
+        setenv("TCA_JOBS", saved.c_str(), 1);
+    else
+        unsetenv("TCA_JOBS");
+    return result;
+}
+
+/** Bitwise-faithful double rendering. */
+void
+put(std::ostringstream &os, double v)
+{
+    os << std::hexfloat << v << ';';
+}
+
+std::string
+serialize(const std::vector<SweepPoint> &points)
+{
+    std::ostringstream os;
+    for (const SweepPoint &p : points) {
+        put(os, p.x);
+        for (double s : p.speedup)
+            put(os, s);
+    }
+    return os.str();
+}
+
+std::string
+serialize(const HeatmapGrid &grid)
+{
+    std::ostringstream os;
+    for (double a : grid.aValues)
+        put(os, a);
+    for (double v : grid.vValues)
+        put(os, v);
+    for (const auto &mode : grid.speedup)
+        for (const auto &row : mode)
+            for (double s : row)
+                put(os, s);
+    return os.str();
+}
+
+std::string
+serialize(const std::vector<ValidationPoint> &points)
+{
+    std::ostringstream os;
+    for (const ValidationPoint &p : points) {
+        put(os, p.estimated);
+        put(os, p.measured);
+    }
+    return os.str();
+}
+
+TcaParams
+sweepBase()
+{
+    TcaParams params = model::armA72Preset().apply(TcaParams{});
+    params.acceleratableFraction = 0.4;
+    params.accelerationFactor = 2.5;
+    return params;
+}
+
+TEST(ParallelDeterminismTest, SweepsAreByteIdentical)
+{
+    auto all = [] {
+        TcaParams base = sweepBase();
+        std::ostringstream os;
+        os << serialize(model::granularitySweep(base, 10.0, 1e5, 6));
+        os << serialize(model::acceleratableSweep(base, 200.0, 0.05,
+                                                  0.95, 37));
+        os << serialize(model::heatmapSweep(base, 13, 1e-5, 1e-2, 17));
+        return os.str();
+    };
+    std::string serial = withJobs("1", all);
+    std::string parallel = withJobs("8", all);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelDeterminismTest, ValidationPointsAreByteIdentical)
+{
+    auto collect = [] {
+        return model::collectValidationPoints(64, [](size_t i) {
+            TcaParams params = sweepBase();
+            params.invocationFrequency =
+                1e-5 * static_cast<double>(i + 1);
+            model::IntervalModel m(params);
+            ValidationPoint p;
+            p.estimated = m.speedup(model::allTcaModes[i % 4]);
+            p.measured = p.estimated * (1.0 + 1e-3 * (i % 7));
+            return p;
+        });
+    };
+    std::string serial = withJobs("1", [&] { return serialize(collect()); });
+    std::string parallel =
+        withJobs("8", [&] { return serialize(collect()); });
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+}
+
+/**
+ * Serializes every event scalar it sees; two runs producing the same
+ * string saw the same events in the same order.
+ */
+class ChecksumSink : public obs::EventSink
+{
+  public:
+    std::string text() const { return os.str(); }
+
+    void
+    onRunBegin(const obs::RunContext &ctx) override
+    {
+        os << "B:" << ctx.coreName << ',' << ctx.robSize << ';';
+    }
+    void
+    onRunEnd(mem::Cycle cycles, uint64_t committed) override
+    {
+        os << "E:" << cycles << ',' << committed << ';';
+    }
+    void
+    onDispatch(uint64_t seq, const trace::MicroOp &op,
+               mem::Cycle now) override
+    {
+        os << "D:" << seq << ',' << static_cast<int>(op.cls) << ','
+           << now << ';';
+    }
+    void
+    onIssue(uint64_t seq, mem::Cycle now) override
+    {
+        os << "I:" << seq << ',' << now << ';';
+    }
+    void
+    onCommit(const obs::UopLifecycle &uop) override
+    {
+        os << "C:" << uop.seq << ',' << uop.dispatch << ',' << uop.issue
+           << ',' << uop.complete << ',' << uop.commit << ';';
+    }
+    void
+    onRobAllocate(uint64_t seq, uint32_t occupancy) override
+    {
+        os << "ra:" << seq << ',' << occupancy << ';';
+    }
+    void
+    onRobRetire(uint64_t seq, uint32_t occupancy) override
+    {
+        os << "rr:" << seq << ',' << occupancy << ';';
+    }
+    void
+    onAccelInvocation(uint8_t port, uint32_t invocation,
+                      const char *device, mem::Cycle start,
+                      mem::Cycle complete, uint32_t compute_latency,
+                      uint32_t num_requests) override
+    {
+        os << "A:" << int{port} << ',' << invocation << ',' << device
+           << ',' << start << ',' << complete << ',' << compute_latency
+           << ',' << num_requests << ';';
+    }
+    void
+    onAccelDeviceEvent(const char *device, const char *event,
+                       uint64_t value) override
+    {
+        os << "V:" << device << ',' << event << ',' << value << ';';
+    }
+
+  private:
+    std::ostringstream os;
+};
+
+workloads::WorkloadFactory
+batchFactory()
+{
+    return [](size_t i) {
+        workloads::SyntheticConfig conf;
+        conf.fillerUops = 4000;
+        conf.numInvocations = 8 + static_cast<uint32_t>(4 * i);
+        conf.regionUops = 100;
+        conf.accelLatency = 40;
+        conf.seed = 100 + i; // per-job trace, derived from the index
+        return std::make_unique<workloads::SyntheticWorkload>(conf);
+    };
+}
+
+std::string
+serializeBatch(const ExperimentBatch &batch, const ChecksumSink &sink)
+{
+    std::ostringstream os;
+    for (const ExperimentResult &r : batch.results) {
+        os << r.workloadName << ':' << r.baseline.cycles << ','
+           << r.baseline.committedUops << ';';
+        put(os, r.params.acceleratableFraction);
+        put(os, r.params.invocationFrequency);
+        for (const workloads::ModeOutcome &mode : r.modes) {
+            os << mode.sim.cycles << ',' << mode.sim.committedUops
+               << ',';
+            put(os, mode.measuredSpeedup);
+            put(os, mode.modeledSpeedup);
+            put(os, mode.errorPercent);
+        }
+    }
+    // Merged distribution: the JSON carries moments, percentiles, and
+    // buckets, so byte-comparing it covers them all.
+    JsonWriter json(os);
+    batch.accelLatency.toJson(json);
+    put(os, batch.accelLatency.p50());
+    put(os, batch.accelLatency.p95());
+    put(os, batch.accelLatency.p99());
+    os << '#' << sink.text();
+    return os.str();
+}
+
+TEST(ParallelDeterminismTest, ExperimentBatchIsByteIdentical)
+{
+    auto run = [] {
+        ChecksumSink sink;
+        ExperimentOptions options;
+        options.profileIntervals = true;
+        options.sink = &sink;
+        ExperimentBatch batch = workloads::runExperimentBatch(
+            5, batchFactory(), cpu::a72CoreConfig(), options);
+        return serializeBatch(batch, sink);
+    };
+    std::string serial = withJobs("1", run);
+    std::string parallel = withJobs("8", run);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+    // The event stream must actually contain events for this to mean
+    // anything.
+    EXPECT_NE(serial.find("A:"), std::string::npos);
+}
+
+TEST(ParallelDeterminismTest, BenchMetricsMatchSerialModuloTiming)
+{
+    // Two deterministic scenarios through the harness: everything
+    // except wall-clock timing must match between 1 and 4 jobs.
+    auto outcomes = [](int jobs) {
+        obs::BenchOptions options;
+        options.repeats = 2;
+        options.warmup = 1;
+        options.jobs = jobs;
+        options.outDir = ::testing::TempDir() + "/det_jobs_" +
+                         std::to_string(jobs);
+        obs::BenchHarness harness(options);
+        for (int s = 0; s < 3; ++s) {
+            obs::BenchScenario scenario;
+            scenario.name = "det" + std::to_string(s);
+            scenario.run = [s](bool) {
+                obs::ScenarioMetrics metrics;
+                metrics.simCycles = 1000u * (s + 1);
+                metrics.committedUops = 17u * (s + 1);
+                obs::ModeErrorReport report;
+                report.mode = "NL_T";
+                report.meanAbsErrorPercent = 0.5 * (s + 1);
+                report.dominantTerm = "t_accl";
+                metrics.modeErrors.push_back(report);
+                return metrics;
+            };
+            harness.add(scenario);
+        }
+        return harness.runAll();
+    };
+    std::vector<obs::ScenarioOutcome> serial = outcomes(1);
+    std::vector<obs::ScenarioOutcome> parallel = outcomes(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].name, parallel[i].name);
+        EXPECT_EQ(serial[i].simCycles, parallel[i].simCycles);
+        EXPECT_EQ(serial[i].committedUops, parallel[i].committedUops);
+        ASSERT_EQ(serial[i].modeErrors.size(),
+                  parallel[i].modeErrors.size());
+        for (size_t m = 0; m < serial[i].modeErrors.size(); ++m) {
+            EXPECT_EQ(serial[i].modeErrors[m].mode,
+                      parallel[i].modeErrors[m].mode);
+            EXPECT_DOUBLE_EQ(
+                serial[i].modeErrors[m].meanAbsErrorPercent,
+                parallel[i].modeErrors[m].meanAbsErrorPercent);
+        }
+    }
+}
+
+} // namespace
+} // namespace tca

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace tca {
+namespace util {
+namespace {
+
+TEST(ParseJobsTest, PositiveDecimal)
+{
+    EXPECT_EQ(parseJobs("1", 7), 1u);
+    EXPECT_EQ(parseJobs("8", 7), 8u);
+    EXPECT_EQ(parseJobs("32", 7), 32u);
+}
+
+TEST(ParseJobsTest, FallbackCases)
+{
+    EXPECT_EQ(parseJobs(nullptr, 7), 7u);
+    EXPECT_EQ(parseJobs("", 7), 7u);
+    EXPECT_EQ(parseJobs("0", 7), 7u);
+    EXPECT_EQ(parseJobs("-4", 7), 7u);
+    EXPECT_EQ(parseJobs("garbage", 7), 7u);
+    EXPECT_EQ(parseJobs("4x", 7), 7u);   // trailing junk
+    EXPECT_EQ(parseJobs("3.5", 7), 7u);  // not an integer
+}
+
+TEST(ParseJobsTest, ClampsToMaxJobs)
+{
+    EXPECT_EQ(parseJobs("257", 7), maxJobs);
+    EXPECT_EQ(parseJobs("99999999999999999999", 7), maxJobs);
+}
+
+TEST(ParseJobsTest, HardwareJobsIsAtLeastOne)
+{
+    EXPECT_GE(hardwareJobs(), 1u);
+}
+
+TEST(ParseJobsTest, ConfiguredJobsReadsEnvPerCall)
+{
+    ASSERT_EQ(setenv("TCA_JOBS", "3", 1), 0);
+    EXPECT_EQ(configuredJobs(), 3u);
+    ASSERT_EQ(setenv("TCA_JOBS", "bogus", 1), 0);
+    EXPECT_EQ(configuredJobs(), hardwareJobs());
+    ASSERT_EQ(unsetenv("TCA_JOBS"), 0);
+    EXPECT_EQ(configuredJobs(), hardwareJobs());
+}
+
+TEST(ThreadPoolTest, EmptyJobListReturnsImmediately)
+{
+    ThreadPool pool(4);
+    bool ran = false;
+    pool.parallelFor(0, [&](size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, MoreJobsThanWorkersRunsEachIndexExactlyOnce)
+{
+    ThreadPool pool(3);
+    constexpr size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto &h : hits)
+        h.store(0);
+    pool.parallelFor(n, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches)
+{
+    ThreadPool pool(2);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<size_t> sum{0};
+        pool.parallelFor(10, [&](size_t i) { sum.fetch_add(i + 1); });
+        EXPECT_EQ(sum.load(), 55u);
+    }
+}
+
+TEST(ThreadPoolTest, ExceptionOfLowestIndexPropagates)
+{
+    ThreadPool pool(4);
+    std::atomic<int> completed{0};
+    try {
+        pool.parallelFor(100, [&](size_t i) {
+            if (i == 7 || i == 3 || i == 80)
+                throw std::runtime_error("job " + std::to_string(i));
+            completed.fetch_add(1);
+        });
+        FAIL() << "expected runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "job 3");
+    }
+    // Every non-throwing job still ran before the rethrow.
+    EXPECT_EQ(completed.load(), 97);
+}
+
+TEST(ThreadPoolTest, NestedSubmitIsRejected)
+{
+    ThreadPool pool(2);
+    // The nested parallelFor throws logic_error inside the worker; the
+    // outer call rethrows it on the calling thread.
+    EXPECT_THROW(
+        pool.parallelFor(4,
+                         [&](size_t) {
+                             EXPECT_TRUE(ThreadPool::insideWorker());
+                             pool.parallelFor(2, [](size_t) {});
+                         }),
+        std::logic_error);
+}
+
+TEST(ThreadPoolTest, InsideWorkerIsFalseOnCallingThread)
+{
+    EXPECT_FALSE(ThreadPool::insideWorker());
+    ThreadPool pool(2);
+    pool.parallelFor(2, [](size_t) {});
+    EXPECT_FALSE(ThreadPool::insideWorker());
+}
+
+TEST(ParallelForIndexedTest, SerialWhenJobsIsOne)
+{
+    // jobs == 1 must not spawn a pool: the body observes the calling
+    // thread's context, so insideWorker() stays false throughout.
+    std::vector<size_t> order;
+    parallelForIndexed(
+        5,
+        [&](size_t i) {
+            EXPECT_FALSE(ThreadPool::insideWorker());
+            order.push_back(i);
+        },
+        1);
+    EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForIndexedTest, NestedFanOutDegradesToSerial)
+{
+    std::atomic<size_t> inner_total{0};
+    parallelForIndexed(
+        4,
+        [&](size_t) {
+            // Nested call: runs the serial loop on this worker instead
+            // of deadlocking or throwing.
+            size_t local = 0;
+            parallelForIndexed(8, [&](size_t j) { local += j; }, 8);
+            inner_total.fetch_add(local);
+        },
+        4);
+    EXPECT_EQ(inner_total.load(), 4u * 28u);
+}
+
+TEST(ParallelForIndexedTest, MapWritesByIndex)
+{
+    std::vector<int> out = parallelMapIndexed<int>(
+        100, [](size_t i) { return static_cast<int>(i * i); }, 8);
+    ASSERT_EQ(out.size(), 100u);
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+} // namespace
+} // namespace util
+} // namespace tca
