@@ -22,7 +22,9 @@
 #include "model/interval_model.hh"
 #include "obs/interval_profiler.hh"
 #include "obs/manifest.hh"
+#include "obs/stats_registry.hh"
 #include "obs/timeline.hh"
+#include "stats/registry.hh"
 #include "stats/stats.hh"
 #include "util/json.hh"
 #include "util/table.hh"
@@ -79,6 +81,7 @@ main()
 
     ExperimentOptions options;
     options.profileIntervals = true;
+    options.collectStats = true;
 
     const ExperimentResult *representative = nullptr;
     std::vector<std::unique_ptr<ExperimentResult>> results;
@@ -141,25 +144,27 @@ main()
         latency.writeCsvIfRequested("fig5_heap_latency");
     }
 
-    // Machine-readable artifacts under $TCA_OUT_DIR/fig5_heap/.
+    // Machine-readable artifacts under $TCA_OUT_DIR/fig5_heap/:
+    // stats.json is the hierarchical registry tree — summary scalars
+    // plus the full per-run machine dumps (cpu.core.*, mem.*,
+    // accel.*) grafted under baseline.* and modes.<mode>.*, so e.g.
+    // modes.L_T.cpu.core.rob.full_stalls and modes.NL_NT.mem.l1.mpki
+    // are directly comparable.
     if (representative) {
         const ExperimentResult &rep = *representative;
 
-        stats::Group group("fig5_heap");
-        std::vector<std::unique_ptr<stats::Formula>> formulas;
-        auto add = [&](const std::string &name, double v,
+        stats::StatsRegistry summary;
+        auto add = [&](const std::string &path, double v,
                        const std::string &desc) {
-            formulas.push_back(
-                std::make_unique<stats::Formula>([v] { return v; }));
-            group.addFormula(name, formulas.back().get(), desc);
+            summary.addFormula(path, [v] { return v; }, desc);
         };
-        add("baseline_cycles", double(rep.baseline.cycles),
+        add("summary.baseline_cycles", double(rep.baseline.cycles),
             "software-baseline cycles at the representative gap");
-        add("worst_abs_error_percent", worst_error,
+        add("summary.worst_abs_error_percent", worst_error,
             "worst |model error| across the whole sweep");
         IntervalTimes times = IntervalModel(rep.params).times();
         for (const ModeOutcome &mode : rep.modes) {
-            std::string prefix = tcaModeName(mode.mode) + ".";
+            std::string prefix = "modes." + tcaModeName(mode.mode) + ".";
             add(prefix + "sim_speedup", mode.measuredSpeedup,
                 "simulated speedup");
             add(prefix + "model_speedup", mode.modeledSpeedup,
@@ -186,6 +191,12 @@ main()
             add(prefix + "accel_latency_p99", lat.p99(), "");
         }
 
+        stats::StatsSnapshot tree = summary.snapshot();
+        tree.mergePrefixed("baseline", rep.baselineStats);
+        for (const ModeOutcome &mode : rep.modes)
+            tree.mergePrefixed("modes." + tcaModeName(mode.mode),
+                               mode.stats);
+
         obs::RunManifest manifest("fig5_heap");
         manifest.set("seed", kSeed);
         manifest.set("num_calls", uint64_t{kNumCalls});
@@ -203,7 +214,7 @@ main()
             rep.params.writeJson(json);
             manifest.setRawJson("tca_params", os.str());
         }
-        obs::writeRunArtifacts(manifest, {&group});
+        obs::writeRunArtifacts(manifest, tree);
     }
 
     // Opt-in per-uop timeline ($TCA_TIMELINE=chrome|o3|csv): rerun

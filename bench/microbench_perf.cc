@@ -60,7 +60,8 @@ BENCHMARK(BM_HeatmapSweep)->Arg(16)->Arg(32);
  * BENCH_sim_throughput.json are directly comparable.
  */
 static void
-simulatorThroughput(benchmark::State &state, obs::EventSink *sink)
+simulatorThroughput(benchmark::State &state, obs::EventSink *sink,
+                    stats::StatsSnapshot *stats_out = nullptr)
 {
     workloads::SyntheticConfig conf;
     conf.fillerUops = static_cast<uint64_t>(state.range(0));
@@ -71,8 +72,8 @@ simulatorThroughput(benchmark::State &state, obs::EventSink *sink)
     uint64_t uops = 0;
     obs::WallTimer timer;
     for (auto _ : state) {
-        cpu::SimResult r =
-            workloads::runBaselineOnce(workload, core_conf, sink);
+        cpu::SimResult r = workloads::runBaselineOnce(
+            workload, core_conf, sink, {}, stats_out);
         uops += r.committedUops;
         benchmark::DoNotOptimize(r.cycles);
     }
@@ -89,6 +90,22 @@ BM_SimulatorThroughput(benchmark::State &state)
     simulatorThroughput(state, nullptr);
 }
 BENCHMARK(BM_SimulatorThroughput)->Arg(50000)->Unit(
+    benchmark::kMillisecond);
+
+/**
+ * Hierarchical stats registry registered over every component, no
+ * event sink, epoch sampling disabled: registration is pointer-based
+ * (the pipeline increments the same counters either way), so the only
+ * added cost is one tree snapshot per run. The acceptance bar is <=1%
+ * wall time over BM_SimulatorThroughput.
+ */
+static void
+BM_SimulatorThroughputStatsRegistered(benchmark::State &state)
+{
+    stats::StatsSnapshot snapshot;
+    simulatorThroughput(state, nullptr, &snapshot);
+}
+BENCHMARK(BM_SimulatorThroughputStatsRegistered)->Arg(50000)->Unit(
     benchmark::kMillisecond);
 
 /** Sink attached but every handler a no-op: the virtual-call floor. */

@@ -327,7 +327,8 @@ usage(const char *argv0, int code)
         "  --filter S    only scenarios whose name contains S\n"
         "  --jobs N      scenario-level parallelism (default $TCA_JOBS,\n"
         "                else hardware concurrency; 1 = serial)\n"
-        "  --list        print scenario names and exit\n",
+        "  --list        print scenarios with one-line descriptions "
+        "and exit\n",
         argv0);
     return code;
 }

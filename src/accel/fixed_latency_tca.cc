@@ -1,5 +1,6 @@
 #include "accel/fixed_latency_tca.hh"
 
+#include "stats/registry.hh"
 #include "util/logging.hh"
 
 namespace tca {
@@ -24,7 +25,7 @@ uint32_t
 FixedLatencyTca::beginInvocation(uint32_t id,
                                  std::vector<cpu::AccelRequest> &requests)
 {
-    ++started;
+    started.inc();
     auto it = records.find(id);
     if (it == records.end()) {
         requests.clear();
@@ -32,6 +33,14 @@ FixedLatencyTca::beginInvocation(uint32_t id,
     }
     requests = it->second.requests;
     return it->second.latency;
+}
+
+void
+FixedLatencyTca::regStats(stats::StatsRegistry &registry,
+                          const std::string &prefix)
+{
+    registry.addCounter(prefix + ".invocations", &started,
+                        "invocations started");
 }
 
 } // namespace accel

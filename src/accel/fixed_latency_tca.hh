@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cpu/accel_device.hh"
+#include "stats/stats.hh"
 
 namespace tca {
 namespace accel {
@@ -43,7 +44,12 @@ class FixedLatencyTca : public cpu::AccelDevice
 
     const char *name() const override { return "fixed_latency_tca"; }
 
-    uint64_t invocationsStarted() const { return started; }
+    void regStats(stats::StatsRegistry &registry,
+                  const std::string &prefix) override;
+
+    void resetStats() override { started.reset(); }
+
+    uint64_t invocationsStarted() const { return started.value(); }
 
   private:
     struct Record
@@ -54,7 +60,7 @@ class FixedLatencyTca : public cpu::AccelDevice
 
     uint32_t defaultLatency;
     std::unordered_map<uint32_t, Record> records;
-    uint64_t started = 0;
+    stats::Counter started;
 };
 
 } // namespace accel

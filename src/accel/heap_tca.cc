@@ -1,5 +1,6 @@
 #include "accel/heap_tca.hh"
 
+#include "stats/registry.hh"
 #include "util/logging.hh"
 
 namespace tca {
@@ -37,24 +38,38 @@ HeapTca::beginInvocation(uint32_t id,
     if (inv.isMalloc) {
         if (d > 0) {
             --d;
-            ++hits;
+            hits.inc();
         } else {
             // Would fall back to the software path; the experiments
             // are constructed so this never happens (Section IV), but
             // we count it rather than silently mispredict.
-            ++misses;
-            deviceEvent("malloc_table_miss", misses);
+            misses.inc();
+            deviceEvent("malloc_table_miss", misses.value());
         }
     } else {
         if (d < capacity) {
             ++d;
-            ++hits;
+            hits.inc();
         } else {
-            ++misses;
-            deviceEvent("free_table_overflow", misses);
+            misses.inc();
+            deviceEvent("free_table_overflow", misses.value());
         }
     }
     return operationLatency;
+}
+
+void
+HeapTca::regStats(stats::StatsRegistry &registry,
+                  const std::string &prefix)
+{
+    registry.addCounter(prefix + ".table_hits", &hits,
+                        "invocations served entirely from the tables");
+    registry.addCounter(prefix + ".table_misses", &misses,
+                        "invocations needing the software fallback");
+    registry.addFormula(prefix + ".table_hit_rate", [this] {
+        uint64_t total = hits.value() + misses.value();
+        return total ? static_cast<double>(hits.value()) / total : 0.0;
+    }, "table_hits / (table_hits + table_misses)");
 }
 
 uint32_t

@@ -16,6 +16,7 @@
 
 #include "alloc/size_class.hh"
 #include "cpu/accel_device.hh"
+#include "stats/stats.hh"
 
 namespace tca {
 namespace accel {
@@ -56,11 +57,21 @@ class HeapTca : public cpu::AccelDevice
 
     const char *name() const override { return "heap_tca"; }
 
+    void regStats(stats::StatsRegistry &registry,
+                  const std::string &prefix) override;
+
+    void
+    resetStats() override
+    {
+        hits.reset();
+        misses.reset();
+    }
+
     /** Invocations that found the table in the expected state. */
-    uint64_t tableHits() const { return hits; }
+    uint64_t tableHits() const { return hits.value(); }
 
     /** Invocations that would have needed the software fallback. */
-    uint64_t tableMisses() const { return misses; }
+    uint64_t tableMisses() const { return misses.value(); }
 
     /** Current table depth for a class. */
     uint32_t tableDepth(uint32_t size_class) const;
@@ -72,8 +83,8 @@ class HeapTca : public cpu::AccelDevice
     uint32_t capacity;
     std::array<uint32_t, alloc::numSizeClasses> depth;
     std::vector<HeapInvocation> records;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
+    stats::Counter hits;
+    stats::Counter misses;
 };
 
 } // namespace accel

@@ -1,5 +1,6 @@
 #include "accel/matrix_tca.hh"
 
+#include "stats/registry.hh"
 #include "util/logging.hh"
 
 namespace tca {
@@ -54,7 +55,7 @@ MatrixTca::beginInvocation(uint32_t id,
 {
     tca_assert(id < tiles.size());
     const TileOp &op = tiles[id];
-    ++executed;
+    executed.inc();
 
     executeTile(op);
 
@@ -70,6 +71,14 @@ MatrixTca::beginInvocation(uint32_t id,
         requests.push_back({op.cAddr + r * op.cStride, true, row_bytes});
     }
     return computeLatency();
+}
+
+void
+MatrixTca::regStats(stats::StatsRegistry &registry,
+                    const std::string &prefix)
+{
+    registry.addCounter(prefix + ".tiles_executed", &executed,
+                        "tile multiply-accumulate operations executed");
 }
 
 } // namespace accel

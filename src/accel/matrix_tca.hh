@@ -16,6 +16,7 @@
 
 #include "cpu/accel_device.hh"
 #include "mem/backing_store.hh"
+#include "stats/stats.hh"
 
 namespace tca {
 namespace accel {
@@ -62,7 +63,12 @@ class MatrixTca : public cpu::AccelDevice
      */
     uint32_t computeLatency() const { return n + 2; }
 
-    uint64_t tilesExecuted() const { return executed; }
+    void regStats(stats::StatsRegistry &registry,
+                  const std::string &prefix) override;
+
+    void resetStats() override { executed.reset(); }
+
+    uint64_t tilesExecuted() const { return executed.value(); }
 
   private:
     /** Functional C += A * B on the backing store. */
@@ -71,7 +77,7 @@ class MatrixTca : public cpu::AccelDevice
     uint32_t n;
     mem::BackingStore &memStore;
     std::vector<TileOp> tiles;
-    uint64_t executed = 0;
+    stats::Counter executed;
 };
 
 } // namespace accel

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "stats/registry.hh"
 #include "util/logging.hh"
 
 namespace tca {
@@ -29,7 +30,7 @@ StringTca::beginInvocation(uint32_t id,
 {
     tca_assert(id < ops.size());
     const CompareOp &op = ops[id];
-    ++executedCount;
+    executedCount.inc();
 
     // Functional compare.
     CompareResult &res = results[id];
@@ -77,6 +78,14 @@ StringTca::executed(uint32_t id) const
 {
     tca_assert(id < done.size());
     return done[id];
+}
+
+void
+StringTca::regStats(stats::StatsRegistry &registry,
+                    const std::string &prefix)
+{
+    registry.addCounter(prefix + ".compares_executed", &executedCount,
+                        "string comparisons executed");
 }
 
 } // namespace accel

@@ -15,6 +15,7 @@
 
 #include "cpu/accel_device.hh"
 #include "mem/backing_store.hh"
+#include "stats/stats.hh"
 
 namespace tca {
 namespace accel {
@@ -64,7 +65,12 @@ class StringTca : public cpu::AccelDevice
     /** True once the invocation has executed. */
     bool executed(uint32_t id) const;
 
-    uint64_t comparesExecuted() const { return executedCount; }
+    void regStats(stats::StatsRegistry &registry,
+                  const std::string &prefix) override;
+
+    void resetStats() override { executedCount.reset(); }
+
+    uint64_t comparesExecuted() const { return executedCount.value(); }
 
   private:
     mem::BackingStore &memStore;
@@ -72,7 +78,7 @@ class StringTca : public cpu::AccelDevice
     std::vector<CompareOp> ops;
     std::vector<CompareResult> results;
     std::vector<bool> done;
-    uint64_t executedCount = 0;
+    stats::Counter executedCount;
 };
 
 } // namespace accel

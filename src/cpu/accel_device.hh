@@ -10,12 +10,18 @@
 #define TCASIM_CPU_ACCEL_DEVICE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mem/mem_types.hh"
 #include "obs/event_sink.hh"
 
 namespace tca {
+
+namespace stats {
+class StatsRegistry;
+} // namespace stats
+
 namespace cpu {
 
 /** One memory request an accelerator invocation must perform. */
@@ -52,6 +58,27 @@ class AccelDevice
 
     /** Device name for stats. */
     virtual const char *name() const = 0;
+
+    /**
+     * Register the device's tallies under `prefix` (conventionally
+     * "accel.<name()>") in a hierarchical registry. The default
+     * registers nothing; devices with private tallies override. The
+     * device must outlive the registry.
+     */
+    virtual void
+    regStats(stats::StatsRegistry &registry, const std::string &prefix)
+    {
+        (void)registry;
+        (void)prefix;
+    }
+
+    /**
+     * Zero the device's tallies. Experiment drivers call this before
+     * every accelerated run so a device shared across mode runs
+     * reports per-run counts, matching SimResult semantics. Must not
+     * touch functional state (tables, recorded invocations).
+     */
+    virtual void resetStats() {}
 
     /**
      * Observe device-level events. The core re-wires this at the start

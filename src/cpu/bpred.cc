@@ -2,10 +2,24 @@
 
 #include <algorithm>
 
+#include "stats/registry.hh"
 #include "util/logging.hh"
 
 namespace tca {
 namespace cpu {
+
+void
+BranchPredictor::regStats(stats::StatsRegistry &registry,
+                          const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".lookups", &numLookups,
+                        "dynamic branch predictions made");
+    registry.addCounter(prefix + ".mispredicts", &numMispredicts,
+                        "branches the predictor got wrong");
+    registry.addFormula(prefix + ".mispredict_rate",
+                        [this] { return mispredictRate(); },
+                        "mispredicts / lookups");
+}
 
 namespace {
 

@@ -13,11 +13,18 @@
 #define TCASIM_CPU_BPRED_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mem/mem_types.hh"
+#include "stats/stats.hh"
 
 namespace tca {
+
+namespace stats {
+class StatsRegistry;
+} // namespace stats
+
 namespace cpu {
 
 /** Abstract predictor: predict at fetch, update at resolve. */
@@ -35,17 +42,17 @@ class BranchPredictor
     /** Reset all learned state. */
     virtual void reset() = 0;
 
-    uint64_t lookups() const { return numLookups; }
-    uint64_t mispredicts() const { return numMispredicts; }
+    uint64_t lookups() const { return numLookups.value(); }
+    uint64_t mispredicts() const { return numMispredicts.value(); }
 
     /** Predict + bookkeeping; returns true if mispredicted. */
     bool
     predictAndUpdate(mem::Addr pc, bool taken)
     {
-        ++numLookups;
+        numLookups.inc();
         bool mispredicted = predict(pc) != taken;
         if (mispredicted)
-            ++numMispredicts;
+            numMispredicts.inc();
         update(pc, taken);
         return mispredicted;
     }
@@ -53,15 +60,23 @@ class BranchPredictor
     double
     mispredictRate() const
     {
-        return numLookups
-            ? static_cast<double>(numMispredicts) /
-              static_cast<double>(numLookups)
+        return numLookups.value()
+            ? static_cast<double>(numMispredicts.value()) /
+              static_cast<double>(numLookups.value())
             : 0.0;
     }
 
+    /**
+     * Register lookup/mispredict counters and the mispredict-rate
+     * formula under `prefix` (e.g. "cpu.core.bpred"). The predictor
+     * must outlive the registry.
+     */
+    void regStats(stats::StatsRegistry &registry,
+                  const std::string &prefix) const;
+
   protected:
-    uint64_t numLookups = 0;
-    uint64_t numMispredicts = 0;
+    stats::Counter numLookups;
+    stats::Counter numMispredicts;
 };
 
 /** Always predicts the same direction (a static predictor). */

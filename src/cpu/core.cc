@@ -52,6 +52,21 @@ SimResult::summary() const
     return buf;
 }
 
+void
+CoreCounters::reset()
+{
+    cycles.reset();
+    committedUops.reset();
+    committedAcceleratable.reset();
+    accelInvocations.reset();
+    accelLatencyTotal.reset();
+    robOccupancySum.reset();
+    for (stats::Counter &counter : stallCycles)
+        counter.reset();
+    for (stats::Counter &counter : committedByClass)
+        counter.reset();
+}
+
 Core::Core(const CoreConfig &config, mem::MemHierarchy &hierarchy)
     : conf(config), mem(hierarchy), rob(config.robSize),
       fuPool(conf), memPorts(config.memPorts)
@@ -99,7 +114,25 @@ Core::resetRunState()
     barrierSeq = 0;
     for (AccelPortState &port : accelPorts)
         port.busyUntil = 0;
+    fuPool.resetStats();
+    tallies.reset();
     result = SimResult{};
+}
+
+void
+Core::materializeResult()
+{
+    result.cycles = tallies.cycles.value();
+    result.committedUops = tallies.committedUops.value();
+    result.committedAcceleratable =
+        tallies.committedAcceleratable.value();
+    result.accelInvocations = tallies.accelInvocations.value();
+    result.accelLatencyTotal = tallies.accelLatencyTotal.value();
+    result.robOccupancySum = tallies.robOccupancySum.value();
+    for (size_t c = 0; c < result.stallCycles.size(); ++c)
+        result.stallCycles[c] = tallies.stallCycles[c].value();
+    for (size_t c = 0; c < result.committedByClass.size(); ++c)
+        result.committedByClass[c] = tallies.committedByClass[c].value();
 }
 
 SimResult
@@ -140,12 +173,13 @@ Core::run(trace::TraceSource &trace_source)
         commitStage();
         issueStage();
         dispatchStage();
-        result.robOccupancySum += rob.size();
+        tallies.cycles.inc();
+        tallies.robOccupancySum.inc(rob.size());
         if (sink)
             sink->onCycle(now, rob.size());
 
         // Deadlock detector: the pipeline must make forward progress.
-        uint64_t progress = result.committedUops + rob.next();
+        uint64_t progress = tallies.committedUops.value() + rob.next();
         if (progress != last_progress_uops) {
             last_progress_uops = progress;
             last_progress_cycle = now;
@@ -159,7 +193,7 @@ Core::run(trace::TraceSource &trace_source)
         ++now;
     }
 
-    result.cycles = now;
+    materializeResult();
     if (sink)
         sink->onRunEnd(result.cycles, result.committedUops);
     source = nullptr;
@@ -201,9 +235,113 @@ Core::regStats(stats::Group &group)
 }
 
 void
+Core::regStats(stats::StatsRegistry &registry,
+               const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".cycles", &tallies.cycles,
+                        "simulated cycles");
+    registry.addCounter(prefix + ".committed_uops",
+                        &tallies.committedUops, "micro-ops retired");
+    registry.addCounter(prefix + ".committed_acceleratable",
+                        &tallies.committedAcceleratable,
+                        "retired uops in acceleratable regions");
+    registry.addFormula(
+        prefix + ".ipc",
+        [this] {
+            uint64_t cyc = tallies.cycles.value();
+            return cyc ? double(tallies.committedUops.value()) /
+                         double(cyc)
+                       : 0.0;
+        },
+        "committed uops per cycle");
+    for (size_t c = 0; c < tallies.committedByClass.size(); ++c) {
+        trace::OpClass cls = static_cast<trace::OpClass>(c);
+        registry.addCounter(
+            prefix + ".commit." + trace::opClassName(cls),
+            &tallies.committedByClass[c],
+            "retired " + trace::opClassName(cls) + " uops");
+    }
+
+    // ROB: per-run structural tallies plus the occupancy/drain view
+    // the paper's interval model reasons about.
+    registry.addCounter(prefix + ".rob.allocations",
+                        &rob.allocations(), "ROB entries allocated");
+    registry.addCounter(prefix + ".rob.retires", &rob.retires(),
+                        "ROB entries retired");
+    registry.addCounter(prefix + ".rob.occupancy_sum",
+                        &tallies.robOccupancySum,
+                        "sum of per-cycle ROB occupancy");
+    registry.addFormula(
+        prefix + ".rob.occupancy_avg",
+        [this] {
+            uint64_t cyc = tallies.cycles.value();
+            return cyc ? double(tallies.robOccupancySum.value()) /
+                         double(cyc)
+                       : 0.0;
+        },
+        "mean ROB entries in flight");
+    registry.addFormula(
+        prefix + ".rob.full_stalls",
+        [this] {
+            return double(tallies.stallCycles[static_cast<size_t>(
+                StallCause::RobFull)].value());
+        },
+        "dispatch cycles fully stalled on a full ROB");
+
+    for (size_t c = 1;
+         c < static_cast<size_t>(StallCause::NumCauses); ++c) {
+        StallCause cause = static_cast<StallCause>(c);
+        registry.addCounter(
+            prefix + ".stall." + stallCauseName(cause),
+            &tallies.stallCycles[c],
+            "full dispatch-stall cycles: " + stallCauseName(cause));
+    }
+
+    registry.addCounter(prefix + ".ports.claims", &memPorts.claims(),
+                        "memory-port slots granted");
+    registry.addCounter(prefix + ".ports.conflicts",
+                        &memPorts.conflicts(),
+                        "claims delayed past their requested cycle");
+    registry.addCounter(prefix + ".ports.wait_cycles",
+                        &memPorts.waitCycles(),
+                        "total cycles claims waited for a port");
+
+    registry.addCounter(prefix + ".fu.int_alu_consumed",
+                        &fuPool.intAluConsumed(),
+                        "integer-ALU unit slots consumed");
+    registry.addCounter(prefix + ".fu.int_mul_consumed",
+                        &fuPool.intMulConsumed(),
+                        "integer-multiply unit slots consumed");
+    registry.addCounter(prefix + ".fu.fp_consumed", &fuPool.fpConsumed(),
+                        "floating-point unit slots consumed");
+    registry.addCounter(prefix + ".fu.branch_consumed",
+                        &fuPool.branchConsumed(),
+                        "branch unit slots consumed");
+
+    registry.addCounter(prefix + ".accel.invocations",
+                        &tallies.accelInvocations,
+                        "TCA invocations executed");
+    registry.addCounter(prefix + ".accel.latency_total",
+                        &tallies.accelLatencyTotal,
+                        "summed TCA issue-to-complete latency");
+    registry.addFormula(
+        prefix + ".accel.avg_latency",
+        [this] {
+            uint64_t n = tallies.accelInvocations.value();
+            return n ? double(tallies.accelLatencyTotal.value()) /
+                       double(n)
+                     : 0.0;
+        },
+        "mean TCA issue-to-complete latency");
+
+    if (bpred)
+        bpred->regStats(registry, prefix + ".bpred");
+}
+
+void
 Core::recordStall(StallCause cause)
 {
-    ++result.stallCycles[static_cast<size_t>(cause)];
+    tallies.stallCycles[static_cast<size_t>(cause)].inc();
     if (sink)
         sink->onDispatchStall(static_cast<uint8_t>(cause), now);
 }
@@ -228,10 +366,10 @@ Core::commitStage()
             tca_assert(!lsq.empty() && lsq.front() == head.seq);
             lsq.erase(lsq.begin());
         }
-        ++result.committedUops;
-        ++result.committedByClass[static_cast<size_t>(head.op.cls)];
+        tallies.committedUops.inc();
+        tallies.committedByClass[static_cast<size_t>(head.op.cls)].inc();
         if (head.op.acceleratable || head.op.isAccel())
-            ++result.committedAcceleratable;
+            tallies.committedAcceleratable.inc();
         if (sink) {
             obs::UopLifecycle uop;
             uop.seq = head.seq;
@@ -356,8 +494,8 @@ Core::issueAccel(RobEntry &entry)
         std::max(mem_done + compute, static_cast<mem::Cycle>(now + 1));
     port.busyUntil = entry.completeCycle;
 
-    ++result.accelInvocations;
-    result.accelLatencyTotal += entry.completeCycle - now;
+    tallies.accelInvocations.inc();
+    tallies.accelLatencyTotal.inc(entry.completeCycle - now);
     if (sink) {
         sink->onAccelInvocation(
             entry.op.accelPort, entry.op.accelInvocation,

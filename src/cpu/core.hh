@@ -33,11 +33,35 @@
 #include "mem/hierarchy.hh"
 #include "model/tca_mode.hh"
 #include "obs/event_sink.hh"
+#include "stats/registry.hh"
 #include "stats/stats.hh"
 #include "trace/trace_source.hh"
 
 namespace tca {
 namespace cpu {
+
+/**
+ * The core's private tallies, incremented directly by the pipeline
+ * stages (same cost as the struct-field increments they replaced) and
+ * registered into a hierarchical StatsRegistry by Core::regStats().
+ * Reset at the start of every run; SimResult is materialized from
+ * these counters when the run ends, making it a thin view over the
+ * registry-visible values.
+ */
+struct CoreCounters
+{
+    stats::Counter cycles;
+    stats::Counter committedUops;
+    stats::Counter committedAcceleratable;
+    stats::Counter accelInvocations;
+    stats::Counter accelLatencyTotal;
+    stats::Counter robOccupancySum;
+    std::array<stats::Counter,
+               static_cast<size_t>(StallCause::NumCauses)> stallCycles;
+    std::array<stats::Counter, 10> committedByClass;
+
+    void reset();
+};
 
 /**
  * The core. Construct once per run (run() may be called repeatedly;
@@ -117,6 +141,23 @@ class Core
      */
     void regStats(stats::Group &group);
 
+    /**
+     * Register the core's live tallies — and those of the structures
+     * it owns (ROB, memory-port arbiter, FU pool, attached branch
+     * predictor) — under `prefix` in a hierarchical registry:
+     * <prefix>.cycles, <prefix>.rob.full_stalls, <prefix>.stall.*,
+     * <prefix>.ports.*, <prefix>.fu.*, <prefix>.commit.<OpClass>, plus
+     * derived formulas (ipc, rob.occupancy_avg, accel.avg_latency).
+     * Call once per registry after binding devices/predictor; the core
+     * must outlive the registry. Bound accelerator devices register
+     * separately (AccelDevice::regStats) under their own prefix.
+     */
+    void regStats(stats::StatsRegistry &registry,
+                  const std::string &prefix = "cpu.core") const;
+
+    /** Live tallies for the current/most recent run. */
+    const CoreCounters &counters() const { return tallies; }
+
   private:
     // --- pipeline stages, called once per cycle in this order ---
     void commitStage();
@@ -143,6 +184,9 @@ class Core
 
     void recordStall(StallCause cause);
     void resetRunState();
+
+    /** Fill `result` from the run's tallies (at run end). */
+    void materializeResult();
 
     /** One accelerator attachment point. */
     struct AccelPortState
@@ -192,6 +236,7 @@ class Core
     // Optional pipeline-event sink (not owned).
     obs::EventSink *sink = nullptr;
 
+    CoreCounters tallies;
     SimResult result;
 
     /** Owns the Formula objects handed to stats groups. */

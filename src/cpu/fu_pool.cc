@@ -44,21 +44,34 @@ FuPool::consume(trace::OpClass cls)
       case OpClass::IntAlu:
       case OpClass::Nop:
         ++intAluUsed;
+        statIntAlu.inc();
         break;
       case OpClass::IntMul:
         ++intMulUsed;
+        statIntMul.inc();
         break;
       case OpClass::FpAdd:
       case OpClass::FpMul:
       case OpClass::FpMacc:
         ++fpUsed;
+        statFp.inc();
         break;
       case OpClass::Branch:
         ++branchUsed;
+        statBranch.inc();
         break;
       default:
         break;
     }
+}
+
+void
+FuPool::resetStats()
+{
+    statIntAlu.reset();
+    statIntMul.reset();
+    statFp.reset();
+    statBranch.reset();
 }
 
 } // namespace cpu

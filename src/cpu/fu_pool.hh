@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "cpu/core_config.hh"
+#include "stats/stats.hh"
 #include "trace/micro_op.hh"
 
 namespace tca {
@@ -36,12 +37,26 @@ class FuPool
     /** Consume one unit for this op class. */
     void consume(trace::OpClass cls);
 
+    /** Zero the cumulative per-group tallies (between runs). */
+    void resetStats();
+
+    // Units consumed over the whole run, per unit group.
+    const stats::Counter &intAluConsumed() const { return statIntAlu; }
+    const stats::Counter &intMulConsumed() const { return statIntMul; }
+    const stats::Counter &fpConsumed() const { return statFp; }
+    const stats::Counter &branchConsumed() const { return statBranch; }
+
   private:
     const CoreConfig &conf;
     uint32_t intAluUsed = 0;
     uint32_t intMulUsed = 0;
     uint32_t fpUsed = 0;
     uint32_t branchUsed = 0;
+
+    stats::Counter statIntAlu;
+    stats::Counter statIntMul;
+    stats::Counter statFp;
+    stats::Counter statBranch;
 };
 
 } // namespace cpu

@@ -29,6 +29,11 @@ PortArbiter::claim(mem::Cycle earliest)
     auto it = std::min_element(nextFree.begin(), nextFree.end());
     mem::Cycle start = std::max(earliest, *it);
     *it = start + 1;
+    statClaims.inc();
+    if (start > earliest) {
+        statConflicts.inc();
+        statWaitCycles.inc(start - earliest);
+    }
     if (sink)
         sink->onMemPortClaim(earliest, start);
     return start;
@@ -38,6 +43,9 @@ void
 PortArbiter::reset()
 {
     std::fill(nextFree.begin(), nextFree.end(), 0);
+    statClaims.reset();
+    statConflicts.reset();
+    statWaitCycles.reset();
 }
 
 } // namespace cpu

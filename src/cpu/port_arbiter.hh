@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "mem/mem_types.hh"
+#include "stats/stats.hh"
 
 namespace tca {
 namespace obs {
@@ -49,9 +50,20 @@ class PortArbiter
     /** Observe claims (requested vs granted cycle; nullptr disables). */
     void setEventSink(obs::EventSink *s) { sink = s; }
 
+    // Tallies, reset with reset(). A conflict is a claim that could
+    // not start at its requested cycle (all ports busy), the contention
+    // the paper's shared-LSQ arbitration introduces.
+    const stats::Counter &claims() const { return statClaims; }
+    const stats::Counter &conflicts() const { return statConflicts; }
+    const stats::Counter &waitCycles() const { return statWaitCycles; }
+
   private:
     std::vector<mem::Cycle> nextFree;
     obs::EventSink *sink = nullptr;
+
+    stats::Counter statClaims;
+    stats::Counter statConflicts;
+    stats::Counter statWaitCycles;
 };
 
 } // namespace cpu

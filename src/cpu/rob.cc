@@ -22,6 +22,7 @@ Rob::allocate(uint64_t seq)
     entry.seq = seq;
     ++nextSeq;
     ++count;
+    statAllocations.inc();
     if (sink)
         sink->onRobAllocate(seq, count);
     return entry;
@@ -48,6 +49,7 @@ Rob::retireHead()
     uint64_t seq = oldestSeq;
     ++oldestSeq;
     --count;
+    statRetires.inc();
     if (sink)
         sink->onRobRetire(seq, count);
 }

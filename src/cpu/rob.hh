@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mem/mem_types.hh"
+#include "stats/stats.hh"
 #include "trace/micro_op.hh"
 
 namespace tca {
@@ -104,6 +105,12 @@ class Rob
     /** Observe allocation/retirement edges (nullptr disables). */
     void setEventSink(obs::EventSink *s) { sink = s; }
 
+    // Tallies, reset with the ROB (Core reassigns it per run). The
+    // counters are members so registry pointers taken at construction
+    // stay valid across the per-run reassignment.
+    const stats::Counter &allocations() const { return statAllocations; }
+    const stats::Counter &retires() const { return statRetires; }
+
   private:
     uint32_t slotOf(uint64_t seq) const
     {
@@ -116,6 +123,9 @@ class Rob
     uint64_t nextSeq = 0;   ///< seq the next allocation will get
     std::vector<RobEntry> entries;
     obs::EventSink *sink = nullptr;
+
+    stats::Counter statAllocations;
+    stats::Counter statRetires;
 };
 
 } // namespace cpu

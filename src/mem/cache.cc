@@ -241,5 +241,25 @@ Cache::regStats(stats::Group &group) const
                      "prefetch fills issued");
 }
 
+void
+Cache::regStats(stats::StatsRegistry &registry,
+                const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".hits", &statHits, "demand hits");
+    registry.addCounter(prefix + ".misses", &statMisses,
+                        "demand misses");
+    registry.addCounter(prefix + ".mshr_stalls", &statMshrStalls,
+                        "misses delayed by full MSHR file");
+    registry.addCounter(prefix + ".writebacks", &statWritebacks,
+                        "dirty victim write-backs");
+    registry.addCounter(prefix + ".mshr_coalesced", &statMshrCoalesced,
+                        "misses coalesced onto an in-flight fill");
+    registry.addCounter(prefix + ".prefetches", &statPrefetchIssued,
+                        "prefetch fills issued");
+    registry.addFormula(prefix + ".miss_rate",
+                        [this] { return missRate(); },
+                        "demand misses / demand accesses");
+}
+
 } // namespace mem
 } // namespace tca

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mem/mem_types.hh"
+#include "stats/registry.hh"
 #include "stats/stats.hh"
 #include "util/random.hh"
 
@@ -85,6 +86,14 @@ class Cache : public MemLevel
 
     /** Register this cache's stats under the given group. */
     void regStats(stats::Group &group) const;
+
+    /**
+     * Register this cache's stats (plus a miss_rate formula) under
+     * `prefix` in a hierarchical registry (e.g. "mem.l1"). The cache
+     * must outlive the registry.
+     */
+    void regStats(stats::StatsRegistry &registry,
+                  const std::string &prefix) const;
 
   private:
     struct Line

@@ -36,5 +36,15 @@ Dram::regStats(stats::Group &group) const
                      "requests delayed by channel occupancy");
 }
 
+void
+Dram::regStats(stats::StatsRegistry &registry,
+               const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".requests", &statRequests,
+                        "total requests");
+    registry.addCounter(prefix + ".queued", &statQueued,
+                        "requests delayed by channel occupancy");
+}
+
 } // namespace mem
 } // namespace tca

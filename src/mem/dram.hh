@@ -7,9 +7,11 @@
 #ifndef TCASIM_MEM_DRAM_HH
 #define TCASIM_MEM_DRAM_HH
 
+#include <string>
 #include <vector>
 
 #include "mem/mem_types.hh"
+#include "stats/registry.hh"
 #include "stats/stats.hh"
 
 namespace tca {
@@ -40,6 +42,10 @@ class Dram : public MemLevel
     uint64_t queuedRequests() const { return statQueued.value(); }
 
     void regStats(stats::Group &group) const;
+
+    /** Register under `prefix` (e.g. "mem.dram") in a registry. */
+    void regStats(stats::StatsRegistry &registry,
+                  const std::string &prefix) const;
 
   private:
     DramConfig conf;

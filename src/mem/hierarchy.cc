@@ -36,5 +36,17 @@ MemHierarchy::regStats(stats::Group &group) const
     dramModel->regStats(group);
 }
 
+void
+MemHierarchy::regStats(stats::StatsRegistry &registry,
+                       const std::string &prefix) const
+{
+    l1dCache->regStats(registry, prefix + ".l1");
+    if (l2Cache)
+        l2Cache->regStats(registry, prefix + ".l2");
+    dramModel->regStats(registry, prefix + ".dram");
+    if (l1Prefetcher)
+        l1Prefetcher->regStats(registry, prefix + ".l1_prefetcher");
+}
+
 } // namespace mem
 } // namespace tca

@@ -41,6 +41,7 @@ class MemHierarchy
     Cache &l1d() { return *l1dCache; }
     const Cache &l1d() const { return *l1dCache; }
     Cache *l2() { return l2Cache.get(); }
+    const Cache *l2() const { return l2Cache.get(); }
     Dram &dram() { return *dramModel; }
 
     /** Invalidate all cached state (between benchmark phases). */
@@ -48,6 +49,15 @@ class MemHierarchy
 
     /** Register all levels' stats. */
     void regStats(stats::Group &group) const;
+
+    /**
+     * Register every level under `prefix`: <prefix>.l1.*, <prefix>.l2.*
+     * (when enabled), <prefix>.dram.*, <prefix>.l1_prefetcher.* (when
+     * enabled). MPKI formulas need the core's committed-uop counter and
+     * are added by the experiment glue (workloads::registerRunStats).
+     */
+    void regStats(stats::StatsRegistry &registry,
+                  const std::string &prefix = "mem") const;
 
   private:
     HierarchyConfig conf;

@@ -8,6 +8,7 @@ Prefetcher::observe(Addr line_addr, bool was_miss, Addr &pf_addr)
 {
     if (!was_miss)
         return false;
+    statMissesObserved.inc();
     bool proposed = false;
     if (haveLast) {
         int64_t stride = static_cast<int64_t>(line_addr) -
@@ -21,7 +22,19 @@ Prefetcher::observe(Addr line_addr, bool was_miss, Addr &pf_addr)
     }
     lastMiss = line_addr;
     haveLast = true;
+    if (proposed)
+        statProposals.inc();
     return proposed;
+}
+
+void
+Prefetcher::regStats(stats::StatsRegistry &registry,
+                     const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".misses_observed", &statMissesObserved,
+                        "demand misses seen by the stride detector");
+    registry.addCounter(prefix + ".proposals", &statProposals,
+                        "prefetch addresses proposed");
 }
 
 } // namespace mem

@@ -9,8 +9,11 @@
 #define TCASIM_MEM_PREFETCHER_HH
 
 #include <cstdint>
+#include <string>
 
 #include "mem/mem_types.hh"
+#include "stats/registry.hh"
+#include "stats/stats.hh"
 
 namespace tca {
 namespace mem {
@@ -38,12 +41,24 @@ class Prefetcher
      */
     bool observe(Addr line_addr, bool was_miss, Addr &pf_addr);
 
+    // Tallies: misses seen by the stride detector and prefetches it
+    // proposed (the owning cache decides whether to issue them).
+    uint64_t missesObserved() const { return statMissesObserved.value(); }
+    uint64_t proposals() const { return statProposals.value(); }
+
+    /** Register under `prefix` (e.g. "mem.l1_prefetcher"). */
+    void regStats(stats::StatsRegistry &registry,
+                  const std::string &prefix) const;
+
   private:
     uint32_t lineBytes;
     uint32_t prefetchDegree;
     Addr lastMiss = 0;
     int64_t lastStride = 0;
     bool haveLast = false;
+
+    stats::Counter statMissesObserved;
+    stats::Counter statProposals;
 };
 
 } // namespace mem

@@ -109,6 +109,12 @@ BenchHarness::runScenario(const BenchScenario &scenario)
     outcome.name = scenario.name;
     outcome.description = scenario.description;
 
+    // Self-profile the whole scenario from the worker thread running
+    // it: perf counters and RUSAGE_THREAD are thread-affine, and
+    // repeats never leave this thread.
+    HostProfiler host_profiler;
+    host_profiler.start();
+
     // Warmup is timed into its own summary, never into wallSeconds:
     // the reported repeat median must exclude cache warming and any
     // one-time setup (the warmup-exclusion test asserts this).
@@ -135,6 +141,7 @@ BenchHarness::runScenario(const BenchScenario &scenario)
     }
     outcome.wallSeconds = summarize(std::move(wall));
     outcome.uopsPerSec = summarize(std::move(rate));
+    outcome.host = host_profiler.stop();
     return outcome;
 }
 
@@ -280,6 +287,12 @@ BenchHarness::writeBenchJson(const ScenarioOutcome &outcome,
         }
         w.endObject();
         manifest.setRawJson("model_error", os.str());
+    }
+    {
+        std::ostringstream os;
+        JsonWriter w(os);
+        outcome.host.writeJson(w);
+        manifest.setRawJson("host", os.str());
     }
     manifest.write(json);
 }

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/host_profile.hh"
 #include "obs/interval_profiler.hh"
 
 namespace tca {
@@ -138,6 +139,10 @@ struct ScenarioOutcome
     uint64_t simCycles = 0;
     uint64_t committedUops = 0;
     std::vector<ModeErrorReport> modeErrors;
+    /** What the whole scenario (warmup + repeats) cost the host:
+     *  peak RSS, worker-thread CPU time, and hardware counters where
+     *  the kernel permits perf_event_open. */
+    HostProfile host;
     std::string jsonPath; ///< BENCH_<name>.json written ("" on failure)
 };
 

@@ -1,0 +1,185 @@
+#include "obs/host_profile.hh"
+
+#include <sys/resource.h>
+
+#include "util/json.hh"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define TCA_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#else
+#define TCA_HAVE_PERF_EVENT 0
+#endif
+
+namespace tca {
+namespace obs {
+
+namespace {
+
+double
+timevalSeconds(const timeval &tv)
+{
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+}
+
+/** This thread's user+system CPU time (RUSAGE_THREAD where available). */
+bool
+threadCpuTimes(double &user, double &sys)
+{
+#if defined(RUSAGE_THREAD)
+    rusage ru{};
+    if (getrusage(RUSAGE_THREAD, &ru) != 0)
+        return false;
+#else
+    rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return false;
+#endif
+    user = timevalSeconds(ru.ru_utime);
+    sys = timevalSeconds(ru.ru_stime);
+    return true;
+}
+
+#if TCA_HAVE_PERF_EVENT
+int
+openPerfCounter(uint64_t config)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    attr.disabled = 1;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    // Calling thread only, any CPU.
+    long fd = syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0);
+    return static_cast<int>(fd);
+}
+#endif
+
+} // anonymous namespace
+
+void
+HostProfile::writeJson(JsonWriter &json) const
+{
+    json.beginObject();
+    json.kv("valid", valid);
+    json.kv("max_rss_bytes", maxRssBytes);
+    json.kv("user_seconds", userSeconds);
+    json.kv("sys_seconds", sysSeconds);
+    json.key("perf");
+    json.beginObject();
+    json.kv("valid", perf.valid);
+    if (perf.valid) {
+        json.kv("cycles", perf.cycles);
+        json.kv("instructions", perf.instructions);
+        json.kv("cache_misses", perf.cacheMisses);
+    }
+    json.endObject();
+    json.endObject();
+}
+
+HostProfiler::HostProfiler()
+{
+#if TCA_HAVE_PERF_EVENT
+    static constexpr uint64_t configs[numPerfEvents] = {
+        PERF_COUNT_HW_CPU_CYCLES,
+        PERF_COUNT_HW_INSTRUCTIONS,
+        PERF_COUNT_HW_CACHE_MISSES,
+    };
+    for (int i = 0; i < numPerfEvents; ++i) {
+        perfFd[i] = openPerfCounter(configs[i]);
+        if (perfFd[i] < 0) {
+            // All or nothing: partial counter sets would make the
+            // reported triple misleading.
+            for (int j = 0; j < i; ++j) {
+                close(perfFd[j]);
+                perfFd[j] = -1;
+            }
+            perfFd[i] = -1;
+            break;
+        }
+    }
+#endif
+}
+
+HostProfiler::~HostProfiler()
+{
+#if TCA_HAVE_PERF_EVENT
+    for (int i = 0; i < numPerfEvents; ++i) {
+        if (perfFd[i] >= 0)
+            close(perfFd[i]);
+    }
+#endif
+}
+
+bool
+HostProfiler::perfAvailable() const
+{
+    return perfFd[0] >= 0;
+}
+
+void
+HostProfiler::start()
+{
+    threadCpuTimes(startUser, startSys);
+#if TCA_HAVE_PERF_EVENT
+    for (int i = 0; i < numPerfEvents; ++i) {
+        if (perfFd[i] < 0)
+            continue;
+        ioctl(perfFd[i], PERF_EVENT_IOC_RESET, 0);
+        ioctl(perfFd[i], PERF_EVENT_IOC_ENABLE, 0);
+    }
+#endif
+}
+
+HostProfile
+HostProfiler::stop()
+{
+    HostProfile profile;
+
+    double user = 0.0, sys = 0.0;
+    if (threadCpuTimes(user, sys)) {
+        profile.valid = true;
+        profile.userSeconds = user - startUser;
+        profile.sysSeconds = sys - startSys;
+    }
+
+    // Peak RSS is process-wide by definition; ru_maxrss is kilobytes.
+    rusage self{};
+    if (getrusage(RUSAGE_SELF, &self) == 0) {
+        profile.maxRssBytes =
+            static_cast<uint64_t>(self.ru_maxrss) * 1024;
+    }
+
+#if TCA_HAVE_PERF_EVENT
+    if (perfAvailable()) {
+        uint64_t values[numPerfEvents] = {0, 0, 0};
+        bool ok = true;
+        for (int i = 0; i < numPerfEvents; ++i) {
+            ioctl(perfFd[i], PERF_EVENT_IOC_DISABLE, 0);
+            if (read(perfFd[i], &values[i], sizeof(values[i])) !=
+                static_cast<ssize_t>(sizeof(values[i]))) {
+                ok = false;
+            }
+        }
+        if (ok) {
+            profile.perf.valid = true;
+            profile.perf.cycles = values[0];
+            profile.perf.instructions = values[1];
+            profile.perf.cacheMisses = values[2];
+        }
+    }
+#endif
+    return profile;
+}
+
+} // namespace obs
+} // namespace tca

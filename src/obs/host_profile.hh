@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Host-side self-profiling for the benchmark harness: what did the
+ * *simulator process* cost while a scenario ran? Two sources:
+ *
+ *  - getrusage: max resident set size plus per-thread user/system CPU
+ *    time (scenarios run entirely inside one pool worker, so the
+ *    calling thread's rusage is the scenario's).
+ *  - perf_event_open (Linux only): hardware cycles, instructions, and
+ *    cache misses for the calling thread. Containers and locked-down
+ *    kernels routinely forbid this (perf_event_paranoid, seccomp);
+ *    the wrapper degrades to perf.valid = false instead of failing
+ *    the bench.
+ *
+ * Profilers are thread-affine: construct, start(), and stop() on the
+ * same thread that runs the measured work.
+ */
+
+#ifndef TCASIM_OBS_HOST_PROFILE_HH
+#define TCASIM_OBS_HOST_PROFILE_HH
+
+#include <cstdint>
+
+namespace tca {
+
+class JsonWriter;
+
+namespace obs {
+
+/** What one profiled region cost the host. */
+struct HostProfile
+{
+    bool valid = false;        ///< rusage was read successfully
+    uint64_t maxRssBytes = 0;  ///< process-wide peak RSS
+    double userSeconds = 0.0;  ///< this thread's user CPU time
+    double sysSeconds = 0.0;   ///< this thread's system CPU time
+
+    /** Hardware-counter deltas; valid only where the kernel allows. */
+    struct Perf
+    {
+        bool valid = false;
+        uint64_t cycles = 0;
+        uint64_t instructions = 0;
+        uint64_t cacheMisses = 0;
+    } perf;
+
+    /** Emit as one JSON object (the "host" block of BENCH_*.json). */
+    void writeJson(JsonWriter &json) const;
+};
+
+/**
+ * Start/stop profiler around a region of host work. perf counters are
+ * opened once at construction (so a denied perf_event_open is paid
+ * and reported once, not per repeat) and read as deltas per region.
+ */
+class HostProfiler
+{
+  public:
+    HostProfiler();
+    ~HostProfiler();
+
+    HostProfiler(const HostProfiler &) = delete;
+    HostProfiler &operator=(const HostProfiler &) = delete;
+
+    /** True when hardware counters are available on this host. */
+    bool perfAvailable() const;
+
+    /** Begin a region: snapshot rusage, reset + enable perf counters. */
+    void start();
+
+    /** End the region and report what it cost. */
+    HostProfile stop();
+
+  private:
+    static constexpr int numPerfEvents = 3;
+
+    int perfFd[numPerfEvents] = {-1, -1, -1};
+    double startUser = 0.0;
+    double startSys = 0.0;
+};
+
+} // namespace obs
+} // namespace tca
+
+#endif // TCASIM_OBS_HOST_PROFILE_HH

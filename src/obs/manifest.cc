@@ -10,6 +10,7 @@
 
 #include "util/json.hh"
 #include "util/logging.hh"
+#include "util/string_utils.hh"
 
 #ifndef TCA_GIT_DESCRIBE
 #define TCA_GIT_DESCRIBE "unknown"
@@ -153,9 +154,10 @@ writeRunArtifacts(const RunManifest &manifest,
         std::string path = dir + "/manifest.json";
         std::ofstream out(path);
         if (!out) {
-            warn("dropping run artifacts: cannot write '%s': %s "
-                 "(errno %d)",
-                 path.c_str(), std::strerror(errno), errno);
+            // Capture errno before any further call can clobber it.
+            int saved = errno;
+            warn("dropping run artifacts: cannot write '%s': %s",
+                 path.c_str(), errnoMessage(saved).c_str());
             return "";
         }
         out << manifest.str() << '\n';
@@ -164,9 +166,9 @@ writeRunArtifacts(const RunManifest &manifest,
         std::string path = dir + "/stats.json";
         std::ofstream out(path);
         if (!out) {
-            warn("dropping stats.json: cannot write '%s': %s "
-                 "(errno %d)",
-                 path.c_str(), std::strerror(errno), errno);
+            int saved = errno;
+            warn("dropping stats.json: cannot write '%s': %s",
+                 path.c_str(), errnoMessage(saved).c_str());
             return "";
         }
         stats::dumpGroupsJson(groups, out);

@@ -17,12 +17,12 @@ containsToken(const std::string &path, const char *token)
 }
 
 bool
-watchedPath(const std::string &path,
-            const std::vector<std::string> &watch)
+underAnyPrefix(const std::string &path,
+               const std::vector<std::string> &prefixes)
 {
-    if (watch.empty())
+    if (prefixes.empty())
         return true;
-    for (const std::string &prefix : watch) {
+    for (const std::string &prefix : prefixes) {
         if (path.compare(0, prefix.size(), prefix) == 0)
             return true;
     }
@@ -55,7 +55,15 @@ flattenInto(const JsonValue &value, const std::string &prefix,
 MetricDirection
 inferDirection(const std::string &path)
 {
-    // Throughput-like tokens first: "uops_per_sec" must not match the
+    // Host-side self-profiling is informational, checked before any
+    // token rule: host.perf.cycles or host.user_seconds would match
+    // the cost tokens below, but the machine the comparison runs on
+    // is not the artifact under test — absolute RSS and hardware
+    // counts vary host to host and must never gate CI.
+    if (path.compare(0, 5, "host.") == 0 ||
+        containsToken(path, ".host.") || containsToken(path, "rss"))
+        return MetricDirection::Unknown;
+    // Throughput-like tokens next: "uops_per_sec" must not match the
     // cost rules below via a shared substring.
     for (const char *token : {"per_sec", "speedup", "throughput", "ipc",
                               "hit_rate", "hits"}) {
@@ -64,7 +72,7 @@ inferDirection(const std::string &path)
     }
     for (const char *token : {"error", "cycles", "seconds", "wall",
                               "latency", "stall", "miss", "mad", "gap",
-                              "drain"}) {
+                              "drain", "conflict"}) {
         if (containsToken(path, token))
             return MetricDirection::LowerIsBetter;
     }
@@ -161,8 +169,10 @@ diffStats(const std::map<std::string, double> &old_stats,
             d.newValue = it_new->second;
             ++it_new;
         }
+        if (!underAnyPrefix(d.path, options.prefixes))
+            continue;
         d.direction = inferDirection(d.path);
-        d.watched = watchedPath(d.path, options.watch) &&
+        d.watched = underAnyPrefix(d.path, options.watch) &&
             (d.direction != MetricDirection::Unknown || !d.inNew);
         classify(d);
         report.deltas.push_back(std::move(d));

@@ -34,8 +34,11 @@ enum class MetricDirection : uint8_t {
 /**
  * Infer a metric's direction from its path. Name tokens decide:
  * throughput-like names (per_sec, speedup, ipc, hit) grow; cost-like
- * names (error, cycles, seconds, latency, stall, miss, mad, gap)
- * shrink; anything else is Unknown and purely informational.
+ * names (error, cycles, seconds, latency, *_stalls, *_miss*,
+ * *_conflicts, mad, gap) shrink; host-side self-profiling paths
+ * (host.*, anything with rss) are checked first and always Unknown —
+ * reported but never gating; anything else is likewise Unknown and
+ * purely informational. The full table lives in docs/STATS.md.
  */
 MetricDirection inferDirection(const std::string &path);
 
@@ -86,6 +89,14 @@ struct DiffOptions
      * run also counts as a failure.
      */
     std::vector<std::string> watch;
+
+    /**
+     * Restrict the comparison surface itself to stats under these
+     * dot-path prefixes (empty = everything). Unlike `watch`, stats
+     * outside the prefixes are not even reported — the tool for
+     * "only show me the cpu.* subtree".
+     */
+    std::vector<std::string> prefixes;
 
     /** Absolute deltas at or below this are noise, never flagged. */
     double absoluteEpsilon = 1e-12;

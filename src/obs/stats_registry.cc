@@ -1,0 +1,57 @@
+#include "obs/stats_registry.hh"
+
+#include <cerrno>
+#include <fstream>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace tca {
+namespace obs {
+
+std::string
+writeRunArtifacts(const RunManifest &manifest,
+                  const stats::StatsSnapshot &snapshot)
+{
+    std::string dir = artifactDir(manifest.runName());
+    if (dir.empty())
+        return "";
+
+    {
+        std::string path = dir + "/manifest.json";
+        std::ofstream out(path);
+        if (!out) {
+            // Capture errno before any further call can clobber it.
+            int saved = errno;
+            warn("dropping run artifacts: cannot write '%s': %s",
+                 path.c_str(), errnoMessage(saved).c_str());
+            return "";
+        }
+        out << manifest.str() << '\n';
+    }
+    {
+        std::string path = dir + "/stats.json";
+        std::ofstream out(path);
+        if (!out) {
+            int saved = errno;
+            warn("dropping stats.json: cannot write '%s': %s",
+                 path.c_str(), errnoMessage(saved).c_str());
+            return "";
+        }
+        out << snapshot.str();
+    }
+    inform("wrote run artifacts under %s", dir.c_str());
+    tca_debug("obs", "manifest: %s", manifest.str().c_str());
+    return dir;
+}
+
+std::string
+writeRunArtifacts(const RunManifest &manifest,
+                  const stats::StatsRegistry &registry)
+{
+    return writeRunArtifacts(manifest, registry.snapshot());
+}
+
+} // namespace obs
+} // namespace tca

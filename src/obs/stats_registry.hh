@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Observability-side integration of the hierarchical stats registry.
+ *
+ * The registry core (StatsRegistry / StatsSnapshot / StatVisitor /
+ * JsonTreeEmitter) lives in src/stats/registry.hh so that components
+ * below the obs layer — caches, DRAM, the core's structures, the
+ * accelerator devices — can register their counters at construction.
+ * This header adds what only the obs layer can provide:
+ *
+ *  - run artifacts: writeRunArtifacts() overloads that render a
+ *    registry or snapshot as the nested stats.json tree under
+ *    $TCA_OUT_DIR/<run>/ next to manifest.json
+ *  - per-epoch delta dumps: TimeSeriesRecorder::attachRegistry() (see
+ *    obs/timeseries.hh) samples every registered counter at epoch
+ *    boundaries and records the per-epoch deltas in its CSV/JSON
+ *    output
+ *
+ * Naming and registration conventions are documented in docs/STATS.md.
+ */
+
+#ifndef TCASIM_OBS_STATS_REGISTRY_HH
+#define TCASIM_OBS_STATS_REGISTRY_HH
+
+#include <string>
+
+#include "obs/manifest.hh"
+#include "stats/registry.hh"
+
+namespace tca {
+namespace obs {
+
+// Re-exported so obs-layer call sites can name the registry types
+// without reaching below the layer boundary explicitly.
+using stats::StatsRegistry;
+using stats::StatsSnapshot;
+using stats::StatVisitor;
+
+/**
+ * Write <dir>/manifest.json and <dir>/stats.json for a run when
+ * TCA_OUT_DIR is set (no-op otherwise); stats.json is the snapshot's
+ * nested stats tree.
+ *
+ * @return the directory written to, or "" when disabled/failed
+ */
+std::string writeRunArtifacts(const RunManifest &manifest,
+                              const stats::StatsSnapshot &snapshot);
+
+/** Convenience: snapshot the live registry, then write as above. */
+std::string writeRunArtifacts(const RunManifest &manifest,
+                              const stats::StatsRegistry &registry);
+
+} // namespace obs
+} // namespace tca
+
+#endif // TCASIM_OBS_STATS_REGISTRY_HH

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "stats/registry.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 
@@ -15,17 +16,62 @@ TimeSeriesRecorder::TimeSeriesRecorder(uint64_t epoch_length)
 }
 
 void
+TimeSeriesRecorder::attachRegistry(const stats::StatsRegistry *reg)
+{
+    registry = reg;
+}
+
+void
 TimeSeriesRecorder::onRunBegin(const RunContext &ctx)
 {
     causeNames = ctx.stallCauseNames;
     numCauses = causeNames.size();
     series.clear();
+
+    trackedPaths.clear();
+    trackedCounters.clear();
+    lastValues.clear();
+    epochDeltas.clear();
+    if (registry) {
+        for (const auto &[path, counter] : registry->counters()) {
+            trackedPaths.push_back(path);
+            trackedCounters.push_back(counter);
+            // Counters may be mid-flight (warmup, earlier runs):
+            // deltas start from here, not from zero.
+            lastValues.push_back(counter->value());
+        }
+    }
+}
+
+void
+TimeSeriesRecorder::onRunEnd(mem::Cycle cycles, uint64_t committed_uops)
+{
+    (void)cycles;
+    (void)committed_uops;
+    sealEpochDeltas();
+}
+
+void
+TimeSeriesRecorder::sealEpochDeltas()
+{
+    if (trackedCounters.empty() || series.empty())
+        return;
+    while (epochDeltas.size() < series.size())
+        epochDeltas.emplace_back(trackedCounters.size(), 0);
+    std::vector<uint64_t> &row = epochDeltas[series.size() - 1];
+    for (size_t i = 0; i < trackedCounters.size(); ++i) {
+        uint64_t now = trackedCounters[i]->value();
+        row[i] += now - lastValues[i];
+        lastValues[i] = now;
+    }
 }
 
 Epoch &
 TimeSeriesRecorder::epochFor(mem::Cycle now)
 {
     size_t index = static_cast<size_t>(now / epochLength);
+    if (series.size() <= index && !series.empty())
+        sealEpochDeltas(); // close the epoch(s) we are moving past
     while (series.size() <= index) {
         Epoch epoch;
         epoch.startCycle = series.size() * epochLength;
@@ -89,12 +135,25 @@ TimeSeriesRecorder::merge(const TimeSeriesRecorder &other)
         causeNames = other.causeNames;
         numCauses = other.numCauses;
     }
+    if (trackedPaths.empty()) {
+        trackedPaths = other.trackedPaths;
+    } else if (!other.trackedPaths.empty() &&
+               trackedPaths != other.trackedPaths) {
+        panic("TimeSeriesRecorder::merge: tracked counter paths differ");
+    }
+    // Keep delta rows aligned with epoch rows across the splice.
+    while (!trackedPaths.empty() && epochDeltas.size() < series.size())
+        epochDeltas.emplace_back(trackedPaths.size(), 0);
     uint64_t base = series.size() * epochLength;
     for (const Epoch &epoch : other.series) {
         Epoch copy = epoch;
         copy.startCycle += base;
         series.push_back(std::move(copy));
     }
+    for (const std::vector<uint64_t> &row : other.epochDeltas)
+        epochDeltas.push_back(row);
+    while (!trackedPaths.empty() && epochDeltas.size() < series.size())
+        epochDeltas.emplace_back(trackedPaths.size(), 0);
 }
 
 void
@@ -104,9 +163,12 @@ TimeSeriesRecorder::writeCsv(std::ostream &os) const
           "mem_port_claims,mem_port_wait";
     for (const std::string &name : causeNames)
         os << ",stall_" << name;
+    for (const std::string &path : trackedPaths)
+        os << ",delta_" << path;
     os << '\n';
     char buf[128];
-    for (const Epoch &epoch : series) {
+    for (size_t row = 0; row < series.size(); ++row) {
+        const Epoch &epoch = series[row];
         std::snprintf(buf, sizeof(buf), "%llu,%llu,%.3f,%llu,%llu,%llu,%llu",
                       static_cast<unsigned long long>(epoch.startCycle),
                       static_cast<unsigned long long>(epoch.cycles),
@@ -119,6 +181,13 @@ TimeSeriesRecorder::writeCsv(std::ostream &os) const
         os << buf;
         for (uint64_t count : epoch.stallCycles)
             os << ',' << count;
+        if (!trackedPaths.empty()) {
+            for (size_t col = 0; col < trackedPaths.size(); ++col) {
+                uint64_t delta = row < epochDeltas.size()
+                                     ? epochDeltas[row][col] : 0;
+                os << ',' << delta;
+            }
+        }
         os << '\n';
     }
 }
@@ -133,9 +202,17 @@ TimeSeriesRecorder::toJson(JsonWriter &json) const
     for (const std::string &name : causeNames)
         json.value(name);
     json.endArray();
+    if (!trackedPaths.empty()) {
+        json.key("counter_paths");
+        json.beginArray();
+        for (const std::string &path : trackedPaths)
+            json.value(path);
+        json.endArray();
+    }
     json.key("epochs");
     json.beginArray();
-    for (const Epoch &epoch : series) {
+    for (size_t row = 0; row < series.size(); ++row) {
+        const Epoch &epoch = series[row];
         json.beginObject();
         json.kv("start", epoch.startCycle);
         json.kv("cycles", epoch.cycles);
@@ -149,6 +226,15 @@ TimeSeriesRecorder::toJson(JsonWriter &json) const
         for (uint64_t count : epoch.stallCycles)
             json.value(count);
         json.endArray();
+        if (!trackedPaths.empty()) {
+            json.key("counter_deltas");
+            json.beginArray();
+            for (size_t col = 0; col < trackedPaths.size(); ++col) {
+                json.value(row < epochDeltas.size() ? epochDeltas[row][col]
+                                                    : uint64_t(0));
+            }
+            json.endArray();
+        }
         json.endObject();
     }
     json.endArray();

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "obs/event_sink.hh"
@@ -20,6 +21,11 @@
 namespace tca {
 
 class JsonWriter;
+
+namespace stats {
+class Counter;
+class StatsRegistry;
+} // namespace stats
 
 namespace obs {
 
@@ -63,6 +69,34 @@ class TimeSeriesRecorder : public EventSink
     }
 
     /**
+     * Track a stats registry's counters per epoch: at every epoch
+     * boundary (and at run end) each registered counter is sampled and
+     * the delta since the previous boundary recorded against the epoch
+     * that just closed. The tracked set is (re)captured from the
+     * registry at onRunBegin, so counters registered before the run
+     * starts are all covered; the registry must outlive the recorder
+     * or be detached with attachRegistry(nullptr). Sampling is
+     * per-epoch, not per-event, so the onCycle fast path is untouched.
+     */
+    void attachRegistry(const stats::StatsRegistry *registry);
+
+    /** Paths of the counters tracked this run (set at onRunBegin). */
+    const std::vector<std::string> &trackedCounterPaths() const
+    {
+        return trackedPaths;
+    }
+
+    /**
+     * Per-epoch counter deltas, aligned with epochs() rows and
+     * trackedCounterPaths() columns. Rows past the last sealed epoch
+     * are absent until onRunEnd seals the final epoch.
+     */
+    const std::vector<std::vector<uint64_t>> &counterDeltas() const
+    {
+        return epochDeltas;
+    }
+
+    /**
      * Append another recorder's epochs after this one's, renumbering
      * their start cycles as if the runs had executed back to back —
      * how a parallel experiment batch folds per-worker recorders into
@@ -81,6 +115,7 @@ class TimeSeriesRecorder : public EventSink
 
     // EventSink
     void onRunBegin(const RunContext &ctx) override;
+    void onRunEnd(mem::Cycle cycles, uint64_t committed_uops) override;
     void onCycle(mem::Cycle now, uint32_t rob_occupancy) override;
     void onCommit(const UopLifecycle &uop) override;
     void onDispatchStall(uint8_t cause, mem::Cycle now) override;
@@ -93,10 +128,19 @@ class TimeSeriesRecorder : public EventSink
   private:
     Epoch &epochFor(mem::Cycle now);
 
+    /** Sample tracked counters; add deltas to the last epoch's row. */
+    void sealEpochDeltas();
+
     uint64_t epochLength;
     size_t numCauses = 0;
     std::vector<std::string> causeNames;
     std::vector<Epoch> series;
+
+    const stats::StatsRegistry *registry = nullptr;
+    std::vector<std::string> trackedPaths;
+    std::vector<const stats::Counter *> trackedCounters;
+    std::vector<uint64_t> lastValues;
+    std::vector<std::vector<uint64_t>> epochDeltas;
 };
 
 } // namespace obs

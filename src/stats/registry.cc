@@ -1,0 +1,526 @@
+#include "stats/registry.hh"
+
+#include <sstream>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace tca {
+namespace stats {
+
+std::string
+statKindName(StatKind kind)
+{
+    switch (kind) {
+      case StatKind::Counter: return "counter";
+      case StatKind::Gauge: return "gauge";
+      case StatKind::Histogram: return "histogram";
+      case StatKind::Formula: return "formula";
+    }
+    return "unknown";
+}
+
+StatVisitor::~StatVisitor() = default;
+
+void
+StatVisitor::onCounter(const std::string &, uint64_t, const std::string &)
+{
+}
+
+void
+StatVisitor::onGauge(const std::string &, double, const std::string &)
+{
+}
+
+void
+StatVisitor::onHistogram(const std::string &, const Distribution &,
+                         const std::string &)
+{
+}
+
+void
+StatVisitor::onFormula(const std::string &, double, const std::string &)
+{
+}
+
+namespace {
+
+std::vector<std::string>
+splitPath(const std::string &path)
+{
+    std::vector<std::string> segments;
+    size_t start = 0;
+    while (start <= path.size()) {
+        size_t dot = path.find('.', start);
+        if (dot == std::string::npos)
+            dot = path.size();
+        segments.push_back(path.substr(start, dot - start));
+        start = dot + 1;
+    }
+    return segments;
+}
+
+} // anonymous namespace
+
+void
+JsonTreeEmitter::begin()
+{
+    json.beginObject();
+}
+
+void
+JsonTreeEmitter::end()
+{
+    while (!open.empty()) {
+        json.endObject();
+        open.pop_back();
+    }
+    json.endObject();
+}
+
+void
+JsonTreeEmitter::descendTo(const std::string &path)
+{
+    std::vector<std::string> segments = splitPath(path);
+    // Everything but the last segment is an interior object; the last
+    // segment is the key the caller will emit a value for.
+    size_t interior = segments.size() - 1;
+
+    size_t common = 0;
+    while (common < open.size() && common < interior &&
+           open[common] == segments[common]) {
+        ++common;
+    }
+    while (open.size() > common) {
+        json.endObject();
+        open.pop_back();
+    }
+    while (open.size() < interior) {
+        json.key(segments[open.size()]);
+        json.beginObject();
+        open.push_back(segments[open.size()]);
+    }
+    json.key(segments.back());
+}
+
+void
+JsonTreeEmitter::onCounter(const std::string &path, uint64_t value,
+                           const std::string &)
+{
+    descendTo(path);
+    json.value(value);
+}
+
+void
+JsonTreeEmitter::onGauge(const std::string &path, double value,
+                         const std::string &)
+{
+    descendTo(path);
+    json.value(value);
+}
+
+void
+JsonTreeEmitter::onHistogram(const std::string &path,
+                             const Distribution &dist, const std::string &)
+{
+    descendTo(path);
+    dist.toJson(json);
+}
+
+void
+JsonTreeEmitter::onFormula(const std::string &path, double value,
+                           const std::string &)
+{
+    descendTo(path);
+    json.value(value);
+}
+
+bool
+StatsRegistry::validPath(const std::string &path)
+{
+    if (path.empty() || path.front() == '.' || path.back() == '.')
+        return false;
+    bool prevDot = false;
+    for (char c : path) {
+        if (c == '.') {
+            if (prevDot)
+                return false;
+            prevDot = true;
+            continue;
+        }
+        prevDot = false;
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+StatsRegistry::Node &
+StatsRegistry::insert(const std::string &path, StatKind kind)
+{
+    if (!validPath(path)) {
+        panic("invalid stat path '%s': want dot-separated [A-Za-z0-9_] "
+              "segments", path.c_str());
+    }
+    auto exact = nodes.find(path);
+    if (exact != nodes.end()) {
+        panic("stat path '%s' already registered as a %s", path.c_str(),
+              statKindName(exact->second.kind).c_str());
+    }
+    // A leaf cannot also be an interior node: reject "a.b" when "a" is
+    // a leaf (existing leaf is a dotted prefix of the new path) ...
+    size_t dot = path.rfind('.');
+    while (dot != std::string::npos) {
+        std::string prefix = path.substr(0, dot);
+        if (nodes.count(prefix)) {
+            panic("stat path '%s' nests under existing leaf '%s'",
+                  path.c_str(), prefix.c_str());
+        }
+        dot = (dot == 0) ? std::string::npos : path.rfind('.', dot - 1);
+    }
+    // ... and reject "a" when any "a.<x>" leaf exists (new path would
+    // be a dotted prefix of an existing leaf).
+    std::string below = path + ".";
+    auto it = nodes.lower_bound(below);
+    if (it != nodes.end() && it->first.compare(0, below.size(), below) == 0) {
+        panic("stat path '%s' would sit above existing leaf '%s'",
+              path.c_str(), it->first.c_str());
+    }
+
+    Node &node = nodes[path];
+    node.kind = kind;
+    return node;
+}
+
+void
+StatsRegistry::addCounter(const std::string &path, const Counter *stat,
+                          const std::string &desc)
+{
+    tca_assert(stat != nullptr);
+    Node &node = insert(path, StatKind::Counter);
+    node.counter = stat;
+    node.desc = desc;
+}
+
+void
+StatsRegistry::addGauge(const std::string &path, const Gauge *stat,
+                        const std::string &desc)
+{
+    tca_assert(stat != nullptr);
+    Node &node = insert(path, StatKind::Gauge);
+    node.gauge = stat;
+    node.desc = desc;
+}
+
+void
+StatsRegistry::addHistogram(const std::string &path, const Distribution *stat,
+                            const std::string &desc)
+{
+    tca_assert(stat != nullptr);
+    Node &node = insert(path, StatKind::Histogram);
+    node.histogram = stat;
+    node.desc = desc;
+}
+
+void
+StatsRegistry::addFormula(const std::string &path,
+                          std::function<double()> fn,
+                          const std::string &desc)
+{
+    tca_assert(fn != nullptr);
+    Node &node = insert(path, StatKind::Formula);
+    node.formula = std::move(fn);
+    node.desc = desc;
+}
+
+bool
+StatsRegistry::has(const std::string &path) const
+{
+    return nodes.count(path) != 0;
+}
+
+StatKind
+StatsRegistry::kindOf(const std::string &path) const
+{
+    auto it = nodes.find(path);
+    if (it == nodes.end())
+        panic("unknown stat path '%s'", path.c_str());
+    return it->second.kind;
+}
+
+double
+StatsRegistry::valueOf(const std::string &path) const
+{
+    auto it = nodes.find(path);
+    if (it == nodes.end())
+        panic("unknown stat path '%s'", path.c_str());
+    const Node &node = it->second;
+    switch (node.kind) {
+      case StatKind::Counter:
+        return static_cast<double>(node.counter->value());
+      case StatKind::Gauge:
+        return node.gauge->value();
+      case StatKind::Histogram:
+        return node.histogram->mean();
+      case StatKind::Formula:
+        return node.formula();
+    }
+    return 0.0;
+}
+
+void
+StatsRegistry::visit(StatVisitor &visitor) const
+{
+    for (const auto &[path, node] : nodes) {
+        switch (node.kind) {
+          case StatKind::Counter:
+            visitor.onCounter(path, node.counter->value(), node.desc);
+            break;
+          case StatKind::Gauge:
+            visitor.onGauge(path, node.gauge->value(), node.desc);
+            break;
+          case StatKind::Histogram:
+            visitor.onHistogram(path, *node.histogram, node.desc);
+            break;
+          case StatKind::Formula:
+            visitor.onFormula(path, node.formula(), node.desc);
+            break;
+        }
+    }
+}
+
+std::vector<std::pair<std::string, const Counter *>>
+StatsRegistry::counters() const
+{
+    std::vector<std::pair<std::string, const Counter *>> out;
+    for (const auto &[path, node] : nodes) {
+        if (node.kind == StatKind::Counter)
+            out.emplace_back(path, node.counter);
+    }
+    return out;
+}
+
+StatsSnapshot
+StatsRegistry::snapshot() const
+{
+    StatsSnapshot snap;
+    for (const auto &[path, node] : nodes) {
+        StatsSnapshot::Leaf leaf;
+        leaf.kind = node.kind;
+        leaf.desc = node.desc;
+        switch (node.kind) {
+          case StatKind::Counter:
+            leaf.count = node.counter->value();
+            break;
+          case StatKind::Gauge:
+            leaf.number = node.gauge->value();
+            break;
+          case StatKind::Histogram:
+            leaf.dist = *node.histogram;
+            break;
+          case StatKind::Formula:
+            leaf.number = node.formula();
+            break;
+        }
+        snap.setLeaf(path, std::move(leaf));
+    }
+    return snap;
+}
+
+void
+StatsRegistry::dumpJson(JsonWriter &json) const
+{
+    JsonTreeEmitter emitter(json);
+    emitter.begin();
+    visit(emitter);
+    emitter.end();
+}
+
+namespace {
+
+/** Flat text renderer shared by registry and snapshot dump(). */
+class TextDumper : public StatVisitor
+{
+  public:
+    explicit TextDumper(std::ostream &stream) : os(stream) {}
+
+    void
+    onCounter(const std::string &path, uint64_t value,
+              const std::string &desc) override
+    {
+        line(path, std::to_string(value), desc);
+    }
+
+    void
+    onGauge(const std::string &path, double value,
+            const std::string &desc) override
+    {
+        line(path, std::to_string(value), desc);
+    }
+
+    void
+    onHistogram(const std::string &path, const Distribution &dist,
+                const std::string &desc) override
+    {
+        std::ostringstream rendered;
+        rendered << "samples=" << dist.numSamples()
+                 << " mean=" << dist.mean()
+                 << " min=" << dist.minValue()
+                 << " max=" << dist.maxValue();
+        line(path, rendered.str(), desc);
+    }
+
+    void
+    onFormula(const std::string &path, double value,
+              const std::string &desc) override
+    {
+        line(path, std::to_string(value), desc);
+    }
+
+  private:
+    void
+    line(const std::string &path, const std::string &value,
+         const std::string &desc)
+    {
+        os << path << " " << value;
+        if (!desc.empty())
+            os << " # " << desc;
+        os << "\n";
+    }
+
+    std::ostream &os;
+};
+
+} // anonymous namespace
+
+void
+StatsRegistry::dump(std::ostream &os) const
+{
+    TextDumper dumper(os);
+    visit(dumper);
+}
+
+bool
+StatsSnapshot::has(const std::string &path) const
+{
+    return values.count(path) != 0;
+}
+
+double
+StatsSnapshot::valueOf(const std::string &path) const
+{
+    auto it = values.find(path);
+    if (it == values.end())
+        panic("unknown stat path '%s' in snapshot", path.c_str());
+    const Leaf &leaf = it->second;
+    switch (leaf.kind) {
+      case StatKind::Counter:
+        return static_cast<double>(leaf.count);
+      case StatKind::Gauge:
+      case StatKind::Formula:
+        return leaf.number;
+      case StatKind::Histogram:
+        return leaf.dist.mean();
+    }
+    return 0.0;
+}
+
+void
+StatsSnapshot::setLeaf(const std::string &path, Leaf leaf)
+{
+    if (!StatsRegistry::validPath(path))
+        panic("invalid stat path '%s' in snapshot", path.c_str());
+    values[path] = std::move(leaf);
+}
+
+void
+StatsSnapshot::merge(const StatsSnapshot &other)
+{
+    for (const auto &[path, theirs] : other.values) {
+        auto it = values.find(path);
+        if (it == values.end()) {
+            values[path] = theirs;
+            continue;
+        }
+        Leaf &ours = it->second;
+        if (ours.kind != theirs.kind) {
+            panic("stat '%s' merges %s into %s", path.c_str(),
+                  statKindName(theirs.kind).c_str(),
+                  statKindName(ours.kind).c_str());
+        }
+        switch (ours.kind) {
+          case StatKind::Counter:
+            ours.count += theirs.count;
+            break;
+          case StatKind::Gauge:
+            ours.number += theirs.number;
+            break;
+          case StatKind::Histogram:
+            ours.dist.merge(theirs.dist);
+            break;
+          case StatKind::Formula:
+            // A ratio cannot be summed across jobs; report the
+            // fold-weighted mean of the per-job evaluations.
+            ours.number = (ours.number * ours.folds +
+                           theirs.number * theirs.folds) /
+                          (ours.folds + theirs.folds);
+            break;
+        }
+        ours.folds += theirs.folds;
+    }
+}
+
+void
+StatsSnapshot::mergePrefixed(const std::string &prefix,
+                             const StatsSnapshot &other)
+{
+    StatsSnapshot shifted;
+    for (const auto &[path, leaf] : other.values)
+        shifted.setLeaf(prefix + "." + path, leaf);
+    merge(shifted);
+}
+
+void
+StatsSnapshot::visit(StatVisitor &visitor) const
+{
+    for (const auto &[path, leaf] : values) {
+        switch (leaf.kind) {
+          case StatKind::Counter:
+            visitor.onCounter(path, leaf.count, leaf.desc);
+            break;
+          case StatKind::Gauge:
+            visitor.onGauge(path, leaf.number, leaf.desc);
+            break;
+          case StatKind::Histogram:
+            visitor.onHistogram(path, leaf.dist, leaf.desc);
+            break;
+          case StatKind::Formula:
+            visitor.onFormula(path, leaf.number, leaf.desc);
+            break;
+        }
+    }
+}
+
+void
+StatsSnapshot::dumpJson(JsonWriter &json) const
+{
+    JsonTreeEmitter emitter(json);
+    emitter.begin();
+    visit(emitter);
+    emitter.end();
+}
+
+std::string
+StatsSnapshot::str() const
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    dumpJson(json);
+    os << "\n";
+    return os.str();
+}
+
+} // namespace stats
+} // namespace tca

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Hierarchical statistics registry in the spirit of gem5's Stats
+ * framework: every pipeline structure registers its counters under a
+ * dotted path ("cpu.core.rob.full_stalls"), and one registry walk
+ * renders the whole tree. Four leaf kinds:
+ *
+ *  - Counter:   caller-owned monotonic count (stats::Counter)
+ *  - Gauge:     caller-owned point-in-time level (stats::Gauge)
+ *  - Histogram: caller-owned stats::Distribution
+ *  - Formula:   registry-owned lazy function (IPC, MPKI, ratios)
+ *               evaluated at dump/snapshot time, never during
+ *               simulation
+ *
+ * Registration is pointer-based and costs nothing at runtime: a
+ * component increments the same stats::Counter members whether or not
+ * a registry references them, matching the EventSink zero-overhead
+ * contract. Snapshots (StatsSnapshot) turn the live tree into values
+ * so runs can outlive the components that produced them and parallel
+ * batches can merge per-job trees in job-index order.
+ *
+ * This lives in tca_stats — below mem/cpu/accel — so every component
+ * can register at construction; the obs layer (src/obs/
+ * stats_registry.hh) adds per-epoch delta dumps and run artifacts.
+ */
+
+#ifndef TCASIM_STATS_REGISTRY_HH
+#define TCASIM_STATS_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stats/stats.hh"
+
+namespace tca {
+
+class JsonWriter;
+
+namespace stats {
+
+/**
+ * A point-in-time level (ROB occupancy, table depth, bytes resident):
+ * unlike a Counter it can move both ways and merging across jobs sums
+ * rather than races.
+ */
+class Gauge
+{
+  public:
+    Gauge() = default;
+
+    void set(double v) { level = v; }
+    void add(double delta) { level += delta; }
+    double value() const { return level; }
+    void reset() { level = 0.0; }
+
+  private:
+    double level = 0.0;
+};
+
+/** Leaf kinds a registry path can resolve to. */
+enum class StatKind : uint8_t { Counter, Gauge, Histogram, Formula };
+
+/** Human-readable kind name ("counter", "gauge", ...). */
+std::string statKindName(StatKind kind);
+
+/**
+ * Visitor over a stats tree. Leaves are visited in lexicographic path
+ * order, so visitors that build nested structure (the JSON emitter)
+ * see each subtree contiguously.
+ */
+class StatVisitor
+{
+  public:
+    virtual ~StatVisitor();
+
+    virtual void onCounter(const std::string &path, uint64_t value,
+                           const std::string &desc);
+    virtual void onGauge(const std::string &path, double value,
+                         const std::string &desc);
+    virtual void onHistogram(const std::string &path,
+                             const Distribution &dist,
+                             const std::string &desc);
+    virtual void onFormula(const std::string &path, double value,
+                           const std::string &desc);
+};
+
+/**
+ * StatVisitor that renders the tree as one nested JSON object:
+ * "cpu.core.ipc" becomes {"cpu": {"core": {"ipc": ...}}}. Counters,
+ * gauges, and formulas emit as numbers; histograms as the
+ * Distribution::toJson object. Wrap a visit() call with begin()/end().
+ */
+class JsonTreeEmitter : public StatVisitor
+{
+  public:
+    explicit JsonTreeEmitter(JsonWriter &writer) : json(writer) {}
+
+    /** Open the root object. */
+    void begin();
+    /** Close every open scope (call after the visit). */
+    void end();
+
+    void onCounter(const std::string &path, uint64_t value,
+                   const std::string &desc) override;
+    void onGauge(const std::string &path, double value,
+                 const std::string &desc) override;
+    void onHistogram(const std::string &path, const Distribution &dist,
+                     const std::string &desc) override;
+    void onFormula(const std::string &path, double value,
+                   const std::string &desc) override;
+
+  private:
+    /** Close/open objects so the next key can be `path`'s leaf. */
+    void descendTo(const std::string &path);
+
+    JsonWriter &json;
+    std::vector<std::string> open; ///< currently-open object segments
+};
+
+class StatsSnapshot;
+
+/**
+ * The registry: a flat, sorted map of dotted paths to live stat
+ * references. Components register at construction (the pointed-to
+ * stats must outlive the registry or be deregistered with the
+ * component); readers walk, snapshot, or dump the tree between runs.
+ *
+ * Paths are dot-separated segments of [A-Za-z0-9_]; a path may not
+ * collide with an existing leaf nor sit above/below one (a leaf cannot
+ * also be an interior node). Violations panic — stat naming bugs are
+ * programming errors, caught at registration, never at dump time.
+ */
+class StatsRegistry
+{
+  public:
+    StatsRegistry() = default;
+
+    // Non-copyable: nodes hold pointers whose registration site is the
+    // component constructor; an implicit copy would silently alias.
+    StatsRegistry(const StatsRegistry &) = delete;
+    StatsRegistry &operator=(const StatsRegistry &) = delete;
+    StatsRegistry(StatsRegistry &&) = default;
+    StatsRegistry &operator=(StatsRegistry &&) = default;
+
+    /** Register a caller-owned counter. */
+    void addCounter(const std::string &path, const Counter *stat,
+                    const std::string &desc = "");
+    /** Register a caller-owned gauge. */
+    void addGauge(const std::string &path, const Gauge *stat,
+                  const std::string &desc = "");
+    /** Register a caller-owned distribution. */
+    void addHistogram(const std::string &path, const Distribution *stat,
+                      const std::string &desc = "");
+    /**
+     * Register a lazy formula (owned by the registry). Evaluated only
+     * at visit/snapshot/dump time; must be pure over its inputs and
+     * must not mutate the registry.
+     */
+    void addFormula(const std::string &path, std::function<double()> fn,
+                    const std::string &desc = "");
+
+    /** True when `path` names a registered leaf. */
+    bool has(const std::string &path) const;
+
+    /** Number of registered leaves. */
+    size_t numStats() const { return nodes.size(); }
+
+    /** Kind of a registered leaf; panics when missing. */
+    StatKind kindOf(const std::string &path) const;
+
+    /**
+     * Evaluate one leaf as a number (histograms read their mean);
+     * panics when the path is unregistered. The hook formulas use to
+     * read other stats, so cross-component ratios (MPKI = misses /
+     * kilo-uops) stay lazy and always see current values.
+     */
+    double valueOf(const std::string &path) const;
+
+    /** Visit every leaf in lexicographic path order. */
+    void visit(StatVisitor &visitor) const;
+
+    /**
+     * All registered counters, in path order — the cheap sub-surface
+     * the per-epoch delta sampler tracks.
+     */
+    std::vector<std::pair<std::string, const Counter *>> counters() const;
+
+    /** Capture every leaf's current value. */
+    StatsSnapshot snapshot() const;
+
+    /** Render the tree as one nested JSON object. */
+    void dumpJson(JsonWriter &json) const;
+
+    /** Render one line per leaf: path value # desc (gem5 style). */
+    void dump(std::ostream &os) const;
+
+    /**
+     * True when `path` is well-formed: non-empty dot-separated
+     * segments of [A-Za-z0-9_] only.
+     */
+    static bool validPath(const std::string &path);
+
+  private:
+    struct Node
+    {
+        StatKind kind = StatKind::Counter;
+        const Counter *counter = nullptr;
+        const Gauge *gauge = nullptr;
+        const Distribution *histogram = nullptr;
+        std::function<double()> formula;
+        std::string desc;
+    };
+
+    /** Validate the path and reject collisions; returns the new node. */
+    Node &insert(const std::string &path, StatKind kind);
+
+    std::map<std::string, Node> nodes;
+};
+
+/**
+ * Value-typed capture of a stats tree: what a registry's leaves held
+ * at snapshot time. Snapshots survive the components they were read
+ * from, graft into larger trees (per-mode subtrees of a figure dump),
+ * and merge across parallel jobs:
+ *
+ *  - counters and gauges sum
+ *  - histograms fold via Distribution::merge
+ *  - formulas average across merged snapshots (a ratio like IPC
+ *    cannot be summed; the mean of per-job evaluations is reported
+ *    and the fold count tracked so repeated merges stay weighted)
+ *
+ * Merging is performed in a fixed (job-index) order by every caller,
+ * so merged output is byte-identical regardless of TCA_JOBS — see
+ * docs/PARALLELISM.md.
+ */
+class StatsSnapshot
+{
+  public:
+    /** One captured leaf. */
+    struct Leaf
+    {
+        StatKind kind = StatKind::Counter;
+        uint64_t count = 0;     ///< Counter
+        double number = 0.0;    ///< Gauge / Formula
+        Distribution dist;      ///< Histogram
+        uint32_t folds = 1;     ///< snapshots folded into this leaf
+        std::string desc;
+    };
+
+    StatsSnapshot() = default;
+
+    bool empty() const { return values.empty(); }
+    size_t numStats() const { return values.size(); }
+    bool has(const std::string &path) const;
+
+    /** Numeric value of a leaf (histograms read their mean); panics
+     *  when missing. */
+    double valueOf(const std::string &path) const;
+
+    /** Add/overwrite one leaf (registry snapshotting and tests). */
+    void setLeaf(const std::string &path, Leaf leaf);
+
+    /**
+     * Fold another snapshot into this one path by path (see class
+     * comment for per-kind semantics). Kind mismatches on a shared
+     * path panic.
+     */
+    void merge(const StatsSnapshot &other);
+
+    /**
+     * Graft `other` under `prefix` ("modes.NL_T" + "cpu.core.ipc" ->
+     * "modes.NL_T.cpu.core.ipc"), merging where paths already exist.
+     */
+    void mergePrefixed(const std::string &prefix,
+                       const StatsSnapshot &other);
+
+    /** Visit every leaf in lexicographic path order. */
+    void visit(StatVisitor &visitor) const;
+
+    /** Render as one nested JSON object. */
+    void dumpJson(JsonWriter &json) const;
+
+    /** Rendered JSON document (determinism tests compare these). */
+    std::string str() const;
+
+    const std::map<std::string, Leaf> &leaves() const { return values; }
+
+  private:
+    std::map<std::string, Leaf> values;
+};
+
+} // namespace stats
+} // namespace tca
+
+#endif // TCASIM_STATS_REGISTRY_HH

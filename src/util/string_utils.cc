@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstring>
 
 namespace tca {
 
@@ -62,6 +63,34 @@ formatPercent(double fraction, int precision)
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
     return buf;
+}
+
+namespace {
+
+// strerror_r comes in two flavours: XSI returns int and fills the
+// buffer, GNU returns a char* that may or may not be the buffer.
+// Overload resolution picks the right unpacker for this libc.
+const char *
+strerrorResult(int rc, const char *buf)
+{
+    return rc == 0 ? buf : "Unknown error";
+}
+
+const char *
+strerrorResult(const char *msg, const char *)
+{
+    return msg ? msg : "Unknown error";
+}
+
+} // anonymous namespace
+
+std::string
+errnoMessage(int saved_errno)
+{
+    char buf[256] = "Unknown error";
+    const char *msg =
+        strerrorResult(strerror_r(saved_errno, buf, sizeof(buf)), buf);
+    return std::string(msg) + " (errno " + std::to_string(saved_errno) + ")";
 }
 
 } // namespace tca

@@ -27,6 +27,15 @@ std::string formatBytes(uint64_t bytes);
 /** Render a ratio as a percentage string, e.g. "12.5%". */
 std::string formatPercent(double fraction, int precision = 1);
 
+/**
+ * Thread-safe rendering of an errno value, e.g. "No such file or
+ * directory (errno 2)". Wraps strerror_r (both the XSI and the GNU
+ * variant) so callers never touch the non-reentrant strerror().
+ * Callers must capture errno immediately after the failing call —
+ * any intervening library call may clobber it.
+ */
+std::string errnoMessage(int saved_errno);
+
 } // namespace tca
 
 #endif // TCASIM_UTIL_STRING_UTILS_HH

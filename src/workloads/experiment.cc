@@ -7,6 +7,7 @@
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 #include "workloads/calibrator.hh"
+#include "workloads/run_stats.hh"
 
 namespace tca {
 namespace workloads {
@@ -24,26 +25,45 @@ ExperimentResult::forMode(model::TcaMode mode) const
 cpu::SimResult
 runBaselineOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
                 obs::EventSink *sink,
-                const mem::HierarchyConfig &hierarchy_config)
+                const mem::HierarchyConfig &hierarchy_config,
+                stats::StatsSnapshot *stats_out)
 {
     mem::MemHierarchy hierarchy(hierarchy_config);
     cpu::Core cpu(core, hierarchy);
     cpu.setEventSink(sink);
     auto trace = workload.makeBaselineTrace();
-    return cpu.run(*trace);
+    if (!stats_out)
+        return cpu.run(*trace);
+
+    stats::StatsRegistry registry;
+    registerRunStats(registry, cpu, hierarchy);
+    cpu::SimResult result = cpu.run(*trace);
+    *stats_out = registry.snapshot();
+    return result;
 }
 
 cpu::SimResult
 runAcceleratedOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
                    model::TcaMode mode, obs::EventSink *sink,
-                   const mem::HierarchyConfig &hierarchy_config)
+                   const mem::HierarchyConfig &hierarchy_config,
+                   stats::StatsSnapshot *stats_out)
 {
     mem::MemHierarchy hierarchy(hierarchy_config);
     cpu::Core cpu(core, hierarchy);
     auto trace = workload.makeAcceleratedTrace();
+    // The workload's device is shared across mode runs; zero its
+    // tallies so each run's stats are per-run like SimResult.
+    workload.device().resetStats();
     cpu.bindAccelerator(&workload.device(), mode);
     cpu.setEventSink(sink);
-    return cpu.run(*trace);
+    if (!stats_out)
+        return cpu.run(*trace);
+
+    stats::StatsRegistry registry;
+    registerRunStats(registry, cpu, hierarchy, &workload.device());
+    cpu::SimResult result = cpu.run(*trace);
+    *stats_out = registry.snapshot();
+    return result;
 }
 
 ExperimentResult
@@ -54,8 +74,9 @@ runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
     result.workloadName = workload.name();
 
     // Software baseline on a cold hierarchy.
-    result.baseline =
-        runBaselineOnce(workload, core, options.sink, options.hierarchy);
+    result.baseline = runBaselineOnce(
+        workload, core, options.sink, options.hierarchy,
+        options.collectStats ? &result.baselineStats : nullptr);
 
     // Calibrate the model from the baseline run and the architect's
     // latency estimate.
@@ -88,8 +109,9 @@ runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
         } else {
             run_sink = options.sink;
         }
-        outcome.sim = runAcceleratedOnce(workload, core, mode, run_sink,
-                                         options.hierarchy);
+        outcome.sim = runAcceleratedOnce(
+            workload, core, mode, run_sink, options.hierarchy,
+            options.collectStats ? &outcome.stats : nullptr);
         outcome.functionalOk = workload.verifyFunctional();
         if (options.profileIntervals)
             outcome.intervals = profiler.summary();
@@ -153,6 +175,13 @@ runExperimentBatch(size_t count, const WorkloadFactory &factory,
         for (const ExperimentResult &result : batch.results)
             for (const ModeOutcome &outcome : result.modes)
                 batch.accelLatency.merge(outcome.intervals.accelLatency);
+    }
+    if (options.collectStats) {
+        for (const ExperimentResult &result : batch.results) {
+            batch.stats.merge(result.baselineStats);
+            for (const ModeOutcome &outcome : result.modes)
+                batch.stats.merge(outcome.stats);
+        }
     }
     return batch;
 }

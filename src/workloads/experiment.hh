@@ -23,6 +23,7 @@
 #include "model/params.hh"
 #include "model/tca_mode.hh"
 #include "obs/interval_profiler.hh"
+#include "stats/registry.hh"
 #include "workloads/workload.hh"
 
 namespace tca {
@@ -41,6 +42,11 @@ struct ModeOutcome
     /** Measured interval breakdown; populated only when
      *  ExperimentOptions::profileIntervals is set. */
     obs::IntervalSummary intervals;
+
+    /** Full stats tree of this mode's run (cpu.core.*, mem.*,
+     *  accel.*); populated only when ExperimentOptions::collectStats
+     *  is set. */
+    stats::StatsSnapshot stats;
 };
 
 /** Full experiment record. */
@@ -50,6 +56,10 @@ struct ExperimentResult
     cpu::SimResult baseline;
     model::TcaParams params;      ///< calibrated model inputs
     std::array<ModeOutcome, 4> modes; ///< in allTcaModes order
+
+    /** Stats tree of the baseline run; populated only when
+     *  ExperimentOptions::collectStats is set. */
+    stats::StatsSnapshot baselineStats;
 
     const ModeOutcome &forMode(model::TcaMode mode) const;
 };
@@ -85,6 +95,15 @@ struct ExperimentOptions
     bool profileIntervals = false;
 
     /**
+     * When true, register every run's machine into a per-run
+     * StatsRegistry (workloads::registerRunStats) and snapshot it into
+     * ExperimentResult::baselineStats / ModeOutcome::stats when the
+     * run completes. Off by default: registration itself is free, but
+     * the snapshot copies the whole tree per run.
+     */
+    bool collectStats = false;
+
+    /**
      * Optional pipeline-event sink (not owned) observing every run of
      * the experiment: the baseline plus all four mode runs. In a
      * parallel batch each job records into a private buffer that is
@@ -101,21 +120,27 @@ struct ExperimentOptions
  * Run a workload's software-baseline trace once: fresh core, cold
  * hierarchy, optional event sink. The single-run building block that
  * runExperiment, the benches, and the microbenchmarks share instead
- * of each spelling out the hierarchy/core/trace boilerplate.
+ * of each spelling out the hierarchy/core/trace boilerplate. When
+ * `stats_out` is non-null the machine is registered into a run-local
+ * StatsRegistry and its snapshot stored there after the run.
  */
 cpu::SimResult
 runBaselineOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
                 obs::EventSink *sink = nullptr,
-                const mem::HierarchyConfig &hierarchy = {});
+                const mem::HierarchyConfig &hierarchy = {},
+                stats::StatsSnapshot *stats_out = nullptr);
 
 /**
  * Run a workload's accelerated trace once in the given TCA mode:
- * fresh core, cold hierarchy, device bound, optional event sink.
+ * fresh core, cold hierarchy, device bound, optional event sink,
+ * optional stats snapshot (as runBaselineOnce, plus the device's
+ * accel.<name>.* subtree).
  */
 cpu::SimResult
 runAcceleratedOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
                    model::TcaMode mode, obs::EventSink *sink = nullptr,
-                   const mem::HierarchyConfig &hierarchy = {});
+                   const mem::HierarchyConfig &hierarchy = {},
+                   stats::StatsSnapshot *stats_out = nullptr);
 
 /**
  * Run the full validation flow for one workload on one core.
@@ -151,6 +176,15 @@ struct ExperimentBatch
     stats::Distribution accelLatency{
         obs::IntervalSummary::accelLatencyBucketWidth,
         obs::IntervalSummary::accelLatencyNumBuckets};
+
+    /**
+     * Aggregate stats tree over the whole batch (populated when
+     * ExperimentOptions::collectStats is set): every job's baseline
+     * and mode snapshots folded in job-index order, so counters sum
+     * machine activity across the batch and the rendered JSON is
+     * byte-identical for any TCA_JOBS value.
+     */
+    stats::StatsSnapshot stats;
 };
 
 /**

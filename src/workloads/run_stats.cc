@@ -1,0 +1,48 @@
+#include "workloads/run_stats.hh"
+
+#include <string>
+
+namespace tca {
+namespace workloads {
+
+namespace {
+
+/** misses-per-kilo-uop formula over live counters. */
+void
+addMpki(stats::StatsRegistry &registry, const std::string &path,
+        const mem::Cache &cache, const cpu::CoreCounters &tallies,
+        const std::string &desc)
+{
+    registry.addFormula(path, [&cache, &tallies] {
+        uint64_t committed = tallies.committedUops.value();
+        if (committed == 0)
+            return 0.0;
+        return 1000.0 * static_cast<double>(cache.misses()) /
+               static_cast<double>(committed);
+    }, desc);
+}
+
+} // anonymous namespace
+
+void
+registerRunStats(stats::StatsRegistry &registry, const cpu::Core &core,
+                 const mem::MemHierarchy &hierarchy,
+                 cpu::AccelDevice *device)
+{
+    core.regStats(registry, "cpu.core");
+    hierarchy.regStats(registry, "mem");
+    if (device)
+        device->regStats(registry,
+                         std::string("accel.") + device->name());
+
+    addMpki(registry, "mem.l1.mpki", hierarchy.l1d(), core.counters(),
+            "L1D misses per kilo committed uops");
+    if (hierarchy.l2()) {
+        addMpki(registry, "mem.l2.mpki", *hierarchy.l2(),
+                core.counters(),
+                "L2 misses per kilo committed uops");
+    }
+}
+
+} // namespace workloads
+} // namespace tca

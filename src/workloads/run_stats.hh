@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Glue that registers one simulated machine — core, memory hierarchy,
+ * and optionally its accelerator device — into a hierarchical
+ * StatsRegistry under the conventional top-level prefixes, plus the
+ * cross-component formulas no single component can compute by itself
+ * (MPKI needs both a cache's miss counter and the core's committed-uop
+ * counter).
+ */
+
+#ifndef TCASIM_WORKLOADS_RUN_STATS_HH
+#define TCASIM_WORKLOADS_RUN_STATS_HH
+
+#include "cpu/core.hh"
+#include "mem/hierarchy.hh"
+#include "stats/registry.hh"
+
+namespace tca {
+namespace workloads {
+
+/**
+ * Register `core` under cpu.core.*, `hierarchy` under mem.*, and (when
+ * non-null) `device` under accel.<name()>.*, then add the derived
+ * cross-component formulas:
+ *
+ *  - mem.l1.mpki: L1D misses per kilo committed uops
+ *  - mem.l2.mpki: likewise for the L2, when enabled
+ *
+ * All referenced components must outlive the registry.
+ */
+void registerRunStats(stats::StatsRegistry &registry,
+                      const cpu::Core &core,
+                      const mem::MemHierarchy &hierarchy,
+                      cpu::AccelDevice *device = nullptr);
+
+} // namespace workloads
+} // namespace tca
+
+#endif // TCASIM_WORKLOADS_RUN_STATS_HH

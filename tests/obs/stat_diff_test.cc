@@ -47,6 +47,66 @@ TEST(StatDiff, InferDirectionFromNameTokens)
     EXPECT_EQ(inferDirection("bench_schema"), MD::Unknown);
 }
 
+TEST(StatDiff, ConflictsAreLowerIsBetter)
+{
+    using MD = MetricDirection;
+    EXPECT_EQ(inferDirection("mem.dram.bank_conflicts"),
+              MD::LowerIsBetter);
+    EXPECT_EQ(inferDirection("cpu.port_arbiter.conflicts"),
+              MD::LowerIsBetter);
+    EXPECT_EQ(inferDirection("cpu.core.rob.full_stalls"),
+              MD::LowerIsBetter);
+    EXPECT_EQ(inferDirection("mem.l1.misses"), MD::LowerIsBetter);
+}
+
+TEST(StatDiff, HostAndRssStatsAreInformational)
+{
+    using MD = MetricDirection;
+    // Host self-profiling varies across machines; it must never gate
+    // CI even though "cycles"/"seconds" normally read lower-is-better.
+    EXPECT_EQ(inferDirection("host.perf.cycles"), MD::Unknown);
+    EXPECT_EQ(inferDirection("host.user_seconds"), MD::Unknown);
+    EXPECT_EQ(inferDirection("host.sys_seconds"), MD::Unknown);
+    EXPECT_EQ(inferDirection("host.max_rss_bytes"), MD::Unknown);
+    EXPECT_EQ(inferDirection("scenario.host.perf.cache_misses"),
+              MD::Unknown);
+    EXPECT_EQ(inferDirection("metrics.peak_rss_bytes"), MD::Unknown);
+
+    std::map<std::string, double> old_stats{
+        {"host.perf.cycles", 1000.0}};
+    std::map<std::string, double> new_stats{
+        {"host.perf.cycles", 5000.0}}; // +400% on another machine
+    DiffReport report = diffStats(old_stats, new_stats, {});
+    EXPECT_EQ(deltaFor(report, "host.perf.cycles").status,
+              DiffStatus::Changed);
+    EXPECT_FALSE(report.failed());
+}
+
+TEST(StatDiff, PrefixesRestrictTheComparisonSurface)
+{
+    std::map<std::string, double> old_stats{
+        {"cpu.core.rob.full_stalls", 100.0},
+        {"mem.l1.misses", 50.0},
+    };
+    std::map<std::string, double> new_stats{
+        {"cpu.core.rob.full_stalls", 100.0},
+        {"mem.l1.misses", 500.0}, // regression, but outside --prefix
+    };
+
+    DiffOptions options;
+    options.prefixes = {"cpu."};
+    DiffReport report = diffStats(old_stats, new_stats, options);
+    // Unlike watch, stats outside the prefix are not even reported.
+    for (const StatDelta &d : report.deltas)
+        EXPECT_EQ(d.path.rfind("cpu.", 0), 0u) << d.path;
+    EXPECT_EQ(report.numRegressions, 0u);
+    EXPECT_FALSE(report.failed());
+
+    // Without the prefix filter the same inputs fail.
+    report = diffStats(old_stats, new_stats, {});
+    EXPECT_TRUE(report.failed());
+}
+
 TEST(StatDiff, FlattenNumericLeavesOnly)
 {
     JsonValue doc;

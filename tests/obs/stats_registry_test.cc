@@ -1,0 +1,179 @@
+/**
+ * @file
+ * obs-side stats registry integration: writeRunArtifacts renders a
+ * snapshot as the nested stats.json tree, and a parallel experiment
+ * batch's merged stats tree is byte-identical between TCA_JOBS=1 and
+ * TCA_JOBS=8.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "obs/stats_registry.hh"
+#include "util/json.hh"
+#include "workloads/experiment.hh"
+#include "workloads/synthetic.hh"
+
+using namespace tca;
+
+namespace {
+
+/** Scoped TCA_OUT_DIR override that restores the old value. */
+class ScopedOutDir
+{
+  public:
+    explicit ScopedOutDir(const std::string &value)
+    {
+        if (const char *old = std::getenv("TCA_OUT_DIR"))
+            saved = old;
+        setenv("TCA_OUT_DIR", value.c_str(), 1);
+    }
+
+    ~ScopedOutDir()
+    {
+        if (saved.empty())
+            unsetenv("TCA_OUT_DIR");
+        else
+            setenv("TCA_OUT_DIR", saved.c_str(), 1);
+    }
+
+  private:
+    std::string saved;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+workloads::WorkloadFactory
+statsFactory()
+{
+    return [](size_t i) {
+        workloads::SyntheticConfig conf;
+        conf.fillerUops = 3000;
+        conf.numInvocations = 6 + static_cast<uint32_t>(2 * i);
+        conf.regionUops = 80;
+        conf.accelLatency = 30;
+        conf.seed = 500 + i;
+        return std::make_unique<workloads::SyntheticWorkload>(conf);
+    };
+}
+
+} // anonymous namespace
+
+TEST(StatsRegistryArtifacts, WritesNestedStatsJson)
+{
+    std::string dir = ::testing::TempDir() + "/stats_artifacts";
+    ScopedOutDir scope(dir);
+
+    stats::Counter stalls;
+    stalls.inc(5);
+    stats::StatsRegistry registry;
+    registry.addCounter("cpu.core.rob.full_stalls", &stalls);
+    registry.addFormula("cpu.core.ipc", [] { return 1.25; });
+
+    obs::RunManifest manifest("stats_reg_test");
+    std::string written = obs::writeRunArtifacts(manifest, registry);
+    ASSERT_FALSE(written.empty());
+
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(slurp(written + "/stats.json"), doc));
+    const JsonValue *core = doc.find("cpu")->find("core");
+    ASSERT_NE(core, nullptr);
+    EXPECT_DOUBLE_EQ(core->find("rob")->find("full_stalls")->number,
+                     5.0);
+    EXPECT_DOUBLE_EQ(core->find("ipc")->number, 1.25);
+
+    // manifest.json rides along, as for every other run artifact.
+    JsonValue mdoc;
+    ASSERT_TRUE(parseJson(slurp(written + "/manifest.json"), mdoc));
+    EXPECT_NE(mdoc.find("run"), nullptr);
+}
+
+TEST(StatsRegistryArtifacts, NoOutDirMeansNoWrite)
+{
+    ScopedOutDir scope("");
+    unsetenv("TCA_OUT_DIR");
+    stats::StatsRegistry registry;
+    obs::RunManifest manifest("stats_reg_unwritten");
+    EXPECT_EQ(obs::writeRunArtifacts(manifest, registry), "");
+}
+
+TEST(StatsRegistryExperiment, CollectStatsPopulatesRunTrees)
+{
+    workloads::SyntheticConfig conf;
+    conf.fillerUops = 3000;
+    conf.numInvocations = 8;
+    conf.regionUops = 80;
+    conf.accelLatency = 30;
+    conf.seed = 11;
+    workloads::SyntheticWorkload workload(conf);
+
+    workloads::ExperimentOptions options;
+    options.collectStats = true;
+    workloads::ExperimentResult result = workloads::runExperiment(
+        workload, cpu::a72CoreConfig(), options);
+
+    // Baseline carries the machine tree but no accelerator subtree.
+    EXPECT_GE(result.baselineStats.numStats(), 40u);
+    EXPECT_TRUE(result.baselineStats.has("cpu.core.cycles"));
+    EXPECT_TRUE(result.baselineStats.has("mem.l1.mpki"));
+    EXPECT_FALSE(
+        result.baselineStats.has("accel.fixed_latency_tca.invocations"));
+    EXPECT_DOUBLE_EQ(result.baselineStats.valueOf("cpu.core.cycles"),
+                     static_cast<double>(result.baseline.cycles));
+
+    // Mode runs add the device and must agree with SimResult.
+    for (const workloads::ModeOutcome &mode : result.modes) {
+        EXPECT_TRUE(mode.stats.has("cpu.core.rob.full_stalls"));
+        EXPECT_DOUBLE_EQ(
+            mode.stats.valueOf("accel.fixed_latency_tca.invocations"),
+            static_cast<double>(mode.sim.accelInvocations));
+        EXPECT_DOUBLE_EQ(mode.stats.valueOf("cpu.core.cycles"),
+                         static_cast<double>(mode.sim.cycles));
+    }
+}
+
+TEST(StatsRegistryExperiment, DisabledByDefault)
+{
+    workloads::SyntheticConfig conf;
+    conf.fillerUops = 1000;
+    conf.numInvocations = 2;
+    conf.seed = 3;
+    workloads::SyntheticWorkload workload(conf);
+
+    workloads::ExperimentResult result = workloads::runExperiment(
+        workload, cpu::a72CoreConfig(), {});
+    EXPECT_TRUE(result.baselineStats.empty());
+    for (const workloads::ModeOutcome &mode : result.modes)
+        EXPECT_TRUE(mode.stats.empty());
+}
+
+TEST(StatsRegistryDeterminism, BatchStatsJsonByteIdenticalAcrossJobs)
+{
+    auto run = [](size_t jobs) {
+        workloads::ExperimentOptions options;
+        options.collectStats = true;
+        workloads::ExperimentBatch batch = workloads::runExperimentBatch(
+            5, statsFactory(), cpu::a72CoreConfig(), options, jobs);
+        return batch.stats.str();
+    };
+    std::string serial = run(1);
+    std::string parallel = run(8);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+    // The tree must actually contain the machine for this to mean
+    // anything.
+    EXPECT_NE(serial.find("full_stalls"), std::string::npos);
+    EXPECT_NE(serial.find("mpki"), std::string::npos);
+}

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Per-epoch counter-delta sampling: a TimeSeriesRecorder with a stats
+ * registry attached samples every registered counter at epoch
+ * boundaries and attributes the deltas to the epoch that just closed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/timeseries.hh"
+#include "stats/registry.hh"
+#include "util/json.hh"
+
+using namespace tca;
+
+namespace {
+
+obs::RunContext
+context()
+{
+    obs::RunContext ctx;
+    ctx.coreName = "delta-test";
+    ctx.stallCauseNames = {"none", "rob_full"};
+    return ctx;
+}
+
+} // anonymous namespace
+
+TEST(TimeSeriesDelta, DeltasAttributeToClosingEpoch)
+{
+    stats::Counter commits, stalls;
+    stats::StatsRegistry registry;
+    registry.addCounter("core.commits", &commits);
+    registry.addCounter("core.stalls", &stalls);
+
+    obs::TimeSeriesRecorder recorder(10);
+    recorder.attachRegistry(&registry);
+    recorder.onRunBegin(context());
+
+    // Epoch 0 (cycles 0..9): 7 commits, 2 stalls.
+    for (mem::Cycle c = 0; c < 10; ++c) {
+        recorder.onCycle(c, 4);
+        if (c < 7)
+            commits.inc();
+        if (c < 2)
+            stalls.inc();
+    }
+    // Crossing into epoch 1 seals epoch 0's deltas.
+    // Epoch 1 (cycles 10..14): 3 commits.
+    for (mem::Cycle c = 10; c < 15; ++c) {
+        recorder.onCycle(c, 4);
+        commits.inc();
+        commits.inc();
+        commits.inc();
+    }
+    recorder.onRunEnd(15, 22);
+
+    ASSERT_EQ(recorder.trackedCounterPaths().size(), 2u);
+    EXPECT_EQ(recorder.trackedCounterPaths()[0], "core.commits");
+    EXPECT_EQ(recorder.trackedCounterPaths()[1], "core.stalls");
+
+    const auto &deltas = recorder.counterDeltas();
+    ASSERT_EQ(deltas.size(), 2u); // one row per epoch
+    EXPECT_EQ(deltas[0][0], 7u);
+    EXPECT_EQ(deltas[0][1], 2u);
+    EXPECT_EQ(deltas[1][0], 15u);
+    EXPECT_EQ(deltas[1][1], 0u);
+}
+
+TEST(TimeSeriesDelta, BaselinesStartAtAttachTimeValues)
+{
+    stats::Counter warm;
+    warm.inc(1000); // counter already mid-flight before the run
+    stats::StatsRegistry registry;
+    registry.addCounter("warm", &warm);
+
+    obs::TimeSeriesRecorder recorder(10);
+    recorder.attachRegistry(&registry);
+    recorder.onRunBegin(context());
+    recorder.onCycle(0, 1);
+    warm.inc(5);
+    recorder.onRunEnd(1, 0);
+
+    ASSERT_EQ(recorder.counterDeltas().size(), 1u);
+    EXPECT_EQ(recorder.counterDeltas()[0][0], 5u);
+}
+
+TEST(TimeSeriesDelta, UnattachedRecorderKeepsLegacyOutput)
+{
+    obs::TimeSeriesRecorder recorder(10);
+    recorder.onRunBegin(context());
+    recorder.onCycle(0, 2);
+    recorder.onRunEnd(1, 0);
+
+    EXPECT_TRUE(recorder.trackedCounterPaths().empty());
+    EXPECT_TRUE(recorder.counterDeltas().empty());
+
+    std::ostringstream csv;
+    recorder.writeCsv(csv);
+    EXPECT_EQ(csv.str().find("delta_"), std::string::npos);
+
+    std::ostringstream os;
+    {
+        JsonWriter json(os);
+        recorder.toJson(json);
+    }
+    EXPECT_EQ(os.str().find("counter_paths"), std::string::npos);
+    EXPECT_EQ(os.str().find("counter_deltas"), std::string::npos);
+}
+
+TEST(TimeSeriesDelta, CsvAndJsonCarryDeltaColumns)
+{
+    stats::Counter n;
+    stats::StatsRegistry registry;
+    registry.addCounter("cpu.n", &n);
+
+    obs::TimeSeriesRecorder recorder(10);
+    recorder.attachRegistry(&registry);
+    recorder.onRunBegin(context());
+    for (mem::Cycle c = 0; c < 12; ++c) {
+        recorder.onCycle(c, 1);
+        n.inc();
+    }
+    recorder.onRunEnd(12, 0);
+
+    std::ostringstream csv;
+    recorder.writeCsv(csv);
+    EXPECT_NE(csv.str().find(",delta_cpu.n"), std::string::npos);
+
+    std::ostringstream os;
+    {
+        JsonWriter json(os);
+        recorder.toJson(json);
+    }
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(os.str(), doc));
+    const JsonValue *paths = doc.find("counter_paths");
+    ASSERT_NE(paths, nullptr);
+    ASSERT_EQ(paths->items.size(), 1u);
+    EXPECT_EQ(paths->items[0].str, "cpu.n");
+    const JsonValue *epochs = doc.find("epochs");
+    ASSERT_EQ(epochs->items.size(), 2u);
+    const JsonValue *d0 = epochs->items[0].find("counter_deltas");
+    ASSERT_NE(d0, nullptr);
+    EXPECT_DOUBLE_EQ(d0->items[0].number, 10.0);
+    EXPECT_DOUBLE_EQ(
+        epochs->items[1].find("counter_deltas")->items[0].number, 2.0);
+}
+
+TEST(TimeSeriesDelta, MergeSplicesAlignedDeltaRows)
+{
+    stats::Counter a, b;
+    stats::StatsRegistry r1, r2;
+    r1.addCounter("n", &a);
+    r2.addCounter("n", &b);
+
+    obs::TimeSeriesRecorder first(10), second(10);
+    first.attachRegistry(&r1);
+    second.attachRegistry(&r2);
+
+    first.onRunBegin(context());
+    for (mem::Cycle c = 0; c < 10; ++c) {
+        first.onCycle(c, 1);
+        a.inc();
+    }
+    first.onRunEnd(10, 0);
+
+    second.onRunBegin(context());
+    for (mem::Cycle c = 0; c < 5; ++c) {
+        second.onCycle(c, 1);
+        b.inc(2);
+    }
+    second.onRunEnd(5, 0);
+
+    first.merge(second);
+    ASSERT_EQ(first.epochs().size(), 2u);
+    ASSERT_EQ(first.counterDeltas().size(), 2u);
+    EXPECT_EQ(first.counterDeltas()[0][0], 10u);
+    EXPECT_EQ(first.counterDeltas()[1][0], 10u);
+    EXPECT_EQ(first.epochs()[1].startCycle, 10u);
+}
+
+TEST(TimeSeriesDeltaDeath, MergeRejectsMismatchedTrackedPaths)
+{
+    stats::Counter a, b;
+    stats::StatsRegistry r1, r2;
+    r1.addCounter("x", &a);
+    r2.addCounter("y", &b);
+
+    obs::TimeSeriesRecorder first(10), second(10);
+    first.attachRegistry(&r1);
+    second.attachRegistry(&r2);
+    first.onRunBegin(context());
+    first.onCycle(0, 1);
+    first.onRunEnd(1, 0);
+    second.onRunBegin(context());
+    second.onCycle(0, 1);
+    second.onRunEnd(1, 0);
+    EXPECT_DEATH(first.merge(second), "");
+}

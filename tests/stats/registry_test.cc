@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/registry.hh"
+#include "util/json.hh"
+
+namespace tca {
+namespace stats {
+namespace {
+
+TEST(PathValidationTest, AcceptsDottedIdentifiers)
+{
+    EXPECT_TRUE(StatsRegistry::validPath("cycles"));
+    EXPECT_TRUE(StatsRegistry::validPath("cpu.core.rob.full_stalls"));
+    EXPECT_TRUE(StatsRegistry::validPath("modes.NL_T.mem.l1.mpki"));
+    EXPECT_TRUE(StatsRegistry::validPath("a0.b_1.C2"));
+}
+
+TEST(PathValidationTest, RejectsMalformedPaths)
+{
+    EXPECT_FALSE(StatsRegistry::validPath(""));
+    EXPECT_FALSE(StatsRegistry::validPath("."));
+    EXPECT_FALSE(StatsRegistry::validPath(".cycles"));
+    EXPECT_FALSE(StatsRegistry::validPath("cycles."));
+    EXPECT_FALSE(StatsRegistry::validPath("cpu..core"));
+    EXPECT_FALSE(StatsRegistry::validPath("cpu core"));
+    EXPECT_FALSE(StatsRegistry::validPath("cpu-core"));
+}
+
+TEST(RegistryTest, RegistersAllFourKinds)
+{
+    Counter c;
+    Gauge g;
+    Distribution d;
+    StatsRegistry registry;
+    registry.addCounter("cpu.cycles", &c);
+    registry.addGauge("mem.level", &g);
+    registry.addHistogram("accel.latency", &d);
+    registry.addFormula("cpu.ipc", [] { return 1.5; });
+
+    EXPECT_EQ(registry.numStats(), 4u);
+    EXPECT_EQ(registry.kindOf("cpu.cycles"), StatKind::Counter);
+    EXPECT_EQ(registry.kindOf("mem.level"), StatKind::Gauge);
+    EXPECT_EQ(registry.kindOf("accel.latency"), StatKind::Histogram);
+    EXPECT_EQ(registry.kindOf("cpu.ipc"), StatKind::Formula);
+    EXPECT_TRUE(registry.has("cpu.cycles"));
+    EXPECT_FALSE(registry.has("cpu"));
+}
+
+TEST(RegistryTest, ValueOfReadsLiveStats)
+{
+    Counter c;
+    StatsRegistry registry;
+    registry.addCounter("n", &c);
+    EXPECT_DOUBLE_EQ(registry.valueOf("n"), 0.0);
+    c.inc(7);
+    EXPECT_DOUBLE_EQ(registry.valueOf("n"), 7.0);
+}
+
+TEST(RegistryDeathTest, RejectsDuplicatePath)
+{
+    Counter a, b;
+    StatsRegistry registry;
+    registry.addCounter("cpu.cycles", &a);
+    EXPECT_DEATH(registry.addCounter("cpu.cycles", &b), "");
+}
+
+TEST(RegistryDeathTest, RejectsPathNestingUnderLeaf)
+{
+    Counter a, b;
+    StatsRegistry registry;
+    registry.addCounter("cpu.cycles", &a);
+    // "cpu.cycles" is a leaf; it cannot also be an interior node.
+    EXPECT_DEATH(registry.addCounter("cpu.cycles.user", &b), "");
+}
+
+TEST(RegistryDeathTest, RejectsPathAboveLeaf)
+{
+    Counter a, b;
+    StatsRegistry registry;
+    registry.addCounter("cpu.cycles.user", &a);
+    EXPECT_DEATH(registry.addCounter("cpu.cycles", &b), "");
+}
+
+TEST(RegistryDeathTest, RejectsInvalidPath)
+{
+    Counter a;
+    StatsRegistry registry;
+    EXPECT_DEATH(registry.addCounter("cpu..cycles", &a), "");
+    EXPECT_DEATH(registry.valueOf("missing"), "");
+}
+
+TEST(RegistryTest, FormulasEvaluateLazilyAtReadTime)
+{
+    Counter uops, cycles;
+    StatsRegistry registry;
+    registry.addCounter("uops", &uops);
+    registry.addCounter("cycles", &cycles);
+    int evaluations = 0;
+    registry.addFormula("ipc", [&] {
+        ++evaluations;
+        uint64_t c = cycles.value();
+        return c ? static_cast<double>(uops.value()) / c : 0.0;
+    });
+
+    // Registration and simulation never evaluate the formula.
+    uops.inc(30);
+    cycles.inc(10);
+    EXPECT_EQ(evaluations, 0);
+
+    EXPECT_DOUBLE_EQ(registry.valueOf("ipc"), 3.0);
+    EXPECT_EQ(evaluations, 1);
+
+    // A later read sees later values: formulas are views, not caches.
+    cycles.inc(10);
+    EXPECT_DOUBLE_EQ(registry.valueOf("ipc"), 1.5);
+}
+
+/**
+ * Formulas that read other registry stats through valueOf() see the
+ * values current at dump time regardless of registration order — the
+ * cross-component MPKI case.
+ */
+TEST(RegistryTest, FormulaEvaluationOrderIndependent)
+{
+    Counter misses, uops;
+    StatsRegistry registry;
+    // Formula registered BEFORE the counters it reads.
+    registry.addFormula("mem.l1.mpki", [&registry] {
+        double committed = registry.valueOf("cpu.uops");
+        return committed > 0.0
+            ? 1000.0 * registry.valueOf("mem.l1.misses") / committed
+            : 0.0;
+    });
+    registry.addCounter("mem.l1.misses", &misses);
+    registry.addCounter("cpu.uops", &uops);
+
+    misses.inc(4);
+    uops.inc(2000);
+    EXPECT_DOUBLE_EQ(registry.valueOf("mem.l1.mpki"), 2.0);
+
+    // The snapshot captures the formula's value too.
+    StatsSnapshot snap = registry.snapshot();
+    EXPECT_DOUBLE_EQ(snap.valueOf("mem.l1.mpki"), 2.0);
+}
+
+TEST(RegistryTest, VisitOrderIsLexicographic)
+{
+    Counter a, b, c;
+    StatsRegistry registry;
+    registry.addCounter("b.x", &b);
+    registry.addCounter("a.y", &a);
+    registry.addCounter("b.w", &c);
+
+    struct Collect : StatVisitor
+    {
+        std::vector<std::string> paths;
+        void onCounter(const std::string &path, uint64_t,
+                       const std::string &) override
+        {
+            paths.push_back(path);
+        }
+    } collect;
+    registry.visit(collect);
+    ASSERT_EQ(collect.paths.size(), 3u);
+    EXPECT_EQ(collect.paths[0], "a.y");
+    EXPECT_EQ(collect.paths[1], "b.w");
+    EXPECT_EQ(collect.paths[2], "b.x");
+}
+
+TEST(RegistryTest, JsonTreeNestsDottedPaths)
+{
+    Counter cycles, stalls;
+    StatsRegistry registry;
+    registry.addCounter("cpu.core.cycles", &cycles);
+    registry.addCounter("cpu.core.rob.full_stalls", &stalls);
+    registry.addFormula("cpu.core.ipc", [] { return 2.0; });
+    cycles.inc(100);
+    stalls.inc(3);
+
+    std::ostringstream os;
+    {
+        JsonWriter json(os);
+        registry.dumpJson(json);
+    }
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(os.str(), doc));
+    const JsonValue *v = doc.find("cpu");
+    ASSERT_NE(v, nullptr);
+    const JsonValue *core = v->find("core");
+    ASSERT_NE(core, nullptr);
+    EXPECT_DOUBLE_EQ(core->find("cycles")->number, 100.0);
+    EXPECT_DOUBLE_EQ(core->find("ipc")->number, 2.0);
+    EXPECT_DOUBLE_EQ(core->find("rob")->find("full_stalls")->number,
+                     3.0);
+}
+
+TEST(SnapshotTest, CountersAndGaugesSumOnMerge)
+{
+    Counter c1, c2;
+    Gauge g1, g2;
+    c1.inc(10);
+    c2.inc(5);
+    g1.set(1.5);
+    g2.set(2.0);
+
+    StatsRegistry r1, r2;
+    r1.addCounter("n", &c1);
+    r1.addGauge("g", &g1);
+    r2.addCounter("n", &c2);
+    r2.addGauge("g", &g2);
+
+    StatsSnapshot merged = r1.snapshot();
+    merged.merge(r2.snapshot());
+    EXPECT_DOUBLE_EQ(merged.valueOf("n"), 15.0);
+    EXPECT_DOUBLE_EQ(merged.valueOf("g"), 3.5);
+}
+
+TEST(SnapshotTest, FormulaMergeIsFoldWeightedMean)
+{
+    StatsRegistry r1, r2, r3;
+    r1.addFormula("ipc", [] { return 1.0; });
+    r2.addFormula("ipc", [] { return 2.0; });
+    r3.addFormula("ipc", [] { return 6.0; });
+
+    // ((1+2)/2 folded with 6) must weight the first two evaluations:
+    // (1 + 2 + 6) / 3, not (1.5 + 6) / 2.
+    StatsSnapshot merged = r1.snapshot();
+    merged.merge(r2.snapshot());
+    merged.merge(r3.snapshot());
+    EXPECT_DOUBLE_EQ(merged.valueOf("ipc"), 3.0);
+}
+
+TEST(SnapshotTest, HistogramMergeIsAssociative)
+{
+    Distribution d1(10, 8), d2(10, 8), d3(10, 8);
+    for (double v : {1.0, 5.0, 9.0})
+        d1.sample(v);
+    for (double v : {20.0, 25.0})
+        d2.sample(v);
+    for (double v : {42.0, 47.0, 61.0, 70.0})
+        d3.sample(v);
+
+    StatsRegistry r1, r2, r3;
+    r1.addHistogram("lat", &d1);
+    r2.addHistogram("lat", &d2);
+    r3.addHistogram("lat", &d3);
+
+    // (s1 + s2) + s3
+    StatsSnapshot left = r1.snapshot();
+    left.merge(r2.snapshot());
+    left.merge(r3.snapshot());
+    // s1 + (s2 + s3)
+    StatsSnapshot right23 = r2.snapshot();
+    right23.merge(r3.snapshot());
+    StatsSnapshot right = r1.snapshot();
+    right.merge(right23);
+
+    EXPECT_EQ(left.str(), right.str());
+}
+
+TEST(SnapshotTest, MergeAddsDisjointPaths)
+{
+    Counter c1, c2;
+    c1.inc(1);
+    c2.inc(2);
+    StatsRegistry r1, r2;
+    r1.addCounter("a", &c1);
+    r2.addCounter("b", &c2);
+
+    StatsSnapshot merged = r1.snapshot();
+    merged.merge(r2.snapshot());
+    EXPECT_EQ(merged.numStats(), 2u);
+    EXPECT_DOUBLE_EQ(merged.valueOf("a"), 1.0);
+    EXPECT_DOUBLE_EQ(merged.valueOf("b"), 2.0);
+}
+
+TEST(SnapshotDeathTest, MergeRejectsKindMismatch)
+{
+    Counter c;
+    Gauge g;
+    StatsRegistry r1, r2;
+    r1.addCounter("x", &c);
+    r2.addGauge("x", &g);
+    StatsSnapshot merged = r1.snapshot();
+    StatsSnapshot other = r2.snapshot();
+    EXPECT_DEATH(merged.merge(other), "");
+}
+
+TEST(SnapshotTest, MergePrefixedGraftsSubtree)
+{
+    Counter stalls;
+    stalls.inc(11);
+    StatsRegistry run;
+    run.addCounter("cpu.core.rob.full_stalls", &stalls);
+
+    StatsSnapshot tree;
+    tree.mergePrefixed("modes.L_T", run.snapshot());
+    tree.mergePrefixed("modes.NL_NT", run.snapshot());
+    EXPECT_DOUBLE_EQ(
+        tree.valueOf("modes.L_T.cpu.core.rob.full_stalls"), 11.0);
+    EXPECT_DOUBLE_EQ(
+        tree.valueOf("modes.NL_NT.cpu.core.rob.full_stalls"), 11.0);
+    EXPECT_FALSE(tree.has("cpu.core.rob.full_stalls"));
+}
+
+TEST(SnapshotTest, StrIsStableAcrossIdenticalTrees)
+{
+    Counter c;
+    c.inc(3);
+    StatsRegistry r;
+    r.addCounter("a.b", &c);
+    r.addFormula("a.f", [] { return 0.5; });
+    EXPECT_EQ(r.snapshot().str(), r.snapshot().str());
+    EXPECT_NE(r.snapshot().str().find("\"b\": 3"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace stats
+} // namespace tca

@@ -41,6 +41,9 @@ usage(const char *argv0, int code)
         "  --watch PREFIX    gate only stats under this dot-path\n"
         "                    prefix (repeatable; default: every stat\n"
         "                    with a known good-direction)\n"
+        "  --prefix PREFIX   compare only stats under this dot-path\n"
+        "                    prefix, e.g. --prefix cpu. (repeatable;\n"
+        "                    stats outside are not even reported)\n"
         "  --all             print unchanged stats too\n"
         "  --informational   always exit 0 (report, never gate)\n",
         argv0);
@@ -82,6 +85,8 @@ main(int argc, char **argv)
             options.thresholdPercent = std::atof(value());
         } else if (arg == "--watch") {
             options.watch.push_back(value());
+        } else if (arg == "--prefix") {
+            options.prefixes.push_back(value());
         } else if (arg == "--all") {
             show_all = true;
         } else if (arg == "--informational") {
