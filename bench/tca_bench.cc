@@ -306,6 +306,19 @@ registerScenarios(BenchHarness &harness)
                 return std::make_unique<HeapWorkload>(conf);
             }, options));
     }
+    harness.add(experimentScenario(
+        "nl_drain_ablation",
+        "drain-heavy NL point: long regions, window drains per call",
+        {50, 100}, [](int invocations, bool quick) {
+            SyntheticConfig conf;
+            conf.fillerUops = quick ? 16000 : 80000;
+            conf.numInvocations = static_cast<uint32_t>(
+                quick ? invocations / 4 : invocations);
+            conf.regionUops = 250;
+            conf.accelLatency = 50;
+            conf.seed = 13;
+            return std::make_unique<SyntheticWorkload>(conf);
+        }));
     harness.add(simulatorThroughputScenario());
     harness.add(modelEvalScenario());
     harness.add(sweepDenseScenario());
@@ -317,7 +330,7 @@ usage(const char *argv0, int code)
     std::fprintf(
         code ? stderr : stdout,
         "usage: %s [--repeats N] [--warmup N] [--quick] [--filter S]\n"
-        "          [--out DIR] [--jobs N] [--list]\n"
+        "          [--out DIR] [--jobs N] [--engine E] [--list]\n"
         "\n"
         "Runs the scenario registry and writes one BENCH_<name>.json\n"
         "per scenario (to --out, else $TCA_OUT_DIR, else '.').\n"
@@ -327,6 +340,9 @@ usage(const char *argv0, int code)
         "  --filter S    only scenarios whose name contains S\n"
         "  --jobs N      scenario-level parallelism (default $TCA_JOBS,\n"
         "                else hardware concurrency; 1 = serial)\n"
+        "  --engine E    core engine: 'event' (default) or 'reference'\n"
+        "                (sets $TCA_ENGINE; simulated results are\n"
+        "                byte-identical, only host throughput differs)\n"
         "  --list        print scenarios with one-line descriptions "
         "and exit\n",
         argv0);
@@ -365,6 +381,14 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "--jobs must be >= 1\n");
                 return 2;
             }
+        } else if (arg == "--engine") {
+            std::string engine = value();
+            if (engine != "event" && engine != "reference") {
+                std::fprintf(stderr,
+                             "--engine must be 'event' or 'reference'\n");
+                return 2;
+            }
+            ::setenv("TCA_ENGINE", engine.c_str(), 1);
         } else if (arg == "--list") {
             list = true;
         } else if (arg == "--help" || arg == "-h") {

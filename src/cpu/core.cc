@@ -1,12 +1,34 @@
 #include "cpu/core.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 
 #include "util/logging.hh"
 
 namespace tca {
 namespace cpu {
+
+namespace {
+/** nextEventTime() sentinel: nothing is scheduled. */
+constexpr mem::Cycle kNoEvent = ~mem::Cycle(0);
+} // anonymous namespace
+
+Engine
+resolveEngine(Engine requested)
+{
+    if (requested != Engine::Auto)
+        return requested;
+    const char *env = std::getenv("TCA_ENGINE");
+    if (!env || !*env || std::strcmp(env, "event") == 0)
+        return Engine::Event;
+    if (std::strcmp(env, "reference") == 0)
+        return Engine::Reference;
+    warn("unknown TCA_ENGINE value '%s' (want 'event' or 'reference'); "
+         "using the event engine", env);
+    return Engine::Event;
+}
 
 std::string
 stallCauseName(StallCause cause)
@@ -104,7 +126,8 @@ Core::resetRunState()
     rob = Rob(conf.robSize);
     memPorts.reset();
     iq.clear();
-    lsq.clear();
+    ldq.clear();
+    stq.clear();
     lastWriter.clear();
     havePending = false;
     traceDone = false;
@@ -117,6 +140,21 @@ Core::resetRunState()
     fuPool.resetStats();
     tallies.reset();
     result = SimResult{};
+
+    useEvents = resolveEngine(engineSel) == Engine::Event;
+    for (std::vector<uint64_t> &slot : completionWheel)
+        slot.clear();
+    wheelPending = 0;
+    completions = TimedSeqHeap{};
+    timeParked = TimedSeqHeap{};
+    readyQ.clear();
+    retryNextCycle.clear();
+    drainParked.clear();
+    iqCount = 0;
+    engineTallies = EngineStats{};
+    tickCommits = tickIssues = tickDispatches = 0;
+    tickStallRecorded = false;
+    tickStallCause = StallCause::None;
 }
 
 void
@@ -166,6 +204,21 @@ Core::run(trace::TraceSource &trace_source)
         sink->onRunBegin(ctx);
     }
 
+    if (useEvents)
+        runEvent();
+    else
+        runReference();
+
+    materializeResult();
+    if (sink)
+        sink->onRunEnd(result.cycles, result.committedUops);
+    source = nullptr;
+    return result;
+}
+
+void
+Core::runReference()
+{
     uint64_t last_progress_uops = 0;
     mem::Cycle last_progress_cycle = 0;
 
@@ -184,20 +237,72 @@ Core::run(trace::TraceSource &trace_source)
             last_progress_uops = progress;
             last_progress_cycle = now;
         } else if (now - last_progress_cycle > 200000) {
-            panic("core deadlock at cycle %llu: rob=%u iq=%zu lsq=%zu "
-                  "barrier=%d redirect=%d",
+            panic("core deadlock at cycle %llu: rob=%u iq=%zu ldq=%zu "
+                  "stq=%zu barrier=%d redirect=%d",
                   static_cast<unsigned long long>(now), rob.size(),
-                  iq.size(), lsq.size(), barrierActive ? 1 : 0,
-                  redirectPending ? 1 : 0);
+                  iq.size(), ldq.size(), stq.size(),
+                  barrierActive ? 1 : 0, redirectPending ? 1 : 0);
         }
         ++now;
     }
+}
 
-    materializeResult();
-    if (sink)
-        sink->onRunEnd(result.cycles, result.committedUops);
-    source = nullptr;
-    return result;
+void
+Core::runEvent()
+{
+    uint64_t last_progress_uops = 0;
+    mem::Cycle last_progress_cycle = 0;
+
+    while (!traceDone || !rob.empty()) {
+        deliverWakeups();
+        commitStage();
+        issueStageEvent();
+        dispatchStage();
+        tallies.cycles.inc();
+        tallies.robOccupancySum.inc(rob.size());
+        if (sink)
+            sink->onCycle(now, rob.size());
+
+        uint64_t progress = tallies.committedUops.value() + rob.next();
+        if (progress != last_progress_uops) {
+            last_progress_uops = progress;
+            last_progress_cycle = now;
+        }
+
+        // A tick that committed, issued, or dispatched nothing cannot
+        // do so on any later cycle either until a scheduled event
+        // fires, so jump straight to the next one, bulk-accounting
+        // the cycles in between (docs/PERFORMANCE.md has the proof
+        // sketch). The jump itself counts as watchdog progress.
+        if (tickCommits == 0 && tickIssues == 0 && tickDispatches == 0 &&
+            (!traceDone || !rob.empty())) {
+            mem::Cycle next = nextEventTime();
+            if (next == kNoEvent) {
+                panic("core deadlock at cycle %llu: no pending events "
+                      "(%s)", static_cast<unsigned long long>(now),
+                      pendingEventSummary().c_str());
+            }
+            if (next > now + 1) {
+                accountSkipped(now + 1, next - 1);
+                ++engineTallies.skips;
+                engineTallies.skippedCycles += next - now - 1;
+                engineTallies.lastSkipFrom = now;
+                engineTallies.lastSkipTo = next;
+                last_progress_cycle = next - 1;
+                now = next;
+                continue;
+            }
+        }
+        if (now - last_progress_cycle > 200000) {
+            panic("core deadlock at cycle %llu: no progress for %llu "
+                  "cycles despite pending events (%s)",
+                  static_cast<unsigned long long>(now),
+                  static_cast<unsigned long long>(
+                      now - last_progress_cycle),
+                  pendingEventSummary().c_str());
+        }
+        ++now;
+    }
 }
 
 void
@@ -349,6 +454,7 @@ Core::recordStall(StallCause cause)
 void
 Core::commitStage()
 {
+    uint32_t retired = 0;
     for (uint32_t n = 0; n < conf.commitWidth && !rob.empty(); ++n) {
         RobEntry &head = rob.head();
         if (!(head.state == UopState::Issued &&
@@ -363,8 +469,9 @@ Core::commitStage()
                                     mem::AccessType::Write, now);
         }
         if (head.op.isMem()) {
-            tca_assert(!lsq.empty() && lsq.front() == head.seq);
-            lsq.erase(lsq.begin());
+            std::deque<uint64_t> &queue = head.op.isStore() ? stq : ldq;
+            tca_assert(!queue.empty() && queue.front() == head.seq);
+            queue.pop_front();
         }
         tallies.committedUops.inc();
         tallies.committedByClass[static_cast<size_t>(head.op.cls)].inc();
@@ -385,6 +492,18 @@ Core::commitStage()
             sink->onCommit(uop);
         }
         rob.retireHead();
+        ++retired;
+    }
+    tickCommits = retired;
+
+    // Retirement advances the oldest-uncommitted boundary, the only
+    // state an NL-parked accel waits on; wake them for a re-check in
+    // this cycle's issue stage (commit precedes issue, as in the
+    // reference loop's stage order).
+    if (useEvents && retired > 0 && !drainParked.empty()) {
+        for (uint64_t seq : drainParked)
+            readyPush(seq);
+        drainParked.clear();
     }
 }
 
@@ -406,35 +525,48 @@ Core::operandsReady(const RobEntry &entry) const
 RobEntry *
 Core::youngestOlderStore(const RobEntry &load)
 {
-    RobEntry *found = nullptr;
-    for (uint64_t seq : lsq) {
-        if (seq >= load.seq)
-            break;
-        RobEntry &entry = rob.entryFor(seq);
-        if (!entry.op.isStore())
-            continue;
+    // Walk the store queue youngest-first: the first overlapping store
+    // older than the load is the forwarding candidate. Loads with no
+    // in-flight store (the common case) exit without touching the ROB.
+    for (auto it = stq.rbegin(); it != stq.rend(); ++it) {
+        if (*it >= load.seq)
+            continue; // stores younger than the load
+        RobEntry &entry = rob.entryFor(*it);
         uint64_t s_begin = entry.op.addr;
         uint64_t s_end = s_begin + entry.op.size;
         uint64_t l_begin = load.op.addr;
         uint64_t l_end = l_begin + load.op.size;
         if (s_begin < l_end && l_begin < s_end)
-            found = &entry;
+            return &entry;
     }
-    return found;
+    return nullptr;
 }
 
 bool
-Core::issueLoad(RobEntry &entry)
+Core::issueLoad(RobEntry &entry, IssueBlock *block)
 {
     RobEntry *store = youngestOlderStore(entry);
     if (store) {
         // Forward from the store queue once the store's data is ready.
-        if (!isDone(*store))
+        // The store set older than this load is fixed at its dispatch,
+        // so the forwarding decision cannot change before the blocking
+        // store completes (or retires at/after completing).
+        if (!isDone(*store)) {
+            if (block) {
+                block->kind = IssueBlock::Kind::Producer;
+                block->producer = store->seq;
+            }
             return false;
+        }
         entry.completeCycle = now + conf.forwardLatency;
     } else {
-        if (!memPorts.availableAt(now))
+        if (!memPorts.availableAt(now)) {
+            if (block) {
+                block->kind = IssueBlock::Kind::Time;
+                block->wakeAt = memPorts.nextAvailableAt();
+            }
             return false;
+        }
         mem::Cycle start = memPorts.claim(now);
         entry.completeCycle = mem.firstLevel().access(
             entry.op.addr, mem::AccessType::Read, start);
@@ -452,16 +584,25 @@ Core::issueStore(RobEntry &entry)
 }
 
 bool
-Core::issueAccel(RobEntry &entry)
+Core::issueAccel(RobEntry &entry, IssueBlock *block)
 {
     AccelPortState &port = portFor(entry.op);
-    if (port.busyUntil > now)
-        return false; // this TCA's previous invocation still running
+    if (port.busyUntil > now) {
+        // This TCA's previous invocation is still running.
+        if (block) {
+            block->kind = IssueBlock::Kind::Time;
+            block->wakeAt = port.busyUntil;
+        }
+        return false;
+    }
     if (!model::allowsLeading(port.mode)) {
         // NL modes: non-speculative, must wait until all leading
         // instructions have committed (window drain).
-        if (entry.seq != rob.oldest())
+        if (entry.seq != rob.oldest()) {
+            if (block)
+                block->kind = IssueBlock::Kind::Drain;
             return false;
+        }
     } else if (partialSpeculation) {
         // Partial speculation (Section VIII): only speculate past
         // branches the predictor is confident about. Any unresolved
@@ -470,12 +611,28 @@ Core::issueAccel(RobEntry &entry)
             const RobEntry &older = rob.entryFor(seq);
             if (older.op.isBranch() && older.op.lowConfidence &&
                 !isDone(older)) {
+                if (block) {
+                    block->kind = IssueBlock::Kind::Producer;
+                    block->producer = older.seq;
+                }
                 return false;
             }
         }
     }
+    // Like issueLoad: wait for a free memory port instead of claiming
+    // a busy one, which would back-date arbitration for the whole
+    // invocation. Checked before beginInvocation, which may be called
+    // only once per invocation.
+    if (!memPorts.availableAt(now)) {
+        if (block) {
+            block->kind = IssueBlock::Kind::Time;
+            block->wakeAt = memPorts.nextAvailableAt();
+        }
+        return false;
+    }
 
-    std::vector<AccelRequest> requests;
+    std::vector<AccelRequest> &requests = port.requestBuffer;
+    requests.clear();
     uint32_t compute = port.device->beginInvocation(
         entry.op.accelInvocation, requests);
 
@@ -518,15 +675,17 @@ Core::issueSimple(RobEntry &entry)
 }
 
 bool
-Core::tryIssue(RobEntry &entry)
+Core::tryIssue(RobEntry &entry, IssueBlock *block)
 {
     using trace::OpClass;
-    if (!operandsReady(entry))
+    // Event-engine attempts come from the ready queue, where operand
+    // readiness is established by the producers' completion wakeups.
+    if (!block && !operandsReady(entry))
         return false;
 
     switch (entry.op.cls) {
       case OpClass::Load:
-        if (!issueLoad(entry))
+        if (!issueLoad(entry, block))
             return false;
         break;
       case OpClass::Store:
@@ -534,12 +693,15 @@ Core::tryIssue(RobEntry &entry)
             return false;
         break;
       case OpClass::Accel:
-        if (!issueAccel(entry))
+        if (!issueAccel(entry, block))
             return false;
         break;
       default:
-        if (!fuPool.available(entry.op.cls))
+        if (!fuPool.available(entry.op.cls)) {
+            if (block)
+                block->kind = IssueBlock::Kind::Retry;
             return false;
+        }
         issueSimple(entry);
         fuPool.consume(entry.op.cls);
         break;
@@ -549,6 +711,22 @@ Core::tryIssue(RobEntry &entry)
     entry.issueCycle = now;
     if (sink)
         sink->onIssue(entry.seq, now);
+
+    if (useEvents) {
+        // Schedule the completion wakeup. A zero-latency result is
+        // visible this very cycle — deliver it inline; consumers are
+        // younger, so the ready queue's age order still attempts them
+        // after this uop, exactly as the reference IQ scan would.
+        if (entry.completeCycle <= now) {
+            completeEntry(entry);
+        } else if (entry.completeCycle - now < kWheelSpan) {
+            completionWheel[entry.completeCycle & (kWheelSpan - 1)]
+                .push_back(entry.seq);
+            ++wheelPending;
+        } else {
+            completions.push({entry.completeCycle, entry.seq});
+        }
+    }
     return true;
 }
 
@@ -570,6 +748,226 @@ Core::issueStage()
             iq[keep++] = seq;
     }
     iq.resize(keep);
+    tickIssues = issued;
+}
+
+void
+Core::issueStageEvent()
+{
+    fuPool.newCycle();
+    uint32_t issued = 0;
+    while (issued < conf.issueWidth && !readyQ.empty()) {
+        uint64_t seq = readyQ.popMin();
+        RobEntry &entry = rob.entryFor(seq);
+        IssueBlock block;
+        if (tryIssue(entry, &block)) {
+            ++issued;
+            --iqCount;
+        } else {
+            parkBlocked(entry, block);
+        }
+    }
+    // Width exhausted: anything still queued stays ready and is
+    // attempted next cycle (the reference scan would not have reached
+    // it either; failed attempts have no side effects).
+    tickIssues = issued;
+}
+
+void
+Core::setupReadiness(RobEntry &entry)
+{
+    ++iqCount;
+    uint8_t pending = 0;
+    for (uint64_t producer : entry.srcProducer) {
+        if (producer == noSeq)
+            continue;
+        // srcProducer only names live producers (dispatch skips
+        // retired ones), and a producer outlives its consumers' waits.
+        RobEntry &prod = rob.entryFor(producer);
+        if (isDone(prod))
+            continue;
+        prod.waiters.push_back(entry.seq);
+        ++pending;
+    }
+    entry.notReady = pending;
+    if (pending == 0)
+        readyPush(entry.seq);
+}
+
+void
+Core::completeEntry(RobEntry &entry)
+{
+    // A consumer reading two operands from the same producer appears
+    // twice in `waiters` and counted twice in its notReady, so the
+    // decrements balance.
+    engineTallies.wakeups += entry.waiters.size();
+    for (uint64_t waiter : entry.waiters) {
+        RobEntry &consumer = rob.entryFor(waiter);
+        tca_assert(consumer.notReady > 0);
+        if (--consumer.notReady == 0)
+            readyPush(waiter);
+    }
+    entry.waiters.clear();
+    for (uint64_t waiter : entry.parkWaiters)
+        readyPush(waiter);
+    entry.parkWaiters.clear();
+}
+
+void
+Core::parkBlocked(RobEntry &entry, const IssueBlock &block)
+{
+    switch (block.kind) {
+      case IssueBlock::Kind::Time:
+        tca_assert(block.wakeAt > now);
+        timeParked.push({block.wakeAt, entry.seq});
+        return;
+      case IssueBlock::Kind::Producer: {
+        RobEntry &producer = rob.entryFor(block.producer);
+        tca_assert(!isDone(producer));
+        producer.parkWaiters.push_back(entry.seq);
+        return;
+      }
+      case IssueBlock::Kind::Drain:
+        drainParked.push_back(entry.seq);
+        return;
+      case IssueBlock::Kind::Retry:
+        if (fuPool.unitLimit(entry.op.cls) == 0) {
+            panic("uop class %s has no functional units configured; "
+                  "seq %llu can never issue",
+                  trace::opClassName(entry.op.cls).c_str(),
+                  static_cast<unsigned long long>(entry.seq));
+        }
+        retryNextCycle.push_back(entry.seq);
+        return;
+      case IssueBlock::Kind::None:
+        break;
+    }
+    panic("issue attempt for seq %llu failed without a wake condition",
+          static_cast<unsigned long long>(entry.seq));
+}
+
+void
+Core::deliverWakeups()
+{
+    for (uint64_t seq : retryNextCycle)
+        readyPush(seq);
+    retryNextCycle.clear();
+    while (!timeParked.empty() && timeParked.top().first <= now) {
+        readyPush(timeParked.top().second);
+        timeParked.pop();
+    }
+    // Completions run before commitStage, so a producer is always
+    // still live (retirement requires completion first) and waiters
+    // it readies are attempted in this cycle's issue stage — the same
+    // cycle the reference scan would first see the operand done.
+    //
+    // The wheel slot for `now` holds exactly the uops completing this
+    // cycle: a slot's occupants were scheduled under the horizon, and
+    // time never passes a pending wheel cycle (it is a candidate in
+    // nextEventTime(), so skips land on or before it).
+    if (wheelPending > 0) {
+        std::vector<uint64_t> &slot =
+            completionWheel[now & (kWheelSpan - 1)];
+        if (!slot.empty()) {
+            wheelPending -= slot.size();
+            for (uint64_t seq : slot) {
+                RobEntry &entry = rob.entryFor(seq);
+                tca_assert(entry.completeCycle == now);
+                completeEntry(entry);
+            }
+            slot.clear();
+        }
+    }
+    while (!completions.empty() && completions.top().first <= now) {
+        uint64_t seq = completions.top().second;
+        completions.pop();
+        completeEntry(rob.entryFor(seq));
+    }
+}
+
+mem::Cycle
+Core::nextEventTime() const
+{
+    mem::Cycle next = kNoEvent;
+    if (!readyQ.empty() || !retryNextCycle.empty())
+        next = now + 1;
+    if (wheelPending > 0) {
+        // All wheel entries complete within (now, now + kWheelSpan),
+        // so the first occupied slot ahead of `now` is the earliest.
+        for (mem::Cycle c = now + 1; c <= now + kWheelSpan; ++c) {
+            if (!completionWheel[c & (kWheelSpan - 1)].empty()) {
+                next = std::min(next, c);
+                break;
+            }
+        }
+    }
+    if (!completions.empty())
+        next = std::min(next, completions.top().first);
+    if (!timeParked.empty())
+        next = std::min(next, timeParked.top().first);
+    if (!rob.empty()) {
+        const RobEntry &head = rob.head();
+        if (head.state == UopState::Issued)
+            next = std::min(next,
+                            head.completeCycle + conf.commitLatency);
+    }
+    if (resumeDispatchAt > now)
+        next = std::min(next, resumeDispatchAt);
+    // Every other dispatch blocker (ROB/IQ/LSQ full, NT barrier,
+    // empty trace with a draining window) clears only through a
+    // commit or issue, which the candidates above already cover.
+    if (next != kNoEvent && next <= now)
+        next = now + 1; // defensive: never move time backwards
+    return next;
+}
+
+void
+Core::accountSkipped(mem::Cycle first, mem::Cycle last)
+{
+    // The skipped cycles repeat the frozen tick's accounting: same
+    // stall cause (dispatch state cannot change while nothing commits
+    // or issues), same ROB occupancy. With no sink attached the whole
+    // range collapses into O(1) counter increments; with one attached,
+    // replay cycle by cycle in the reference loop's exact emission
+    // order so epoch-sampling sinks (TimeSeriesRecorder) see counter
+    // deltas land in the same epochs.
+    uint64_t cycles = last - first + 1;
+    uint32_t occupancy = rob.size();
+    size_t cause = static_cast<size_t>(tickStallCause);
+    if (!sink) {
+        if (tickStallRecorded)
+            tallies.stallCycles[cause].inc(cycles);
+        tallies.cycles.inc(cycles);
+        tallies.robOccupancySum.inc(
+            static_cast<uint64_t>(occupancy) * cycles);
+        return;
+    }
+    for (mem::Cycle c = first; c <= last; ++c) {
+        if (tickStallRecorded) {
+            tallies.stallCycles[cause].inc();
+            sink->onDispatchStall(static_cast<uint8_t>(tickStallCause),
+                                  c);
+        }
+        tallies.cycles.inc();
+        tallies.robOccupancySum.inc(occupancy);
+        sink->onCycle(c, occupancy);
+    }
+}
+
+std::string
+Core::pendingEventSummary() const
+{
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "rob=%u ready=%zu retry=%zu completions=%zu time_parked=%zu "
+        "drain_parked=%zu barrier=%d redirect=%d resume_at=%llu",
+        rob.size(), readyQ.size(), retryNextCycle.size(),
+        completions.size() + wheelPending, timeParked.size(),
+        drainParked.size(),
+        barrierActive ? 1 : 0, redirectPending ? 1 : 0,
+        static_cast<unsigned long long>(resumeDispatchAt));
+    return buf;
 }
 
 void
@@ -608,11 +1006,12 @@ Core::dispatchStage()
             cause = StallCause::RobFull;
             break;
         }
-        if (iq.size() >= conf.iqSize) {
+        if ((useEvents ? iqCount : iq.size()) >= conf.iqSize) {
             cause = StallCause::IqFull;
             break;
         }
-        if (pendingOp.isMem() && lsq.size() >= conf.lsqSize) {
+        if (pendingOp.isMem() &&
+            ldq.size() + stq.size() >= conf.lsqSize) {
             cause = StallCause::LsqFull;
             break;
         }
@@ -649,9 +1048,14 @@ Core::dispatchStage()
             lastWriter[entry.op.dst] = seq;
         }
 
-        iq.push_back(seq);
-        if (entry.op.isMem())
-            lsq.push_back(seq);
+        if (useEvents)
+            setupReadiness(entry);
+        else
+            iq.push_back(seq);
+        if (entry.op.isStore())
+            stq.push_back(seq);
+        else if (entry.op.isLoad())
+            ldq.push_back(seq);
         if (sink)
             sink->onDispatch(seq, entry.op, now);
 
@@ -671,10 +1075,15 @@ Core::dispatchStage()
 
     // The model reasons about cycles with zero useful dispatches;
     // count a stall cycle only then, attributed to its primary cause.
-    if (dispatched == 0 && cause != StallCause::None &&
-        !(traceDone && rob.empty())) {
+    // The decision is kept for the event engine's skip accounting: a
+    // tick with no commits/issues/dispatches repeats it verbatim on
+    // every skipped cycle.
+    tickDispatches = dispatched;
+    tickStallCause = cause;
+    tickStallRecorded = dispatched == 0 && cause != StallCause::None &&
+                        !(traceDone && rob.empty());
+    if (tickStallRecorded)
         recordStall(cause);
-    }
 }
 
 } // namespace cpu

@@ -19,8 +19,12 @@
 #ifndef TCASIM_CPU_CORE_HH
 #define TCASIM_CPU_CORE_HH
 
-#include <memory>
+#include <array>
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "cpu/accel_device.hh"
@@ -61,6 +65,37 @@ struct CoreCounters
     std::array<stats::Counter, 10> committedByClass;
 
     void reset();
+};
+
+/**
+ * Which engine drives Core::run(). Both engines model the same
+ * machine and produce byte-identical SimResults, stats trees, and
+ * event streams (the differential fuzz suite asserts this); the event
+ * engine replaces per-cycle polling with dependency wakeups and skips
+ * dead cycles to the next scheduled event. See docs/PERFORMANCE.md.
+ */
+enum class Engine : uint8_t {
+    Auto,      ///< honour $TCA_ENGINE ("event"/"reference"); default event
+    Event,     ///< dependency-wakeup issue + next-event cycle skipping
+    Reference, ///< retained poll-every-cycle tick loop
+};
+
+/** Resolve Engine::Auto against $TCA_ENGINE (default: Event). */
+Engine resolveEngine(Engine requested);
+
+/**
+ * Event-engine introspection for the most recent run. Deliberately
+ * NOT registered in the stats registry: the registry tree must be
+ * byte-identical across engines, and these counters describe the
+ * engine, not the simulated machine.
+ */
+struct EngineStats
+{
+    uint64_t skips = 0;         ///< skip-to-next-event jumps taken
+    uint64_t skippedCycles = 0; ///< cycles bulk-accounted by skips
+    uint64_t wakeups = 0;       ///< consumer wakeups delivered
+    mem::Cycle lastSkipFrom = 0;///< `now` of the last skipping tick
+    mem::Cycle lastSkipTo = 0;  ///< event cycle it advanced to
 };
 
 /**
@@ -158,19 +193,68 @@ class Core
     /** Live tallies for the current/most recent run. */
     const CoreCounters &counters() const { return tallies; }
 
+    /**
+     * Select the engine for subsequent run() calls. Engine::Auto (the
+     * default) honours $TCA_ENGINE — the escape hatch for bisecting a
+     * suspected engine divergence without recompiling.
+     */
+    void setEngine(Engine engine) { engineSel = engine; }
+    Engine selectedEngine() const { return engineSel; }
+
+    /** Skip/wakeup introspection for the most recent run (all zero
+     *  after a reference-engine run). */
+    const EngineStats &engineStats() const { return engineTallies; }
+
   private:
+    /**
+     * Why an issue attempt failed, reported by the issue helpers so
+     * the event engine can park the uop on the exact wakeup that
+     * clears the block (a nullptr report selects the reference
+     * engine's poll-again behaviour). Wake times are never later than
+     * the first cycle the reference engine would succeed; early wakes
+     * are safe because the attempt re-evaluates every condition.
+     */
+    struct IssueBlock
+    {
+        enum class Kind : uint8_t {
+            None,     ///< attempt succeeded
+            Time,     ///< busy resource frees at `wakeAt`
+            Producer, ///< park until `producer` completes
+            Drain,    ///< NL accel: wake when the ROB head advances
+            Retry,    ///< per-cycle FU budget: retry next cycle
+        };
+        Kind kind = Kind::None;
+        mem::Cycle wakeAt = 0;
+        uint64_t producer = noSeq;
+    };
+
+    // --- run loops (see docs/PERFORMANCE.md) ---
+    void runReference();
+    void runEvent();
+
     // --- pipeline stages, called once per cycle in this order ---
     void commitStage();
-    void issueStage();
+    void issueStage();      ///< reference: scan the whole IQ
+    void issueStageEvent(); ///< event: pop the ready queue by age
     void dispatchStage();
 
-    // --- issue helpers ---
+    // --- issue helpers (shared by both engines) ---
     bool operandsReady(const RobEntry &entry) const;
-    bool tryIssue(RobEntry &entry);
-    bool issueLoad(RobEntry &entry);
+    bool tryIssue(RobEntry &entry, IssueBlock *block = nullptr);
+    bool issueLoad(RobEntry &entry, IssueBlock *block);
     bool issueStore(RobEntry &entry);
-    bool issueAccel(RobEntry &entry);
+    bool issueAccel(RobEntry &entry, IssueBlock *block);
     void issueSimple(RobEntry &entry);
+
+    // --- event-engine scheduling ---
+    void setupReadiness(RobEntry &entry); ///< at dispatch
+    void completeEntry(RobEntry &entry);  ///< wake waiters + parked
+    void readyPush(uint64_t seq) { readyQ.push(seq); }
+    void parkBlocked(RobEntry &entry, const IssueBlock &block);
+    void deliverWakeups(); ///< retries + timed parks + completions
+    mem::Cycle nextEventTime() const;
+    void accountSkipped(mem::Cycle first, mem::Cycle last);
+    std::string pendingEventSummary() const;
 
     /** True when a uop's result is available at the current cycle. */
     bool isDone(const RobEntry &entry) const
@@ -195,6 +279,9 @@ class Core
         model::TcaMode mode = model::TcaMode::L_T;
         /** A port runs one invocation at a time. */
         mem::Cycle busyUntil = 0;
+        /** Reused across invocations (cleared each time) so the hot
+         *  path does not allocate a fresh vector per invocation. */
+        std::vector<AccelRequest> requestBuffer;
     };
 
     /** Port for an Accel uop; panics when unbound. */
@@ -209,9 +296,94 @@ class Core
     Rob rob;
     FuPool fuPool;
     PortArbiter memPorts;
-    std::vector<uint64_t> iq;   ///< seqs of dispatched-not-issued uops
-    std::vector<uint64_t> lsq;  ///< seqs of in-flight mem uops, by age
+    std::vector<uint64_t> iq;   ///< reference engine: waiting uops, by age
+    std::deque<uint64_t> ldq;   ///< seqs of in-flight loads, by age
+    std::deque<uint64_t> stq;   ///< seqs of in-flight stores, by age
     std::vector<uint64_t> lastWriter; ///< reg -> producing seq (noSeq)
+
+    // --- event-engine scheduling state (idle under the reference
+    //     engine; reset every run) ---
+    using TimedSeq = std::pair<mem::Cycle, uint64_t>;
+    using TimedSeqHeap =
+        std::priority_queue<TimedSeq, std::vector<TimedSeq>,
+                            std::greater<TimedSeq>>;
+    /**
+     * Completion timing wheel: a completion fewer than kWheelSpan
+     * cycles out (ALU/FPU latencies and cache hits — nearly all of
+     * them) schedules into its ring slot in O(1); only DRAM misses
+     * and accelerator invocations spill to the `completions` heap.
+     * Within-cycle delivery order differs from the heap's seq order,
+     * which is immaterial: completeEntry() only decrements counters
+     * and feeds the age-ordered ready queue.
+     */
+    static constexpr size_t kWheelSpan = 64; // must be a power of two
+    std::array<std::vector<uint64_t>, kWheelSpan> completionWheel;
+    size_t wheelPending = 0; ///< entries across all wheel slots
+    /** (completeCycle, seq) beyond the wheel horizon. */
+    TimedSeqHeap completions;
+    /** (wakeCycle, seq) of attempts parked on a busy port/accel. */
+    TimedSeqHeap timeParked;
+    /**
+     * Operand-ready uops awaiting an issue attempt, popped by age.
+     * Arrivals are usually already age-ordered (dispatch and wakeup
+     * delivery both walk old-to-young), so appends that keep the FIFO
+     * sorted are O(1) and only out-of-order arrivals pay for a heap.
+     * Pops take the global minimum across both, preserving exact
+     * oldest-first issue priority.
+     */
+    struct ReadyQueue
+    {
+        std::deque<uint64_t> fifo; ///< ascending fast path
+        std::priority_queue<uint64_t, std::vector<uint64_t>,
+                            std::greater<uint64_t>> spill;
+
+        bool empty() const { return fifo.empty() && spill.empty(); }
+        size_t size() const { return fifo.size() + spill.size(); }
+        void clear() { fifo.clear(); spill = {}; }
+
+        void
+        push(uint64_t seq)
+        {
+            if (fifo.empty() || seq > fifo.back())
+                fifo.push_back(seq);
+            else
+                spill.push(seq);
+        }
+
+        uint64_t
+        popMin()
+        {
+            if (spill.empty() ||
+                (!fifo.empty() && fifo.front() < spill.top())) {
+                uint64_t seq = fifo.front();
+                fifo.pop_front();
+                return seq;
+            }
+            uint64_t seq = spill.top();
+            spill.pop();
+            return seq;
+        }
+    };
+    ReadyQueue readyQ;
+    /** Attempts blocked on the per-cycle FU budget. */
+    std::vector<uint64_t> retryNextCycle;
+    /** NL accels waiting to become the oldest uncommitted uop; woken
+     *  whenever a cycle retires anything. */
+    std::vector<uint64_t> drainParked;
+    /** Dispatched-not-issued count (the event engine's iq.size()). */
+    size_t iqCount = 0;
+    bool useEvents = false; ///< resolved from engineSel each run
+    Engine engineSel = Engine::Auto;
+    EngineStats engineTallies;
+
+    // Outcome of the current tick, written by the stages: skip
+    // eligibility (nothing committed/issued/dispatched) and the
+    // stall accounting to replicate across skipped cycles.
+    uint32_t tickCommits = 0;
+    uint32_t tickIssues = 0;
+    uint32_t tickDispatches = 0;
+    bool tickStallRecorded = false;
+    StallCause tickStallCause = StallCause::None;
 
     trace::TraceSource *source = nullptr;
     trace::MicroOp pendingOp;

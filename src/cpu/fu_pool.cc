@@ -36,6 +36,30 @@ FuPool::available(trace::OpClass cls) const
     panic("invalid OpClass %d", static_cast<int>(cls));
 }
 
+uint32_t
+FuPool::unitLimit(trace::OpClass cls) const
+{
+    using trace::OpClass;
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::Nop:
+        return conf.intAluUnits;
+      case OpClass::IntMul:
+        return conf.intMulUnits;
+      case OpClass::FpAdd:
+      case OpClass::FpMul:
+      case OpClass::FpMacc:
+        return conf.fpUnits;
+      case OpClass::Branch:
+        return conf.branchUnits;
+      case OpClass::Load:
+      case OpClass::Store:
+      case OpClass::Accel:
+        return UINT32_MAX;
+    }
+    panic("invalid OpClass %d", static_cast<int>(cls));
+}
+
 void
 FuPool::consume(trace::OpClass cls)
 {

@@ -34,6 +34,14 @@ class FuPool
     /** True if a unit for this op class is available this cycle. */
     bool available(trace::OpClass cls) const;
 
+    /**
+     * Configured units in this op class's group (UINT32_MAX for
+     * classes outside the pool: loads, stores, accel). A zero limit
+     * means the class can never issue; the event engine panics on it
+     * immediately instead of spinning into the deadlock watchdog.
+     */
+    uint32_t unitLimit(trace::OpClass cls) const;
+
     /** Consume one unit for this op class. */
     void consume(trace::OpClass cls);
 

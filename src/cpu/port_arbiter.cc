@@ -24,6 +24,12 @@ PortArbiter::availableAt(mem::Cycle cycle) const
 }
 
 mem::Cycle
+PortArbiter::nextAvailableAt() const
+{
+    return *std::min_element(nextFree.begin(), nextFree.end());
+}
+
+mem::Cycle
 PortArbiter::claim(mem::Cycle earliest)
 {
     auto it = std::min_element(nextFree.begin(), nextFree.end());

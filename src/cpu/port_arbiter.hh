@@ -33,6 +33,15 @@ class PortArbiter
     bool availableAt(mem::Cycle cycle) const;
 
     /**
+     * Earliest cycle at which some port can start a request: the
+     * minimum per-port next-free cycle. This is the exact wake time
+     * for an issue attempt parked on port availability — availableAt()
+     * is false for every cycle before it and true at it (until a
+     * claim moves it).
+     */
+    mem::Cycle nextAvailableAt() const;
+
+    /**
      * Claim the earliest available port slot at or after `earliest`.
      *
      * @return the cycle the request actually starts

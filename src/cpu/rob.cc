@@ -18,8 +18,19 @@ Rob::allocate(uint64_t seq)
     tca_assert(!full());
     tca_assert(seq == nextSeq);
     RobEntry &entry = entries[slotOf(seq)];
-    entry = RobEntry{};
+    // Reset fields individually: clear()ing the wakeup lists keeps
+    // their heap capacity for the slot's next occupant, where a
+    // whole-struct reassignment would free and reallocate it every
+    // allocation. `op`/`dispatchCycle` are always written by dispatch
+    // right after this returns, and `issueCycle`/`completeCycle` are
+    // only read once `state` says the uop issued, so none of them
+    // need clearing here.
     entry.seq = seq;
+    entry.state = UopState::Dispatched;
+    entry.srcProducer = {noSeq, noSeq, noSeq};
+    entry.waiters.clear();
+    entry.parkWaiters.clear();
+    entry.notReady = 0;
     ++nextSeq;
     ++count;
     statAllocations.inc();

@@ -47,6 +47,18 @@ struct RobEntry
     mem::Cycle dispatchCycle = 0;
     mem::Cycle issueCycle = 0;
     mem::Cycle completeCycle = 0;
+
+    // Event-engine wakeup bookkeeping (unused by the reference tick
+    // loop; see docs/PERFORMANCE.md). Older uops never depend on
+    // younger ones, so every seq in these lists is > this entry's.
+    /** Consumers whose not-ready count drops when this uop completes. */
+    std::vector<uint64_t> waiters;
+    /** Issue attempts parked until this uop completes (loads waiting
+     *  to forward from this store, TCAs waiting on this low-confidence
+     *  branch). Re-evaluated from scratch when woken. */
+    std::vector<uint64_t> parkWaiters;
+    /** Source operands still waiting on an in-flight producer. */
+    uint8_t notReady = 0;
 };
 
 /**

@@ -63,6 +63,14 @@ inferDirection(const std::string &path)
     if (path.compare(0, 5, "host.") == 0 ||
         containsToken(path, ".host.") || containsToken(path, "rss"))
         return MetricDirection::Unknown;
+    // Error/spread qualifiers trump the throughput tokens below: a
+    // path like metrics.uops_per_sec.mad or modes.L_T.speedup_error
+    // measures noise or misprediction *of* a higher-is-better
+    // quantity, and less of it is better.
+    for (const char *token : {"error", "mad", "warmup"}) {
+        if (containsToken(path, token))
+            return MetricDirection::LowerIsBetter;
+    }
     // Throughput-like tokens next: "uops_per_sec" must not match the
     // cost rules below via a shared substring.
     for (const char *token : {"per_sec", "speedup", "throughput", "ipc",
@@ -70,8 +78,8 @@ inferDirection(const std::string &path)
         if (containsToken(path, token))
             return MetricDirection::HigherIsBetter;
     }
-    for (const char *token : {"error", "cycles", "seconds", "wall",
-                              "latency", "stall", "miss", "mad", "gap",
+    for (const char *token : {"cycles", "seconds", "wall",
+                              "latency", "stall", "miss", "gap",
                               "drain", "conflict"}) {
         if (containsToken(path, token))
             return MetricDirection::LowerIsBetter;

@@ -26,10 +26,11 @@ cpu::SimResult
 runBaselineOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
                 obs::EventSink *sink,
                 const mem::HierarchyConfig &hierarchy_config,
-                stats::StatsSnapshot *stats_out)
+                stats::StatsSnapshot *stats_out, cpu::Engine engine)
 {
     mem::MemHierarchy hierarchy(hierarchy_config);
     cpu::Core cpu(core, hierarchy);
+    cpu.setEngine(engine);
     cpu.setEventSink(sink);
     auto trace = workload.makeBaselineTrace();
     if (!stats_out)
@@ -46,10 +47,11 @@ cpu::SimResult
 runAcceleratedOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
                    model::TcaMode mode, obs::EventSink *sink,
                    const mem::HierarchyConfig &hierarchy_config,
-                   stats::StatsSnapshot *stats_out)
+                   stats::StatsSnapshot *stats_out, cpu::Engine engine)
 {
     mem::MemHierarchy hierarchy(hierarchy_config);
     cpu::Core cpu(core, hierarchy);
+    cpu.setEngine(engine);
     auto trace = workload.makeAcceleratedTrace();
     // The workload's device is shared across mode runs; zero its
     // tallies so each run's stats are per-run like SimResult.
@@ -76,7 +78,8 @@ runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
     // Software baseline on a cold hierarchy.
     result.baseline = runBaselineOnce(
         workload, core, options.sink, options.hierarchy,
-        options.collectStats ? &result.baselineStats : nullptr);
+        options.collectStats ? &result.baselineStats : nullptr,
+        options.engine);
 
     // Calibrate the model from the baseline run and the architect's
     // latency estimate.
@@ -111,7 +114,8 @@ runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
         }
         outcome.sim = runAcceleratedOnce(
             workload, core, mode, run_sink, options.hierarchy,
-            options.collectStats ? &outcome.stats : nullptr);
+            options.collectStats ? &outcome.stats : nullptr,
+            options.engine);
         outcome.functionalOk = workload.verifyFunctional();
         if (options.profileIntervals)
             outcome.intervals = profiler.summary();

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "cpu/core.hh"
 #include "cpu/core_config.hh"
 #include "cpu/sim_result.hh"
 #include "mem/hierarchy.hh"
@@ -114,6 +115,13 @@ struct ExperimentOptions
     obs::EventSink *sink = nullptr;
 
     mem::HierarchyConfig hierarchy{};
+
+    /**
+     * Core engine for every run in the experiment. Auto (the default)
+     * honours $TCA_ENGINE and otherwise selects the event engine; the
+     * differential suite pins both values to prove equivalence.
+     */
+    cpu::Engine engine = cpu::Engine::Auto;
 };
 
 /**
@@ -128,7 +136,8 @@ cpu::SimResult
 runBaselineOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
                 obs::EventSink *sink = nullptr,
                 const mem::HierarchyConfig &hierarchy = {},
-                stats::StatsSnapshot *stats_out = nullptr);
+                stats::StatsSnapshot *stats_out = nullptr,
+                cpu::Engine engine = cpu::Engine::Auto);
 
 /**
  * Run a workload's accelerated trace once in the given TCA mode:
@@ -140,7 +149,8 @@ cpu::SimResult
 runAcceleratedOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
                    model::TcaMode mode, obs::EventSink *sink = nullptr,
                    const mem::HierarchyConfig &hierarchy = {},
-                   stats::StatsSnapshot *stats_out = nullptr);
+                   stats::StatsSnapshot *stats_out = nullptr,
+                   cpu::Engine engine = cpu::Engine::Auto);
 
 /**
  * Run the full validation flow for one workload on one core.

@@ -27,6 +27,8 @@
 #include "workloads/experiment.hh"
 #include "workloads/synthetic.hh"
 
+#include "fuzz_configs.hh"
+
 namespace tca {
 namespace {
 
@@ -166,52 +168,14 @@ class InvariantChecker : public obs::EventSink
     std::string first;
 };
 
-/** A random but always-valid core geometry. */
-cpu::CoreConfig
-randomCore(Rng &rng, size_t index)
-{
-    cpu::CoreConfig core;
-    core.name = "fuzz" + std::to_string(index);
-    core.dispatchWidth = static_cast<uint32_t>(rng.nextRange(1, 4));
-    core.issueWidth = static_cast<uint32_t>(rng.nextRange(1, 4));
-    core.commitWidth = static_cast<uint32_t>(rng.nextRange(1, 4));
-    core.robSize = static_cast<uint32_t>(rng.nextRange(16, 96));
-    core.iqSize = std::min(
-        core.robSize, static_cast<uint32_t>(rng.nextRange(8, 64)));
-    core.lsqSize = std::min(
-        core.robSize, static_cast<uint32_t>(rng.nextRange(8, 48)));
-    core.memPorts = static_cast<uint32_t>(rng.nextRange(1, 3));
-    core.intAluUnits = static_cast<uint32_t>(rng.nextRange(1, 3));
-    core.intMulUnits = static_cast<uint32_t>(rng.nextRange(1, 2));
-    core.fpUnits = static_cast<uint32_t>(rng.nextRange(1, 2));
-    core.branchUnits = static_cast<uint32_t>(rng.nextRange(1, 2));
-    core.commitLatency = static_cast<uint32_t>(rng.nextRange(1, 12));
-    core.redirectPenalty = static_cast<uint32_t>(rng.nextRange(4, 16));
-    core.validate();
-    return core;
-}
-
-workloads::SyntheticConfig
-randomWorkload(Rng &rng, size_t index)
-{
-    workloads::SyntheticConfig conf;
-    conf.fillerUops = rng.nextRange(600, 2400);
-    conf.numInvocations = static_cast<uint32_t>(rng.nextRange(1, 4));
-    conf.regionUops = static_cast<uint32_t>(rng.nextRange(40, 120));
-    conf.accelLatency = static_cast<uint32_t>(rng.nextRange(8, 64));
-    conf.accelMemRequests = static_cast<uint32_t>(rng.nextRange(0, 4));
-    conf.mispredictRate = rng.nextDouble() * 0.01;
-    conf.seed = 7000 + index;
-    return conf;
-}
-
 TEST(CoreInvariantsFuzzTest, RandomConfigsHoldWindowInvariants)
 {
     constexpr size_t kConfigs = 200;
     for (size_t i = 0; i < kConfigs; ++i) {
         Rng rng(0xfeed0000 + i);
-        cpu::CoreConfig core = randomCore(rng, i);
-        workloads::SyntheticWorkload workload(randomWorkload(rng, i));
+        cpu::CoreConfig core = test::randomFuzzCore(rng, i);
+        workloads::SyntheticWorkload workload(
+            test::randomFuzzWorkload(rng, i));
         model::TcaMode mode = model::allTcaModes[i % 4];
 
         {

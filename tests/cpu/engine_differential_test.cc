@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Differential suite for the event-driven core engine: every config in
+ * the 200-entry core-invariants fuzz grid runs twice — once on the
+ * event engine (wakeup lists + cycle skipping) and once on the
+ * retained reference tick loop — and the two runs must be
+ * byte-identical in all three observable artifacts:
+ *  - the SimResult (every field, including the stall-cause and
+ *    per-class breakdown arrays);
+ *  - the rendered stats tree (cpu.core.*, mem.*, accel.*);
+ *  - the full pipeline event stream, folded through an
+ *    order-sensitive checksum over every EventSink callback.
+ *
+ * The grid shares its generators with core_invariants_fuzz_test
+ * (tests/cpu/fuzz_configs.hh), so any geometry that suite proves the
+ * window invariants for, this suite proves engine-equivalent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "cpu/core_config.hh"
+#include "cpu/sim_result.hh"
+#include "model/tca_mode.hh"
+#include "obs/event_sink.hh"
+#include "util/random.hh"
+#include "workloads/experiment.hh"
+#include "workloads/synthetic.hh"
+
+#include "fuzz_configs.hh"
+
+namespace tca {
+namespace {
+
+/**
+ * Folds every pipeline event — handler identity and all arguments —
+ * into one order-sensitive FNV-1a stream hash. Two runs produce the
+ * same digest iff they emitted the same events with the same arguments
+ * in the same order. Per-handler counters make a mismatch attributable
+ * to a callback kind without storing the (multi-megabyte) streams.
+ */
+class StreamDigestSink : public obs::EventSink
+{
+  public:
+    uint64_t digest() const { return hash; }
+    uint64_t events() const { return numEvents; }
+    uint64_t cycles() const { return numCycles; }
+    uint64_t stalls() const { return numStalls; }
+    uint64_t commits() const { return numCommits; }
+
+    void
+    onRunBegin(const obs::RunContext &ctx) override
+    {
+        tag(1);
+        str(ctx.coreName);
+        u64(ctx.robSize);
+        u64(ctx.dispatchWidth);
+        u64(ctx.issueWidth);
+        u64(ctx.commitWidth);
+        u64(ctx.commitLatency);
+        u64(ctx.memPorts);
+        for (const std::string &name : ctx.stallCauseNames)
+            str(name);
+    }
+
+    void
+    onRunEnd(mem::Cycle cycles, uint64_t committed) override
+    {
+        tag(2);
+        u64(cycles);
+        u64(committed);
+    }
+
+    void
+    onCycle(mem::Cycle now, uint32_t occupancy) override
+    {
+        tag(3);
+        u64(now);
+        u64(occupancy);
+        ++numCycles;
+    }
+
+    void
+    onDispatch(uint64_t seq, const trace::MicroOp &op,
+               mem::Cycle now) override
+    {
+        tag(4);
+        u64(seq);
+        u64(static_cast<uint64_t>(op.cls));
+        u64(op.addr);
+        u64(op.dst);
+        u64(op.size);
+        u64(op.mispredicted ? 1 : 0);
+        u64(op.accelInvocation);
+        u64(op.accelPort);
+        u64(now);
+    }
+
+    void
+    onIssue(uint64_t seq, mem::Cycle now) override
+    {
+        tag(5);
+        u64(seq);
+        u64(now);
+    }
+
+    void
+    onCommit(const obs::UopLifecycle &uop) override
+    {
+        tag(6);
+        u64(uop.seq);
+        u64(static_cast<uint64_t>(uop.cls));
+        u64(uop.addr);
+        u64(uop.accelPort);
+        u64(uop.accelInvocation);
+        u64(uop.mispredicted ? 1 : 0);
+        u64(uop.dispatch);
+        u64(uop.issue);
+        u64(uop.complete);
+        u64(uop.commit);
+        ++numCommits;
+    }
+
+    void
+    onDispatchStall(uint8_t cause, mem::Cycle now) override
+    {
+        tag(7);
+        u64(cause);
+        u64(now);
+        ++numStalls;
+    }
+
+    void
+    onRobAllocate(uint64_t seq, uint32_t occupancy) override
+    {
+        tag(8);
+        u64(seq);
+        u64(occupancy);
+    }
+
+    void
+    onRobRetire(uint64_t seq, uint32_t occupancy) override
+    {
+        tag(9);
+        u64(seq);
+        u64(occupancy);
+    }
+
+    void
+    onMemPortClaim(mem::Cycle requested, mem::Cycle granted) override
+    {
+        tag(10);
+        u64(requested);
+        u64(granted);
+    }
+
+    void
+    onAccelInvocation(uint8_t port, uint32_t invocation,
+                      const char *device, mem::Cycle start,
+                      mem::Cycle complete, uint32_t compute_latency,
+                      uint32_t num_requests) override
+    {
+        tag(11);
+        u64(port);
+        u64(invocation);
+        str(device);
+        u64(start);
+        u64(complete);
+        u64(compute_latency);
+        u64(num_requests);
+    }
+
+    void
+    onAccelDeviceEvent(const char *device, const char *event,
+                       uint64_t value) override
+    {
+        tag(12);
+        str(device);
+        str(event);
+        u64(value);
+    }
+
+  private:
+    static constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+    static constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+    void
+    byte(uint8_t b)
+    {
+        hash = (hash ^ b) * kFnvPrime;
+    }
+
+    void
+    tag(uint8_t kind)
+    {
+        byte(kind);
+        ++numEvents;
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            byte(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        for (char c : s)
+            byte(static_cast<uint8_t>(c));
+    }
+
+    void
+    str(const char *s)
+    {
+        str(std::string(s ? s : ""));
+    }
+
+    uint64_t hash = kFnvOffset;
+    uint64_t numEvents = 0;
+    uint64_t numCycles = 0;
+    uint64_t numStalls = 0;
+    uint64_t numCommits = 0;
+};
+
+/** Field-by-field SimResult comparison with readable failures. */
+void
+expectSameResult(const cpu::SimResult &event, const cpu::SimResult &ref,
+                 const std::string &label)
+{
+    EXPECT_EQ(event.cycles, ref.cycles) << label;
+    EXPECT_EQ(event.committedUops, ref.committedUops) << label;
+    EXPECT_EQ(event.committedAcceleratable, ref.committedAcceleratable)
+        << label;
+    EXPECT_EQ(event.accelInvocations, ref.accelInvocations) << label;
+    EXPECT_EQ(event.accelLatencyTotal, ref.accelLatencyTotal) << label;
+    EXPECT_EQ(event.robOccupancySum, ref.robOccupancySum) << label;
+    for (size_t c = 0; c < event.stallCycles.size(); ++c) {
+        EXPECT_EQ(event.stallCycles[c], ref.stallCycles[c])
+            << label << " stall cause "
+            << cpu::stallCauseName(static_cast<cpu::StallCause>(c));
+    }
+    for (size_t c = 0; c < event.committedByClass.size(); ++c) {
+        EXPECT_EQ(event.committedByClass[c], ref.committedByClass[c])
+            << label << " op class " << c;
+    }
+}
+
+/** Compare the two engines' full artifact sets for one run. */
+void
+expectSameRun(const cpu::SimResult &event_result,
+              const StreamDigestSink &event_sink,
+              const stats::StatsSnapshot &event_stats,
+              const cpu::SimResult &ref_result,
+              const StreamDigestSink &ref_sink,
+              const stats::StatsSnapshot &ref_stats,
+              const std::string &label)
+{
+    expectSameResult(event_result, ref_result, label);
+
+    // Stream digest: every event, every argument, in order. The
+    // per-kind counters narrow down which callback diverged.
+    EXPECT_EQ(event_sink.events(), ref_sink.events()) << label;
+    EXPECT_EQ(event_sink.cycles(), ref_sink.cycles()) << label;
+    EXPECT_EQ(event_sink.stalls(), ref_sink.stalls()) << label;
+    EXPECT_EQ(event_sink.commits(), ref_sink.commits()) << label;
+    EXPECT_EQ(event_sink.digest(), ref_sink.digest()) << label;
+
+    // Rendered stats tree (counters, gauges, histograms, formulas).
+    EXPECT_EQ(event_stats.str(), ref_stats.str()) << label;
+}
+
+TEST(EngineDifferentialTest, FuzzGridByteIdentical)
+{
+    constexpr size_t kConfigs = 200;
+    for (size_t i = 0; i < kConfigs; ++i) {
+        // Exactly the core-invariants fuzz grid: same seeds, same
+        // geometry/workload generators, same mode rotation.
+        Rng rng(0xfeed0000 + i);
+        cpu::CoreConfig core = test::randomFuzzCore(rng, i);
+        workloads::SyntheticConfig wl = test::randomFuzzWorkload(rng, i);
+        model::TcaMode mode = model::allTcaModes[i % 4];
+
+        std::string label =
+            "config " + std::to_string(i) + " mode " +
+            model::tcaModeName(mode);
+
+        {
+            workloads::SyntheticWorkload workload(wl);
+            StreamDigestSink event_sink, ref_sink;
+            stats::StatsSnapshot event_stats, ref_stats;
+            cpu::SimResult event_result = workloads::runBaselineOnce(
+                workload, core, &event_sink, {}, &event_stats,
+                cpu::Engine::Event);
+            cpu::SimResult ref_result = workloads::runBaselineOnce(
+                workload, core, &ref_sink, {}, &ref_stats,
+                cpu::Engine::Reference);
+            expectSameRun(event_result, event_sink, event_stats,
+                          ref_result, ref_sink, ref_stats,
+                          label + " baseline");
+        }
+        {
+            workloads::SyntheticWorkload workload(wl);
+            StreamDigestSink event_sink, ref_sink;
+            stats::StatsSnapshot event_stats, ref_stats;
+            cpu::SimResult event_result = workloads::runAcceleratedOnce(
+                workload, core, mode, &event_sink, {}, &event_stats,
+                cpu::Engine::Event);
+            cpu::SimResult ref_result = workloads::runAcceleratedOnce(
+                workload, core, mode, &ref_sink, {}, &ref_stats,
+                cpu::Engine::Reference);
+            EXPECT_GT(event_result.accelInvocations, 0u) << label;
+            expectSameRun(event_result, event_sink, event_stats,
+                          ref_result, ref_sink, ref_stats,
+                          label + " accelerated");
+        }
+
+        if (HasFatalFailure() || HasNonfatalFailure())
+            break; // the first diverging config is enough signal
+    }
+}
+
+/**
+ * The experiment driver (baseline + model calibration + all four mode
+ * runs) must produce identical speedups and error percentages under
+ * either engine — the end-to-end path the benches and figures use.
+ */
+TEST(EngineDifferentialTest, ExperimentsMatchAcrossEngines)
+{
+    workloads::SyntheticConfig wl;
+    wl.fillerUops = 4000;
+    wl.numInvocations = 4;
+    wl.regionUops = 80;
+    wl.accelLatency = 32;
+    wl.accelMemRequests = 3;
+    wl.mispredictRate = 0.004;
+    wl.seed = 42;
+
+    cpu::CoreConfig core;
+    core.validate();
+
+    workloads::ExperimentOptions event_opts;
+    event_opts.engine = cpu::Engine::Event;
+    event_opts.profileIntervals = true;
+    workloads::ExperimentOptions ref_opts = event_opts;
+    ref_opts.engine = cpu::Engine::Reference;
+
+    workloads::SyntheticWorkload event_wl(wl), ref_wl(wl);
+    workloads::ExperimentResult event_result =
+        workloads::runExperiment(event_wl, core, event_opts);
+    workloads::ExperimentResult ref_result =
+        workloads::runExperiment(ref_wl, core, ref_opts);
+
+    expectSameResult(event_result.baseline, ref_result.baseline,
+                     "experiment baseline");
+    for (size_t m = 0; m < model::allTcaModes.size(); ++m) {
+        const workloads::ModeOutcome &ev = event_result.modes[m];
+        const workloads::ModeOutcome &rf = ref_result.modes[m];
+        std::string label = std::string("experiment mode ") +
+                            model::tcaModeName(ev.mode);
+        expectSameResult(ev.sim, rf.sim, label);
+        EXPECT_EQ(ev.measuredSpeedup, rf.measuredSpeedup) << label;
+        EXPECT_EQ(ev.modeledSpeedup, rf.modeledSpeedup) << label;
+        EXPECT_EQ(ev.errorPercent, rf.errorPercent) << label;
+        EXPECT_EQ(ev.intervals.accelLatency.numSamples(),
+                  rf.intervals.accelLatency.numSamples())
+            << label;
+        EXPECT_EQ(ev.intervals.accelLatency.mean(),
+                  rf.intervals.accelLatency.mean())
+            << label;
+        EXPECT_EQ(ev.intervals.accelLatency.buckets(),
+                  rf.intervals.accelLatency.buckets())
+            << label;
+    }
+}
+
+} // namespace
+} // namespace tca

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Seeded-random (but always valid) core geometries and synthetic
+ * workload shapes, shared by the window-invariant fuzz suite and the
+ * event-vs-reference engine differential suite so both sweep the
+ * exact same 200-config grid.
+ */
+
+#ifndef TCASIM_TESTS_CPU_FUZZ_CONFIGS_HH
+#define TCASIM_TESTS_CPU_FUZZ_CONFIGS_HH
+
+#include <algorithm>
+#include <string>
+
+#include "cpu/core_config.hh"
+#include "util/random.hh"
+#include "workloads/synthetic.hh"
+
+namespace tca {
+namespace test {
+
+/** A random but always-valid core geometry. */
+inline cpu::CoreConfig
+randomFuzzCore(Rng &rng, size_t index)
+{
+    cpu::CoreConfig core;
+    core.name = "fuzz" + std::to_string(index);
+    core.dispatchWidth = static_cast<uint32_t>(rng.nextRange(1, 4));
+    core.issueWidth = static_cast<uint32_t>(rng.nextRange(1, 4));
+    core.commitWidth = static_cast<uint32_t>(rng.nextRange(1, 4));
+    core.robSize = static_cast<uint32_t>(rng.nextRange(16, 96));
+    core.iqSize = std::min(
+        core.robSize, static_cast<uint32_t>(rng.nextRange(8, 64)));
+    core.lsqSize = std::min(
+        core.robSize, static_cast<uint32_t>(rng.nextRange(8, 48)));
+    core.memPorts = static_cast<uint32_t>(rng.nextRange(1, 3));
+    core.intAluUnits = static_cast<uint32_t>(rng.nextRange(1, 3));
+    core.intMulUnits = static_cast<uint32_t>(rng.nextRange(1, 2));
+    core.fpUnits = static_cast<uint32_t>(rng.nextRange(1, 2));
+    core.branchUnits = static_cast<uint32_t>(rng.nextRange(1, 2));
+    core.commitLatency = static_cast<uint32_t>(rng.nextRange(1, 12));
+    core.redirectPenalty = static_cast<uint32_t>(rng.nextRange(4, 16));
+    core.validate();
+    return core;
+}
+
+/** A small synthetic workload to run on it. */
+inline workloads::SyntheticConfig
+randomFuzzWorkload(Rng &rng, size_t index)
+{
+    workloads::SyntheticConfig conf;
+    conf.fillerUops = rng.nextRange(600, 2400);
+    conf.numInvocations = static_cast<uint32_t>(rng.nextRange(1, 4));
+    conf.regionUops = static_cast<uint32_t>(rng.nextRange(40, 120));
+    conf.accelLatency = static_cast<uint32_t>(rng.nextRange(8, 64));
+    conf.accelMemRequests = static_cast<uint32_t>(rng.nextRange(0, 4));
+    conf.mispredictRate = rng.nextDouble() * 0.01;
+    conf.seed = 7000 + index;
+    return conf;
+}
+
+} // namespace test
+} // namespace tca
+
+#endif // TCASIM_TESTS_CPU_FUZZ_CONFIGS_HH

@@ -47,6 +47,29 @@ TEST(StatDiff, InferDirectionFromNameTokens)
     EXPECT_EQ(inferDirection("bench_schema"), MD::Unknown);
 }
 
+TEST(StatDiff, ThroughputAndSpreadTokensDisambiguate)
+{
+    using MD = MetricDirection;
+    // Simulator-throughput metrics gate on higher-is-better...
+    EXPECT_EQ(inferDirection("metrics.sim_uops_per_sec"),
+              MD::HigherIsBetter);
+    EXPECT_EQ(inferDirection("heap_cold.metrics.uops_per_sec.mean"),
+              MD::HigherIsBetter);
+    EXPECT_EQ(inferDirection("L_NT.measured_speedup"),
+              MD::HigherIsBetter);
+    // ...but their error/spread companions must not: a growing MAD on
+    // a throughput metric is a regression, and a "speedup_error" is an
+    // error first, a speedup second.
+    EXPECT_EQ(inferDirection("metrics.uops_per_sec.mad"),
+              MD::LowerIsBetter);
+    EXPECT_EQ(inferDirection("model_error.L_T.speedup_error"),
+              MD::LowerIsBetter);
+    EXPECT_EQ(inferDirection("metrics.warmup_seconds"),
+              MD::LowerIsBetter);
+    EXPECT_EQ(inferDirection("metrics.wall_seconds.mad"),
+              MD::LowerIsBetter);
+}
+
 TEST(StatDiff, ConflictsAreLowerIsBetter)
 {
     using MD = MetricDirection;
