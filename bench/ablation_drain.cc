@@ -15,6 +15,7 @@
 #include "cpu/core.hh"
 #include "model/interval_model.hh"
 #include "model/validation.hh"
+#include "obs/critical_path.hh"
 #include "obs/interval_profiler.hh"
 #include "obs/timeseries.hh"
 #include "util/table.hh"
@@ -29,7 +30,8 @@ namespace {
 
 cpu::SimResult
 simulate(SyntheticWorkload &workload, TcaMode mode, bool accelerated,
-         obs::EventSink *sink = nullptr)
+         obs::EventSink *sink = nullptr,
+         obs::CriticalPathTracker *cp = nullptr)
 {
     mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
     cpu::Core core(cpu::a72CoreConfig(), hierarchy);
@@ -38,6 +40,7 @@ simulate(SyntheticWorkload &workload, TcaMode mode, bool accelerated,
     if (accelerated)
         core.bindAccelerator(&workload.device(), mode);
     core.setEventSink(sink);
+    core.setCriticalPathTracker(cp);
     return core.run(*trace);
 }
 
@@ -68,9 +71,10 @@ main()
     obs::IntervalProfiler profiler;
     obs::TimeSeriesRecorder timeseries(2048);
     obs::MultiSink sinks({&profiler, &timeseries});
+    obs::CriticalPathTracker nlt_cp;
     double meas_nlt =
         base_cycles /
-        simulate(workload, TcaMode::NL_T, true, &sinks).cycles;
+        simulate(workload, TcaMode::NL_T, true, &sinks, &nlt_cp).cycles;
     obs::IntervalSummary nlt_intervals = profiler.summary();
     std::vector<obs::Epoch> nlt_epochs = timeseries.epochs();
     double meas_nlnt =
@@ -112,6 +116,26 @@ main()
                 "intervals): %.1f cycles/invocation\n",
                 static_cast<unsigned long long>(nlt_intervals.count),
                 nlt_intervals.mean.drain);
+
+    // Exact accounting of the same quantity: cycles the critical-path
+    // tracker attributed to nl_drain edges, per invocation that
+    // actually waited on a drain. Unlike the profiler's interval
+    // geometry this is a per-uop attribution, so it also reports how
+    // many drain waits there were and what they cost on the retired
+    // critical path itself.
+    const obs::CpReport &cp = nlt_cp.report();
+    std::printf("measured NL_T drain (critical-path edges, %llu "
+                "waits): %.1f cycles/invocation\n",
+                static_cast<unsigned long long>(
+                    cp.waitCounts[static_cast<size_t>(
+                        obs::CpCause::NlDrain)]),
+                obs::cpDrainWaitPerInvocation(cp));
+    std::printf("nl_drain cycles on the retired critical path: %llu "
+                "of %llu total\n",
+                static_cast<unsigned long long>(
+                    cp.pathCycles[static_cast<size_t>(
+                        obs::CpCause::NlDrain)]),
+                static_cast<unsigned long long>(cp.totalCycles));
 
     // ROB-occupancy time series of the same NL_T run: is the window
     // actually full of unexecuted work when the TCA dispatches?

@@ -12,6 +12,7 @@
 #include "model/interval_model.hh"
 #include "model/sweeps.hh"
 #include "obs/bench_harness.hh"
+#include "obs/critical_path.hh"
 #include "obs/interval_profiler.hh"
 #include "obs/pipeview.hh"
 #include "obs/timeseries.hh"
@@ -61,7 +62,8 @@ BENCHMARK(BM_HeatmapSweep)->Arg(16)->Arg(32);
  */
 static void
 simulatorThroughput(benchmark::State &state, obs::EventSink *sink,
-                    stats::StatsSnapshot *stats_out = nullptr)
+                    stats::StatsSnapshot *stats_out = nullptr,
+                    obs::CriticalPathTracker *cp = nullptr)
 {
     workloads::SyntheticConfig conf;
     conf.fillerUops = static_cast<uint64_t>(state.range(0));
@@ -73,7 +75,8 @@ simulatorThroughput(benchmark::State &state, obs::EventSink *sink,
     obs::WallTimer timer;
     for (auto _ : state) {
         cpu::SimResult r = workloads::runBaselineOnce(
-            workload, core_conf, sink, {}, stats_out);
+            workload, core_conf, sink, {}, stats_out,
+            cpu::Engine::Auto, cp);
         uops += r.committedUops;
         benchmark::DoNotOptimize(r.cycles);
     }
@@ -106,6 +109,22 @@ BM_SimulatorThroughputStatsRegistered(benchmark::State &state)
     simulatorThroughput(state, nullptr, &snapshot);
 }
 BENCHMARK(BM_SimulatorThroughputStatsRegistered)->Arg(50000)->Unit(
+    benchmark::kMillisecond);
+
+/**
+ * Critical-path tracker attached: per-uop candidate-edge recording at
+ * dispatch/issue/commit plus the final backward walk. The detached
+ * case is BM_SimulatorThroughput itself — every hook there is a single
+ * null-pointer test, so that variant doubles as the <=1%-overhead
+ * acceptance bar for the tracker being *absent*.
+ */
+static void
+BM_SimulatorThroughputCpTracked(benchmark::State &state)
+{
+    obs::CriticalPathTracker tracker;
+    simulatorThroughput(state, nullptr, nullptr, &tracker);
+}
+BENCHMARK(BM_SimulatorThroughputCpTracked)->Arg(50000)->Unit(
     benchmark::kMillisecond);
 
 /** Sink attached but every handler a no-op: the virtual-call floor. */

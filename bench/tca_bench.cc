@@ -12,7 +12,7 @@
  * across runs; CI gates on them.
  *
  * Usage: tca_bench [--repeats N] [--warmup N] [--quick] [--filter S]
- *                  [--out DIR] [--jobs N] [--list]
+ *                  [--out-dir DIR] [--jobs N] [--list]
  */
 
 #include <cmath>
@@ -58,6 +58,10 @@ accumulateExperiment(const ExperimentResult &r, ScenarioMetrics &m)
     IntervalTimes times = predictor.times();
     for (size_t i = 0; i < r.modes.size(); ++i) {
         const ModeOutcome &mode = r.modes[i];
+        if (mode.hasCp) {
+            mergeCpReports(m.cp, mode.cp);
+            m.hasCp = true;
+        }
         if (m.modeErrors.size() <= i) {
             ModeErrorReport report;
             report.mode = tcaModeName(mode.mode);
@@ -104,6 +108,7 @@ experimentScenario(std::string name, std::string description,
                    ExperimentOptions options = {})
 {
     options.profileIntervals = true;
+    options.trackCriticalPath = true;
     BenchScenario scenario;
     scenario.name = std::move(name);
     scenario.description = std::move(description);
@@ -330,14 +335,18 @@ usage(const char *argv0, int code)
     std::fprintf(
         code ? stderr : stdout,
         "usage: %s [--repeats N] [--warmup N] [--quick] [--filter S]\n"
-        "          [--out DIR] [--jobs N] [--engine E] [--list]\n"
+        "          [--out-dir DIR] [--jobs N] [--engine E] [--list]\n"
         "\n"
         "Runs the scenario registry and writes one BENCH_<name>.json\n"
-        "per scenario (to --out, else $TCA_OUT_DIR, else '.').\n"
+        "per scenario.\n"
         "  --repeats N   timed repeats per scenario (default 3)\n"
         "  --warmup N    untimed warmup runs per scenario (default 1)\n"
         "  --quick       reduced workload sizes (CI smoke)\n"
         "  --filter S    only scenarios whose name contains S\n"
+        "  --out-dir DIR directory the records are written to; the\n"
+        "                flag takes precedence over $TCA_OUT_DIR, and\n"
+        "                '.' is the fallback when neither is set\n"
+        "                (--out is an alias)\n"
         "  --jobs N      scenario-level parallelism (default $TCA_JOBS,\n"
         "                else hardware concurrency; 1 = serial)\n"
         "  --engine E    core engine: 'event' (default) or 'reference'\n"
@@ -373,7 +382,7 @@ main(int argc, char **argv)
             options.quick = true;
         } else if (arg == "--filter") {
             options.filter = value();
-        } else if (arg == "--out") {
+        } else if (arg == "--out" || arg == "--out-dir") {
             options.outDir = value();
         } else if (arg == "--jobs") {
             options.jobs = std::atoi(value());

@@ -133,8 +133,10 @@ Core::resetRunState()
     traceDone = false;
     redirectPending = false;
     resumeDispatchAt = 0;
+    redirectBranchSeq = 0;
     barrierActive = false;
     barrierSeq = 0;
+    cpNote = CpIssueNote{};
     for (AccelPortState &port : accelPorts)
         port.busyUntil = 0;
     fuPool.resetStats();
@@ -203,6 +205,8 @@ Core::run(trace::TraceSource &trace_source)
         }
         sink->onRunBegin(ctx);
     }
+    if (cpTracker)
+        cpTracker->onRunBegin(conf.commitLatency, conf.robSize);
 
     if (useEvents)
         runEvent();
@@ -210,6 +214,8 @@ Core::run(trace::TraceSource &trace_source)
         runReference();
 
     materializeResult();
+    if (cpTracker)
+        cpTracker->finalize(result.cycles);
     if (sink)
         sink->onRunEnd(result.cycles, result.committedUops);
     source = nullptr;
@@ -444,6 +450,24 @@ Core::regStats(stats::StatsRegistry &registry,
 }
 
 void
+Core::regEngineStats(stats::StatsRegistry &registry,
+                     const std::string &prefix) const
+{
+    registry.addFormula(
+        prefix + ".skips",
+        [this] { return double(engineTallies.skips); },
+        "skip-to-next-event jumps taken");
+    registry.addFormula(
+        prefix + ".skipped_cycles",
+        [this] { return double(engineTallies.skippedCycles); },
+        "cycles bulk-accounted by skips");
+    registry.addFormula(
+        prefix + ".wakeups",
+        [this] { return double(engineTallies.wakeups); },
+        "consumer wakeups delivered");
+}
+
+void
 Core::recordStall(StallCause cause)
 {
     tallies.stallCycles[static_cast<size_t>(cause)].inc();
@@ -491,6 +515,8 @@ Core::commitStage()
             uop.commit = now;
             sink->onCommit(uop);
         }
+        if (cpTracker)
+            cpTracker->onCommitUop(head.seq, now);
         rob.retireHead();
         ++retired;
     }
@@ -559,6 +585,8 @@ Core::issueLoad(RobEntry &entry, IssueBlock *block)
             return false;
         }
         entry.completeCycle = now + conf.forwardLatency;
+        if (cpTracker)
+            cpNote.forwardStore = store->seq;
     } else {
         if (!memPorts.availableAt(now)) {
             if (block) {
@@ -566,6 +594,10 @@ Core::issueLoad(RobEntry &entry, IssueBlock *block)
                 block->wakeAt = memPorts.nextAvailableAt();
             }
             return false;
+        }
+        if (cpTracker) {
+            cpNote.portUsed = true;
+            cpNote.portClear = memPorts.nextAvailableAt();
         }
         mem::Cycle start = memPorts.claim(now);
         entry.completeCycle = mem.firstLevel().access(
@@ -630,6 +662,10 @@ Core::issueAccel(RobEntry &entry, IssueBlock *block)
         }
         return false;
     }
+    if (cpTracker) {
+        cpNote.portUsed = true;
+        cpNote.portClear = memPorts.nextAvailableAt();
+    }
 
     std::vector<AccelRequest> &requests = port.requestBuffer;
     requests.clear();
@@ -682,6 +718,8 @@ Core::tryIssue(RobEntry &entry, IssueBlock *block)
     // readiness is established by the producers' completion wakeups.
     if (!block && !operandsReady(entry))
         return false;
+    if (cpTracker)
+        cpNote = CpIssueNote{};
 
     switch (entry.op.cls) {
       case OpClass::Load:
@@ -711,6 +749,8 @@ Core::tryIssue(RobEntry &entry, IssueBlock *block)
     entry.issueCycle = now;
     if (sink)
         sink->onIssue(entry.seq, now);
+    if (cpTracker)
+        cpRecordIssue(entry);
 
     if (useEvents) {
         // Schedule the completion wakeup. A zero-latency result is
@@ -728,6 +768,103 @@ Core::tryIssue(RobEntry &entry, IssueBlock *block)
         }
     }
     return true;
+}
+
+void
+Core::cpRecordIssue(RobEntry &entry)
+{
+    using obs::CpCause;
+    using obs::CpEdge;
+
+    // Candidate last-unblocking edges, all computed from
+    // engine-invariant simulated state at issue success. Every clear
+    // time is <= now; the tracker picks the latest as the winner.
+    std::array<CpEdge, 12> cand;
+    size_t n = 0;
+
+    // Dispatch order: the earliest this uop could ever have issued.
+    cand[n++] = CpEdge{entry.dispatchCycle + 1, CpCause::Dispatch,
+                       entry.seq};
+
+    // Register operands: the producer's completion cleared the edge.
+    // srcProducer only names producers still live at dispatch, so the
+    // tracker has a record (with complete filled: the producer is done
+    // or this uop could not issue).
+    for (uint64_t producer : entry.srcProducer) {
+        if (producer == noSeq)
+            continue;
+        cand[n++] = CpEdge{cpTracker->completeOf(producer),
+                           CpCause::DataDep, producer};
+    }
+
+    if (cpNote.forwardStore != noSeq) {
+        cand[n++] = CpEdge{cpTracker->completeOf(cpNote.forwardStore),
+                           CpCause::StoreForward, cpNote.forwardStore};
+    }
+    if (cpNote.portUsed) {
+        // The arbiter's minimum next-free cycle, captured before this
+        // uop's claim: the first cycle a shared memory port was free.
+        cand[n++] = CpEdge{cpNote.portClear, CpCause::MemPortBusy,
+                           obs::cpNoSeq};
+    }
+
+    if (entry.op.isAccel()) {
+        AccelPortState &port = portFor(entry.op);
+        // The port runs one invocation at a time; busyUntil always
+        // equals the previous invocation's completeCycle.
+        uint64_t prev = cpTracker->lastAccelSeqOnPort(entry.op.accelPort);
+        if (prev != obs::cpNoSeq) {
+            cand[n++] = CpEdge{cpTracker->completeOf(prev),
+                               CpCause::AccelBusy, prev};
+        }
+        if (!model::allowsLeading(port.mode)) {
+            // NL drain: issue required seq-1's retirement, which
+            // happened in this cycle's commit stage at the latest.
+            if (entry.seq > 0) {
+                cand[n++] = CpEdge{cpTracker->commitOf(entry.seq - 1),
+                                   CpCause::NlDrain, entry.seq - 1};
+            }
+        } else if (partialSpeculation) {
+            CpEdge edge = cpTracker->lowConfidenceEdge(entry.seq);
+            if (edge.pred != obs::cpNoSeq)
+                cand[n++] = edge;
+        }
+    }
+
+    cpTracker->onIssueUop(entry.seq, now, entry.completeCycle,
+                          cand.data(), n);
+    if (entry.op.isAccel())
+        cpTracker->noteAccelIssue(entry.op.accelPort, entry.seq);
+}
+
+void
+Core::cpNoteDispatchBlock(StallCause cause)
+{
+    using obs::CpCause;
+    switch (cause) {
+      case StallCause::RobFull:
+        // The slot frees when the oldest of the robSize live entries
+        // retires.
+        cpTracker->noteDispatchBlock(CpCause::RobFull,
+                                     rob.next() - conf.robSize);
+        return;
+      case StallCause::IqFull:
+        cpTracker->noteDispatchBlock(CpCause::IqFull, rob.next() - 1);
+        return;
+      case StallCause::LsqFull:
+        cpTracker->noteDispatchBlock(CpCause::LsqFull, rob.next() - 1);
+        return;
+      case StallCause::SerializeBarrier:
+        cpTracker->noteDispatchBlock(CpCause::SerializeBarrier,
+                                     barrierSeq);
+        return;
+      case StallCause::BranchRedirect:
+        cpTracker->noteDispatchBlock(CpCause::BranchRedirect,
+                                     redirectBranchSeq);
+        return;
+      default:
+        return;
+    }
 }
 
 void
@@ -1058,10 +1195,17 @@ Core::dispatchStage()
             ldq.push_back(seq);
         if (sink)
             sink->onDispatch(seq, entry.op, now);
+        if (cpTracker) {
+            cpTracker->onDispatchUop(
+                seq, static_cast<uint8_t>(entry.op.cls),
+                entry.op.isAccel(),
+                entry.op.isBranch() && entry.op.lowConfidence, now);
+        }
 
         if (entry.op.isBranch() && entry.op.mispredicted) {
             // Younger uops are wrong-path until the branch resolves.
             redirectPending = true;
+            redirectBranchSeq = seq;
         }
         if (entry.op.isAccel() &&
             !model::allowsTrailing(portFor(entry.op).mode)) {
@@ -1084,6 +1228,18 @@ Core::dispatchStage()
                         !(traceDone && rob.empty());
     if (tickStallRecorded)
         recordStall(cause);
+
+    // Remember why dispatch is blocked for the *next* uop's edge
+    // (consumed at its eventual dispatch; overwritten every blocked
+    // attempt, so the note reflects the last one). Engine-identical:
+    // the cause can only change at a tick both engines execute —
+    // every input to the cascade moves via commits/issues/dispatches,
+    // and the redirect-expiry boundary (resumeDispatchAt) is itself a
+    // next-event candidate, so skipped cycles repeat the note verbatim.
+    if (cpTracker && cause != StallCause::None &&
+        cause != StallCause::TraceEmpty) {
+        cpNoteDispatchBlock(cause);
+    }
 }
 
 } // namespace cpu

@@ -36,6 +36,7 @@
 #include "cpu/sim_result.hh"
 #include "mem/hierarchy.hh"
 #include "model/tca_mode.hh"
+#include "obs/critical_path.hh"
 #include "obs/event_sink.hh"
 #include "stats/registry.hh"
 #include "stats/stats.hh"
@@ -84,10 +85,11 @@ enum class Engine : uint8_t {
 Engine resolveEngine(Engine requested);
 
 /**
- * Event-engine introspection for the most recent run. Deliberately
- * NOT registered in the stats registry: the registry tree must be
- * byte-identical across engines, and these counters describe the
- * engine, not the simulated machine.
+ * Event-engine introspection for the most recent run. Registered
+ * under cpu.engine.* by Core::regEngineStats() so engine behavior is
+ * diffable via tca_compare; these counters describe the engine, not
+ * the simulated machine, so they legitimately differ between engines
+ * (the differential suite excludes the subtree when comparing trees).
  */
 struct EngineStats
 {
@@ -157,6 +159,20 @@ class Core
     void setEventSink(obs::EventSink *s) { sink = s; }
 
     /**
+     * Attach a critical-path tracker (not owned; nullptr detaches).
+     * While attached, every run records each uop's last-unblocking
+     * edge and finalize() produces the exact critical path (see
+     * obs/critical_path.hh). Recording reads only simulated-machine
+     * state that is identical across engines at the same cycle, so
+     * both engines produce byte-identical reports. With no tracker
+     * (the default) each recording site is one null-pointer test.
+     */
+    void setCriticalPathTracker(obs::CriticalPathTracker *tracker)
+    {
+        cpTracker = tracker;
+    }
+
+    /**
      * Simulate a trace to completion.
      *
      * @param source the uop stream (consumed)
@@ -189,6 +205,17 @@ class Core
      */
     void regStats(stats::StatsRegistry &registry,
                   const std::string &prefix = "cpu.core") const;
+
+    /**
+     * Register the run-engine's own counters (skips, skipped cycles,
+     * wakeups) under `prefix`. Separate from regStats because these
+     * describe the engine rather than the simulated machine: they
+     * differ between engines by design, so tree-identity checks must
+     * exclude the subtree. Formula-backed (lazy) so a snapshot taken
+     * after the run reads the final values.
+     */
+    void regEngineStats(stats::StatsRegistry &registry,
+                        const std::string &prefix = "cpu.engine") const;
 
     /** Live tallies for the current/most recent run. */
     const CoreCounters &counters() const { return tallies; }
@@ -268,6 +295,21 @@ class Core
 
     void recordStall(StallCause cause);
     void resetRunState();
+
+    // --- critical-path recording (no-ops unless cpTracker is set) ---
+    /** Issue-site details the candidate edges need, captured by the
+     *  issue helpers on the success path of the current attempt. */
+    struct CpIssueNote
+    {
+        mem::Cycle portClear = 0;   ///< port next-free before claim
+        bool portUsed = false;      ///< attempt claimed a memory port
+        uint64_t forwardStore = noSeq; ///< store that forwarded data
+    };
+    /** Assemble candidate edges for a just-issued uop and record them
+     *  with the winning (latest-clearing) one. */
+    void cpRecordIssue(RobEntry &entry);
+    /** Report this cycle's dispatch-block cause to the tracker. */
+    void cpNoteDispatchBlock(StallCause cause);
 
     /** Fill `result` from the run's tallies (at run end). */
     void materializeResult();
@@ -393,6 +435,7 @@ class Core
     // Front-end redirect state for mispredicted branches.
     bool redirectPending = false;       ///< branch dispatched, unissued
     mem::Cycle resumeDispatchAt = 0;    ///< known once branch issues
+    uint64_t redirectBranchSeq = 0;     ///< the mispredicted branch
 
     // NT-mode dispatch barrier.
     bool barrierActive = false;
@@ -407,6 +450,10 @@ class Core
 
     // Optional pipeline-event sink (not owned).
     obs::EventSink *sink = nullptr;
+
+    // Optional critical-path tracker (not owned).
+    obs::CriticalPathTracker *cpTracker = nullptr;
+    CpIssueNote cpNote;
 
     CoreCounters tallies;
     SimResult result;

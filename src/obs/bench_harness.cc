@@ -138,6 +138,8 @@ BenchHarness::runScenario(const BenchScenario &scenario)
         outcome.simCycles = metrics.simCycles;
         outcome.committedUops = metrics.committedUops;
         outcome.modeErrors = std::move(metrics.modeErrors);
+        outcome.cp = std::move(metrics.cp);
+        outcome.hasCp = metrics.hasCp;
     }
     outcome.wallSeconds = summarize(std::move(wall));
     outcome.uopsPerSec = summarize(std::move(rate));
@@ -287,6 +289,32 @@ BenchHarness::writeBenchJson(const ScenarioOutcome &outcome,
         }
         w.endObject();
         manifest.setRawJson("model_error", os.str());
+    }
+    if (outcome.hasCp) {
+        // Critical-path attribution summed over the scenario's runs;
+        // the cause map mirrors cp.json so tca_trace diff and
+        // tca_compare read both artifacts with the same paths.
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.beginObject();
+        w.kv("total_cycles", outcome.cp.totalCycles);
+        w.kv("uops", outcome.cp.numUops);
+        w.kv("drain_wait_per_invocation",
+             cpDrainWaitPerInvocation(outcome.cp));
+        w.key("path_cycles");
+        w.beginObject();
+        for (size_t i = 0; i < kNumCpCauses; ++i)
+            w.kv(cpCauseName(static_cast<CpCause>(i)),
+                 outcome.cp.pathCycles[i]);
+        w.endObject();
+        w.key("wait_cycles");
+        w.beginObject();
+        for (size_t i = 0; i < kNumCpCauses; ++i)
+            w.kv(cpCauseName(static_cast<CpCause>(i)),
+                 outcome.cp.waitCycles[i]);
+        w.endObject();
+        w.endObject();
+        manifest.setRawJson("cp", os.str());
     }
     {
         std::ostringstream os;

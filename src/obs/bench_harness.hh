@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/critical_path.hh"
 #include "obs/host_profile.hh"
 #include "obs/interval_profiler.hh"
 
@@ -96,6 +97,11 @@ struct ScenarioMetrics
     uint64_t simCycles = 0;      ///< simulated cycles, all runs summed
     uint64_t committedUops = 0;  ///< committed uops, all runs summed
     std::vector<ModeErrorReport> modeErrors;
+
+    /** Critical-path attribution summed over all runs (mergeCpReports);
+     *  written into the record's `cp` block when hasCp is set. */
+    CpReport cp;
+    bool hasCp = false;
 };
 
 /** A registered scenario. */
@@ -139,6 +145,8 @@ struct ScenarioOutcome
     uint64_t simCycles = 0;
     uint64_t committedUops = 0;
     std::vector<ModeErrorReport> modeErrors;
+    CpReport cp;       ///< critical-path attribution, last repeat's
+    bool hasCp = false;
     /** What the whole scenario (warmup + repeats) cost the host:
      *  peak RSS, worker-thread CPU time, and hardware counters where
      *  the kernel permits perf_event_open. */

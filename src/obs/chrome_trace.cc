@@ -43,10 +43,30 @@ ChromeTraceWriter::ChromeTraceWriter(size_t window_size,
     ring.reserve(window < 4096 ? window : 4096);
 }
 
+ChromeTraceWriter::~ChromeTraceWriter()
+{
+    if (panicHookId)
+        removePanicHook(panicHookId);
+}
+
 size_t
 ChromeTraceWriter::size() const
 {
     return ring.size();
+}
+
+void
+ChromeTraceWriter::flushOnPanic(const std::string &path)
+{
+    if (panicHookId)
+        removePanicHook(panicHookId);
+    panicPath = path;
+    panicHookId = addPanicHook([this] {
+        std::ofstream out(panicPath);
+        if (!out)
+            return; // dying anyway; nowhere to complain usefully
+        write(out);
+    });
 }
 
 void

@@ -48,6 +48,9 @@ class ChromeTraceWriter : public EventSink
     explicit ChromeTraceWriter(size_t window = 4096,
                                mem::Cycle counter_period = 64);
 
+    /** Deregisters any flushOnPanic() hook. */
+    ~ChromeTraceWriter() override;
+
     /** Retained uop records (<= window). */
     size_t size() const;
 
@@ -71,6 +74,15 @@ class ChromeTraceWriter : public EventSink
      * @return the path written, or "" when disabled/failed
      */
     std::string writeIfRequested(const std::string &run_name) const;
+
+    /**
+     * Register a panic hook that writes the retained trace to `path`,
+     * so a deadlock-watchdog panic mid-run still leaves a complete,
+     * loadable trace document (write() closes every container for
+     * whatever was retained at the time). Calling again replaces the
+     * previous registration; the destructor deregisters it.
+     */
+    void flushOnPanic(const std::string &path);
 
     // EventSink
     void onRunBegin(const RunContext &ctx) override;
@@ -120,6 +132,9 @@ class ChromeTraceWriter : public EventSink
     mem::Cycle nextCounterAt = 0;
     mem::Cycle runCycles = 0;
     uint64_t runUops = 0;
+
+    uint64_t panicHookId = 0;   ///< 0 = no flushOnPanic registration
+    std::string panicPath;      ///< where the panic hook writes
 };
 
 } // namespace obs

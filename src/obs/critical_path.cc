@@ -1,0 +1,820 @@
+/**
+ * @file
+ * CriticalPathTracker implementation: per-uop edge recording, the
+ * backward walk that attributes every simulated cycle to one cause,
+ * the issue-wait decomposition, and the cp.json / text renderings.
+ *
+ * Walk soundness rests on two properties the recording protocol
+ * guarantees (and span() asserts):
+ *  - every transition moves to a state whose anchor cycle is <= the
+ *    current one (commit >= complete >= issue > dispatch, and every
+ *    candidate edge clears at or before the issue it unblocked), so
+ *    segment lengths telescope to exactly total_cycles;
+ *  - every transition strictly decreases (seq, stage-rank), so the
+ *    walk terminates at the first uop's dispatch.
+ */
+
+#include "obs/critical_path.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace tca {
+namespace obs {
+
+namespace {
+
+const char *const kCauseNames[kNumCpCauses] = {
+    "dispatch",
+    "rob_full",
+    "iq_full",
+    "lsq_full",
+    "serialize_barrier",
+    "branch_redirect",
+    "data_dep",
+    "store_forward",
+    "fu_busy",
+    "mem_port_busy",
+    "accel_busy",
+    "nl_drain",
+    "branch_confidence",
+    "execute",
+    "accel_execute",
+    "commit",
+};
+
+constexpr size_t
+idx(CpCause cause)
+{
+    return static_cast<size_t>(cause);
+}
+
+/**
+ * Injective tie-break rank among issue-candidate causes: with equal
+ * clear cycles the higher rank wins the edge (and, in the wait sweep,
+ * the covering interval). Producer-backed causes outrank resource
+ * causes so zero-length completion edges chain the walk through real
+ * uops instead of dead-ending at a resource.
+ */
+int
+edgeRank(CpCause cause)
+{
+    switch (cause) {
+      case CpCause::Dispatch:         return 0;
+      case CpCause::MemPortBusy:      return 1;
+      case CpCause::DataDep:          return 2;
+      case CpCause::StoreForward:     return 3;
+      case CpCause::AccelBusy:        return 4;
+      case CpCause::BranchConfidence: return 5;
+      case CpCause::NlDrain:          return 6;
+      default:                        return -1;
+    }
+}
+
+/** hi - lo with the walk's monotonicity invariant asserted. */
+mem::Cycle
+span(mem::Cycle hi, mem::Cycle lo)
+{
+    tca_assert(hi >= lo);
+    return hi - lo;
+}
+
+/** Most candidate edges a single uop can present (dispatch + 3
+ *  operands + forward + port + accel-busy + drain + confidence). */
+constexpr size_t kMaxCandidates = 12;
+
+} // anonymous namespace
+
+std::string
+cpCauseName(CpCause cause)
+{
+    tca_assert(idx(cause) < kNumCpCauses);
+    return kCauseNames[idx(cause)];
+}
+
+CpCause
+parseCpCause(const std::string &name)
+{
+    for (size_t i = 0; i < kNumCpCauses; ++i) {
+        if (name == kCauseNames[i])
+            return static_cast<CpCause>(i);
+    }
+    return CpCause::NumCauses;
+}
+
+uint64_t
+CpReport::pathCyclesTotal() const
+{
+    uint64_t sum = 0;
+    for (uint64_t cycles : pathCycles)
+        sum += cycles;
+    return sum;
+}
+
+CriticalPathTracker::CriticalPathTracker()
+    : slackDist(4, 64)
+{
+}
+
+void
+CriticalPathTracker::onRunBegin(uint32_t commit_latency, uint32_t rob_size)
+{
+    commitLatency = commit_latency;
+    robSize = rob_size;
+    records.clear();
+    onPath.clear();
+    lastAccelSeq.clear();
+    notePending = false;
+    noteCause = CpCause::Dispatch;
+    noteBlocker = cpNoSeq;
+    rpt = CpReport{};
+
+    statTotalCycles.reset();
+    statUops.reset();
+    statPathLength.reset();
+    for (size_t i = 0; i < kNumCpCauses; ++i) {
+        statPathCycles[i].reset();
+        statPathCounts[i].reset();
+        statWaitCycles[i].reset();
+        statWaitCounts[i].reset();
+    }
+    slackDist.reset();
+}
+
+void
+CriticalPathTracker::onDispatchUop(uint64_t seq, uint8_t cls, bool is_accel,
+                                   bool low_conf_branch, mem::Cycle dispatch)
+{
+    tca_assert(seq == records.size());
+    records.emplace_back();
+    UopRec &rec = records.back();
+    rec.dispatch = dispatch;
+    rec.cls = cls;
+    rec.isAccel = is_accel;
+    rec.lowConfBranch = low_conf_branch;
+    if (notePending) {
+        rec.dispatchCause = noteCause;
+        rec.dispatchPred = noteBlocker;
+        notePending = false;
+    }
+}
+
+void
+CriticalPathTracker::noteDispatchBlock(CpCause cause, uint64_t blocker)
+{
+    notePending = true;
+    noteCause = cause;
+    noteBlocker = blocker;
+}
+
+void
+CriticalPathTracker::onIssueUop(uint64_t seq, mem::Cycle issue,
+                                mem::Cycle complete,
+                                const CpEdge *candidates, size_t count)
+{
+    tca_assert(seq < records.size());
+    tca_assert(count > 0 && count <= kMaxCandidates);
+    UopRec &rec = records[seq];
+    rec.issue = issue;
+    rec.complete = complete;
+
+    // Winner: latest clear; ties by rank, then larger predecessor.
+    const CpEdge *best = &candidates[0];
+    for (size_t i = 1; i < count; ++i) {
+        const CpEdge &edge = candidates[i];
+        tca_assert(edge.clear <= issue);
+        if (edge.clear > best->clear) {
+            best = &edge;
+            continue;
+        }
+        if (edge.clear < best->clear)
+            continue;
+        int rankEdge = edgeRank(edge.cause);
+        int rankBest = edgeRank(best->cause);
+        if (rankEdge > rankBest ||
+            (rankEdge == rankBest && edge.pred > best->pred &&
+             edge.pred != cpNoSeq)) {
+            best = &edge;
+        }
+    }
+    tca_assert(candidates[0].clear <= issue);
+    rec.effReady = best->clear;
+    rec.issueCause = best->cause;
+    rec.issuePred = best->pred;
+
+    // Wait decomposition over (dispatch + 1, issue]: sort candidates
+    // by descending clear (ascending rank within ties, so the
+    // highest-ranked cause is last in a tie run and owns the interval
+    // down to the next strictly-lower clear); each candidate covers
+    // the interval between its own clear and the next one down, the
+    // residual above the latest clear is FU/issue-width contention.
+    auto before = [](const CpEdge &a, const CpEdge &b) {
+        if (a.clear != b.clear)
+            return a.clear > b.clear;
+        int rankA = edgeRank(a.cause);
+        int rankB = edgeRank(b.cause);
+        if (rankA != rankB)
+            return rankA < rankB;
+        return a.pred < b.pred;
+    };
+    std::array<CpEdge, kMaxCandidates> sorted;
+    std::copy(candidates, candidates + count, sorted.begin());
+    for (size_t i = 1; i < count; ++i) {
+        CpEdge edge = sorted[i];
+        size_t j = i;
+        for (; j > 0 && before(edge, sorted[j - 1]); --j)
+            sorted[j] = sorted[j - 1];
+        sorted[j] = edge;
+    }
+
+    auto addWait = [&](CpCause cause, mem::Cycle cycles) {
+        if (!cycles)
+            return;
+        rpt.waitCycles[idx(cause)] += cycles;
+        rpt.waitCounts[idx(cause)] += 1;
+    };
+    const mem::Cycle base = rec.dispatch + 1;
+    addWait(CpCause::FuBusy, span(issue, std::max(sorted[0].clear, base)));
+    for (size_t k = 0; k < count; ++k) {
+        mem::Cycle hi = std::max(sorted[k].clear, base);
+        mem::Cycle lo =
+            k + 1 < count ? std::max(sorted[k + 1].clear, base) : base;
+        if (hi > lo)
+            addWait(sorted[k].cause, hi - lo);
+    }
+}
+
+void
+CriticalPathTracker::onCommitUop(uint64_t seq, mem::Cycle commit)
+{
+    tca_assert(seq < records.size());
+    UopRec &rec = records[seq];
+    rec.commit = commit;
+    rec.committed = true;
+}
+
+uint64_t
+CriticalPathTracker::lastAccelSeqOnPort(uint8_t port) const
+{
+    return port < lastAccelSeq.size() ? lastAccelSeq[port] : cpNoSeq;
+}
+
+void
+CriticalPathTracker::noteAccelIssue(uint8_t port, uint64_t seq)
+{
+    if (port >= lastAccelSeq.size())
+        lastAccelSeq.resize(port + 1, cpNoSeq);
+    lastAccelSeq[port] = seq;
+}
+
+CpEdge
+CriticalPathTracker::lowConfidenceEdge(uint64_t seq) const
+{
+    CpEdge edge;
+    edge.cause = CpCause::BranchConfidence;
+    uint64_t lo = seq > robSize ? seq - robSize : 0;
+    for (uint64_t i = lo; i < seq && i < records.size(); ++i) {
+        const UopRec &rec = records[i];
+        if (!rec.lowConfBranch || rec.complete == 0)
+            continue;
+        if (edge.pred == cpNoSeq || rec.complete > edge.clear ||
+            (rec.complete == edge.clear && i > edge.pred)) {
+            edge.clear = rec.complete;
+            edge.pred = i;
+        }
+    }
+    return edge;
+}
+
+void
+CriticalPathTracker::emitSegment(uint64_t seq, CpCause cause,
+                                 mem::Cycle cycles, mem::Cycle at,
+                                 uint64_t pred)
+{
+    rpt.pathCycles[idx(cause)] += cycles;
+    rpt.pathCounts[idx(cause)] += 1;
+    rpt.numSegments += 1;
+    if (rpt.path.size() < kCpMaxPathSegments)
+        rpt.path.push_back(CpSegment{seq, cause, cycles, at, pred});
+    else
+        rpt.pathTruncated = true;
+    if (seq != cpNoSeq && seq < onPath.size())
+        onPath[seq] = true;
+    if (pred != cpNoSeq && pred < onPath.size())
+        onPath[pred] = true;
+}
+
+void
+CriticalPathTracker::walkPath(mem::Cycle total)
+{
+    onPath.assign(records.size(), false);
+
+    // Last committed uop; commits are in-order, so scan from the back.
+    uint64_t last = records.size();
+    while (last > 0 && !records[last - 1].committed)
+        --last;
+    if (last == 0) {
+        // Nothing retired (empty trace): the whole run is front-end.
+        emitSegment(0, CpCause::Dispatch, total, total, cpNoSeq);
+        return;
+    }
+    --last;
+
+    enum class Stage : uint8_t { Disp, Iss, Compl, Comm };
+    uint64_t seq = last;
+    Stage stage = Stage::Comm;
+    emitSegment(seq, CpCause::Commit, span(total, records[seq].commit),
+                total, seq);
+
+    bool done = false;
+    while (!done) {
+        const UopRec &rec = records[seq];
+        switch (stage) {
+          case Stage::Comm:
+            if (seq > 0 &&
+                rec.commit > rec.complete + commitLatency) {
+                // Retired later than its own eligibility: bound by
+                // in-order retirement / commit width of seq - 1.
+                emitSegment(seq, CpCause::Commit,
+                            span(rec.commit, records[seq - 1].commit),
+                            rec.commit, seq - 1);
+                --seq;
+            } else {
+                emitSegment(seq, CpCause::Commit,
+                            span(rec.commit, rec.complete), rec.commit,
+                            seq);
+                stage = Stage::Compl;
+            }
+            break;
+
+          case Stage::Compl:
+            emitSegment(seq,
+                        rec.isAccel ? CpCause::AccelExecute
+                                    : CpCause::Execute,
+                        span(rec.complete, rec.issue), rec.complete, seq);
+            stage = Stage::Iss;
+            break;
+
+          case Stage::Iss: {
+            if (rec.issue > rec.effReady) {
+                emitSegment(seq, CpCause::FuBusy,
+                            span(rec.issue, rec.effReady), rec.issue, seq);
+            }
+            switch (rec.issueCause) {
+              case CpCause::DataDep:
+              case CpCause::StoreForward:
+              case CpCause::BranchConfidence:
+              case CpCause::AccelBusy: {
+                uint64_t pred = rec.issuePred;
+                tca_assert(pred != cpNoSeq && pred < seq);
+                emitSegment(seq, rec.issueCause,
+                            span(rec.effReady, records[pred].complete),
+                            rec.effReady, pred);
+                seq = pred;
+                stage = Stage::Compl;
+                break;
+              }
+              case CpCause::NlDrain: {
+                uint64_t pred = rec.issuePred;
+                tca_assert(pred != cpNoSeq && pred < seq);
+                emitSegment(seq, CpCause::NlDrain,
+                            span(rec.effReady, records[pred].commit),
+                            rec.effReady, pred);
+                seq = pred;
+                stage = Stage::Comm;
+                break;
+              }
+              case CpCause::MemPortBusy:
+                emitSegment(seq, CpCause::MemPortBusy,
+                            span(rec.effReady, rec.dispatch), rec.effReady,
+                            seq);
+                stage = Stage::Disp;
+                break;
+              default:
+                emitSegment(seq, CpCause::Dispatch,
+                            span(rec.effReady, rec.dispatch), rec.effReady,
+                            seq);
+                stage = Stage::Disp;
+                break;
+            }
+            break;
+          }
+
+          case Stage::Disp: {
+            mem::Cycle dispatch = rec.dispatch;
+            switch (rec.dispatchCause) {
+              case CpCause::RobFull:
+              case CpCause::SerializeBarrier: {
+                uint64_t pred = rec.dispatchPred;
+                tca_assert(pred != cpNoSeq && pred < seq);
+                emitSegment(seq, rec.dispatchCause,
+                            span(dispatch, records[pred].commit), dispatch,
+                            pred);
+                seq = pred;
+                stage = Stage::Comm;
+                break;
+              }
+              case CpCause::BranchRedirect: {
+                uint64_t pred = rec.dispatchPred;
+                tca_assert(pred != cpNoSeq && pred < seq);
+                emitSegment(seq, CpCause::BranchRedirect,
+                            span(dispatch, records[pred].complete),
+                            dispatch, pred);
+                seq = pred;
+                stage = Stage::Compl;
+                break;
+              }
+              case CpCause::IqFull:
+              case CpCause::LsqFull:
+                tca_assert(seq > 0);
+                emitSegment(seq, rec.dispatchCause,
+                            span(dispatch, records[seq - 1].dispatch),
+                            dispatch, seq - 1);
+                --seq;
+                break;
+              default:
+                if (seq == 0) {
+                    if (dispatch > 0) {
+                        emitSegment(seq, CpCause::Dispatch, dispatch,
+                                    dispatch, cpNoSeq);
+                    }
+                    done = true;
+                    break;
+                }
+                emitSegment(seq, CpCause::Dispatch,
+                            span(dispatch, records[seq - 1].dispatch),
+                            dispatch, seq - 1);
+                --seq;
+                break;
+            }
+            break;
+          }
+        }
+    }
+}
+
+void
+CriticalPathTracker::finalize(mem::Cycle total_cycles)
+{
+    rpt.totalCycles = total_cycles;
+    rpt.numUops = records.size();
+    walkPath(total_cycles);
+
+    for (size_t i = 0; i < records.size(); ++i) {
+        const UopRec &rec = records[i];
+        if (!rec.committed || onPath[i])
+            continue;
+        uint64_t slack = span(rec.commit, rec.complete + commitLatency);
+        slackDist.sample(static_cast<double>(slack));
+        if (slack > rpt.slackMax)
+            rpt.slackMax = slack;
+    }
+    rpt.slackSamples = slackDist.numSamples();
+    rpt.slackMean = slackDist.mean();
+
+    // The invariant the whole design exists to satisfy.
+    tca_assert(rpt.pathCyclesTotal() == rpt.totalCycles);
+
+    statTotalCycles.reset();
+    statUops.reset();
+    statPathLength.reset();
+    statTotalCycles.inc(rpt.totalCycles);
+    statUops.inc(rpt.numUops);
+    statPathLength.inc(rpt.numSegments);
+    for (size_t i = 0; i < kNumCpCauses; ++i) {
+        statPathCycles[i].reset();
+        statPathCounts[i].reset();
+        statWaitCycles[i].reset();
+        statWaitCounts[i].reset();
+        statPathCycles[i].inc(rpt.pathCycles[i]);
+        statPathCounts[i].inc(rpt.pathCounts[i]);
+        statWaitCycles[i].inc(rpt.waitCycles[i]);
+        statWaitCounts[i].inc(rpt.waitCounts[i]);
+    }
+}
+
+void
+CriticalPathTracker::regStats(stats::StatsRegistry &registry,
+                              const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".total_cycles", &statTotalCycles,
+                        "cycles attributed by the critical-path walk");
+    registry.addCounter(prefix + ".uops", &statUops,
+                        "uops observed by the tracker");
+    registry.addCounter(prefix + ".path.length", &statPathLength,
+                        "critical-path segments");
+    for (size_t i = 0; i < kNumCpCauses; ++i) {
+        const std::string cause = kCauseNames[i];
+        registry.addCounter(prefix + ".path.cycles." + cause,
+                            &statPathCycles[i],
+                            "critical-path cycles: " + cause);
+        registry.addCounter(prefix + ".path.edges." + cause,
+                            &statPathCounts[i],
+                            "critical-path edges: " + cause);
+        registry.addCounter(prefix + ".wait.cycles." + cause,
+                            &statWaitCycles[i],
+                            "issue-wait cycles: " + cause);
+        registry.addCounter(prefix + ".wait.edges." + cause,
+                            &statWaitCounts[i],
+                            "issue waits: " + cause);
+    }
+    registry.addHistogram(prefix + ".slack", &slackDist,
+                          "commit-wait slack of off-path uops (cycles)");
+}
+
+double
+cpDrainWaitPerInvocation(const CpReport &report)
+{
+    uint64_t waits = report.waitCounts[idx(CpCause::NlDrain)];
+    if (!waits)
+        return 0.0;
+    return static_cast<double>(report.waitCycles[idx(CpCause::NlDrain)]) /
+           static_cast<double>(waits);
+}
+
+void
+mergeCpReports(CpReport &dst, const CpReport &src)
+{
+    dst.totalCycles += src.totalCycles;
+    dst.numUops += src.numUops;
+    dst.numSegments += src.numSegments;
+    dst.pathTruncated = dst.pathTruncated || src.pathTruncated;
+    for (size_t i = 0; i < kNumCpCauses; ++i) {
+        dst.pathCycles[i] += src.pathCycles[i];
+        dst.pathCounts[i] += src.pathCounts[i];
+        dst.waitCycles[i] += src.waitCycles[i];
+        dst.waitCounts[i] += src.waitCounts[i];
+    }
+    uint64_t samples = dst.slackSamples + src.slackSamples;
+    if (samples) {
+        dst.slackMean =
+            (dst.slackMean * static_cast<double>(dst.slackSamples) +
+             src.slackMean * static_cast<double>(src.slackSamples)) /
+            static_cast<double>(samples);
+    }
+    dst.slackSamples = samples;
+    if (src.slackMax > dst.slackMax)
+        dst.slackMax = src.slackMax;
+    dst.path.clear();
+}
+
+namespace {
+
+void
+writeCauseMap(JsonWriter &json, const char *key,
+              const std::array<uint64_t, kNumCpCauses> &values)
+{
+    json.key(key);
+    json.beginObject();
+    for (size_t i = 0; i < kNumCpCauses; ++i)
+        json.kv(kCauseNames[i], values[i]);
+    json.endObject();
+}
+
+} // anonymous namespace
+
+void
+writeCpJson(const CpReport &report, std::ostream &os)
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.kv("total_cycles", report.totalCycles);
+    json.kv("uops", report.numUops);
+    json.kv("segments", report.numSegments);
+    json.kv("truncated", report.pathTruncated);
+    writeCauseMap(json, "path_cycles", report.pathCycles);
+    writeCauseMap(json, "path_edges", report.pathCounts);
+    writeCauseMap(json, "wait_cycles", report.waitCycles);
+    writeCauseMap(json, "wait_edges", report.waitCounts);
+    json.key("slack");
+    json.beginObject();
+    json.kv("samples", report.slackSamples);
+    json.kv("mean", report.slackMean);
+    json.kv("max", report.slackMax);
+    json.endObject();
+    json.key("path");
+    json.beginArray();
+    for (const CpSegment &seg : report.path) {
+        json.beginObject();
+        json.kv("seq", seg.seq);
+        json.kv("cause", cpCauseName(seg.cause));
+        json.kv("cycles", seg.cycles);
+        json.kv("at", seg.at);
+        if (seg.pred != cpNoSeq)
+            json.kv("pred", seg.pred);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    os << "\n";
+}
+
+std::string
+cpJsonString(const CpReport &report)
+{
+    std::ostringstream os;
+    writeCpJson(report, os);
+    return os.str();
+}
+
+bool
+parseCpJson(const std::string &text, CpReport &out, std::string *error)
+{
+    JsonValue doc;
+    if (!parseJson(text, doc, error))
+        return false;
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = "cp.json: " + msg;
+        return false;
+    };
+    if (!doc.isObject())
+        return fail("root is not an object");
+
+    CpReport report;
+    auto readNumber = [&](const JsonValue &parent, const char *key,
+                          uint64_t &dst) {
+        const JsonValue *v = parent.find(key);
+        if (!v || !v->isNumber())
+            return false;
+        dst = static_cast<uint64_t>(v->number);
+        return true;
+    };
+    if (!readNumber(doc, "total_cycles", report.totalCycles))
+        return fail("missing total_cycles");
+    if (!readNumber(doc, "uops", report.numUops))
+        return fail("missing uops");
+    if (!readNumber(doc, "segments", report.numSegments))
+        return fail("missing segments");
+    const JsonValue *truncated = doc.find("truncated");
+    report.pathTruncated =
+        truncated && truncated->kind == JsonValue::Kind::Bool &&
+        truncated->boolean;
+
+    auto readCauseMap = [&](const char *key,
+                            std::array<uint64_t, kNumCpCauses> &dst) {
+        const JsonValue *v = doc.find(key);
+        if (!v || !v->isObject())
+            return false;
+        for (const auto &member : v->members) {
+            CpCause cause = parseCpCause(member.first);
+            if (cause == CpCause::NumCauses || !member.second.isNumber())
+                return false;
+            dst[idx(cause)] =
+                static_cast<uint64_t>(member.second.number);
+        }
+        return true;
+    };
+    if (!readCauseMap("path_cycles", report.pathCycles))
+        return fail("bad path_cycles");
+    if (!readCauseMap("path_edges", report.pathCounts))
+        return fail("bad path_edges");
+    if (!readCauseMap("wait_cycles", report.waitCycles))
+        return fail("bad wait_cycles");
+    if (!readCauseMap("wait_edges", report.waitCounts))
+        return fail("bad wait_edges");
+
+    const JsonValue *slack = doc.find("slack");
+    if (!slack || !slack->isObject())
+        return fail("missing slack");
+    if (!readNumber(*slack, "samples", report.slackSamples))
+        return fail("bad slack.samples");
+    const JsonValue *mean = slack->find("mean");
+    if (!mean || !mean->isNumber())
+        return fail("bad slack.mean");
+    report.slackMean = mean->number;
+    if (!readNumber(*slack, "max", report.slackMax))
+        return fail("bad slack.max");
+
+    const JsonValue *path = doc.find("path");
+    if (!path || !path->isArray())
+        return fail("missing path");
+    for (const JsonValue &item : path->items) {
+        if (!item.isObject())
+            return fail("path entry is not an object");
+        CpSegment seg;
+        if (!readNumber(item, "seq", seg.seq))
+            return fail("path entry missing seq");
+        const JsonValue *cause = item.find("cause");
+        if (!cause || !cause->isString())
+            return fail("path entry missing cause");
+        seg.cause = parseCpCause(cause->str);
+        if (seg.cause == CpCause::NumCauses)
+            return fail("unknown cause '" + cause->str + "'");
+        if (!readNumber(item, "cycles", seg.cycles))
+            return fail("path entry missing cycles");
+        if (!readNumber(item, "at", seg.at))
+            return fail("path entry missing at");
+        if (!readNumber(item, "pred", seg.pred))
+            seg.pred = cpNoSeq;
+        report.path.push_back(seg);
+    }
+
+    out = std::move(report);
+    return true;
+}
+
+std::string
+formatCpSummary(const CpReport &report)
+{
+    char line[160];
+    std::string out;
+
+    std::snprintf(line, sizeof(line),
+                  "critical path: %" PRIu64 " cycles, %" PRIu64
+                  " uops, %" PRIu64 " segments%s\n",
+                  report.totalCycles, report.numUops, report.numSegments,
+                  report.pathTruncated ? " (tail retained)" : "");
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "off-path slack: %" PRIu64
+                  " samples, mean %.2f, max %" PRIu64 "\n",
+                  report.slackSamples, report.slackMean, report.slackMax);
+    out += line;
+    out += "\n";
+    std::snprintf(line, sizeof(line),
+                  "%-18s  %13s  %6s  %7s  %11s  %7s\n", "cause",
+                  "path cycles", "share", "edges", "wait cycles", "waits");
+    out += line;
+
+    // Rows with any activity, largest path contribution first.
+    std::array<size_t, kNumCpCauses> order;
+    for (size_t i = 0; i < kNumCpCauses; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (report.pathCycles[a] != report.pathCycles[b])
+            return report.pathCycles[a] > report.pathCycles[b];
+        if (report.waitCycles[a] != report.waitCycles[b])
+            return report.waitCycles[a] > report.waitCycles[b];
+        return a < b;
+    });
+    for (size_t i : order) {
+        if (!report.pathCycles[i] && !report.pathCounts[i] &&
+            !report.waitCycles[i] && !report.waitCounts[i]) {
+            continue;
+        }
+        double share =
+            report.totalCycles
+                ? 100.0 * static_cast<double>(report.pathCycles[i]) /
+                      static_cast<double>(report.totalCycles)
+                : 0.0;
+        std::snprintf(line, sizeof(line),
+                      "%-18s  %13" PRIu64 "  %5.1f%%  %7" PRIu64
+                      "  %11" PRIu64 "  %7" PRIu64 "\n",
+                      kCauseNames[i], report.pathCycles[i], share,
+                      report.pathCounts[i], report.waitCycles[i],
+                      report.waitCounts[i]);
+        out += line;
+    }
+    uint64_t total = report.pathCyclesTotal();
+    std::snprintf(line, sizeof(line), "%-18s  %13" PRIu64 "  %5.1f%%\n",
+                  "total", total,
+                  report.totalCycles ? 100.0 : 0.0);
+    out += line;
+    return out;
+}
+
+std::string
+formatCpPath(const CpReport &report, size_t limit)
+{
+    char line[160];
+    std::string out;
+
+    size_t shown = report.path.size();
+    if (limit && limit < shown)
+        shown = limit;
+    std::snprintf(line, sizeof(line),
+                  "critical path, youngest first (%zu of %" PRIu64
+                  " segments%s):\n",
+                  shown, report.numSegments,
+                  report.pathTruncated || shown < report.path.size()
+                      ? ", truncated"
+                      : "");
+    out += line;
+    std::snprintf(line, sizeof(line), "%10s  %-18s  %8s  %9s  %9s\n",
+                  "at", "cause", "cycles", "seq", "pred");
+    out += line;
+    for (size_t i = 0; i < shown; ++i) {
+        const CpSegment &seg = report.path[i];
+        char pred[24];
+        if (seg.pred == cpNoSeq)
+            std::snprintf(pred, sizeof(pred), "-");
+        else
+            std::snprintf(pred, sizeof(pred), "%" PRIu64, seg.pred);
+        std::snprintf(line, sizeof(line),
+                      "%10" PRIu64 "  %-18s  %8" PRIu64 "  %9" PRIu64
+                      "  %9s\n",
+                      seg.at, cpCauseName(seg.cause).c_str(), seg.cycles,
+                      seg.seq, pred);
+        out += line;
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace tca

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Exact critical-path cycle accounting for the OoO core model.
+ *
+ * The core tags every uop with its *last-unblocking edge* — the
+ * constraint whose clearing let the uop advance (producer completion,
+ * store-forward data, a freed memory port or accelerator, the NL-mode
+ * window drain, a resolved low-confidence branch, or plain
+ * fetch/dispatch order). At run end a backward walk from the final
+ * retirement follows those edges to the first dispatch, attributing
+ * every simulated cycle to exactly one cause: the per-cause cycle
+ * totals sum to the run's total cycles, an invariant finalize()
+ * asserts and the test suite enforces on the differential fuzz grid.
+ *
+ * Two complementary accountings come out of one recording pass:
+ *
+ *  - *path attribution* (cp.path.*): the exact critical path. Edges of
+ *    completion type (data dependence, store-forward, accelerator
+ *    busy, NL drain) are usually zero-length — the waiting shows up as
+ *    the predecessor's execute/commit segments — so these causes
+ *    appear mostly as edge counts.
+ *  - *issue-wait decomposition* (cp.wait.*): for every issued uop the
+ *    interval between dispatch and issue is split among the
+ *    constraints that covered it, latest-clearing first. This is where
+ *    "how many cycles did NL drain actually cost per invocation" lives
+ *    and what the figure benches print next to the model's t_drain.
+ *
+ * Everything is computed from simulated-machine state that is
+ * identical across the event and reference engines at the same cycle,
+ * so both engines produce byte-identical reports (asserted by the
+ * engine differential suite). With no tracker attached every recording
+ * site in the core reduces to one null-pointer test (<= 1% overhead,
+ * measured in bench/microbench_perf).
+ *
+ * tca_obs sits below tca_cpu, so the tracker sees only plain integers
+ * and cycles; the core assembles the candidate-edge array itself.
+ */
+
+#ifndef TCASIM_OBS_CRITICAL_PATH_HH
+#define TCASIM_OBS_CRITICAL_PATH_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "mem/mem_types.hh"
+#include "stats/registry.hh"
+#include "stats/stats.hh"
+
+namespace tca {
+namespace obs {
+
+/** Sentinel sequence number meaning "no predecessor uop". */
+inline constexpr uint64_t cpNoSeq = ~uint64_t(0);
+
+/**
+ * Why a critical-path step spent its cycles. The first block mirrors
+ * the dispatch stall cascade; the middle block are issue constraints;
+ * Execute/AccelExecute/Commit are the pipeline's productive segments.
+ * FuBusy folds per-cycle phenomena with no reconstructible clear time
+ * (functional-unit budget and issue-width contention) into one cause.
+ */
+enum class CpCause : uint8_t {
+    Dispatch,         ///< in-order fetch/dispatch spacing
+    RobFull,          ///< waited for a ROB slot (blocker's retire)
+    IqFull,           ///< waited for an IQ slot
+    LsqFull,          ///< waited for an LSQ slot
+    SerializeBarrier, ///< NT-mode dispatch barrier until TCA commit
+    BranchRedirect,   ///< front-end refill after a misprediction
+    DataDep,          ///< last register operand producer completed
+    StoreForward,     ///< forwarding store's data became available
+    FuBusy,           ///< FU or issue-bandwidth contention (residual)
+    MemPortBusy,      ///< waited for a shared memory port
+    AccelBusy,        ///< port's previous TCA invocation finished
+    NlDrain,          ///< NL mode: window drained (seq-1 committed)
+    BranchConfidence, ///< partial speculation: low-conf branch resolved
+    Execute,          ///< issue -> complete latency
+    AccelExecute,     ///< TCA invocation execution
+    Commit,           ///< commit latency / in-order retire spacing
+    NumCauses,
+};
+
+inline constexpr size_t kNumCpCauses =
+    static_cast<size_t>(CpCause::NumCauses);
+
+/** Stable lower_snake_case cause name ("data_dep", "nl_drain", ...). */
+std::string cpCauseName(CpCause cause);
+
+/** Parse a cause name; NumCauses when unrecognized. */
+CpCause parseCpCause(const std::string &name);
+
+/**
+ * One candidate last-unblocking edge for an issuing uop: the cycle the
+ * constraint cleared, why, and the predecessor uop whose event cleared
+ * it (cpNoSeq when the edge has no producing uop, e.g. a freed memory
+ * port). The core assembles these at issue-success time; all clear
+ * times are <= the issue cycle by construction.
+ */
+struct CpEdge
+{
+    mem::Cycle clear = 0;
+    CpCause cause = CpCause::Dispatch;
+    uint64_t pred = cpNoSeq;
+};
+
+/** One backward-walk step on the critical path. */
+struct CpSegment
+{
+    uint64_t seq = 0;     ///< uop at the segment's younger end
+    CpCause cause = CpCause::Dispatch;
+    mem::Cycle cycles = 0; ///< cycles attributed to `cause`
+    mem::Cycle at = 0;     ///< cycle the segment ends (younger end)
+    uint64_t pred = cpNoSeq; ///< predecessor uop the walk moves to
+};
+
+/**
+ * The finished accounting. `pathCycles` sums exactly to `totalCycles`;
+ * `path` keeps the youngest `kCpMaxPathSegments` walk steps (the tail
+ * of the run), `numSegments` counts all of them.
+ */
+struct CpReport
+{
+    mem::Cycle totalCycles = 0;
+    uint64_t numUops = 0;
+    uint64_t numSegments = 0;
+    bool pathTruncated = false;
+
+    std::array<uint64_t, kNumCpCauses> pathCycles{};
+    std::array<uint64_t, kNumCpCauses> pathCounts{};
+    std::array<uint64_t, kNumCpCauses> waitCycles{};
+    std::array<uint64_t, kNumCpCauses> waitCounts{};
+
+    std::vector<CpSegment> path; ///< youngest-first, capped
+
+    // Commit-wait slack of off-path uops: commit - (complete +
+    // commitLatency). Summary moments only; the tracker keeps the full
+    // histogram for the stats registry.
+    uint64_t slackSamples = 0;
+    double slackMean = 0.0;
+    uint64_t slackMax = 0;
+
+    uint64_t cycles(CpCause c) const
+    {
+        return pathCycles[static_cast<size_t>(c)];
+    }
+    uint64_t waits(CpCause c) const
+    {
+        return waitCycles[static_cast<size_t>(c)];
+    }
+
+    /** Sum of per-cause path cycles (== totalCycles by construction). */
+    uint64_t pathCyclesTotal() const;
+};
+
+/** Retained path segments (the walk's youngest end). */
+inline constexpr size_t kCpMaxPathSegments = 512;
+
+/**
+ * Records per-uop edges during a run and produces the CpReport at
+ * finalize(). One tracker observes one run at a time (onRunBegin
+ * resets); attach via cpu::Core::setCriticalPathTracker(). Query
+ * helpers (completeOf, commitOf, ...) serve the core while it
+ * assembles candidate edges.
+ */
+class CriticalPathTracker
+{
+  public:
+    CriticalPathTracker();
+
+    // --- recording protocol, driven by the core ---
+    void onRunBegin(uint32_t commit_latency, uint32_t rob_size);
+    /** A uop entered the window (consumes any pending dispatch note). */
+    void onDispatchUop(uint64_t seq, uint8_t cls, bool is_accel,
+                       bool low_conf_branch, mem::Cycle dispatch);
+    /**
+     * Dispatch is blocked this cycle: remember why and which uop's
+     * event clears it. Overwrites any earlier note — the note consumed
+     * at the next dispatch is the *last* failed attempt's cause.
+     */
+    void noteDispatchBlock(CpCause cause, uint64_t blocker);
+    /**
+     * A uop issued: record its lifecycle times, pick the winning
+     * (latest-clearing) candidate edge, and fold the dispatch->issue
+     * interval into the per-cause wait decomposition.
+     */
+    void onIssueUop(uint64_t seq, mem::Cycle issue, mem::Cycle complete,
+                    const CpEdge *candidates, size_t count);
+    void onCommitUop(uint64_t seq, mem::Cycle commit);
+    /** Walk the path and fill the report; asserts the sum invariant. */
+    void finalize(mem::Cycle total_cycles);
+
+    // --- query helpers for candidate assembly ---
+    mem::Cycle completeOf(uint64_t seq) const
+    {
+        return records[seq].complete;
+    }
+    mem::Cycle commitOf(uint64_t seq) const
+    {
+        return records[seq].commit;
+    }
+    /** Previous Accel uop issued on `port` (cpNoSeq when none). */
+    uint64_t lastAccelSeqOnPort(uint8_t port) const;
+    /** Remember `seq` as the latest Accel uop issued on `port`. */
+    void noteAccelIssue(uint8_t port, uint64_t seq);
+    /**
+     * Partial-speculation edge: the latest-completing low-confidence
+     * branch among the uops that could have co-resided with `seq`
+     * (a window of robSize older uops). pred == cpNoSeq when none.
+     */
+    CpEdge lowConfidenceEdge(uint64_t seq) const;
+
+    /** The finished accounting (valid after finalize()). */
+    const CpReport &report() const { return rpt; }
+
+    /**
+     * Register the report's counters under `prefix` (default "cp"):
+     * <prefix>.total_cycles, <prefix>.uops, <prefix>.path.length,
+     * <prefix>.path.cycles.<cause>, <prefix>.path.edges.<cause>,
+     * <prefix>.wait.cycles.<cause>, <prefix>.wait.edges.<cause>, and
+     * the <prefix>.slack histogram. The counters are filled by
+     * finalize(), so snapshots taken after the run see final values;
+     * the tracker must outlive the registry.
+     */
+    void regStats(stats::StatsRegistry &registry,
+                  const std::string &prefix = "cp") const;
+
+  private:
+    struct UopRec
+    {
+        mem::Cycle dispatch = 0;
+        mem::Cycle issue = 0;
+        mem::Cycle complete = 0;
+        mem::Cycle commit = 0;
+        uint8_t cls = 0;
+        bool isAccel = false;
+        bool lowConfBranch = false;
+        bool committed = false;
+        /** Dispatch-block note consumed at dispatch (Dispatch = none). */
+        CpCause dispatchCause = CpCause::Dispatch;
+        uint64_t dispatchPred = cpNoSeq;
+        /** Winning issue edge + its clear time (== max candidate). */
+        CpCause issueCause = CpCause::Dispatch;
+        uint64_t issuePred = cpNoSeq;
+        mem::Cycle effReady = 0;
+    };
+
+    void walkPath(mem::Cycle total);
+    void emitSegment(uint64_t seq, CpCause cause, mem::Cycle cycles,
+                     mem::Cycle at, uint64_t pred);
+
+    uint32_t commitLatency = 0;
+    uint32_t robSize = 0;
+    std::vector<UopRec> records;
+    std::vector<bool> onPath;
+    std::vector<uint64_t> lastAccelSeq; ///< per accelerator port
+
+    /** Pending dispatch-block note (applies to the next dispatch). */
+    bool notePending = false;
+    CpCause noteCause = CpCause::Dispatch;
+    uint64_t noteBlocker = cpNoSeq;
+
+    CpReport rpt;
+
+    // Registry-visible mirrors, filled by finalize().
+    stats::Counter statTotalCycles;
+    stats::Counter statUops;
+    stats::Counter statPathLength;
+    std::array<stats::Counter, kNumCpCauses> statPathCycles;
+    std::array<stats::Counter, kNumCpCauses> statPathCounts;
+    std::array<stats::Counter, kNumCpCauses> statWaitCycles;
+    std::array<stats::Counter, kNumCpCauses> statWaitCounts;
+    stats::Distribution slackDist;
+};
+
+/**
+ * Measured NL-drain cost: wait cycles attributed to NlDrain divided by
+ * the number of drain waits — the simulator-derived counterpart of the
+ * model's t_drain term. 0 when no invocation waited on a drain.
+ */
+double cpDrainWaitPerInvocation(const CpReport &report);
+
+/**
+ * Fold `src` into `dst`: attribution arrays, totals, and slack moments
+ * sum (the mean sample-weighted); the retained path is dropped because
+ * concatenating paths from different runs has no meaning. Used by the
+ * bench harness to aggregate the cp block over a scenario's runs.
+ */
+void mergeCpReports(CpReport &dst, const CpReport &src);
+
+/** Write the report as the cp.json artifact (one JSON object). */
+void writeCpJson(const CpReport &report, std::ostream &os);
+
+/** Render writeCpJson to a string. */
+std::string cpJsonString(const CpReport &report);
+
+/**
+ * Parse a cp.json document back into a report (the tca_trace CLI's
+ * input path). Returns false with *error set on malformed input.
+ */
+bool parseCpJson(const std::string &text, CpReport &out,
+                 std::string *error = nullptr);
+
+/**
+ * Top-down cause tree: per-cause path cycles (share of total), edge
+ * counts, and wait cycles, largest path contribution first — the
+ * `tca_trace summary` output.
+ */
+std::string formatCpSummary(const CpReport &report);
+
+/**
+ * The critical path as an annotated uop chain, youngest-first — the
+ * `tca_trace path` output. `limit` caps printed segments (0 = all
+ * retained).
+ */
+std::string formatCpPath(const CpReport &report, size_t limit = 0);
+
+} // namespace obs
+} // namespace tca
+
+#endif // TCASIM_OBS_CRITICAL_PATH_HH

@@ -4,6 +4,8 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 namespace tca {
@@ -135,6 +137,76 @@ Logger::logfTagged(const char *tag, LogLevel level, const char *fmt, ...)
                  msg.c_str());
 }
 
+namespace {
+
+/**
+ * Panic-hook registry. Function-local statics so hooks registered
+ * during static initialization (or from any thread) are safe; the
+ * mutex is never held while a hook body runs from panic() — by then
+ * the process is single-mindedly dying and reentrancy matters more
+ * than exclusion.
+ */
+struct PanicHooks
+{
+    std::mutex lock;
+    std::vector<std::pair<uint64_t, std::function<void()>>> hooks;
+    uint64_t nextId = 1;
+};
+
+PanicHooks &
+panicHooks()
+{
+    static PanicHooks hooks;
+    return hooks;
+}
+
+/** Set once the hooks have started running; guards recursion. */
+std::atomic<bool> panicHooksRunning{false};
+
+} // anonymous namespace
+
+uint64_t
+addPanicHook(std::function<void()> hook)
+{
+    PanicHooks &registry = panicHooks();
+    std::lock_guard<std::mutex> guard(registry.lock);
+    uint64_t id = registry.nextId++;
+    registry.hooks.emplace_back(id, std::move(hook));
+    return id;
+}
+
+void
+removePanicHook(uint64_t id)
+{
+    PanicHooks &registry = panicHooks();
+    std::lock_guard<std::mutex> guard(registry.lock);
+    for (size_t i = 0; i < registry.hooks.size(); ++i) {
+        if (registry.hooks[i].first == id) {
+            registry.hooks.erase(registry.hooks.begin() +
+                                 static_cast<ptrdiff_t>(i));
+            return;
+        }
+    }
+}
+
+void
+runPanicHooks()
+{
+    if (panicHooksRunning.exchange(true))
+        return; // a hook panicked: abort without re-running hooks
+    // Copy under the lock, run outside it: a hook may (de)register
+    // other hooks or log without self-deadlocking.
+    std::vector<std::pair<uint64_t, std::function<void()>>> snapshot;
+    {
+        PanicHooks &registry = panicHooks();
+        std::lock_guard<std::mutex> guard(registry.lock);
+        snapshot = registry.hooks;
+    }
+    for (const auto &entry : snapshot)
+        entry.second();
+    panicHooksRunning.store(false);
+}
+
 void
 panic(const char *fmt, ...)
 {
@@ -142,6 +214,7 @@ panic(const char *fmt, ...)
     va_start(args, fmt);
     Logger::global().log(LogLevel::Fatal, "panic: " + vformat(fmt, args));
     va_end(args);
+    runPanicHooks();
     std::abort();
 }
 

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdarg>
 #include <cstdint>
+#include <functional>
 #include <set>
 #include <string>
 
@@ -106,8 +107,30 @@ class Logger
 };
 
 /**
+ * Register a callback that panic() runs — in registration order,
+ * after the message is logged and before std::abort() — so partial
+ * run artifacts (a Chrome trace mid-run, buffered stats) can be
+ * flushed as valid documents when the simulator dies on an invariant.
+ * Hooks must not allocate unboundedly or block; a panic raised inside
+ * a hook is recursion-guarded and aborts without re-running hooks.
+ *
+ * @return an id usable with removePanicHook()
+ */
+uint64_t addPanicHook(std::function<void()> hook);
+
+/** Deregister a hook; unknown ids are ignored. */
+void removePanicHook(uint64_t id);
+
+/**
+ * Run every registered hook once (recursion-guarded). panic() calls
+ * this itself; exposed so tests can exercise hooks without dying.
+ */
+void runPanicHooks();
+
+/**
  * Report an internal invariant violation and abort. Use for conditions
  * that indicate a bug in the simulator itself, never for user error.
+ * Registered panic hooks run after the message, before the abort.
  */
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));

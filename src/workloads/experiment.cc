@@ -26,18 +26,22 @@ cpu::SimResult
 runBaselineOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
                 obs::EventSink *sink,
                 const mem::HierarchyConfig &hierarchy_config,
-                stats::StatsSnapshot *stats_out, cpu::Engine engine)
+                stats::StatsSnapshot *stats_out, cpu::Engine engine,
+                obs::CriticalPathTracker *cp)
 {
     mem::MemHierarchy hierarchy(hierarchy_config);
     cpu::Core cpu(core, hierarchy);
     cpu.setEngine(engine);
     cpu.setEventSink(sink);
+    cpu.setCriticalPathTracker(cp);
     auto trace = workload.makeBaselineTrace();
     if (!stats_out)
         return cpu.run(*trace);
 
     stats::StatsRegistry registry;
     registerRunStats(registry, cpu, hierarchy);
+    if (cp)
+        cp->regStats(registry);
     cpu::SimResult result = cpu.run(*trace);
     *stats_out = registry.snapshot();
     return result;
@@ -47,7 +51,8 @@ cpu::SimResult
 runAcceleratedOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
                    model::TcaMode mode, obs::EventSink *sink,
                    const mem::HierarchyConfig &hierarchy_config,
-                   stats::StatsSnapshot *stats_out, cpu::Engine engine)
+                   stats::StatsSnapshot *stats_out, cpu::Engine engine,
+                   obs::CriticalPathTracker *cp)
 {
     mem::MemHierarchy hierarchy(hierarchy_config);
     cpu::Core cpu(core, hierarchy);
@@ -58,11 +63,14 @@ runAcceleratedOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
     workload.device().resetStats();
     cpu.bindAccelerator(&workload.device(), mode);
     cpu.setEventSink(sink);
+    cpu.setCriticalPathTracker(cp);
     if (!stats_out)
         return cpu.run(*trace);
 
     stats::StatsRegistry registry;
     registerRunStats(registry, cpu, hierarchy, &workload.device());
+    if (cp)
+        cp->regStats(registry);
     cpu::SimResult result = cpu.run(*trace);
     *stats_out = registry.snapshot();
     return result;
@@ -112,13 +120,19 @@ runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
         } else {
             run_sink = options.sink;
         }
+        obs::CriticalPathTracker tracker;
         outcome.sim = runAcceleratedOnce(
             workload, core, mode, run_sink, options.hierarchy,
             options.collectStats ? &outcome.stats : nullptr,
-            options.engine);
+            options.engine,
+            options.trackCriticalPath ? &tracker : nullptr);
         outcome.functionalOk = workload.verifyFunctional();
         if (options.profileIntervals)
             outcome.intervals = profiler.summary();
+        if (options.trackCriticalPath) {
+            outcome.cp = tracker.report();
+            outcome.hasCp = true;
+        }
 
         outcome.measuredSpeedup =
             base_cycles / static_cast<double>(outcome.sim.cycles);

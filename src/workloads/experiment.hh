@@ -23,6 +23,7 @@
 #include "mem/hierarchy.hh"
 #include "model/params.hh"
 #include "model/tca_mode.hh"
+#include "obs/critical_path.hh"
 #include "obs/interval_profiler.hh"
 #include "stats/registry.hh"
 #include "workloads/workload.hh"
@@ -48,6 +49,12 @@ struct ModeOutcome
      *  accel.*); populated only when ExperimentOptions::collectStats
      *  is set. */
     stats::StatsSnapshot stats;
+
+    /** Exact critical-path accounting of this mode's run; populated
+     *  (hasCp = true) only when
+     *  ExperimentOptions::trackCriticalPath is set. */
+    obs::CpReport cp;
+    bool hasCp = false;
 };
 
 /** Full experiment record. */
@@ -105,6 +112,17 @@ struct ExperimentOptions
     bool collectStats = false;
 
     /**
+     * When true, attach an obs::CriticalPathTracker to every mode run
+     * and store the exact per-cause cycle attribution in each
+     * ModeOutcome::cp — the measured counterpart of the model's
+     * t_drain/t_commit terms (see obs/critical_path.hh). When
+     * collectStats is also set, the cp.* subtree joins the run's
+     * stats tree, so batches merge it deterministically across
+     * TCA_JOBS like every other snapshot.
+     */
+    bool trackCriticalPath = false;
+
+    /**
      * Optional pipeline-event sink (not owned) observing every run of
      * the experiment: the baseline plus all four mode runs. In a
      * parallel batch each job records into a private buffer that is
@@ -130,27 +148,31 @@ struct ExperimentOptions
  * runExperiment, the benches, and the microbenchmarks share instead
  * of each spelling out the hierarchy/core/trace boilerplate. When
  * `stats_out` is non-null the machine is registered into a run-local
- * StatsRegistry and its snapshot stored there after the run.
+ * StatsRegistry and its snapshot stored there after the run. A
+ * non-null `cp` tracker is attached for the run (and, with
+ * `stats_out`, its cp.* subtree joins the snapshot).
  */
 cpu::SimResult
 runBaselineOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
                 obs::EventSink *sink = nullptr,
                 const mem::HierarchyConfig &hierarchy = {},
                 stats::StatsSnapshot *stats_out = nullptr,
-                cpu::Engine engine = cpu::Engine::Auto);
+                cpu::Engine engine = cpu::Engine::Auto,
+                obs::CriticalPathTracker *cp = nullptr);
 
 /**
  * Run a workload's accelerated trace once in the given TCA mode:
  * fresh core, cold hierarchy, device bound, optional event sink,
  * optional stats snapshot (as runBaselineOnce, plus the device's
- * accel.<name>.* subtree).
+ * accel.<name>.* subtree), optional critical-path tracker.
  */
 cpu::SimResult
 runAcceleratedOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
                    model::TcaMode mode, obs::EventSink *sink = nullptr,
                    const mem::HierarchyConfig &hierarchy = {},
                    stats::StatsSnapshot *stats_out = nullptr,
-                   cpu::Engine engine = cpu::Engine::Auto);
+                   cpu::Engine engine = cpu::Engine::Auto,
+                   obs::CriticalPathTracker *cp = nullptr);
 
 /**
  * Run the full validation flow for one workload on one core.

@@ -30,6 +30,7 @@ registerRunStats(stats::StatsRegistry &registry, const cpu::Core &core,
                  cpu::AccelDevice *device)
 {
     core.regStats(registry, "cpu.core");
+    core.regEngineStats(registry, "cpu.engine");
     hierarchy.regStats(registry, "mem");
     if (device)
         device->regStats(registry,

@@ -9,7 +9,10 @@
  *    per-class breakdown arrays);
  *  - the rendered stats tree (cpu.core.*, mem.*, accel.*);
  *  - the full pipeline event stream, folded through an
- *    order-sensitive checksum over every EventSink callback.
+ *    order-sensitive checksum over every EventSink callback;
+ *  - the exact critical path (the cp.json rendering of the
+ *    CriticalPathTracker report), whose per-cause cycle attribution
+ *    must also sum to total cycles under both engines.
  *
  * The grid shares its generators with core_invariants_fuzz_test
  * (tests/cpu/fuzz_configs.hh), so any geometry that suite proves the
@@ -25,6 +28,7 @@
 #include "cpu/core_config.hh"
 #include "cpu/sim_result.hh"
 #include "model/tca_mode.hh"
+#include "obs/critical_path.hh"
 #include "obs/event_sink.hh"
 #include "util/random.hh"
 #include "workloads/experiment.hh"
@@ -228,6 +232,39 @@ class StreamDigestSink : public obs::EventSink
     uint64_t numCommits = 0;
 };
 
+/**
+ * Drop cpu.engine.* leaves from a rendered stats tree: those counters
+ * describe the run engine itself (skips, wakeups) and differ between
+ * engines by design. The snapshot renders dotted paths as nested JSON,
+ * so the filter matches the leaf key names — which only cpu.engine
+ * uses. Everything else must match byte for byte.
+ */
+std::string
+stripEngineLines(const std::string &tree)
+{
+    static const char *const engine_keys[] = {
+        "\"skips\"", "\"skipped_cycles\"", "\"wakeups\"",
+    };
+    std::string out;
+    size_t pos = 0;
+    while (pos < tree.size()) {
+        size_t end = tree.find('\n', pos);
+        if (end == std::string::npos)
+            end = tree.size();
+        std::string line = tree.substr(pos, end - pos);
+        bool engine_leaf = false;
+        for (const char *key : engine_keys)
+            if (line.find(key) != std::string::npos)
+                engine_leaf = true;
+        if (!engine_leaf) {
+            out += line;
+            out += '\n';
+        }
+        pos = end + 1;
+    }
+    return out;
+}
+
 /** Field-by-field SimResult comparison with readable failures. */
 void
 expectSameResult(const cpu::SimResult &event, const cpu::SimResult &ref,
@@ -271,8 +308,33 @@ expectSameRun(const cpu::SimResult &event_result,
     EXPECT_EQ(event_sink.commits(), ref_sink.commits()) << label;
     EXPECT_EQ(event_sink.digest(), ref_sink.digest()) << label;
 
-    // Rendered stats tree (counters, gauges, histograms, formulas).
-    EXPECT_EQ(event_stats.str(), ref_stats.str()) << label;
+    // Rendered stats tree (counters, gauges, histograms, formulas),
+    // minus the engine's own introspection subtree.
+    EXPECT_EQ(stripEngineLines(event_stats.str()),
+              stripEngineLines(ref_stats.str()))
+        << label;
+}
+
+/**
+ * Critical-path invariants for one pair of runs: per-cause cycles sum
+ * exactly to total simulated cycles on both engines, and the entire
+ * report — the walk, the wait decomposition, the retained path — is
+ * byte-identical across engines (via the cp.json rendering).
+ */
+void
+expectSameCriticalPath(const obs::CriticalPathTracker &event_cp,
+                       const cpu::SimResult &event_result,
+                       const obs::CriticalPathTracker &ref_cp,
+                       const cpu::SimResult &ref_result,
+                       const std::string &label)
+{
+    EXPECT_EQ(event_cp.report().pathCyclesTotal(), event_result.cycles)
+        << label << " (event engine sum invariant)";
+    EXPECT_EQ(ref_cp.report().pathCyclesTotal(), ref_result.cycles)
+        << label << " (reference engine sum invariant)";
+    EXPECT_EQ(obs::cpJsonString(event_cp.report()),
+              obs::cpJsonString(ref_cp.report()))
+        << label << " (cp.json differs between engines)";
 }
 
 TEST(EngineDifferentialTest, FuzzGridByteIdentical)
@@ -294,30 +356,36 @@ TEST(EngineDifferentialTest, FuzzGridByteIdentical)
             workloads::SyntheticWorkload workload(wl);
             StreamDigestSink event_sink, ref_sink;
             stats::StatsSnapshot event_stats, ref_stats;
+            obs::CriticalPathTracker event_cp, ref_cp;
             cpu::SimResult event_result = workloads::runBaselineOnce(
                 workload, core, &event_sink, {}, &event_stats,
-                cpu::Engine::Event);
+                cpu::Engine::Event, &event_cp);
             cpu::SimResult ref_result = workloads::runBaselineOnce(
                 workload, core, &ref_sink, {}, &ref_stats,
-                cpu::Engine::Reference);
+                cpu::Engine::Reference, &ref_cp);
             expectSameRun(event_result, event_sink, event_stats,
                           ref_result, ref_sink, ref_stats,
                           label + " baseline");
+            expectSameCriticalPath(event_cp, event_result, ref_cp,
+                                   ref_result, label + " baseline");
         }
         {
             workloads::SyntheticWorkload workload(wl);
             StreamDigestSink event_sink, ref_sink;
             stats::StatsSnapshot event_stats, ref_stats;
+            obs::CriticalPathTracker event_cp, ref_cp;
             cpu::SimResult event_result = workloads::runAcceleratedOnce(
                 workload, core, mode, &event_sink, {}, &event_stats,
-                cpu::Engine::Event);
+                cpu::Engine::Event, &event_cp);
             cpu::SimResult ref_result = workloads::runAcceleratedOnce(
                 workload, core, mode, &ref_sink, {}, &ref_stats,
-                cpu::Engine::Reference);
+                cpu::Engine::Reference, &ref_cp);
             EXPECT_GT(event_result.accelInvocations, 0u) << label;
             expectSameRun(event_result, event_sink, event_stats,
                           ref_result, ref_sink, ref_stats,
                           label + " accelerated");
+            expectSameCriticalPath(event_cp, event_result, ref_cp,
+                                   ref_result, label + " accelerated");
         }
 
         if (HasFatalFailure() || HasNonfatalFailure())

@@ -15,6 +15,7 @@
 
 #include "obs/chrome_trace.hh"
 #include "obs/manifest.hh"
+#include "util/logging.hh"
 #include "util/json.hh"
 
 using namespace tca;
@@ -433,4 +434,38 @@ TEST(ChromeTrace, WriteIfRequestedNoOpWithoutOutDir)
     obs::ChromeTraceWriter writer(4, 10);
     feedSmallTrace(writer);
     EXPECT_EQ(writer.writeIfRequested("unit-run"), "");
+}
+
+TEST(ChromeTrace, FlushOnPanicWritesValidClosedJson)
+{
+    namespace fs = std::filesystem;
+    fs::path dir = fs::temp_directory_path() / "tca_panic_trace_test";
+    fs::create_directories(dir);
+    std::string path = (dir / "trace.json").string();
+
+    {
+        obs::ChromeTraceWriter writer(4, 10);
+        feedSmallTrace(writer);
+        writer.flushOnPanic(path);
+
+        // Simulate the deadlock watchdog firing: the hooks run, and
+        // the partial trace must land on disk as a closed document.
+        runPanicHooks();
+
+        JsonValue doc;
+        std::string error;
+        ASSERT_TRUE(parseJson(slurp(path), doc, &error)) << error;
+        const JsonValue *events = doc.find("traceEvents");
+        ASSERT_NE(events, nullptr);
+        EXPECT_GT(events->items.size(), 0u);
+    }
+
+    // Destruction deregistered the hook: running the hooks again must
+    // not touch the (now deleted) writer. Remove the file first so a
+    // stale hook would visibly recreate it.
+    fs::remove(path);
+    runPanicHooks();
+    EXPECT_FALSE(fs::exists(path));
+
+    fs::remove_all(dir);
 }

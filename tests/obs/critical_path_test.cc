@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the exact critical-path accounting layer: the sum
+ * invariant (per-cause path cycles add up to total simulated cycles,
+ * on every engine and workload shape), cp.json round-tripping, the
+ * deterministic TCA_JOBS merge, report merging for the bench
+ * envelopes, and a golden `tca_trace summary` rendering of the
+ * fig5_heap-representative design point.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "cpu/core.hh"
+#include "obs/critical_path.hh"
+#include "workloads/experiment.hh"
+#include "workloads/heap_workload.hh"
+#include "workloads/synthetic.hh"
+
+using namespace tca;
+using namespace tca::obs;
+using namespace tca::workloads;
+
+namespace {
+
+size_t
+causeIndex(CpCause cause)
+{
+    return static_cast<size_t>(cause);
+}
+
+/** The fig5_heap representative design point, scaled for a unit test. */
+HeapConfig
+fig5RepresentativeConfig()
+{
+    HeapConfig conf;
+    conf.numCalls = 50;
+    conf.fillerUopsPerGap = 400;
+    conf.seed = 7;
+    return conf;
+}
+
+CpReport
+runHeapNlT()
+{
+    HeapConfig conf = fig5RepresentativeConfig();
+    HeapWorkload workload(conf);
+    CriticalPathTracker tracker;
+    runAcceleratedOnce(workload, cpu::a72CoreConfig(),
+                       model::TcaMode::NL_T, nullptr, {}, nullptr,
+                       cpu::Engine::Auto, &tracker);
+    return tracker.report();
+}
+
+} // anonymous namespace
+
+TEST(CriticalPathTest, SumInvariantEveryMode)
+{
+    HeapConfig conf = fig5RepresentativeConfig();
+    HeapWorkload workload(conf);
+    ExperimentOptions options;
+    options.trackCriticalPath = true;
+    ExperimentResult result =
+        runExperiment(workload, cpu::a72CoreConfig(), options);
+    for (const ModeOutcome &mode : result.modes) {
+        ASSERT_TRUE(mode.hasCp);
+        EXPECT_EQ(mode.cp.pathCyclesTotal(), mode.sim.cycles)
+            << model::tcaModeName(mode.mode);
+        EXPECT_EQ(mode.cp.totalCycles, mode.sim.cycles)
+            << model::tcaModeName(mode.mode);
+        EXPECT_EQ(mode.cp.numUops, mode.sim.committedUops)
+            << model::tcaModeName(mode.mode);
+    }
+}
+
+TEST(CriticalPathTest, SumInvariantBaselineRun)
+{
+    SyntheticConfig conf;
+    conf.fillerUops = 5000;
+    conf.numInvocations = 0;
+    SyntheticWorkload workload(conf);
+    CriticalPathTracker tracker;
+    cpu::SimResult result =
+        runBaselineOnce(workload, cpu::a72CoreConfig(), nullptr, {},
+                        nullptr, cpu::Engine::Auto, &tracker);
+    const CpReport &report = tracker.report();
+    EXPECT_EQ(report.pathCyclesTotal(), result.cycles);
+    EXPECT_GT(report.numSegments, 0u);
+}
+
+TEST(CriticalPathTest, NlModeAttributesDrainEdges)
+{
+    CpReport report = runHeapNlT();
+    // NL mode issues every invocation behind a full-window drain, so
+    // the tracker must see one drain wait per invocation.
+    EXPECT_EQ(report.waitCounts[causeIndex(CpCause::NlDrain)], 50u);
+    EXPECT_GT(report.waitCycles[causeIndex(CpCause::NlDrain)], 0u);
+    EXPECT_GT(cpDrainWaitPerInvocation(report), 0.0);
+}
+
+TEST(CriticalPathTest, JsonRoundTrip)
+{
+    CpReport report = runHeapNlT();
+    std::string text = cpJsonString(report);
+
+    CpReport parsed;
+    std::string error;
+    ASSERT_TRUE(parseCpJson(text, parsed, &error)) << error;
+    EXPECT_EQ(parsed.totalCycles, report.totalCycles);
+    EXPECT_EQ(parsed.numUops, report.numUops);
+    EXPECT_EQ(parsed.numSegments, report.numSegments);
+    EXPECT_EQ(parsed.path.size(), report.path.size());
+    for (size_t i = 0; i < kNumCpCauses; ++i) {
+        EXPECT_EQ(parsed.pathCycles[i], report.pathCycles[i]);
+        EXPECT_EQ(parsed.waitCycles[i], report.waitCycles[i]);
+    }
+    // Byte-exact fixpoint: rendering the parsed report reproduces the
+    // document, so tca_trace sees exactly what the tracker wrote.
+    EXPECT_EQ(cpJsonString(parsed), text);
+}
+
+TEST(CriticalPathTest, ParseRejectsMalformedInput)
+{
+    CpReport report;
+    std::string error;
+    EXPECT_FALSE(parseCpJson("not json", report, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(parseCpJson("{\"uops\": 3}", report, &error));
+}
+
+TEST(CriticalPathTest, MergeSumsAttribution)
+{
+    CpReport a;
+    a.totalCycles = 100;
+    a.numUops = 10;
+    a.pathCycles[causeIndex(CpCause::Execute)] = 100;
+    a.slackSamples = 4;
+    a.slackMean = 2.0;
+    a.slackMax = 5;
+
+    CpReport b;
+    b.totalCycles = 50;
+    b.numUops = 5;
+    b.pathCycles[causeIndex(CpCause::Execute)] = 30;
+    b.pathCycles[causeIndex(CpCause::NlDrain)] = 20;
+    b.slackSamples = 12;
+    b.slackMean = 6.0;
+    b.slackMax = 3;
+
+    mergeCpReports(a, b);
+    EXPECT_EQ(a.totalCycles, 150u);
+    EXPECT_EQ(a.numUops, 15u);
+    EXPECT_EQ(a.pathCycles[causeIndex(CpCause::Execute)], 130u);
+    EXPECT_EQ(a.pathCycles[causeIndex(CpCause::NlDrain)], 20u);
+    EXPECT_EQ(a.slackSamples, 16u);
+    EXPECT_DOUBLE_EQ(a.slackMean, 5.0); // (4*2 + 12*6) / 16
+    EXPECT_EQ(a.slackMax, 5u);
+    EXPECT_EQ(a.pathCyclesTotal(), a.totalCycles);
+}
+
+TEST(CriticalPathTest, BatchStatsByteIdenticalAcrossJobs)
+{
+    ExperimentOptions options;
+    options.collectStats = true;
+    options.trackCriticalPath = true;
+
+    auto factory = [](size_t i) -> std::unique_ptr<TcaWorkload> {
+        HeapConfig conf;
+        conf.numCalls = 20;
+        conf.fillerUopsPerGap = 200 + 100 * static_cast<uint32_t>(i);
+        conf.seed = 7;
+        return std::make_unique<HeapWorkload>(conf);
+    };
+
+    ExperimentBatch serial = runExperimentBatch(
+        4, factory, cpu::a72CoreConfig(), options, 1);
+    ExperimentBatch parallel = runExperimentBatch(
+        4, factory, cpu::a72CoreConfig(), options, 8);
+
+    // The merged stats tree — cp.* subtree included — must not depend
+    // on how jobs were scheduled.
+    EXPECT_EQ(serial.stats.str(), parallel.stats.str());
+    EXPECT_TRUE(serial.stats.has("cp.total_cycles"));
+    EXPECT_TRUE(serial.stats.has("cp.path.cycles.nl_drain"));
+
+    // And the per-result reports themselves are byte-identical.
+    ASSERT_EQ(serial.results.size(), parallel.results.size());
+    for (size_t i = 0; i < serial.results.size(); ++i) {
+        for (size_t m = 0; m < serial.results[i].modes.size(); ++m) {
+            EXPECT_EQ(
+                cpJsonString(serial.results[i].modes[m].cp),
+                cpJsonString(parallel.results[i].modes[m].cp))
+                << "result " << i << " mode " << m;
+        }
+    }
+}
+
+TEST(CriticalPathTest, GoldenSummaryFig5Representative)
+{
+    // `tca_trace summary` output for the fig5_heap representative
+    // design point (gap 400, seed 7), scaled to 50 calls. Exact text:
+    // any change to the walk, the cause taxonomy, or the formatting
+    // must be deliberate enough to re-bless this.
+    CpReport report = runHeapNlT();
+    const std::string golden =
+        "critical path: 14508 cycles, 20050 uops, 15035 segments "
+        "(tail retained)\n"
+        "off-path slack: 5301 samples, mean 120.36, max 645\n"
+        "\n"
+        "cause                 path cycles   share    edges  "
+        "wait cycles    waits\n"
+        "execute                      8700   60.0%       98  "
+        "          0        0\n"
+        "commit                       4746   32.7%    12100  "
+        "          0        0\n"
+        "dispatch                      877    6.0%     2616  "
+        "          0        0\n"
+        "fu_busy                       119    0.8%       38  "
+        "      55912    13730\n"
+        "accel_execute                  38    0.3%       38  "
+        "          0        0\n"
+        "mem_port_busy                  28    0.2%       10  "
+        "      21245      998\n"
+        "data_dep                        0    0.0%       61  "
+        "     253560     9455\n"
+        "nl_drain                        0    0.0%       38  "
+        "        471       50\n"
+        "store_forward                   0    0.0%        0  "
+        "        131        2\n"
+        "rob_full                        0    0.0%       36  "
+        "          0        0\n"
+        "total                       14508  100.0%\n";
+    EXPECT_EQ(formatCpSummary(report), golden);
+}
+
+TEST(CriticalPathTest, FormatPathHonorsLimit)
+{
+    CpReport report = runHeapNlT();
+    ASSERT_GT(report.path.size(), 4u);
+    std::string limited = formatCpPath(report, 3);
+    // Header + column header + 3 segment rows.
+    size_t lines = 0;
+    for (char c : limited)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 5u);
+}

@@ -132,5 +132,46 @@ TEST(LoggingTest, TaggedDebugRespectsTagGate)
     logger.setThreshold(old_level);
 }
 
+TEST(LoggingTest, PanicHooksRunAndDeregister)
+{
+    int first = 0;
+    int second = 0;
+    uint64_t id_first = addPanicHook([&first] { ++first; });
+    uint64_t id_second = addPanicHook([&second] { ++second; });
+    EXPECT_NE(id_first, id_second);
+
+    runPanicHooks();
+    EXPECT_EQ(first, 1);
+    EXPECT_EQ(second, 1);
+
+    removePanicHook(id_first);
+    runPanicHooks();
+    EXPECT_EQ(first, 1);
+    EXPECT_EQ(second, 2);
+
+    removePanicHook(id_second);
+    runPanicHooks();
+    EXPECT_EQ(second, 2);
+}
+
+TEST(LoggingTest, PanicHookRecursionIsGuarded)
+{
+    // A hook that itself panics (here: re-enters runPanicHooks) must
+    // not recurse — the writer's flush hook runs while the panic that
+    // triggered it is still unwinding.
+    int runs = 0;
+    uint64_t id = addPanicHook([&runs] {
+        ++runs;
+        runPanicHooks();
+    });
+    runPanicHooks();
+    EXPECT_EQ(runs, 1);
+
+    // The guard resets afterwards, so a later panic still flushes.
+    runPanicHooks();
+    EXPECT_EQ(runs, 2);
+    removePanicHook(id);
+}
+
 } // namespace
 } // namespace tca

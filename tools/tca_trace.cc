@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Critical-path and timeline analytics CLI. Consumes the cp.json
+ * written by the CriticalPathTracker and the Chrome trace-event
+ * documents written by ChromeTraceWriter, and answers the questions a
+ * perf investigation starts with — where did the cycles go, what is
+ * the retained tail of the critical path, how much wall time does each
+ * timeline track hold, and how did attribution shift between two runs:
+ *
+ *   tca_trace summary out/fig5_heap/cp.json
+ *   tca_trace path --limit 40 out/fig5_heap/cp.json
+ *   tca_trace spans out/fig5_heap/trace.json
+ *   tca_trace diff baseline/cp.json out/cp.json
+ *
+ * `diff` reuses the tca_compare stat-diff engine, so its table format,
+ * threshold semantics, and exit codes match across the two tools.
+ *
+ * Exit codes: 0 success, 1 diff regression, 2 usage or parse error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <inttypes.h>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/critical_path.hh"
+#include "obs/stat_diff.hh"
+#include "util/json.hh"
+
+using namespace tca;
+using namespace tca::obs;
+
+namespace {
+
+int
+usage(const char *argv0, int code)
+{
+    std::fprintf(
+        code ? stderr : stdout,
+        "usage: %s COMMAND [options] FILE...\n"
+        "\n"
+        "Analyze critical-path (cp.json) and Chrome trace artifacts.\n"
+        "\n"
+        "commands:\n"
+        "  summary CP.json          per-cause cycle attribution table\n"
+        "  path [--limit N] CP.json retained critical-path tail,\n"
+        "                           youngest segment first\n"
+        "  spans TRACE.json         per-track duration totals for a\n"
+        "                           Chrome trace-event document\n"
+        "  diff [--threshold PCT] OLD.json NEW.json\n"
+        "                           stat diff of two cp.json files;\n"
+        "                           exits 1 on watched regression\n",
+        argv0);
+    return code;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out = buffer.str();
+    return true;
+}
+
+/** Load and parse one cp.json, exiting 2 with a message on failure. */
+CpReport
+loadCpReport(const char *argv0, const std::string &path)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::fprintf(stderr, "%s: cannot read '%s'\n", argv0,
+                     path.c_str());
+        std::exit(2);
+    }
+    CpReport report;
+    std::string error;
+    if (!parseCpJson(text, report, &error)) {
+        std::fprintf(stderr, "%s: %s: %s\n", argv0, path.c_str(),
+                     error.c_str());
+        std::exit(2);
+    }
+    return report;
+}
+
+int
+cmdSummary(const char *argv0, const std::vector<std::string> &args)
+{
+    if (args.size() != 1)
+        return usage(argv0, 2);
+    CpReport report = loadCpReport(argv0, args[0]);
+    std::fputs(formatCpSummary(report).c_str(), stdout);
+    return 0;
+}
+
+int
+cmdPath(const char *argv0, const std::vector<std::string> &args)
+{
+    size_t limit = 0;
+    std::string path;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--limit") {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "--limit needs a value\n");
+                return usage(argv0, 2);
+            }
+            limit = static_cast<size_t>(
+                std::strtoull(args[++i].c_str(), nullptr, 10));
+        } else if (!args[i].empty() && args[i][0] == '-') {
+            std::fprintf(stderr, "unknown flag '%s'\n", args[i].c_str());
+            return usage(argv0, 2);
+        } else if (path.empty()) {
+            path = args[i];
+        } else {
+            std::fprintf(stderr, "extra argument '%s'\n",
+                         args[i].c_str());
+            return usage(argv0, 2);
+        }
+    }
+    if (path.empty())
+        return usage(argv0, 2);
+    CpReport report = loadCpReport(argv0, path);
+    std::fputs(formatCpPath(report, limit).c_str(), stdout);
+    return 0;
+}
+
+/** Aggregated durations for one timeline track (trace tid). */
+struct TrackTotals
+{
+    std::string name;     ///< thread_name metadata, if present
+    uint64_t events = 0;  ///< completed "X" events + matched spans
+    uint64_t cycles = 0;  ///< summed duration
+    uint64_t maxCycles = 0;
+    uint64_t openSpans = 0; ///< "b" events with no matching "e"
+};
+
+uint64_t
+numberField(const JsonValue &event, const char *name)
+{
+    const JsonValue *v = event.find(name);
+    return (v && v->isNumber()) ? static_cast<uint64_t>(v->number) : 0;
+}
+
+std::string
+stringField(const JsonValue &event, const char *name)
+{
+    const JsonValue *v = event.find(name);
+    return (v && v->isString()) ? v->str : std::string();
+}
+
+int
+cmdSpans(const char *argv0, const std::vector<std::string> &args)
+{
+    if (args.size() != 1)
+        return usage(argv0, 2);
+    std::string text;
+    if (!readFile(args[0], text)) {
+        std::fprintf(stderr, "%s: cannot read '%s'\n", argv0,
+                     args[0].c_str());
+        return 2;
+    }
+    JsonValue doc;
+    std::string error;
+    if (!parseJson(text, doc, &error)) {
+        std::fprintf(stderr, "%s: %s: %s\n", argv0, args[0].c_str(),
+                     error.c_str());
+        return 2;
+    }
+    const JsonValue *events = doc.find("traceEvents");
+    if (!events || !events->isArray()) {
+        std::fprintf(stderr, "%s: %s: no traceEvents array\n", argv0,
+                     args[0].c_str());
+        return 2;
+    }
+
+    std::map<uint64_t, TrackTotals> tracks;
+    // Open async spans keyed by (tid, id): ChromeTraceWriter emits
+    // "b"/"e" pairs sharing both, and ts is monotonic per track.
+    std::map<std::pair<uint64_t, uint64_t>, uint64_t> open;
+    uint64_t total_events = 0;
+
+    for (const JsonValue &event : events->items) {
+        if (!event.isObject())
+            continue;
+        std::string phase = stringField(event, "ph");
+        if (phase == "M" || phase == "C")
+            continue; // metadata / counter samples carry no duration
+        uint64_t tid = numberField(event, "tid");
+        uint64_t ts = numberField(event, "ts");
+        TrackTotals &track = tracks[tid];
+        ++total_events;
+        if (phase == "X") {
+            uint64_t dur = numberField(event, "dur");
+            ++track.events;
+            track.cycles += dur;
+            if (dur > track.maxCycles)
+                track.maxCycles = dur;
+        } else if (phase == "b") {
+            open[{tid, numberField(event, "id")}] = ts;
+            ++track.openSpans;
+        } else if (phase == "e") {
+            auto it = open.find({tid, numberField(event, "id")});
+            if (it == open.end())
+                continue; // unmatched end: ignore
+            uint64_t dur = ts >= it->second ? ts - it->second : 0;
+            open.erase(it);
+            --track.openSpans;
+            ++track.events;
+            track.cycles += dur;
+            if (dur > track.maxCycles)
+                track.maxCycles = dur;
+        }
+    }
+
+    // Name tracks from thread_name metadata in a second pass so order
+    // of metadata vs. data events does not matter.
+    for (const JsonValue &event : events->items) {
+        if (!event.isObject() ||
+            stringField(event, "name") != "thread_name") {
+            continue;
+        }
+        auto it = tracks.find(numberField(event, "tid"));
+        if (it == tracks.end())
+            continue;
+        const JsonValue *event_args = event.find("args");
+        if (event_args)
+            it->second.name = stringField(*event_args, "name");
+    }
+
+    std::printf("%s: %" PRIu64 " duration events on %zu tracks\n\n",
+                args[0].c_str(), total_events, tracks.size());
+    std::printf("%-32s  %8s  %12s  %10s\n", "track", "events",
+                "cycles", "max");
+    for (const auto &entry : tracks) {
+        const TrackTotals &track = entry.second;
+        std::string label = track.name.empty()
+                                ? "tid " + std::to_string(entry.first)
+                                : track.name;
+        std::printf("%-32s  %8" PRIu64 "  %12" PRIu64 "  %10" PRIu64,
+                    label.c_str(), track.events, track.cycles,
+                    track.maxCycles);
+        if (track.openSpans)
+            std::printf("  (%" PRIu64 " unclosed)", track.openSpans);
+        std::printf("\n");
+    }
+    return 0;
+}
+
+int
+cmdDiff(const char *argv0, const std::vector<std::string> &args)
+{
+    DiffOptions options;
+    // cp.json stats have no registered good-direction, so gate nothing
+    // by default; --watch opts specific prefixes into the exit code.
+    std::string old_path, new_path;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--threshold") {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "--threshold needs a value\n");
+                return usage(argv0, 2);
+            }
+            options.thresholdPercent = std::atof(args[++i].c_str());
+        } else if (args[i] == "--watch") {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "--watch needs a value\n");
+                return usage(argv0, 2);
+            }
+            options.watch.push_back(args[++i]);
+        } else if (!args[i].empty() && args[i][0] == '-') {
+            std::fprintf(stderr, "unknown flag '%s'\n", args[i].c_str());
+            return usage(argv0, 2);
+        } else if (old_path.empty()) {
+            old_path = args[i];
+        } else if (new_path.empty()) {
+            new_path = args[i];
+        } else {
+            std::fprintf(stderr, "extra argument '%s'\n",
+                         args[i].c_str());
+            return usage(argv0, 2);
+        }
+    }
+    if (old_path.empty() || new_path.empty())
+        return usage(argv0, 2);
+
+    std::string old_text, new_text;
+    if (!readFile(old_path, old_text)) {
+        std::fprintf(stderr, "%s: cannot read '%s'\n", argv0,
+                     old_path.c_str());
+        return 2;
+    }
+    if (!readFile(new_path, new_text)) {
+        std::fprintf(stderr, "%s: cannot read '%s'\n", argv0,
+                     new_path.c_str());
+        return 2;
+    }
+
+    DiffReport report;
+    std::string error;
+    if (!diffJsonDocuments(old_text, new_text, options, report,
+                           &error)) {
+        std::fprintf(stderr, "parse error: %s\n", error.c_str());
+        return 2;
+    }
+
+    std::printf("--- %s\n+++ %s\n", old_path.c_str(), new_path.c_str());
+    printDiff(report, std::cout);
+    std::printf("\n%zu improved, %zu watched regression(s), "
+                "%zu watched stat(s) missing (threshold %.2f%%)\n",
+                report.numImprovements, report.numRegressions,
+                report.numMissing, options.thresholdPercent);
+    if (report.failed()) {
+        std::printf("FAIL: watched metrics regressed\n");
+        return 1;
+    }
+    std::printf("OK\n");
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0], 2);
+    std::string command = argv[1];
+    if (command == "--help" || command == "-h")
+        return usage(argv[0], 0);
+
+    std::vector<std::string> args;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0) {
+            return usage(argv[0], 0);
+        }
+        args.push_back(argv[i]);
+    }
+
+    if (command == "summary")
+        return cmdSummary(argv[0], args);
+    if (command == "path")
+        return cmdPath(argv[0], args);
+    if (command == "spans")
+        return cmdSpans(argv[0], args);
+    if (command == "diff")
+        return cmdDiff(argv[0], args);
+
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return usage(argv[0], 2);
+}
