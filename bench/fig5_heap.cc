@@ -25,6 +25,7 @@
 #include "obs/interval_profiler.hh"
 #include "obs/manifest.hh"
 #include "obs/stats_registry.hh"
+#include "obs/telemetry.hh"
 #include "obs/timeline.hh"
 #include "stats/registry.hh"
 #include "stats/stats.hh"
@@ -93,6 +94,14 @@ main()
     options.profileIntervals = true;
     options.collectStats = true;
     options.trackCriticalPath = true;
+
+    // Opt-in live telemetry ($TCA_TELEMETRY=ndjson|openmetrics): the
+    // whole sweep streams one Sample per epoch per run — with
+    // collectStats on, each sample carries the registry counter deltas
+    // — to $TCA_OUT_DIR/fig5_heap/telemetry.ndjson (or metrics.prom).
+    std::unique_ptr<obs::TelemetryBus> telemetry =
+        obs::requestedTelemetryBus("fig5_heap");
+    options.telemetry = telemetry.get();
 
     const ExperimentResult *representative = nullptr;
     std::vector<std::unique_ptr<ExperimentResult>> results;
@@ -259,6 +268,17 @@ main()
         runAcceleratedOnce(workload, cpu::a72CoreConfig(),
                            TcaMode::NL_T, &timeline->sink());
         timeline->writeArtifact("fig5_heap");
+    }
+
+    if (telemetry) {
+        telemetry->flush();
+        std::printf("\ntelemetry: %llu record(s) (%llu sample(s)), "
+                    "publish overhead %.3fs\n",
+                    static_cast<unsigned long long>(
+                        telemetry->numRecords()),
+                    static_cast<unsigned long long>(
+                        telemetry->numSamples()),
+                    telemetry->overheadSeconds());
     }
 
     std::printf("\nshape checks (paper claims):\n");

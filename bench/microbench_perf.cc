@@ -15,6 +15,8 @@
 #include "obs/critical_path.hh"
 #include "obs/interval_profiler.hh"
 #include "obs/pipeview.hh"
+#include "obs/telemetry.hh"
+#include "obs/telemetry_publishers.hh"
 #include "obs/timeseries.hh"
 #include "workloads/experiment.hh"
 #include "workloads/synthetic.hh"
@@ -63,7 +65,8 @@ BENCHMARK(BM_HeatmapSweep)->Arg(16)->Arg(32);
 static void
 simulatorThroughput(benchmark::State &state, obs::EventSink *sink,
                     stats::StatsSnapshot *stats_out = nullptr,
-                    obs::CriticalPathTracker *cp = nullptr)
+                    obs::CriticalPathTracker *cp = nullptr,
+                    obs::TelemetrySampler *telemetry = nullptr)
 {
     workloads::SyntheticConfig conf;
     conf.fillerUops = static_cast<uint64_t>(state.range(0));
@@ -76,7 +79,7 @@ simulatorThroughput(benchmark::State &state, obs::EventSink *sink,
     for (auto _ : state) {
         cpu::SimResult r = workloads::runBaselineOnce(
             workload, core_conf, sink, {}, stats_out,
-            cpu::Engine::Auto, cp);
+            cpu::Engine::Auto, cp, telemetry);
         uops += r.committedUops;
         benchmark::DoNotOptimize(r.cycles);
     }
@@ -148,6 +151,27 @@ BM_SimulatorThroughputProfiled(benchmark::State &state)
     simulatorThroughput(state, &sinks);
 }
 BENCHMARK(BM_SimulatorThroughputProfiled)->Arg(50000)->Unit(
+    benchmark::kMillisecond);
+
+/**
+ * Live telemetry attached at the default epoch (4096 cycles): the
+ * sampler opts into bulk skip notifications, so its cost is a handful
+ * of accumulator adds per event plus one record per epoch. The
+ * fig5-scale acceptance bar is <=2% wall over BM_SimulatorThroughput;
+ * with stats registered (the fig5 configuration) the added cost over
+ * BM_SimulatorThroughputStatsRegistered stays in the same band.
+ */
+static void
+BM_SimulatorThroughputTelemetry(benchmark::State &state)
+{
+    obs::TelemetryBus bus(4096);
+    bus.addPublisher(std::make_unique<obs::RingBufferPublisher>(256));
+    obs::TelemetrySampler sampler(&bus);
+    sampler.setRunLabel("microbench");
+    stats::StatsSnapshot snapshot;
+    simulatorThroughput(state, nullptr, &snapshot, nullptr, &sampler);
+}
+BENCHMARK(BM_SimulatorThroughputTelemetry)->Arg(50000)->Unit(
     benchmark::kMillisecond);
 
 static void

@@ -11,22 +11,29 @@
  * t_commit drives the gap). tools/tca_compare diffs these records
  * across runs; CI gates on them.
  *
+ * With TCA_TELEMETRY=ndjson|openmetrics the harness and every
+ * experiment scenario stream live telemetry (epoch samples + repeat
+ * heartbeats) while they run; tools/tca_top tails the stream.
+ *
  * Usage: tca_bench [--repeats N] [--warmup N] [--quick] [--filter S]
- *                  [--out-dir DIR] [--jobs N] [--list]
+ *                  [--out-dir DIR] [--jobs N] [--quiet] [--list]
  */
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "model/interval_model.hh"
 #include "model/sweeps.hh"
 #include "obs/bench_harness.hh"
+#include "obs/telemetry.hh"
 #include "util/thread_pool.hh"
 #include "workloads/dgemm_workload.hh"
 #include "workloads/experiment.hh"
@@ -127,21 +134,30 @@ experimentScenario(std::string name, std::string description,
     return scenario;
 }
 
-/** Raw simulator throughput: a plain baseline run, no model at all. */
+/** Raw simulator throughput: a plain baseline run, no model at all.
+ *  With a telemetry bus attached the run is sampled like any other, so
+ *  diffing this scenario with TCA_TELEMETRY off vs on measures the
+ *  sampler's cost on the hot loop (CI's informational overhead diff). */
 BenchScenario
-simulatorThroughputScenario()
+simulatorThroughputScenario(TelemetryBus *telemetry)
 {
     BenchScenario scenario;
     scenario.name = "sim_throughput";
     scenario.description =
         "simulator speed on a pure filler stream (no TCA, no model)";
-    scenario.run = [](bool quick) {
+    scenario.run = [telemetry](bool quick) {
         SyntheticConfig conf;
         conf.fillerUops = quick ? 20000 : 200000;
         conf.numInvocations = 0;
         SyntheticWorkload workload(conf);
-        cpu::SimResult r =
-            runBaselineOnce(workload, cpu::a72CoreConfig());
+        std::unique_ptr<TelemetrySampler> sampler;
+        if (telemetry) {
+            sampler = std::make_unique<TelemetrySampler>(telemetry);
+            sampler->setRunLabel("sim_throughput");
+        }
+        cpu::SimResult r = runBaselineOnce(
+            workload, cpu::a72CoreConfig(), nullptr, {}, nullptr,
+            cpu::Engine::Auto, nullptr, sampler.get());
         ScenarioMetrics metrics;
         metrics.simCycles = r.cycles;
         metrics.committedUops = r.committedUops;
@@ -235,8 +251,12 @@ sweepDenseScenario()
 }
 
 void
-registerScenarios(BenchHarness &harness)
+registerScenarios(BenchHarness &harness, TelemetryBus *telemetry)
 {
+    // Every experiment scenario streams its runs over the bus (when
+    // one is attached); heartbeats come from the harness itself.
+    ExperimentOptions base;
+    base.telemetry = telemetry;
     harness.add(experimentScenario(
         "synthetic_sparse",
         "fig4 low-frequency point: few random acceleratable regions",
@@ -246,7 +266,7 @@ registerScenarios(BenchHarness &harness)
             conf.numInvocations = static_cast<uint32_t>(invocations);
             conf.seed = 11;
             return std::make_unique<SyntheticWorkload>(conf);
-        }));
+        }, base));
     harness.add(experimentScenario(
         "synthetic_dense",
         "fig4 high-frequency point: acceleratable regions dominate",
@@ -257,7 +277,7 @@ registerScenarios(BenchHarness &harness)
                 quick ? invocations / 4 : invocations);
             conf.seed = 11;
             return std::make_unique<SyntheticWorkload>(conf);
-        }));
+        }, base));
     harness.add(experimentScenario(
         "heap_hot",
         "fig5 high call frequency: heap TCA invoked every ~100 uops",
@@ -267,7 +287,7 @@ registerScenarios(BenchHarness &harness)
             conf.fillerUopsPerGap = static_cast<uint32_t>(gap);
             conf.seed = 7;
             return std::make_unique<HeapWorkload>(conf);
-        }));
+        }, base));
     harness.add(experimentScenario(
         "heap_cold",
         "fig5 low call frequency: long filler gaps between heap calls",
@@ -277,7 +297,7 @@ registerScenarios(BenchHarness &harness)
             conf.fillerUopsPerGap = static_cast<uint32_t>(gap);
             conf.seed = 7;
             return std::make_unique<HeapWorkload>(conf);
-        }));
+        }, base));
     harness.add(experimentScenario(
         "dgemm_tile4",
         "fig6 blocked dgemm with a 4x4-tile matrix TCA",
@@ -287,7 +307,7 @@ registerScenarios(BenchHarness &harness)
             conf.blockN = quick ? 16 : 32;
             conf.tileN = static_cast<uint32_t>(tile);
             return std::make_unique<DgemmWorkload>(conf);
-        }));
+        }, base));
     harness.add(experimentScenario(
         "string_compare",
         "string-compare TCA extension workload",
@@ -296,9 +316,9 @@ registerScenarios(BenchHarness &harness)
             conf.numCompares = quick ? 100 : 500;
             conf.fillerUopsPerGap = static_cast<uint32_t>(gap);
             return std::make_unique<StringWorkload>(conf);
-        }));
+        }, base));
     {
-        ExperimentOptions options;
+        ExperimentOptions options = base;
         options.drainFromOccupancy = true;
         harness.add(experimentScenario(
             "heap_drain_calibrated",
@@ -323,8 +343,8 @@ registerScenarios(BenchHarness &harness)
             conf.accelLatency = 50;
             conf.seed = 13;
             return std::make_unique<SyntheticWorkload>(conf);
-        }));
-    harness.add(simulatorThroughputScenario());
+        }, base));
+    harness.add(simulatorThroughputScenario(telemetry));
     harness.add(modelEvalScenario());
     harness.add(sweepDenseScenario());
 }
@@ -335,7 +355,8 @@ usage(const char *argv0, int code)
     std::fprintf(
         code ? stderr : stdout,
         "usage: %s [--repeats N] [--warmup N] [--quick] [--filter S]\n"
-        "          [--out-dir DIR] [--jobs N] [--engine E] [--list]\n"
+        "          [--out-dir DIR] [--jobs N] [--engine E] [--quiet]\n"
+        "          [--list]\n"
         "\n"
         "Runs the scenario registry and writes one BENCH_<name>.json\n"
         "per scenario.\n"
@@ -352,8 +373,16 @@ usage(const char *argv0, int code)
         "  --engine E    core engine: 'event' (default) or 'reference'\n"
         "                (sets $TCA_ENGINE; simulated results are\n"
         "                byte-identical, only host throughput differs)\n"
+        "  --quiet       suppress per-scenario progress lines (for CI\n"
+        "                logs; the telemetry stream is unaffected)\n"
         "  --list        print scenarios with one-line descriptions "
-        "and exit\n",
+        "and exit\n"
+        "\n"
+        "TCA_TELEMETRY=ndjson|openmetrics streams live telemetry while\n"
+        "scenarios run (epoch samples + repeat heartbeats) to\n"
+        "$TCA_TELEMETRY_PATH, defaulting to telemetry.ndjson (or\n"
+        "metrics.prom) in the output directory. Tail the ndjson stream\n"
+        "with tools/tca_top. See docs/TELEMETRY.md.\n",
         argv0);
     return code;
 }
@@ -398,6 +427,8 @@ main(int argc, char **argv)
                 return 2;
             }
             ::setenv("TCA_ENGINE", engine.c_str(), 1);
+        } else if (arg == "--quiet") {
+            options.quiet = true;
         } else if (arg == "--list") {
             list = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -412,8 +443,36 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // Telemetry is selected by environment (mirrors TCA_TIMELINE); the
+    // bench only supplies a default destination in its own output
+    // directory when neither TCA_TELEMETRY_PATH nor TCA_OUT_DIR names
+    // one.
+    std::unique_ptr<TelemetryBus> telemetry_bus;
+    {
+        const char *env = std::getenv("TCA_TELEMETRY");
+        std::string telemetry = env ? env : "";
+        bool ndjson = telemetry == "ndjson";
+        bool prom = telemetry == "openmetrics" ||
+                    telemetry == "prometheus";
+        if ((ndjson || prom) && !std::getenv("TCA_TELEMETRY_PATH") &&
+            !std::getenv("TCA_OUT_DIR")) {
+            std::string dir =
+                options.outDir.empty() ? "." : options.outDir;
+            // The harness only creates the record directory once
+            // runAll() starts; the stream opens now, so make sure the
+            // destination exists first.
+            std::error_code ec;
+            std::filesystem::create_directories(dir, ec);
+            std::string fallback =
+                dir + (ndjson ? "/telemetry.ndjson" : "/metrics.prom");
+            ::setenv("TCA_TELEMETRY_PATH", fallback.c_str(), 1);
+        }
+        telemetry_bus = requestedTelemetryBus("tca_bench");
+    }
+    options.telemetry = telemetry_bus.get();
+
     BenchHarness harness(options);
-    registerScenarios(harness);
+    registerScenarios(harness, telemetry_bus.get());
 
     if (list) {
         for (const BenchScenario &s : harness.scenarios())
@@ -422,10 +481,14 @@ main(int argc, char **argv)
         return 0;
     }
 
-    std::printf(
-        "=== tca_bench: %d warmup + %d repeats%s, %zu job(s) -> %s ===\n\n",
-        options.warmup, options.repeats, options.quick ? " (quick)" : "",
-        harness.resolvedJobs(), harness.resolvedOutDir().c_str());
+    if (!options.quiet) {
+        std::printf(
+            "=== tca_bench: %d warmup + %d repeats%s, %zu job(s) -> "
+            "%s ===\n\n",
+            options.warmup, options.repeats,
+            options.quick ? " (quick)" : "", harness.resolvedJobs(),
+            harness.resolvedOutDir().c_str());
+    }
     std::vector<ScenarioOutcome> outcomes = harness.runAll();
     if (outcomes.empty()) {
         std::fprintf(stderr, "no scenario matches filter '%s'\n",
@@ -441,5 +504,17 @@ main(int argc, char **argv)
         written += o.jsonPath.empty() ? 0 : 1;
     std::printf("\nwrote %zu of %zu BENCH_*.json record(s)\n", written,
                 outcomes.size());
+    if (telemetry_bus) {
+        telemetry_bus->flush();
+        std::printf("telemetry: %llu record(s) (%llu sample(s), "
+                    "%llu heartbeat(s)), publish overhead %.3fs\n",
+                    static_cast<unsigned long long>(
+                        telemetry_bus->numRecords()),
+                    static_cast<unsigned long long>(
+                        telemetry_bus->numSamples()),
+                    static_cast<unsigned long long>(
+                        telemetry_bus->numHeartbeats()),
+                    telemetry_bus->overheadSeconds());
+    }
     return written == outcomes.size() ? 0 : 1;
 }

@@ -182,9 +182,13 @@ Core::run(trace::TraceSource &trace_source)
     source = &trace_source;
 
     // resetRunState() rebuilds the ROB, so (re-)wire the sink into the
-    // owned structures every run.
-    rob.setEventSink(sink);
-    memPorts.setEventSink(sink);
+    // owned structures every run. A sink that ignores per-uop
+    // bookkeeping events (obs::TelemetrySampler) is not wired into the
+    // ROB/arbiter at all and skips the dispatch/issue emission sites,
+    // so attaching it costs no virtual calls on the per-uop path.
+    sinkUopEvents = sink && sink->wantsUopEvents();
+    rob.setEventSink(sinkUopEvents ? sink : nullptr);
+    memPorts.setEventSink(sinkUopEvents ? sink : nullptr);
     for (AccelPortState &port : accelPorts) {
         if (port.device)
             port.device->setEventSink(sink);
@@ -747,7 +751,7 @@ Core::tryIssue(RobEntry &entry, IssueBlock *block)
 
     entry.state = UopState::Issued;
     entry.issueCycle = now;
-    if (sink)
+    if (sinkUopEvents)
         sink->onIssue(entry.seq, now);
     if (cpTracker)
         cpRecordIssue(entry);
@@ -1063,20 +1067,28 @@ Core::accountSkipped(mem::Cycle first, mem::Cycle last)
 {
     // The skipped cycles repeat the frozen tick's accounting: same
     // stall cause (dispatch state cannot change while nothing commits
-    // or issues), same ROB occupancy. With no sink attached the whole
-    // range collapses into O(1) counter increments; with one attached,
-    // replay cycle by cycle in the reference loop's exact emission
-    // order so epoch-sampling sinks (TimeSeriesRecorder) see counter
-    // deltas land in the same epochs.
+    // or issues), same ROB occupancy. With no sink attached — or one
+    // that accepts bulk skip notifications — the whole range collapses
+    // into O(1) counter increments; otherwise replay cycle by cycle in
+    // the reference loop's exact emission order so epoch-sampling
+    // sinks (TimeSeriesRecorder) see counter deltas land in the same
+    // epochs.
     uint64_t cycles = last - first + 1;
     uint32_t occupancy = rob.size();
     size_t cause = static_cast<size_t>(tickStallCause);
-    if (!sink) {
+    if (!sink || sink->wantsBulkSkips()) {
         if (tickStallRecorded)
             tallies.stallCycles[cause].inc(cycles);
         tallies.cycles.inc(cycles);
         tallies.robOccupancySum.inc(
             static_cast<uint64_t>(occupancy) * cycles);
+        // Sinks that opted in (epoch samplers) fold the whole range in
+        // O(epochs touched), so idle stretches cost nothing per cycle.
+        if (sink) {
+            sink->onSkippedCycles(first, last, occupancy,
+                                  tickStallRecorded,
+                                  static_cast<uint8_t>(tickStallCause));
+        }
         return;
     }
     for (mem::Cycle c = first; c <= last; ++c) {
@@ -1193,7 +1205,7 @@ Core::dispatchStage()
             stq.push_back(seq);
         else if (entry.op.isLoad())
             ldq.push_back(seq);
-        if (sink)
+        if (sinkUopEvents)
             sink->onDispatch(seq, entry.op, now);
         if (cpTracker) {
             cpTracker->onDispatchUop(

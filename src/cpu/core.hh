@@ -448,8 +448,12 @@ class Core
     // Optional dynamic branch predictor (not owned).
     BranchPredictor *bpred = nullptr;
 
-    // Optional pipeline-event sink (not owned).
+    // Optional pipeline-event sink (not owned); sinkUopEvents caches
+    // sink->wantsUopEvents() per run to gate the per-uop emission
+    // sites (dispatch/issue; the ROB and arbiter are simply not wired
+    // when it is false).
     obs::EventSink *sink = nullptr;
+    bool sinkUopEvents = false;
 
     // Optional critical-path tracker (not owned).
     obs::CriticalPathTracker *cpTracker = nullptr;

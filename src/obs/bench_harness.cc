@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "obs/manifest.hh"
+#include "obs/telemetry.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
@@ -115,6 +116,26 @@ BenchHarness::runScenario(const BenchScenario &scenario)
     HostProfiler host_profiler;
     host_profiler.start();
 
+    // One heartbeat per completed warmup/repeat: the liveness signal
+    // tca_top and watchdogs read. Wall clock belongs ONLY here, never
+    // in Sample records, so streams stay deterministic.
+    WallTimer scenario_timer;
+    auto heartbeat = [&](const char *phase, int done, int of,
+                         double eta, double uops_per_sec) {
+        if (!opts.telemetry)
+            return;
+        TelemetryRecord beat;
+        beat.kind = TelemetryKind::Heartbeat;
+        beat.scenario = scenario.name;
+        beat.phase = phase;
+        beat.repeat = static_cast<uint32_t>(done);
+        beat.repeats = static_cast<uint32_t>(of);
+        beat.wallSeconds = scenario_timer.seconds();
+        beat.etaSeconds = eta;
+        beat.uopsPerSec = uops_per_sec;
+        opts.telemetry->publish(std::move(beat));
+    };
+
     // Warmup is timed into its own summary, never into wallSeconds:
     // the reported repeat median must exclude cache warming and any
     // one-time setup (the warmup-exclusion test asserts this).
@@ -123,6 +144,7 @@ BenchHarness::runScenario(const BenchScenario &scenario)
         WallTimer timer;
         scenario.run(opts.quick);
         warm.push_back(timer.seconds());
+        heartbeat("warmup", i + 1, opts.warmup, -1.0, 0.0);
     }
     outcome.warmupSeconds = summarize(std::move(warm));
 
@@ -140,6 +162,12 @@ BenchHarness::runScenario(const BenchScenario &scenario)
         outcome.modeErrors = std::move(metrics.modeErrors);
         outcome.cp = std::move(metrics.cp);
         outcome.hasCp = metrics.hasCp;
+        double mean = 0.0;
+        for (double s : wall)
+            mean += s;
+        mean /= static_cast<double>(wall.size());
+        heartbeat("repeat", i + 1, opts.repeats,
+                  mean * (opts.repeats - (i + 1)), rate.back());
     }
     outcome.wallSeconds = summarize(std::move(wall));
     outcome.uopsPerSec = summarize(std::move(rate));
@@ -182,9 +210,11 @@ BenchHarness::runAll()
     util::parallelForIndexed(
         selected.size(),
         [&](size_t i) {
-            inform("bench: %s (%d warmup + %d repeats%s)",
-                   selected[i]->name.c_str(), opts.warmup, opts.repeats,
-                   opts.quick ? ", quick" : "");
+            if (!opts.quiet) {
+                inform("bench: %s (%d warmup + %d repeats%s)",
+                       selected[i]->name.c_str(), opts.warmup,
+                       opts.repeats, opts.quick ? ", quick" : "");
+            }
             outcomes[i] = runScenario(*selected[i]);
         },
         jobs);
@@ -321,6 +351,19 @@ BenchHarness::writeBenchJson(const ScenarioOutcome &outcome,
         JsonWriter w(os);
         outcome.host.writeJson(w);
         manifest.setRawJson("host", os.str());
+    }
+    if (opts.telemetry) {
+        // Stream bookkeeping: informational, except the overhead cost
+        // which obs::stat_diff gates lower-is-better.
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.beginObject();
+        w.kv("epochs", opts.telemetry->numSamples());
+        w.kv("heartbeats", opts.telemetry->numHeartbeats());
+        w.kv("records", opts.telemetry->numRecords());
+        w.kv("epoch_overhead_seconds", opts.telemetry->overheadSeconds());
+        w.endObject();
+        manifest.setRawJson("telemetry", os.str());
     }
     manifest.write(json);
 }

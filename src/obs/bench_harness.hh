@@ -36,6 +36,8 @@ class JsonWriter;
 
 namespace obs {
 
+class TelemetryBus;
+
 /** Wall-clock stopwatch on the steady clock. */
 class WallTimer
 {
@@ -130,6 +132,23 @@ struct BenchOptions
      * exact serial path. See docs/PARALLELISM.md.
      */
     int jobs = 0;
+
+    /**
+     * Optional live telemetry bus (not owned). When set, the harness
+     * publishes one Heartbeat record after every warmup and repeat of
+     * every scenario — repeat progress, wall time so far, an ETA from
+     * the mean completed-repeat time, and the last repeat's simulated
+     * uops/sec. A fresh heartbeat is the harness's liveness signal: a
+     * watchdog (or tca_top) treats a stream that keeps beating as a
+     * live run, however long a single repeat takes. Scenario callbacks
+     * that thread the bus into their experiments stream Sample records
+     * over the same bus.
+     */
+    TelemetryBus *telemetry = nullptr;
+
+    /** Suppress per-scenario progress chatter on stdout (heartbeats
+     *  still stream to the telemetry bus). For CI logs. */
+    bool quiet = false;
 };
 
 /** Aggregated outcome of one scenario. */

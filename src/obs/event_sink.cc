@@ -6,6 +6,51 @@ namespace obs {
 EventSink::~EventSink() = default;
 
 void
+EventSink::onSkippedCycles(mem::Cycle first, mem::Cycle last,
+                           uint32_t rob_occupancy, bool stalled,
+                           uint8_t cause)
+{
+    // Expand into the reference engine's exact per-cycle emission
+    // order (stall first, then the end-of-tick cycle event), so a sink
+    // that does not override sees a stream byte-identical to a run
+    // with no cycle skipping at all.
+    for (mem::Cycle c = first; c <= last; ++c) {
+        if (stalled)
+            onDispatchStall(cause, c);
+        onCycle(c, rob_occupancy);
+    }
+}
+
+bool
+MultiSink::wantsBulkSkips() const
+{
+    for (EventSink *sink : sinks) {
+        if (!sink->wantsBulkSkips())
+            return false;
+    }
+    return true;
+}
+
+bool
+MultiSink::wantsUopEvents() const
+{
+    for (EventSink *sink : sinks) {
+        if (sink->wantsUopEvents())
+            return true;
+    }
+    return false;
+}
+
+void
+MultiSink::onSkippedCycles(mem::Cycle first, mem::Cycle last,
+                           uint32_t rob_occupancy, bool stalled,
+                           uint8_t cause)
+{
+    for (EventSink *sink : sinks)
+        sink->onSkippedCycles(first, last, rob_occupancy, stalled, cause);
+}
+
+void
 MultiSink::onRunBegin(const RunContext &ctx)
 {
     for (EventSink *sink : sinks)

@@ -130,6 +130,41 @@ class EventSink
         (void)now;
     }
 
+    /**
+     * True when this sink accepts bulk onSkippedCycles() notifications
+     * for ranges the event engine skipped, instead of the per-cycle
+     * replay. The core only takes the O(1) bulk path when EVERY
+     * attached sink opts in, so a sink that leaves this false can
+     * never observe a different event stream than the reference
+     * engine emits.
+     */
+    virtual bool wantsBulkSkips() const { return false; }
+
+    /**
+     * False when this sink ignores the per-uop bookkeeping events —
+     * onDispatch, onIssue, onRobAllocate, onRobRetire, onMemPortClaim
+     * (onCommit and the per-cycle/stall/accel events are always
+     * delivered). The core skips those emission sites entirely for
+     * such a sink, saving several virtual calls per uop; aggregating
+     * sinks (obs::TelemetrySampler) opt out. A MultiSink forwards the
+     * events whenever ANY fanned-out sink wants them.
+     */
+    virtual bool wantsUopEvents() const { return true; }
+
+    /**
+     * The event engine skipped cycles [first, last] during which the
+     * pipeline was provably frozen: the ROB held `rob_occupancy` uops
+     * throughout, and when `stalled` is set every cycle repeated the
+     * same dispatch stall `cause`. The default implementation expands
+     * the range into the exact per-cycle onDispatchStall()/onCycle()
+     * sequence the reference engine would have emitted, so sinks that
+     * never override this cannot tell the engines apart; overriders
+     * (obs::TelemetrySampler) aggregate the range in O(epochs).
+     */
+    virtual void onSkippedCycles(mem::Cycle first, mem::Cycle last,
+                                 uint32_t rob_occupancy, bool stalled,
+                                 uint8_t cause);
+
     /** ROB allocation/retirement edges (occupancy AFTER the event). */
     virtual void onRobAllocate(uint64_t seq, uint32_t occupancy)
     {
@@ -215,6 +250,13 @@ class MultiSink : public EventSink
     void onIssue(uint64_t seq, mem::Cycle now) override;
     void onCommit(const UopLifecycle &uop) override;
     void onDispatchStall(uint8_t cause, mem::Cycle now) override;
+    /** Bulk skips only when every fanned-out sink accepts them. */
+    bool wantsBulkSkips() const override;
+    /** Per-uop events whenever any fanned-out sink wants them. */
+    bool wantsUopEvents() const override;
+    void onSkippedCycles(mem::Cycle first, mem::Cycle last,
+                         uint32_t rob_occupancy, bool stalled,
+                         uint8_t cause) override;
     void onRobAllocate(uint64_t seq, uint32_t occupancy) override;
     void onRobRetire(uint64_t seq, uint32_t occupancy) override;
     void onMemPortClaim(mem::Cycle requested, mem::Cycle granted) override;

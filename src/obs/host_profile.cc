@@ -3,6 +3,7 @@
 #include <sys/resource.h>
 
 #include "util/json.hh"
+#include "util/logging.hh"
 
 #if defined(__linux__) && __has_include(<linux/perf_event.h>)
 #define TCA_HAVE_PERF_EVENT 1
@@ -105,6 +106,18 @@ HostProfiler::HostProfiler()
             }
             perfFd[i] = -1;
             break;
+        }
+    }
+    if (perfFd[0] < 0) {
+        // Degraded mode (perf_event_paranoid, containers, seccomp):
+        // the host block still carries rusage, just no hardware
+        // counters. The condition is process-wide and permanent, so
+        // say it once — a profiler is built per scenario repeat, and
+        // one warning per repeat would drown a bench log.
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+            warn("perf_event counters unavailable (perf_event_open "
+                 "failed); host profiles degrade to rusage only");
         }
     }
 #endif

@@ -122,7 +122,16 @@ class IntervalProfiler : public EventSink
     /** Emit per-interval records plus the summary as a JSON object. */
     void toJson(JsonWriter &json) const;
 
-    // EventSink
+    // EventSink. Interval boundaries come from commits alone, so the
+    // profiler accepts bulk skip notifications (and drops them — the
+    // per-cycle expansion would only have called its no-op handlers)
+    // and skips the per-uop bookkeeping events entirely; a profiled
+    // run keeps the event engine's O(1) cycle skipping.
+    bool wantsBulkSkips() const override { return true; }
+    bool wantsUopEvents() const override { return false; }
+    void onSkippedCycles(mem::Cycle, mem::Cycle, uint32_t, bool,
+                         uint8_t) override
+    {}
     void onRunBegin(const RunContext &ctx) override;
     void onCommit(const UopLifecycle &uop) override;
     void onRunEnd(mem::Cycle cycles, uint64_t committed_uops) override;

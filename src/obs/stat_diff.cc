@@ -63,6 +63,19 @@ inferDirection(const std::string &path)
     if (path.compare(0, 5, "host.") == 0 ||
         containsToken(path, ".host.") || containsToken(path, "rss"))
         return MetricDirection::Unknown;
+    // Telemetry-stream bookkeeping is likewise informational — a
+    // record like telemetry.epochs or telemetry.heartbeats counts
+    // stream volume, not artifact quality, and must never gate a
+    // tca_compare --watch. The stream's own publish cost is the one
+    // exception: it is a real overhead, so less is better. Checked
+    // before the cost tokens below so telemetry.epoch_overhead_seconds
+    // gates on "overhead", never on "seconds" matching a wall metric.
+    if (path.compare(0, 10, "telemetry.") == 0 ||
+        containsToken(path, ".telemetry.")) {
+        return containsToken(path, "overhead")
+            ? MetricDirection::LowerIsBetter
+            : MetricDirection::Unknown;
+    }
     // Error/spread qualifiers trump the throughput tokens below: a
     // path like metrics.uops_per_sec.mad or modes.L_T.speedup_error
     // measures noise or misprediction *of* a higher-is-better

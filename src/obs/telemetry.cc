@@ -1,0 +1,754 @@
+#include "obs/telemetry.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/manifest.hh"
+#include "obs/telemetry_publishers.hh"
+#include "stats/registry.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace tca {
+namespace obs {
+
+const char *
+telemetryKindName(TelemetryKind kind)
+{
+    switch (kind) {
+      case TelemetryKind::RunBegin:  return "run_begin";
+      case TelemetryKind::Sample:    return "sample";
+      case TelemetryKind::RunEnd:    return "run_end";
+      case TelemetryKind::Heartbeat: return "heartbeat";
+    }
+    return "?";
+}
+
+TelemetryPublisher::~TelemetryPublisher() = default;
+
+// ---------------------------------------------------------------------
+// TelemetryBus
+// ---------------------------------------------------------------------
+
+uint64_t
+TelemetryBus::defaultEpochCycles()
+{
+    const char *env = std::getenv("TCA_TELEMETRY_EPOCH");
+    if (env && *env) {
+        char *end = nullptr;
+        long long v = std::strtoll(env, &end, 10);
+        if (end && *end == '\0' && v > 0)
+            return static_cast<uint64_t>(v);
+        warn("ignoring TCA_TELEMETRY_EPOCH '%s' (want a positive cycle "
+             "count)", env);
+    }
+    return 4096;
+}
+
+TelemetryBus::TelemetryBus(uint64_t epoch_cycles)
+    : epochLength(epoch_cycles),
+      created(std::chrono::steady_clock::now())
+{
+    tca_assert(epochLength > 0);
+}
+
+void
+TelemetryBus::addPublisher(std::unique_ptr<TelemetryPublisher> publisher)
+{
+    tca_assert(publisher != nullptr);
+    publishers.push_back(std::move(publisher));
+}
+
+void
+TelemetryBus::dispatch(const TelemetryRecord &record)
+{
+    auto begin = std::chrono::steady_clock::now();
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        for (auto &publisher : publishers)
+            publisher->publish(record);
+    }
+    auto end = std::chrono::steady_clock::now();
+
+    records.fetch_add(1, std::memory_order_relaxed);
+    if (record.kind == TelemetryKind::Sample)
+        samples.fetch_add(1, std::memory_order_relaxed);
+    if (record.kind == TelemetryKind::Heartbeat) {
+        heartbeats.fetch_add(1, std::memory_order_relaxed);
+        lastHeartbeatNanos.store(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                end - created).count(),
+            std::memory_order_relaxed);
+    }
+    overheadNanos.fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                end - begin).count()),
+        std::memory_order_relaxed);
+}
+
+void
+TelemetryBus::publish(TelemetryRecord record)
+{
+    if (record.job < 0)
+        record.job = jobTag;
+    dispatch(record);
+}
+
+void
+TelemetryBus::replay(const TelemetryRecord &record)
+{
+    dispatch(record);
+}
+
+void
+TelemetryBus::flush()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto &publisher : publishers)
+        publisher->flush();
+}
+
+double
+TelemetryBus::secondsSinceLastHeartbeat() const
+{
+    int64_t last = lastHeartbeatNanos.load(std::memory_order_relaxed);
+    if (last < 0)
+        return -1.0;
+    auto now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - created).count();
+    return static_cast<double>(now - last) * 1e-9;
+}
+
+// ---------------------------------------------------------------------
+// TelemetrySampler
+// ---------------------------------------------------------------------
+
+TelemetrySampler::TelemetrySampler(TelemetryBus *bus)
+    : bus(bus), epochLength(bus ? bus->epochCycles() : 4096)
+{
+    tca_assert(bus != nullptr);
+}
+
+void
+TelemetrySampler::attachRegistry(const stats::StatsRegistry *reg)
+{
+    registry = reg;
+}
+
+void
+TelemetrySampler::onRunBegin(const RunContext &ctx)
+{
+    runActive = true;
+    epochIndex = 0;
+    epochBoundary = epochLength;
+    cycles = 0;
+    robOccupancySum = 0;
+    commits = 0;
+    accelStarts = 0;
+    accelBusyCycles = 0;
+    stallCycles.assign(ctx.stallCauseNames.size(), 0);
+
+    trackedPaths.clear();
+    trackedCounters.clear();
+    lastValues.clear();
+    if (registry) {
+        for (const auto &[path, counter] : registry->counters()) {
+            trackedPaths.push_back(path);
+            trackedCounters.push_back(counter);
+            // Counters may be mid-flight (warmup, earlier runs):
+            // deltas start from here, not from zero.
+            lastValues.push_back(counter->value());
+        }
+    }
+
+    TelemetryRecord rec;
+    rec.kind = TelemetryKind::RunBegin;
+    rec.run = runLabel;
+    rec.epochCycles = epochLength;
+    rec.stallCauseNames = ctx.stallCauseNames;
+    rec.counterPaths = trackedPaths;
+    bus->publish(std::move(rec));
+}
+
+void
+TelemetrySampler::seal()
+{
+    TelemetryRecord rec;
+    rec.kind = TelemetryKind::Sample;
+    rec.run = runLabel;
+    rec.epoch = epochIndex;
+    rec.startCycle = epochIndex * epochLength;
+    rec.cycles = cycles;
+    rec.robOccupancySum = robOccupancySum;
+    rec.commits = commits;
+    rec.accelStarts = accelStarts;
+    rec.accelBusyCycles = accelBusyCycles;
+    rec.stallCycles = stallCycles;
+    if (!trackedCounters.empty()) {
+        rec.counterDeltas.reserve(trackedCounters.size());
+        for (size_t i = 0; i < trackedCounters.size(); ++i) {
+            uint64_t value = trackedCounters[i]->value();
+            rec.counterDeltas.push_back(value - lastValues[i]);
+            lastValues[i] = value;
+        }
+    }
+    bus->publish(std::move(rec));
+
+    cycles = 0;
+    robOccupancySum = 0;
+    commits = 0;
+    accelStarts = 0;
+    accelBusyCycles = 0;
+    std::fill(stallCycles.begin(), stallCycles.end(), uint64_t{0});
+}
+
+void
+TelemetrySampler::rollTo(uint64_t index)
+{
+    while (epochIndex < index) {
+        seal();
+        ++epochIndex;
+    }
+    epochBoundary = (epochIndex + 1) * epochLength;
+}
+
+void
+TelemetrySampler::onCycle(mem::Cycle now, uint32_t rob_occupancy)
+{
+    maybeRoll(now);
+    ++cycles;
+    robOccupancySum += rob_occupancy;
+}
+
+void
+TelemetrySampler::onCommit(const UopLifecycle &uop)
+{
+    maybeRoll(uop.commit);
+    ++commits;
+}
+
+void
+TelemetrySampler::onDispatchStall(uint8_t cause, mem::Cycle now)
+{
+    maybeRoll(now);
+    if (cause < stallCycles.size())
+        ++stallCycles[cause];
+}
+
+void
+TelemetrySampler::onSkippedCycles(mem::Cycle first, mem::Cycle last,
+                                  uint32_t rob_occupancy, bool stalled,
+                                  uint8_t cause)
+{
+    // Fold the frozen range into its epochs arithmetically: one
+    // accumulator update per epoch touched, never per cycle. Counter
+    // deltas for epochs sealed inside the range land in the first such
+    // epoch (the core bulk-accounts the whole skip before notifying);
+    // the deltas still telescope exactly to the final counter values.
+    mem::Cycle c = first;
+    while (c <= last) {
+        maybeRoll(c);
+        mem::Cycle chunk_last = std::min(last, epochBoundary - 1);
+        uint64_t n = chunk_last - c + 1;
+        cycles += n;
+        robOccupancySum += static_cast<uint64_t>(rob_occupancy) * n;
+        if (stalled && cause < stallCycles.size())
+            stallCycles[cause] += n;
+        c = chunk_last + 1;
+    }
+}
+
+void
+TelemetrySampler::onAccelInvocation(uint8_t port, uint32_t invocation,
+                                    const char *device, mem::Cycle start,
+                                    mem::Cycle complete,
+                                    uint32_t compute_latency,
+                                    uint32_t num_requests)
+{
+    (void)port;
+    (void)invocation;
+    (void)device;
+    (void)compute_latency;
+    (void)num_requests;
+    maybeRoll(start);
+    ++accelStarts;
+    accelBusyCycles += complete - start;
+}
+
+void
+TelemetrySampler::onRunEnd(mem::Cycle total_cycles, uint64_t committed_uops)
+{
+    if (!runActive)
+        return;
+    runActive = false;
+    seal(); // final (possibly short) epoch
+
+    TelemetryRecord rec;
+    rec.kind = TelemetryKind::RunEnd;
+    rec.run = runLabel;
+    rec.totalCycles = total_cycles;
+    rec.committedUops = committed_uops;
+    bus->publish(std::move(rec));
+}
+
+// ---------------------------------------------------------------------
+// Environment selection
+// ---------------------------------------------------------------------
+
+TelemetryOutput
+parseTelemetryOutput(const std::string &value)
+{
+    if (value == "ndjson")
+        return TelemetryOutput::Ndjson;
+    if (value == "openmetrics" || value == "prometheus")
+        return TelemetryOutput::OpenMetrics;
+    if (!value.empty() && value != "off") {
+        warn("unknown TCA_TELEMETRY '%s' (want ndjson, openmetrics, or "
+             "off)", value.c_str());
+    }
+    return TelemetryOutput::Off;
+}
+
+std::unique_ptr<TelemetryBus>
+requestedTelemetryBus(const std::string &run_name)
+{
+    const char *env = std::getenv("TCA_TELEMETRY");
+    if (!env || !*env)
+        return nullptr;
+    TelemetryOutput output = parseTelemetryOutput(env);
+    if (output == TelemetryOutput::Off)
+        return nullptr;
+
+    std::string path;
+    const char *path_env = std::getenv("TCA_TELEMETRY_PATH");
+    if (path_env && *path_env) {
+        path = path_env;
+    } else {
+        std::string dir = artifactDir(run_name);
+        if (dir.empty()) {
+            warn("TCA_TELEMETRY=%s needs TCA_TELEMETRY_PATH or "
+                 "TCA_OUT_DIR for its output; dropping the stream", env);
+            return nullptr;
+        }
+        path = dir + (output == TelemetryOutput::Ndjson
+                          ? "/telemetry.ndjson" : "/metrics.prom");
+    }
+
+    auto bus = std::make_unique<TelemetryBus>();
+    if (output == TelemetryOutput::Ndjson) {
+        std::string error;
+        auto publisher = NdjsonPublisher::open(path, &error);
+        if (!publisher) {
+            warn("dropping telemetry stream: %s", error.c_str());
+            return nullptr;
+        }
+        inform("telemetry: ndjson stream -> %s (epoch %llu cycles)",
+               path.c_str(),
+               static_cast<unsigned long long>(bus->epochCycles()));
+        bus->addPublisher(std::move(publisher));
+    } else {
+        inform("telemetry: openmetrics textfile -> %s (epoch %llu "
+               "cycles)", path.c_str(),
+               static_cast<unsigned long long>(bus->epochCycles()));
+        bus->addPublisher(
+            std::make_unique<OpenMetricsPublisher>(path));
+    }
+    return bus;
+}
+
+// ---------------------------------------------------------------------
+// Stream consumption (tca_top)
+// ---------------------------------------------------------------------
+
+namespace {
+
+uint64_t
+numberField(const JsonValue &doc, const char *name)
+{
+    const JsonValue *v = doc.find(name);
+    return v && v->isNumber() ? static_cast<uint64_t>(v->number) : 0;
+}
+
+double
+doubleField(const JsonValue &doc, const char *name, double fallback)
+{
+    const JsonValue *v = doc.find(name);
+    return v && v->isNumber() ? v->number : fallback;
+}
+
+std::string
+stringField(const JsonValue &doc, const char *name)
+{
+    const JsonValue *v = doc.find(name);
+    return v && v->isString() ? v->str : std::string();
+}
+
+void
+stringArrayField(const JsonValue &doc, const char *name,
+                 std::vector<std::string> &out)
+{
+    const JsonValue *v = doc.find(name);
+    if (!v || !v->isArray())
+        return;
+    for (const JsonValue &item : v->items)
+        out.push_back(item.isString() ? item.str : std::string());
+}
+
+void
+numberArrayField(const JsonValue &doc, const char *name,
+                 std::vector<uint64_t> &out)
+{
+    const JsonValue *v = doc.find(name);
+    if (!v || !v->isArray())
+        return;
+    for (const JsonValue &item : v->items)
+        out.push_back(item.isNumber() ? static_cast<uint64_t>(item.number)
+                                      : 0);
+}
+
+/** Accumulate b into a, growing a as needed. */
+void
+addInto(std::vector<uint64_t> &a, const std::vector<uint64_t> &b)
+{
+    if (a.size() < b.size())
+        a.resize(b.size(), 0);
+    for (size_t i = 0; i < b.size(); ++i)
+        a[i] += b[i];
+}
+
+} // anonymous namespace
+
+bool
+parseTelemetryLine(const std::string &line, TelemetryRecord &out,
+                   std::string *error)
+{
+    JsonValue doc;
+    if (!parseJson(line, doc, error))
+        return false;
+    if (!doc.isObject()) {
+        if (error)
+            *error = "telemetry line is not a JSON object";
+        return false;
+    }
+    std::string kind = stringField(doc, "kind");
+    out = TelemetryRecord{};
+    if (kind == "run_begin") {
+        out.kind = TelemetryKind::RunBegin;
+    } else if (kind == "sample") {
+        out.kind = TelemetryKind::Sample;
+    } else if (kind == "run_end") {
+        out.kind = TelemetryKind::RunEnd;
+    } else if (kind == "heartbeat") {
+        out.kind = TelemetryKind::Heartbeat;
+    } else {
+        if (error)
+            *error = "unknown telemetry kind '" + kind + "'";
+        return false;
+    }
+    out.run = stringField(doc, "run");
+    out.job = static_cast<int32_t>(
+        doubleField(doc, "job", 0.0));
+    switch (out.kind) {
+      case TelemetryKind::RunBegin:
+        out.epochCycles = numberField(doc, "epoch_cycles");
+        stringArrayField(doc, "stall_causes", out.stallCauseNames);
+        stringArrayField(doc, "counters", out.counterPaths);
+        break;
+      case TelemetryKind::Sample:
+        out.epoch = numberField(doc, "epoch");
+        out.startCycle = numberField(doc, "start");
+        out.cycles = numberField(doc, "cycles");
+        out.robOccupancySum = numberField(doc, "rob_occupancy_sum");
+        out.commits = numberField(doc, "commits");
+        out.accelStarts = numberField(doc, "accel_starts");
+        out.accelBusyCycles = numberField(doc, "accel_busy_cycles");
+        numberArrayField(doc, "stalls", out.stallCycles);
+        numberArrayField(doc, "deltas", out.counterDeltas);
+        break;
+      case TelemetryKind::RunEnd:
+        out.totalCycles = numberField(doc, "cycles");
+        out.committedUops = numberField(doc, "uops");
+        break;
+      case TelemetryKind::Heartbeat:
+        out.scenario = stringField(doc, "scenario");
+        out.phase = stringField(doc, "phase");
+        out.repeat = static_cast<uint32_t>(numberField(doc, "repeat"));
+        out.repeats = static_cast<uint32_t>(numberField(doc, "of"));
+        out.wallSeconds = doubleField(doc, "wall_seconds", 0.0);
+        out.etaSeconds = doubleField(doc, "eta_seconds", -1.0);
+        out.uopsPerSec = doubleField(doc, "uops_per_sec", 0.0);
+        break;
+    }
+    return true;
+}
+
+TelemetryRunView &
+TelemetryModel::viewFor(const std::string &run, int32_t job)
+{
+    std::string key = run + "#" + std::to_string(job);
+    auto it = runIndex.find(key);
+    if (it != runIndex.end())
+        return runViews[it->second];
+    runIndex.emplace(std::move(key), runViews.size());
+    TelemetryRunView view;
+    view.run = run;
+    view.job = job;
+    runViews.push_back(std::move(view));
+    return runViews.back();
+}
+
+void
+TelemetryModel::consume(const TelemetryRecord &record)
+{
+    ++consumed;
+    switch (record.kind) {
+      case TelemetryKind::RunBegin: {
+        TelemetryRunView &view = viewFor(record.run, record.job);
+        view.finished = false;
+        if (causeNames.empty())
+            causeNames = record.stallCauseNames;
+        if (!record.counterPaths.empty())
+            lastCounterPaths = record.counterPaths;
+        break;
+      }
+      case TelemetryKind::Sample: {
+        TelemetryRunView &view = viewFor(record.run, record.job);
+        ++view.epochs;
+        view.cycles += record.cycles;
+        view.robOccupancySum += record.robOccupancySum;
+        view.commits += record.commits;
+        view.accelStarts += record.accelStarts;
+        view.accelBusyCycles += record.accelBusyCycles;
+        addInto(view.stallCycles, record.stallCycles);
+        addInto(view.counterTotals, record.counterDeltas);
+        view.lastDeltas = record.counterDeltas;
+        break;
+      }
+      case TelemetryKind::RunEnd: {
+        TelemetryRunView &view = viewFor(record.run, record.job);
+        view.finished = true;
+        view.finalCycles = record.totalCycles;
+        view.finalUops = record.committedUops;
+        break;
+      }
+      case TelemetryKind::Heartbeat: {
+        auto it = scenarioIndex.find(record.scenario);
+        if (it == scenarioIndex.end()) {
+            it = scenarioIndex
+                     .emplace(record.scenario, scenarioViews.size())
+                     .first;
+            TelemetryScenarioView view;
+            view.scenario = record.scenario;
+            scenarioViews.push_back(std::move(view));
+        }
+        TelemetryScenarioView &view = scenarioViews[it->second];
+        view.phase = record.phase;
+        view.repeat = record.repeat;
+        view.repeats = record.repeats;
+        view.wallSeconds = record.wallSeconds;
+        view.etaSeconds = record.etaSeconds;
+        if (record.uopsPerSec > 0.0)
+            view.uopsPerSec = record.uopsPerSec;
+        ++view.beats;
+        break;
+      }
+    }
+}
+
+bool
+TelemetryModel::consumeLine(const std::string &line, std::string *error)
+{
+    if (line.empty())
+        return true; // blank lines are not records
+    TelemetryRecord rec;
+    if (!parseTelemetryLine(line, rec, error)) {
+        ++badLines;
+        return false;
+    }
+    consume(rec);
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Screen rendering
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+progressBar(double fraction, size_t cells)
+{
+    fraction = std::min(1.0, std::max(0.0, fraction));
+    size_t filled = static_cast<size_t>(fraction *
+                                        static_cast<double>(cells));
+    std::string bar = "[";
+    bar.append(filled, '#');
+    bar.append(cells - filled, '.');
+    bar += "]";
+    return bar;
+}
+
+std::string
+hashBar(uint64_t value, uint64_t max, size_t cells)
+{
+    if (max == 0)
+        return "";
+    size_t filled = static_cast<size_t>(
+        (static_cast<double>(value) / static_cast<double>(max)) *
+        static_cast<double>(cells));
+    if (value > 0 && filled == 0)
+        filled = 1;
+    return std::string(filled, '#');
+}
+
+std::string
+fit(const std::string &s, size_t width)
+{
+    if (s.size() <= width)
+        return s + std::string(width - s.size(), ' ');
+    if (width <= 1)
+        return s.substr(0, width);
+    return s.substr(0, width - 1) + "~";
+}
+
+} // anonymous namespace
+
+std::string
+renderTopScreen(const TelemetryModel &model, size_t width, size_t top_n)
+{
+    width = std::max<size_t>(width, 40);
+    std::string out;
+    char buf[256];
+
+    size_t active = 0;
+    for (const TelemetryRunView &run : model.runs())
+        active += run.finished ? 0 : 1;
+    std::snprintf(buf, sizeof(buf),
+                  "tca_top — %zu run(s), %zu active, %llu record(s)%s\n",
+                  model.runs().size(), active,
+                  static_cast<unsigned long long>(model.numRecords()),
+                  model.numBadLines()
+                      ? (" [" + std::to_string(model.numBadLines()) +
+                         " bad line(s)]").c_str()
+                      : "");
+    out += buf;
+
+    if (!model.scenarios().empty()) {
+        out += "\nscenarios:\n";
+        for (const TelemetryScenarioView &s : model.scenarios()) {
+            double frac = s.repeats
+                ? static_cast<double>(s.repeat) /
+                  static_cast<double>(s.repeats)
+                : 0.0;
+            std::string eta = s.etaSeconds >= 0.0
+                ? (std::snprintf(buf, sizeof(buf), "eta %5.1fs",
+                                 s.etaSeconds), std::string(buf))
+                : std::string("eta     -");
+            std::string rate = s.uopsPerSec > 0.0
+                ? (std::snprintf(buf, sizeof(buf), "%7.2f Muops/s",
+                                 s.uopsPerSec / 1e6), std::string(buf))
+                : std::string("      - Muops/s");
+            std::snprintf(buf, sizeof(buf),
+                          "  %s %-7s %2u/%-2u %s %7.2fs  %s  %s\n",
+                          fit(s.scenario, 22).c_str(), s.phase.c_str(),
+                          s.repeat, s.repeats,
+                          progressBar(frac, 12).c_str(), s.wallSeconds,
+                          eta.c_str(), rate.c_str());
+            out += buf;
+        }
+    }
+
+    if (!model.runs().empty()) {
+        out += "\nruns:\n";
+        std::snprintf(buf, sizeof(buf),
+                      "  %s job %7s %11s %10s %6s %8s %7s\n",
+                      fit("run", 26).c_str(), "epochs", "cycles",
+                      "commits", "IPC", "ROB avg", "accel%");
+        out += buf;
+        for (const TelemetryRunView &run : model.runs()) {
+            uint64_t cycles = run.finished ? run.finalCycles : run.cycles;
+            uint64_t commits =
+                run.finished ? run.finalUops : run.commits;
+            std::snprintf(buf, sizeof(buf),
+                          "  %s %3d %7llu %11llu %10llu %6.2f %8.1f "
+                          "%6.1f%s\n",
+                          fit(run.run, 26).c_str(), run.job,
+                          static_cast<unsigned long long>(run.epochs),
+                          static_cast<unsigned long long>(cycles),
+                          static_cast<unsigned long long>(commits),
+                          run.ipc(), run.avgRobOccupancy(),
+                          run.accelBusyPercent(),
+                          run.finished ? " done" : "");
+            out += buf;
+        }
+    }
+
+    // Stall causes aggregated over every run, hottest first.
+    const std::vector<std::string> &causes = model.stallCauseNames();
+    std::vector<uint64_t> stalls;
+    for (const TelemetryRunView &run : model.runs())
+        addInto(stalls, run.stallCycles);
+    std::vector<size_t> order;
+    for (size_t i = 0; i < stalls.size(); ++i) {
+        if (stalls[i] > 0)
+            order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return stalls[a] != stalls[b] ? stalls[a] > stalls[b] : a < b;
+    });
+    if (!order.empty()) {
+        out += "\nstall causes (cycles, all runs):\n";
+        uint64_t max = stalls[order.front()];
+        for (size_t i : order) {
+            std::string name =
+                i < causes.size() ? causes[i]
+                                  : "cause" + std::to_string(i);
+            std::snprintf(buf, sizeof(buf), "  %s %11llu  %s\n",
+                          fit(name, 18).c_str(),
+                          static_cast<unsigned long long>(stalls[i]),
+                          hashBar(stalls[i], max, 24).c_str());
+            out += buf;
+        }
+    }
+
+    // Hottest counters by most recent epoch delta (the last run with
+    // tracked counters wins; idle runs carry no deltas).
+    const std::vector<std::string> &paths = model.counterPaths();
+    const std::vector<uint64_t> *deltas = nullptr;
+    for (auto it = model.runs().rbegin(); it != model.runs().rend();
+         ++it) {
+        if (!it->lastDeltas.empty()) {
+            deltas = &it->lastDeltas;
+            break;
+        }
+    }
+    if (deltas && !paths.empty()) {
+        std::vector<size_t> hot;
+        for (size_t i = 0; i < deltas->size() && i < paths.size(); ++i) {
+            if ((*deltas)[i] > 0)
+                hot.push_back(i);
+        }
+        std::sort(hot.begin(), hot.end(), [&](size_t a, size_t b) {
+            return (*deltas)[a] != (*deltas)[b]
+                ? (*deltas)[a] > (*deltas)[b] : a < b;
+        });
+        if (hot.size() > top_n)
+            hot.resize(top_n);
+        if (!hot.empty()) {
+            out += "\nhottest counters (last epoch delta):\n";
+            for (size_t i : hot) {
+                std::snprintf(
+                    buf, sizeof(buf), "  %s %11llu\n",
+                    fit(paths[i], 40).c_str(),
+                    static_cast<unsigned long long>((*deltas)[i]));
+                out += buf;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace tca

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Live telemetry bus: in-run metric streaming (tca_obs).
+ *
+ * Every observability layer before this one is post-hoc — nothing is
+ * visible until a run finishes and artifacts land on disk. The
+ * TelemetryBus makes the simulator's health observable *while it
+ * simulates*: a TelemetrySampler (an EventSink) aggregates pipeline
+ * activity per simulated-cycle epoch and publishes one compact record
+ * per epoch to the bus, which fans records out to pluggable publishers
+ * (NDJSON stream, OpenMetrics textfile, in-process ring buffer; see
+ * obs/telemetry_publishers.hh). tools/tca_top tails the NDJSON stream
+ * and renders a live terminal view.
+ *
+ * Cost discipline matches EventSink/CriticalPathTracker: detached
+ * (TCA_TELEMETRY unset, the default) nothing is constructed and no
+ * emission site pays more than the existing null-pointer test. The
+ * sampler opts into bulk skip notifications (wantsBulkSkips), so on
+ * the event engine idle stretches cost O(epochs touched), not
+ * O(cycles) — epochs are free while nothing happens.
+ *
+ * Record streams carry only simulated quantities (cycles, counters);
+ * wall-clock data appears exclusively in Heartbeat records, which the
+ * bench harness emits. This keeps sample streams deterministic: a
+ * parallel experiment batch merged in job-index order is byte-
+ * identical for any TCA_JOBS value.
+ *
+ * Selection mirrors TCA_TIMELINE:
+ *   TCA_TELEMETRY=ndjson|openmetrics|off   (off/unset: no bus)
+ *   TCA_TELEMETRY_EPOCH=<cycles>           (default 4096)
+ *   TCA_TELEMETRY_PATH=<file|fd:N>         (default under $TCA_OUT_DIR)
+ */
+
+#ifndef TCASIM_OBS_TELEMETRY_HH
+#define TCASIM_OBS_TELEMETRY_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/event_sink.hh"
+
+namespace tca {
+
+namespace stats {
+class Counter;
+class StatsRegistry;
+} // namespace stats
+
+namespace obs {
+
+/** Kinds of records flowing over the bus. */
+enum class TelemetryKind : uint8_t {
+    RunBegin,  ///< a simulated run started (carries schema for samples)
+    Sample,    ///< one epoch's aggregates
+    RunEnd,    ///< the run finished (final totals)
+    Heartbeat, ///< harness liveness: wall-clock progress + ETA
+};
+
+/** Stable name for a record kind ("run_begin", "sample", ...). */
+const char *telemetryKindName(TelemetryKind kind);
+
+/**
+ * One record on the bus. A flat union-style struct: only the fields
+ * the kind uses are meaningful (the rest stay at their defaults), so
+ * publishers copy and buffer records without a type hierarchy.
+ */
+struct TelemetryRecord
+{
+    TelemetryKind kind = TelemetryKind::Sample;
+    std::string run;  ///< run label, e.g. "fig5_heap/NL_T"
+    int32_t job = -1; ///< batch job index; stamped by the bus when < 0
+
+    // RunBegin: schema for this run's samples.
+    uint64_t epochCycles = 0;
+    std::vector<std::string> stallCauseNames;
+    std::vector<std::string> counterPaths;
+
+    // Sample: one epoch's aggregates (simulated quantities only).
+    uint64_t epoch = 0;      ///< epoch index within the run
+    uint64_t startCycle = 0;
+    uint64_t cycles = 0;     ///< cycles observed (last may be short)
+    uint64_t robOccupancySum = 0;
+    uint64_t commits = 0;
+    uint64_t accelStarts = 0;
+    uint64_t accelBusyCycles = 0;
+    std::vector<uint64_t> stallCycles;   ///< per cause id
+    std::vector<uint64_t> counterDeltas; ///< per counterPaths entry
+
+    // RunEnd: final totals.
+    uint64_t totalCycles = 0;
+    uint64_t committedUops = 0;
+
+    // Heartbeat: the only record kind carrying wall-clock data.
+    std::string scenario;
+    std::string phase;      ///< "warmup" or "repeat"
+    uint32_t repeat = 0;    ///< 1-based index within the phase
+    uint32_t repeats = 0;   ///< total runs in the phase
+    double wallSeconds = 0.0;
+    double etaSeconds = -1.0; ///< < 0: unknown
+    double uopsPerSec = 0.0;  ///< 0: unknown
+};
+
+/**
+ * Receiver of telemetry records. Publishers are owned by the bus and
+ * called under its lock, in registration order.
+ */
+class TelemetryPublisher
+{
+  public:
+    virtual ~TelemetryPublisher();
+
+    virtual void publish(const TelemetryRecord &record) = 0;
+
+    /** Push buffered output to its destination (stream flush, atomic
+     *  textfile rewrite). Called by TelemetryBus::flush(). */
+    virtual void flush() {}
+};
+
+/**
+ * The bus: fans records out to its publishers and keeps cheap
+ * bookkeeping (record counts, accumulated publish overhead, last
+ * heartbeat age — the liveness signal a watchdog or tca_top reads).
+ * Thread-safe: parallel bench scenarios share one bus; parallel
+ * experiment batches give each job a private bus and merge afterwards
+ * (see workloads::runExperimentBatch).
+ */
+class TelemetryBus
+{
+  public:
+    /** @param epoch_cycles epoch length samplers on this bus use. */
+    explicit TelemetryBus(uint64_t epoch_cycles = defaultEpochCycles());
+
+    /** Append a publisher (owned). Not thread-safe; add before use. */
+    void addPublisher(std::unique_ptr<TelemetryPublisher> publisher);
+
+    /** Number of attached publishers. */
+    size_t numPublishers() const { return publishers.size(); }
+
+    /** Epoch length for samplers publishing to this bus (> 0). */
+    uint64_t epochCycles() const { return epochLength; }
+
+    /**
+     * Job tag stamped on records published with job < 0 (default 0).
+     * A parallel batch sets each per-job bus's tag to the job index.
+     */
+    void setJobTag(int32_t job) { jobTag = job; }
+    int32_t getJobTag() const { return jobTag; }
+
+    /** Publish a record, stamping the job tag when record.job < 0. */
+    void publish(TelemetryRecord record);
+
+    /**
+     * Publish a record verbatim — no job restamping. This is the
+     * replay path a batch merge uses: records already carry the job
+     * index of the bus that first published them.
+     */
+    void replay(const TelemetryRecord &record);
+
+    /** Flush every publisher. */
+    void flush();
+
+    // Bookkeeping (readable while other threads publish).
+    uint64_t numRecords() const { return records.load(); }
+    uint64_t numSamples() const { return samples.load(); }
+    uint64_t numHeartbeats() const { return heartbeats.load(); }
+
+    /** Wall seconds spent inside publish() so far — the stream's own
+     *  cost, reported as telemetry.epoch_overhead_seconds. */
+    double overheadSeconds() const
+    {
+        return static_cast<double>(overheadNanos.load()) * 1e-9;
+    }
+
+    /** Seconds since the last heartbeat record, or -1 before the
+     *  first one — the liveness signal (fresh heartbeat == alive). */
+    double secondsSinceLastHeartbeat() const;
+
+    /** $TCA_TELEMETRY_EPOCH when set and positive, else 4096. */
+    static uint64_t defaultEpochCycles();
+
+  private:
+    void dispatch(const TelemetryRecord &record);
+
+    uint64_t epochLength;
+    int32_t jobTag = 0;
+    std::vector<std::unique_ptr<TelemetryPublisher>> publishers;
+    std::mutex mu;
+    std::atomic<uint64_t> records{0};
+    std::atomic<uint64_t> samples{0};
+    std::atomic<uint64_t> heartbeats{0};
+    std::atomic<uint64_t> overheadNanos{0};
+    std::chrono::steady_clock::time_point created;
+    std::atomic<int64_t> lastHeartbeatNanos{-1}; ///< since `created`
+};
+
+/**
+ * EventSink aggregating pipeline activity per epoch and publishing one
+ * Sample record per epoch boundary crossed (plus RunBegin/RunEnd).
+ * State resets at onRunBegin, so one sampler serves many runs back to
+ * back — call setRunLabel() before each. Mirrors TimeSeriesRecorder's
+ * epoch mechanics but streams instead of storing: memory is O(1).
+ *
+ * Accepts bulk skip notifications (wantsBulkSkips), folding a skipped
+ * range into its epochs arithmetically — with only samplers attached
+ * the event engine's next-event skipping stays O(1) per skip in the
+ * core and O(epochs touched) here.
+ */
+class TelemetrySampler : public EventSink
+{
+  public:
+    /** @param bus destination bus (not owned; must outlive). */
+    explicit TelemetrySampler(TelemetryBus *bus);
+
+    /** Label stamped on this run's records ("<workload>/<mode>"). */
+    void setRunLabel(std::string label) { runLabel = std::move(label); }
+
+    /**
+     * Track a stats registry's counters: each Sample carries the delta
+     * of every registered counter since the previous epoch boundary,
+     * and the deltas telescope exactly to the final counter values.
+     * Captured at onRunBegin; detach with nullptr before the registry
+     * dies.
+     */
+    void attachRegistry(const stats::StatsRegistry *registry);
+
+    // EventSink
+    bool wantsBulkSkips() const override { return true; }
+    /** Per-uop bookkeeping events carry nothing the epoch accumulator
+     *  needs; let the core skip those emission sites. */
+    bool wantsUopEvents() const override { return false; }
+    void onRunBegin(const RunContext &ctx) override;
+    void onRunEnd(mem::Cycle cycles, uint64_t committed_uops) override;
+    void onCycle(mem::Cycle now, uint32_t rob_occupancy) override;
+    void onCommit(const UopLifecycle &uop) override;
+    void onDispatchStall(uint8_t cause, mem::Cycle now) override;
+    void onSkippedCycles(mem::Cycle first, mem::Cycle last,
+                         uint32_t rob_occupancy, bool stalled,
+                         uint8_t cause) override;
+    void onAccelInvocation(uint8_t port, uint32_t invocation,
+                           const char *device, mem::Cycle start,
+                           mem::Cycle complete, uint32_t compute_latency,
+                           uint32_t num_requests) override;
+
+  private:
+    /** Seal + publish epochs until the accumulator reaches `index`. */
+    void rollTo(uint64_t index);
+
+    /** Hot-path epoch roll: one compare against the cached epoch end;
+     *  the division happens only on the (rare) boundary crossing. */
+    void maybeRoll(mem::Cycle now)
+    {
+        if (now >= epochBoundary)
+            rollTo(now / epochLength);
+    }
+
+    /** Publish the current epoch's Sample and reset the accumulator. */
+    void seal();
+
+    TelemetryBus *bus;
+    std::string runLabel;
+    uint64_t epochLength;
+
+    const stats::StatsRegistry *registry = nullptr;
+    std::vector<std::string> trackedPaths;
+    std::vector<const stats::Counter *> trackedCounters;
+    std::vector<uint64_t> lastValues;
+
+    // Current epoch accumulator.
+    uint64_t epochIndex = 0;
+    uint64_t epochBoundary = 0; ///< first cycle past the current epoch
+    uint64_t cycles = 0;
+    uint64_t robOccupancySum = 0;
+    uint64_t commits = 0;
+    uint64_t accelStarts = 0;
+    uint64_t accelBusyCycles = 0;
+    std::vector<uint64_t> stallCycles;
+    bool runActive = false;
+};
+
+/** Telemetry outputs TCA_TELEMETRY can select. */
+enum class TelemetryOutput : uint8_t {
+    Off,         ///< unset, "off", or unrecognized: no bus
+    Ndjson,      ///< schema-versioned NDJSON stream (file or fd:N)
+    OpenMetrics, ///< Prometheus/OpenMetrics textfile (atomic rewrite)
+};
+
+/** Parse a TCA_TELEMETRY value ("ndjson", "openmetrics"; else Off). */
+TelemetryOutput parseTelemetryOutput(const std::string &value);
+
+/**
+ * The bus $TCA_TELEMETRY asks for, or nullptr when telemetry is off
+ * (the common case). The output path comes from $TCA_TELEMETRY_PATH
+ * (a file path, or "fd:N" for an inherited descriptor), falling back
+ * to $TCA_OUT_DIR/<run_name>/telemetry.ndjson (or metrics.prom); with
+ * neither set the request is warned about and dropped.
+ */
+std::unique_ptr<TelemetryBus>
+requestedTelemetryBus(const std::string &run_name);
+
+// ---------------------------------------------------------------------
+// Stream consumption: the model + renderer behind tools/tca_top, kept
+// in the library (like formatCpSummary for tca_trace) so goldens test
+// the exact screen the CLI prints.
+// ---------------------------------------------------------------------
+
+/**
+ * Parse one NDJSON telemetry line into a record.
+ * @return false (with *error set) on malformed input.
+ */
+bool parseTelemetryLine(const std::string &line, TelemetryRecord &out,
+                        std::string *error = nullptr);
+
+/** Rolling view of one run's stream. */
+struct TelemetryRunView
+{
+    std::string run;
+    int32_t job = 0;
+    uint64_t epochs = 0;       ///< samples seen
+    uint64_t cycles = 0;       ///< sum over samples
+    uint64_t robOccupancySum = 0;
+    uint64_t commits = 0;
+    uint64_t accelStarts = 0;
+    uint64_t accelBusyCycles = 0;
+    std::vector<uint64_t> stallCycles;   ///< per cause, accumulated
+    std::vector<uint64_t> counterTotals; ///< per counter, accumulated
+    std::vector<uint64_t> lastDeltas;    ///< most recent sample's
+    bool finished = false;
+    uint64_t finalCycles = 0;
+    uint64_t finalUops = 0;
+
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(commits) /
+                        static_cast<double>(cycles) : 0.0;
+    }
+    double avgRobOccupancy() const
+    {
+        return cycles ? static_cast<double>(robOccupancySum) /
+                        static_cast<double>(cycles) : 0.0;
+    }
+    double accelBusyPercent() const
+    {
+        return cycles ? 100.0 * static_cast<double>(accelBusyCycles) /
+                        static_cast<double>(cycles) : 0.0;
+    }
+};
+
+/** Rolling view of one scenario's heartbeats. */
+struct TelemetryScenarioView
+{
+    std::string scenario;
+    std::string phase;
+    uint32_t repeat = 0;
+    uint32_t repeats = 0;
+    double wallSeconds = 0.0;
+    double etaSeconds = -1.0;
+    double uopsPerSec = 0.0;
+    uint64_t beats = 0;
+};
+
+/**
+ * Aggregates a telemetry stream into per-run and per-scenario views.
+ * Feed records (or raw NDJSON lines) in order; render with
+ * renderTopScreen(). Pure function of the stream — no wall clock — so
+ * replaying a recorded stream always renders the same screens.
+ */
+class TelemetryModel
+{
+  public:
+    void consume(const TelemetryRecord &record);
+
+    /** Parse + consume one NDJSON line; counts malformed lines. */
+    bool consumeLine(const std::string &line, std::string *error = nullptr);
+
+    /** Runs in first-seen order. */
+    const std::vector<TelemetryRunView> &runs() const { return runViews; }
+
+    /** Scenarios in first-seen order. */
+    const std::vector<TelemetryScenarioView> &scenarios() const
+    {
+        return scenarioViews;
+    }
+
+    /** Stall-cause names (adopted from the first RunBegin). */
+    const std::vector<std::string> &stallCauseNames() const
+    {
+        return causeNames;
+    }
+
+    /** Counter paths per run key are run-local; the hottest-counter
+     *  table uses the most recent run's schema. */
+    const std::vector<std::string> &counterPaths() const
+    {
+        return lastCounterPaths;
+    }
+
+    uint64_t numRecords() const { return consumed; }
+    uint64_t numBadLines() const { return badLines; }
+
+  private:
+    TelemetryRunView &viewFor(const std::string &run, int32_t job);
+
+    std::vector<TelemetryRunView> runViews;
+    std::map<std::string, size_t> runIndex; ///< "run#job" -> index
+    std::vector<TelemetryScenarioView> scenarioViews;
+    std::map<std::string, size_t> scenarioIndex;
+    std::vector<std::string> causeNames;
+    std::vector<std::string> lastCounterPaths;
+    uint64_t consumed = 0;
+    uint64_t badLines = 0;
+};
+
+/**
+ * Render the tca_top screen: scenario progress bars, per-run table
+ * (epochs, cycles, IPC, ROB occupancy, accel utilization), stall-cause
+ * bar chart, and the top-N hottest counters by last-epoch delta. Plain
+ * text — the live CLI loop adds the ANSI clear codes — and a pure
+ * function of the model, so recorded streams render deterministically.
+ */
+std::string renderTopScreen(const TelemetryModel &model,
+                            size_t width = 80, size_t top_n = 8);
+
+} // namespace obs
+} // namespace tca
+
+#endif // TCASIM_OBS_TELEMETRY_HH

@@ -1,0 +1,480 @@
+#include "obs/telemetry_publishers.hh"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace tca {
+namespace obs {
+
+// ---------------------------------------------------------------------
+// NDJSON rendering
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+appendKey(std::string &line, const char *name)
+{
+    if (line.back() != '{')
+        line += ',';
+    line += '"';
+    line += name;
+    line += "\":";
+}
+
+void
+appendString(std::string &line, const char *name, const std::string &value)
+{
+    appendKey(line, name);
+    line += '"';
+    line += JsonWriter::escape(value);
+    line += '"';
+}
+
+void
+appendUint(std::string &line, const char *name, uint64_t value)
+{
+    appendKey(line, name);
+    line += std::to_string(value);
+}
+
+void
+appendInt(std::string &line, const char *name, int64_t value)
+{
+    appendKey(line, name);
+    line += std::to_string(value);
+}
+
+/** Fixed-precision doubles so equal values render identically. */
+void
+appendDouble(std::string &line, const char *name, double value,
+             const char *fmt)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, value);
+    appendKey(line, name);
+    line += buf;
+}
+
+void
+appendStringArray(std::string &line, const char *name,
+                  const std::vector<std::string> &values)
+{
+    appendKey(line, name);
+    line += '[';
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            line += ',';
+        line += '"';
+        line += JsonWriter::escape(values[i]);
+        line += '"';
+    }
+    line += ']';
+}
+
+void
+appendUintArray(std::string &line, const char *name,
+                const std::vector<uint64_t> &values)
+{
+    appendKey(line, name);
+    line += '[';
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            line += ',';
+        line += std::to_string(values[i]);
+    }
+    line += ']';
+}
+
+} // anonymous namespace
+
+std::string
+renderTelemetryNdjson(const TelemetryRecord &record)
+{
+    std::string line = "{";
+    appendUint(line, "v", 1);
+    appendString(line, "kind", telemetryKindName(record.kind));
+    switch (record.kind) {
+      case TelemetryKind::RunBegin:
+        appendString(line, "run", record.run);
+        appendInt(line, "job", record.job);
+        appendUint(line, "epoch_cycles", record.epochCycles);
+        appendStringArray(line, "stall_causes", record.stallCauseNames);
+        appendStringArray(line, "counters", record.counterPaths);
+        break;
+      case TelemetryKind::Sample:
+        appendString(line, "run", record.run);
+        appendInt(line, "job", record.job);
+        appendUint(line, "epoch", record.epoch);
+        appendUint(line, "start", record.startCycle);
+        appendUint(line, "cycles", record.cycles);
+        appendUint(line, "rob_occupancy_sum", record.robOccupancySum);
+        appendUint(line, "commits", record.commits);
+        appendUint(line, "accel_starts", record.accelStarts);
+        appendUint(line, "accel_busy_cycles", record.accelBusyCycles);
+        appendUintArray(line, "stalls", record.stallCycles);
+        appendUintArray(line, "deltas", record.counterDeltas);
+        break;
+      case TelemetryKind::RunEnd:
+        appendString(line, "run", record.run);
+        appendInt(line, "job", record.job);
+        appendUint(line, "cycles", record.totalCycles);
+        appendUint(line, "uops", record.committedUops);
+        break;
+      case TelemetryKind::Heartbeat:
+        appendString(line, "scenario", record.scenario);
+        appendString(line, "phase", record.phase);
+        appendUint(line, "repeat", record.repeat);
+        appendUint(line, "of", record.repeats);
+        appendDouble(line, "wall_seconds", record.wallSeconds, "%.6f");
+        if (record.etaSeconds >= 0.0)
+            appendDouble(line, "eta_seconds", record.etaSeconds, "%.6f");
+        if (record.uopsPerSec > 0.0)
+            appendDouble(line, "uops_per_sec", record.uopsPerSec, "%.1f");
+        break;
+    }
+    line += '}';
+    return line;
+}
+
+// ---------------------------------------------------------------------
+// FdStreamBuf / NdjsonPublisher
+// ---------------------------------------------------------------------
+
+FdStreamBuf::int_type
+FdStreamBuf::overflow(int_type ch)
+{
+    if (ch == traits_type::eof())
+        return traits_type::not_eof(ch);
+    char c = static_cast<char>(ch);
+    return xsputn(&c, 1) == 1 ? ch : traits_type::eof();
+}
+
+std::streamsize
+FdStreamBuf::xsputn(const char *s, std::streamsize n)
+{
+    std::streamsize written = 0;
+    while (written < n) {
+        ssize_t r = ::write(fd, s + written,
+                            static_cast<size_t>(n - written));
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return written;
+        }
+        written += r;
+    }
+    return written;
+}
+
+NdjsonPublisher::NdjsonPublisher(std::ostream &os)
+{
+    out = &os;
+}
+
+std::unique_ptr<NdjsonPublisher>
+NdjsonPublisher::open(const std::string &destination, std::string *error)
+{
+    std::unique_ptr<NdjsonPublisher> publisher(new NdjsonPublisher());
+    publisher->dest = destination;
+    if (destination.rfind("fd:", 0) == 0) {
+        char *end = nullptr;
+        long fd = std::strtol(destination.c_str() + 3, &end, 10);
+        if (!end || *end != '\0' || fd < 0) {
+            if (error) {
+                *error = "bad telemetry destination '" + destination +
+                         "' (want fd:<non-negative integer>)";
+            }
+            return nullptr;
+        }
+        publisher->fdBuf =
+            std::make_unique<FdStreamBuf>(static_cast<int>(fd));
+        publisher->fdStream =
+            std::make_unique<std::ostream>(publisher->fdBuf.get());
+        publisher->out = publisher->fdStream.get();
+    } else {
+        publisher->file = std::make_unique<std::ofstream>(
+            destination, std::ios::out | std::ios::trunc);
+        if (!*publisher->file) {
+            if (error) {
+                *error = "cannot open telemetry stream '" + destination +
+                         "': " + std::strerror(errno);
+            }
+            return nullptr;
+        }
+        publisher->out = publisher->file.get();
+    }
+    return publisher;
+}
+
+void
+NdjsonPublisher::publish(const TelemetryRecord &record)
+{
+    *out << renderTelemetryNdjson(record) << '\n';
+    // Flush per record so a concurrent tail (tca_top) sees whole lines
+    // promptly; records are a few hundred bytes, so this is cheap
+    // relative to an epoch of simulation.
+    out->flush();
+}
+
+void
+NdjsonPublisher::flush()
+{
+    out->flush();
+}
+
+// ---------------------------------------------------------------------
+// OpenMetricsPublisher
+// ---------------------------------------------------------------------
+
+OpenMetricsPublisher::OpenMetricsPublisher(std::string path,
+                                           uint64_t rewrite_every)
+    : filePath(std::move(path)),
+      rewriteEvery(rewrite_every ? rewrite_every : 1)
+{
+}
+
+void
+OpenMetricsPublisher::publish(const TelemetryRecord &record)
+{
+    switch (record.kind) {
+      case TelemetryKind::RunBegin: {
+        std::string key =
+            record.run + "#" + std::to_string(record.job);
+        auto it = runIndex.find(key);
+        if (it == runIndex.end()) {
+            it = runIndex.emplace(std::move(key), runs.size()).first;
+            RunSeries series;
+            series.run = record.run;
+            series.job = record.job;
+            runs.push_back(std::move(series));
+        }
+        RunSeries &series = runs[it->second];
+        series.causeNames = record.stallCauseNames;
+        series.stallCycles.assign(series.causeNames.size(), 0);
+        series.finished = false;
+        rewrite();
+        break;
+      }
+      case TelemetryKind::Sample: {
+        std::string key =
+            record.run + "#" + std::to_string(record.job);
+        auto it = runIndex.find(key);
+        if (it == runIndex.end()) {
+            it = runIndex.emplace(std::move(key), runs.size()).first;
+            RunSeries series;
+            series.run = record.run;
+            series.job = record.job;
+            runs.push_back(std::move(series));
+        }
+        RunSeries &series = runs[it->second];
+        ++series.epochs;
+        series.cycles += record.cycles;
+        series.commits += record.commits;
+        series.accelStarts += record.accelStarts;
+        series.accelBusyCycles += record.accelBusyCycles;
+        series.robOccupancySum += record.robOccupancySum;
+        if (series.stallCycles.size() < record.stallCycles.size())
+            series.stallCycles.resize(record.stallCycles.size(), 0);
+        for (size_t i = 0; i < record.stallCycles.size(); ++i)
+            series.stallCycles[i] += record.stallCycles[i];
+        if (++samplesSinceRewrite >= rewriteEvery)
+            rewrite();
+        break;
+      }
+      case TelemetryKind::RunEnd: {
+        std::string key =
+            record.run + "#" + std::to_string(record.job);
+        auto it = runIndex.find(key);
+        if (it != runIndex.end())
+            runs[it->second].finished = true;
+        rewrite();
+        break;
+      }
+      case TelemetryKind::Heartbeat: {
+        auto it = scenarioIndex.find(record.scenario);
+        if (it == scenarioIndex.end()) {
+            it = scenarioIndex
+                     .emplace(record.scenario, scenarios.size())
+                     .first;
+            ScenarioSeries series;
+            series.scenario = record.scenario;
+            scenarios.push_back(std::move(series));
+        }
+        ScenarioSeries &series = scenarios[it->second];
+        series.phase = record.phase;
+        series.repeat = record.repeat;
+        series.repeats = record.repeats;
+        series.wallSeconds = record.wallSeconds;
+        rewrite();
+        break;
+      }
+    }
+}
+
+namespace {
+
+std::string
+metricLabels(const std::string &run, int32_t job)
+{
+    return "{run=\"" + JsonWriter::escape(run) +
+           "\",job=\"" + std::to_string(job) + "\"}";
+}
+
+} // anonymous namespace
+
+std::string
+OpenMetricsPublisher::renderText() const
+{
+    std::ostringstream os;
+
+    struct CounterMetric
+    {
+        const char *name;
+        const char *help;
+        uint64_t RunSeries::*field;
+    };
+    static const CounterMetric kCounters[] = {
+        {"tca_epochs", "Telemetry epochs sealed", &RunSeries::epochs},
+        {"tca_cycles", "Simulated cycles observed", &RunSeries::cycles},
+        {"tca_commits", "Uops committed", &RunSeries::commits},
+        {"tca_accel_starts", "Accelerator invocations started",
+         &RunSeries::accelStarts},
+        {"tca_accel_busy_cycles", "Cycles an accelerator was busy",
+         &RunSeries::accelBusyCycles},
+        {"tca_rob_occupancy_sum", "Sum of per-cycle ROB occupancy",
+         &RunSeries::robOccupancySum},
+    };
+
+    for (const CounterMetric &metric : kCounters) {
+        os << "# HELP " << metric.name << "_total " << metric.help
+           << "\n# TYPE " << metric.name << "_total counter\n";
+        for (const RunSeries &series : runs) {
+            os << metric.name << "_total"
+               << metricLabels(series.run, series.job) << " "
+               << series.*metric.field << "\n";
+        }
+    }
+
+    os << "# HELP tca_stall_cycles_total Dispatch-stall cycles by cause"
+       << "\n# TYPE tca_stall_cycles_total counter\n";
+    for (const RunSeries &series : runs) {
+        for (size_t i = 0; i < series.stallCycles.size(); ++i) {
+            std::string cause = i < series.causeNames.size()
+                ? series.causeNames[i] : "cause" + std::to_string(i);
+            os << "tca_stall_cycles_total{run=\""
+               << JsonWriter::escape(series.run) << "\",job=\""
+               << series.job << "\",cause=\""
+               << JsonWriter::escape(cause) << "\"} "
+               << series.stallCycles[i] << "\n";
+        }
+    }
+
+    os << "# HELP tca_run_finished Whether the run has ended"
+       << "\n# TYPE tca_run_finished gauge\n";
+    for (const RunSeries &series : runs) {
+        os << "tca_run_finished" << metricLabels(series.run, series.job)
+           << " " << (series.finished ? 1 : 0) << "\n";
+    }
+
+    if (!scenarios.empty()) {
+        os << "# HELP tca_bench_repeat Bench repeat progress"
+           << "\n# TYPE tca_bench_repeat gauge\n";
+        for (const ScenarioSeries &series : scenarios) {
+            os << "tca_bench_repeat{scenario=\""
+               << JsonWriter::escape(series.scenario) << "\",phase=\""
+               << JsonWriter::escape(series.phase) << "\"} "
+               << series.repeat << "\n";
+        }
+        os << "# HELP tca_bench_wall_seconds Scenario wall time so far"
+           << "\n# TYPE tca_bench_wall_seconds gauge\n";
+        for (const ScenarioSeries &series : scenarios) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.6f", series.wallSeconds);
+            os << "tca_bench_wall_seconds{scenario=\""
+               << JsonWriter::escape(series.scenario) << "\"} " << buf
+               << "\n";
+        }
+    }
+
+    os << "# EOF\n";
+    return os.str();
+}
+
+void
+OpenMetricsPublisher::rewrite()
+{
+    samplesSinceRewrite = 0;
+    if (filePath.empty())
+        return;
+    // Atomic replace: a scraper never observes a torn exposition.
+    std::string tmp = filePath + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::out | std::ios::trunc);
+        if (!os) {
+            static bool warned = false;
+            if (!warned) {
+                warned = true;
+                warn("cannot write openmetrics textfile '%s': %s",
+                     tmp.c_str(), std::strerror(errno));
+            }
+            return;
+        }
+        os << renderText();
+    }
+    if (std::rename(tmp.c_str(), filePath.c_str()) != 0) {
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            warn("cannot rename '%s' -> '%s': %s", tmp.c_str(),
+                 filePath.c_str(), std::strerror(errno));
+        }
+    }
+}
+
+void
+OpenMetricsPublisher::flush()
+{
+    rewrite();
+}
+
+// ---------------------------------------------------------------------
+// RingBufferPublisher / BufferingPublisher
+// ---------------------------------------------------------------------
+
+RingBufferPublisher::RingBufferPublisher(size_t capacity)
+    : capacity(capacity ? capacity : 1)
+{
+}
+
+void
+RingBufferPublisher::publish(const TelemetryRecord &record)
+{
+    ring.push_back(record);
+    if (ring.size() > capacity)
+        ring.pop_front();
+    ++published;
+}
+
+void
+BufferingPublisher::publish(const TelemetryRecord &record)
+{
+    buffer.push_back(record);
+}
+
+void
+BufferingPublisher::replayTo(TelemetryBus &bus) const
+{
+    for (const TelemetryRecord &record : buffer)
+        bus.replay(record);
+}
+
+} // namespace obs
+} // namespace tca

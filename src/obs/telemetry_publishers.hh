@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Publishers for the telemetry bus (see obs/telemetry.hh):
+ *
+ *  - NdjsonPublisher: one schema-versioned JSON object per line
+ *    ({"v":1,"kind":...}), to any ostream, a file path, or an
+ *    inherited descriptor ("fd:N"). The stream tools/tca_top tails.
+ *  - OpenMetricsPublisher: Prometheus/OpenMetrics text exposition,
+ *    rewritten atomically (tmp + rename) so a scraping node_exporter
+ *    textfile collector — or the future tca_serve — never reads a
+ *    torn file.
+ *  - RingBufferPublisher: bounded in-process history for programmatic
+ *    inspection (tests, embedding).
+ *  - BufferingPublisher: records everything and replays into another
+ *    bus — how parallel experiment batches merge per-job channels in
+ *    job-index order (the TCA_JOBS byte-identity mechanism).
+ */
+
+#ifndef TCASIM_OBS_TELEMETRY_PUBLISHERS_HH
+#define TCASIM_OBS_TELEMETRY_PUBLISHERS_HH
+
+#include <deque>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hh"
+
+namespace tca {
+namespace obs {
+
+/**
+ * Render one record as its NDJSON line (no trailing newline). Key
+ * order and number formatting are fixed, so equal record sequences
+ * render byte-identical streams.
+ */
+std::string renderTelemetryNdjson(const TelemetryRecord &record);
+
+/** Unbuffered streambuf over a raw file descriptor (for "fd:N"). */
+class FdStreamBuf : public std::streambuf
+{
+  public:
+    explicit FdStreamBuf(int fd) : fd(fd) {}
+
+  protected:
+    int_type overflow(int_type ch) override;
+    std::streamsize xsputn(const char *s, std::streamsize n) override;
+
+  private:
+    int fd;
+};
+
+/** Streams records as NDJSON, flushing per record so tails are live. */
+class NdjsonPublisher : public TelemetryPublisher
+{
+  public:
+    /** Write to a caller-owned stream (tests, stringstreams). */
+    explicit NdjsonPublisher(std::ostream &os);
+
+    /**
+     * Open a destination: "fd:N" adopts descriptor N (not closed),
+     * anything else is a file path truncated on open.
+     * @return nullptr with *error set when the destination fails.
+     */
+    static std::unique_ptr<NdjsonPublisher>
+    open(const std::string &destination, std::string *error = nullptr);
+
+    /** Where open() pointed this publisher ("" for ostream ctor). */
+    const std::string &destination() const { return dest; }
+
+    void publish(const TelemetryRecord &record) override;
+    void flush() override;
+
+  private:
+    NdjsonPublisher() = default;
+
+    std::ostream *out = nullptr;      ///< active stream, never null
+    std::unique_ptr<std::ofstream> file;
+    std::unique_ptr<FdStreamBuf> fdBuf;
+    std::unique_ptr<std::ostream> fdStream;
+    std::string dest;
+};
+
+/**
+ * Maintains latest/cumulative values per run and rewrites one
+ * OpenMetrics text file atomically. Rewrites are throttled to every
+ * `rewrite_every` samples (run boundaries and heartbeats always
+ * rewrite); renderText() exposes the exact exposition for goldens.
+ */
+class OpenMetricsPublisher : public TelemetryPublisher
+{
+  public:
+    /** @param path textfile destination ("" keeps state in memory
+     *         only — render with renderText()). */
+    explicit OpenMetricsPublisher(std::string path,
+                                  uint64_t rewrite_every = 64);
+
+    const std::string &path() const { return filePath; }
+
+    /** The full OpenMetrics exposition for the current state. */
+    std::string renderText() const;
+
+    void publish(const TelemetryRecord &record) override;
+    void flush() override;
+
+  private:
+    struct RunSeries
+    {
+        std::string run;
+        int32_t job = 0;
+        uint64_t epochs = 0;
+        uint64_t cycles = 0;
+        uint64_t commits = 0;
+        uint64_t accelStarts = 0;
+        uint64_t accelBusyCycles = 0;
+        uint64_t robOccupancySum = 0;
+        std::vector<std::string> causeNames;
+        std::vector<uint64_t> stallCycles;
+        bool finished = false;
+    };
+
+    struct ScenarioSeries
+    {
+        std::string scenario;
+        std::string phase;
+        uint32_t repeat = 0;
+        uint32_t repeats = 0;
+        double wallSeconds = 0.0;
+    };
+
+    void rewrite();
+
+    std::string filePath;
+    uint64_t rewriteEvery;
+    uint64_t samplesSinceRewrite = 0;
+    std::vector<RunSeries> runs;       ///< first-seen order
+    std::map<std::string, size_t> runIndex;
+    std::vector<ScenarioSeries> scenarios;
+    std::map<std::string, size_t> scenarioIndex;
+};
+
+/** Keeps the most recent `capacity` records in memory. */
+class RingBufferPublisher : public TelemetryPublisher
+{
+  public:
+    explicit RingBufferPublisher(size_t capacity = 1024);
+
+    const std::deque<TelemetryRecord> &records() const { return ring; }
+    uint64_t totalPublished() const { return published; }
+
+    void publish(const TelemetryRecord &record) override;
+
+  private:
+    size_t capacity;
+    uint64_t published = 0;
+    std::deque<TelemetryRecord> ring;
+};
+
+/** Records every record; replayTo() re-publishes them verbatim. */
+class BufferingPublisher : public TelemetryPublisher
+{
+  public:
+    BufferingPublisher() = default;
+
+    /** Re-publish every record into `bus`, preserving job tags. */
+    void replayTo(TelemetryBus &bus) const;
+
+    const std::vector<TelemetryRecord> &records() const { return buffer; }
+
+    void publish(const TelemetryRecord &record) override;
+
+  private:
+    std::vector<TelemetryRecord> buffer;
+};
+
+} // namespace obs
+} // namespace tca
+
+#endif // TCASIM_OBS_TELEMETRY_PUBLISHERS_HH

@@ -4,6 +4,7 @@
 #include "model/interval_model.hh"
 #include "model/validation.hh"
 #include "obs/buffered_sink.hh"
+#include "obs/telemetry_publishers.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 #include "workloads/calibrator.hh"
@@ -22,28 +23,61 @@ ExperimentResult::forMode(model::TcaMode mode) const
           static_cast<int>(mode));
 }
 
+namespace {
+
+/**
+ * Chain an optional telemetry sampler in front of the caller's sink.
+ * The fanout lives in the caller's frame; returns the sink the run
+ * should use.
+ */
+obs::EventSink *
+chainTelemetry(obs::EventSink *sink, obs::TelemetrySampler *telemetry,
+               obs::MultiSink &fanout)
+{
+    if (!telemetry)
+        return sink;
+    if (!sink)
+        return telemetry;
+    fanout.add(telemetry);
+    fanout.add(sink);
+    return &fanout;
+}
+
+} // anonymous namespace
+
 cpu::SimResult
 runBaselineOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
                 obs::EventSink *sink,
                 const mem::HierarchyConfig &hierarchy_config,
                 stats::StatsSnapshot *stats_out, cpu::Engine engine,
-                obs::CriticalPathTracker *cp)
+                obs::CriticalPathTracker *cp,
+                obs::TelemetrySampler *telemetry)
 {
     mem::MemHierarchy hierarchy(hierarchy_config);
     cpu::Core cpu(core, hierarchy);
     cpu.setEngine(engine);
-    cpu.setEventSink(sink);
+    obs::MultiSink fanout;
+    cpu.setEventSink(chainTelemetry(sink, telemetry, fanout));
     cpu.setCriticalPathTracker(cp);
     auto trace = workload.makeBaselineTrace();
-    if (!stats_out)
+    if (!stats_out) {
+        if (telemetry)
+            telemetry->attachRegistry(nullptr);
         return cpu.run(*trace);
+    }
 
     stats::StatsRegistry registry;
     registerRunStats(registry, cpu, hierarchy);
     if (cp)
         cp->regStats(registry);
+    if (telemetry)
+        telemetry->attachRegistry(&registry);
     cpu::SimResult result = cpu.run(*trace);
     *stats_out = registry.snapshot();
+    // The registry is stack-local; never leave the sampler pointing
+    // at it.
+    if (telemetry)
+        telemetry->attachRegistry(nullptr);
     return result;
 }
 
@@ -52,7 +86,8 @@ runAcceleratedOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
                    model::TcaMode mode, obs::EventSink *sink,
                    const mem::HierarchyConfig &hierarchy_config,
                    stats::StatsSnapshot *stats_out, cpu::Engine engine,
-                   obs::CriticalPathTracker *cp)
+                   obs::CriticalPathTracker *cp,
+                   obs::TelemetrySampler *telemetry)
 {
     mem::MemHierarchy hierarchy(hierarchy_config);
     cpu::Core cpu(core, hierarchy);
@@ -62,17 +97,25 @@ runAcceleratedOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
     // tallies so each run's stats are per-run like SimResult.
     workload.device().resetStats();
     cpu.bindAccelerator(&workload.device(), mode);
-    cpu.setEventSink(sink);
+    obs::MultiSink fanout;
+    cpu.setEventSink(chainTelemetry(sink, telemetry, fanout));
     cpu.setCriticalPathTracker(cp);
-    if (!stats_out)
+    if (!stats_out) {
+        if (telemetry)
+            telemetry->attachRegistry(nullptr);
         return cpu.run(*trace);
+    }
 
     stats::StatsRegistry registry;
     registerRunStats(registry, cpu, hierarchy, &workload.device());
     if (cp)
         cp->regStats(registry);
+    if (telemetry)
+        telemetry->attachRegistry(&registry);
     cpu::SimResult result = cpu.run(*trace);
     *stats_out = registry.snapshot();
+    if (telemetry)
+        telemetry->attachRegistry(nullptr);
     return result;
 }
 
@@ -83,11 +126,21 @@ runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
     ExperimentResult result;
     result.workloadName = workload.name();
 
+    // One sampler serves every run of the experiment; the label tells
+    // the stream's consumers which run each record belongs to.
+    std::unique_ptr<obs::TelemetrySampler> sampler;
+    if (options.telemetry) {
+        sampler = std::make_unique<obs::TelemetrySampler>(
+            options.telemetry);
+    }
+
     // Software baseline on a cold hierarchy.
+    if (sampler)
+        sampler->setRunLabel(result.workloadName + "/baseline");
     result.baseline = runBaselineOnce(
         workload, core, options.sink, options.hierarchy,
         options.collectStats ? &result.baselineStats : nullptr,
-        options.engine);
+        options.engine, nullptr, sampler.get());
 
     // Calibrate the model from the baseline run and the architect's
     // latency estimate.
@@ -121,11 +174,16 @@ runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
             run_sink = options.sink;
         }
         obs::CriticalPathTracker tracker;
+        if (sampler) {
+            sampler->setRunLabel(result.workloadName + "/" +
+                                 model::tcaModeName(mode));
+        }
         outcome.sim = runAcceleratedOnce(
             workload, core, mode, run_sink, options.hierarchy,
             options.collectStats ? &outcome.stats : nullptr,
             options.engine,
-            options.trackCriticalPath ? &tracker : nullptr);
+            options.trackCriticalPath ? &tracker : nullptr,
+            sampler.get());
         outcome.functionalOk = workload.verifyFunctional();
         if (options.profileIntervals)
             outcome.intervals = profiler.summary();
@@ -169,6 +227,12 @@ runExperimentBatch(size_t count, const WorkloadFactory &factory,
     // only ever sees whole runs, replayed in job-index order below.
     std::vector<std::unique_ptr<obs::BufferingEventSink>> buffers(count);
 
+    // Telemetry mirrors the sink scheme: each job publishes to a
+    // private bus tagged with its job index, merged in index order
+    // below — the replayed stream is the same for any TCA_JOBS.
+    std::vector<std::unique_ptr<obs::TelemetryBus>> job_buses(count);
+    std::vector<obs::BufferingPublisher *> job_buffers(count, nullptr);
+
     util::parallelForIndexed(
         count,
         [&](size_t i) {
@@ -176,6 +240,16 @@ runExperimentBatch(size_t count, const WorkloadFactory &factory,
             if (options.sink) {
                 buffers[i] = std::make_unique<obs::BufferingEventSink>();
                 job_options.sink = buffers[i].get();
+            }
+            if (options.telemetry) {
+                job_buses[i] = std::make_unique<obs::TelemetryBus>(
+                    options.telemetry->epochCycles());
+                auto buffer =
+                    std::make_unique<obs::BufferingPublisher>();
+                job_buffers[i] = buffer.get();
+                job_buses[i]->addPublisher(std::move(buffer));
+                job_buses[i]->setJobTag(static_cast<int32_t>(i));
+                job_options.telemetry = job_buses[i].get();
             }
             std::unique_ptr<TcaWorkload> workload = factory(i);
             tca_assert(workload != nullptr);
@@ -188,6 +262,12 @@ runExperimentBatch(size_t count, const WorkloadFactory &factory,
     if (options.sink) {
         for (const auto &buffer : buffers)
             buffer->replayTo(*options.sink);
+    }
+    if (options.telemetry) {
+        for (const obs::BufferingPublisher *buffer : job_buffers) {
+            if (buffer)
+                buffer->replayTo(*options.telemetry);
+        }
     }
     if (options.profileIntervals) {
         for (const ExperimentResult &result : batch.results)

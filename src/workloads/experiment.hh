@@ -25,6 +25,7 @@
 #include "model/tca_mode.hh"
 #include "obs/critical_path.hh"
 #include "obs/interval_profiler.hh"
+#include "obs/telemetry.hh"
 #include "stats/registry.hh"
 #include "workloads/workload.hh"
 
@@ -132,6 +133,17 @@ struct ExperimentOptions
      */
     obs::EventSink *sink = nullptr;
 
+    /**
+     * Optional live telemetry bus (not owned). When set, every run of
+     * the experiment streams one Sample record per epoch (see
+     * obs/telemetry.hh), labelled "<workload>/baseline" or
+     * "<workload>/<mode>". In a parallel batch each job publishes to
+     * a private buffering bus that is replayed into this one in
+     * job-index order after the pool completes, so the merged stream
+     * is byte-identical for any TCA_JOBS value.
+     */
+    obs::TelemetryBus *telemetry = nullptr;
+
     mem::HierarchyConfig hierarchy{};
 
     /**
@@ -150,7 +162,11 @@ struct ExperimentOptions
  * `stats_out` is non-null the machine is registered into a run-local
  * StatsRegistry and its snapshot stored there after the run. A
  * non-null `cp` tracker is attached for the run (and, with
- * `stats_out`, its cp.* subtree joins the snapshot).
+ * `stats_out`, its cp.* subtree joins the snapshot). A non-null
+ * `telemetry` sampler is chained into the run's sink fanout and — when
+ * `stats_out` is set — attached to the run-local registry so Sample
+ * records carry per-epoch counter deltas (detached again before the
+ * registry dies).
  */
 cpu::SimResult
 runBaselineOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
@@ -158,13 +174,15 @@ runBaselineOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
                 const mem::HierarchyConfig &hierarchy = {},
                 stats::StatsSnapshot *stats_out = nullptr,
                 cpu::Engine engine = cpu::Engine::Auto,
-                obs::CriticalPathTracker *cp = nullptr);
+                obs::CriticalPathTracker *cp = nullptr,
+                obs::TelemetrySampler *telemetry = nullptr);
 
 /**
  * Run a workload's accelerated trace once in the given TCA mode:
  * fresh core, cold hierarchy, device bound, optional event sink,
  * optional stats snapshot (as runBaselineOnce, plus the device's
- * accel.<name>.* subtree), optional critical-path tracker.
+ * accel.<name>.* subtree), optional critical-path tracker, optional
+ * telemetry sampler (as runBaselineOnce).
  */
 cpu::SimResult
 runAcceleratedOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
@@ -172,7 +190,8 @@ runAcceleratedOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
                    const mem::HierarchyConfig &hierarchy = {},
                    stats::StatsSnapshot *stats_out = nullptr,
                    cpu::Engine engine = cpu::Engine::Auto,
-                   obs::CriticalPathTracker *cp = nullptr);
+                   obs::CriticalPathTracker *cp = nullptr,
+                   obs::TelemetrySampler *telemetry = nullptr);
 
 /**
  * Run the full validation flow for one workload on one core.

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Telemetry epoch-delta telescoping over the 200-entry fuzz grid, on
+ * both engines: for every config the per-epoch Sample records must sum
+ * *exactly* to the run's final totals — cycles, commits, ROB occupancy,
+ * per-cause stall cycles, accelerator starts — and every tracked stats
+ * counter's per-epoch deltas must telescope to its final registry
+ * value. The epoch length is a prime (257) so boundaries land inside
+ * skipped stretches and partial epochs are common.
+ *
+ * Across engines the non-delta sample fields must also match epoch by
+ * epoch: the event engine folds skipped ranges into epochs
+ * arithmetically (bulk onSkippedCycles), the reference engine ticks
+ * every cycle, and both must observe the same per-epoch activity.
+ * Counter deltas are exempt from the per-epoch comparison — the event
+ * engine bulk-accounts a skip's counter increments before notifying,
+ * so increments inside a skipped range land in its first epoch — but
+ * their telescoped sums must agree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/core_config.hh"
+#include "cpu/sim_result.hh"
+#include "model/tca_mode.hh"
+#include "obs/telemetry.hh"
+#include "obs/telemetry_publishers.hh"
+#include "stats/registry.hh"
+#include "util/random.hh"
+#include "workloads/experiment.hh"
+#include "workloads/synthetic.hh"
+
+#include "fuzz_configs.hh"
+
+namespace tca {
+namespace {
+
+constexpr uint64_t kEpoch = 257;
+
+/** Everything one telemetered run leaves behind. */
+struct RunCapture
+{
+    cpu::SimResult result;
+    stats::StatsSnapshot snapshot;
+    std::vector<obs::TelemetryRecord> records;
+};
+
+RunCapture
+capture(workloads::SyntheticConfig wl, const cpu::CoreConfig &core,
+        cpu::Engine engine, bool accelerated, model::TcaMode mode)
+{
+    RunCapture cap;
+    obs::TelemetryBus bus(kEpoch);
+    auto buffer_owner = std::make_unique<obs::BufferingPublisher>();
+    obs::BufferingPublisher *buffer = buffer_owner.get();
+    bus.addPublisher(std::move(buffer_owner));
+    obs::TelemetrySampler sampler(&bus);
+    sampler.setRunLabel("fuzz");
+
+    workloads::SyntheticWorkload workload(wl);
+    if (accelerated) {
+        cap.result = workloads::runAcceleratedOnce(
+            workload, core, mode, nullptr, {}, &cap.snapshot, engine,
+            nullptr, &sampler);
+    } else {
+        cap.result = workloads::runBaselineOnce(
+            workload, core, nullptr, {}, &cap.snapshot, engine, nullptr,
+            &sampler);
+    }
+    cap.records = buffer->records();
+    return cap;
+}
+
+/** Sample sums telescope exactly to the run's final totals. */
+void
+expectTelescopes(const RunCapture &cap, const std::string &label)
+{
+    ASSERT_GE(cap.records.size(), 3u) << label;
+    const obs::TelemetryRecord &begin = cap.records.front();
+    const obs::TelemetryRecord &end = cap.records.back();
+    ASSERT_EQ(begin.kind, obs::TelemetryKind::RunBegin) << label;
+    ASSERT_EQ(end.kind, obs::TelemetryKind::RunEnd) << label;
+    EXPECT_EQ(begin.epochCycles, kEpoch) << label;
+    EXPECT_EQ(end.totalCycles, cap.result.cycles) << label;
+    EXPECT_EQ(end.committedUops, cap.result.committedUops) << label;
+    EXPECT_FALSE(begin.counterPaths.empty()) << label;
+
+    uint64_t cycles = 0, rob = 0, commits = 0, accel_starts = 0;
+    std::vector<uint64_t> stalls(begin.stallCauseNames.size(), 0);
+    std::vector<uint64_t> deltas(begin.counterPaths.size(), 0);
+    uint64_t expected_epoch = 0;
+    for (size_t i = 1; i + 1 < cap.records.size(); ++i) {
+        const obs::TelemetryRecord &s = cap.records[i];
+        ASSERT_EQ(s.kind, obs::TelemetryKind::Sample) << label;
+        // Epochs are contiguous and anchored at epoch * kEpoch.
+        EXPECT_EQ(s.epoch, expected_epoch) << label;
+        EXPECT_EQ(s.startCycle, s.epoch * kEpoch) << label;
+        EXPECT_LE(s.cycles, kEpoch) << label;
+        ++expected_epoch;
+
+        cycles += s.cycles;
+        rob += s.robOccupancySum;
+        commits += s.commits;
+        accel_starts += s.accelStarts;
+        ASSERT_EQ(s.stallCycles.size(), stalls.size()) << label;
+        for (size_t c = 0; c < stalls.size(); ++c)
+            stalls[c] += s.stallCycles[c];
+        ASSERT_EQ(s.counterDeltas.size(), deltas.size()) << label;
+        for (size_t c = 0; c < deltas.size(); ++c)
+            deltas[c] += s.counterDeltas[c];
+    }
+
+    EXPECT_EQ(cycles, cap.result.cycles) << label;
+    EXPECT_EQ(commits, cap.result.committedUops) << label;
+    EXPECT_EQ(rob, cap.result.robOccupancySum) << label;
+    EXPECT_EQ(accel_starts, cap.result.accelInvocations) << label;
+    ASSERT_EQ(stalls.size(), cap.result.stallCycles.size()) << label;
+    for (size_t c = 0; c < stalls.size(); ++c)
+        EXPECT_EQ(stalls[c], cap.result.stallCycles[c])
+            << label << " stall cause " << c;
+
+    // Every tracked counter's deltas sum to its final snapshot value:
+    // the run-local registry starts at zero, so telescoping means the
+    // stream reconstructs the final stats tree counter for counter.
+    for (size_t c = 0; c < deltas.size(); ++c) {
+        const std::string &path = begin.counterPaths[c];
+        ASSERT_TRUE(cap.snapshot.has(path)) << label << " " << path;
+        EXPECT_EQ(deltas[c], cap.snapshot.leaves().at(path).count)
+            << label << " " << path;
+    }
+}
+
+/** Per-epoch activity matches across engines (deltas compared in sum
+ *  by expectTelescopes against each engine's own snapshot). */
+void
+expectSameEpochs(const RunCapture &event, const RunCapture &ref,
+                 const std::string &label)
+{
+    ASSERT_EQ(event.records.size(), ref.records.size()) << label;
+    for (size_t i = 0; i < event.records.size(); ++i) {
+        const obs::TelemetryRecord &e = event.records[i];
+        const obs::TelemetryRecord &r = ref.records[i];
+        ASSERT_EQ(e.kind, r.kind) << label << " record " << i;
+        if (e.kind != obs::TelemetryKind::Sample)
+            continue;
+        std::string at = label + " epoch " + std::to_string(e.epoch);
+        EXPECT_EQ(e.epoch, r.epoch) << at;
+        EXPECT_EQ(e.cycles, r.cycles) << at;
+        EXPECT_EQ(e.robOccupancySum, r.robOccupancySum) << at;
+        EXPECT_EQ(e.commits, r.commits) << at;
+        EXPECT_EQ(e.accelStarts, r.accelStarts) << at;
+        EXPECT_EQ(e.accelBusyCycles, r.accelBusyCycles) << at;
+        EXPECT_EQ(e.stallCycles, r.stallCycles) << at;
+    }
+}
+
+TEST(TelemetryTelescope, FuzzGridTelescopesOnBothEngines)
+{
+    constexpr size_t kConfigs = 200;
+    for (size_t i = 0; i < kConfigs; ++i) {
+        // Exactly the core-invariants fuzz grid: same seeds, same
+        // geometry/workload generators, same mode rotation.
+        Rng rng(0xfeed0000 + i);
+        cpu::CoreConfig core = test::randomFuzzCore(rng, i);
+        workloads::SyntheticConfig wl = test::randomFuzzWorkload(rng, i);
+        model::TcaMode mode = model::allTcaModes[i % 4];
+        bool accelerated = (i % 2) == 1; // alternate run flavors
+
+        std::string label = "config " + std::to_string(i) +
+            (accelerated
+                 ? std::string(" mode ") + model::tcaModeName(mode)
+                 : std::string(" baseline"));
+
+        RunCapture event = capture(wl, core, cpu::Engine::Event,
+                                   accelerated, mode);
+        RunCapture ref = capture(wl, core, cpu::Engine::Reference,
+                                 accelerated, mode);
+        expectTelescopes(event, label + " (event)");
+        expectTelescopes(ref, label + " (reference)");
+        expectSameEpochs(event, ref, label);
+
+        if (HasFatalFailure() || HasNonfatalFailure())
+            break; // the first diverging config is enough signal
+    }
+}
+
+} // namespace
+} // namespace tca

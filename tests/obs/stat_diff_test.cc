@@ -105,6 +105,29 @@ TEST(StatDiff, HostAndRssStatsAreInformational)
     EXPECT_FALSE(report.failed());
 }
 
+TEST(StatDiff, TelemetryStatsAreInformationalExceptOverhead)
+{
+    using MD = MetricDirection;
+    // Telemetry bookkeeping counts stream volume (epochs, heartbeats,
+    // records), not artifact quality — and must stay informational
+    // even when a leaf name matches a cost token ("sample_cycles").
+    EXPECT_EQ(inferDirection("telemetry.epochs"), MD::Unknown);
+    EXPECT_EQ(inferDirection("telemetry.heartbeats"), MD::Unknown);
+    EXPECT_EQ(inferDirection("telemetry.records"), MD::Unknown);
+    EXPECT_EQ(inferDirection("metrics.telemetry.sample_cycles"),
+              MD::Unknown);
+    // ...the one exception: the stream's own publish cost is a real
+    // overhead, so less of it is better.
+    EXPECT_EQ(inferDirection("telemetry.epoch_overhead_seconds"),
+              MD::LowerIsBetter);
+    EXPECT_EQ(inferDirection("bench.telemetry.overhead_seconds"),
+              MD::LowerIsBetter);
+    // A workload that merely mentions telemetry elsewhere in the path
+    // is not covered: only a telemetry.* prefix or .telemetry. token.
+    EXPECT_EQ(inferDirection("telemetry_wall_seconds"),
+              MD::LowerIsBetter);
+}
+
 TEST(StatDiff, PrefixesRestrictTheComparisonSurface)
 {
     std::map<std::string, double> old_stats{

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Live terminal monitor for telemetry streams (the `top` of the
+ * simulator). Tails the NDJSON stream a run writes with
+ * TCA_TELEMETRY=ndjson and renders per-scenario progress bars, a
+ * per-run table (epochs, cycles, IPC, ROB occupancy, accelerator
+ * utilization), a stall-cause bar chart, and the hottest stats
+ * counters by last-epoch delta.
+ *
+ * Modes:
+ *   tca_top STREAM             follow: tail the file live (ANSI
+ *                              redraw; ctrl-C to quit). A staleness
+ *                              warning appears when no record — not
+ *                              even a heartbeat — arrives for a while:
+ *                              fresh heartbeats are the liveness
+ *                              signal, so a long-silent stream means
+ *                              the producer is likely stuck or gone.
+ *   tca_top --replay STREAM    re-render a recorded stream with
+ *                              periodic redraws, then print the final
+ *                              screen (demo/debug).
+ *   tca_top --once STREAM      consume the whole stream and print one
+ *                              plain screen (CI-friendly; the screen
+ *                              is a pure function of the stream, so
+ *                              goldens are stable).
+ *
+ * The model + renderer live in obs/telemetry.hh so tests golden the
+ * exact screen this CLI prints.
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/telemetry.hh"
+
+using namespace tca;
+
+namespace {
+
+int
+usage(const char *argv0, int code)
+{
+    std::fprintf(
+        code ? stderr : stdout,
+        "usage: %s [--once | --replay] [--interval-ms N] [--width N]\n"
+        "          [--top N] [--stale-secs N] STREAM.ndjson\n"
+        "\n"
+        "Renders a live view of a TCA_TELEMETRY=ndjson stream.\n"
+        "  (default)        follow the file like tail -f, redrawing as\n"
+        "                   records arrive; warns when the stream goes\n"
+        "                   silent (no heartbeat = not alive)\n"
+        "  --once           consume the whole file, print one plain\n"
+        "                   screen, exit (for CI and goldens)\n"
+        "  --replay         redraw every --interval-ms while replaying\n"
+        "                   the recorded stream, then print the final\n"
+        "                   screen\n"
+        "  --interval-ms N  redraw period in follow/replay mode\n"
+        "                   (default 500)\n"
+        "  --width N        screen width (default 80)\n"
+        "  --top N          hottest-counter rows (default 8)\n"
+        "  --stale-secs N   follow mode: warn after N silent seconds\n"
+        "                   (default 30)\n",
+        argv0);
+    return code;
+}
+
+/** Clear screen + home cursor, then the rendered screen. */
+void
+redraw(const obs::TelemetryModel &model, size_t width, size_t top_n)
+{
+    std::fputs("\x1b[2J\x1b[H", stdout);
+    std::fputs(obs::renderTopScreen(model, width, top_n).c_str(),
+               stdout);
+    std::fflush(stdout);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bool once = false;
+    bool replay = false;
+    long interval_ms = 500;
+    size_t width = 80;
+    size_t top_n = 8;
+    double stale_secs = 30.0;
+    std::string path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(usage(argv[0], 2));
+            }
+            return argv[++i];
+        };
+        if (arg == "--once") {
+            once = true;
+        } else if (arg == "--replay") {
+            replay = true;
+        } else if (arg == "--interval-ms") {
+            interval_ms = std::atol(value());
+            if (interval_ms < 1) {
+                std::fprintf(stderr, "--interval-ms must be >= 1\n");
+                return 2;
+            }
+        } else if (arg == "--width") {
+            width = static_cast<size_t>(std::atol(value()));
+        } else if (arg == "--top") {
+            top_n = static_cast<size_t>(std::atol(value()));
+        } else if (arg == "--stale-secs") {
+            stale_secs = std::atof(value());
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0], 0);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+            return usage(argv[0], 2);
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            std::fprintf(stderr, "more than one stream given\n");
+            return usage(argv[0], 2);
+        }
+    }
+    if (path.empty()) {
+        std::fprintf(stderr, "no stream given\n");
+        return usage(argv[0], 2);
+    }
+    if (once && replay) {
+        std::fprintf(stderr, "--once and --replay are exclusive\n");
+        return 2;
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+        return 1;
+    }
+
+    obs::TelemetryModel model;
+    std::string line;
+
+    if (once) {
+        while (std::getline(in, line))
+            model.consumeLine(line);
+        std::fputs(obs::renderTopScreen(model, width, top_n).c_str(),
+                   stdout);
+        return model.numRecords() > 0 ? 0 : 1;
+    }
+
+    if (replay) {
+        // Records carry no wall clock, so replay pacing is by record
+        // count: one redraw per `interval_ms`-worth of screen updates
+        // is pointless offline — instead redraw every 64 records and
+        // sleep briefly so the progression is visible.
+        uint64_t since_redraw = 0;
+        while (std::getline(in, line)) {
+            model.consumeLine(line);
+            if (++since_redraw >= 64) {
+                since_redraw = 0;
+                redraw(model, width, top_n);
+                ::usleep(static_cast<useconds_t>(interval_ms) * 1000);
+            }
+        }
+        std::fputs("\x1b[2J\x1b[H", stdout);
+        std::fputs(obs::renderTopScreen(model, width, top_n).c_str(),
+                   stdout);
+        return model.numRecords() > 0 ? 0 : 1;
+    }
+
+    // Follow mode: tail the stream. getline() hitting EOF clears the
+    // stream state and we retry after a sleep — the producer flushes
+    // whole lines, so a successful getline is always a whole record.
+    double silent_secs = 0.0;
+    bool dirty = true;
+    std::string partial;
+    while (true) {
+        bool progressed = false;
+        while (std::getline(in, line)) {
+            // A writer mid-line can hand us a prefix; only lines
+            // ending at a newline were complete. tellg()-based
+            // reposition is overkill here: flushes are per record, so
+            // partial reads are rare — accumulate just in case.
+            if (in.eof()) {
+                partial += line;
+                break;
+            }
+            if (!partial.empty()) {
+                line = partial + line;
+                partial.clear();
+            }
+            model.consumeLine(line);
+            progressed = true;
+        }
+        in.clear();
+        if (progressed) {
+            silent_secs = 0.0;
+            dirty = true;
+        }
+        if (dirty) {
+            redraw(model, width, top_n);
+            dirty = false;
+            if (silent_secs >= stale_secs) {
+                std::printf("\nSTALE: no telemetry for %.0fs — producer "
+                            "stuck or gone? (ctrl-C to quit)\n",
+                            silent_secs);
+                std::fflush(stdout);
+            }
+        }
+        ::usleep(static_cast<useconds_t>(interval_ms) * 1000);
+        silent_secs += static_cast<double>(interval_ms) / 1000.0;
+        if (silent_secs >= stale_secs)
+            dirty = true;
+    }
+    return 0;
+}
