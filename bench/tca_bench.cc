@@ -134,6 +134,81 @@ experimentScenario(std::string name, std::string description,
     return scenario;
 }
 
+/**
+ * L_T_async command-queue depth sweep: the same bursty synthetic
+ * workload at queue depths 1/2/4/8. Reports the standard per-mode
+ * errors averaged over the sweep PLUS one depth-resolved report per
+ * point ("L_T_async@d<depth>") so tca_compare can gate the async
+ * equation's t_queue term at every depth, not just the default.
+ */
+BenchScenario
+asyncQueueScenario(ExperimentOptions base)
+{
+    BenchScenario scenario;
+    scenario.name = "ext_async_queue";
+    scenario.description =
+        "async command-queue depth sweep {1,2,4,8} on a bursty "
+        "synthetic workload";
+    scenario.run = [base](bool quick) {
+        ExperimentOptions options = base;
+        options.profileIntervals = true;
+        options.trackCriticalPath = true;
+        ScenarioMetrics metrics;
+        const int depths[] = {1, 2, 4, 8};
+        for (int depth : depths) {
+            SyntheticConfig conf;
+            conf.fillerUops = quick ? 16000 : 80000;
+            conf.numInvocations = quick ? 40u : 200u;
+            conf.regionUops = 120;
+            conf.accelLatency = 60;
+            conf.seed = 29;
+            SyntheticWorkload workload(conf);
+            cpu::CoreConfig core = cpu::a72CoreConfig();
+            core.accelQueueDepth = static_cast<uint32_t>(depth);
+            ExperimentResult r =
+                runExperiment(workload, core, options);
+            accumulateExperiment(r, metrics);
+
+            // Depth-resolved async row, alongside the averaged ones.
+            const ModeOutcome &async =
+                r.forMode(TcaMode::L_T_async);
+            IntervalModel predictor(r.params);
+            IntervalBreakdown model =
+                modelTerms(predictor.times(), TcaMode::L_T_async);
+            const IntervalBreakdown &meas = async.intervals.mean;
+            ModeErrorReport report;
+            report.mode = std::string("L_T_async@d") +
+                          std::to_string(depth);
+            report.meanAbsErrorPercent = std::fabs(async.errorPercent);
+            report.termGap.nonAccl =
+                std::fabs(model.nonAccl - meas.nonAccl);
+            report.termGap.accl = std::fabs(model.accl - meas.accl);
+            report.termGap.drain = std::fabs(model.drain - meas.drain);
+            report.termGap.commit =
+                std::fabs(model.commit - meas.commit);
+            report.dominantTerm = dominantTermName(report.termGap);
+            metrics.modeErrors.push_back(std::move(report));
+        }
+        // Average only the shared per-mode rows (the first five);
+        // the depth-resolved rows are single-point already. Rather
+        // than special-case finishModeErrors, divide in place.
+        double n = static_cast<double>(std::size(depths));
+        for (size_t i = 0; i < allTcaModes.size() &&
+                           i < metrics.modeErrors.size();
+             ++i) {
+            ModeErrorReport &report = metrics.modeErrors[i];
+            report.meanAbsErrorPercent /= n;
+            report.termGap.nonAccl /= n;
+            report.termGap.accl /= n;
+            report.termGap.drain /= n;
+            report.termGap.commit /= n;
+            report.dominantTerm = dominantTermName(report.termGap);
+        }
+        return metrics;
+    };
+    return scenario;
+}
+
 /** Raw simulator throughput: a plain baseline run, no model at all.
  *  With a telemetry bus attached the run is sampled like any other, so
  *  diffing this scenario with TCA_TELEMETRY off vs on measures the
@@ -344,6 +419,7 @@ registerScenarios(BenchHarness &harness, TelemetryBus *telemetry)
             conf.seed = 13;
             return std::make_unique<SyntheticWorkload>(conf);
         }, base));
+    harness.add(asyncQueueScenario(base));
     harness.add(simulatorThroughputScenario(telemetry));
     harness.add(modelEvalScenario());
     harness.add(sweepDenseScenario());

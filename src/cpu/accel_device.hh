@@ -46,6 +46,13 @@ class AccelDevice
      * Begin invocation `id`. Called exactly once per invocation, at
      * the cycle the core lets the TCA start executing.
      *
+     * Under the asynchronous mode (L_T_async) the call happens at
+     * *enqueue* time: the core pushes the invocation into the port's
+     * bounded command queue and the device drains entries strictly in
+     * FIFO order, each starting its compute phase only after the
+     * previous one finished (the core chains completion times, so a
+     * device never sees overlapping invocations on one port).
+     *
      * @param id invocation id from the Accel MicroOp
      * @param[out] requests memory requests to arbitrate through the
      *             core's memory ports (may be empty)

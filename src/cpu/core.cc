@@ -41,6 +41,7 @@ stallCauseName(StallCause cause)
       case StallCause::LsqFull:          return "lsq_full";
       case StallCause::SerializeBarrier: return "serialize_barrier";
       case StallCause::BranchRedirect:   return "branch_redirect";
+      case StallCause::AccelQueueFull:   return "accel_queue_full";
       case StallCause::NumCauses:        break;
     }
     panic("invalid StallCause %d", static_cast<int>(cause));
@@ -54,7 +55,8 @@ SimResult::summary() const
                   "cycles=%llu uops=%llu ipc=%.4f accel_invocations=%llu "
                   "avg_accel_latency=%.1f\n"
                   "stalls: rob_full=%llu iq_full=%llu lsq_full=%llu "
-                  "barrier=%llu redirect=%llu trace_empty=%llu",
+                  "barrier=%llu redirect=%llu trace_empty=%llu "
+                  "accel_queue_full=%llu",
                   static_cast<unsigned long long>(cycles),
                   static_cast<unsigned long long>(committedUops), ipc(),
                   static_cast<unsigned long long>(accelInvocations),
@@ -70,7 +72,9 @@ SimResult::summary() const
                   static_cast<unsigned long long>(
                       stalls(StallCause::BranchRedirect)),
                   static_cast<unsigned long long>(
-                      stalls(StallCause::TraceEmpty)));
+                      stalls(StallCause::TraceEmpty)),
+                  static_cast<unsigned long long>(
+                      stalls(StallCause::AccelQueueFull)));
     return buf;
 }
 
@@ -83,6 +87,9 @@ CoreCounters::reset()
     accelInvocations.reset();
     accelLatencyTotal.reset();
     robOccupancySum.reset();
+    accelQueueEnqueues.reset();
+    accelQueueCompletions.reset();
+    accelQueueFullDrains.reset();
     for (stats::Counter &counter : stallCycles)
         counter.reset();
     for (stats::Counter &counter : committedByClass)
@@ -137,8 +144,13 @@ Core::resetRunState()
     barrierActive = false;
     barrierSeq = 0;
     cpNote = CpIssueNote{};
-    for (AccelPortState &port : accelPorts)
+    for (AccelPortState &port : accelPorts) {
         port.busyUntil = 0;
+        port.queue.clear();
+        port.queueFullClearAt = 0;
+    }
+    asyncPending = 0;
+    accelQueueOccupancy.reset();
     fuPool.resetStats();
     tallies.reset();
     result = SimResult{};
@@ -232,7 +244,11 @@ Core::runReference()
     uint64_t last_progress_uops = 0;
     mem::Cycle last_progress_cycle = 0;
 
-    while (!traceDone || !rob.empty()) {
+    // The run drains queued async invocations past the last retire:
+    // the device still owes completions, and total cycles must cover
+    // them (both engines end at the final pop's cycle + 1).
+    while (!traceDone || !rob.empty() || asyncPending > 0) {
+        accelQueueTick();
         commitStage();
         issueStage();
         dispatchStage();
@@ -242,7 +258,10 @@ Core::runReference()
             sink->onCycle(now, rob.size());
 
         // Deadlock detector: the pipeline must make forward progress.
-        uint64_t progress = tallies.committedUops.value() + rob.next();
+        // Async pops count: a run-end drain commits nothing but still
+        // advances through queued completions.
+        uint64_t progress = tallies.committedUops.value() + rob.next() +
+                            tallies.accelQueueCompletions.value();
         if (progress != last_progress_uops) {
             last_progress_uops = progress;
             last_progress_cycle = now;
@@ -263,7 +282,8 @@ Core::runEvent()
     uint64_t last_progress_uops = 0;
     mem::Cycle last_progress_cycle = 0;
 
-    while (!traceDone || !rob.empty()) {
+    while (!traceDone || !rob.empty() || asyncPending > 0) {
+        accelQueueTick();
         deliverWakeups();
         commitStage();
         issueStageEvent();
@@ -273,7 +293,8 @@ Core::runEvent()
         if (sink)
             sink->onCycle(now, rob.size());
 
-        uint64_t progress = tallies.committedUops.value() + rob.next();
+        uint64_t progress = tallies.committedUops.value() + rob.next() +
+                            tallies.accelQueueCompletions.value();
         if (progress != last_progress_uops) {
             last_progress_uops = progress;
             last_progress_cycle = now;
@@ -285,7 +306,7 @@ Core::runEvent()
         // the cycles in between (docs/PERFORMANCE.md has the proof
         // sketch). The jump itself counts as watchdog progress.
         if (tickCommits == 0 && tickIssues == 0 && tickDispatches == 0 &&
-            (!traceDone || !rob.empty())) {
+            (!traceDone || !rob.empty() || asyncPending > 0)) {
             mem::Cycle next = nextEventTime();
             if (next == kNoEvent) {
                 panic("core deadlock at cycle %llu: no pending events "
@@ -449,6 +470,19 @@ Core::regStats(stats::StatsRegistry &registry,
         },
         "mean TCA issue-to-complete latency");
 
+    registry.addCounter(prefix + ".accel.queue.enqueues",
+                        &tallies.accelQueueEnqueues,
+                        "async command-queue entries enqueued");
+    registry.addCounter(prefix + ".accel.queue.completions",
+                        &tallies.accelQueueCompletions,
+                        "async command-queue entries drained");
+    registry.addCounter(prefix + ".accel.queue.full_drains",
+                        &tallies.accelQueueFullDrains,
+                        "drains that freed a slot in a full queue");
+    registry.addHistogram(prefix + ".accel.queue.occupancy",
+                          &accelQueueOccupancy,
+                          "queue depth observed at each async enqueue");
+
     if (bpred)
         bpred->regStats(registry, prefix + ".bpred");
 }
@@ -477,6 +511,34 @@ Core::recordStall(StallCause cause)
     tallies.stallCycles[static_cast<size_t>(cause)].inc();
     if (sink)
         sink->onDispatchStall(static_cast<uint8_t>(cause), now);
+}
+
+void
+Core::accelQueueTick()
+{
+    if (asyncPending == 0)
+        return;
+    for (AccelPortState &port : accelPorts) {
+        while (!port.queue.empty() &&
+               port.queue.front().completeAt <= now) {
+            bool was_full = port.queue.size() >= conf.accelQueueDepth;
+            port.queue.pop_front();
+            --asyncPending;
+            tallies.accelQueueCompletions.inc();
+            if (was_full) {
+                port.queueFullClearAt = now;
+                tallies.accelQueueFullDrains.inc();
+            }
+        }
+        // Per-cycle backpressure accounting: one stall cycle per port
+        // whose queue is (still) full this cycle. Not a dispatch stall
+        // — no onDispatchStall emission — so the count is identical in
+        // both engines regardless of when blocked issues re-attempt.
+        if (port.queue.size() >= conf.accelQueueDepth) {
+            tallies.stallCycles[static_cast<size_t>(
+                StallCause::AccelQueueFull)].inc();
+        }
+    }
 }
 
 void
@@ -623,7 +685,18 @@ bool
 Core::issueAccel(RobEntry &entry, IssueBlock *block)
 {
     AccelPortState &port = portFor(entry.op);
-    if (port.busyUntil > now) {
+    const bool async = model::isAsyncMode(port.mode);
+    if (async) {
+        // Async: the only invocation-side gate is command-queue space;
+        // a full queue backpressures until its oldest entry drains.
+        if (port.queue.size() >= conf.accelQueueDepth) {
+            if (block) {
+                block->kind = IssueBlock::Kind::Time;
+                block->wakeAt = port.queue.front().completeAt;
+            }
+            return false;
+        }
+    } else if (port.busyUntil > now) {
         // This TCA's previous invocation is still running.
         if (block) {
             block->kind = IssueBlock::Kind::Time;
@@ -687,16 +760,38 @@ Core::issueAccel(RobEntry &entry, IssueBlock *block)
         mem_done = std::max(mem_done, done);
     }
 
-    entry.completeCycle =
-        std::max(mem_done + compute, static_cast<mem::Cycle>(now + 1));
-    port.busyUntil = entry.completeCycle;
+    // The device drains its command queue serially, so an invocation
+    // starts only once the port's previous one has finished even
+    // though the enqueue itself never blocked.
+    mem::Cycle ready = std::max(mem_done, port.busyUntil);
+    mem::Cycle complete_at =
+        std::max(ready + compute, static_cast<mem::Cycle>(now + 1));
+    if (async) {
+        port.busyUntil = complete_at;
+        port.queue.push_back({entry.seq, now, complete_at});
+        ++asyncPending;
+        tallies.accelQueueEnqueues.inc();
+        accelQueueOccupancy.sample(
+            static_cast<uint64_t>(port.queue.size()));
+        // Early retire: the uop completes with the enqueue ack next
+        // cycle; the device-side completion is tracked by the queue.
+        entry.completeCycle = conf.asyncEarlyRetire
+            ? static_cast<mem::Cycle>(now + 1) : complete_at;
+        if (cpTracker) {
+            cpNote.queueClear = port.queueFullClearAt;
+            cpNote.queueTracked = port.queueFullClearAt > 0;
+        }
+    } else {
+        entry.completeCycle = complete_at;
+        port.busyUntil = entry.completeCycle;
+    }
 
     tallies.accelInvocations.inc();
-    tallies.accelLatencyTotal.inc(entry.completeCycle - now);
+    tallies.accelLatencyTotal.inc(complete_at - now);
     if (sink) {
         sink->onAccelInvocation(
             entry.op.accelPort, entry.op.accelInvocation,
-            port.device->name(), now, entry.completeCycle, compute,
+            port.device->name(), now, complete_at, compute,
             static_cast<uint32_t>(requests.size()));
     }
     return true;
@@ -783,7 +878,7 @@ Core::cpRecordIssue(RobEntry &entry)
     // Candidate last-unblocking edges, all computed from
     // engine-invariant simulated state at issue success. Every clear
     // time is <= now; the tracker picks the latest as the winner.
-    std::array<CpEdge, 12> cand;
+    std::array<CpEdge, 13> cand;
     size_t n = 0;
 
     // Dispatch order: the earliest this uop could ever have issued.
@@ -814,12 +909,23 @@ Core::cpRecordIssue(RobEntry &entry)
 
     if (entry.op.isAccel()) {
         AccelPortState &port = portFor(entry.op);
-        // The port runs one invocation at a time; busyUntil always
-        // equals the previous invocation's completeCycle.
-        uint64_t prev = cpTracker->lastAccelSeqOnPort(entry.op.accelPort);
-        if (prev != obs::cpNoSeq) {
-            cand[n++] = CpEdge{cpTracker->completeOf(prev),
-                               CpCause::AccelBusy, prev};
+        if (!model::isAsyncMode(port.mode)) {
+            // The port runs one invocation at a time; busyUntil always
+            // equals the previous invocation's completeCycle.
+            uint64_t prev =
+                cpTracker->lastAccelSeqOnPort(entry.op.accelPort);
+            if (prev != obs::cpNoSeq) {
+                cand[n++] = CpEdge{cpTracker->completeOf(prev),
+                                   CpCause::AccelBusy, prev};
+            }
+        } else if (cpNote.queueTracked) {
+            // Async: the previous invocation's retirement is an
+            // enqueue ack whose device-side completion can postdate
+            // this issue, so AccelBusy does not apply. The observable
+            // gate is the last cycle the command queue drained from
+            // full — the slot this enqueue reuses.
+            cand[n++] = CpEdge{cpNote.queueClear,
+                               CpCause::AccelQueueFull, obs::cpNoSeq};
         }
         if (!model::allowsLeading(port.mode)) {
             // NL drain: issue required seq-1's retirement, which
@@ -1054,6 +1160,15 @@ Core::nextEventTime() const
     }
     if (resumeDispatchAt > now)
         next = std::min(next, resumeDispatchAt);
+    if (asyncPending > 0) {
+        // Async command queues drain on their own clock: the head
+        // entry's completion frees a slot (and may wake a queue-full
+        // parked producer) without any in-window issue or commit.
+        for (const AccelPortState &port : accelPorts) {
+            if (!port.queue.empty())
+                next = std::min(next, port.queue.front().completeAt);
+        }
+    }
     // Every other dispatch blocker (ROB/IQ/LSQ full, NT barrier,
     // empty trace with a draining window) clears only through a
     // commit or issue, which the candidates above already cover.
@@ -1076,9 +1191,23 @@ Core::accountSkipped(mem::Cycle first, mem::Cycle last)
     uint64_t cycles = last - first + 1;
     uint32_t occupancy = rob.size();
     size_t cause = static_cast<size_t>(tickStallCause);
+    // Full async queues stay full across the skip (pops are next-event
+    // candidates, enqueues need an issue), so each skipped cycle
+    // repeats the frozen tick's per-port backpressure accounting.
+    uint64_t full_ports = 0;
+    if (asyncPending > 0) {
+        for (const AccelPortState &port : accelPorts) {
+            if (port.queue.size() >= conf.accelQueueDepth)
+                ++full_ports;
+        }
+    }
     if (!sink || sink->wantsBulkSkips()) {
         if (tickStallRecorded)
             tallies.stallCycles[cause].inc(cycles);
+        if (full_ports) {
+            tallies.stallCycles[static_cast<size_t>(
+                StallCause::AccelQueueFull)].inc(full_ports * cycles);
+        }
         tallies.cycles.inc(cycles);
         tallies.robOccupancySum.inc(
             static_cast<uint64_t>(occupancy) * cycles);
@@ -1097,6 +1226,10 @@ Core::accountSkipped(mem::Cycle first, mem::Cycle last)
             sink->onDispatchStall(static_cast<uint8_t>(tickStallCause),
                                   c);
         }
+        if (full_ports) {
+            tallies.stallCycles[static_cast<size_t>(
+                StallCause::AccelQueueFull)].inc(full_ports);
+        }
         tallies.cycles.inc();
         tallies.robOccupancySum.inc(occupancy);
         sink->onCycle(c, occupancy);
@@ -1110,10 +1243,11 @@ Core::pendingEventSummary() const
     std::snprintf(
         buf, sizeof(buf),
         "rob=%u ready=%zu retry=%zu completions=%zu time_parked=%zu "
-        "drain_parked=%zu barrier=%d redirect=%d resume_at=%llu",
+        "drain_parked=%zu async_pending=%zu barrier=%d redirect=%d "
+        "resume_at=%llu",
         rob.size(), readyQ.size(), retryNextCycle.size(),
         completions.size() + wheelPending, timeParked.size(),
-        drainParked.size(),
+        drainParked.size(), asyncPending,
         barrierActive ? 1 : 0, redirectPending ? 1 : 0,
         static_cast<unsigned long long>(resumeDispatchAt));
     return buf;

@@ -61,6 +61,13 @@ struct CoreCounters
     stats::Counter accelInvocations;
     stats::Counter accelLatencyTotal;
     stats::Counter robOccupancySum;
+    // Async (L_T_async) command-queue activity. Enqueues == successful
+    // async issues; completions == device-side drains; fullDrains ==
+    // pops that took a queue from full to full-1 (backpressure-release
+    // events). All counted at identical cycles in both engines.
+    stats::Counter accelQueueEnqueues;
+    stats::Counter accelQueueCompletions;
+    stats::Counter accelQueueFullDrains;
     std::array<stats::Counter,
                static_cast<size_t>(StallCause::NumCauses)> stallCycles;
     std::array<stats::Counter, 10> committedByClass;
@@ -283,6 +290,17 @@ class Core
     void accountSkipped(mem::Cycle first, mem::Cycle last);
     std::string pendingEventSummary() const;
 
+    /**
+     * Async command-queue maintenance, run at the top of every
+     * executed tick in both engines: pop invocations whose completeAt
+     * has arrived (FIFO per port), then charge one AccelQueueFull
+     * stall cycle per still-full port. Skipped cycles replicate the
+     * frozen tick's full-port count in accountSkipped() — queue state
+     * cannot change across a skip because pops are next-event
+     * candidates and enqueues require an issue.
+     */
+    void accelQueueTick();
+
     /** True when a uop's result is available at the current cycle. */
     bool isDone(const RobEntry &entry) const
     {
@@ -304,6 +322,8 @@ class Core
         mem::Cycle portClear = 0;   ///< port next-free before claim
         bool portUsed = false;      ///< attempt claimed a memory port
         uint64_t forwardStore = noSeq; ///< store that forwarded data
+        mem::Cycle queueClear = 0;  ///< async: last full-queue release
+        bool queueTracked = false;  ///< async issue with a release seen
     };
     /** Assemble candidate edges for a just-issued uop and record them
      *  with the winning (latest-clearing) one. */
@@ -314,13 +334,32 @@ class Core
     /** Fill `result` from the run's tallies (at run end). */
     void materializeResult();
 
+    /** One queued (async-mode) invocation awaiting device completion. */
+    struct PendingInvocation
+    {
+        uint64_t seq = 0;          ///< invoking uop (already retired)
+        mem::Cycle enqueuedAt = 0;
+        mem::Cycle completeAt = 0; ///< device pops the entry here
+    };
+
     /** One accelerator attachment point. */
     struct AccelPortState
     {
         AccelDevice *device = nullptr;
         model::TcaMode mode = model::TcaMode::L_T;
-        /** A port runs one invocation at a time. */
+        /** A port runs one invocation at a time; in async mode this is
+         *  the completion of the newest queued invocation (the device
+         *  drains serially, so completeAts chain through it). */
         mem::Cycle busyUntil = 0;
+        /**
+         * Async command queue (FIFO, bounded by accelQueueDepth).
+         * completeAts are monotone, so drainAccelQueues() pops in
+         * completion order by walking the front.
+         */
+        std::deque<PendingInvocation> queue;
+        /** Last cycle a pop took the queue from full to full-1 (0 if
+         *  never); the clear time of AccelQueueFull candidate edges. */
+        mem::Cycle queueFullClearAt = 0;
         /** Reused across invocations (cleared each time) so the hot
          *  path does not allocate a fresh vector per invocation. */
         std::vector<AccelRequest> requestBuffer;
@@ -335,6 +374,11 @@ class Core
 
     // --- per-run state ---
     mem::Cycle now = 0;
+    /** Queued async invocations across all ports; the run loops keep
+     *  ticking until this drains even after the trace and ROB empty. */
+    size_t asyncPending = 0;
+    /** Queue occupancy sampled after each successful async enqueue. */
+    stats::Distribution accelQueueOccupancy{1, 64};
     Rob rob;
     FuPool fuPool;
     PortArbiter memPorts;

@@ -45,6 +45,9 @@ CoreConfig::validate() const
     if (intAluUnits == 0 || branchUnits == 0)
         fatal("%s: need at least one ALU and one branch unit",
               name.c_str());
+    if (accelQueueDepth == 0)
+        fatal("%s: accel command queue needs at least one entry",
+              name.c_str());
 }
 
 void
@@ -78,6 +81,9 @@ CoreConfig::writeJson(JsonWriter &json) const
     put("forward_latency", forwardLatency);
     put("commit_latency", commitLatency);
     put("redirect_penalty", redirectPenalty);
+    put("accel_queue_depth", accelQueueDepth);
+    json.key("async_early_retire");
+    json.value(asyncEarlyRetire);
     json.endObject();
 }
 

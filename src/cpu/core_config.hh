@@ -63,6 +63,23 @@ struct CoreConfig
     /** Front-end refill after a branch misprediction resolves. */
     uint32_t redirectPenalty = 12;
 
+    /**
+     * Bounded command-queue depth for async (L_T_async) accelerator
+     * ports: invocations the device may hold pending before issue of
+     * the next accel uop backpressures.
+     */
+    uint32_t accelQueueDepth = 4;
+
+    /**
+     * When true (the default), an async accel uop completes one cycle
+     * after enqueue (the enqueue ack) and retires without waiting for
+     * the device; its destination register carries the ack ticket, so
+     * consumers observe fire-and-forget semantics. When false, the uop
+     * completes at device completion, which with accelQueueDepth == 1
+     * makes L_T_async degenerate to synchronous L_T.
+     */
+    bool asyncEarlyRetire = true;
+
     /** Execution latency of an op class (memory classes excluded). */
     uint32_t latencyOf(trace::OpClass cls) const;
 

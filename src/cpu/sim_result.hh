@@ -25,6 +25,9 @@ enum class StallCause : uint8_t {
     LsqFull,
     SerializeBarrier,///< NT-mode dispatch barrier behind a TCA
     BranchRedirect,  ///< waiting on a mispredicted branch to resolve
+    AccelQueueFull,  ///< cycles an async command queue was full
+                     ///< (backpressure; counted per full port-cycle,
+                     ///< not per blocked dispatch)
     NumCauses,
 };
 

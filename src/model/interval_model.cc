@@ -67,12 +67,50 @@ IntervalModel::IntervalModel(const TcaParams &params, double drain_beta)
                  t.accl + t.drain + t.commit));
     // Equation (9).
     set(TcaMode::L_T, std::max(t.nonAccl + t.ltRobFull, t.accl));
+
+    // L_T_async extension: the invoking uop retires on enqueue, so the
+    // accelerator never occupies the window (no ltRobFull term) and
+    // host and device run as an open pair of servers. Treat each as an
+    // M/D/1-style station with utilisation rho = service / inter-arrival
+    // = t_accl / t_non_accl; the mean queue occupancy
+    //   L(rho) = rho + rho^2 / (2 (1 - rho))
+    // saturates at the configured depth. Backpressure only costs time
+    // when the queue is actually full, which a depth-d bounded queue
+    // reaches with probability ~ min(rho, 1/rho)^d (each extra slot
+    // absorbs one more service-time burst of imbalance), so
+    //   t_queue = min(rho, 1/rho)^d * t_accl / 2
+    // — half an average service time of stall per full-queue episode.
+    // Depth 1 degenerates towards synchronous L_T; deep queues drive
+    // t_queue to zero and the mode to max(t_non_accl, t_accl).
+    {
+        const double d = static_cast<double>(inputs.accelQueueDepth);
+        if (t.nonAccl <= 0.0 || t.accl <= 0.0) {
+            t.queueRho = t.accl > 0.0 ? 1e9 : 0.0;
+            t.queueOccupancy =
+                t.accl > 0.0 ? static_cast<double>(inputs.accelQueueDepth)
+                             : 0.0;
+            t.queue = 0.0;
+        } else {
+            t.queueRho = t.accl / t.nonAccl;
+            const double rho_c = std::min(t.queueRho, 0.999);
+            t.queueOccupancy = std::min(
+                rho_c + rho_c * rho_c / (2.0 * (1.0 - rho_c)), d);
+            const double balance =
+                std::min(t.queueRho, 1.0 / t.queueRho);
+            double full_prob = 1.0;
+            for (uint32_t i = 0; i < inputs.accelQueueDepth; ++i)
+                full_prob *= balance;
+            t.queue = full_prob * t.accl / 2.0;
+        }
+        set(TcaMode::L_T_async,
+            std::max(t.nonAccl, t.accl) + t.queue);
+    }
 }
 
-std::array<double, 4>
+std::array<double, 5>
 IntervalModel::allSpeedups() const
 {
-    std::array<double, 4> out;
+    std::array<double, 5> out;
     for (size_t i = 0; i < allTcaModes.size(); ++i)
         out[i] = speedup(allTcaModes[i]);
     return out;
@@ -94,13 +132,14 @@ IntervalModel::describe() const
     os << buf;
     std::snprintf(buf, sizeof(buf),
                   "  t_baseline=%.1f t_accl=%.1f t_non_accl=%.1f "
-                  "t_drain=%.1f (raw %.1f) t_ROB_fill=%.1f\n",
+                  "t_drain=%.1f (raw %.1f) t_ROB_fill=%.1f "
+                  "t_queue=%.1f (rho %.2f)\n",
                   t.baseline, t.accl, t.nonAccl, t.drain, t.drainRaw,
-                  t.robFill);
+                  t.robFill, t.queue, t.queueRho);
     os << buf;
     for (TcaMode mode : allTcaModes) {
         std::snprintf(buf, sizeof(buf),
-                      "  %-5s  t=%.1f cycles  speedup=%.4f%s\n",
+                      "  %-9s  t=%.1f cycles  speedup=%.4f%s\n",
                       tcaModeName(mode).c_str(), intervalTime(mode),
                       speedup(mode),
                       predictsSlowdown(mode) ? "  (SLOWDOWN)" : "");

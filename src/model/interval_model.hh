@@ -2,7 +2,8 @@
  * @file
  * The paper's first-order analytical model (Section III): interval
  * analysis of a program containing TCA invocations, producing estimated
- * execution time and speedup for each of the four integration modes.
+ * execution time and speedup for each of the five integration modes
+ * (the paper's four plus the asynchronous-queue extension).
  *
  * An interval is the stretch of program covered by one accelerator
  * invocation: 1/v baseline instructions. Regardless of how invocations
@@ -40,7 +41,10 @@ struct IntervalTimes
     double robFill;     ///< s_ROB / w_issue
     double nlRobFull;   ///< eq. (6)
     double ltRobFull;   ///< eq. (8)
-    std::array<double, 4> modeTime; ///< indexed by TcaMode enum value
+    double queueRho;    ///< rho: accel service vs host inter-arrival
+    double queueOccupancy; ///< M/D/1 mean occupancy L(rho), saturating
+    double queue;       ///< t_queue: expected backpressure per interval
+    std::array<double, 5> modeTime; ///< indexed by TcaMode enum value
 
     /** Total interval time for one mode, eqs. (4), (5), (7), (9). */
     double time(TcaMode mode) const
@@ -80,8 +84,8 @@ class IntervalModel
     /** Program speedup of a mode over the software baseline. */
     double speedup(TcaMode mode) const { return intervals.speedup(mode); }
 
-    /** Speedups for all four modes in allTcaModes order. */
-    std::array<double, 4> allSpeedups() const;
+    /** Speedups for all five modes in allTcaModes order. */
+    std::array<double, 5> allSpeedups() const;
 
     /**
      * True if the mode is predicted to *slow down* the program

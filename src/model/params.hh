@@ -52,6 +52,13 @@ struct TcaParams
      */
     double explicitDrainTime = -1.0;
 
+    /**
+     * Command-queue depth for the L_T_async mode (entries). Bounds the
+     * number of invocations the device can hold pending; the t_queue
+     * occupancy term shrinks geometrically with depth.
+     */
+    uint32_t accelQueueDepth = 4;
+
     /** Validate ranges; calls fatal() on nonsensical inputs. */
     void validate() const;
 

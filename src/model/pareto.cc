@@ -17,6 +17,9 @@ defaultModeCost(TcaMode mode)
       case TcaMode::NL_T:  return {1.5, 1.4};
       case TcaMode::L_NT:  return {1.6, 1.5};
       case TcaMode::L_T:   return {2.1, 1.9};
+      // L_T plus command-queue storage and completion routing on top
+      // of the full-integration datapath.
+      case TcaMode::L_T_async: return {2.2, 2.0};
     }
     panic("invalid TcaMode %d", static_cast<int>(mode));
 }

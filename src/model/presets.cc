@@ -26,6 +26,8 @@ TcaParams::validate() const
         fatal("issue width must be nonzero");
     if (commitStall < 0.0)
         fatal("commit stall must be non-negative, got %f", commitStall);
+    if (accelQueueDepth == 0)
+        fatal("accel queue depth must be nonzero");
     // Note: v > a (each invocation covering less than one baseline
     // instruction) is a degenerate but well-defined corner; sweeps
     // legitimately cross it, so it is not diagnosed here.
@@ -51,6 +53,8 @@ TcaParams::writeJson(JsonWriter &json) const
     json.value(commitStall);
     json.key("explicit_drain_time");
     json.value(explicitDrainTime);
+    json.key("accel_queue_depth");
+    json.value(static_cast<uint64_t>(accelQueueDepth));
     json.key("granularity");
     json.value(granularity());
     json.endObject();

@@ -16,8 +16,9 @@ namespace model {
 namespace {
 
 /** Modes from simplest to most complex hardware. */
-constexpr std::array<TcaMode, 4> byComplexity = {
+constexpr std::array<TcaMode, 5> byComplexity = {
     TcaMode::NL_NT, TcaMode::NL_T, TcaMode::L_NT, TcaMode::L_T,
+    TcaMode::L_T_async,
 };
 
 } // anonymous namespace

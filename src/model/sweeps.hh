@@ -24,7 +24,7 @@ namespace model {
 struct SweepPoint
 {
     double x; ///< swept parameter value (meaning depends on sweep)
-    std::array<double, 4> speedup; ///< in allTcaModes order
+    std::array<double, 5> speedup; ///< in allTcaModes order
 
     double forMode(TcaMode mode) const;
 };
@@ -64,8 +64,8 @@ struct HeatmapGrid
 {
     std::vector<double> aValues; ///< row coordinates (fraction)
     std::vector<double> vValues; ///< column coordinates (log spaced)
-    /** speedup[mode][row][col] in allTcaModes order. */
-    std::array<std::vector<std::vector<double>>, 4> speedup;
+    /** speedup[mode][row][col] indexed by TcaMode enum value. */
+    std::array<std::vector<std::vector<double>>, 5> speedup;
 
     /** Speedup at (row, col) for a mode. */
     double at(TcaMode mode, size_t row, size_t col) const;

@@ -14,6 +14,7 @@ tcaModeName(TcaMode mode)
       case TcaMode::L_NT:  return "L_NT";
       case TcaMode::NL_T:  return "NL_T";
       case TcaMode::L_T:   return "L_T";
+      case TcaMode::L_T_async: return "L_T_async";
     }
     panic("invalid TcaMode %d", static_cast<int>(mode));
 }
@@ -30,7 +31,10 @@ parseTcaMode(const std::string &name)
         return TcaMode::NL_T;
     if (lowered == "l_t")
         return TcaMode::L_T;
-    fatal("unknown TCA mode '%s' (expected one of NL_NT, L_NT, NL_T, L_T)",
+    if (lowered == "l_t_async")
+        return TcaMode::L_T_async;
+    fatal("unknown TCA mode '%s' (expected one of NL_NT, L_NT, NL_T, L_T, "
+          "L_T_async)",
           name.c_str());
 }
 
@@ -51,6 +55,10 @@ tcaModeHardware(TcaMode mode)
         return "full integration: rollback on misspeculation plus "
                "register/memory dependency resolution with both leading "
                "and trailing instructions";
+      case TcaMode::L_T_async:
+        return "full integration plus a bounded command queue: enqueue "
+               "acks retire the invoking uop early and completions arrive "
+               "asynchronously, so backpressure only at queue-full";
     }
     panic("invalid TcaMode %d", static_cast<int>(mode));
 }

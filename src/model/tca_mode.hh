@@ -1,9 +1,12 @@
 /**
  * @file
- * The four TCA integration modes from Section III of the paper. A mode
- * states whether the accelerator may overlap execution with leading (L)
- * instructions (i.e., execute speculatively) and/or trailing (T)
- * instructions (i.e., no dispatch barrier after the TCA).
+ * The four TCA integration modes from Section III of the paper, plus
+ * the asynchronous L_T_async extension. A mode states whether the
+ * accelerator may overlap execution with leading (L) instructions
+ * (i.e., execute speculatively) and/or trailing (T) instructions
+ * (i.e., no dispatch barrier after the TCA); the async mode further
+ * decouples retirement from device completion via a bounded command
+ * queue.
  */
 
 #ifndef TCASIM_MODEL_TCA_MODE_HH
@@ -22,29 +25,47 @@ namespace model {
  * the second says the same for Trailing instructions (T / NT).
  */
 enum class TcaMode : uint8_t {
-    NL_NT, ///< no speculation, dispatch barrier (simplest hardware)
-    L_NT,  ///< speculative execution, dispatch barrier
-    NL_T,  ///< no speculation, trailing instructions flow freely
-    L_T,   ///< full OoO integration (most complex hardware)
+    NL_NT,    ///< no speculation, dispatch barrier (simplest hardware)
+    L_NT,     ///< speculative execution, dispatch barrier
+    NL_T,     ///< no speculation, trailing instructions flow freely
+    L_T,      ///< full OoO integration (most complex hardware)
+    L_T_async ///< L_T plus a bounded command queue: the accel uop
+              ///< retires on enqueue and the device drains in FIFO
+              ///< order, so the host keeps issuing past an in-flight
+              ///< invocation until the queue backpressures
 };
 
-/** All four modes in the paper's canonical presentation order. */
-inline constexpr std::array<TcaMode, 4> allTcaModes = {
+/**
+ * All five modes: the paper's four in canonical presentation order,
+ * plus the queued extension appended last so four-mode figures keep
+ * their column order.
+ */
+inline constexpr std::array<TcaMode, 5> allTcaModes = {
     TcaMode::L_T, TcaMode::NL_T, TcaMode::L_NT, TcaMode::NL_NT,
+    TcaMode::L_T_async,
 };
 
 /** True if the mode lets the TCA execute before leading insts commit. */
 constexpr bool
 allowsLeading(TcaMode mode)
 {
-    return mode == TcaMode::L_T || mode == TcaMode::L_NT;
+    return mode == TcaMode::L_T || mode == TcaMode::L_NT ||
+           mode == TcaMode::L_T_async;
 }
 
 /** True if trailing instructions may dispatch while the TCA executes. */
 constexpr bool
 allowsTrailing(TcaMode mode)
 {
-    return mode == TcaMode::L_T || mode == TcaMode::NL_T;
+    return mode == TcaMode::L_T || mode == TcaMode::NL_T ||
+           mode == TcaMode::L_T_async;
+}
+
+/** True if the mode decouples invocation from completion via a queue. */
+constexpr bool
+isAsyncMode(TcaMode mode)
+{
+    return mode == TcaMode::L_T_async;
 }
 
 /** Paper-style mode name, e.g. "NL_NT". */

@@ -41,6 +41,7 @@ const char *const kCauseNames[kNumCpCauses] = {
     "fu_busy",
     "mem_port_busy",
     "accel_busy",
+    "accel_queue_full",
     "nl_drain",
     "branch_confidence",
     "execute",
@@ -72,6 +73,7 @@ edgeRank(CpCause cause)
       case CpCause::AccelBusy:        return 4;
       case CpCause::BranchConfidence: return 5;
       case CpCause::NlDrain:          return 6;
+      case CpCause::AccelQueueFull:   return 7;
       default:                        return -1;
     }
 }
@@ -85,8 +87,9 @@ span(mem::Cycle hi, mem::Cycle lo)
 }
 
 /** Most candidate edges a single uop can present (dispatch + 3
- *  operands + forward + port + accel-busy + drain + confidence). */
-constexpr size_t kMaxCandidates = 12;
+ *  operands + forward + port + accel-busy + queue-full + drain +
+ *  confidence). */
+constexpr size_t kMaxCandidates = 13;
 
 } // anonymous namespace
 
@@ -391,6 +394,16 @@ CriticalPathTracker::walkPath(mem::Cycle total)
               }
               case CpCause::MemPortBusy:
                 emitSegment(seq, CpCause::MemPortBusy,
+                            span(rec.effReady, rec.dispatch), rec.effReady,
+                            seq);
+                stage = Stage::Disp;
+                break;
+              case CpCause::AccelQueueFull:
+                // The queue slot that unblocked this uop freed when an
+                // older invocation drained off-window (the invoking uop
+                // retired long before), so like MemPortBusy the wait
+                // has no in-window predecessor to chain through.
+                emitSegment(seq, CpCause::AccelQueueFull,
                             span(rec.effReady, rec.dispatch), rec.effReady,
                             seq);
                 stage = Stage::Disp;

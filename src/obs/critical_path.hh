@@ -75,6 +75,7 @@ enum class CpCause : uint8_t {
     FuBusy,           ///< FU or issue-bandwidth contention (residual)
     MemPortBusy,      ///< waited for a shared memory port
     AccelBusy,        ///< port's previous TCA invocation finished
+    AccelQueueFull,   ///< async mode: command-queue slot freed
     NlDrain,          ///< NL mode: window drained (seq-1 committed)
     BranchConfidence, ///< partial speculation: low-conf branch resolved
     Execute,          ///< issue -> complete latency

@@ -20,6 +20,13 @@ modelTerms(const model::IntervalTimes &times, model::TcaMode mode)
       case model::TcaMode::L_NT:  terms.commit = times.commit; break;
       case model::TcaMode::NL_T:  terms.commit = times.commit; break;
       case model::TcaMode::L_T:   terms.commit = 0.0; break;
+      case model::TcaMode::L_T_async:
+        // Async intervals have no window drain before issue; the wait
+        // the profiler observes in that slot is queue-full
+        // backpressure, so the model's t_queue maps onto it.
+        terms.commit = 0.0;
+        terms.drain = times.queue;
+        break;
     }
     return terms;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 
 #include "obs/manifest.hh"
 #include "obs/telemetry_publishers.hh"
@@ -149,6 +150,7 @@ TelemetrySampler::onRunBegin(const RunContext &ctx)
     accelStarts = 0;
     accelBusyCycles = 0;
     stallCycles.assign(ctx.stallCauseNames.size(), 0);
+    outstandingCompletes.clear();
 
     trackedPaths.clear();
     trackedCounters.clear();
@@ -185,6 +187,17 @@ TelemetrySampler::seal()
     rec.commits = commits;
     rec.accelStarts = accelStarts;
     rec.accelBusyCycles = accelBusyCycles;
+    // Retire invocations that finished within this epoch; what's left
+    // is still in flight at the boundary — the queue-pending gauge.
+    uint64_t sealed_end = (epochIndex + 1) * epochLength;
+    while (!outstandingCompletes.empty() &&
+           outstandingCompletes.front() < sealed_end) {
+        std::pop_heap(outstandingCompletes.begin(),
+                      outstandingCompletes.end(),
+                      std::greater<uint64_t>());
+        outstandingCompletes.pop_back();
+    }
+    rec.accelQueuePending = outstandingCompletes.size();
     rec.stallCycles = stallCycles;
     if (!trackedCounters.empty()) {
         rec.counterDeltas.reserve(trackedCounters.size());
@@ -275,6 +288,10 @@ TelemetrySampler::onAccelInvocation(uint8_t port, uint32_t invocation,
     maybeRoll(start);
     ++accelStarts;
     accelBusyCycles += complete - start;
+    outstandingCompletes.push_back(complete);
+    std::push_heap(outstandingCompletes.begin(),
+                   outstandingCompletes.end(),
+                   std::greater<uint64_t>());
 }
 
 void
@@ -464,6 +481,7 @@ parseTelemetryLine(const std::string &line, TelemetryRecord &out,
         out.commits = numberField(doc, "commits");
         out.accelStarts = numberField(doc, "accel_starts");
         out.accelBusyCycles = numberField(doc, "accel_busy_cycles");
+        out.accelQueuePending = numberField(doc, "accel_queue_pending");
         numberArrayField(doc, "stalls", out.stallCycles);
         numberArrayField(doc, "deltas", out.counterDeltas);
         break;
@@ -521,6 +539,7 @@ TelemetryModel::consume(const TelemetryRecord &record)
         view.commits += record.commits;
         view.accelStarts += record.accelStarts;
         view.accelBusyCycles += record.accelBusyCycles;
+        view.accelQueuePending = record.accelQueuePending;
         addInto(view.stallCycles, record.stallCycles);
         addInto(view.counterTotals, record.counterDeltas);
         view.lastDeltas = record.counterDeltas;

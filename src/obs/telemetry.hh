@@ -89,6 +89,8 @@ struct TelemetryRecord
     uint64_t commits = 0;
     uint64_t accelStarts = 0;
     uint64_t accelBusyCycles = 0;
+    uint64_t accelQueuePending = 0; ///< gauge: invocations in flight
+                                    ///< at the epoch's end
     std::vector<uint64_t> stallCycles;   ///< per cause id
     std::vector<uint64_t> counterDeltas; ///< per counterPaths entry
 
@@ -280,6 +282,11 @@ class TelemetrySampler : public EventSink
     uint64_t accelStarts = 0;
     uint64_t accelBusyCycles = 0;
     std::vector<uint64_t> stallCycles;
+    /** Min-heap of in-flight invocations' completion cycles; sized at
+     *  each seal to the count still pending past the epoch — the
+     *  accel_queue_pending gauge (async command queues keep many in
+     *  flight; sync modes never exceed 1). */
+    std::vector<uint64_t> outstandingCompletes;
     bool runActive = false;
 };
 
@@ -327,6 +334,7 @@ struct TelemetryRunView
     uint64_t commits = 0;
     uint64_t accelStarts = 0;
     uint64_t accelBusyCycles = 0;
+    uint64_t accelQueuePending = 0;      ///< last sample's gauge
     std::vector<uint64_t> stallCycles;   ///< per cause, accumulated
     std::vector<uint64_t> counterTotals; ///< per counter, accumulated
     std::vector<uint64_t> lastDeltas;    ///< most recent sample's

@@ -119,6 +119,7 @@ renderTelemetryNdjson(const TelemetryRecord &record)
         appendUint(line, "commits", record.commits);
         appendUint(line, "accel_starts", record.accelStarts);
         appendUint(line, "accel_busy_cycles", record.accelBusyCycles);
+        appendUint(line, "accel_queue_pending", record.accelQueuePending);
         appendUintArray(line, "stalls", record.stallCycles);
         appendUintArray(line, "deltas", record.counterDeltas);
         break;
@@ -280,6 +281,7 @@ OpenMetricsPublisher::publish(const TelemetryRecord &record)
         series.commits += record.commits;
         series.accelStarts += record.accelStarts;
         series.accelBusyCycles += record.accelBusyCycles;
+        series.accelQueuePending = record.accelQueuePending;
         series.robOccupancySum += record.robOccupancySum;
         if (series.stallCycles.size() < record.stallCycles.size())
             series.stallCycles.resize(record.stallCycles.size(), 0);
@@ -375,6 +377,15 @@ OpenMetricsPublisher::renderText() const
                << JsonWriter::escape(cause) << "\"} "
                << series.stallCycles[i] << "\n";
         }
+    }
+
+    os << "# HELP tca_accel_queue_pending Accelerator invocations in "
+          "flight at the last epoch boundary"
+       << "\n# TYPE tca_accel_queue_pending gauge\n";
+    for (const RunSeries &series : runs) {
+        os << "tca_accel_queue_pending"
+           << metricLabels(series.run, series.job) << " "
+           << series.accelQueuePending << "\n";
     }
 
     os << "# HELP tca_run_finished Whether the run has ended"

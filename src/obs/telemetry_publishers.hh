@@ -117,6 +117,7 @@ class OpenMetricsPublisher : public TelemetryPublisher
         uint64_t commits = 0;
         uint64_t accelStarts = 0;
         uint64_t accelBusyCycles = 0;
+        uint64_t accelQueuePending = 0; ///< last sample's gauge
         uint64_t robOccupancySum = 0;
         std::vector<std::string> causeNames;
         std::vector<uint64_t> stallCycles;

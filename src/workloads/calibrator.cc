@@ -32,6 +32,7 @@ calibrateModel(const cpu::SimResult &baseline, uint64_t invocations,
     params.robSize = core.robSize;
     params.issueWidth = core.dispatchWidth;
     params.commitStall = static_cast<double>(core.commitLatency);
+    params.accelQueueDepth = core.accelQueueDepth;
     return params;
 }
 

@@ -2,7 +2,7 @@
  * @file
  * The paper's validation methodology in one call: simulate a
  * workload's software baseline, simulate its TCA version in each of
- * the four integration modes, calibrate the analytical model from the
+ * the five integration modes, calibrate the analytical model from the
  * baseline, and report measured vs. estimated speedup with errors
  * (the contents of Figs. 4-6).
  */
@@ -64,7 +64,7 @@ struct ExperimentResult
     std::string workloadName;
     cpu::SimResult baseline;
     model::TcaParams params;      ///< calibrated model inputs
-    std::array<ModeOutcome, 4> modes; ///< in allTcaModes order
+    std::array<ModeOutcome, 5> modes; ///< in allTcaModes order
 
     /** Stats tree of the baseline run; populated only when
      *  ExperimentOptions::collectStats is set. */
@@ -125,7 +125,7 @@ struct ExperimentOptions
 
     /**
      * Optional pipeline-event sink (not owned) observing every run of
-     * the experiment: the baseline plus all four mode runs. In a
+     * the experiment: the baseline plus all five mode runs. In a
      * parallel batch each job records into a private buffer that is
      * replayed into this sink in job-index order after the pool
      * completes, so the downstream trace is well-formed (never two

@@ -5,7 +5,7 @@
  * which acceleratable regions are replaced by Accel uops bound to a
  * device. Trace creation also (re)initializes the workload's
  * functional state, so one workload object supports repeated runs
- * across the four TCA modes.
+ * across the five TCA modes.
  */
 
 #ifndef TCASIM_WORKLOADS_WORKLOAD_HH

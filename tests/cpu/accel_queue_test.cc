@@ -1,0 +1,597 @@
+/**
+ * @file
+ * Property tests for the L_T_async bounded command queue: FIFO
+ * completion order, occupancy bounds, queue-full backpressure, the
+ * depth-1 degenerate case collapsing onto synchronous L_T, in-order
+ * retirement with completions pending, and drain interactions with
+ * NL-mode barriers on a second port.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/fixed_latency_tca.hh"
+#include "cpu/core.hh"
+#include "obs/critical_path.hh"
+#include "obs/event_sink.hh"
+#include "stats/registry.hh"
+#include "trace/builder.hh"
+
+namespace tca {
+namespace cpu {
+namespace {
+
+using model::TcaMode;
+using trace::TraceBuilder;
+using trace::VectorTrace;
+
+CoreConfig
+queueConfig(uint32_t depth, bool early_retire = true)
+{
+    CoreConfig conf;
+    conf.name = "queue-test";
+    conf.robSize = 64;
+    conf.iqSize = 32;
+    conf.lsqSize = 32;
+    conf.commitLatency = 10;
+    conf.accelQueueDepth = depth;
+    conf.asyncEarlyRetire = early_retire;
+    conf.validate();
+    return conf;
+}
+
+/** Bursty trace: clumps of accel uops separated by thin filler. */
+std::vector<trace::MicroOp>
+burstyTrace(int bursts, int burst_size, int gap)
+{
+    TraceBuilder b;
+    uint32_t invocation = 0;
+    for (int i = 0; i < bursts; ++i) {
+        for (int j = 0; j < burst_size; ++j)
+            b.accel(invocation++);
+        for (int j = 0; j < gap; ++j)
+            b.alu(static_cast<trace::RegId>(1 + (j % 12)));
+    }
+    return b.take();
+}
+
+/** Captures accel-invocation and commit events for order checks. */
+class CaptureSink : public obs::EventSink
+{
+  public:
+    struct Invocation
+    {
+        uint8_t port;
+        uint32_t invocation;
+        mem::Cycle start;
+        mem::Cycle complete;
+    };
+
+    std::vector<Invocation> invocations;
+    std::vector<uint64_t> commitSeqs;
+    std::vector<obs::UopLifecycle> accelCommits;
+
+    void
+    onAccelInvocation(uint8_t port, uint32_t invocation,
+                      const char *device, mem::Cycle start,
+                      mem::Cycle complete, uint32_t compute_latency,
+                      uint32_t num_requests) override
+    {
+        (void)device;
+        (void)compute_latency;
+        (void)num_requests;
+        invocations.push_back({port, invocation, start, complete});
+    }
+
+    void
+    onCommit(const obs::UopLifecycle &uop) override
+    {
+        commitSeqs.push_back(uop.seq);
+        if (uop.isAccel())
+            accelCommits.push_back(uop);
+    }
+};
+
+struct QueueRun
+{
+    SimResult result;
+    CaptureSink sink;
+    stats::StatsSnapshot stats;
+};
+
+QueueRun
+runQueued(const CoreConfig &conf, TcaMode mode,
+          std::vector<trace::MicroOp> ops, uint32_t accel_latency = 40,
+          Engine engine = Engine::Auto)
+{
+    QueueRun run;
+    accel::FixedLatencyTca tca(accel_latency);
+    mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+    Core core(conf, hierarchy);
+    core.bindAccelerator(&tca, mode);
+    core.setEventSink(&run.sink);
+    core.setEngine(engine);
+    stats::StatsRegistry registry;
+    core.regStats(registry);
+    VectorTrace trace(std::move(ops));
+    run.result = core.run(trace);
+    run.stats = registry.snapshot();
+    return run;
+}
+
+// FIFO: per port, device-side start and completion times are
+// monotone non-decreasing and invocation ids drain in program order.
+TEST(AccelQueueTest, FifoCompletionOrderPerPort)
+{
+    QueueRun run = runQueued(queueConfig(4), TcaMode::L_T_async,
+                             burstyTrace(10, 6, 30));
+    ASSERT_EQ(run.sink.invocations.size(), 60u);
+    uint32_t expected = 0;
+    mem::Cycle last_start = 0, last_complete = 0;
+    for (const CaptureSink::Invocation &inv : run.sink.invocations) {
+        EXPECT_EQ(inv.invocation, expected++) << "out of FIFO order";
+        EXPECT_GE(inv.start, last_start);
+        EXPECT_GE(inv.complete, last_complete);
+        EXPECT_GT(inv.complete, inv.start);
+        last_start = inv.start;
+        last_complete = inv.complete;
+    }
+}
+
+// The occupancy histogram (sampled at every enqueue) never exceeds
+// the configured depth, at any depth.
+TEST(AccelQueueTest, OccupancyNeverExceedsDepth)
+{
+    for (uint32_t depth : {1u, 2u, 4u, 8u}) {
+        QueueRun run = runQueued(queueConfig(depth),
+                                 TcaMode::L_T_async,
+                                 burstyTrace(8, 12, 20));
+        const std::string path = "cpu.core.accel.queue.occupancy";
+        ASSERT_TRUE(run.stats.has(path)) << "depth " << depth;
+        const stats::StatsSnapshot::Leaf &leaf =
+            run.stats.leaves().at(path);
+        EXPECT_EQ(leaf.dist.numSamples(), run.result.accelInvocations)
+            << "depth " << depth;
+        EXPECT_LE(leaf.dist.maxValue(), double(depth))
+            << "depth " << depth;
+        EXPECT_GE(leaf.dist.minValue(), 1.0) << "depth " << depth;
+    }
+}
+
+// Enqueues, completions, and invocations are one-to-one: nothing is
+// dropped, nothing completes twice, and the queue fully drains.
+TEST(AccelQueueTest, QueueCountersBalance)
+{
+    for (uint32_t depth : {1u, 3u, 8u}) {
+        QueueRun run = runQueued(queueConfig(depth),
+                                 TcaMode::L_T_async,
+                                 burstyTrace(6, 9, 25));
+        uint64_t enq = run.stats.leaves()
+                           .at("cpu.core.accel.queue.enqueues")
+                           .count;
+        uint64_t done = run.stats.leaves()
+                            .at("cpu.core.accel.queue.completions")
+                            .count;
+        uint64_t full = run.stats.leaves()
+                            .at("cpu.core.accel.queue.full_drains")
+                            .count;
+        EXPECT_EQ(enq, run.result.accelInvocations) << depth;
+        EXPECT_EQ(done, enq) << depth;
+        EXPECT_LE(full, done) << depth;
+    }
+}
+
+// Depth 1 with early retire disabled reproduces synchronous L_T
+// exactly: the producing uop occupies the queue's only slot until the
+// device completes, which is precisely L_T's busy-port blocking. Both
+// engines agree; only the queue-full backpressure counter (which L_T
+// does not maintain) may differ.
+TEST(AccelQueueTest, DepthOneNoEarlyRetireDegeneratesToLT)
+{
+    auto ops = burstyTrace(8, 5, 40);
+    for (Engine engine : {Engine::Event, Engine::Reference}) {
+        QueueRun lt = runQueued(queueConfig(1, false), TcaMode::L_T,
+                                ops, 55, engine);
+        QueueRun async = runQueued(queueConfig(1, false),
+                                   TcaMode::L_T_async, ops, 55, engine);
+        std::string label =
+            engine == Engine::Event ? "event" : "reference";
+
+        EXPECT_EQ(async.result.cycles, lt.result.cycles) << label;
+        EXPECT_EQ(async.result.committedUops, lt.result.committedUops)
+            << label;
+        EXPECT_EQ(async.result.accelInvocations,
+                  lt.result.accelInvocations)
+            << label;
+        EXPECT_EQ(async.result.accelLatencyTotal,
+                  lt.result.accelLatencyTotal)
+            << label;
+        EXPECT_EQ(async.result.robOccupancySum,
+                  lt.result.robOccupancySum)
+            << label;
+        for (size_t c = 0; c < lt.result.stallCycles.size(); ++c) {
+            if (static_cast<StallCause>(c) == StallCause::AccelQueueFull)
+                continue;
+            EXPECT_EQ(async.result.stallCycles[c],
+                      lt.result.stallCycles[c])
+                << label << " cause " << c;
+        }
+
+        // The device-side schedule is identical invocation for
+        // invocation, and every uop commits at the same cycle.
+        ASSERT_EQ(async.sink.invocations.size(),
+                  lt.sink.invocations.size());
+        for (size_t i = 0; i < lt.sink.invocations.size(); ++i) {
+            EXPECT_EQ(async.sink.invocations[i].start,
+                      lt.sink.invocations[i].start)
+                << label << " invocation " << i;
+            EXPECT_EQ(async.sink.invocations[i].complete,
+                      lt.sink.invocations[i].complete)
+                << label << " invocation " << i;
+        }
+        ASSERT_EQ(async.sink.accelCommits.size(),
+                  lt.sink.accelCommits.size());
+        for (size_t i = 0; i < lt.sink.accelCommits.size(); ++i) {
+            EXPECT_EQ(async.sink.accelCommits[i].commit,
+                      lt.sink.accelCommits[i].commit)
+                << label << " accel commit " << i;
+        }
+    }
+}
+
+// Early retire: the producing uop commits while its device work is
+// still in flight, and the run still extends past the last
+// completion so the queue always drains.
+TEST(AccelQueueTest, EarlyRetireCommitsBeforeDeviceCompletion)
+{
+    TraceBuilder b;
+    for (int i = 0; i < 20; ++i)
+        b.alu(static_cast<trace::RegId>(1 + i % 8));
+    b.accel(0);
+    QueueRun run = runQueued(queueConfig(4), TcaMode::L_T_async,
+                             b.take(), 300);
+    ASSERT_EQ(run.sink.accelCommits.size(), 1u);
+    ASSERT_EQ(run.sink.invocations.size(), 1u);
+    const obs::UopLifecycle &uop = run.sink.accelCommits[0];
+    const CaptureSink::Invocation &inv = run.sink.invocations[0];
+    // The 300-cycle device latency runs past the early commit...
+    EXPECT_LT(uop.commit, inv.complete);
+    // ...and the run does not end until the device drains.
+    EXPECT_GT(run.result.cycles, inv.complete);
+    EXPECT_EQ(run.result.committedUops, 21u);
+}
+
+// Queue-full backpressure: a depth-1 queue under a burst parks the
+// producer (visible as accel_queue_full stall cycles); deeper queues
+// absorb the burst and are never slower.
+TEST(AccelQueueTest, BackpressureParksProducerAtQueueFull)
+{
+    auto ops = burstyTrace(5, 10, 15);
+    QueueRun shallow =
+        runQueued(queueConfig(1), TcaMode::L_T_async, ops, 60);
+    QueueRun deep =
+        runQueued(queueConfig(8), TcaMode::L_T_async, ops, 60);
+
+    EXPECT_GT(shallow.result.stalls(StallCause::AccelQueueFull), 0u);
+    EXPECT_GE(shallow.result.stalls(StallCause::AccelQueueFull),
+              deep.result.stalls(StallCause::AccelQueueFull));
+    EXPECT_LE(deep.result.cycles, shallow.result.cycles + 1);
+}
+
+// Cycle counts are monotone in queue depth: more slack can never
+// slow the program down (1-cycle stage-alignment tolerance).
+TEST(AccelQueueTest, DeeperQueueNeverSlower)
+{
+    auto ops = burstyTrace(6, 8, 12);
+    uint64_t prev = UINT64_MAX;
+    for (uint32_t depth : {1u, 2u, 4u, 8u}) {
+        QueueRun run = runQueued(queueConfig(depth),
+                                 TcaMode::L_T_async, ops, 70);
+        if (prev != UINT64_MAX) {
+            EXPECT_LE(run.result.cycles, prev + 1)
+                << "depth " << depth;
+        }
+        prev = run.result.cycles;
+    }
+}
+
+// L_T_async only relaxes L_T's invocation-side blocking, so it can
+// never lose to the synchronous mode.
+TEST(AccelQueueTest, AsyncNeverSlowerThanSyncLT)
+{
+    for (int gap : {5, 50, 300}) {
+        auto ops = burstyTrace(8, 3, gap);
+        QueueRun lt =
+            runQueued(queueConfig(4), TcaMode::L_T, ops, 80);
+        QueueRun async =
+            runQueued(queueConfig(4), TcaMode::L_T_async, ops, 80);
+        EXPECT_LE(async.result.cycles, lt.result.cycles + 1)
+            << "gap " << gap;
+        EXPECT_EQ(async.result.committedUops, lt.result.committedUops)
+            << "gap " << gap;
+    }
+}
+
+// Satellite: retirement stays strictly in program order even when an
+// async accel uop retires with its device completion still pending
+// and younger ALU uops are already complete behind it.
+TEST(AccelQueueTest, CommitsStayInProgramOrderWithPendingCompletions)
+{
+    TraceBuilder b;
+    b.accel(0);
+    for (int i = 0; i < 40; ++i)
+        b.alu(static_cast<trace::RegId>(1 + i % 6));
+    b.accel(1);
+    for (int i = 0; i < 10; ++i)
+        b.alu(static_cast<trace::RegId>(1 + i % 6));
+    QueueRun run = runQueued(queueConfig(4), TcaMode::L_T_async,
+                             b.take(), 500);
+    ASSERT_EQ(run.sink.commitSeqs.size(), 52u);
+    for (size_t i = 1; i < run.sink.commitSeqs.size(); ++i) {
+        EXPECT_EQ(run.sink.commitSeqs[i],
+                  run.sink.commitSeqs[i - 1] + 1)
+            << "retirement left program order at index " << i;
+    }
+    // Both devices completions land after all commits are done: the
+    // whole trailing stream retired under pending completions.
+    EXPECT_EQ(run.result.committedUops, 52u);
+}
+
+// An NL_T device on a second port still honors its oldest-uop barrier
+// while port 0 runs asynchronously: everything routes, commits, and
+// the async port's early retire lets the NL uop become oldest no
+// later than under synchronous L_T.
+TEST(AccelQueueTest, NlBarrierOnSecondPortStillDrains)
+{
+    auto build = [] {
+        TraceBuilder b;
+        for (int i = 0; i < 30; ++i)
+            b.alu(static_cast<trace::RegId>(1 + i % 8));
+        b.accel(0, trace::noReg, trace::noReg, /*port=*/0);
+        b.accel(1, trace::noReg, trace::noReg, /*port=*/1);
+        for (int i = 0; i < 30; ++i)
+            b.alu(static_cast<trace::RegId>(1 + i % 8));
+        return b.take();
+    };
+
+    auto run_pair = [&](TcaMode port0_mode) {
+        accel::FixedLatencyTca fast(120), slow(40);
+        mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+        Core core(queueConfig(4), hierarchy);
+        core.bindAccelerator(&fast, port0_mode, 0);
+        core.bindAccelerator(&slow, TcaMode::NL_T, 1);
+        VectorTrace trace(build());
+        SimResult r = core.run(trace);
+        EXPECT_EQ(r.committedUops, 62u);
+        EXPECT_EQ(r.accelInvocations, 2u);
+        EXPECT_EQ(fast.invocationsStarted(), 1u);
+        EXPECT_EQ(slow.invocationsStarted(), 1u);
+        return r.cycles;
+    };
+
+    uint64_t sync_cycles = run_pair(TcaMode::L_T);
+    uint64_t async_cycles = run_pair(TcaMode::L_T_async);
+    EXPECT_LE(async_cycles, sync_cycles + 1);
+}
+
+// Both engines agree on every queue artifact for a bursty async run:
+// timing, stats counters, device schedule, commit schedule.
+TEST(AccelQueueTest, EnginesAgreeOnQueueArtifacts)
+{
+    for (uint32_t depth : {1u, 4u}) {
+        auto ops = burstyTrace(7, 6, 18);
+        QueueRun event = runQueued(queueConfig(depth),
+                                   TcaMode::L_T_async, ops, 45,
+                                   Engine::Event);
+        QueueRun ref = runQueued(queueConfig(depth),
+                                 TcaMode::L_T_async, ops, 45,
+                                 Engine::Reference);
+        EXPECT_EQ(event.result.cycles, ref.result.cycles) << depth;
+        EXPECT_EQ(event.result.stalls(StallCause::AccelQueueFull),
+                  ref.result.stalls(StallCause::AccelQueueFull))
+            << depth;
+        EXPECT_EQ(event.stats.str(), ref.stats.str()) << depth;
+        ASSERT_EQ(event.sink.invocations.size(),
+                  ref.sink.invocations.size());
+        for (size_t i = 0; i < event.sink.invocations.size(); ++i) {
+            EXPECT_EQ(event.sink.invocations[i].complete,
+                      ref.sink.invocations[i].complete)
+                << depth << " invocation " << i;
+        }
+        EXPECT_EQ(event.sink.commitSeqs, ref.sink.commitSeqs) << depth;
+    }
+}
+
+// A trace with no accel uops behaves identically in async and sync
+// modes: the queue machinery is pure overhead-free bookkeeping.
+TEST(AccelQueueTest, PureFillerAsyncMatchesSyncExactly)
+{
+    TraceBuilder b;
+    for (int i = 0; i < 400; ++i)
+        b.alu(static_cast<trace::RegId>(1 + (i % 10)));
+    auto ops = b.take();
+    QueueRun sync = runQueued(queueConfig(4), TcaMode::L_T, ops);
+    QueueRun async = runQueued(queueConfig(4), TcaMode::L_T_async, ops);
+    EXPECT_EQ(async.result.cycles, sync.result.cycles);
+    EXPECT_EQ(async.result.committedUops, sync.result.committedUops);
+    EXPECT_EQ(async.stats.leaves()
+                  .at("cpu.core.accel.queue.enqueues")
+                  .count,
+              0u);
+    EXPECT_EQ(async.result.stalls(StallCause::AccelQueueFull), 0u);
+}
+
+// One lone invocation: device-side start/complete bracket exactly the
+// configured latency, the run covers the completion, and the
+// occupancy histogram holds the single depth-1 sample.
+TEST(AccelQueueTest, SingleInvocationTimingIsExact)
+{
+    TraceBuilder b;
+    for (int i = 0; i < 20; ++i)
+        b.alu(static_cast<trace::RegId>(1 + (i % 4)));
+    b.accel(0);
+    for (int i = 0; i < 20; ++i)
+        b.alu(static_cast<trace::RegId>(5 + (i % 4)));
+    QueueRun run = runQueued(queueConfig(4), TcaMode::L_T_async,
+                             b.take(), 80);
+    ASSERT_EQ(run.sink.invocations.size(), 1u);
+    const CaptureSink::Invocation &inv = run.sink.invocations[0];
+    EXPECT_EQ(inv.complete, inv.start + 80);
+    EXPECT_GE(run.result.cycles, inv.complete);
+    const stats::StatsSnapshot::Leaf &occ =
+        run.stats.leaves().at("cpu.core.accel.queue.occupancy");
+    EXPECT_EQ(occ.dist.numSamples(), 1u);
+    EXPECT_DOUBLE_EQ(occ.dist.maxValue(), 1.0);
+}
+
+// Two async TCAs on separate ports keep independent FIFO queues:
+// each port's completions stay in that port's program order even
+// though the interleaved global order mixes them.
+TEST(AccelQueueTest, MultiPortAsyncQueuesAreIndependent)
+{
+    TraceBuilder b;
+    uint32_t id = 0;
+    for (int i = 0; i < 24; ++i) {
+        b.accel(id++, trace::noReg, trace::noReg,
+                static_cast<uint8_t>(i % 2));
+        for (int j = 0; j < 10; ++j)
+            b.alu(static_cast<trace::RegId>(1 + (j % 8)));
+    }
+    accel::FixedLatencyTca fast(20);
+    accel::FixedLatencyTca slow(90);
+    mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+    Core core(queueConfig(4), hierarchy);
+    core.bindAccelerator(&fast, TcaMode::L_T_async, 0);
+    core.bindAccelerator(&slow, TcaMode::L_T_async, 1);
+    CaptureSink sink;
+    core.setEventSink(&sink);
+    VectorTrace trace(b.take());
+    SimResult result = core.run(trace);
+    EXPECT_EQ(result.accelInvocations, 24u);
+    ASSERT_EQ(sink.invocations.size(), 24u);
+    for (uint8_t port : {uint8_t{0}, uint8_t{1}}) {
+        uint32_t last_id = 0;
+        mem::Cycle last_complete = 0;
+        bool first = true;
+        size_t seen = 0;
+        for (const CaptureSink::Invocation &inv : sink.invocations) {
+            if (inv.port != port)
+                continue;
+            ++seen;
+            if (!first) {
+                EXPECT_GT(inv.invocation, last_id) << "port " << port;
+                EXPECT_GE(inv.complete, last_complete)
+                    << "port " << port;
+            }
+            first = false;
+            last_id = inv.invocation;
+            last_complete = inv.complete;
+        }
+        EXPECT_EQ(seen, 12u) << "port " << port;
+    }
+}
+
+// Registered device memory requests push an invocation's completion
+// out past the pure compute latency, and the queued successor still
+// drains behind it in FIFO order.
+TEST(AccelQueueTest, DeviceMemoryRequestsExtendCompletion)
+{
+    auto build = [] {
+        TraceBuilder b;
+        b.accel(0);
+        b.accel(1);
+        for (int j = 0; j < 60; ++j)
+            b.alu(static_cast<trace::RegId>(1 + (j % 8)));
+        return b.take();
+    };
+    auto run_with = [&](bool with_requests) {
+        QueueRun run;
+        accel::FixedLatencyTca tca(30);
+        if (with_requests) {
+            std::vector<AccelRequest> reqs;
+            for (int r = 0; r < 4; ++r)
+                reqs.push_back(
+                    {mem::Addr{0x40000} + 0x1000 * unsigned(r), false,
+                     64});
+            tca.registerInvocation(0, reqs);
+        }
+        mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+        Core core(queueConfig(4), hierarchy);
+        core.bindAccelerator(&tca, TcaMode::L_T_async);
+        core.setEventSink(&run.sink);
+        VectorTrace trace(build());
+        run.result = core.run(trace);
+        return run;
+    };
+    QueueRun plain = run_with(false);
+    QueueRun loaded = run_with(true);
+    ASSERT_EQ(plain.sink.invocations.size(), 2u);
+    ASSERT_EQ(loaded.sink.invocations.size(), 2u);
+    EXPECT_GT(loaded.sink.invocations[0].complete,
+              plain.sink.invocations[0].complete);
+    EXPECT_GE(loaded.sink.invocations[1].complete,
+              loaded.sink.invocations[0].complete);
+}
+
+// A shallow queue under a dense burst puts accel_queue_full on the
+// critical path, and the per-cause attribution still sums exactly to
+// the run's total cycles.
+TEST(AccelQueueTest, CriticalPathChargesQueueFullWhenShallow)
+{
+    accel::FixedLatencyTca tca(70);
+    mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
+    Core core(queueConfig(1), hierarchy);
+    core.bindAccelerator(&tca, TcaMode::L_T_async);
+    obs::CriticalPathTracker tracker;
+    core.setCriticalPathTracker(&tracker);
+    VectorTrace trace(burstyTrace(6, 8, 5));
+    SimResult result = core.run(trace);
+    const obs::CpReport &report = tracker.report();
+    EXPECT_EQ(report.pathCyclesTotal(), result.cycles);
+    EXPECT_EQ(report.totalCycles, result.cycles);
+    EXPECT_GT(report.cycles(obs::CpCause::AccelQueueFull), 0u);
+    EXPECT_GT(result.stalls(StallCause::AccelQueueFull), 0u);
+}
+
+// Synchronous modes never touch the command queue: its counters stay
+// zero and no queue-full backpressure is ever recorded.
+TEST(AccelQueueTest, SyncModesKeepQueueCountersZero)
+{
+    for (TcaMode mode : {TcaMode::L_T, TcaMode::NL_NT}) {
+        QueueRun run = runQueued(queueConfig(4), mode,
+                                 burstyTrace(6, 6, 20));
+        EXPECT_GT(run.result.accelInvocations, 0u);
+        for (const char *leaf :
+             {"cpu.core.accel.queue.enqueues",
+              "cpu.core.accel.queue.completions",
+              "cpu.core.accel.queue.full_drains"}) {
+            EXPECT_EQ(run.stats.leaves().at(leaf).count, 0u)
+                << model::tcaModeName(mode) << " " << leaf;
+        }
+        EXPECT_EQ(run.result.stalls(StallCause::AccelQueueFull), 0u)
+            << model::tcaModeName(mode);
+    }
+}
+
+// The SimResult stall tally and the stats-registry leaf are two views
+// of the same per-port-cycle backpressure counter.
+TEST(AccelQueueTest, StallTallyMatchesStatsLeaf)
+{
+    for (uint32_t depth : {1u, 2u, 8u}) {
+        QueueRun run = runQueued(queueConfig(depth),
+                                 TcaMode::L_T_async,
+                                 burstyTrace(8, 10, 8), 65);
+        uint64_t leaf = run.stats.leaves()
+                            .at("cpu.core.stall.accel_queue_full")
+                            .count;
+        EXPECT_EQ(run.result.stalls(StallCause::AccelQueueFull), leaf)
+            << "depth " << depth;
+    }
+}
+
+} // namespace
+} // namespace cpu
+} // namespace tca

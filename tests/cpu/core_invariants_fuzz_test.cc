@@ -112,6 +112,16 @@ class InvariantChecker : public obs::EventSink
     }
 
     void
+    onAccelInvocation(uint8_t, uint32_t, const char *, mem::Cycle start,
+                      mem::Cycle complete, uint32_t, uint32_t) override
+    {
+        check(complete > start,
+              "accel invocation completes at its start cycle %llu",
+              (unsigned long long)start);
+        maxAccelComplete = std::max(maxAccelComplete, complete);
+    }
+
+    void
     onCommit(const obs::UopLifecycle &uop) override
     {
         ++numCommits;
@@ -127,10 +137,18 @@ class InvariantChecker : public obs::EventSink
     }
 
     void
-    onRunEnd(mem::Cycle, uint64_t committed) override
+    onRunEnd(mem::Cycle cycles, uint64_t committed) override
     {
         check(live == 0, "run ended with %zu uops live in the window",
               live);
+        // The run must cover every device-side completion: under
+        // L_T_async the invoking uop retires early (enqueue ack), so
+        // the core keeps ticking until the command queues drain.
+        check(cycles > maxAccelComplete,
+              "run ended at cycle %llu before the last accel completion "
+              "%llu drained",
+              (unsigned long long)cycles,
+              (unsigned long long)maxAccelComplete);
         check(committed == numCommits,
               "onRunEnd committed %llu but saw %llu commit events",
               (unsigned long long)committed,
@@ -163,6 +181,7 @@ class InvariantChecker : public obs::EventSink
     uint64_t lastRetired = 0;
     uint64_t lastCommitted = 0;
     uint64_t numCommits = 0;
+    mem::Cycle maxAccelComplete = 0;
     std::set<uint64_t> accelSeqs;
     size_t violationCount = 0;
     std::string first;
@@ -176,7 +195,7 @@ TEST(CoreInvariantsFuzzTest, RandomConfigsHoldWindowInvariants)
         cpu::CoreConfig core = test::randomFuzzCore(rng, i);
         workloads::SyntheticWorkload workload(
             test::randomFuzzWorkload(rng, i));
-        model::TcaMode mode = model::allTcaModes[i % 4];
+        model::TcaMode mode = test::fuzzModeFor(i);
 
         {
             InvariantChecker checker(mode, /*accelerated=*/false);

@@ -119,7 +119,8 @@ TEST_P(CorePropertyTest, ModeOrderingHoldsWithAccelerator)
     auto ops = traceFor(shape, 200);
     accel::FixedLatencyTca tca(40);
 
-    uint64_t cycles[4];
+    uint64_t cycles[5];
+    static_assert(model::allTcaModes.size() == 5);
     for (size_t m = 0; m < model::allTcaModes.size(); ++m) {
         mem::MemHierarchy hierarchy{mem::HierarchyConfig{}};
         Core core(coreFor(core_name), hierarchy);
@@ -127,14 +128,17 @@ TEST_P(CorePropertyTest, ModeOrderingHoldsWithAccelerator)
         trace::VectorTrace trace(ops);
         cycles[m] = core.run(trace).cycles;
     }
-    // allTcaModes order: L_T, NL_T, L_NT, NL_NT. More restrictions
-    // can never be faster (1-cycle tolerance for stage alignment).
+    // allTcaModes order: L_T, NL_T, L_NT, NL_NT, L_T_async. More
+    // restrictions can never be faster (1-cycle tolerance for stage
+    // alignment); the async queue's early retire can only relax L_T's
+    // invocation-side blocking further.
     uint64_t lt = cycles[0], nlt = cycles[1], lnt = cycles[2],
-             nlnt = cycles[3];
+             nlnt = cycles[3], ltasync = cycles[4];
     EXPECT_LE(lt, nlt + 1);
     EXPECT_LE(lt, lnt + 1);
     EXPECT_LE(nlt, nlnt + 1);
     EXPECT_LE(lnt, nlnt + 1);
+    EXPECT_LE(ltasync, lt + 1);
 }
 
 TEST_P(CorePropertyTest, IpcNeverExceedsDispatchWidth)

@@ -346,11 +346,12 @@ TEST(EngineDifferentialTest, FuzzGridByteIdentical)
         Rng rng(0xfeed0000 + i);
         cpu::CoreConfig core = test::randomFuzzCore(rng, i);
         workloads::SyntheticConfig wl = test::randomFuzzWorkload(rng, i);
-        model::TcaMode mode = model::allTcaModes[i % 4];
+        model::TcaMode mode = test::fuzzModeFor(i);
 
         std::string label =
             "config " + std::to_string(i) + " mode " +
-            model::tcaModeName(mode);
+            model::tcaModeName(mode) + " depth " +
+            std::to_string(core.accelQueueDepth);
 
         {
             workloads::SyntheticWorkload workload(wl);

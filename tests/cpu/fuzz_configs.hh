@@ -13,11 +13,35 @@
 #include <string>
 
 #include "cpu/core_config.hh"
+#include "model/tca_mode.hh"
 #include "util/random.hh"
 #include "workloads/synthetic.hh"
 
 namespace tca {
 namespace test {
+
+/**
+ * The grid's TCA mode for config `index`: every suite sharing the grid
+ * rotates through all five modes (including L_T_async) so engine
+ * differentials and invariants cover the async command queue too.
+ */
+inline model::TcaMode
+fuzzModeFor(size_t index)
+{
+    return model::allTcaModes[index % model::allTcaModes.size()];
+}
+
+/**
+ * The async command-queue depth for config `index`: rotates {1, 2, 4,
+ * 8} across the grid's L_T_async slots (harmless for sync modes, which
+ * never touch the queue).
+ */
+inline uint32_t
+fuzzQueueDepthFor(size_t index)
+{
+    static constexpr uint32_t depths[] = {1, 2, 4, 8};
+    return depths[(index / model::allTcaModes.size()) % 4];
+}
 
 /** A random but always-valid core geometry. */
 inline cpu::CoreConfig
@@ -40,6 +64,7 @@ randomFuzzCore(Rng &rng, size_t index)
     core.branchUnits = static_cast<uint32_t>(rng.nextRange(1, 2));
     core.commitLatency = static_cast<uint32_t>(rng.nextRange(1, 12));
     core.redirectPenalty = static_cast<uint32_t>(rng.nextRange(4, 16));
+    core.accelQueueDepth = fuzzQueueDepthFor(index);
     core.validate();
     return core;
 }

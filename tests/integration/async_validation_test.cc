@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Model-vs-simulator validation for the asynchronous L_T_async mode:
+ * a miniature Fig. 4 grid gating the mode's mean absolute error at
+ * the CI threshold, ordering agreement between model and simulator,
+ * queue-depth monotonicity of the modeled t_queue term, and TCA_JOBS
+ * byte-identity for experiment batches that include async runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "model/interval_model.hh"
+#include "model/validation.hh"
+#include "workloads/experiment.hh"
+#include "workloads/synthetic.hh"
+
+namespace tca {
+namespace workloads {
+namespace {
+
+using model::TcaMode;
+
+/** CI gate: mean |error| of the async mode on the mini-fig4 grid.
+ *  The sync modes validate under the same harness at 35% (see
+ *  validation_test.cc); the async equation carries the extra t_queue
+ *  approximation, so its band is set from the observed margin. */
+constexpr double kAsyncMeanAbsErrorCi = 40.0;
+
+/** Miniature Fig. 4 sweep: invocation counts at test scale. */
+ExperimentBatch
+miniFig4(uint32_t filler = 30000)
+{
+    const std::vector<uint32_t> sweep = {10, 40, 160};
+    return runExperimentBatch(
+        sweep.size(),
+        [&, sweep](size_t i) {
+            SyntheticConfig conf;
+            conf.fillerUops = filler;
+            conf.numInvocations = sweep[i];
+            conf.regionUops = 200;
+            conf.accelLatency = 50;
+            conf.seed = 1000 + sweep[i];
+            return std::make_unique<SyntheticWorkload>(conf);
+        },
+        cpu::a72CoreConfig(), ExperimentOptions{});
+}
+
+TEST(AsyncValidationTest, AsyncMeanAbsErrorWithinCiThreshold)
+{
+    ExperimentBatch batch = miniFig4();
+    std::vector<model::ValidationPoint> points;
+    for (const ExperimentResult &r : batch.results) {
+        const ModeOutcome &async = r.forMode(TcaMode::L_T_async);
+        points.push_back(
+            {async.modeledSpeedup, async.measuredSpeedup});
+        EXPECT_TRUE(std::isfinite(async.errorPercent));
+        EXPECT_GT(async.measuredSpeedup, 0.0);
+        EXPECT_GT(async.modeledSpeedup, 0.0);
+    }
+    model::ErrorSummary summary = model::summarizeErrors(points);
+    EXPECT_EQ(summary.count, batch.results.size());
+    EXPECT_LT(summary.meanAbs, kAsyncMeanAbsErrorCi)
+        << "L_T_async model drifted from the simulator: mean |err| "
+        << summary.meanAbs << "% (max " << summary.maxAbs << "%)";
+}
+
+TEST(AsyncValidationTest, ModelAndSimAgreeAsyncBeatsSyncLt)
+{
+    // The defining property of the fifth mode — device time overlaps
+    // the non-accelerated stream — must hold in the simulator AND be
+    // captured by the model's equation, point for point.
+    ExperimentBatch batch = miniFig4();
+    for (const ExperimentResult &r : batch.results) {
+        const ModeOutcome &async = r.forMode(TcaMode::L_T_async);
+        const ModeOutcome &lt = r.forMode(TcaMode::L_T);
+        EXPECT_GE(async.measuredSpeedup + 1e-9, lt.measuredSpeedup)
+            << r.workloadName;
+        EXPECT_GE(async.modeledSpeedup + 1e-9, lt.modeledSpeedup)
+            << r.workloadName;
+    }
+}
+
+TEST(AsyncValidationTest, ModeledQueueTermMonotoneInDepth)
+{
+    // A deeper command queue can only absorb more burstiness: the
+    // modeled async interval time is non-increasing in depth, at
+    // fine and coarse granularity alike.
+    for (double granularity : {100.0, 5000.0, 1e6}) {
+        model::TcaParams params =
+            model::armA72Preset().apply(model::TcaParams{});
+        params.accelerationFactor = 4.0;
+        params = params.withAcceleratable(0.4).withGranularity(
+            granularity);
+        double prev = -1.0;
+        for (uint32_t depth : {1u, 2u, 4u, 8u, 16u}) {
+            params.accelQueueDepth = depth;
+            model::IntervalModel m(params);
+            double speedup = m.speedup(TcaMode::L_T_async);
+            EXPECT_TRUE(std::isfinite(speedup));
+            if (prev >= 0.0) {
+                EXPECT_GE(speedup + 1e-12, prev)
+                    << "granularity " << granularity << " depth "
+                    << depth;
+            }
+            prev = speedup;
+        }
+    }
+}
+
+/** Run `body` with TCA_JOBS set to `jobs`, restoring the old value. */
+template <typename Body>
+auto
+withJobs(const char *jobs, Body &&body)
+{
+    const char *old = std::getenv("TCA_JOBS");
+    std::string saved = old ? old : "";
+    bool had = old != nullptr;
+    setenv("TCA_JOBS", jobs, 1);
+    auto result = body();
+    if (had)
+        setenv("TCA_JOBS", saved.c_str(), 1);
+    else
+        unsetenv("TCA_JOBS");
+    return result;
+}
+
+TEST(AsyncValidationTest, AsyncBatchByteIdenticalAcrossJobs)
+{
+    // The async rows of a batch — measured cycles, both speedups, the
+    // signed error — must be bitwise identical under TCA_JOBS=1 and
+    // TCA_JOBS=8 (hexfloat serialization, no tolerance).
+    auto run = [] {
+        ExperimentBatch batch = miniFig4(12000);
+        std::ostringstream os;
+        os << std::hexfloat;
+        for (const ExperimentResult &r : batch.results) {
+            const ModeOutcome &async = r.forMode(TcaMode::L_T_async);
+            os << r.workloadName << ':' << async.sim.cycles << ','
+               << async.sim.committedUops << ','
+               << async.sim.accelLatencyTotal << ','
+               << async.sim.stallCycles[static_cast<size_t>(
+                      cpu::StallCause::AccelQueueFull)]
+               << ',' << async.measuredSpeedup << ','
+               << async.modeledSpeedup << ',' << async.errorPercent
+               << ';';
+        }
+        return os.str();
+    };
+    std::string serial = withJobs("1", run);
+    std::string parallel = withJobs("8", run);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+}
+
+} // namespace
+} // namespace workloads
+} // namespace tca

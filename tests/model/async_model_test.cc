@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The L_T_async equation in isolation: the t_queue M/D/1-style term,
+ * its occupancy estimate, the degenerate-parameter guards, and the
+ * mode's place in sweeps, reports, and the text surfaces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/interval_model.hh"
+#include "model/report.hh"
+#include "model/sweeps.hh"
+
+namespace tca {
+namespace model {
+namespace {
+
+TcaParams
+baseParams()
+{
+    TcaParams p = armA72Preset().apply(TcaParams{});
+    p.accelerationFactor = 3.0;
+    return p.withAcceleratable(0.4).withGranularity(2000.0);
+}
+
+TEST(AsyncModelTest, AsyncTimeIsOverlapPlusQueueTerm)
+{
+    IntervalModel m(baseParams());
+    const IntervalTimes &t = m.times();
+    EXPECT_DOUBLE_EQ(t.time(TcaMode::L_T_async),
+                     std::max(t.nonAccl, t.accl) + t.queue);
+    EXPECT_GE(t.queue, 0.0);
+}
+
+TEST(AsyncModelTest, QueueRhoIsServiceOverInterArrival)
+{
+    IntervalModel m(baseParams());
+    const IntervalTimes &t = m.times();
+    EXPECT_DOUBLE_EQ(t.queueRho, t.accl / t.nonAccl);
+}
+
+TEST(AsyncModelTest, OccupancyEstimateBoundedByDepth)
+{
+    for (uint32_t depth : {1u, 2u, 4u, 8u}) {
+        // Saturate the device: acceleratable work dominates, so rho is
+        // far above 1 and the estimate must clamp at the depth.
+        TcaParams p = baseParams().withAcceleratable(0.95);
+        p.accelerationFactor = 1.01;
+        p.accelQueueDepth = depth;
+        IntervalModel m(p);
+        EXPECT_LE(m.times().queueOccupancy, double(depth));
+        EXPECT_GE(m.times().queueOccupancy, 0.0);
+    }
+}
+
+TEST(AsyncModelTest, QueueTermVanishesWhenStreamsImbalance)
+{
+    // When either side dominates heavily the queue is almost never
+    // full: min(rho, 1/rho)^d collapses and t_queue -> 0.
+    TcaParams host_bound = baseParams().withAcceleratable(0.05);
+    TcaParams dev_bound = baseParams().withAcceleratable(0.98);
+    dev_bound.accelerationFactor = 1.001;
+    for (const TcaParams &p : {host_bound, dev_bound}) {
+        IntervalModel m(p);
+        const IntervalTimes &t = m.times();
+        EXPECT_LT(t.queue, 0.05 * t.accl)
+            << "rho " << t.queueRho;
+    }
+}
+
+TEST(AsyncModelTest, BalancedStreamsPayTheLargestQueueTerm)
+{
+    // t_queue peaks where host and device are balanced (rho = 1) and
+    // falls off on both sides.
+    auto queue_at = [](double a) {
+        TcaParams p = baseParams().withAcceleratable(a);
+        // Keep t_accl equal to a * baseline / 1 so rho sweeps through
+        // 1 as a crosses 0.5.
+        p.accelerationFactor = 1.0;
+        return IntervalModel(p).times().queue;
+    };
+    double balanced = queue_at(0.5);
+    EXPECT_GT(balanced, queue_at(0.1));
+    EXPECT_GT(balanced, queue_at(0.9));
+}
+
+TEST(AsyncModelTest, DegenerateParamsKeepAsyncFinite)
+{
+    // All-acceleratable and barely-acceleratable corners must not
+    // divide by zero or go non-finite.
+    for (double a : {1e-9, 0.999999}) {
+        TcaParams p = baseParams().withAcceleratable(a);
+        IntervalModel m(p);
+        double s = m.speedup(TcaMode::L_T_async);
+        EXPECT_TRUE(std::isfinite(s)) << "a = " << a;
+        EXPECT_GT(s, 0.0) << "a = " << a;
+    }
+}
+
+TEST(AsyncModelTest, AsyncDominatesEverySyncModeAcrossTheSweep)
+{
+    // Fire-and-forget overlap plus a non-negative queue term: the
+    // async time can exceed max(nonAccl, accl) only by t_queue, which
+    // is at most accl/2 — never enough to fall behind L_T's
+    // max(nonAccl + robFull, accl) by more than rounding.
+    TcaParams base = baseParams();
+    std::vector<SweepPoint> sweep =
+        granularitySweep(base, 10.0, 1e6, 25);
+    ASSERT_FALSE(sweep.empty());
+    size_t async_idx = static_cast<size_t>(TcaMode::L_T_async);
+    size_t lt_idx = static_cast<size_t>(TcaMode::L_T);
+    for (const SweepPoint &point : sweep) {
+        EXPECT_GE(point.speedup[async_idx] + 1e-9,
+                  point.speedup[lt_idx])
+            << "granularity " << point.x;
+    }
+}
+
+TEST(AsyncModelTest, DesignReportListsTheFifthMode)
+{
+    std::string text = designReport(baseParams());
+    EXPECT_NE(text.find("L_T_async"), std::string::npos);
+}
+
+TEST(AsyncModelTest, DescribeCarriesQueueBreakdown)
+{
+    std::string text = IntervalModel(baseParams()).describe();
+    EXPECT_NE(text.find("L_T_async"), std::string::npos);
+}
+
+} // namespace
+} // namespace model
+} // namespace tca

@@ -134,14 +134,17 @@ TEST(IntervalModelTest, ModePerformanceOrdering)
 
 TEST(IntervalModelTest, CoarseGrainedModesConverge)
 {
-    // At very coarse granularity all four modes approach the same
-    // speedup (left side of Fig. 2).
+    // At very coarse granularity the four synchronous modes approach
+    // the same speedup (left side of Fig. 2). L_T_async stays ahead:
+    // its enqueue-ack early retire overlaps the whole device time with
+    // the non-accelerated stream regardless of granularity.
     TcaParams p = refParams().withGranularity(1e9);
     IntervalModel m(p);
     auto s = m.allSpeedups();
-    double lo = *std::min_element(s.begin(), s.end());
-    double hi = *std::max_element(s.begin(), s.end());
+    double lo = *std::min_element(s.begin(), s.begin() + 4);
+    double hi = *std::max_element(s.begin(), s.begin() + 4);
     EXPECT_NEAR(hi / lo, 1.0, 1e-3);
+    EXPECT_GE(s[4], hi - 1e-12); // allTcaModes[4] == L_T_async
 }
 
 TEST(IntervalModelTest, FineGrainedNlNtSlowsDown)

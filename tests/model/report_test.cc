@@ -35,13 +35,17 @@ TEST(ReportTest, FineGrainedRecommendsFullIntegration)
 
 TEST(ReportTest, CoarseGrainedRecommendsSimplestMode)
 {
-    // All modes effectively tie at coarse granularity: the simplest
-    // one is within tolerance of the best. (L_T stays microscopically
-    // faster, so strictly it remains on the Pareto frontier — the
-    // recommendation logic is what steers away from it.)
+    // The synchronous modes effectively tie at coarse granularity.
+    // L_T_async keeps a real edge (device time overlaps the
+    // non-accelerated stream), so it wins the default 5% tolerance;
+    // widening the tolerance past the overlap bonus restores the
+    // paper's insight that the simplest hardware suffices.
     DesignAdvice advice = adviseDesign(coarseGrained());
-    EXPECT_EQ(advice.recommendedMode, TcaMode::NL_NT);
+    EXPECT_EQ(advice.bestMode, TcaMode::L_T_async);
+    EXPECT_EQ(advice.recommendedMode, TcaMode::L_T_async);
     EXPECT_FALSE(advice.dominated(TcaMode::NL_NT));
+    DesignAdvice loose = adviseDesign(coarseGrained(), 0.10);
+    EXPECT_EQ(loose.recommendedMode, TcaMode::NL_NT);
     IntervalModel model(coarseGrained());
     EXPECT_NEAR(model.speedup(TcaMode::L_T) /
                     model.speedup(TcaMode::NL_NT),

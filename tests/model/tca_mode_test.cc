@@ -12,6 +12,7 @@ TEST(TcaModeTest, LeadingCapability)
     EXPECT_TRUE(allowsLeading(TcaMode::L_NT));
     EXPECT_FALSE(allowsLeading(TcaMode::NL_T));
     EXPECT_FALSE(allowsLeading(TcaMode::NL_NT));
+    EXPECT_TRUE(allowsLeading(TcaMode::L_T_async));
 }
 
 TEST(TcaModeTest, TrailingCapability)
@@ -20,6 +21,16 @@ TEST(TcaModeTest, TrailingCapability)
     EXPECT_TRUE(allowsTrailing(TcaMode::NL_T));
     EXPECT_FALSE(allowsTrailing(TcaMode::L_NT));
     EXPECT_FALSE(allowsTrailing(TcaMode::NL_NT));
+    EXPECT_TRUE(allowsTrailing(TcaMode::L_T_async));
+}
+
+TEST(TcaModeTest, AsyncPredicate)
+{
+    EXPECT_TRUE(isAsyncMode(TcaMode::L_T_async));
+    EXPECT_FALSE(isAsyncMode(TcaMode::L_T));
+    EXPECT_FALSE(isAsyncMode(TcaMode::NL_T));
+    EXPECT_FALSE(isAsyncMode(TcaMode::L_NT));
+    EXPECT_FALSE(isAsyncMode(TcaMode::NL_NT));
 }
 
 TEST(TcaModeTest, NamesRoundTrip)
@@ -36,7 +47,7 @@ TEST(TcaModeTest, ParseIsCaseInsensitive)
 
 TEST(TcaModeTest, AllModesListedOnce)
 {
-    EXPECT_EQ(allTcaModes.size(), 4u);
+    EXPECT_EQ(allTcaModes.size(), 5u);
     for (size_t i = 0; i < allTcaModes.size(); ++i)
         for (size_t j = i + 1; j < allTcaModes.size(); ++j)
             EXPECT_NE(allTcaModes[i], allTcaModes[j]);
@@ -50,6 +61,8 @@ TEST(TcaModeTest, HardwareDescriptionsMentionKeyMechanisms)
     EXPECT_NE(tcaModeHardware(TcaMode::NL_T).find("dependency"),
               std::string::npos);
     EXPECT_NE(tcaModeHardware(TcaMode::NL_NT).find("drain"),
+              std::string::npos);
+    EXPECT_NE(tcaModeHardware(TcaMode::L_T_async).find("queue"),
               std::string::npos);
 }
 

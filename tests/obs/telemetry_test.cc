@@ -340,6 +340,7 @@ TEST(TelemetryNdjson, GoldenLines)
     sample.commits = 6000;
     sample.accelStarts = 1;
     sample.accelBusyCycles = 37;
+    sample.accelQueuePending = 3;
     sample.stallCycles = {3, 17};
     sample.counterDeltas = {6000};
     EXPECT_EQ(renderTelemetryNdjson(sample),
@@ -347,6 +348,7 @@ TEST(TelemetryNdjson, GoldenLines)
               "\"job\":2,\"epoch\":5,\"start\":20480,\"cycles\":4096,"
               "\"rob_occupancy_sum\":8192,\"commits\":6000,"
               "\"accel_starts\":1,\"accel_busy_cycles\":37,"
+              "\"accel_queue_pending\":3,"
               "\"stalls\":[3,17],\"deltas\":[6000]}");
 
     TelemetryRecord end;
@@ -403,6 +405,7 @@ TEST(TelemetryNdjson, RoundTripsEveryKind)
     originals[1].commits = 700;
     originals[1].accelStarts = 2;
     originals[1].accelBusyCycles = 64;
+    originals[1].accelQueuePending = 1;
     originals[1].stallCycles = {1, 2};
     originals[1].counterDeltas = {700, 5};
 
@@ -560,6 +563,10 @@ TEST(TelemetryOpenMetrics, RenderTextGolden)
         "cause=\"none\"} 5\n"
         "tca_stall_cycles_total{run=\"fig5_heap/L_T\",job=\"0\","
         "cause=\"rob_full\"} 10\n"
+        "# HELP tca_accel_queue_pending Accelerator invocations in "
+        "flight at the last epoch boundary\n"
+        "# TYPE tca_accel_queue_pending gauge\n"
+        "tca_accel_queue_pending{run=\"fig5_heap/L_T\",job=\"0\"} 0\n"
         "# HELP tca_run_finished Whether the run has ended\n"
         "# TYPE tca_run_finished gauge\n"
         "tca_run_finished{run=\"fig5_heap/L_T\",job=\"0\"} 1\n"

@@ -133,7 +133,8 @@ TEST(ParallelDeterminismTest, ValidationPointsAreByteIdentical)
                 1e-5 * static_cast<double>(i + 1);
             model::IntervalModel m(params);
             ValidationPoint p;
-            p.estimated = m.speedup(model::allTcaModes[i % 4]);
+            p.estimated = m.speedup(
+                model::allTcaModes[i % model::allTcaModes.size()]);
             p.measured = p.estimated * (1.0 + 1e-3 * (i % 7));
             return p;
         });
