@@ -33,6 +33,7 @@
 #include "model/interval_model.hh"
 #include "model/sweeps.hh"
 #include "obs/bench_harness.hh"
+#include "obs/host_sampler.hh"
 #include "obs/telemetry.hh"
 #include "util/thread_pool.hh"
 #include "workloads/dgemm_workload.hh"
@@ -299,11 +300,17 @@ sweepDenseScenario()
 
         size_t a_steps = quick ? 48 : 160;
         size_t v_steps = quick ? 48 : 160;
-        HeatmapGrid grid =
-            heatmapSweep(base, a_steps, 1e-6, 1e-1, v_steps);
+        // Sweep regions live at the call sites: tca_model sits below
+        // tca_obs and cannot annotate itself.
+        HeatmapGrid grid = [&] {
+            obs::prof::ProfRegion region("heatmap_sweep");
+            return heatmapSweep(base, a_steps, 1e-6, 1e-1, v_steps);
+        }();
 
-        std::vector<SweepPoint> gran = granularitySweep(
-            base, 10.0, 1e7, quick ? 8 : 32);
+        std::vector<SweepPoint> gran = [&] {
+            obs::prof::ProfRegion region("granularity_sweep");
+            return granularitySweep(base, 10.0, 1e7, quick ? 8 : 32);
+        }();
 
         // Checksum over everything computed so the optimizer cannot
         // drop the sweeps and divergence shows up in the record.
@@ -451,6 +458,14 @@ usage(const char *argv0, int code)
         "                byte-identical, only host throughput differs)\n"
         "  --quiet       suppress per-scenario progress lines (for CI\n"
         "                logs; the telemetry stream is unaffected)\n"
+        "  --profile M   host self-profiling: 'sample' (SIGPROF\n"
+        "                sampler + phase regions), 'regions' (phase\n"
+        "                regions only), or 'off' (default). Sets\n"
+        "                $TCA_PROF; 'sample' writes profile.collapsed\n"
+        "                and profile.json to the output directory\n"
+        "                (render with tca_trace flame). Every\n"
+        "                BENCH_*.json gains a host.regions subtree.\n"
+        "                See docs/PROFILING.md\n"
         "  --list        print scenarios with one-line descriptions "
         "and exit\n"
         "\n"
@@ -505,6 +520,21 @@ main(int argc, char **argv)
             ::setenv("TCA_ENGINE", engine.c_str(), 1);
         } else if (arg == "--quiet") {
             options.quiet = true;
+        } else if (arg == "--profile") {
+            std::string mode_name = value();
+            bool ok = false;
+            obs::prof::ProfMode mode =
+                obs::prof::parseProfMode(mode_name, &ok);
+            if (!ok) {
+                std::fprintf(stderr, "--profile must be 'sample', "
+                                     "'regions', or 'off'\n");
+                return 2;
+            }
+            // Env + explicit set: the env covers fresh processes the
+            // bench might spawn, the set overrides an earlier cached
+            // TCA_PROF read.
+            ::setenv("TCA_PROF", obs::prof::profModeName(mode), 1);
+            obs::prof::setMode(mode);
         } else if (arg == "--list") {
             list = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -565,7 +595,33 @@ main(int argc, char **argv)
             options.quick ? " (quick)" : "", harness.resolvedJobs(),
             harness.resolvedOutDir().c_str());
     }
+    // Arm the sampling profiler around the whole run, flushing
+    // partial artifacts if a scenario panics mid-run.
+    bool sampling = false;
+    if (obs::prof::mode() == obs::prof::ProfMode::Sample) {
+        HostSampler &sampler = HostSampler::global();
+        sampler.flushOnPanic(harness.resolvedOutDir());
+        sampling = sampler.start();
+    }
+
     std::vector<ScenarioOutcome> outcomes = harness.runAll();
+
+    if (sampling) {
+        HostSampler &sampler = HostSampler::global();
+        sampler.stop();
+        sampler.cancelPanicFlush();
+        sampler.flushTo(harness.resolvedOutDir());
+        if (!options.quiet) {
+            std::printf(
+                "profile: %llu sample(s) (%llu dropped), sampler "
+                "overhead %.3fs -> %s/profile.collapsed\n",
+                static_cast<unsigned long long>(sampler.numSamples()),
+                static_cast<unsigned long long>(sampler.numDropped()),
+                sampler.overheadSeconds(),
+                harness.resolvedOutDir().c_str());
+        }
+    }
+
     if (outcomes.empty()) {
         std::fprintf(stderr, "no scenario matches filter '%s'\n",
                      options.filter.c_str());

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <functional>
 
+#include "obs/host_sampler.hh"
 #include "util/logging.hh"
 
 namespace tca {
@@ -190,6 +191,8 @@ Core::materializeResult()
 SimResult
 Core::run(trace::TraceSource &trace_source)
 {
+    obs::prof::ProfRegion prof_region("core_run");
+    profStage = obs::prof::engineStageSlot();
     resetRunState();
     source = &trace_source;
 
@@ -228,6 +231,7 @@ Core::run(trace::TraceSource &trace_source)
         runEvent();
     else
         runReference();
+    obs::prof::setStage(profStage, obs::prof::EngineStage::None);
 
     materializeResult();
     if (cpTracker)
@@ -247,11 +251,17 @@ Core::runReference()
     // The run drains queued async invocations past the last retire:
     // the device still owes completions, and total cycles must cover
     // them (both engines end at the final pop's cycle + 1).
+    using obs::prof::EngineStage;
     while (!traceDone || !rob.empty() || asyncPending > 0) {
+        obs::prof::setStage(profStage, EngineStage::WheelDrain);
         accelQueueTick();
+        obs::prof::setStage(profStage, EngineStage::Commit);
         commitStage();
+        obs::prof::setStage(profStage, EngineStage::Execute);
         issueStage();
+        obs::prof::setStage(profStage, EngineStage::Dispatch);
         dispatchStage();
+        obs::prof::setStage(profStage, EngineStage::None);
         tallies.cycles.inc();
         tallies.robOccupancySum.inc(rob.size());
         if (sink)
@@ -282,12 +292,19 @@ Core::runEvent()
     uint64_t last_progress_uops = 0;
     mem::Cycle last_progress_cycle = 0;
 
+    using obs::prof::EngineStage;
     while (!traceDone || !rob.empty() || asyncPending > 0) {
+        obs::prof::setStage(profStage, EngineStage::WheelDrain);
         accelQueueTick();
+        obs::prof::setStage(profStage, EngineStage::Wakeup);
         deliverWakeups();
+        obs::prof::setStage(profStage, EngineStage::Commit);
         commitStage();
+        obs::prof::setStage(profStage, EngineStage::Execute);
         issueStageEvent();
+        obs::prof::setStage(profStage, EngineStage::Dispatch);
         dispatchStage();
+        obs::prof::setStage(profStage, EngineStage::None);
         tallies.cycles.inc();
         tallies.robOccupancySum.inc(rob.size());
         if (sink)
@@ -307,6 +324,7 @@ Core::runEvent()
         // sketch). The jump itself counts as watchdog progress.
         if (tickCommits == 0 && tickIssues == 0 && tickDispatches == 0 &&
             (!traceDone || !rob.empty() || asyncPending > 0)) {
+            obs::prof::setStage(profStage, EngineStage::CycleSkip);
             mem::Cycle next = nextEventTime();
             if (next == kNoEvent) {
                 panic("core deadlock at cycle %llu: no pending events "

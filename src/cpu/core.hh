@@ -499,6 +499,11 @@ class Core
     obs::EventSink *sink = nullptr;
     bool sinkUopEvents = false;
 
+    // Host-profiling engine-stage slot (obs::prof::engineStageSlot),
+    // cached per run; nullptr when TCA_PROF is off, making each
+    // per-cycle stage tag one predicted-null pointer check.
+    uint8_t *profStage = nullptr;
+
     // Optional critical-path tracker (not owned).
     obs::CriticalPathTracker *cpTracker = nullptr;
     CpIssueNote cpNote;

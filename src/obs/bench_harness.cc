@@ -136,41 +136,63 @@ BenchHarness::runScenario(const BenchScenario &scenario)
         opts.telemetry->publish(std::move(beat));
     };
 
-    // Warmup is timed into its own summary, never into wallSeconds:
-    // the reported repeat median must exclude cache warming and any
-    // one-time setup (the warmup-exclusion test asserts this).
-    std::vector<double> warm;
-    for (int i = 0; i < opts.warmup; ++i) {
-        WallTimer timer;
-        scenario.run(opts.quick);
-        warm.push_back(timer.seconds());
-        heartbeat("warmup", i + 1, opts.warmup, -1.0, 0.0);
-    }
-    outcome.warmupSeconds = summarize(std::move(warm));
+    // Region attribution for the scenario, captured so the table is
+    // rooted at "scenario" whether this worker is the main thread
+    // (serial harness) or a pool worker.
+    prof::RegionCapture region_capture;
+    WallTimer region_timer;
+    {
+        prof::ProfRegion scenario_region("scenario");
 
-    std::vector<double> wall, rate;
-    for (int i = 0; i < opts.repeats; ++i) {
-        WallTimer timer;
-        ScenarioMetrics metrics = scenario.run(opts.quick);
-        double seconds = timer.seconds();
-        wall.push_back(seconds);
-        rate.push_back(throughputPerSec(metrics.committedUops, seconds));
-        // The simulator is deterministic, so cycle counts and model
-        // errors are repeat-invariant; keep the last repeat's.
-        outcome.simCycles = metrics.simCycles;
-        outcome.committedUops = metrics.committedUops;
-        outcome.modeErrors = std::move(metrics.modeErrors);
-        outcome.cp = std::move(metrics.cp);
-        outcome.hasCp = metrics.hasCp;
-        double mean = 0.0;
-        for (double s : wall)
-            mean += s;
-        mean /= static_cast<double>(wall.size());
-        heartbeat("repeat", i + 1, opts.repeats,
-                  mean * (opts.repeats - (i + 1)), rate.back());
+        // Warmup is timed into its own summary, never into
+        // wallSeconds: the reported repeat median must exclude cache
+        // warming and any one-time setup (the warmup-exclusion test
+        // asserts this).
+        std::vector<double> warm;
+        for (int i = 0; i < opts.warmup; ++i) {
+            WallTimer timer;
+            prof::ProfRegion warmup_region("warmup");
+            scenario.run(opts.quick);
+            warm.push_back(timer.seconds());
+            heartbeat("warmup", i + 1, opts.warmup, -1.0, 0.0);
+        }
+        outcome.warmupSeconds = summarize(std::move(warm));
+
+        std::vector<double> wall, rate;
+        for (int i = 0; i < opts.repeats; ++i) {
+            WallTimer timer;
+            ScenarioMetrics metrics = [&] {
+                prof::ProfRegion repeat_region("repeat");
+                return scenario.run(opts.quick);
+            }();
+            double seconds = timer.seconds();
+            wall.push_back(seconds);
+            rate.push_back(
+                throughputPerSec(metrics.committedUops, seconds));
+            // The simulator is deterministic, so cycle counts and
+            // model errors are repeat-invariant; keep the last
+            // repeat's.
+            outcome.simCycles = metrics.simCycles;
+            outcome.committedUops = metrics.committedUops;
+            outcome.modeErrors = std::move(metrics.modeErrors);
+            outcome.cp = std::move(metrics.cp);
+            outcome.hasCp = metrics.hasCp;
+            double mean = 0.0;
+            for (double s : wall)
+                mean += s;
+            mean /= static_cast<double>(wall.size());
+            heartbeat("repeat", i + 1, opts.repeats,
+                      mean * (opts.repeats - (i + 1)), rate.back());
+        }
+        outcome.wallSeconds = summarize(std::move(wall));
+        outcome.uopsPerSec = summarize(std::move(rate));
     }
-    outcome.wallSeconds = summarize(std::move(wall));
-    outcome.uopsPerSec = summarize(std::move(rate));
+    if (prof::enabled()) {
+        outcome.regionWallSeconds = region_timer.seconds();
+        outcome.regionOverheadNs = region_capture.overheadNs();
+        outcome.regions = region_capture.take();
+        outcome.hasRegions = true;
+    }
     outcome.host = host_profiler.stop();
     return outcome;
 }
@@ -349,7 +371,16 @@ BenchHarness::writeBenchJson(const ScenarioOutcome &outcome,
     {
         std::ostringstream os;
         JsonWriter w(os);
-        outcome.host.writeJson(w);
+        if (outcome.hasRegions) {
+            outcome.host.writeJson(w, [&](JsonWriter &hw) {
+                hw.key("regions");
+                prof::writeRegionsJson(hw, outcome.regions,
+                                       outcome.regionWallSeconds,
+                                       outcome.regionOverheadNs);
+            });
+        } else {
+            outcome.host.writeJson(w);
+        }
         manifest.setRawJson("host", os.str());
     }
     if (opts.telemetry) {

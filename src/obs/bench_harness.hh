@@ -28,6 +28,7 @@
 
 #include "obs/critical_path.hh"
 #include "obs/host_profile.hh"
+#include "obs/host_sampler.hh"
 #include "obs/interval_profiler.hh"
 
 namespace tca {
@@ -170,6 +171,17 @@ struct ScenarioOutcome
      *  peak RSS, worker-thread CPU time, and hardware counters where
      *  the kernel permits perf_event_open. */
     HostProfile host;
+
+    /** Per-phase host-time attribution (TCA_PROF=regions|sample):
+     *  the scenario's region table, harvested from the worker that
+     *  ran it. Rendered as the record's host.regions subtree; empty
+     *  (hasRegions false) when profiling is off, which keeps the
+     *  record byte-identical to a profiling-unaware build. */
+    prof::RegionTable regions;
+    bool hasRegions = false;
+    uint64_t regionOverheadNs = 0;  ///< region bookkeeping cost
+    double regionWallSeconds = 0.0; ///< wall clock over the same span
+
     std::string jsonPath; ///< BENCH_<name>.json written ("" on failure)
 };
 

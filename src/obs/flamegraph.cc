@@ -1,0 +1,392 @@
+#include "obs/flamegraph.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+
+namespace tca {
+namespace obs {
+namespace flame {
+
+namespace {
+
+/** Truncate a (possibly demangled, template-heavy) frame name for
+ *  table display. */
+std::string
+clipFrame(const std::string &name, size_t width)
+{
+    if (name.size() <= width)
+        return name;
+    return name.substr(0, width - 3) + "...";
+}
+
+double
+percent(uint64_t part, uint64_t whole)
+{
+    return whole == 0
+        ? 0.0
+        : 100.0 * static_cast<double>(part) /
+              static_cast<double>(whole);
+}
+
+/** Escape text for XML element content and attribute values.
+ *  Demangled C++ frame names are full of '<' and '&'; JSON escaping
+ *  would leave them to break the SVG markup. */
+std::string
+xmlEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '&': out += "&amp;"; break;
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '"': out += "&quot;"; break;
+          default:  out += c; break;
+        }
+    }
+    return out;
+}
+
+/** Stable warm color from a name hash (flamegraph convention). */
+void
+frameColor(const std::string &name, int rgb[3])
+{
+    uint64_t h = 1469598103934665603ull;
+    for (char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    // Red 180-255, green 60-200, blue 0-60: the classic fire ramp.
+    rgb[0] = 180 + static_cast<int>(h % 76);
+    rgb[1] = 60 + static_cast<int>((h >> 8) % 141);
+    rgb[2] = static_cast<int>((h >> 16) % 61);
+}
+
+struct LayoutRect
+{
+    std::string name;
+    uint64_t count = 0;
+    int depth = 0;
+    double x = 0.0;      ///< sample-space offset
+    const FlameNode *node = nullptr;
+};
+
+/** Depth-first layout: children in name order, packed left to right
+ *  above their parent. */
+void
+layoutNode(const std::string &name, const FlameNode &node, int depth,
+           double x, std::vector<LayoutRect> &out, int &max_depth)
+{
+    out.push_back({name, node.total, depth, x, &node});
+    max_depth = std::max(max_depth, depth);
+    double child_x = x;
+    for (const auto &[child_name, child] : node.children) {
+        layoutNode(child_name, child, depth + 1, child_x, out,
+                   max_depth);
+        child_x += static_cast<double>(child.total);
+    }
+}
+
+} // anonymous namespace
+
+bool
+parseCollapsed(const std::string &text, std::vector<Stack> &out,
+               std::string *error)
+{
+    out.clear();
+    std::istringstream in(text);
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        size_t space = line.find_last_of(' ');
+        if (space == std::string::npos || space == 0 ||
+            space + 1 == line.size()) {
+            if (error)
+                *error = "line " + std::to_string(line_no) +
+                         ": expected 'frames count'";
+            return false;
+        }
+        const std::string count_text = line.substr(space + 1);
+        uint64_t count = 0;
+        for (char c : count_text) {
+            if (c < '0' || c > '9') {
+                if (error)
+                    *error = "line " + std::to_string(line_no) +
+                             ": bad count '" + count_text + "'";
+                return false;
+            }
+            count = count * 10 + static_cast<uint64_t>(c - '0');
+        }
+        if (count == 0) {
+            if (error)
+                *error = "line " + std::to_string(line_no) +
+                         ": zero count";
+            return false;
+        }
+        Stack stack;
+        stack.count = count;
+        std::string frames = line.substr(0, space);
+        size_t start = 0;
+        while (true) {
+            size_t semi = frames.find(';', start);
+            std::string frame = semi == std::string::npos
+                ? frames.substr(start)
+                : frames.substr(start, semi - start);
+            if (frame.empty()) {
+                if (error)
+                    *error = "line " + std::to_string(line_no) +
+                             ": empty frame";
+                return false;
+            }
+            stack.frames.push_back(std::move(frame));
+            if (semi == std::string::npos)
+                break;
+            start = semi + 1;
+        }
+        out.push_back(std::move(stack));
+    }
+    return true;
+}
+
+void
+writeCollapsed(std::ostream &os, const std::vector<Stack> &stacks)
+{
+    std::map<std::string, uint64_t> merged;
+    for (const Stack &stack : stacks) {
+        std::string key;
+        for (size_t i = 0; i < stack.frames.size(); ++i) {
+            if (i)
+                key += ';';
+            key += stack.frames[i];
+        }
+        merged[key] += stack.count;
+    }
+    for (const auto &[key, count] : merged)
+        os << key << ' ' << count << '\n';
+}
+
+uint64_t
+totalSamples(const std::vector<Stack> &stacks)
+{
+    uint64_t total = 0;
+    for (const Stack &stack : stacks)
+        total += stack.count;
+    return total;
+}
+
+std::map<std::string, FrameStat>
+frameStats(const std::vector<Stack> &stacks)
+{
+    std::map<std::string, FrameStat> stats;
+    for (const Stack &stack : stacks) {
+        if (stack.frames.empty())
+            continue;
+        stats[stack.frames.back()].self += stack.count;
+        // Count 'total' once per stack even when a frame recurses.
+        std::set<std::string> seen;
+        for (const std::string &frame : stack.frames) {
+            if (seen.insert(frame).second)
+                stats[frame].total += stack.count;
+        }
+    }
+    return stats;
+}
+
+std::string
+formatFlameTable(const std::vector<Stack> &stacks, size_t limit)
+{
+    const uint64_t total = totalSamples(stacks);
+    auto stats = frameStats(stacks);
+    std::vector<std::pair<std::string, FrameStat>> ranked(
+        stats.begin(), stats.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second.self != b.second.self)
+                      return a.second.self > b.second.self;
+                  if (a.second.total != b.second.total)
+                      return a.second.total > b.second.total;
+                  return a.first < b.first;
+              });
+    if (ranked.size() > limit)
+        ranked.resize(limit);
+
+    std::ostringstream os;
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%7s %9s %7s %9s  %s\n", "SELF%", "SELF",
+                  "TOTAL%", "TOTAL", "FRAME");
+    os << buffer;
+    for (const auto &[name, stat] : ranked) {
+        std::snprintf(buffer, sizeof(buffer),
+                      "%6.2f%% %9llu %6.2f%% %9llu  %s\n",
+                      percent(stat.self, total),
+                      static_cast<unsigned long long>(stat.self),
+                      percent(stat.total, total),
+                      static_cast<unsigned long long>(stat.total),
+                      clipFrame(name, 100).c_str());
+        os << buffer;
+    }
+    std::snprintf(buffer, sizeof(buffer),
+                  "%llu samples, %zu distinct frames\n",
+                  static_cast<unsigned long long>(total),
+                  stats.size());
+    os << buffer;
+    return os.str();
+}
+
+std::string
+formatFlameDiff(const std::vector<Stack> &before,
+                const std::vector<Stack> &after, size_t limit)
+{
+    const uint64_t before_total = totalSamples(before);
+    const uint64_t after_total = totalSamples(after);
+    auto before_stats = frameStats(before);
+    auto after_stats = frameStats(after);
+
+    struct Row
+    {
+        std::string name;
+        double beforePct = 0.0;
+        double afterPct = 0.0;
+    };
+    std::map<std::string, Row> rows;
+    for (const auto &[name, stat] : before_stats) {
+        Row &row = rows[name];
+        row.name = name;
+        row.beforePct = percent(stat.self, before_total);
+    }
+    for (const auto &[name, stat] : after_stats) {
+        Row &row = rows[name];
+        row.name = name;
+        row.afterPct = percent(stat.self, after_total);
+    }
+    std::vector<Row> ranked;
+    ranked.reserve(rows.size());
+    for (auto &[name, row] : rows)
+        ranked.push_back(std::move(row));
+    std::sort(ranked.begin(), ranked.end(),
+              [](const Row &a, const Row &b) {
+                  double da = std::fabs(a.afterPct - a.beforePct);
+                  double db = std::fabs(b.afterPct - b.beforePct);
+                  if (da != db)
+                      return da > db;
+                  return a.name < b.name;
+              });
+    if (ranked.size() > limit)
+        ranked.resize(limit);
+
+    std::ostringstream os;
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer), "%8s %8s %8s  %s\n",
+                  "OLD%", "NEW%", "DELTA", "FRAME");
+    os << buffer;
+    for (const Row &row : ranked) {
+        std::snprintf(buffer, sizeof(buffer),
+                      "%7.2f%% %7.2f%% %+7.2f%%  %s\n",
+                      row.beforePct, row.afterPct,
+                      row.afterPct - row.beforePct,
+                      clipFrame(row.name, 100).c_str());
+        os << buffer;
+    }
+    std::snprintf(buffer, sizeof(buffer),
+                  "%llu -> %llu samples\n",
+                  static_cast<unsigned long long>(before_total),
+                  static_cast<unsigned long long>(after_total));
+    os << buffer;
+    return os.str();
+}
+
+FlameNode
+buildFlameTree(const std::vector<Stack> &stacks)
+{
+    FlameNode root;
+    for (const Stack &stack : stacks) {
+        root.total += stack.count;
+        FlameNode *node = &root;
+        for (const std::string &frame : stack.frames) {
+            node = &node->children[frame];
+            node->total += stack.count;
+        }
+        node->self += stack.count;
+    }
+    return root;
+}
+
+void
+writeFlameSvg(std::ostream &os, const std::vector<Stack> &stacks,
+              const std::string &title)
+{
+    const FlameNode root = buildFlameTree(stacks);
+    const uint64_t total = root.total;
+
+    std::vector<LayoutRect> rects;
+    int max_depth = 0;
+    {
+        // Lay out the root's children directly; the root row itself
+        // is rendered as the full-width "all" bar at depth 0.
+        rects.push_back({"all", total, 0, 0.0, &root});
+        double x = 0.0;
+        for (const auto &[name, child] : root.children) {
+            layoutNode(name, child, 1, x, rects, max_depth);
+            x += static_cast<double>(child.total);
+        }
+    }
+
+    const double width = 1200.0;
+    const double row_height = 16.0;
+    const double header = 28.0;
+    const double height =
+        header + row_height * static_cast<double>(max_depth + 1) + 4;
+    const double scale =
+        total == 0 ? 0.0 : width / static_cast<double>(total);
+
+    os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+       << width << "\" height=\"" << height
+       << "\" font-family=\"monospace\" font-size=\"11\">\n";
+    os << "<rect width=\"100%\" height=\"100%\" fill=\"#fdf6ec\"/>\n";
+    os << "<text x=\"8\" y=\"18\" font-size=\"14\">"
+       << xmlEscape(title) << " (" << total
+       << " samples)</text>\n";
+
+    char buffer[64];
+    for (const LayoutRect &rect : rects) {
+        double w = static_cast<double>(rect.count) * scale;
+        if (w < 0.2)
+            continue; // invisible at this resolution
+        double x = rect.x * scale;
+        // Flames grow upward: depth 0 at the bottom.
+        double y = height - row_height *
+            static_cast<double>(rect.depth + 1) - 2;
+        int rgb[3];
+        frameColor(rect.name, rgb);
+        os << "<g><rect x=\"" << x << "\" y=\"" << y << "\" width=\""
+           << w << "\" height=\"" << row_height - 1 << "\" fill=\"rgb("
+           << rgb[0] << ',' << rgb[1] << ',' << rgb[2]
+           << ")\" stroke=\"#fdf6ec\" stroke-width=\"0.5\"/>";
+        std::snprintf(buffer, sizeof(buffer), "%.2f%%",
+                      percent(rect.count, total));
+        os << "<title>" << xmlEscape(rect.name) << " — "
+           << rect.count << " samples (" << buffer << ")</title>";
+        if (w > 40.0) {
+            size_t chars = static_cast<size_t>((w - 6) / 6.5);
+            os << "<text x=\"" << x + 3 << "\" y=\""
+               << y + row_height - 5 << "\">"
+               << xmlEscape(clipFrame(rect.name, chars))
+               << "</text>";
+        }
+        os << "</g>\n";
+    }
+    os << "</svg>\n";
+}
+
+} // namespace flame
+} // namespace obs
+} // namespace tca

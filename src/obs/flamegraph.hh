@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Flamegraph analytics over collapsed-stack profiles (the
+ * `profile.collapsed` artifact HostSampler writes: one
+ * "frame;frame;frame count" line per distinct stack). Pure text in,
+ * text/SVG out — no dependency on the sampler, so `tca_trace flame`
+ * can render profiles from any process or machine, and tests can feed
+ * synthetic stacks.
+ *
+ * Everything here is deterministic for a given input: stacks and
+ * children render in sorted order and colors derive from a name hash,
+ * so goldens stay stable.
+ */
+
+#ifndef TCASIM_OBS_FLAMEGRAPH_HH
+#define TCASIM_OBS_FLAMEGRAPH_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tca {
+namespace obs {
+namespace flame {
+
+/** One collapsed stack: frames root-first, plus its sample count. */
+struct Stack
+{
+    std::vector<std::string> frames;
+    uint64_t count = 0;
+};
+
+/**
+ * Parse collapsed-stack text (one "a;b;c N" per line; blank lines
+ * ignored). Rejects malformed lines — missing count, empty frame,
+ * zero count — with a message naming the line number.
+ *
+ * @return true on success
+ */
+bool parseCollapsed(const std::string &text, std::vector<Stack> &out,
+                    std::string *error = nullptr);
+
+/**
+ * Write stacks in canonical collapsed form: duplicate stacks merged,
+ * lines sorted. parse -> write is a normalizing round-trip.
+ */
+void writeCollapsed(std::ostream &os, const std::vector<Stack> &stacks);
+
+/** Samples across all stacks. */
+uint64_t totalSamples(const std::vector<Stack> &stacks);
+
+/** Per-frame sample attribution. */
+struct FrameStat
+{
+    uint64_t self = 0;   ///< samples with this frame on top
+    uint64_t total = 0;  ///< samples with this frame anywhere (once
+                         ///< per stack, however often it recurses)
+};
+
+/** Fold stacks into per-frame self/total counts. */
+std::map<std::string, FrameStat>
+frameStats(const std::vector<Stack> &stacks);
+
+/**
+ * Render the top-`limit` frames by self samples as a fixed-width
+ * table (self%, self, total%, total, frame).
+ */
+std::string formatFlameTable(const std::vector<Stack> &stacks,
+                             size_t limit = 30);
+
+/**
+ * Render a diff of two profiles as a table of the `limit` frames with
+ * the largest absolute change in self share (new% - old%), signed.
+ * Shares are normalized per profile so different sample counts (or
+ * durations) compare meaningfully.
+ */
+std::string formatFlameDiff(const std::vector<Stack> &before,
+                            const std::vector<Stack> &after,
+                            size_t limit = 30);
+
+/** Merge tree node for SVG rendering; children keyed (and thus
+ *  rendered) by name. */
+struct FlameNode
+{
+    uint64_t total = 0;  ///< samples passing through this node
+    uint64_t self = 0;   ///< samples ending exactly here
+    std::map<std::string, FlameNode> children;
+};
+
+/** Fold stacks into a merge tree rooted at an unnamed "all" node. */
+FlameNode buildFlameTree(const std::vector<Stack> &stacks);
+
+/**
+ * Render a static SVG flamegraph (root at the bottom, width
+ * proportional to samples, hover <title> tooltips with counts and
+ * percentages). Self-contained — no scripts — so it renders anywhere,
+ * including CI artifact viewers.
+ */
+void writeFlameSvg(std::ostream &os, const std::vector<Stack> &stacks,
+                   const std::string &title);
+
+} // namespace flame
+} // namespace obs
+} // namespace tca
+
+#endif // TCASIM_OBS_FLAMEGRAPH_HH

@@ -2,6 +2,8 @@
 
 #include <sys/resource.h>
 
+#include <atomic>
+
 #include "util/json.hh"
 #include "util/logging.hh"
 
@@ -67,8 +69,78 @@ openPerfCounter(uint64_t config)
 
 } // anonymous namespace
 
+PerfCounterGroup::~PerfCounterGroup()
+{
+#if TCA_HAVE_PERF_EVENT
+    for (int i = 0; i < numEvents; ++i) {
+        if (fd[i] >= 0)
+            close(fd[i]);
+    }
+#endif
+}
+
+bool
+PerfCounterGroup::open()
+{
+#if TCA_HAVE_PERF_EVENT
+    if (available())
+        return true;
+    static constexpr uint64_t configs[numEvents] = {
+        PERF_COUNT_HW_CPU_CYCLES,
+        PERF_COUNT_HW_INSTRUCTIONS,
+        PERF_COUNT_HW_CACHE_MISSES,
+    };
+    for (int i = 0; i < numEvents; ++i) {
+        fd[i] = openPerfCounter(configs[i]);
+        if (fd[i] < 0) {
+            // All or nothing: partial counter sets would make the
+            // reported triple misleading.
+            for (int j = 0; j < i; ++j) {
+                close(fd[j]);
+                fd[j] = -1;
+            }
+            fd[i] = -1;
+            return false;
+        }
+    }
+    // Free-running from here on: callers snapshot with readNow() and
+    // difference the snapshots, so nested scopes never fight over
+    // reset/enable.
+    for (int i = 0; i < numEvents; ++i) {
+        ioctl(fd[i], PERF_EVENT_IOC_RESET, 0);
+        ioctl(fd[i], PERF_EVENT_IOC_ENABLE, 0);
+    }
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool
+PerfCounterGroup::readNow(uint64_t values[numEvents])
+{
+#if TCA_HAVE_PERF_EVENT
+    if (!available())
+        return false;
+    for (int i = 0; i < numEvents; ++i) {
+        uint64_t v = 0;
+        if (read(fd[i], &v, sizeof(v)) !=
+            static_cast<ssize_t>(sizeof(v))) {
+            return false;
+        }
+        values[i] = v;
+    }
+    return true;
+#else
+    (void)values;
+    return false;
+#endif
+}
+
 void
-HostProfile::writeJson(JsonWriter &json) const
+HostProfile::writeJson(JsonWriter &json,
+                       const std::function<void(JsonWriter &)> &extra)
+    const
 {
     json.beginObject();
     json.kv("valid", valid);
@@ -84,31 +156,14 @@ HostProfile::writeJson(JsonWriter &json) const
         json.kv("cache_misses", perf.cacheMisses);
     }
     json.endObject();
+    if (extra)
+        extra(json);
     json.endObject();
 }
 
 HostProfiler::HostProfiler()
 {
-#if TCA_HAVE_PERF_EVENT
-    static constexpr uint64_t configs[numPerfEvents] = {
-        PERF_COUNT_HW_CPU_CYCLES,
-        PERF_COUNT_HW_INSTRUCTIONS,
-        PERF_COUNT_HW_CACHE_MISSES,
-    };
-    for (int i = 0; i < numPerfEvents; ++i) {
-        perfFd[i] = openPerfCounter(configs[i]);
-        if (perfFd[i] < 0) {
-            // All or nothing: partial counter sets would make the
-            // reported triple misleading.
-            for (int j = 0; j < i; ++j) {
-                close(perfFd[j]);
-                perfFd[j] = -1;
-            }
-            perfFd[i] = -1;
-            break;
-        }
-    }
-    if (perfFd[0] < 0) {
+    if (!counters.open()) {
         // Degraded mode (perf_event_paranoid, containers, seccomp):
         // the host block still carries rusage, just no hardware
         // counters. The condition is process-wide and permanent, so
@@ -120,37 +175,13 @@ HostProfiler::HostProfiler()
                  "failed); host profiles degrade to rusage only");
         }
     }
-#endif
-}
-
-HostProfiler::~HostProfiler()
-{
-#if TCA_HAVE_PERF_EVENT
-    for (int i = 0; i < numPerfEvents; ++i) {
-        if (perfFd[i] >= 0)
-            close(perfFd[i]);
-    }
-#endif
-}
-
-bool
-HostProfiler::perfAvailable() const
-{
-    return perfFd[0] >= 0;
 }
 
 void
 HostProfiler::start()
 {
     threadCpuTimes(startUser, startSys);
-#if TCA_HAVE_PERF_EVENT
-    for (int i = 0; i < numPerfEvents; ++i) {
-        if (perfFd[i] < 0)
-            continue;
-        ioctl(perfFd[i], PERF_EVENT_IOC_RESET, 0);
-        ioctl(perfFd[i], PERF_EVENT_IOC_ENABLE, 0);
-    }
-#endif
+    startPerfOk = counters.readNow(startPerf);
 }
 
 HostProfile
@@ -172,25 +203,13 @@ HostProfiler::stop()
             static_cast<uint64_t>(self.ru_maxrss) * 1024;
     }
 
-#if TCA_HAVE_PERF_EVENT
-    if (perfAvailable()) {
-        uint64_t values[numPerfEvents] = {0, 0, 0};
-        bool ok = true;
-        for (int i = 0; i < numPerfEvents; ++i) {
-            ioctl(perfFd[i], PERF_EVENT_IOC_DISABLE, 0);
-            if (read(perfFd[i], &values[i], sizeof(values[i])) !=
-                static_cast<ssize_t>(sizeof(values[i]))) {
-                ok = false;
-            }
-        }
-        if (ok) {
-            profile.perf.valid = true;
-            profile.perf.cycles = values[0];
-            profile.perf.instructions = values[1];
-            profile.perf.cacheMisses = values[2];
-        }
+    uint64_t values[PerfCounterGroup::numEvents] = {0, 0, 0};
+    if (startPerfOk && counters.readNow(values)) {
+        profile.perf.valid = true;
+        profile.perf.cycles = values[0] - startPerf[0];
+        profile.perf.instructions = values[1] - startPerf[1];
+        profile.perf.cacheMisses = values[2] - startPerf[2];
     }
-#endif
     return profile;
 }
 

@@ -14,18 +14,66 @@
  *
  * Profilers are thread-affine: construct, start(), and stop() on the
  * same thread that runs the measured work.
+ *
+ * The raw counter group (PerfCounterGroup) is exposed so other
+ * profiling layers — the prof::ProfRegion stack in host_sampler.hh
+ * reads per-region deltas at region boundaries — reuse the same
+ * open-once / degrade-gracefully discipline instead of re-negotiating
+ * with the kernel.
  */
 
 #ifndef TCASIM_OBS_HOST_PROFILE_HH
 #define TCASIM_OBS_HOST_PROFILE_HH
 
 #include <cstdint>
+#include <functional>
 
 namespace tca {
 
 class JsonWriter;
 
 namespace obs {
+
+/**
+ * A free-running group of three hardware counters (cycles,
+ * instructions, cache misses) for the calling thread. open() is
+ * all-or-nothing: partial counter sets would make the reported triple
+ * misleading, so one failed perf_event_open closes the group and
+ * available() stays false — callers degrade instead of failing.
+ * Counters run continuously once opened; readNow() snapshots current
+ * values and callers difference snapshots themselves, which makes the
+ * group safely shareable by nested measurement scopes.
+ */
+class PerfCounterGroup
+{
+  public:
+    static constexpr int numEvents = 3;
+
+    PerfCounterGroup() = default;
+    ~PerfCounterGroup();
+
+    PerfCounterGroup(const PerfCounterGroup &) = delete;
+    PerfCounterGroup &operator=(const PerfCounterGroup &) = delete;
+
+    /**
+     * Open and enable the counters on the calling thread. Idempotent.
+     * @return true when hardware counters are available
+     */
+    bool open();
+
+    /** True when open() succeeded on this host. */
+    bool available() const { return fd[0] >= 0; }
+
+    /**
+     * Snapshot current counter values (cycles, instructions, cache
+     * misses). Returns false — leaving `values` untouched — when the
+     * group is unavailable or a read fails.
+     */
+    bool readNow(uint64_t values[numEvents]);
+
+  private:
+    int fd[numEvents] = {-1, -1, -1};
+};
 
 /** What one profiled region cost the host. */
 struct HostProfile
@@ -44,8 +92,15 @@ struct HostProfile
         uint64_t cacheMisses = 0;
     } perf;
 
-    /** Emit as one JSON object (the "host" block of BENCH_*.json). */
-    void writeJson(JsonWriter &json) const;
+    /**
+     * Emit as one JSON object (the "host" block of BENCH_*.json).
+     * `extra`, when set, is invoked before the object closes so the
+     * caller can append sibling members (the harness appends the
+     * host.regions subtree this way).
+     */
+    void writeJson(JsonWriter &json,
+                   const std::function<void(JsonWriter &)> &extra =
+                       {}) const;
 };
 
 /**
@@ -57,24 +112,24 @@ class HostProfiler
 {
   public:
     HostProfiler();
-    ~HostProfiler();
+    ~HostProfiler() = default;
 
     HostProfiler(const HostProfiler &) = delete;
     HostProfiler &operator=(const HostProfiler &) = delete;
 
     /** True when hardware counters are available on this host. */
-    bool perfAvailable() const;
+    bool perfAvailable() const { return counters.available(); }
 
-    /** Begin a region: snapshot rusage, reset + enable perf counters. */
+    /** Begin a region: snapshot rusage and the counter group. */
     void start();
 
     /** End the region and report what it cost. */
     HostProfile stop();
 
   private:
-    static constexpr int numPerfEvents = 3;
-
-    int perfFd[numPerfEvents] = {-1, -1, -1};
+    PerfCounterGroup counters;
+    uint64_t startPerf[PerfCounterGroup::numEvents] = {0, 0, 0};
+    bool startPerfOk = false;
     double startUser = 0.0;
     double startSys = 0.0;
 };

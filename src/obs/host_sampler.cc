@@ -1,0 +1,945 @@
+#include "obs/host_sampler.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/host_profile.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+#if defined(__linux__) && __has_include(<execinfo.h>)
+#define TCA_HAVE_SAMPLER 1
+#include <csignal>
+#include <ctime>
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#else
+#define TCA_HAVE_SAMPLER 0
+#include <ctime>
+#endif
+
+namespace tca {
+namespace obs {
+namespace prof {
+
+namespace {
+
+/** Monotonic nanoseconds (the region clock). */
+uint64_t
+nowNs()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<uint64_t>(ts.tv_nsec);
+}
+
+/** Cached TCA_PROF selection; -1 = not read yet. */
+std::atomic<int> g_mode{-1};
+
+/**
+ * POD thread-locals the SIGPROF handler reads. __thread (not C++
+ * thread_local) keeps them trivially initialized — no lazy wrapper
+ * that could allocate inside a signal handler.
+ */
+__thread int tls_region_id = -1;
+__thread uint8_t tls_stage = 0;
+
+/** One open region on the thread's stack. */
+struct Frame
+{
+    int id = -1;
+    std::string path;
+    uint64_t startNs = 0;
+    uint64_t childNs = 0;
+    bool perfValid = false;
+    uint64_t perf0[PerfCounterGroup::numEvents] = {0, 0, 0};
+    uint64_t childPerf[PerfCounterGroup::numEvents] = {0, 0, 0};
+};
+
+/** Per-thread region state. Touched only from its own thread in
+ *  normal (non-signal) context; the handler reads only the POD
+ *  thread-locals above. */
+struct RegionStack
+{
+    std::vector<Frame> frames;
+    RegionTable table;
+    /** Frames below this depth belong to an outer RegionCapture;
+     *  paths and child attribution re-root here. */
+    size_t baseDepth = 0;
+    uint64_t overheadNs = 0;
+    PerfCounterGroup perf;
+    bool perfTried = false;
+};
+
+RegionStack &
+regionStack()
+{
+    thread_local RegionStack stack;
+    return stack;
+}
+
+/**
+ * Process-wide path -> id interning so the signal handler can record
+ * a region as one int. Push interns in normal context under a mutex;
+ * the handler only reads the already-published tls_region_id.
+ */
+struct PathRegistry
+{
+    std::mutex lock;
+    std::unordered_map<std::string, int> ids;
+    std::vector<std::string> paths;
+};
+
+PathRegistry &
+pathRegistry()
+{
+    static PathRegistry registry;
+    return registry;
+}
+
+int
+internPath(const std::string &path)
+{
+    PathRegistry &registry = pathRegistry();
+    std::lock_guard<std::mutex> guard(registry.lock);
+    auto it = registry.ids.find(path);
+    if (it != registry.ids.end())
+        return it->second;
+    int id = static_cast<int>(registry.paths.size());
+    registry.paths.push_back(path);
+    registry.ids.emplace(path, id);
+    return id;
+}
+
+std::string
+pathForId(int id)
+{
+    PathRegistry &registry = pathRegistry();
+    std::lock_guard<std::mutex> guard(registry.lock);
+    if (id < 0 || static_cast<size_t>(id) >= registry.paths.size())
+        return std::string();
+    return registry.paths[static_cast<size_t>(id)];
+}
+
+void
+pushRegion(const std::string &name)
+{
+    uint64_t t0 = nowNs();
+    RegionStack &stack = regionStack();
+    if (name.empty() || name.find('/') != std::string::npos)
+        panic("bad profiling region name '%s'", name.c_str());
+    if (!stack.perfTried) {
+        // Open the thread's counter group once; in containers this
+        // fails and regions silently degrade to wall time only —
+        // HostProfiler already warned for the process.
+        stack.perfTried = true;
+        stack.perf.open();
+    }
+    Frame frame;
+    frame.path = stack.frames.size() > stack.baseDepth
+        ? stack.frames.back().path + "/" + name
+        : name;
+    frame.id = internPath(frame.path);
+    frame.perfValid = stack.perf.readNow(frame.perf0);
+    tls_region_id = frame.id;
+    // The region's own clock starts after bookkeeping, so intern and
+    // counter-read cost lands in overheadNs, not in the region.
+    uint64_t t1 = nowNs();
+    frame.startNs = t1;
+    stack.overheadNs += t1 - t0;
+    stack.frames.push_back(std::move(frame));
+}
+
+void
+popRegion()
+{
+    uint64_t t_end = nowNs();
+    RegionStack &stack = regionStack();
+    tca_assert(stack.frames.size() > stack.baseDepth);
+    Frame frame = std::move(stack.frames.back());
+    stack.frames.pop_back();
+
+    uint64_t total = t_end - frame.startNs;
+    RegionStats &stats = stack.table[frame.path];
+    ++stats.count;
+    stats.totalNs += total;
+    stats.selfNs += total - std::min(frame.childNs, total);
+
+    uint64_t delta[PerfCounterGroup::numEvents] = {0, 0, 0};
+    bool perf_ok = false;
+    if (frame.perfValid) {
+        uint64_t now[PerfCounterGroup::numEvents];
+        if (stack.perf.readNow(now)) {
+            perf_ok = true;
+            for (int i = 0; i < PerfCounterGroup::numEvents; ++i) {
+                delta[i] = now[i] - frame.perf0[i];
+                stats.totalPerf[i] += delta[i];
+                stats.selfPerf[i] +=
+                    delta[i] - std::min(frame.childPerf[i], delta[i]);
+            }
+            stats.perfValid = true;
+        }
+    }
+
+    if (stack.frames.size() > stack.baseDepth) {
+        Frame &parent = stack.frames.back();
+        parent.childNs += total;
+        if (perf_ok) {
+            for (int i = 0; i < PerfCounterGroup::numEvents; ++i)
+                parent.childPerf[i] += delta[i];
+        }
+        tls_region_id = parent.id;
+    } else {
+        tls_region_id = -1;
+    }
+    stack.overheadNs += nowNs() - t_end;
+}
+
+} // anonymous namespace
+
+ProfMode
+parseProfMode(const std::string &name, bool *ok)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (char c : name)
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    if (ok)
+        *ok = true;
+    if (lower == "off" || lower.empty())
+        return ProfMode::Off;
+    if (lower == "regions")
+        return ProfMode::Regions;
+    if (lower == "sample")
+        return ProfMode::Sample;
+    if (ok)
+        *ok = false;
+    return ProfMode::Off;
+}
+
+const char *
+profModeName(ProfMode mode)
+{
+    switch (mode) {
+      case ProfMode::Off:     return "off";
+      case ProfMode::Regions: return "regions";
+      case ProfMode::Sample:  return "sample";
+    }
+    return "?";
+}
+
+ProfMode
+mode()
+{
+    int cached = g_mode.load(std::memory_order_relaxed);
+    if (cached >= 0)
+        return static_cast<ProfMode>(cached);
+    const char *env = std::getenv("TCA_PROF");
+    ProfMode parsed = ProfMode::Off;
+    if (env && *env) {
+        bool ok = false;
+        parsed = parseProfMode(env, &ok);
+        if (!ok) {
+            warn("unrecognized TCA_PROF='%s' (want sample|regions|"
+                 "off); profiling stays off", env);
+        }
+    }
+    // First caller wins; a racing second reader sees the same value.
+    int expected = -1;
+    g_mode.compare_exchange_strong(expected,
+                                   static_cast<int>(parsed),
+                                   std::memory_order_relaxed);
+    return static_cast<ProfMode>(g_mode.load(std::memory_order_relaxed));
+}
+
+bool
+enabled()
+{
+    return mode() != ProfMode::Off;
+}
+
+void
+setMode(ProfMode new_mode)
+{
+    g_mode.store(static_cast<int>(new_mode),
+                 std::memory_order_relaxed);
+}
+
+RegionStats &
+RegionStats::operator+=(const RegionStats &other)
+{
+    count += other.count;
+    totalNs += other.totalNs;
+    selfNs += other.selfNs;
+    if (other.perfValid) {
+        perfValid = true;
+        for (int i = 0; i < PerfCounterGroup::numEvents; ++i) {
+            totalPerf[i] += other.totalPerf[i];
+            selfPerf[i] += other.selfPerf[i];
+        }
+    }
+    return *this;
+}
+
+ProfRegion::ProfRegion(const char *name) : active(enabled())
+{
+    if (active)
+        pushRegion(name);
+}
+
+ProfRegion::ProfRegion(const std::string &name) : active(enabled())
+{
+    if (active)
+        pushRegion(name);
+}
+
+ProfRegion::~ProfRegion()
+{
+    if (active)
+        popRegion();
+}
+
+RegionCapture::RegionCapture() : active(enabled())
+{
+    if (!active)
+        return;
+    RegionStack &stack = regionStack();
+    saved = std::move(stack.table);
+    stack.table.clear();
+    savedBaseDepth = stack.baseDepth;
+    savedOverheadNs = stack.overheadNs;
+    stack.baseDepth = stack.frames.size();
+    stack.overheadNs = 0;
+}
+
+RegionCapture::~RegionCapture()
+{
+    if (!active)
+        return;
+    RegionStack &stack = regionStack();
+    // Every region opened inside the capture must have closed (RAII
+    // guarantees this even under exceptions).
+    tca_assert(stack.frames.size() == stack.baseDepth);
+    stack.table = std::move(saved);
+    stack.baseDepth = savedBaseDepth;
+    stack.overheadNs += savedOverheadNs;
+}
+
+RegionTable
+RegionCapture::take()
+{
+    if (!active || taken)
+        return {};
+    taken = true;
+    RegionStack &stack = regionStack();
+    RegionTable harvested = std::move(stack.table);
+    stack.table.clear();
+    return harvested;
+}
+
+uint64_t
+RegionCapture::overheadNs() const
+{
+    return active ? regionStack().overheadNs : 0;
+}
+
+void
+mergeRegions(RegionTable &into, const RegionTable &from,
+             const std::string &prefix)
+{
+    for (const auto &[path, stats] : from)
+        into[prefix + path] += stats;
+}
+
+void
+mergeIntoThreadRegions(const RegionTable &from,
+                       const std::string &prefix)
+{
+    if (!enabled())
+        return;
+    mergeRegions(regionStack().table, from, prefix);
+}
+
+std::string
+currentPath()
+{
+    if (!enabled())
+        return std::string();
+    RegionStack &stack = regionStack();
+    return stack.frames.size() > stack.baseDepth
+        ? stack.frames.back().path
+        : std::string();
+}
+
+void
+writeRegionsJson(JsonWriter &json, const RegionTable &regions,
+                 double wall_seconds, uint64_t overhead_ns)
+{
+    json.beginObject();
+    json.key("meta");
+    json.beginObject();
+    json.kv("mode", profModeName(mode()));
+    json.kv("wall_seconds", wall_seconds);
+    json.kv("overhead_seconds",
+            static_cast<double>(overhead_ns) * 1e-9);
+    json.endObject();
+    for (const auto &[path, stats] : regions) {
+        json.key(path);
+        json.beginObject();
+        json.kv("count", stats.count);
+        json.kv("total_seconds",
+                static_cast<double>(stats.totalNs) * 1e-9);
+        json.kv("self_seconds",
+                static_cast<double>(stats.selfNs) * 1e-9);
+        if (stats.perfValid) {
+            json.kv("cycles", stats.totalPerf[0]);
+            json.kv("instructions", stats.totalPerf[1]);
+            json.kv("cache_misses", stats.totalPerf[2]);
+            json.kv("self_cycles", stats.selfPerf[0]);
+            json.kv("self_instructions", stats.selfPerf[1]);
+            json.kv("self_cache_misses", stats.selfPerf[2]);
+        }
+        json.endObject();
+    }
+    json.endObject();
+}
+
+const char *
+engineStageName(EngineStage stage)
+{
+    switch (stage) {
+      case EngineStage::None:       return "none";
+      case EngineStage::Dispatch:   return "dispatch";
+      case EngineStage::Wakeup:     return "wakeup";
+      case EngineStage::Execute:    return "execute";
+      case EngineStage::Commit:     return "commit";
+      case EngineStage::WheelDrain: return "wheel_drain";
+      case EngineStage::CycleSkip:  return "cycle_skip";
+      case EngineStage::NumStages:  break;
+    }
+    return "?";
+}
+
+uint8_t *
+engineStageSlot()
+{
+    if (!enabled())
+        return nullptr;
+    return &tls_stage;
+}
+
+} // namespace prof
+
+// ---------------------------------------------------------------------
+// HostSampler
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Region path for a sampled id, with '/' separators rewritten to ';'
+ *  so each region segment becomes one collapsed-stack frame. */
+std::string
+regionFramesForId(int id)
+{
+    std::string path = id >= 0 ? prof::pathForId(id) : std::string();
+    if (path.empty())
+        return "(no region)";
+    for (char &c : path) {
+        if (c == '/')
+            c = ';';
+    }
+    return path;
+}
+
+constexpr size_t kMaxSampleFrames = 32;
+
+/** One raw sample. `depth` is written last (release) so the flush
+ *  pass can skip slots a handler is still filling. */
+struct RawSample
+{
+    void *pcs[kMaxSampleFrames];
+    std::atomic<int32_t> depth{0};
+    int32_t regionId = -1;
+    uint8_t stage = 0;
+};
+
+struct SamplerState
+{
+    std::vector<RawSample> ring;
+    std::atomic<uint64_t> next{0};      ///< claimed slots (may exceed cap)
+    std::atomic<uint64_t> overheadNs{0};
+    size_t capacity = 0;
+    uint64_t armedAtNs = 0;
+    double accumulatedSeconds = 0.0;
+    unsigned hz = 0;
+#if TCA_HAVE_SAMPLER
+    timer_t timer{};
+    struct sigaction oldAction{};
+#endif
+};
+
+SamplerState g_sampler;
+
+#if TCA_HAVE_SAMPLER
+
+void
+sampleHandler(int, siginfo_t *, void *)
+{
+    int saved_errno = errno;
+    timespec t0{};
+    clock_gettime(CLOCK_MONOTONIC, &t0);
+
+    uint64_t idx =
+        g_sampler.next.fetch_add(1, std::memory_order_relaxed);
+    if (idx < g_sampler.capacity) {
+        RawSample &sample = g_sampler.ring[idx];
+        // backtrace() is warmed in start(), so no lazy init here.
+        int depth = backtrace(sample.pcs,
+                              static_cast<int>(kMaxSampleFrames));
+        sample.regionId = prof::tls_region_id;
+        sample.stage = prof::tls_stage;
+        sample.depth.store(depth, std::memory_order_release);
+    }
+
+    timespec t1{};
+    clock_gettime(CLOCK_MONOTONIC, &t1);
+    uint64_t ns =
+        static_cast<uint64_t>(t1.tv_sec - t0.tv_sec) * 1000000000ull +
+        static_cast<uint64_t>(t1.tv_nsec - t0.tv_nsec);
+    g_sampler.overheadNs.fetch_add(ns, std::memory_order_relaxed);
+    errno = saved_errno;
+}
+
+/** Demangled symbol for a PC, "[library]" or hex when unknown. */
+std::string
+symbolizePc(void *pc)
+{
+    Dl_info info{};
+    if (dladdr(pc, &info) && info.dli_sname && *info.dli_sname) {
+        int status = -1;
+        char *demangled = abi::__cxa_demangle(info.dli_sname, nullptr,
+                                              nullptr, &status);
+        std::string name = (status == 0 && demangled)
+            ? demangled : info.dli_sname;
+        std::free(demangled);
+        return name;
+    }
+    if (dladdr(pc, &info) && info.dli_fname && *info.dli_fname) {
+        std::string file = info.dli_fname;
+        size_t slash = file.find_last_of('/');
+        if (slash != std::string::npos)
+            file = file.substr(slash + 1);
+        return "[" + file + "]";
+    }
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "0x%zx",
+                  reinterpret_cast<size_t>(pc));
+    return buffer;
+}
+
+/** True for frames the profiler itself contributes (the handler and
+ *  the kernel's signal trampoline) — dropped from rendered stacks. */
+bool
+isProfilerFrame(const std::string &symbol)
+{
+    return symbol.find("sampleHandler") != std::string::npos ||
+           symbol.find("__restore_rt") != std::string::npos ||
+           symbol.find("killpg") != std::string::npos;
+}
+
+#endif // TCA_HAVE_SAMPLER
+
+/** Samples actually held in the ring. */
+uint64_t
+heldSamples()
+{
+    uint64_t claimed = g_sampler.next.load(std::memory_order_acquire);
+    return std::min<uint64_t>(claimed, g_sampler.capacity);
+}
+
+/** Collapsed-stack key for one sample; empty when the slot is still
+ *  being written. Symbol lookups go through `cache`. */
+std::string
+sampleStackKey(const RawSample &sample,
+               std::unordered_map<void *, std::string> &cache,
+               std::vector<std::string> *symbol_frames_out)
+{
+    int32_t depth = sample.depth.load(std::memory_order_acquire);
+    if (depth <= 0)
+        return std::string();
+
+    std::string key = regionFramesForId(sample.regionId);
+
+    if (sample.stage !=
+        static_cast<uint8_t>(prof::EngineStage::None)) {
+        key += ";engine:";
+        key += prof::engineStageName(
+            static_cast<prof::EngineStage>(sample.stage));
+    }
+
+#if TCA_HAVE_SAMPLER
+    // Symbolize innermost-first, drop the profiler's own frames, then
+    // append outermost-first (flamegraph root at the left).
+    std::vector<std::string> frames;
+    frames.reserve(static_cast<size_t>(depth));
+    for (int32_t i = 0; i < depth; ++i) {
+        void *pc = sample.pcs[i];
+        auto it = cache.find(pc);
+        if (it == cache.end())
+            it = cache.emplace(pc, symbolizePc(pc)).first;
+        frames.push_back(it->second);
+    }
+    size_t skip = 0;
+    while (skip < frames.size() && skip < 3 &&
+           isProfilerFrame(frames[skip]))
+        ++skip;
+    for (size_t i = frames.size(); i > skip; --i) {
+        key += ";";
+        key += frames[i - 1];
+        if (symbol_frames_out)
+            symbol_frames_out->push_back(frames[i - 1]);
+    }
+#else
+    (void)cache;
+    (void)symbol_frames_out;
+#endif
+    return key;
+}
+
+} // anonymous namespace
+
+HostSampler &
+HostSampler::global()
+{
+    static HostSampler sampler;
+    return sampler;
+}
+
+HostSampler::~HostSampler()
+{
+    stop();
+    cancelPanicFlush();
+}
+
+bool
+HostSampler::start(unsigned hz)
+{
+#if TCA_HAVE_SAMPLER
+    if (timerArmed)
+        return true;
+    if (hz == 0) {
+        hz = 997;
+        if (const char *env = std::getenv("TCA_PROF_HZ")) {
+            long parsed = std::strtol(env, nullptr, 10);
+            if (parsed >= 10 && parsed <= 10000)
+                hz = static_cast<unsigned>(parsed);
+            else
+                warn("TCA_PROF_HZ='%s' out of range [10,10000]; "
+                     "using %u", env, hz);
+        }
+    }
+    if (g_sampler.ring.empty()) {
+        g_sampler.capacity = 1u << 15;
+        g_sampler.ring =
+            std::vector<RawSample>(g_sampler.capacity);
+    }
+
+    // Warm backtrace()'s lazy libgcc initialization in normal
+    // context; the first call may allocate, which the handler must
+    // never do.
+    void *warm[4];
+    backtrace(warm, 4);
+
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_sigaction = sampleHandler;
+    action.sa_flags = SA_RESTART | SA_SIGINFO;
+    sigemptyset(&action.sa_mask);
+    if (sigaction(SIGPROF, &action, &g_sampler.oldAction) != 0) {
+        warn("host sampler: sigaction(SIGPROF) failed (%s)",
+             std::strerror(errno));
+        return false;
+    }
+
+    // Process-CPU-time clock: the sample rate follows CPU actually
+    // burned, so an 8-worker bench is sampled 8x as densely per wall
+    // second — exactly proportional to cost.
+    sigevent sev;
+    std::memset(&sev, 0, sizeof(sev));
+    sev.sigev_notify = SIGEV_SIGNAL;
+    sev.sigev_signo = SIGPROF;
+    if (timer_create(CLOCK_PROCESS_CPUTIME_ID, &sev,
+                     &g_sampler.timer) != 0) {
+        warn("host sampler: timer_create failed (%s); sampling "
+             "disabled", std::strerror(errno));
+        sigaction(SIGPROF, &g_sampler.oldAction, nullptr);
+        return false;
+    }
+
+    itimerspec spec{};
+    long period_ns = 1000000000l / static_cast<long>(hz);
+    spec.it_interval.tv_sec = 0;
+    spec.it_interval.tv_nsec = period_ns;
+    spec.it_value = spec.it_interval;
+    if (timer_settime(g_sampler.timer, 0, &spec, nullptr) != 0) {
+        warn("host sampler: timer_settime failed (%s)",
+             std::strerror(errno));
+        timer_delete(g_sampler.timer);
+        sigaction(SIGPROF, &g_sampler.oldAction, nullptr);
+        return false;
+    }
+    g_sampler.hz = hz;
+    g_sampler.armedAtNs = prof::nowNs();
+    timerArmed = true;
+    return true;
+#else
+    (void)hz;
+    warn("host sampler unavailable on this platform (needs "
+         "timer_create + execinfo)");
+    return false;
+#endif
+}
+
+void
+HostSampler::stop()
+{
+#if TCA_HAVE_SAMPLER
+    if (!timerArmed)
+        return;
+    timer_delete(g_sampler.timer);
+    sigaction(SIGPROF, &g_sampler.oldAction, nullptr);
+    g_sampler.accumulatedSeconds +=
+        static_cast<double>(prof::nowNs() - g_sampler.armedAtNs) *
+        1e-9;
+    timerArmed = false;
+#endif
+}
+
+uint64_t
+HostSampler::numSamples() const
+{
+    return heldSamples();
+}
+
+uint64_t
+HostSampler::numDropped() const
+{
+    uint64_t claimed = g_sampler.next.load(std::memory_order_relaxed);
+    return claimed > g_sampler.capacity
+        ? claimed - g_sampler.capacity : 0;
+}
+
+double
+HostSampler::overheadSeconds() const
+{
+    return static_cast<double>(
+               g_sampler.overheadNs.load(std::memory_order_relaxed)) *
+           1e-9;
+}
+
+double
+HostSampler::durationSeconds() const
+{
+    double total = g_sampler.accumulatedSeconds;
+    if (timerArmed) {
+        total += static_cast<double>(prof::nowNs() -
+                                     g_sampler.armedAtNs) * 1e-9;
+    }
+    return total;
+}
+
+void
+HostSampler::writeCollapsed(std::ostream &os)
+{
+    std::unordered_map<void *, std::string> cache;
+    std::map<std::string, uint64_t> collapsed;
+    uint64_t held = heldSamples();
+    for (uint64_t i = 0; i < held; ++i) {
+        std::string key =
+            sampleStackKey(g_sampler.ring[i], cache, nullptr);
+        if (!key.empty())
+            ++collapsed[key];
+    }
+    for (const auto &[key, count] : collapsed)
+        os << key << ' ' << count << '\n';
+}
+
+void
+HostSampler::writeProfileJson(JsonWriter &json)
+{
+    std::unordered_map<void *, std::string> cache;
+    uint64_t held = heldSamples();
+
+    uint64_t stage_counts[static_cast<size_t>(
+        prof::EngineStage::NumStages)] = {};
+    std::map<std::string, uint64_t> region_counts;
+    std::map<std::string, std::pair<uint64_t, uint64_t>> frames;
+    uint64_t usable = 0;
+
+    for (uint64_t i = 0; i < held; ++i) {
+        const RawSample &sample = g_sampler.ring[i];
+        std::vector<std::string> symbol_frames;
+        std::string key =
+            sampleStackKey(sample, cache, &symbol_frames);
+        if (key.empty())
+            continue;
+        ++usable;
+        if (sample.stage < static_cast<uint8_t>(
+                prof::EngineStage::NumStages))
+            ++stage_counts[sample.stage];
+        ++region_counts[sample.regionId >= 0
+                            ? prof::pathForId(sample.regionId)
+                            : std::string("(no region)")];
+        // Per-frame self (leaf) / total (anywhere, once per sample).
+        if (!symbol_frames.empty())
+            ++frames[symbol_frames.back()].first;
+        std::vector<const std::string *> seen;
+        for (const std::string &frame : symbol_frames) {
+            bool dup = false;
+            for (const std::string *s : seen)
+                dup = dup || *s == frame;
+            if (!dup) {
+                seen.push_back(&frame);
+                ++frames[frame].second;
+            }
+        }
+    }
+
+    json.beginObject();
+    json.kv("kind", "host_profile");
+    json.kv("schema", uint64_t{1});
+    json.kv("mode", prof::profModeName(prof::mode()));
+    json.kv("hz", static_cast<uint64_t>(g_sampler.hz));
+    json.kv("samples", usable);
+    json.kv("dropped", numDropped());
+    json.kv("duration_seconds", durationSeconds());
+    json.key("sampler");
+    json.beginObject();
+    json.kv("overhead_seconds", overheadSeconds());
+    json.endObject();
+    json.key("stages");
+    json.beginObject();
+    for (size_t s = 1;
+         s < static_cast<size_t>(prof::EngineStage::NumStages); ++s) {
+        json.kv(prof::engineStageName(
+                    static_cast<prof::EngineStage>(s)),
+                stage_counts[s]);
+    }
+    json.endObject();
+    json.key("regions");
+    json.beginObject();
+    for (const auto &[path, count] : region_counts)
+        json.kv(path, count);
+    json.endObject();
+
+    // Top frames by self samples (then total, then name) — the quick
+    // look before reaching for the flamegraph.
+    std::vector<std::pair<std::string, std::pair<uint64_t, uint64_t>>>
+        ranked(frames.begin(), frames.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second.first != b.second.first)
+                      return a.second.first > b.second.first;
+                  if (a.second.second != b.second.second)
+                      return a.second.second > b.second.second;
+                  return a.first < b.first;
+              });
+    if (ranked.size() > 50)
+        ranked.resize(50);
+    json.key("top");
+    json.beginArray();
+    for (const auto &[name, counts] : ranked) {
+        json.beginObject();
+        json.kv("frame", name);
+        json.kv("self", counts.first);
+        json.kv("total", counts.second);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+bool
+HostSampler::flushTo(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        warn("cannot create profile output dir '%s': %s",
+             dir.c_str(), ec.message().c_str());
+    }
+    bool ok = true;
+    {
+        std::string path = dir + "/profile.collapsed";
+        std::ofstream out(path);
+        if (!out) {
+            warn("cannot write '%s'", path.c_str());
+            ok = false;
+        } else {
+            writeCollapsed(out);
+        }
+    }
+    {
+        std::string path = dir + "/profile.json";
+        std::ofstream out(path);
+        if (!out) {
+            warn("cannot write '%s'", path.c_str());
+            ok = false;
+        } else {
+            JsonWriter json(out);
+            writeProfileJson(json);
+            out << '\n';
+        }
+    }
+    return ok;
+}
+
+void
+HostSampler::flushOnPanic(const std::string &dir)
+{
+    if (panicHookId)
+        removePanicHook(panicHookId);
+    panicDir = dir;
+    panicHookId = addPanicHook([this] {
+        // Disarm first so no sample lands mid-flush, then leave
+        // whatever was captured as valid artifacts.
+        stop();
+        flushTo(panicDir);
+    });
+}
+
+void
+HostSampler::cancelPanicFlush()
+{
+    if (panicHookId) {
+        removePanicHook(panicHookId);
+        panicHookId = 0;
+    }
+}
+
+void
+HostSampler::reset()
+{
+    tca_assert(!timerArmed);
+    g_sampler.next.store(0, std::memory_order_relaxed);
+    g_sampler.overheadNs.store(0, std::memory_order_relaxed);
+    for (RawSample &sample : g_sampler.ring)
+        sample.depth.store(0, std::memory_order_relaxed);
+    g_sampler.accumulatedSeconds = 0.0;
+}
+
+} // namespace obs
+} // namespace tca

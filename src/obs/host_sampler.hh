@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Host self-profiling: where do the *simulator's own* host cycles go?
+ * The per-run HostProfiler (host_profile.hh) answers "what did the
+ * whole scenario cost"; this layer attributes that cost to phases and
+ * stacks so the next hot-path PR knows what to attack. Three pieces:
+ *
+ *  - prof::ProfRegion — a thread-local RAII region stack annotating
+ *    the engine's real phases (bench scenario/warmup/repeat,
+ *    experiment baseline and per-mode runs, model sweeps, the core's
+ *    run itself). Each region accumulates wall time (total and self =
+ *    total minus child time) plus a per-region perf_event counter
+ *    group (cycles/instructions/cache-misses, read at region
+ *    boundaries, degrading gracefully in containers exactly like
+ *    HostProfiler). When profiling is off a region costs one relaxed
+ *    atomic load and a predicted branch — no clock read, no TLS
+ *    object, no allocation.
+ *
+ *  - prof::engineStageSlot() — a thread-local byte the core engines
+ *    store their current pipeline stage into (dispatch / wakeup /
+ *    execute / commit / timing-wheel drain / cycle skip). Stages are
+ *    far too hot for timed regions (they run per simulated cycle), so
+ *    they are sampled instead: the SIGPROF handler reads the byte and
+ *    attributes the sample. Off costs one null-guarded pointer check
+ *    per stage per cycle.
+ *
+ *  - HostSampler — a timer-driven (timer_create + SIGPROF on process
+ *    CPU time) sampling profiler. The async-signal-safe handler
+ *    writes raw backtrace PCs, the innermost region id, and the
+ *    engine stage into a preallocated ring (slots claimed with a
+ *    relaxed fetch_add; overflow drops samples and counts the drops).
+ *    Symbolization (dladdr + demangle) is lazy, at flush, which
+ *    writes collapsed-stack (`profile.collapsed`) and JSON
+ *    (`profile.json`) artifacts that tools/tca_trace's `flame`
+ *    subcommand renders.
+ *
+ * Mode selection: TCA_PROF=sample|regions|off (read once, like
+ * TCA_LOG_LEVEL). `off` (or unset) is free and byte-identical to a
+ * build without the subsystem; `regions` keeps the region stack and
+ * counters but arms no timer; `sample` adds the SIGPROF sampler.
+ * See docs/PROFILING.md.
+ */
+
+#ifndef TCASIM_OBS_HOST_SAMPLER_HH
+#define TCASIM_OBS_HOST_SAMPLER_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace tca {
+
+class JsonWriter;
+
+namespace obs {
+namespace prof {
+
+/** TCA_PROF selection. Ordering matters: Sample implies Regions. */
+enum class ProfMode : uint8_t { Off, Regions, Sample };
+
+/**
+ * Parse a mode name ("off", "regions", "sample"; case-insensitive).
+ *
+ * @param[out] ok set to whether the name was recognized (may be null)
+ * @return the parsed mode, or Off when unrecognized
+ */
+ProfMode parseProfMode(const std::string &name, bool *ok = nullptr);
+
+/** Human-readable mode name. */
+const char *profModeName(ProfMode mode);
+
+/**
+ * The process-wide profiling mode. First call reads TCA_PROF; later
+ * calls return the cached value (one relaxed atomic load).
+ */
+ProfMode mode();
+
+/** True when any region bookkeeping is active (mode != Off). */
+bool enabled();
+
+/** Override the mode (tests, tca_bench --profile). */
+void setMode(ProfMode mode);
+
+/** What one region path cost, accumulated over all its entries. */
+struct RegionStats
+{
+    uint64_t count = 0;    ///< times the region was entered
+    uint64_t totalNs = 0;  ///< wall ns inside the region
+    uint64_t selfNs = 0;   ///< totalNs minus child-region time
+    bool perfValid = false;
+    /** Hardware-counter deltas (cycles, instructions, cache misses)
+     *  for the region; valid only where the kernel permits. */
+    uint64_t totalPerf[3] = {0, 0, 0};
+    uint64_t selfPerf[3] = {0, 0, 0};
+
+    RegionStats &operator+=(const RegionStats &other);
+};
+
+/**
+ * Region table: full region path ('/'-joined, e.g.
+ * "scenario/repeat/core_run") -> accumulated stats. std::map so every
+ * rendering is sorted and deterministic.
+ */
+using RegionTable = std::map<std::string, RegionStats>;
+
+/**
+ * RAII region annotation. Nested constructions build '/'-joined
+ * paths; destruction pops (exception-safe: unwinding balances the
+ * stack). Region names must not contain '/' (the path separator) —
+ * enforced with a panic so a bad annotation fails loudly in tests.
+ */
+class ProfRegion
+{
+  public:
+    explicit ProfRegion(const char *name);
+    explicit ProfRegion(const std::string &name);
+    ~ProfRegion();
+
+    ProfRegion(const ProfRegion &) = delete;
+    ProfRegion &operator=(const ProfRegion &) = delete;
+
+  private:
+    bool active = false;
+};
+
+/**
+ * Capture scope for one unit of work (a bench scenario, one batch
+ * job): swaps in an empty thread-local region table and re-roots path
+ * building, so regions pushed inside the scope record identical
+ * paths whether the work runs inline (TCA_JOBS=1) or on a pool
+ * worker. take() harvests the captured table; the destructor restores
+ * the outer table (and discards anything not taken).
+ */
+class RegionCapture
+{
+  public:
+    RegionCapture();
+    ~RegionCapture();
+
+    RegionCapture(const RegionCapture &) = delete;
+    RegionCapture &operator=(const RegionCapture &) = delete;
+
+    /** Harvest the captured table (call at most once). */
+    RegionTable take();
+
+    /** Region bookkeeping ns spent inside this capture so far. */
+    uint64_t overheadNs() const;
+
+  private:
+    bool active = false;
+    bool taken = false;
+    RegionTable saved;
+    size_t savedBaseDepth = 0;
+    uint64_t savedOverheadNs = 0;
+};
+
+/**
+ * Merge `from` into `into`, prefixing every path with `prefix` (the
+ * caller appends its own separator, e.g. "repeat/par/"). Same-path
+ * entries accumulate; called in job-index order by batch folds so the
+ * merged table is deterministic for any TCA_JOBS.
+ */
+void mergeRegions(RegionTable &into, const RegionTable &from,
+                  const std::string &prefix);
+
+/** Merge a harvested table into the *current thread's* live table
+ *  (same prefix semantics as mergeRegions). */
+void mergeIntoThreadRegions(const RegionTable &from,
+                            const std::string &prefix);
+
+/** The current thread's innermost region path ("" outside regions,
+ *  relative to the active RegionCapture if any). */
+std::string currentPath();
+
+/**
+ * Emit a region table as the "regions" JSON object (the host.regions
+ * subtree of BENCH_*.json): one member per path with count /
+ * total_seconds / self_seconds (+ counter deltas where valid), plus a
+ * reserved "meta" member carrying the profiling mode, the measuring
+ * wall clock, and the bookkeeping overhead — the one host.regions
+ * leaf family (*_overhead*) obs::stat_diff gates lower-is-better.
+ */
+void writeRegionsJson(JsonWriter &json, const RegionTable &regions,
+                      double wall_seconds, uint64_t overhead_ns);
+
+/**
+ * Engine pipeline stages the sampler can attribute samples to. Kept
+ * in sync with engineStageName(); None means "outside any engine
+ * loop".
+ */
+enum class EngineStage : uint8_t {
+    None,
+    Dispatch,
+    Wakeup,
+    Execute,
+    Commit,
+    WheelDrain,
+    CycleSkip,
+    NumStages,
+};
+
+/** Stage name as it appears in profiles ("dispatch", "wakeup", ...). */
+const char *engineStageName(EngineStage stage);
+
+/**
+ * The current thread's engine-stage slot, or nullptr when profiling
+ * is off. The core caches the pointer once per run and stores a stage
+ * byte before each pipeline phase — a plain store, safe at per-cycle
+ * frequency. The slot is async-signal-readable (POD TLS).
+ */
+uint8_t *engineStageSlot();
+
+/** Store helper: no-op on a null slot (profiling off). */
+inline void
+setStage(uint8_t *slot, EngineStage stage)
+{
+    if (slot)
+        *slot = static_cast<uint8_t>(stage);
+}
+
+} // namespace prof
+
+/**
+ * The timer-driven sampling profiler (one per process; the SIGPROF
+ * disposition is process-wide). start() arms a timer_create(
+ * CLOCK_PROCESS_CPUTIME_ID) timer whose SIGPROF handler records raw
+ * backtraces into a fixed ring; stop() disarms it; writeCollapsed()/
+ * writeProfileJson()/flushTo() symbolize lazily and render artifacts.
+ *
+ * The handler is async-signal-safe by construction: it touches only
+ * preallocated memory, POD thread-locals, and atomics (backtrace() is
+ * warmed once in start() so its lazy libgcc initialization never runs
+ * in signal context).
+ */
+class HostSampler
+{
+  public:
+    /** The process-wide sampler. */
+    static HostSampler &global();
+
+    ~HostSampler();
+
+    HostSampler(const HostSampler &) = delete;
+    HostSampler &operator=(const HostSampler &) = delete;
+
+    /**
+     * Arm the sampler at `hz` samples per process-CPU-second (0
+     * selects TCA_PROF_HZ, default 997 — prime, so sampling cannot
+     * lock step with periodic work). Returns false (with a warning)
+     * where timers or backtraces are unavailable.
+     */
+    bool start(unsigned hz = 0);
+
+    /** Disarm the timer. Samples already taken are kept for flush. */
+    void stop();
+
+    bool running() const { return timerArmed; }
+
+    /** Samples recorded (and still held) in the ring. */
+    uint64_t numSamples() const;
+
+    /** Samples dropped because the ring was full. */
+    uint64_t numDropped() const;
+
+    /** Measured time spent inside the signal handler. */
+    double overheadSeconds() const;
+
+    /** Seconds the sampler has been armed (monotonic). */
+    double durationSeconds() const;
+
+    /**
+     * Render collapsed stacks ("frame;frame;frame count" per line,
+     * sorted): region path segments first, then the engine stage
+     * (when any), then symbolized frames outermost-first — the format
+     * flamegraph tooling and `tca_trace flame` consume.
+     */
+    void writeCollapsed(std::ostream &os);
+
+    /** Render the profile.json document (metadata, per-stage and
+     *  per-region sample counts, top frames by self samples). */
+    void writeProfileJson(JsonWriter &json);
+
+    /**
+     * Write profile.collapsed + profile.json under `dir` (created if
+     * missing). Returns false when either file cannot be written.
+     */
+    bool flushTo(const std::string &dir);
+
+    /**
+     * Register a panic hook that disarms the timer and flushes both
+     * artifacts under `dir`, so a run that dies on an invariant still
+     * leaves a partial profile (mirrors ChromeTraceWriter::
+     * flushOnPanic). Re-registering moves the destination; the hook
+     * lives until cancelPanicFlush() or process exit.
+     */
+    void flushOnPanic(const std::string &dir);
+
+    /** Deregister the panic-flush hook. */
+    void cancelPanicFlush();
+
+    /** Drop all recorded samples (tests). */
+    void reset();
+
+  private:
+    HostSampler() = default;
+
+    bool timerArmed = false;
+    std::string panicDir;
+    uint64_t panicHookId = 0; ///< 0 = no flushOnPanic registration
+};
+
+} // namespace obs
+} // namespace tca
+
+#endif // TCASIM_OBS_HOST_SAMPLER_HH

@@ -61,8 +61,15 @@ inferDirection(const std::string &path)
     // is not the artifact under test — absolute RSS and hardware
     // counts vary host to host and must never gate CI.
     if (path.compare(0, 5, "host.") == 0 ||
-        containsToken(path, ".host.") || containsToken(path, "rss"))
-        return MetricDirection::Unknown;
+        containsToken(path, ".host.") || containsToken(path, "rss")) {
+        // One exception inside the host block, mirroring telemetry
+        // below: the profiling subsystem's own bookkeeping cost
+        // (host.regions.meta.overhead_seconds, sampler overhead) is a
+        // real overhead this repo controls, so less is better.
+        return containsToken(path, "overhead")
+            ? MetricDirection::LowerIsBetter
+            : MetricDirection::Unknown;
+    }
     // Telemetry-stream bookkeeping is likewise informational — a
     // record like telemetry.epochs or telemetry.heartbeats counts
     // stream volume, not artifact quality, and must never gate a

@@ -4,6 +4,7 @@
 #include "model/interval_model.hh"
 #include "model/validation.hh"
 #include "obs/buffered_sink.hh"
+#include "obs/host_sampler.hh"
 #include "obs/telemetry_publishers.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -137,10 +138,13 @@ runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
     // Software baseline on a cold hierarchy.
     if (sampler)
         sampler->setRunLabel(result.workloadName + "/baseline");
-    result.baseline = runBaselineOnce(
-        workload, core, options.sink, options.hierarchy,
-        options.collectStats ? &result.baselineStats : nullptr,
-        options.engine, nullptr, sampler.get());
+    {
+        obs::prof::ProfRegion prof_region("baseline");
+        result.baseline = runBaselineOnce(
+            workload, core, options.sink, options.hierarchy,
+            options.collectStats ? &result.baselineStats : nullptr,
+            options.engine, nullptr, sampler.get());
+    }
 
     // Calibrate the model from the baseline run and the architect's
     // latency estimate.
@@ -178,12 +182,16 @@ runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
             sampler->setRunLabel(result.workloadName + "/" +
                                  model::tcaModeName(mode));
         }
-        outcome.sim = runAcceleratedOnce(
-            workload, core, mode, run_sink, options.hierarchy,
-            options.collectStats ? &outcome.stats : nullptr,
-            options.engine,
-            options.trackCriticalPath ? &tracker : nullptr,
-            sampler.get());
+        {
+            obs::prof::ProfRegion prof_region(
+                std::string("mode_") + model::tcaModeName(mode));
+            outcome.sim = runAcceleratedOnce(
+                workload, core, mode, run_sink, options.hierarchy,
+                options.collectStats ? &outcome.stats : nullptr,
+                options.engine,
+                options.trackCriticalPath ? &tracker : nullptr,
+                sampler.get());
+        }
         outcome.functionalOk = workload.verifyFunctional();
         if (options.profileIntervals)
             outcome.intervals = profiler.summary();
@@ -233,9 +241,15 @@ runExperimentBatch(size_t count, const WorkloadFactory &factory,
     std::vector<std::unique_ptr<obs::TelemetryBus>> job_buses(count);
     std::vector<obs::BufferingPublisher *> job_buffers(count, nullptr);
 
+    // Per-job region tables, harvested via RegionCapture so each job
+    // records capture-relative paths — identical whether it ran inline
+    // (TCA_JOBS=1) or on a pool worker — and merged in index order.
+    std::vector<obs::prof::RegionTable> job_regions(count);
+
     util::parallelForIndexed(
         count,
         [&](size_t i) {
+            obs::prof::RegionCapture capture;
             ExperimentOptions job_options = options;
             if (options.sink) {
                 buffers[i] = std::make_unique<obs::BufferingEventSink>();
@@ -254,8 +268,20 @@ runExperimentBatch(size_t count, const WorkloadFactory &factory,
             std::unique_ptr<TcaWorkload> workload = factory(i);
             tca_assert(workload != nullptr);
             batch.results[i] = runExperiment(*workload, core, job_options);
+            job_regions[i] = capture.take();
         },
         jobs);
+
+    // Region folds are order-insensitive (integer accumulation) but
+    // merge in index order anyway, matching the sink/telemetry
+    // discipline. Paths land under a "par/" subtree: its times are
+    // summed worker CPU, not wall, so telescoping checks skip it.
+    if (obs::prof::enabled()) {
+        std::string prefix = obs::prof::currentPath();
+        prefix = prefix.empty() ? "par/" : prefix + "/par/";
+        for (const obs::prof::RegionTable &regions : job_regions)
+            obs::prof::mergeIntoThreadRegions(regions, prefix);
+    }
 
     // Order-sensitive folds happen serially, in index order, so the
     // batch output is bit-identical no matter how jobs were scheduled.

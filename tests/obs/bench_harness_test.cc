@@ -302,3 +302,84 @@ TEST(BenchHarness, QuickFlagReachesScenario)
 
     std::filesystem::remove_all(dir);
 }
+
+TEST(BenchHarness, RegionsRecordedAndWrittenWhenProfiling)
+{
+    // Flip the process-wide profiling mode for this test only.
+    prof::ProfMode saved = prof::mode();
+    prof::setMode(prof::ProfMode::Regions);
+
+    auto dir = std::filesystem::temp_directory_path() /
+        "tca_bench_regions_test";
+    std::filesystem::remove_all(dir);
+
+    BenchOptions options;
+    options.repeats = 2;
+    options.warmup = 1;
+    options.outDir = dir.string();
+
+    BenchHarness harness(options);
+    harness.add(fakeScenario("fake"));
+    std::vector<ScenarioOutcome> outcomes = harness.runAll();
+    prof::setMode(saved);
+
+    ASSERT_EQ(outcomes.size(), 1u);
+    const ScenarioOutcome &o = outcomes[0];
+    ASSERT_TRUE(o.hasRegions);
+    EXPECT_GT(o.regionWallSeconds, 0.0);
+    ASSERT_TRUE(o.regions.count("scenario"));
+    ASSERT_TRUE(o.regions.count("scenario/warmup"));
+    ASSERT_TRUE(o.regions.count("scenario/repeat"));
+    EXPECT_EQ(o.regions.at("scenario").count, 1u);
+    EXPECT_EQ(o.regions.at("scenario/warmup").count, 1u);
+    EXPECT_EQ(o.regions.at("scenario/repeat").count, 2u);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(slurp(o.jsonPath), doc, &error)) << error;
+    const JsonValue *host = doc.find("host");
+    ASSERT_NE(host, nullptr);
+    const JsonValue *regions = host->find("regions");
+    ASSERT_NE(regions, nullptr);
+    EXPECT_EQ(regions->find("meta")->find("mode")->str, "regions");
+    const JsonValue *repeat = regions->find("scenario/repeat");
+    ASSERT_NE(repeat, nullptr);
+    EXPECT_EQ(repeat->find("count")->number, 2.0);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(BenchHarness, RegionsAbsentWhenProfilingOff)
+{
+    prof::ProfMode saved = prof::mode();
+    prof::setMode(prof::ProfMode::Off);
+
+    auto dir = std::filesystem::temp_directory_path() /
+        "tca_bench_regions_off_test";
+    std::filesystem::remove_all(dir);
+
+    BenchOptions options;
+    options.repeats = 1;
+    options.warmup = 0;
+    options.outDir = dir.string();
+
+    BenchHarness harness(options);
+    harness.add(fakeScenario("fake"));
+    std::vector<ScenarioOutcome> outcomes = harness.runAll();
+    prof::setMode(saved);
+
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].hasRegions);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(slurp(outcomes[0].jsonPath), doc, &error))
+        << error;
+    const JsonValue *host = doc.find("host");
+    ASSERT_NE(host, nullptr);
+    // The off path writes the exact pre-profiling host block: no
+    // regions key at all, so off-mode output stays byte-compatible.
+    EXPECT_EQ(host->find("regions"), nullptr);
+
+    std::filesystem::remove_all(dir);
+}

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Flamegraph analytics tests: collapsed-stack parsing (including
+ * malformed-line rejection with line numbers), canonical round-trip,
+ * per-frame self/total attribution with recursion dedup, table and
+ * diff rendering, the merge tree, and deterministic SVG output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/flamegraph.hh"
+
+using namespace tca::obs::flame;
+
+namespace {
+
+std::vector<Stack>
+parseOrDie(const std::string &text)
+{
+    std::vector<Stack> stacks;
+    std::string error;
+    EXPECT_TRUE(parseCollapsed(text, stacks, &error)) << error;
+    return stacks;
+}
+
+} // anonymous namespace
+
+TEST(Flamegraph, ParseCollapsedBasics)
+{
+    std::vector<Stack> stacks =
+        parseOrDie("main;run;hot 10\n"
+                   "\n"
+                   "main;run 3\n"
+                   "main;run;hot 2\n");
+    ASSERT_EQ(stacks.size(), 3u);
+    EXPECT_EQ(stacks[0].frames,
+              (std::vector<std::string>{"main", "run", "hot"}));
+    EXPECT_EQ(stacks[0].count, 10u);
+    EXPECT_EQ(stacks[1].frames,
+              (std::vector<std::string>{"main", "run"}));
+    EXPECT_EQ(totalSamples(stacks), 15u);
+}
+
+TEST(Flamegraph, ParseRejectsMalformedLinesWithLineNumbers)
+{
+    std::vector<Stack> stacks;
+    std::string error;
+
+    EXPECT_FALSE(parseCollapsed("main;run\n", stacks, &error));
+    EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+
+    EXPECT_FALSE(parseCollapsed("a 1\nmain;run 1x\n", stacks, &error));
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+
+    EXPECT_FALSE(parseCollapsed("a 1\nb 1\nmain;run 0\n", stacks,
+                                &error));
+    EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+
+    EXPECT_FALSE(parseCollapsed("main;;run 2\n", stacks, &error));
+    EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+}
+
+TEST(Flamegraph, WriteCollapsedCanonicalizes)
+{
+    // Duplicates merge, lines sort: parse -> write is normalizing and
+    // a second round-trip is a fixed point.
+    std::vector<Stack> stacks = parseOrDie("b;c 2\na 1\nb;c 3\n");
+    std::ostringstream os;
+    writeCollapsed(os, stacks);
+    EXPECT_EQ(os.str(), "a 1\nb;c 5\n");
+
+    std::vector<Stack> again = parseOrDie(os.str());
+    std::ostringstream os2;
+    writeCollapsed(os2, again);
+    EXPECT_EQ(os2.str(), os.str());
+}
+
+TEST(Flamegraph, FrameStatsSelfAndDedupedTotals)
+{
+    // "rec" appears twice in the first stack: total must count that
+    // stack's samples once, not twice.
+    std::vector<Stack> stacks =
+        parseOrDie("main;rec;rec;leaf 4\n"
+                   "main;rec 2\n"
+                   "main;other 1\n");
+    auto stats = frameStats(stacks);
+    EXPECT_EQ(stats["leaf"].self, 4u);
+    EXPECT_EQ(stats["leaf"].total, 4u);
+    EXPECT_EQ(stats["rec"].self, 2u);
+    EXPECT_EQ(stats["rec"].total, 6u);
+    EXPECT_EQ(stats["main"].self, 0u);
+    EXPECT_EQ(stats["main"].total, 7u);
+    EXPECT_EQ(stats["other"].self, 1u);
+}
+
+TEST(Flamegraph, FlameTableRanksBySelf)
+{
+    std::vector<Stack> stacks =
+        parseOrDie("main;hot 90\nmain;cold 10\n");
+    std::string table = formatFlameTable(stacks, 30);
+    EXPECT_NE(table.find("hot"), std::string::npos);
+    EXPECT_NE(table.find("cold"), std::string::npos);
+    EXPECT_NE(table.find("100 samples"), std::string::npos) << table;
+    // "hot" (90 self) ranks above "cold" (10 self).
+    EXPECT_LT(table.find("hot"), table.find("cold"));
+
+    std::string limited = formatFlameTable(stacks, 1);
+    EXPECT_NE(limited.find("hot"), std::string::npos);
+    // The limit drops "cold" as a ranked row; it may still appear in
+    // no other place, so it must be absent entirely.
+    EXPECT_EQ(limited.find("cold"), std::string::npos) << limited;
+}
+
+TEST(Flamegraph, FlameDiffNormalizesShares)
+{
+    // Same shape, different totals: shares are identical, so no frame
+    // should show a large delta; then shift weight onto "hot".
+    std::vector<Stack> before = parseOrDie("m;hot 50\nm;cold 50\n");
+    std::vector<Stack> same = parseOrDie("m;hot 5\nm;cold 5\n");
+    std::string flat = formatFlameDiff(before, same, 10);
+    EXPECT_NE(flat.find("100 -> 10 samples"), std::string::npos)
+        << flat;
+
+    std::vector<Stack> after = parseOrDie("m;hot 90\nm;cold 10\n");
+    std::string diff = formatFlameDiff(before, after, 10);
+    // hot gained 40 points of self share, cold lost 40; both appear
+    // and rank ahead of the unchanged footer line.
+    EXPECT_NE(diff.find("hot"), std::string::npos);
+    EXPECT_NE(diff.find("cold"), std::string::npos);
+    EXPECT_NE(diff.find("100 -> 100 samples"), std::string::npos)
+        << diff;
+}
+
+TEST(Flamegraph, BuildFlameTreeStructure)
+{
+    std::vector<Stack> stacks =
+        parseOrDie("main;a;b 3\nmain;a 2\nmain;c 1\n");
+    FlameNode root = buildFlameTree(stacks);
+    EXPECT_EQ(root.total, 6u);
+    EXPECT_EQ(root.self, 0u);
+    ASSERT_EQ(root.children.size(), 1u);
+    const FlameNode &main_node = root.children.at("main");
+    EXPECT_EQ(main_node.total, 6u);
+    EXPECT_EQ(main_node.self, 0u);
+    ASSERT_EQ(main_node.children.size(), 2u);
+    const FlameNode &a = main_node.children.at("a");
+    EXPECT_EQ(a.total, 5u);
+    EXPECT_EQ(a.self, 2u);
+    EXPECT_EQ(a.children.at("b").total, 3u);
+    EXPECT_EQ(a.children.at("b").self, 3u);
+    EXPECT_EQ(main_node.children.at("c").total, 1u);
+}
+
+TEST(Flamegraph, SvgIsSelfContainedAndDeterministic)
+{
+    std::vector<Stack> stacks =
+        parseOrDie("main;engine:dispatch 60\nmain;commit 40\n");
+    std::ostringstream first, second;
+    writeFlameSvg(first, stacks, "unit <test>");
+    writeFlameSvg(second, stacks, "unit <test>");
+    EXPECT_EQ(first.str(), second.str());
+
+    const std::string &svg = first.str();
+    EXPECT_NE(svg.find("<svg"), std::string::npos);
+    EXPECT_NE(svg.find("</svg>"), std::string::npos);
+    EXPECT_NE(svg.find("<title>"), std::string::npos);
+    // Title is escaped, never raw markup.
+    EXPECT_EQ(svg.find("unit <test>"), std::string::npos);
+    EXPECT_NE(svg.find("unit &lt;test&gt;"), std::string::npos);
+    // Tooltips carry counts and the frames are present.
+    EXPECT_NE(svg.find("engine:dispatch"), std::string::npos);
+    EXPECT_NE(svg.find("commit"), std::string::npos);
+    EXPECT_NE(svg.find("100 samples"), std::string::npos);
+    // No scripts: must render in sandboxed CI artifact viewers.
+    EXPECT_EQ(svg.find("<script"), std::string::npos);
+}

@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Host self-profiling tests: TCA_PROF mode selection, the ProfRegion
+ * stack (paths, counts, exact self-time telescoping, exception
+ * balance), RegionCapture isolation and index-order merging (the
+ * TCA_JOBS 1-vs-8 determinism property), the host.regions JSON shape,
+ * the engine-stage slot discipline, and the SIGPROF sampler's
+ * artifacts including the panic flush.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "obs/host_sampler.hh"
+#include "trace/builder.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+using namespace tca;
+using namespace tca::obs;
+
+// The sampler arms a process-wide SIGPROF timer; TSan's interceptors
+// are not async-signal-safe enough to trust there, so sampler tests
+// are skipped under it (the TSan CI job never sets TCA_PROF either).
+#if defined(__SANITIZE_THREAD__)
+#define TCA_TSAN 1
+#endif
+#if !defined(TCA_TSAN) && defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TCA_TSAN 1
+#endif
+#endif
+#ifndef TCA_TSAN
+#define TCA_TSAN 0
+#endif
+
+namespace {
+
+/** Save and restore the process-wide profiling mode around a test. */
+class ProfModeGuard
+{
+  public:
+    explicit ProfModeGuard(prof::ProfMode mode) : saved(prof::mode())
+    {
+        prof::setMode(mode);
+    }
+    ~ProfModeGuard() { prof::setMode(saved); }
+
+  private:
+    prof::ProfMode saved;
+};
+
+/** Burn a little CPU so timed regions are nonzero and samples land. */
+uint64_t
+spin(uint64_t iterations)
+{
+    volatile uint64_t accumulator = 0;
+    for (uint64_t i = 0; i < iterations; ++i)
+        accumulator = accumulator + i * i;
+    return accumulator;
+}
+
+} // anonymous namespace
+
+TEST(ProfMode, ParseNamesAndReportOk)
+{
+    bool ok = false;
+    EXPECT_EQ(prof::parseProfMode("off", &ok), prof::ProfMode::Off);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(prof::parseProfMode("SAMPLE", &ok),
+              prof::ProfMode::Sample);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(prof::parseProfMode("Regions", &ok),
+              prof::ProfMode::Regions);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(prof::parseProfMode("bogus", &ok), prof::ProfMode::Off);
+    EXPECT_FALSE(ok);
+    EXPECT_STREQ(prof::profModeName(prof::ProfMode::Sample), "sample");
+    EXPECT_STREQ(prof::profModeName(prof::ProfMode::Regions),
+                 "regions");
+    EXPECT_STREQ(prof::profModeName(prof::ProfMode::Off), "off");
+}
+
+TEST(ProfRegion, OffModeIsInert)
+{
+    ProfModeGuard guard(prof::ProfMode::Off);
+    EXPECT_FALSE(prof::enabled());
+    EXPECT_EQ(prof::engineStageSlot(), nullptr);
+    // setStage on the null slot is the documented free path.
+    prof::setStage(nullptr, prof::EngineStage::Dispatch);
+
+    prof::RegionCapture capture;
+    {
+        prof::ProfRegion outer("outer");
+        prof::ProfRegion inner("inner");
+        EXPECT_EQ(prof::currentPath(), "");
+    }
+    EXPECT_TRUE(capture.take().empty());
+    EXPECT_EQ(capture.overheadNs(), 0u);
+}
+
+TEST(ProfRegion, NestedPathsCountsAndExactTelescoping)
+{
+    ProfModeGuard guard(prof::ProfMode::Regions);
+    prof::RegionCapture capture;
+    {
+        prof::ProfRegion root("root");
+        EXPECT_EQ(prof::currentPath(), "root");
+        for (int i = 0; i < 3; ++i) {
+            prof::ProfRegion child("child");
+            EXPECT_EQ(prof::currentPath(), "root/child");
+            spin(20000);
+            {
+                prof::ProfRegion leaf("leaf");
+                EXPECT_EQ(prof::currentPath(), "root/child/leaf");
+                spin(20000);
+            }
+        }
+    }
+    prof::RegionTable table = capture.take();
+
+    ASSERT_EQ(table.size(), 3u);
+    ASSERT_TRUE(table.count("root"));
+    ASSERT_TRUE(table.count("root/child"));
+    ASSERT_TRUE(table.count("root/child/leaf"));
+    EXPECT_EQ(table["root"].count, 1u);
+    EXPECT_EQ(table["root/child"].count, 3u);
+    EXPECT_EQ(table["root/child/leaf"].count, 3u);
+
+    // Self = total - child time, exactly, so self-times telescope to
+    // the root total with zero error by construction.
+    uint64_t self_sum = 0;
+    for (const auto &[path, stats] : table) {
+        EXPECT_LE(stats.selfNs, stats.totalNs) << path;
+        self_sum += stats.selfNs;
+    }
+    EXPECT_EQ(self_sum, table["root"].totalNs);
+    EXPECT_GT(table["root/child/leaf"].selfNs, 0u);
+}
+
+TEST(ProfRegion, ExceptionUnwindingBalancesTheStack)
+{
+    ProfModeGuard guard(prof::ProfMode::Regions);
+    prof::RegionCapture capture;
+    try {
+        prof::ProfRegion outer("outer");
+        prof::ProfRegion inner("inner");
+        throw std::runtime_error("boom");
+    } catch (const std::runtime_error &) {
+    }
+    // Unwinding popped both regions: the path is empty again and new
+    // regions root at the top level, not under a leaked frame.
+    EXPECT_EQ(prof::currentPath(), "");
+    {
+        prof::ProfRegion after("after");
+        EXPECT_EQ(prof::currentPath(), "after");
+    }
+    prof::RegionTable table = capture.take();
+    EXPECT_EQ(table.count("outer"), 1u);
+    EXPECT_EQ(table.count("outer/inner"), 1u);
+    EXPECT_EQ(table.count("after"), 1u);
+}
+
+TEST(ProfRegion, CaptureReRootsPathsInsideOpenRegions)
+{
+    ProfModeGuard guard(prof::ProfMode::Regions);
+    prof::RegionCapture outer_capture;
+    prof::ProfRegion outer("outer");
+    prof::RegionTable captured;
+    {
+        // A capture opened with regions on the stack re-roots path
+        // building: work inside records the same relative paths it
+        // would on a bare pool-worker thread.
+        prof::RegionCapture capture;
+        {
+            prof::ProfRegion job("job");
+            EXPECT_EQ(prof::currentPath(), "job");
+        }
+        captured = capture.take();
+    }
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_TRUE(captured.count("job"));
+}
+
+TEST(ProfRegion, MergePrefixesAndAccumulates)
+{
+    ProfModeGuard guard(prof::ProfMode::Regions);
+    prof::RegionTable a, b;
+    a["x"].count = 2;
+    a["x"].totalNs = 100;
+    a["x"].selfNs = 100;
+    b["x"].count = 3;
+    b["x"].totalNs = 50;
+    b["x"].selfNs = 50;
+    b["x/y"].count = 1;
+
+    prof::RegionTable merged;
+    prof::mergeRegions(merged, a, "par/");
+    prof::mergeRegions(merged, b, "par/");
+    ASSERT_EQ(merged.size(), 2u);
+    EXPECT_EQ(merged["par/x"].count, 5u);
+    EXPECT_EQ(merged["par/x"].totalNs, 150u);
+    EXPECT_EQ(merged["par/x/y"].count, 1u);
+}
+
+TEST(ProfRegion, JobTablesIdenticalAtAnyJobCount)
+{
+    ProfModeGuard guard(prof::ProfMode::Regions);
+
+    // The batch discipline from runExperimentBatch: every job records
+    // into its own capture, tables merge in index order under "par/".
+    // Counts and paths — the deterministic columns — must be
+    // identical however many workers the pool used.
+    auto run_batch = [](size_t jobs) {
+        const size_t count = 12;
+        std::vector<prof::RegionTable> job_tables(count);
+        util::parallelForIndexed(
+            count,
+            [&](size_t i) {
+                prof::RegionCapture capture;
+                {
+                    prof::ProfRegion experiment("experiment");
+                    prof::ProfRegion mode(
+                        "mode_" + std::to_string(i % 3));
+                    spin(1000);
+                }
+                job_tables[i] = capture.take();
+            },
+            jobs);
+        prof::RegionTable merged;
+        for (const prof::RegionTable &table : job_tables)
+            prof::mergeRegions(merged, table, "par/");
+        return merged;
+    };
+
+    prof::RegionTable serial = run_batch(1);
+    prof::RegionTable parallel = run_batch(8);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    auto it_serial = serial.begin();
+    auto it_parallel = parallel.begin();
+    for (; it_serial != serial.end(); ++it_serial, ++it_parallel) {
+        EXPECT_EQ(it_serial->first, it_parallel->first);
+        EXPECT_EQ(it_serial->second.count, it_parallel->second.count)
+            << it_serial->first;
+    }
+    EXPECT_EQ(serial.count("par/experiment"), 1u);
+    EXPECT_EQ(serial["par/experiment"].count, 12u);
+    EXPECT_EQ(serial["par/experiment/mode_0"].count, 4u);
+}
+
+TEST(ProfRegion, WriteRegionsJsonShape)
+{
+    ProfModeGuard guard(prof::ProfMode::Regions);
+    prof::RegionTable table;
+    table["scenario"].count = 1;
+    table["scenario"].totalNs = 2000000000ull;
+    table["scenario"].selfNs = 500000000ull;
+    table["scenario/repeat"].count = 3;
+    table["scenario/repeat"].totalNs = 1500000000ull;
+    table["scenario/repeat"].selfNs = 1500000000ull;
+    table["scenario/repeat"].perfValid = true;
+    table["scenario/repeat"].totalPerf[0] = 12345;
+    table["scenario/repeat"].selfPerf[0] = 12345;
+
+    std::ostringstream os;
+    JsonWriter writer(os);
+    prof::writeRegionsJson(writer, table, 2.01, 1000000ull);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(os.str(), doc, &error)) << error;
+    const JsonValue *meta = doc.find("meta");
+    ASSERT_NE(meta, nullptr);
+    EXPECT_EQ(meta->find("mode")->str, "regions");
+    EXPECT_DOUBLE_EQ(meta->find("wall_seconds")->number, 2.01);
+    EXPECT_DOUBLE_EQ(meta->find("overhead_seconds")->number, 0.001);
+
+    const JsonValue *scenario = doc.find("scenario");
+    ASSERT_NE(scenario, nullptr);
+    EXPECT_DOUBLE_EQ(scenario->find("count")->number, 1.0);
+    EXPECT_DOUBLE_EQ(scenario->find("total_seconds")->number, 2.0);
+    EXPECT_DOUBLE_EQ(scenario->find("self_seconds")->number, 0.5);
+    // No counters on this entry -> no counter keys at all.
+    EXPECT_EQ(scenario->find("cycles"), nullptr);
+
+    const JsonValue *repeat = doc.find("scenario/repeat");
+    ASSERT_NE(repeat, nullptr);
+    EXPECT_DOUBLE_EQ(repeat->find("cycles")->number, 12345.0);
+    EXPECT_DOUBLE_EQ(repeat->find("self_cycles")->number, 12345.0);
+}
+
+TEST(ProfRegion, OverheadIsMeasuredAndPositive)
+{
+    ProfModeGuard guard(prof::ProfMode::Regions);
+    prof::RegionCapture capture;
+    for (int i = 0; i < 100; ++i)
+        prof::ProfRegion region("tick");
+    EXPECT_GT(capture.overheadNs(), 0u);
+    prof::RegionTable table = capture.take();
+    EXPECT_EQ(table["tick"].count, 100u);
+}
+
+TEST(ProfRegion, ProfilingDoesNotPerturbSimulationResults)
+{
+    // The profiler only observes host time: a profiled run must
+    // produce the identical simulated outcome as an unprofiled one.
+    auto run_core = [] {
+        cpu::CoreConfig conf;
+        conf.name = "prof_determinism";
+        trace::TraceBuilder builder;
+        for (int i = 0; i < 2000; ++i)
+            builder.alu(static_cast<trace::RegId>(1 + (i % 16)));
+        mem::HierarchyConfig mem_conf;
+        mem::MemHierarchy hierarchy(mem_conf);
+        cpu::Core core(conf, hierarchy);
+        trace::VectorTrace trace(builder.take());
+        return core.run(trace);
+    };
+
+    cpu::SimResult off_result, regions_result;
+    {
+        ProfModeGuard guard(prof::ProfMode::Off);
+        off_result = run_core();
+    }
+    {
+        ProfModeGuard guard(prof::ProfMode::Regions);
+        prof::RegionCapture capture;
+        regions_result = run_core();
+        prof::RegionTable table = capture.take();
+        // The engine annotated itself under the profiler.
+        EXPECT_EQ(table.count("core_run"), 1u);
+    }
+    EXPECT_EQ(off_result.cycles, regions_result.cycles);
+    EXPECT_EQ(off_result.committedUops, regions_result.committedUops);
+}
+
+TEST(ProfRegion, EngineStageSlotIsPerThreadAndWritable)
+{
+    ProfModeGuard guard(prof::ProfMode::Regions);
+    uint8_t *slot = prof::engineStageSlot();
+    ASSERT_NE(slot, nullptr);
+    prof::setStage(slot, prof::EngineStage::Commit);
+    EXPECT_EQ(*slot, static_cast<uint8_t>(prof::EngineStage::Commit));
+    prof::setStage(slot, prof::EngineStage::None);
+    EXPECT_EQ(*slot, static_cast<uint8_t>(prof::EngineStage::None));
+    EXPECT_STREQ(prof::engineStageName(prof::EngineStage::WheelDrain),
+                 "wheel_drain");
+}
+
+#if !TCA_TSAN
+
+TEST(HostSampler, SamplesAttributeToRegionsAndFlush)
+{
+    ProfModeGuard guard(prof::ProfMode::Sample);
+    HostSampler &sampler = HostSampler::global();
+    sampler.reset();
+    ASSERT_TRUE(sampler.start(2000));
+    EXPECT_TRUE(sampler.running());
+    {
+        prof::RegionCapture capture;
+        prof::ProfRegion region("sampler_test_region");
+        // ~100ms of CPU at 2 kHz -> expect on the order of 100+
+        // samples; require a conservative handful.
+        while (sampler.numSamples() < 5)
+            spin(2000000);
+        (void)capture.take();
+    }
+    sampler.stop();
+    EXPECT_FALSE(sampler.running());
+    EXPECT_GE(sampler.numSamples(), 5u);
+    EXPECT_GT(sampler.durationSeconds(), 0.0);
+
+    std::ostringstream collapsed;
+    sampler.writeCollapsed(collapsed);
+    EXPECT_NE(collapsed.str().find("sampler_test_region"),
+              std::string::npos);
+    // Every line is "frames count": the flamegraph parser accepts the
+    // whole artifact (collapsed-stack golden contract).
+    std::ostringstream json_os;
+    JsonWriter writer(json_os);
+    sampler.writeProfileJson(writer);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(json_os.str(), doc, &error)) << error;
+    EXPECT_EQ(doc.find("kind")->str, "host_profile");
+    EXPECT_GT(doc.find("samples")->number, 0.0);
+    ASSERT_NE(doc.find("regions"), nullptr);
+    sampler.reset();
+    EXPECT_EQ(sampler.numSamples(), 0u);
+}
+
+TEST(HostSampler, PanicHookFlushesPartialProfile)
+{
+    namespace fs = std::filesystem;
+    ProfModeGuard guard(prof::ProfMode::Sample);
+    fs::path dir = fs::temp_directory_path() / "tca_panic_prof_test";
+    fs::remove_all(dir);
+
+    HostSampler &sampler = HostSampler::global();
+    sampler.reset();
+    ASSERT_TRUE(sampler.start(2000));
+    while (sampler.numSamples() < 1)
+        spin(2000000);
+    sampler.flushOnPanic(dir.string());
+
+    // The panic path: hooks run, the timer is disarmed, both
+    // artifacts exist and the JSON one parses.
+    runPanicHooks();
+    EXPECT_FALSE(sampler.running());
+    EXPECT_TRUE(fs::exists(dir / "profile.collapsed"));
+    EXPECT_TRUE(fs::exists(dir / "profile.json"));
+    std::ifstream in(dir / "profile.json");
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    JsonValue doc;
+    std::string error;
+    EXPECT_TRUE(parseJson(buffer.str(), doc, &error)) << error;
+
+    // Deregistered hooks must not re-fire (recursion/eternity guard:
+    // cancel, wipe, re-run — nothing comes back).
+    sampler.cancelPanicFlush();
+    fs::remove_all(dir);
+    runPanicHooks();
+    EXPECT_FALSE(fs::exists(dir / "profile.collapsed"));
+    sampler.reset();
+}
+
+#endif // !TCA_TSAN

@@ -105,6 +105,32 @@ TEST(StatDiff, HostAndRssStatsAreInformational)
     EXPECT_FALSE(report.failed());
 }
 
+TEST(StatDiff, HostRegionsAreInformationalExceptOverhead)
+{
+    using MD = MetricDirection;
+    // The host.regions phase-attribution subtree (TCA_PROF) is host
+    // timing, so informational like the rest of the host block...
+    EXPECT_EQ(inferDirection("host.regions.scenario.total_seconds"),
+              MD::Unknown);
+    EXPECT_EQ(inferDirection(
+                  "host.regions.scenario/repeat.self_seconds"),
+              MD::Unknown);
+    EXPECT_EQ(inferDirection("host.regions.scenario.count"),
+              MD::Unknown);
+    EXPECT_EQ(inferDirection(
+                  "host.regions.scenario/repeat/core_run.cycles"),
+              MD::Unknown);
+    EXPECT_EQ(inferDirection("host.regions.meta.wall_seconds"),
+              MD::Unknown);
+    // ...except the profiler's own bookkeeping cost, which this repo
+    // controls: less is better, and CI's overhead diff gates on it.
+    EXPECT_EQ(inferDirection("host.regions.meta.overhead_seconds"),
+              MD::LowerIsBetter);
+    EXPECT_EQ(inferDirection(
+                  "sim_throughput.host.regions.meta.overhead_seconds"),
+              MD::LowerIsBetter);
+}
+
 TEST(StatDiff, TelemetryStatsAreInformationalExceptOverhead)
 {
     using MD = MetricDirection;

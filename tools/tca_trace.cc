@@ -11,13 +11,21 @@
  *   tca_trace path --limit 40 out/fig5_heap/cp.json
  *   tca_trace spans out/fig5_heap/trace.json
  *   tca_trace diff baseline/cp.json out/cp.json
+ *   tca_trace flame --limit 20 --svg flame.svg out/profile.collapsed
+ *   tca_trace flame --diff old/profile.collapsed out/profile.collapsed
+ *   tca_trace regions --check out/BENCH_sim_throughput.json
  *
  * `diff` reuses the tca_compare stat-diff engine, so its table format,
  * threshold semantics, and exit codes match across the two tools.
+ * `flame` and `regions` consume the host self-profiling artifacts
+ * (docs/PROFILING.md): collapsed stacks from obs::HostSampler and the
+ * host.regions subtree of BENCH_*.json.
  *
- * Exit codes: 0 success, 1 diff regression, 2 usage or parse error.
+ * Exit codes: 0 success, 1 diff regression or failed --check,
+ * 2 usage or parse error.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +38,7 @@
 #include <vector>
 
 #include "obs/critical_path.hh"
+#include "obs/flamegraph.hh"
 #include "obs/stat_diff.hh"
 #include "util/json.hh"
 
@@ -55,7 +64,19 @@ usage(const char *argv0, int code)
         "                           Chrome trace-event document\n"
         "  diff [--threshold PCT] OLD.json NEW.json\n"
         "                           stat diff of two cp.json files;\n"
-        "                           exits 1 on watched regression\n",
+        "                           exits 1 on watched regression\n"
+        "  flame [--limit N] [--svg OUT.svg] PROFILE.collapsed\n"
+        "                           self/total table (and optional\n"
+        "                           SVG flamegraph) from a collapsed-\n"
+        "                           stack profile\n"
+        "  flame --diff [--limit N] OLD.collapsed NEW.collapsed\n"
+        "                           largest self-share shifts between\n"
+        "                           two profiles\n"
+        "  regions [--check] BENCH.json\n"
+        "                           host.regions phase table; --check\n"
+        "                           verifies self-times telescope to\n"
+        "                           the run wall time (exit 1 when\n"
+        "                           out of tolerance)\n",
         argv0);
     return code;
 }
@@ -325,6 +346,219 @@ cmdDiff(const char *argv0, const std::vector<std::string> &args)
     return 0;
 }
 
+/** Load and parse one collapsed-stack profile, exiting 2 on failure. */
+std::vector<flame::Stack>
+loadCollapsed(const char *argv0, const std::string &path)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::fprintf(stderr, "%s: cannot read '%s'\n", argv0,
+                     path.c_str());
+        std::exit(2);
+    }
+    std::vector<flame::Stack> stacks;
+    std::string error;
+    if (!flame::parseCollapsed(text, stacks, &error)) {
+        std::fprintf(stderr, "%s: %s: %s\n", argv0, path.c_str(),
+                     error.c_str());
+        std::exit(2);
+    }
+    return stacks;
+}
+
+int
+cmdFlame(const char *argv0, const std::vector<std::string> &args)
+{
+    size_t limit = 30;
+    bool diff = false;
+    std::string svg_path;
+    std::vector<std::string> paths;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--limit") {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "--limit needs a value\n");
+                return usage(argv0, 2);
+            }
+            limit = static_cast<size_t>(
+                std::strtoull(args[++i].c_str(), nullptr, 10));
+        } else if (args[i] == "--svg") {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "--svg needs a value\n");
+                return usage(argv0, 2);
+            }
+            svg_path = args[++i];
+        } else if (args[i] == "--diff") {
+            diff = true;
+        } else if (!args[i].empty() && args[i][0] == '-') {
+            std::fprintf(stderr, "unknown flag '%s'\n", args[i].c_str());
+            return usage(argv0, 2);
+        } else {
+            paths.push_back(args[i]);
+        }
+    }
+
+    if (diff) {
+        if (paths.size() != 2 || !svg_path.empty()) {
+            std::fprintf(stderr,
+                         "flame --diff takes exactly OLD and NEW\n");
+            return usage(argv0, 2);
+        }
+        auto before = loadCollapsed(argv0, paths[0]);
+        auto after = loadCollapsed(argv0, paths[1]);
+        std::printf("--- %s\n+++ %s\n", paths[0].c_str(),
+                    paths[1].c_str());
+        std::fputs(flame::formatFlameDiff(before, after, limit).c_str(),
+                   stdout);
+        return 0;
+    }
+
+    if (paths.size() != 1)
+        return usage(argv0, 2);
+    auto stacks = loadCollapsed(argv0, paths[0]);
+    std::fputs(flame::formatFlameTable(stacks, limit).c_str(), stdout);
+    if (!svg_path.empty()) {
+        std::ofstream out(svg_path);
+        if (!out) {
+            std::fprintf(stderr, "%s: cannot write '%s'\n", argv0,
+                         svg_path.c_str());
+            return 2;
+        }
+        flame::writeFlameSvg(out, stacks, paths[0]);
+        std::printf("wrote %s\n", svg_path.c_str());
+    }
+    return 0;
+}
+
+/** True for paths inside a batch "par/" subtree, whose times are
+ *  summed worker CPU rather than wall time. */
+bool
+isParallelSubtree(const std::string &path)
+{
+    return path == "par" || path.compare(0, 4, "par/") == 0 ||
+           path.find("/par/") != std::string::npos ||
+           (path.size() >= 4 &&
+            path.compare(path.size() - 4, 4, "/par") == 0);
+}
+
+int
+cmdRegions(const char *argv0, const std::vector<std::string> &args)
+{
+    bool check = false;
+    std::string path;
+    for (const std::string &arg : args) {
+        if (arg == "--check") {
+            check = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+            return usage(argv0, 2);
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            std::fprintf(stderr, "extra argument '%s'\n", arg.c_str());
+            return usage(argv0, 2);
+        }
+    }
+    if (path.empty())
+        return usage(argv0, 2);
+
+    std::string text;
+    if (!readFile(path, text)) {
+        std::fprintf(stderr, "%s: cannot read '%s'\n", argv0,
+                     path.c_str());
+        return 2;
+    }
+    JsonValue doc;
+    std::string error;
+    if (!parseJson(text, doc, &error)) {
+        std::fprintf(stderr, "%s: %s: %s\n", argv0, path.c_str(),
+                     error.c_str());
+        return 2;
+    }
+    // Accept a whole BENCH_*.json (host.regions) or a bare regions
+    // object.
+    const JsonValue *regions = nullptr;
+    if (const JsonValue *host = doc.find("host"))
+        regions = host->find("regions");
+    if (!regions)
+        regions = doc.find("regions");
+    if (!regions && doc.isObject() && doc.find("meta"))
+        regions = &doc;
+    if (!regions || !regions->isObject()) {
+        std::fprintf(stderr, "%s: %s: no host.regions subtree (was "
+                             "the run profiled? see docs/PROFILING.md)\n",
+                     argv0, path.c_str());
+        return 2;
+    }
+
+    double wall = -1.0;
+    double overhead = 0.0;
+    if (const JsonValue *meta = regions->find("meta")) {
+        if (const JsonValue *v = meta->find("wall_seconds"))
+            wall = v->number;
+        if (const JsonValue *v = meta->find("overhead_seconds"))
+            overhead = v->number;
+    }
+
+    std::printf("%-44s %8s %12s %12s\n", "region", "count",
+                "total s", "self s");
+    double self_sum = 0.0;
+    double root_total = 0.0;
+    for (const auto &[name, value] : regions->members) {
+        if (name == "meta" || !value.isObject())
+            continue;
+        const JsonValue *count = value.find("count");
+        const JsonValue *total = value.find("total_seconds");
+        const JsonValue *self = value.find("self_seconds");
+        std::printf("%-44s %8.0f %12.6f %12.6f\n", name.c_str(),
+                    count ? count->number : 0.0,
+                    total ? total->number : 0.0,
+                    self ? self->number : 0.0);
+        if (isParallelSubtree(name))
+            continue;
+        if (self)
+            self_sum += self->number;
+        if (name.find('/') == std::string::npos && total)
+            root_total += total->number;
+    }
+    if (wall >= 0.0) {
+        std::printf("%-44s %8s %12.6f %12s  (overhead %.6fs)\n",
+                    "(wall)", "", wall, "", overhead);
+    }
+
+    if (!check)
+        return 0;
+
+    // Telescoping invariants (docs/PROFILING.md): self-times sum back
+    // to the root totals, and the roots cover the measured wall clock.
+    // The "par/" subtree is excluded above — its times are worker CPU.
+    bool ok = true;
+    double tolerance = 0.01;
+    if (root_total > 0.0) {
+        double gap = std::fabs(self_sum - root_total) / root_total;
+        std::printf("telescoping: sum(self)=%.6fs vs sum(roots)="
+                    "%.6fs (%.2f%% gap)\n",
+                    self_sum, root_total, 100.0 * gap);
+        if (gap > tolerance) {
+            std::printf("FAIL: self-times do not telescope to the "
+                        "root totals\n");
+            ok = false;
+        }
+    }
+    if (wall > 0.0) {
+        double gap = std::fabs(root_total - wall) / wall;
+        std::printf("coverage: sum(roots)=%.6fs vs wall=%.6fs "
+                    "(%.2f%% gap)\n", root_total, wall, 100.0 * gap);
+        if (gap > tolerance) {
+            std::printf("FAIL: root regions do not cover the run "
+                        "wall time\n");
+            ok = false;
+        }
+    }
+    if (ok)
+        std::printf("OK\n");
+    return ok ? 0 : 1;
+}
+
 } // anonymous namespace
 
 int
@@ -353,6 +587,10 @@ main(int argc, char **argv)
         return cmdSpans(argv[0], args);
     if (command == "diff")
         return cmdDiff(argv[0], args);
+    if (command == "flame")
+        return cmdFlame(argv[0], args);
+    if (command == "regions")
+        return cmdRegions(argv[0], args);
 
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return usage(argv[0], 2);
