@@ -98,8 +98,14 @@ CoreCounters::reset()
 }
 
 Core::Core(const CoreConfig &config, mem::MemHierarchy &hierarchy)
-    : conf(config), mem(hierarchy), rob(config.robSize),
-      fuPool(conf), memPorts(config.memPorts)
+    : Core(config)
+{
+    memHier = &hierarchy;
+}
+
+Core::Core(const CoreConfig &config)
+    : conf(config), rob(config.robSize), fuPool(conf),
+      memPorts(config.memPorts)
 {
     conf.validate();
 }
@@ -131,13 +137,14 @@ void
 Core::resetRunState()
 {
     now = 0;
-    rob = Rob(conf.robSize);
+    rob.reset();
     memPorts.reset();
     iq.clear();
-    ldq.clear();
-    stq.clear();
+    ldq.reset(conf.lsqSize);
+    stq.reset(conf.lsqSize);
     lastWriter.clear();
-    havePending = false;
+    fetchPos = 0;
+    fetchCount = 0;
     traceDone = false;
     redirectPending = false;
     resumeDispatchAt = 0;
@@ -147,7 +154,7 @@ Core::resetRunState()
     cpNote = CpIssueNote{};
     for (AccelPortState &port : accelPorts) {
         port.busyUntil = 0;
-        port.queue.clear();
+        port.queue.reset(conf.accelQueueDepth);
         port.queueFullClearAt = 0;
     }
     asyncPending = 0;
@@ -160,10 +167,15 @@ Core::resetRunState()
     for (std::vector<uint64_t> &slot : completionWheel)
         slot.clear();
     wheelPending = 0;
-    completions = TimedSeqHeap{};
-    timeParked = TimedSeqHeap{};
-    readyQ.clear();
+    // Reset-not-free: the heaps and ready ring keep their storage, so
+    // after the first run a sweep's remaining runs never reallocate.
+    completions.clear();
+    completions.reserve(conf.robSize);
+    timeParked.clear();
+    timeParked.reserve(conf.robSize);
+    readyQ.reset(conf.robSize);
     retryNextCycle.clear();
+    retryNextCycle.reserve(conf.robSize);
     drainParked.clear();
     iqCount = 0;
     engineTallies = EngineStats{};
@@ -192,11 +204,12 @@ SimResult
 Core::run(trace::TraceSource &trace_source)
 {
     obs::prof::ProfRegion prof_region("core_run");
+    tca_assert(memHier != nullptr);
     profStage = obs::prof::engineStageSlot();
     resetRunState();
     source = &trace_source;
 
-    // resetRunState() rebuilds the ROB, so (re-)wire the sink into the
+    // resetRunState() rewinds the ROB, so (re-)wire the sink into the
     // owned structures every run. A sink that ignores per-uop
     // bookkeeping events (obs::TelemetrySampler) is not wired into the
     // ROB/arbiter at all and skips the dispatch/issue emission sites,
@@ -564,35 +577,37 @@ Core::commitStage()
 {
     uint32_t retired = 0;
     for (uint32_t n = 0; n < conf.commitWidth && !rob.empty(); ++n) {
-        RobEntry &head = rob.head();
+        uint64_t seq = rob.oldest();
+        RobHot &head = rob.hot(seq);
         if (!(head.state == UopState::Issued &&
               head.completeCycle + conf.commitLatency <= now)) {
             break;
         }
-        if (head.op.isStore()) {
+        const trace::MicroOp &op = rob.op(seq);
+        if (op.isStore()) {
             // Retired stores drain from the store queue to the cache;
             // this happens off the load critical path via the
             // write-back buffers, so no port is charged.
-            mem.firstLevel().access(head.op.addr,
-                                    mem::AccessType::Write, now);
+            memHier->firstLevel().access(op.addr,
+                                         mem::AccessType::Write, now);
         }
-        if (head.op.isMem()) {
-            std::deque<uint64_t> &queue = head.op.isStore() ? stq : ldq;
-            tca_assert(!queue.empty() && queue.front() == head.seq);
+        if (op.isMem()) {
+            util::FixedRing<uint64_t> &queue = op.isStore() ? stq : ldq;
+            tca_assert(!queue.empty() && queue.front() == seq);
             queue.pop_front();
         }
         tallies.committedUops.inc();
-        tallies.committedByClass[static_cast<size_t>(head.op.cls)].inc();
-        if (head.op.acceleratable || head.op.isAccel())
+        tallies.committedByClass[static_cast<size_t>(op.cls)].inc();
+        if (op.acceleratable || op.isAccel())
             tallies.committedAcceleratable.inc();
         if (sink) {
             obs::UopLifecycle uop;
-            uop.seq = head.seq;
-            uop.cls = head.op.cls;
-            uop.addr = head.op.addr;
-            uop.accelPort = head.op.accelPort;
-            uop.accelInvocation = head.op.accelInvocation;
-            uop.mispredicted = head.op.mispredicted;
+            uop.seq = seq;
+            uop.cls = op.cls;
+            uop.addr = op.addr;
+            uop.accelPort = op.accelPort;
+            uop.accelInvocation = op.accelInvocation;
+            uop.mispredicted = op.mispredicted;
             uop.dispatch = head.dispatchCycle;
             uop.issue = head.issueCycle;
             uop.complete = head.completeCycle;
@@ -600,7 +615,7 @@ Core::commitStage()
             sink->onCommit(uop);
         }
         if (cpTracker)
-            cpTracker->onCommitUop(head.seq, now);
+            cpTracker->onCommitUop(seq, now);
         rob.retireHead();
         ++retired;
     }
@@ -618,59 +633,61 @@ Core::commitStage()
 }
 
 bool
-Core::operandsReady(const RobEntry &entry) const
+Core::operandsReady(const RobHot &h) const
 {
-    for (uint64_t producer : entry.srcProducer) {
+    for (uint64_t producer : h.srcProducer) {
         if (producer == noSeq)
             continue;
         if (rob.isRetired(producer))
             continue;
-        const RobEntry &prod = rob.entryFor(producer);
-        if (!isDone(prod))
+        if (!isDone(rob.hot(producer)))
             return false;
     }
     return true;
 }
 
-RobEntry *
-Core::youngestOlderStore(const RobEntry &load)
+uint64_t
+Core::youngestOlderStore(uint64_t loadSeq,
+                         const trace::MicroOp &loadOp)
 {
     // Walk the store queue youngest-first: the first overlapping store
     // older than the load is the forwarding candidate. Loads with no
     // in-flight store (the common case) exit without touching the ROB.
-    for (auto it = stq.rbegin(); it != stq.rend(); ++it) {
-        if (*it >= load.seq)
+    uint64_t l_begin = loadOp.addr;
+    uint64_t l_end = l_begin + loadOp.size;
+    for (size_t i = stq.size(); i-- > 0;) {
+        uint64_t store = stq[i];
+        if (store >= loadSeq)
             continue; // stores younger than the load
-        RobEntry &entry = rob.entryFor(*it);
-        uint64_t s_begin = entry.op.addr;
-        uint64_t s_end = s_begin + entry.op.size;
-        uint64_t l_begin = load.op.addr;
-        uint64_t l_end = l_begin + load.op.size;
+        const trace::MicroOp &sop = rob.op(store);
+        uint64_t s_begin = sop.addr;
+        uint64_t s_end = s_begin + sop.size;
         if (s_begin < l_end && l_begin < s_end)
-            return &entry;
+            return store;
     }
-    return nullptr;
+    return noSeq;
 }
 
 bool
-Core::issueLoad(RobEntry &entry, IssueBlock *block)
+Core::issueLoad(uint64_t seq, RobHot &h, const trace::MicroOp &op,
+                IssueBlock *block)
 {
-    RobEntry *store = youngestOlderStore(entry);
-    if (store) {
+    uint64_t store = youngestOlderStore(seq, op);
+    if (store != noSeq) {
         // Forward from the store queue once the store's data is ready.
         // The store set older than this load is fixed at its dispatch,
         // so the forwarding decision cannot change before the blocking
         // store completes (or retires at/after completing).
-        if (!isDone(*store)) {
+        if (!isDone(rob.hot(store))) {
             if (block) {
                 block->kind = IssueBlock::Kind::Producer;
-                block->producer = store->seq;
+                block->producer = store;
             }
             return false;
         }
-        entry.completeCycle = now + conf.forwardLatency;
+        h.completeCycle = now + conf.forwardLatency;
         if (cpTracker)
-            cpNote.forwardStore = store->seq;
+            cpNote.forwardStore = store;
     } else {
         if (!memPorts.availableAt(now)) {
             if (block) {
@@ -684,25 +701,26 @@ Core::issueLoad(RobEntry &entry, IssueBlock *block)
             cpNote.portClear = memPorts.nextAvailableAt();
         }
         mem::Cycle start = memPorts.claim(now);
-        entry.completeCycle = mem.firstLevel().access(
-            entry.op.addr, mem::AccessType::Read, start);
+        h.completeCycle = memHier->firstLevel().access(
+            op.addr, mem::AccessType::Read, start);
     }
     return true;
 }
 
 bool
-Core::issueStore(RobEntry &entry)
+Core::issueStore(RobHot &h)
 {
     // Stores only need their data and address; they complete into the
     // store queue and write the cache at retirement.
-    entry.completeCycle = now + conf.storeLatency;
+    h.completeCycle = now + conf.storeLatency;
     return true;
 }
 
 bool
-Core::issueAccel(RobEntry &entry, IssueBlock *block)
+Core::issueAccel(uint64_t seq, RobHot &h, const trace::MicroOp &op,
+                 IssueBlock *block)
 {
-    AccelPortState &port = portFor(entry.op);
+    AccelPortState &port = portFor(op);
     const bool async = model::isAsyncMode(port.mode);
     if (async) {
         // Async: the only invocation-side gate is command-queue space;
@@ -725,7 +743,7 @@ Core::issueAccel(RobEntry &entry, IssueBlock *block)
     if (!model::allowsLeading(port.mode)) {
         // NL modes: non-speculative, must wait until all leading
         // instructions have committed (window drain).
-        if (entry.seq != rob.oldest()) {
+        if (seq != rob.oldest()) {
             if (block)
                 block->kind = IssueBlock::Kind::Drain;
             return false;
@@ -734,13 +752,13 @@ Core::issueAccel(RobEntry &entry, IssueBlock *block)
         // Partial speculation (Section VIII): only speculate past
         // branches the predictor is confident about. Any unresolved
         // older low-confidence branch blocks the TCA.
-        for (uint64_t seq = rob.oldest(); seq < entry.seq; ++seq) {
-            const RobEntry &older = rob.entryFor(seq);
-            if (older.op.isBranch() && older.op.lowConfidence &&
-                !isDone(older)) {
+        for (uint64_t older = rob.oldest(); older < seq; ++older) {
+            const trace::MicroOp &oop = rob.op(older);
+            if (oop.isBranch() && oop.lowConfidence &&
+                !isDone(rob.hot(older))) {
                 if (block) {
                     block->kind = IssueBlock::Kind::Producer;
-                    block->producer = older.seq;
+                    block->producer = older;
                 }
                 return false;
             }
@@ -765,13 +783,13 @@ Core::issueAccel(RobEntry &entry, IssueBlock *block)
     std::vector<AccelRequest> &requests = port.requestBuffer;
     requests.clear();
     uint32_t compute = port.device->beginInvocation(
-        entry.op.accelInvocation, requests);
+        op.accelInvocation, requests);
 
     // Memory requests arbitrate for the shared ports, age priority.
     mem::Cycle mem_done = now;
     for (const AccelRequest &req : requests) {
         mem::Cycle start = memPorts.claim(now);
-        mem::Cycle done = mem.firstLevel().access(
+        mem::Cycle done = memHier->firstLevel().access(
             req.addr, req.write ? mem::AccessType::Write
                                 : mem::AccessType::Read,
             start);
@@ -786,29 +804,29 @@ Core::issueAccel(RobEntry &entry, IssueBlock *block)
         std::max(ready + compute, static_cast<mem::Cycle>(now + 1));
     if (async) {
         port.busyUntil = complete_at;
-        port.queue.push_back({entry.seq, now, complete_at});
+        port.queue.push_back({seq, now, complete_at});
         ++asyncPending;
         tallies.accelQueueEnqueues.inc();
         accelQueueOccupancy.sample(
             static_cast<uint64_t>(port.queue.size()));
         // Early retire: the uop completes with the enqueue ack next
         // cycle; the device-side completion is tracked by the queue.
-        entry.completeCycle = conf.asyncEarlyRetire
+        h.completeCycle = conf.asyncEarlyRetire
             ? static_cast<mem::Cycle>(now + 1) : complete_at;
         if (cpTracker) {
             cpNote.queueClear = port.queueFullClearAt;
             cpNote.queueTracked = port.queueFullClearAt > 0;
         }
     } else {
-        entry.completeCycle = complete_at;
-        port.busyUntil = entry.completeCycle;
+        h.completeCycle = complete_at;
+        port.busyUntil = h.completeCycle;
     }
 
     tallies.accelInvocations.inc();
     tallies.accelLatencyTotal.inc(complete_at - now);
     if (sink) {
         sink->onAccelInvocation(
-            entry.op.accelPort, entry.op.accelInvocation,
+            op.accelPort, op.accelInvocation,
             port.device->name(), now, complete_at, compute,
             static_cast<uint32_t>(requests.size()));
     }
@@ -816,79 +834,82 @@ Core::issueAccel(RobEntry &entry, IssueBlock *block)
 }
 
 void
-Core::issueSimple(RobEntry &entry)
+Core::issueSimple(RobHot &h, const trace::MicroOp &op)
 {
-    entry.completeCycle = now + conf.latencyOf(entry.op.cls);
-    if (entry.op.isBranch() && entry.op.mispredicted) {
+    h.completeCycle = now + conf.latencyOf(op.cls);
+    if (op.isBranch() && op.mispredicted) {
         // The redirect target is known when the branch resolves; the
         // front end refills redirectPenalty cycles later.
-        resumeDispatchAt = entry.completeCycle + conf.redirectPenalty;
+        resumeDispatchAt = h.completeCycle + conf.redirectPenalty;
         redirectPending = false;
     }
 }
 
 bool
-Core::tryIssue(RobEntry &entry, IssueBlock *block)
+Core::tryIssue(uint64_t seq, IssueBlock *block)
 {
     using trace::OpClass;
+    RobHot &h = rob.hot(seq);
+    const trace::MicroOp &op = rob.op(seq);
     // Event-engine attempts come from the ready queue, where operand
     // readiness is established by the producers' completion wakeups.
-    if (!block && !operandsReady(entry))
+    if (!block && !operandsReady(h))
         return false;
     if (cpTracker)
         cpNote = CpIssueNote{};
 
-    switch (entry.op.cls) {
+    switch (op.cls) {
       case OpClass::Load:
-        if (!issueLoad(entry, block))
+        if (!issueLoad(seq, h, op, block))
             return false;
         break;
       case OpClass::Store:
-        if (!issueStore(entry))
+        if (!issueStore(h))
             return false;
         break;
       case OpClass::Accel:
-        if (!issueAccel(entry, block))
+        if (!issueAccel(seq, h, op, block))
             return false;
         break;
       default:
-        if (!fuPool.available(entry.op.cls)) {
+        if (!fuPool.available(op.cls)) {
             if (block)
                 block->kind = IssueBlock::Kind::Retry;
             return false;
         }
-        issueSimple(entry);
-        fuPool.consume(entry.op.cls);
+        issueSimple(h, op);
+        fuPool.consume(op.cls);
         break;
     }
 
-    entry.state = UopState::Issued;
-    entry.issueCycle = now;
+    h.state = UopState::Issued;
+    h.issueCycle = now;
     if (sinkUopEvents)
-        sink->onIssue(entry.seq, now);
+        sink->onIssue(seq, now);
     if (cpTracker)
-        cpRecordIssue(entry);
+        cpRecordIssue(seq, h, op);
 
     if (useEvents) {
         // Schedule the completion wakeup. A zero-latency result is
         // visible this very cycle — deliver it inline; consumers are
         // younger, so the ready queue's age order still attempts them
         // after this uop, exactly as the reference IQ scan would.
-        if (entry.completeCycle <= now) {
-            completeEntry(entry);
-        } else if (entry.completeCycle - now < kWheelSpan) {
-            completionWheel[entry.completeCycle & (kWheelSpan - 1)]
-                .push_back(entry.seq);
+        if (h.completeCycle <= now) {
+            completeEntry(seq);
+        } else if (h.completeCycle - now < kWheelSpan) {
+            completionWheel[h.completeCycle & (kWheelSpan - 1)]
+                .push_back(seq);
             ++wheelPending;
         } else {
-            completions.push({entry.completeCycle, entry.seq});
+            completions.push({h.completeCycle, seq});
         }
     }
     return true;
 }
 
 void
-Core::cpRecordIssue(RobEntry &entry)
+Core::cpRecordIssue(uint64_t seq, const RobHot &h,
+                    const trace::MicroOp &op)
 {
     using obs::CpCause;
     using obs::CpEdge;
@@ -900,14 +921,13 @@ Core::cpRecordIssue(RobEntry &entry)
     size_t n = 0;
 
     // Dispatch order: the earliest this uop could ever have issued.
-    cand[n++] = CpEdge{entry.dispatchCycle + 1, CpCause::Dispatch,
-                       entry.seq};
+    cand[n++] = CpEdge{h.dispatchCycle + 1, CpCause::Dispatch, seq};
 
     // Register operands: the producer's completion cleared the edge.
     // srcProducer only names producers still live at dispatch, so the
     // tracker has a record (with complete filled: the producer is done
     // or this uop could not issue).
-    for (uint64_t producer : entry.srcProducer) {
+    for (uint64_t producer : h.srcProducer) {
         if (producer == noSeq)
             continue;
         cand[n++] = CpEdge{cpTracker->completeOf(producer),
@@ -925,13 +945,13 @@ Core::cpRecordIssue(RobEntry &entry)
                            obs::cpNoSeq};
     }
 
-    if (entry.op.isAccel()) {
-        AccelPortState &port = portFor(entry.op);
+    if (op.isAccel()) {
+        AccelPortState &port = portFor(op);
         if (!model::isAsyncMode(port.mode)) {
             // The port runs one invocation at a time; busyUntil always
             // equals the previous invocation's completeCycle.
             uint64_t prev =
-                cpTracker->lastAccelSeqOnPort(entry.op.accelPort);
+                cpTracker->lastAccelSeqOnPort(op.accelPort);
             if (prev != obs::cpNoSeq) {
                 cand[n++] = CpEdge{cpTracker->completeOf(prev),
                                    CpCause::AccelBusy, prev};
@@ -948,21 +968,20 @@ Core::cpRecordIssue(RobEntry &entry)
         if (!model::allowsLeading(port.mode)) {
             // NL drain: issue required seq-1's retirement, which
             // happened in this cycle's commit stage at the latest.
-            if (entry.seq > 0) {
-                cand[n++] = CpEdge{cpTracker->commitOf(entry.seq - 1),
-                                   CpCause::NlDrain, entry.seq - 1};
+            if (seq > 0) {
+                cand[n++] = CpEdge{cpTracker->commitOf(seq - 1),
+                                   CpCause::NlDrain, seq - 1};
             }
         } else if (partialSpeculation) {
-            CpEdge edge = cpTracker->lowConfidenceEdge(entry.seq);
+            CpEdge edge = cpTracker->lowConfidenceEdge(seq);
             if (edge.pred != obs::cpNoSeq)
                 cand[n++] = edge;
         }
     }
 
-    cpTracker->onIssueUop(entry.seq, now, entry.completeCycle,
-                          cand.data(), n);
-    if (entry.op.isAccel())
-        cpTracker->noteAccelIssue(entry.op.accelPort, entry.seq);
+    cpTracker->onIssueUop(seq, now, h.completeCycle, cand.data(), n);
+    if (op.isAccel())
+        cpTracker->noteAccelIssue(op.accelPort, seq);
 }
 
 void
@@ -1003,10 +1022,9 @@ Core::issueStage()
     size_t keep = 0;
     for (size_t i = 0; i < iq.size(); ++i) {
         uint64_t seq = iq[i];
-        RobEntry &entry = rob.entryFor(seq);
         bool did_issue = false;
-        if (issued < conf.issueWidth && entry.dispatchCycle < now)
-            did_issue = tryIssue(entry);
+        if (issued < conf.issueWidth && rob.hot(seq).dispatchCycle < now)
+            did_issue = tryIssue(seq);
         if (did_issue)
             ++issued;
         else
@@ -1023,13 +1041,12 @@ Core::issueStageEvent()
     uint32_t issued = 0;
     while (issued < conf.issueWidth && !readyQ.empty()) {
         uint64_t seq = readyQ.popMin();
-        RobEntry &entry = rob.entryFor(seq);
         IssueBlock block;
-        if (tryIssue(entry, &block)) {
+        if (tryIssue(seq, &block)) {
             ++issued;
             --iqCount;
         } else {
-            parkBlocked(entry, block);
+            parkBlocked(seq, block);
         }
     }
     // Width exhausted: anything still queued stays ready and is
@@ -1039,76 +1056,72 @@ Core::issueStageEvent()
 }
 
 void
-Core::setupReadiness(RobEntry &entry)
+Core::setupReadiness(uint64_t seq)
 {
     ++iqCount;
+    RobHot &h = rob.hot(seq);
     uint8_t pending = 0;
-    for (uint64_t producer : entry.srcProducer) {
+    for (uint64_t producer : h.srcProducer) {
         if (producer == noSeq)
             continue;
         // srcProducer only names live producers (dispatch skips
         // retired ones), and a producer outlives its consumers' waits.
-        RobEntry &prod = rob.entryFor(producer);
-        if (isDone(prod))
+        if (isDone(rob.hot(producer)))
             continue;
-        prod.waiters.push_back(entry.seq);
+        rob.addWaiter(producer, seq);
         ++pending;
     }
-    entry.notReady = pending;
+    h.notReady = pending;
     if (pending == 0)
-        readyPush(entry.seq);
+        readyPush(seq);
 }
 
 void
-Core::completeEntry(RobEntry &entry)
+Core::completeEntry(uint64_t seq)
 {
     // A consumer reading two operands from the same producer appears
-    // twice in `waiters` and counted twice in its notReady, so the
-    // decrements balance.
-    engineTallies.wakeups += entry.waiters.size();
-    for (uint64_t waiter : entry.waiters) {
-        RobEntry &consumer = rob.entryFor(waiter);
-        tca_assert(consumer.notReady > 0);
-        if (--consumer.notReady == 0)
-            readyPush(waiter);
-    }
-    entry.waiters.clear();
-    for (uint64_t waiter : entry.parkWaiters)
-        readyPush(waiter);
-    entry.parkWaiters.clear();
+    // twice in the waiter chain and counted twice in its notReady, so
+    // the decrements balance.
+    engineTallies.wakeups +=
+        rob.consumeWaiters(seq, [this](uint64_t waiter) {
+            RobHot &consumer = rob.hot(waiter);
+            tca_assert(consumer.notReady > 0);
+            if (--consumer.notReady == 0)
+                readyPush(waiter);
+        });
+    rob.consumeParkWaiters(seq,
+                           [this](uint64_t waiter) { readyPush(waiter); });
 }
 
 void
-Core::parkBlocked(RobEntry &entry, const IssueBlock &block)
+Core::parkBlocked(uint64_t seq, const IssueBlock &block)
 {
     switch (block.kind) {
       case IssueBlock::Kind::Time:
         tca_assert(block.wakeAt > now);
-        timeParked.push({block.wakeAt, entry.seq});
+        timeParked.push({block.wakeAt, seq});
         return;
-      case IssueBlock::Kind::Producer: {
-        RobEntry &producer = rob.entryFor(block.producer);
-        tca_assert(!isDone(producer));
-        producer.parkWaiters.push_back(entry.seq);
+      case IssueBlock::Kind::Producer:
+        tca_assert(!isDone(rob.hot(block.producer)));
+        rob.addParkWaiter(block.producer, seq);
         return;
-      }
       case IssueBlock::Kind::Drain:
-        drainParked.push_back(entry.seq);
+        drainParked.push_back(seq);
         return;
       case IssueBlock::Kind::Retry:
-        if (fuPool.unitLimit(entry.op.cls) == 0) {
+        if (fuPool.unitLimit(rob.op(seq).cls) == 0) {
             panic("uop class %s has no functional units configured; "
                   "seq %llu can never issue",
-                  trace::opClassName(entry.op.cls).c_str(),
-                  static_cast<unsigned long long>(entry.seq));
+                  trace::opClassName(rob.op(seq).cls).c_str(),
+                  static_cast<unsigned long long>(seq));
         }
-        retryNextCycle.push_back(entry.seq);
+        retryNextCycle.push_back(seq);
         return;
       case IssueBlock::Kind::None:
         break;
     }
     panic("issue attempt for seq %llu failed without a wake condition",
-          static_cast<unsigned long long>(entry.seq));
+          static_cast<unsigned long long>(seq));
 }
 
 void
@@ -1136,9 +1149,8 @@ Core::deliverWakeups()
         if (!slot.empty()) {
             wheelPending -= slot.size();
             for (uint64_t seq : slot) {
-                RobEntry &entry = rob.entryFor(seq);
-                tca_assert(entry.completeCycle == now);
-                completeEntry(entry);
+                tca_assert(rob.hot(seq).completeCycle == now);
+                completeEntry(seq);
             }
             slot.clear();
         }
@@ -1146,7 +1158,7 @@ Core::deliverWakeups()
     while (!completions.empty() && completions.top().first <= now) {
         uint64_t seq = completions.top().second;
         completions.pop();
-        completeEntry(rob.entryFor(seq));
+        completeEntry(seq);
     }
 }
 
@@ -1171,7 +1183,7 @@ Core::nextEventTime() const
     if (!timeParked.empty())
         next = std::min(next, timeParked.top().first);
     if (!rob.empty()) {
-        const RobEntry &head = rob.head();
+        const RobHot &head = rob.hot(rob.oldest());
         if (head.state == UopState::Issued)
             next = std::min(next,
                             head.completeCycle + conf.commitLatency);
@@ -1292,17 +1304,20 @@ Core::dispatchStage()
                 break;
             }
         }
-        // Refill the one-op lookahead buffer.
-        if (!havePending && !traceDone) {
-            if (source->next(pendingOp))
-                havePending = true;
-            else
+        // Refill the fetch chunk: one virtual call per kFetchChunk
+        // uops (sources memcpy into the buffer; see nextBatch).
+        if (fetchPos == fetchCount && !traceDone) {
+            fetchCount = static_cast<uint32_t>(
+                source->nextBatch(fetchBuf.data(), fetchBuf.size()));
+            fetchPos = 0;
+            if (fetchCount == 0)
                 traceDone = true;
         }
-        if (traceDone && !havePending) {
+        if (fetchPos == fetchCount) {
             cause = StallCause::TraceEmpty;
             break;
         }
+        const trace::MicroOp &nextOp = fetchBuf[fetchPos];
         if (rob.full()) {
             cause = StallCause::RobFull;
             break;
@@ -1311,73 +1326,73 @@ Core::dispatchStage()
             cause = StallCause::IqFull;
             break;
         }
-        if (pendingOp.isMem() &&
+        if (nextOp.isMem() &&
             ldq.size() + stq.size() >= conf.lsqSize) {
             cause = StallCause::LsqFull;
             break;
         }
-        if (pendingOp.isAccel()) {
+        if (nextOp.isAccel()) {
             // Validates the port binding (panics when unbound).
-            portFor(pendingOp);
+            portFor(nextOp);
         }
 
-        uint64_t seq = rob.next();
-        RobEntry &entry = rob.allocate(seq);
-        entry.op = pendingOp;
-        entry.dispatchCycle = now;
+        uint64_t seq = rob.allocate();
+        trace::MicroOp &op = rob.op(seq);
+        op = nextOp;
+        RobHot &h = rob.hot(seq);
+        h.dispatchCycle = now;
+        ++fetchPos;
 
         // With a dynamic predictor, the misprediction decision is
         // made here (at fetch/dispatch) from the branch's PC and
         // actual direction, replacing the trace's static flag.
-        if (bpred && entry.op.isBranch()) {
-            entry.op.mispredicted = bpred->predictAndUpdate(
-                entry.op.addr, entry.op.taken);
+        if (bpred && op.isBranch()) {
+            op.mispredicted = bpred->predictAndUpdate(op.addr,
+                                                      op.taken);
         }
 
         // Resolve register dependencies against the rename scoreboard.
         for (size_t s = 0; s < trace::maxSrcRegs; ++s) {
-            trace::RegId reg = entry.op.src[s];
+            trace::RegId reg = op.src[s];
             if (reg == trace::noReg || reg >= lastWriter.size())
                 continue;
             uint64_t producer = lastWriter[reg];
             if (producer != noSeq && !rob.isRetired(producer))
-                entry.srcProducer[s] = producer;
+                h.srcProducer[s] = producer;
         }
-        if (entry.op.dst != trace::noReg) {
-            if (entry.op.dst >= lastWriter.size())
-                lastWriter.resize(entry.op.dst + 1, noSeq);
-            lastWriter[entry.op.dst] = seq;
+        if (op.dst != trace::noReg) {
+            if (op.dst >= lastWriter.size())
+                lastWriter.resize(op.dst + 1, noSeq);
+            lastWriter[op.dst] = seq;
         }
 
         if (useEvents)
-            setupReadiness(entry);
+            setupReadiness(seq);
         else
             iq.push_back(seq);
-        if (entry.op.isStore())
+        if (op.isStore())
             stq.push_back(seq);
-        else if (entry.op.isLoad())
+        else if (op.isLoad())
             ldq.push_back(seq);
         if (sinkUopEvents)
-            sink->onDispatch(seq, entry.op, now);
+            sink->onDispatch(seq, op, now);
         if (cpTracker) {
             cpTracker->onDispatchUop(
-                seq, static_cast<uint8_t>(entry.op.cls),
-                entry.op.isAccel(),
-                entry.op.isBranch() && entry.op.lowConfidence, now);
+                seq, static_cast<uint8_t>(op.cls), op.isAccel(),
+                op.isBranch() && op.lowConfidence, now);
         }
 
-        if (entry.op.isBranch() && entry.op.mispredicted) {
+        if (op.isBranch() && op.mispredicted) {
             // Younger uops are wrong-path until the branch resolves.
             redirectPending = true;
             redirectBranchSeq = seq;
         }
-        if (entry.op.isAccel() &&
-            !model::allowsTrailing(portFor(entry.op).mode)) {
+        if (op.isAccel() &&
+            !model::allowsTrailing(portFor(op).mode)) {
             barrierActive = true;
             barrierSeq = seq;
         }
 
-        havePending = false;
         ++dispatched;
     }
 

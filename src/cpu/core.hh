@@ -21,9 +21,7 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -41,6 +39,7 @@
 #include "stats/registry.hh"
 #include "stats/stats.hh"
 #include "trace/trace_source.hh"
+#include "util/arena.hh"
 
 namespace tca {
 namespace cpu {
@@ -108,10 +107,13 @@ struct EngineStats
 };
 
 /**
- * The core. Construct once per run (run() may be called repeatedly;
- * it resets microarchitectural state but not the memory hierarchy,
- * mirroring gem5's warm-cache behaviour between regions; call
- * MemHierarchy::flush() for cold caches).
+ * The core. Construct once per configuration; run() may be called
+ * repeatedly and resets microarchitectural state reset-not-free (ready
+ * queue, wakeup heaps, LSQ rings, and the ROB's waiter arena all keep
+ * their storage between runs, so sweeps stop churning the allocator).
+ * It does not reset the memory hierarchy, mirroring gem5's warm-cache
+ * behaviour between regions; call MemHierarchy::flush() for cold
+ * caches, or setHierarchy() to re-seat the core on a fresh one.
  */
 class Core
 {
@@ -121,6 +123,19 @@ class Core
      * @param hierarchy memory system; not owned, must outlive the core
      */
     Core(const CoreConfig &config, mem::MemHierarchy &hierarchy);
+
+    /** Construct without a hierarchy; setHierarchy() before run(). */
+    explicit Core(const CoreConfig &config);
+
+    /**
+     * Point the core at a (fresh) memory system; not owned, must
+     * outlive every subsequent run(). Lets one core — and its warmed
+     * run-state capacity — serve many cold-hierarchy runs.
+     */
+    void setHierarchy(mem::MemHierarchy &hierarchy)
+    {
+        memHier = &hierarchy;
+    }
 
     /**
      * Bind a TCA to an accelerator port and choose its integration
@@ -272,19 +287,22 @@ class Core
     void issueStageEvent(); ///< event: pop the ready queue by age
     void dispatchStage();
 
-    // --- issue helpers (shared by both engines) ---
-    bool operandsReady(const RobEntry &entry) const;
-    bool tryIssue(RobEntry &entry, IssueBlock *block = nullptr);
-    bool issueLoad(RobEntry &entry, IssueBlock *block);
-    bool issueStore(RobEntry &entry);
-    bool issueAccel(RobEntry &entry, IssueBlock *block);
-    void issueSimple(RobEntry &entry);
+    // --- issue helpers (shared by both engines); uops are addressed
+    //     by seq, with the hot line and payload fetched once ---
+    bool operandsReady(const RobHot &h) const;
+    bool tryIssue(uint64_t seq, IssueBlock *block = nullptr);
+    bool issueLoad(uint64_t seq, RobHot &h, const trace::MicroOp &op,
+                   IssueBlock *block);
+    bool issueStore(RobHot &h);
+    bool issueAccel(uint64_t seq, RobHot &h, const trace::MicroOp &op,
+                    IssueBlock *block);
+    void issueSimple(RobHot &h, const trace::MicroOp &op);
 
     // --- event-engine scheduling ---
-    void setupReadiness(RobEntry &entry); ///< at dispatch
-    void completeEntry(RobEntry &entry);  ///< wake waiters + parked
+    void setupReadiness(uint64_t seq); ///< at dispatch
+    void completeEntry(uint64_t seq);  ///< wake waiters + parked
     void readyPush(uint64_t seq) { readyQ.push(seq); }
-    void parkBlocked(RobEntry &entry, const IssueBlock &block);
+    void parkBlocked(uint64_t seq, const IssueBlock &block);
     void deliverWakeups(); ///< retries + timed parks + completions
     mem::Cycle nextEventTime() const;
     void accountSkipped(mem::Cycle first, mem::Cycle last);
@@ -302,14 +320,15 @@ class Core
     void accelQueueTick();
 
     /** True when a uop's result is available at the current cycle. */
-    bool isDone(const RobEntry &entry) const
+    bool isDone(const RobHot &h) const
     {
-        return entry.state == UopState::Issued &&
-               entry.completeCycle <= now;
+        return h.state == UopState::Issued && h.completeCycle <= now;
     }
 
-    /** Oldest in-flight store overlapping [addr, addr+size), if any. */
-    RobEntry *youngestOlderStore(const RobEntry &load);
+    /** Oldest in-flight store overlapping [addr, addr+size), or
+     *  noSeq. */
+    uint64_t youngestOlderStore(uint64_t loadSeq,
+                                const trace::MicroOp &loadOp);
 
     void recordStall(StallCause cause);
     void resetRunState();
@@ -327,7 +346,8 @@ class Core
     };
     /** Assemble candidate edges for a just-issued uop and record them
      *  with the winning (latest-clearing) one. */
-    void cpRecordIssue(RobEntry &entry);
+    void cpRecordIssue(uint64_t seq, const RobHot &h,
+                       const trace::MicroOp &op);
     /** Report this cycle's dispatch-block cause to the tracker. */
     void cpNoteDispatchBlock(StallCause cause);
 
@@ -352,11 +372,11 @@ class Core
          *  drains serially, so completeAts chain through it). */
         mem::Cycle busyUntil = 0;
         /**
-         * Async command queue (FIFO, bounded by accelQueueDepth).
-         * completeAts are monotone, so drainAccelQueues() pops in
-         * completion order by walking the front.
+         * Async command queue (FIFO ring bounded by accelQueueDepth;
+         * re-bounded every run). completeAts are monotone, so
+         * accelQueueTick() pops in completion order from the front.
          */
-        std::deque<PendingInvocation> queue;
+        util::FixedRing<PendingInvocation> queue;
         /** Last cycle a pop took the queue from full to full-1 (0 if
          *  never); the clear time of AccelQueueFull candidate edges. */
         mem::Cycle queueFullClearAt = 0;
@@ -369,7 +389,7 @@ class Core
     AccelPortState &portFor(const trace::MicroOp &op);
 
     CoreConfig conf;
-    mem::MemHierarchy &mem;
+    mem::MemHierarchy *memHier = nullptr;
     std::vector<AccelPortState> accelPorts;
 
     // --- per-run state ---
@@ -382,17 +402,23 @@ class Core
     Rob rob;
     FuPool fuPool;
     PortArbiter memPorts;
-    std::vector<uint64_t> iq;   ///< reference engine: waiting uops, by age
-    std::deque<uint64_t> ldq;   ///< seqs of in-flight loads, by age
-    std::deque<uint64_t> stq;   ///< seqs of in-flight stores, by age
+    std::vector<uint64_t> iq; ///< reference engine: waiting uops, by age
+    /** Seqs of in-flight loads/stores, by age (capacity lsqSize). */
+    util::FixedRing<uint64_t> ldq;
+    util::FixedRing<uint64_t> stq;
     std::vector<uint64_t> lastWriter; ///< reg -> producing seq (noSeq)
 
+    // --- batched trace fetch: dispatch pulls uops through a chunk
+    //     buffer so production is one virtual nextBatch() call per
+    //     kFetchChunk uops instead of one next() per uop ---
+    static constexpr size_t kFetchChunk = 64;
+    std::array<trace::MicroOp, kFetchChunk> fetchBuf;
+    uint32_t fetchPos = 0;   ///< next unconsumed buffer index
+    uint32_t fetchCount = 0; ///< valid ops in fetchBuf
+
     // --- event-engine scheduling state (idle under the reference
-    //     engine; reset every run) ---
+    //     engine; reset-not-free every run) ---
     using TimedSeq = std::pair<mem::Cycle, uint64_t>;
-    using TimedSeqHeap =
-        std::priority_queue<TimedSeq, std::vector<TimedSeq>,
-                            std::greater<TimedSeq>>;
     /**
      * Completion timing wheel: a completion fewer than kWheelSpan
      * cycles out (ALU/FPU latencies and cache hits — nearly all of
@@ -406,26 +432,33 @@ class Core
     std::array<std::vector<uint64_t>, kWheelSpan> completionWheel;
     size_t wheelPending = 0; ///< entries across all wheel slots
     /** (completeCycle, seq) beyond the wheel horizon. */
-    TimedSeqHeap completions;
+    util::MinHeap<TimedSeq> completions;
     /** (wakeCycle, seq) of attempts parked on a busy port/accel. */
-    TimedSeqHeap timeParked;
+    util::MinHeap<TimedSeq> timeParked;
     /**
      * Operand-ready uops awaiting an issue attempt, popped by age.
      * Arrivals are usually already age-ordered (dispatch and wakeup
      * delivery both walk old-to-young), so appends that keep the FIFO
      * sorted are O(1) and only out-of-order arrivals pay for a heap.
      * Pops take the global minimum across both, preserving exact
-     * oldest-first issue priority.
+     * oldest-first issue priority. At most robSize uops are ready at
+     * once (each live uop sits in one wait structure), bounding the
+     * ring.
      */
     struct ReadyQueue
     {
-        std::deque<uint64_t> fifo; ///< ascending fast path
-        std::priority_queue<uint64_t, std::vector<uint64_t>,
-                            std::greater<uint64_t>> spill;
+        util::FixedRing<uint64_t> fifo; ///< ascending fast path
+        util::MinHeap<uint64_t> spill;
 
         bool empty() const { return fifo.empty() && spill.empty(); }
         size_t size() const { return fifo.size() + spill.size(); }
-        void clear() { fifo.clear(); spill = {}; }
+
+        void
+        reset(size_t capacity)
+        {
+            fifo.reset(capacity);
+            spill.clear();
+        }
 
         void
         push(uint64_t seq)
@@ -472,8 +505,6 @@ class Core
     StallCause tickStallCause = StallCause::None;
 
     trace::TraceSource *source = nullptr;
-    trace::MicroOp pendingOp;
-    bool havePending = false;
     bool traceDone = false;
 
     // Front-end redirect state for mispredicted branches.

@@ -17,24 +17,36 @@ PortArbiter::PortArbiter(uint32_t num_ports)
 bool
 PortArbiter::availableAt(mem::Cycle cycle) const
 {
-    for (mem::Cycle free_at : nextFree)
-        if (free_at <= cycle)
-            return true;
-    return false;
+    return minFree <= cycle;
 }
 
 mem::Cycle
 PortArbiter::nextAvailableAt() const
 {
-    return *std::min_element(nextFree.begin(), nextFree.end());
+    return minFree;
 }
 
 mem::Cycle
 PortArbiter::claim(mem::Cycle earliest)
 {
-    auto it = std::min_element(nextFree.begin(), nextFree.end());
-    mem::Cycle start = std::max(earliest, *it);
-    *it = start + 1;
+    // One pass finds the earliest-free port (first of the minima, as
+    // std::min_element would) and the runner-up, so the cached minimum
+    // refreshes without a second scan.
+    size_t best = 0;
+    mem::Cycle best_free = nextFree[0];
+    mem::Cycle second = ~mem::Cycle(0);
+    for (size_t p = 1; p < nextFree.size(); ++p) {
+        if (nextFree[p] < best_free) {
+            second = best_free;
+            best_free = nextFree[p];
+            best = p;
+        } else if (nextFree[p] < second) {
+            second = nextFree[p];
+        }
+    }
+    mem::Cycle start = std::max(earliest, best_free);
+    nextFree[best] = start + 1;
+    minFree = std::min(second, start + 1);
     statClaims.inc();
     if (start > earliest) {
         statConflicts.inc();
@@ -49,6 +61,7 @@ void
 PortArbiter::reset()
 {
     std::fill(nextFree.begin(), nextFree.end(), 0);
+    minFree = 0;
     statClaims.reset();
     statConflicts.reset();
     statWaitCycles.reset();

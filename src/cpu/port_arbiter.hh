@@ -68,6 +68,9 @@ class PortArbiter
 
   private:
     std::vector<mem::Cycle> nextFree;
+    /** Cached min of nextFree, maintained by claim()/reset() so the
+     *  hot availability probes never rescan the port list. */
+    mem::Cycle minFree = 0;
     obs::EventSink *sink = nullptr;
 
     stats::Counter statClaims;

@@ -1,86 +1,61 @@
 #include "cpu/rob.hh"
 
 #include "obs/event_sink.hh"
-#include "util/logging.hh"
 
 namespace tca {
 namespace cpu {
 
 Rob::Rob(uint32_t capacity_in)
-    : capacity(capacity_in), entries(capacity_in)
+    : capacity(capacity_in), hotArr(capacity_in), ops(capacity_in)
 {
     tca_assert(capacity > 0);
 }
 
-RobEntry &
-Rob::allocate(uint64_t seq)
+void
+Rob::notifyAllocate(uint64_t seq)
 {
-    tca_assert(!full());
-    tca_assert(seq == nextSeq);
-    RobEntry &entry = entries[slotOf(seq)];
-    // Reset fields individually: clear()ing the wakeup lists keeps
-    // their heap capacity for the slot's next occupant, where a
-    // whole-struct reassignment would free and reallocate it every
-    // allocation. `op`/`dispatchCycle` are always written by dispatch
-    // right after this returns, and `issueCycle`/`completeCycle` are
-    // only read once `state` says the uop issued, so none of them
-    // need clearing here.
-    entry.seq = seq;
-    entry.state = UopState::Dispatched;
-    entry.srcProducer = {noSeq, noSeq, noSeq};
-    entry.waiters.clear();
-    entry.parkWaiters.clear();
-    entry.notReady = 0;
-    ++nextSeq;
-    ++count;
-    statAllocations.inc();
-    if (sink)
-        sink->onRobAllocate(seq, count);
-    return entry;
-}
-
-RobEntry &
-Rob::head()
-{
-    tca_assert(!empty());
-    return entries[slotOf(oldestSeq)];
-}
-
-const RobEntry &
-Rob::head() const
-{
-    tca_assert(!empty());
-    return entries[slotOf(oldestSeq)];
+    sink->onRobAllocate(seq, count);
 }
 
 void
-Rob::retireHead()
+Rob::notifyRetire(uint64_t seq)
 {
-    tca_assert(!empty());
-    uint64_t seq = oldestSeq;
-    ++oldestSeq;
-    --count;
-    statRetires.inc();
-    if (sink)
-        sink->onRobRetire(seq, count);
+    sink->onRobRetire(seq, count);
 }
 
-RobEntry &
-Rob::entryFor(uint64_t seq)
+size_t
+Rob::auditWaiterArena() const
 {
-    tca_assert(isLive(seq));
-    RobEntry &entry = entries[slotOf(seq)];
-    tca_assert(entry.seq == seq);
-    return entry;
-}
+    size_t total = waiterArena.size();
+    std::vector<uint8_t> seen(total, 0);
 
-const RobEntry &
-Rob::entryFor(uint64_t seq) const
-{
-    tca_assert(isLive(seq));
-    const RobEntry &entry = entries[slotOf(seq)];
-    tca_assert(entry.seq == seq);
-    return entry;
+    auto walk = [&](uint32_t head, const char *what) {
+        size_t steps = 0;
+        for (uint32_t index = head; index != util::arenaNil;
+             index = waiterArena[index].next) {
+            if (index >= total)
+                panic("%s link %u points outside the arena (%zu nodes)",
+                      what, index, total);
+            if (seen[index])
+                panic("%s node %u is linked twice", what, index);
+            seen[index] = 1;
+            if (++steps > total)
+                panic("%s chain is cyclic", what);
+        }
+        return steps;
+    };
+
+    size_t live = 0;
+    for (uint64_t seq = oldestSeq; seq < nextSeq; ++seq) {
+        live += walk(hot(seq).waiterHead, "waiter");
+        live += walk(hot(seq).parkHead, "park-waiter");
+    }
+    size_t freed = walk(freeHead, "freelist");
+    // Nodes on a retired-without-consumption chain are unreachable
+    // until the next reset(); they must not alias a reachable node
+    // (the double-link check above), but may exist.
+    tca_assert(live + freed <= total);
+    return live;
 }
 
 } // namespace cpu

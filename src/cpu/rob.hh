@@ -4,6 +4,19 @@
  * increasing sequence numbers. Because allocation and retirement are
  * both in order and capacity equals robSize, the slot of a live uop
  * with sequence number s is always s % robSize.
+ *
+ * Layout (docs/PERFORMANCE.md, "Memory layout"): structure-of-arrays.
+ * The per-uop scheduling state the engines touch every cycle (RobHot:
+ * producers, cycles, waiter-chain heads, state, notReady) lives in one
+ * contiguous array of 64-byte entries — one cache line each — while
+ * the cold trace::MicroOp payload (read once at issue and once at
+ * commit) sits in a parallel array so it never shares lines with the
+ * hot fields. Waiter lists are index-linked chains carved from a
+ * per-run bump arena instead of per-entry std::vectors: links are
+ * uint32 node indices (stable across arena growth), nodes recycle
+ * through a freelist as chains are consumed, and reset() rewinds the
+ * arena without freeing, so steady-state simulation performs no heap
+ * allocation at all.
  */
 
 #ifndef TCASIM_CPU_ROB_HH
@@ -15,6 +28,8 @@
 #include "mem/mem_types.hh"
 #include "stats/stats.hh"
 #include "trace/micro_op.hh"
+#include "util/arena.hh"
+#include "util/logging.hh"
 
 namespace tca {
 namespace obs {
@@ -32,37 +47,44 @@ enum class UopState : uint8_t {
 /** Sentinel sequence number meaning "no producer". */
 inline constexpr uint64_t noSeq = UINT64_MAX;
 
-/** One ROB entry. */
-struct RobEntry
+/**
+ * Hot per-uop scheduling state, exactly one cache line. The fields a
+ * pipeline stage reads together are adjacent; the MicroOp payload is
+ * deliberately elsewhere (Rob::op()).
+ */
+struct RobHot
 {
-    trace::MicroOp op;
-    uint64_t seq = noSeq;
-    UopState state = UopState::Dispatched;
-
     /** Producer sequence numbers for each source operand (noSeq if the
      *  value was already architected at dispatch). */
-    std::array<uint64_t, trace::maxSrcRegs> srcProducer =
-        {noSeq, noSeq, noSeq};
+    std::array<uint64_t, trace::maxSrcRegs> srcProducer;
 
-    mem::Cycle dispatchCycle = 0;
-    mem::Cycle issueCycle = 0;
-    mem::Cycle completeCycle = 0;
+    mem::Cycle dispatchCycle;
+    mem::Cycle issueCycle;
+    mem::Cycle completeCycle;
 
     // Event-engine wakeup bookkeeping (unused by the reference tick
     // loop; see docs/PERFORMANCE.md). Older uops never depend on
-    // younger ones, so every seq in these lists is > this entry's.
-    /** Consumers whose not-ready count drops when this uop completes. */
-    std::vector<uint64_t> waiters;
-    /** Issue attempts parked until this uop completes (loads waiting
-     *  to forward from this store, TCAs waiting on this low-confidence
-     *  branch). Re-evaluated from scratch when woken. */
-    std::vector<uint64_t> parkWaiters;
+    // younger ones, so every seq in these chains is > this entry's.
+    /** Head of the chain of consumers whose not-ready count drops when
+     *  this uop completes (util::arenaNil when empty). */
+    uint32_t waiterHead;
+    /** Head of the chain of issue attempts parked until this uop
+     *  completes (loads waiting to forward from this store, TCAs
+     *  waiting on this low-confidence branch). Re-evaluated from
+     *  scratch when woken. */
+    uint32_t parkHead;
+
+    UopState state;
     /** Source operands still waiting on an in-flight producer. */
-    uint8_t notReady = 0;
+    uint8_t notReady;
+    uint8_t pad[6];
 };
+static_assert(sizeof(RobHot) == 64, "RobHot must stay one cache line");
 
 /**
- * The reorder buffer. Head is the oldest live uop.
+ * The reorder buffer. Head is the oldest live uop. Entries are
+ * addressed by sequence number through hot()/op(); both only accept
+ * live sequence numbers.
  */
 class Rob
 {
@@ -74,19 +96,54 @@ class Rob
     uint32_t size() const { return count; }
     uint32_t cap() const { return capacity; }
 
-    /** Allocate the next entry (in program order). */
-    RobEntry &allocate(uint64_t seq);
-
-    /** Oldest live entry; ROB must be non-empty. */
-    RobEntry &head();
-    const RobEntry &head() const;
+    /**
+     * Allocate the next entry in program order and return its sequence
+     * number. The hot fields are reset; the MicroOp slot is stale until
+     * the dispatcher writes op(seq).
+     */
+    uint64_t
+    allocate()
+    {
+        tca_assert(!full());
+        uint64_t seq = nextSeq;
+        RobHot &h = hotArr[slotOf(seq)];
+        h.srcProducer = {noSeq, noSeq, noSeq};
+        h.waiterHead = util::arenaNil;
+        h.parkHead = util::arenaNil;
+        h.state = UopState::Dispatched;
+        h.notReady = 0;
+        ++nextSeq;
+        ++count;
+        statAllocations.inc();
+        if (sink)
+            notifyAllocate(seq);
+        return seq;
+    }
 
     /** Retire the head entry. */
-    void retireHead();
+    void
+    retireHead()
+    {
+        tca_assert(!empty());
+        uint64_t seq = oldestSeq;
+        ++oldestSeq;
+        headSlot = headSlot + 1 == capacity ? 0 : headSlot + 1;
+        --count;
+        statRetires.inc();
+        if (sink)
+            notifyRetire(seq);
+    }
 
-    /** Entry for a live sequence number. */
-    RobEntry &entryFor(uint64_t seq);
-    const RobEntry &entryFor(uint64_t seq) const;
+    /** Hot scheduling state for a live sequence number. */
+    RobHot &hot(uint64_t seq) { return hotArr[slotOf(seq)]; }
+    const RobHot &hot(uint64_t seq) const { return hotArr[slotOf(seq)]; }
+
+    /** MicroOp payload for a live sequence number. */
+    trace::MicroOp &op(uint64_t seq) { return ops[slotOf(seq)]; }
+    const trace::MicroOp &op(uint64_t seq) const
+    {
+        return ops[slotOf(seq)];
+    }
 
     /** True if this sequence number has already retired. */
     bool isRetired(uint64_t seq) const { return seq < oldestSeq; }
@@ -97,43 +154,158 @@ class Rob
         return seq >= oldestSeq && seq < nextSeq;
     }
 
-    /**
-     * Visit live entries oldest-to-youngest; the visitor returns false
-     * to stop early.
-     */
-    template <typename Visitor>
-    void
-    forEach(Visitor &&visit)
-    {
-        for (uint64_t s = oldestSeq; s < nextSeq; ++s) {
-            if (!visit(entryFor(s)))
-                return;
-        }
-    }
-
     uint64_t oldest() const { return oldestSeq; }
     uint64_t next() const { return nextSeq; }
+
+    // --- waiter chains (event engine) ---
+
+    /** Register `consumer` for a completion wakeup from `producer`. */
+    void
+    addWaiter(uint64_t producer, uint64_t consumer)
+    {
+        RobHot &h = hot(producer);
+        h.waiterHead = allocNode(consumer, h.waiterHead);
+    }
+
+    /** Park `consumer`'s issue attempt until `producer` completes. */
+    void
+    addParkWaiter(uint64_t producer, uint64_t consumer)
+    {
+        RobHot &h = hot(producer);
+        h.parkHead = allocNode(consumer, h.parkHead);
+    }
+
+    /**
+     * Drain seq's waiter chain, calling visit(consumerSeq) per node and
+     * recycling the nodes onto the freelist. Returns the number of
+     * waiters delivered. Delivery order is newest-registered-first
+     * (chains prepend); consumers of the wakeups feed an age-sorted
+     * ready queue, so the order is unobservable.
+     */
+    template <typename Visitor>
+    size_t
+    consumeWaiters(uint64_t seq, Visitor &&visit)
+    {
+        return consumeChain(hot(seq).waiterHead,
+                            std::forward<Visitor>(visit));
+    }
+
+    /** Drain seq's parked-attempt chain; see consumeWaiters. */
+    template <typename Visitor>
+    size_t
+    consumeParkWaiters(uint64_t seq, Visitor &&visit)
+    {
+        return consumeChain(hot(seq).parkHead,
+                            std::forward<Visitor>(visit));
+    }
+
+    /**
+     * Reset all per-run state, keeping every allocation (the hot/cold
+     * arrays, the waiter arena's slab). Equivalent to reconstructing
+     * with the same capacity, minus the heap traffic.
+     */
+    void
+    reset()
+    {
+        count = 0;
+        oldestSeq = 0;
+        nextSeq = 0;
+        headSlot = 0;
+        waiterArena.reset();
+        freeHead = util::arenaNil;
+        statAllocations.reset();
+        statRetires.reset();
+    }
 
     /** Observe allocation/retirement edges (nullptr disables). */
     void setEventSink(obs::EventSink *s) { sink = s; }
 
-    // Tallies, reset with the ROB (Core reassigns it per run). The
-    // counters are members so registry pointers taken at construction
-    // stay valid across the per-run reassignment.
+    // Tallies, zeroed by reset(). The counters are members so registry
+    // pointers taken once stay valid across per-run resets.
     const stats::Counter &allocations() const { return statAllocations; }
     const stats::Counter &retires() const { return statRetires; }
 
+    /**
+     * Audit the waiter arena (tests; O(nodes)): every allocated node is
+     * reachable exactly once — from the freelist or from exactly one
+     * live entry's waiter/park chain — and every link lands inside the
+     * arena. Panics with the violated invariant; returns the number of
+     * nodes currently threaded on live chains.
+     */
+    size_t auditWaiterArena() const;
+
   private:
-    uint32_t slotOf(uint64_t seq) const
+    struct WaiterNode
     {
-        return static_cast<uint32_t>(seq % capacity);
+        uint64_t seq;
+        uint32_t next;
+    };
+
+    /**
+     * Ring slot of a live seq without the division `seq % capacity`
+     * costs: head's slot is tracked incrementally, and a live seq is
+     * less than `capacity` past the head.
+     */
+    uint32_t
+    slotOf(uint64_t seq) const
+    {
+        tca_assert(seq >= oldestSeq && seq < oldestSeq + capacity);
+        uint32_t slot =
+            headSlot + static_cast<uint32_t>(seq - oldestSeq);
+        return slot >= capacity ? slot - capacity : slot;
     }
+
+    /** Pop a node from the freelist (or the arena) and prepend it. */
+    uint32_t
+    allocNode(uint64_t seq, uint32_t next)
+    {
+        uint32_t index;
+        if (freeHead != util::arenaNil) {
+            index = freeHead;
+            freeHead = waiterArena[index].next;
+        } else {
+            index = waiterArena.alloc();
+        }
+        waiterArena[index] = {seq, next};
+        return index;
+    }
+
+    template <typename Visitor>
+    size_t
+    consumeChain(uint32_t &head, Visitor &&visit)
+    {
+        size_t delivered = 0;
+        uint32_t index = head;
+        head = util::arenaNil;
+        while (index != util::arenaNil) {
+            WaiterNode &node = waiterArena[index];
+            uint64_t waiter = node.seq;
+            uint32_t next = node.next;
+            node.next = freeHead;
+            freeHead = index;
+            index = next;
+            visit(waiter);
+            ++delivered;
+        }
+        return delivered;
+    }
+
+    // Sink notifications live in rob.cc so this header does not pull in
+    // the sink interface for the hot inline paths.
+    void notifyAllocate(uint64_t seq);
+    void notifyRetire(uint64_t seq);
 
     uint32_t capacity;
     uint32_t count = 0;
+    uint32_t headSlot = 0;  ///< slot of oldestSeq (== oldestSeq % cap)
     uint64_t oldestSeq = 0; ///< seq of head when non-empty
     uint64_t nextSeq = 0;   ///< seq the next allocation will get
-    std::vector<RobEntry> entries;
+    std::vector<RobHot> hotArr;
+    std::vector<trace::MicroOp> ops;
+
+    util::Arena<WaiterNode> waiterArena;
+    uint32_t freeHead = util::arenaNil;
+
     obs::EventSink *sink = nullptr;
 
     stats::Counter statAllocations;

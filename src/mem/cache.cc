@@ -41,7 +41,8 @@ Cache::Cache(const CacheConfig &config, MemLevel *next_level)
 {
     conf.validate();
     tca_assert(next != nullptr);
-    sets.assign(conf.numSets(), std::vector<Line>(conf.associativity));
+    lines.assign(static_cast<size_t>(conf.numSets()) *
+                 conf.associativity, Line{});
     mshrFile.assign(conf.mshrs, Mshr{});
 }
 
@@ -56,9 +57,10 @@ Cache::Line *
 Cache::findLine(Addr addr)
 {
     Addr tag = lineAddr(addr);
-    for (Line &line : sets[setIndex(addr)])
-        if (line.valid && line.tag == tag)
-            return &line;
+    Line *set = setBegin(setIndex(addr));
+    for (uint32_t way = 0; way < conf.associativity; ++way)
+        if (set[way].valid && set[way].tag == tag)
+            return &set[way];
     return nullptr;
 }
 
@@ -66,9 +68,10 @@ const Cache::Line *
 Cache::findLine(Addr addr) const
 {
     Addr tag = lineAddr(addr);
-    for (const Line &line : sets[setIndex(addr)])
-        if (line.valid && line.tag == tag)
-            return &line;
+    const Line *set = setBegin(setIndex(addr));
+    for (uint32_t way = 0; way < conf.associativity; ++way)
+        if (set[way].valid && set[way].tag == tag)
+            return &set[way];
     return nullptr;
 }
 
@@ -81,18 +84,19 @@ Cache::isResident(Addr addr) const
 Cache::Line &
 Cache::chooseVictim(uint32_t set_index)
 {
-    std::vector<Line> &set = sets[set_index];
+    Line *set = setBegin(set_index);
+    const uint32_t ways = conf.associativity;
     // Prefer an invalid way.
-    for (Line &line : set)
-        if (!line.valid)
-            return line;
+    for (uint32_t way = 0; way < ways; ++way)
+        if (!set[way].valid)
+            return set[way];
     if (conf.policy == ReplPolicy::Random)
-        return set[replRng.nextBelow(set.size())];
+        return set[replRng.nextBelow(ways)];
     // LRU: smallest lastUse.
     Line *victim = &set[0];
-    for (Line &line : set)
-        if (line.lastUse < victim->lastUse)
-            victim = &line;
+    for (uint32_t way = 0; way < ways; ++way)
+        if (set[way].lastUse < victim->lastUse)
+            victim = &set[way];
     return *victim;
 }
 
@@ -210,9 +214,8 @@ Cache::access(Addr addr, AccessType type, Cycle now)
 void
 Cache::flush()
 {
-    for (auto &set : sets)
-        for (Line &line : set)
-            line = Line{};
+    for (Line &line : lines)
+        line = Line{};
     for (Mshr &mshr : mshrFile)
         mshr.valid = false;
 }

@@ -118,6 +118,18 @@ class Cache : public MemLevel
     const Line *findLine(Addr addr) const;
     Line &chooseVictim(uint32_t set_index);
 
+    /** First way of a set in the flat line array. */
+    Line *setBegin(uint32_t set_index)
+    {
+        return lines.data() +
+               static_cast<size_t>(set_index) * conf.associativity;
+    }
+    const Line *setBegin(uint32_t set_index) const
+    {
+        return lines.data() +
+               static_cast<size_t>(set_index) * conf.associativity;
+    }
+
     /** Handle a miss: allocate MSHR, fetch from next level. */
     Cycle handleMiss(Addr line_addr, Cycle now);
 
@@ -129,7 +141,10 @@ class Cache : public MemLevel
     Prefetcher *prefetcher = nullptr;
     uint64_t lineMask;
     uint64_t useCounter = 0;
-    std::vector<std::vector<Line>> sets;
+    /** All lines, flat: set s occupies [s*associativity,
+     *  (s+1)*associativity). One allocation, and a set probe touches
+     *  adjacent lines instead of chasing a per-set vector. */
+    std::vector<Line> lines;
     std::vector<Mshr> mshrFile;
     Rng replRng;
 

@@ -371,16 +371,32 @@ BenchHarness::writeBenchJson(const ScenarioOutcome &outcome,
     {
         std::ostringstream os;
         JsonWriter w(os);
-        if (outcome.hasRegions) {
-            outcome.host.writeJson(w, [&](JsonWriter &hw) {
+        // Derived efficiency ratios: hardware cost per simulated uop.
+        // Normalizing by work makes engine-level regressions stand out
+        // from runner speed drift (absolute counters scale with host
+        // clocks; per-uop ratios mostly don't). The host counters span
+        // warmup + repeats, so the uop total does too.
+        uint64_t total_uops =
+            outcome.committedUops *
+            static_cast<uint64_t>(opts.warmup + opts.repeats);
+        outcome.host.writeJson(w, [&](JsonWriter &hw) {
+            if (outcome.host.perf.valid && total_uops > 0) {
+                hw.kv("cache_misses_per_kuop",
+                      static_cast<double>(
+                          outcome.host.perf.cacheMisses) /
+                          (static_cast<double>(total_uops) / 1000.0));
+                hw.kv("instructions_per_uop",
+                      static_cast<double>(
+                          outcome.host.perf.instructions) /
+                          static_cast<double>(total_uops));
+            }
+            if (outcome.hasRegions) {
                 hw.key("regions");
                 prof::writeRegionsJson(hw, outcome.regions,
                                        outcome.regionWallSeconds,
                                        outcome.regionOverheadNs);
-            });
-        } else {
-            outcome.host.writeJson(w);
-        }
+            }
+        });
         manifest.setRawJson("host", os.str());
     }
     if (opts.telemetry) {

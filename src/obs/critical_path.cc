@@ -186,6 +186,29 @@ CriticalPathTracker::onIssueUop(uint64_t seq, mem::Cycle issue,
     rec.issue = issue;
     rec.complete = complete;
 
+    auto addWait = [&](CpCause cause, mem::Cycle cycles) {
+        if (!cycles)
+            return;
+        rpt.waitCycles[idx(cause)] += cycles;
+        rpt.waitCounts[idx(cause)] += 1;
+    };
+    const mem::Cycle base = rec.dispatch + 1;
+
+    // Fast path for the common single-edge uop (an ALU op whose
+    // producers all retired before dispatch presents only its dispatch
+    // edge): same winner and same wait tallies as the general sweep
+    // below, without the copy and sort.
+    if (count == 1) {
+        tca_assert(candidates[0].clear <= issue);
+        rec.effReady = candidates[0].clear;
+        rec.issueCause = candidates[0].cause;
+        rec.issuePred = candidates[0].pred;
+        mem::Cycle hi = std::max(candidates[0].clear, base);
+        addWait(CpCause::FuBusy, span(issue, hi));
+        addWait(candidates[0].cause, hi - base);
+        return;
+    }
+
     // Winner: latest clear; ties by rank, then larger predecessor.
     const CpEdge *best = &candidates[0];
     for (size_t i = 1; i < count; ++i) {
@@ -235,13 +258,6 @@ CriticalPathTracker::onIssueUop(uint64_t seq, mem::Cycle issue,
         sorted[j] = edge;
     }
 
-    auto addWait = [&](CpCause cause, mem::Cycle cycles) {
-        if (!cycles)
-            return;
-        rpt.waitCycles[idx(cause)] += cycles;
-        rpt.waitCounts[idx(cause)] += 1;
-    };
-    const mem::Cycle base = rec.dispatch + 1;
     addWait(CpCause::FuBusy, span(issue, std::max(sorted[0].clear, base)));
     for (size_t k = 0; k < count; ++k) {
         mem::Cycle hi = std::max(sorted[k].clear, base);

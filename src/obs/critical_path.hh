@@ -241,12 +241,17 @@ class CriticalPathTracker
         bool committed = false;
         /** Dispatch-block note consumed at dispatch (Dispatch = none). */
         CpCause dispatchCause = CpCause::Dispatch;
-        uint64_t dispatchPred = cpNoSeq;
         /** Winning issue edge + its clear time (== max candidate). */
         CpCause issueCause = CpCause::Dispatch;
+        uint8_t pad[2] = {};
+        uint64_t dispatchPred = cpNoSeq;
         uint64_t issuePred = cpNoSeq;
         mem::Cycle effReady = 0;
     };
+    // One record per dispatched uop, appended on the hot recording
+    // path — keep it to exactly one cache line (docs/PERFORMANCE.md,
+    // "Memory layout").
+    static_assert(sizeof(UopRec) == 64, "UopRec must stay one line");
 
     void walkPath(mem::Cycle total);
     void emitSegment(uint64_t seq, CpCause cause, mem::Cycle cycles,

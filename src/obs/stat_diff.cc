@@ -62,13 +62,20 @@ inferDirection(const std::string &path)
     // counts vary host to host and must never gate CI.
     if (path.compare(0, 5, "host.") == 0 ||
         containsToken(path, ".host.") || containsToken(path, "rss")) {
-        // One exception inside the host block, mirroring telemetry
+        // Exceptions inside the host block, mirroring telemetry
         // below: the profiling subsystem's own bookkeeping cost
         // (host.regions.meta.overhead_seconds, sampler overhead) is a
-        // real overhead this repo controls, so less is better.
-        return containsToken(path, "overhead")
-            ? MetricDirection::LowerIsBetter
-            : MetricDirection::Unknown;
+        // real overhead this repo controls, so less is better — and so
+        // are the work-normalized efficiency ratios
+        // (host.cache_misses_per_kuop, host.instructions_per_uop),
+        // which divide out runner speed and track the simulator's own
+        // memory behaviour.
+        if (containsToken(path, "overhead") ||
+            containsToken(path, "per_kuop") ||
+            containsToken(path, "per_uop")) {
+            return MetricDirection::LowerIsBetter;
+        }
+        return MetricDirection::Unknown;
     }
     // Telemetry-stream bookkeeping is likewise informational — a
     // record like telemetry.epochs or telemetry.heartbeats counts

@@ -1,5 +1,6 @@
 #include "trace/serialize.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/logging.hh"
@@ -147,6 +148,29 @@ FileTrace::next(MicroOp &op)
     op = unpack(rec);
     ++readCount;
     return true;
+}
+
+size_t
+FileTrace::nextBatch(MicroOp *out, size_t max)
+{
+    // One fread per chunk instead of one per record; the 32-byte
+    // records unpack from a stack staging buffer.
+    constexpr size_t kChunk = 256;
+    DiskRecord recs[kChunk];
+    size_t want = std::min<uint64_t>(max, total - readCount);
+    want = std::min(want, kChunk);
+    if (want == 0)
+        return 0;
+    size_t got = std::fread(recs, sizeof(DiskRecord), want, file);
+    if (got != want)
+        fatal("trace file '%s' truncated at record %llu of %llu",
+              fileName.c_str(),
+              static_cast<unsigned long long>(readCount + got),
+              static_cast<unsigned long long>(total));
+    for (size_t i = 0; i < got; ++i)
+        out[i] = unpack(recs[i]);
+    readCount += got;
+    return got;
 }
 
 } // namespace trace

@@ -48,6 +48,7 @@ class FileTrace : public TraceSource
     FileTrace &operator=(const FileTrace &) = delete;
 
     bool next(MicroOp &op) override;
+    size_t nextBatch(MicroOp *out, size_t max) override;
     uint64_t expectedLength() const override { return total; }
 
     /** Uops consumed so far. */

@@ -1,5 +1,8 @@
 #include "trace/trace_source.hh"
 
+#include <algorithm>
+#include <cstring>
+
 namespace tca {
 namespace trace {
 
@@ -15,6 +18,17 @@ VectorTrace::next(MicroOp &op)
         return false;
     op = ops[cursor++];
     return true;
+}
+
+size_t
+VectorTrace::nextBatch(MicroOp *out, size_t max)
+{
+    size_t n = std::min(max, ops.size() - cursor);
+    if (n > 0) {
+        std::memcpy(out, ops.data() + cursor, n * sizeof(MicroOp));
+        cursor += n;
+    }
+    return n;
 }
 
 std::vector<MicroOp>

@@ -35,6 +35,23 @@ class TraceSource
      */
     virtual bool next(MicroOp &op) = 0;
 
+    /**
+     * Produce up to `max` uops into `out`, returning how many were
+     * written; 0 means end of trace (next() contract: once the stream
+     * is exhausted it stays exhausted). The base implementation loops
+     * next(); sources backed by contiguous storage override it with a
+     * bulk copy so consumers pay one virtual call per chunk instead of
+     * one per uop (the core fetches through a 64-op buffer).
+     */
+    virtual size_t
+    nextBatch(MicroOp *out, size_t max)
+    {
+        size_t n = 0;
+        while (n < max && next(out[n]))
+            ++n;
+        return n;
+    }
+
     /** Expected total uop count if known, 0 otherwise (for progress). */
     virtual uint64_t expectedLength() const { return 0; }
 };
@@ -47,6 +64,7 @@ class VectorTrace : public TraceSource
     explicit VectorTrace(std::vector<MicroOp> uops);
 
     bool next(MicroOp &op) override;
+    size_t nextBatch(MicroOp *out, size_t max) override;
     uint64_t expectedLength() const override { return ops.size(); }
 
     /** Append a uop (builder-style use in tests). */

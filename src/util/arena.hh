@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Data-oriented run-state containers for the hot simulation paths
+ * (docs/PERFORMANCE.md, "Memory layout"). All three share one
+ * discipline: construction/reserve happens once per configuration,
+ * per-run cleanup is reset-not-free (size goes to zero, capacity
+ * stays), and links between elements are *indices*, never pointers,
+ * so backing-store growth cannot dangle anything.
+ *
+ *  - Arena<T>: vector-backed bump allocator handing out stable
+ *    indices. The building block for index-linked freelists (the ROB
+ *    waiter chains carve their nodes from one).
+ *  - MinHeap<T>: std::priority_queue<T, vector, greater<T>> with the
+ *    one affordance the standard adaptor withholds: clear() that keeps
+ *    the heap storage. Pop order is identical to the adaptor's (both
+ *    are std::push_heap/std::pop_heap over the same comparator).
+ *  - FixedRing<T>: bounded ring buffer with deque-style ends for
+ *    queues whose occupancy has a structural bound (LSQ <= lsqSize,
+ *    ready uops <= robSize), replacing std::deque's per-construction
+ *    chunk allocations with one flat slab.
+ */
+
+#ifndef TCASIM_UTIL_ARENA_HH
+#define TCASIM_UTIL_ARENA_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace tca {
+namespace util {
+
+/** Sentinel index meaning "no element" in index-linked structures. */
+inline constexpr uint32_t arenaNil = UINT32_MAX;
+
+/**
+ * Bump allocator over a contiguous slab. alloc() returns an index that
+ * stays valid across growth (callers hold indices, not pointers) and
+ * across reset(): resetting rewinds the bump cursor without releasing
+ * storage, so a sweep running thousands of configurations allocates
+ * its peak working set once and then stops touching the heap.
+ */
+template <typename T>
+class Arena
+{
+  public:
+    Arena() = default;
+
+    /** Pre-size the slab (hint only; alloc() grows on demand). */
+    void reserve(size_t capacity) { slab.reserve(capacity); }
+
+    /** Allocate one element; returns its stable index. */
+    uint32_t
+    alloc()
+    {
+        tca_assert(used <= slab.size());
+        if (used == slab.size())
+            slab.emplace_back();
+        return static_cast<uint32_t>(used++);
+    }
+
+    T &operator[](uint32_t index)
+    {
+        tca_assert(index < used);
+        return slab[index];
+    }
+
+    const T &operator[](uint32_t index) const
+    {
+        tca_assert(index < used);
+        return slab[index];
+    }
+
+    /** Elements currently allocated (== next index handed out). */
+    size_t size() const { return used; }
+
+    /** Elements the slab can hold without another heap allocation. */
+    size_t capacity() const { return slab.capacity(); }
+
+    /** Rewind the bump cursor; storage is kept for the next run. */
+    void reset() { used = 0; }
+
+  private:
+    std::vector<T> slab;
+    size_t used = 0;
+};
+
+/**
+ * Min-heap with reusable storage. Element order under push()/pop() is
+ * exactly std::priority_queue<T, std::vector<T>, std::greater<T>>:
+ * both are the standard heap algorithms over the same buffer, so
+ * swapping one for the other is invisible to deterministic replay.
+ */
+template <typename T>
+class MinHeap
+{
+  public:
+    bool empty() const { return heap.empty(); }
+    size_t size() const { return heap.size(); }
+    void reserve(size_t capacity) { heap.reserve(capacity); }
+
+    /** Drop all elements, keeping the buffer (reset-not-free). */
+    void clear() { heap.clear(); }
+
+    const T &
+    top() const
+    {
+        tca_assert(!heap.empty());
+        return heap.front();
+    }
+
+    void
+    push(T value)
+    {
+        heap.push_back(std::move(value));
+        std::push_heap(heap.begin(), heap.end(), std::greater<T>{});
+    }
+
+    void
+    pop()
+    {
+        tca_assert(!heap.empty());
+        std::pop_heap(heap.begin(), heap.end(), std::greater<T>{});
+        heap.pop_back();
+    }
+
+  private:
+    std::vector<T> heap;
+};
+
+/**
+ * Bounded ring with deque-style ends over one flat allocation.
+ * Capacity is fixed by reset(capacity) — pushing past it panics, which
+ * turns a broken occupancy bound into a loud test failure instead of a
+ * silent reallocation. Indexing is front-relative: ring[0] is the
+ * oldest element.
+ */
+template <typename T>
+class FixedRing
+{
+  public:
+    FixedRing() = default;
+
+    /**
+     * Empty the ring and (re)bound it. Storage is only reallocated
+     * when the capacity actually grows.
+     */
+    void
+    reset(size_t capacity)
+    {
+        if (slots.size() < capacity)
+            slots.resize(capacity);
+        head = 0;
+        count = 0;
+    }
+
+    bool empty() const { return count == 0; }
+    size_t size() const { return count; }
+    size_t capacity() const { return slots.size(); }
+
+    void
+    push_back(T value)
+    {
+        tca_assert(count < slots.size());
+        slots[wrap(head + count)] = std::move(value);
+        ++count;
+    }
+
+    T &
+    front()
+    {
+        tca_assert(count > 0);
+        return slots[head];
+    }
+
+    const T &
+    front() const
+    {
+        tca_assert(count > 0);
+        return slots[head];
+    }
+
+    T &
+    back()
+    {
+        tca_assert(count > 0);
+        return slots[wrap(head + count - 1)];
+    }
+
+    const T &
+    back() const
+    {
+        tca_assert(count > 0);
+        return slots[wrap(head + count - 1)];
+    }
+
+    void
+    pop_front()
+    {
+        tca_assert(count > 0);
+        head = wrap(head + 1);
+        --count;
+    }
+
+    /** Front-relative access: (*this)[0] is the oldest element. */
+    T &operator[](size_t i)
+    {
+        tca_assert(i < count);
+        return slots[wrap(head + i)];
+    }
+
+    const T &operator[](size_t i) const
+    {
+        tca_assert(i < count);
+        return slots[wrap(head + i)];
+    }
+
+    /** Drop all elements, keeping the bound and storage. */
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+  private:
+    size_t
+    wrap(size_t i) const
+    {
+        return i >= slots.size() ? i - slots.size() : i;
+    }
+
+    std::vector<T> slots;
+    size_t head = 0;
+    size_t count = 0;
+};
+
+} // namespace util
+} // namespace tca
+
+#endif // TCASIM_UTIL_ARENA_HH

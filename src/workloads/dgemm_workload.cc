@@ -1,6 +1,8 @@
 #include "workloads/dgemm_workload.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "trace/builder.hh"
 #include "util/logging.hh"
@@ -134,6 +136,23 @@ class DgemmWorkload::BaselineSource : public trace::TraceSource
         return true;
     }
 
+    size_t
+    nextBatch(trace::MicroOp *out, size_t max) override
+    {
+        size_t n = 0;
+        while (n < max) {
+            if (cursor >= buffer.size() && !fillNextChunk())
+                break;
+            size_t take =
+                std::min(max - n, buffer.size() - cursor);
+            std::memcpy(out + n, buffer.data() + cursor,
+                        take * sizeof(trace::MicroOp));
+            cursor += take;
+            n += take;
+        }
+        return n;
+    }
+
     uint64_t
     expectedLength() const override
     {
@@ -218,6 +237,23 @@ class DgemmWorkload::AccelSource : public trace::TraceSource
         }
         op = buffer[cursor++];
         return true;
+    }
+
+    size_t
+    nextBatch(trace::MicroOp *out, size_t max) override
+    {
+        size_t n = 0;
+        while (n < max) {
+            if (cursor >= buffer.size() && !fillNextChunk())
+                break;
+            size_t take =
+                std::min(max - n, buffer.size() - cursor);
+            std::memcpy(out + n, buffer.data() + cursor,
+                        take * sizeof(trace::MicroOp));
+            cursor += take;
+            n += take;
+        }
+        return n;
     }
 
     uint64_t

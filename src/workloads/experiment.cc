@@ -44,23 +44,35 @@ chainTelemetry(obs::EventSink *sink, obs::TelemetrySampler *telemetry,
     return &fanout;
 }
 
-} // anonymous namespace
-
+/**
+ * One simulation on an existing core against a fresh cold hierarchy.
+ * The core is re-seated (setHierarchy) and fully re-wired per run;
+ * reusing it across an experiment's runs keeps its warmed run-state
+ * capacity (ROB arrays, wakeup heaps, LSQ rings) instead of
+ * reallocating everything six times per experiment.
+ */
 cpu::SimResult
-runBaselineOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
-                obs::EventSink *sink,
-                const mem::HierarchyConfig &hierarchy_config,
-                stats::StatsSnapshot *stats_out, cpu::Engine engine,
-                obs::CriticalPathTracker *cp,
-                obs::TelemetrySampler *telemetry)
+runOnce(cpu::Core &cpu, TcaWorkload &workload, bool accelerated,
+        model::TcaMode mode, obs::EventSink *sink,
+        const mem::HierarchyConfig &hierarchy_config,
+        stats::StatsSnapshot *stats_out, obs::CriticalPathTracker *cp,
+        obs::TelemetrySampler *telemetry)
 {
     mem::MemHierarchy hierarchy(hierarchy_config);
-    cpu::Core cpu(core, hierarchy);
-    cpu.setEngine(engine);
+    cpu.setHierarchy(hierarchy);
+    std::unique_ptr<trace::TraceSource> trace;
+    if (accelerated) {
+        trace = workload.makeAcceleratedTrace();
+        // The workload's device is shared across mode runs; zero its
+        // tallies so each run's stats are per-run like SimResult.
+        workload.device().resetStats();
+        cpu.bindAccelerator(&workload.device(), mode);
+    } else {
+        trace = workload.makeBaselineTrace();
+    }
     obs::MultiSink fanout;
     cpu.setEventSink(chainTelemetry(sink, telemetry, fanout));
     cpu.setCriticalPathTracker(cp);
-    auto trace = workload.makeBaselineTrace();
     if (!stats_out) {
         if (telemetry)
             telemetry->attachRegistry(nullptr);
@@ -68,7 +80,10 @@ runBaselineOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
     }
 
     stats::StatsRegistry registry;
-    registerRunStats(registry, cpu, hierarchy);
+    if (accelerated)
+        registerRunStats(registry, cpu, hierarchy, &workload.device());
+    else
+        registerRunStats(registry, cpu, hierarchy);
     if (cp)
         cp->regStats(registry);
     if (telemetry)
@@ -82,6 +97,22 @@ runBaselineOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
     return result;
 }
 
+} // anonymous namespace
+
+cpu::SimResult
+runBaselineOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
+                obs::EventSink *sink,
+                const mem::HierarchyConfig &hierarchy_config,
+                stats::StatsSnapshot *stats_out, cpu::Engine engine,
+                obs::CriticalPathTracker *cp,
+                obs::TelemetrySampler *telemetry)
+{
+    cpu::Core cpu(core);
+    cpu.setEngine(engine);
+    return runOnce(cpu, workload, false, model::TcaMode::L_T, sink,
+                   hierarchy_config, stats_out, cp, telemetry);
+}
+
 cpu::SimResult
 runAcceleratedOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
                    model::TcaMode mode, obs::EventSink *sink,
@@ -90,34 +121,10 @@ runAcceleratedOnce(TcaWorkload &workload, const cpu::CoreConfig &core,
                    obs::CriticalPathTracker *cp,
                    obs::TelemetrySampler *telemetry)
 {
-    mem::MemHierarchy hierarchy(hierarchy_config);
-    cpu::Core cpu(core, hierarchy);
+    cpu::Core cpu(core);
     cpu.setEngine(engine);
-    auto trace = workload.makeAcceleratedTrace();
-    // The workload's device is shared across mode runs; zero its
-    // tallies so each run's stats are per-run like SimResult.
-    workload.device().resetStats();
-    cpu.bindAccelerator(&workload.device(), mode);
-    obs::MultiSink fanout;
-    cpu.setEventSink(chainTelemetry(sink, telemetry, fanout));
-    cpu.setCriticalPathTracker(cp);
-    if (!stats_out) {
-        if (telemetry)
-            telemetry->attachRegistry(nullptr);
-        return cpu.run(*trace);
-    }
-
-    stats::StatsRegistry registry;
-    registerRunStats(registry, cpu, hierarchy, &workload.device());
-    if (cp)
-        cp->regStats(registry);
-    if (telemetry)
-        telemetry->attachRegistry(&registry);
-    cpu::SimResult result = cpu.run(*trace);
-    *stats_out = registry.snapshot();
-    if (telemetry)
-        telemetry->attachRegistry(nullptr);
-    return result;
+    return runOnce(cpu, workload, true, mode, sink, hierarchy_config,
+                   stats_out, cp, telemetry);
 }
 
 ExperimentResult
@@ -126,6 +133,12 @@ runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
 {
     ExperimentResult result;
     result.workloadName = workload.name();
+
+    // One core serves the baseline run and every mode run: per-run
+    // state resets without freeing, so only the first run pays for
+    // the window's allocations.
+    cpu::Core cpu(core);
+    cpu.setEngine(options.engine);
 
     // One sampler serves every run of the experiment; the label tells
     // the stream's consumers which run each record belongs to.
@@ -140,10 +153,11 @@ runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
         sampler->setRunLabel(result.workloadName + "/baseline");
     {
         obs::prof::ProfRegion prof_region("baseline");
-        result.baseline = runBaselineOnce(
-            workload, core, options.sink, options.hierarchy,
+        result.baseline = runOnce(
+            cpu, workload, false, model::TcaMode::L_T, options.sink,
+            options.hierarchy,
             options.collectStats ? &result.baselineStats : nullptr,
-            options.engine, nullptr, sampler.get());
+            nullptr, sampler.get());
     }
 
     // Calibrate the model from the baseline run and the architect's
@@ -159,6 +173,11 @@ runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
     model::IntervalModel predictor(result.params);
 
     double base_cycles = static_cast<double>(result.baseline.cycles);
+
+    // Like the core, the tracker is reused across the mode runs:
+    // onRunBegin clears its per-uop record table without releasing it,
+    // so only the first tracked run grows the table.
+    obs::CriticalPathTracker tracker;
 
     for (size_t m = 0; m < model::allTcaModes.size(); ++m) {
         model::TcaMode mode = model::allTcaModes[m];
@@ -177,7 +196,6 @@ runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
         } else {
             run_sink = options.sink;
         }
-        obs::CriticalPathTracker tracker;
         if (sampler) {
             sampler->setRunLabel(result.workloadName + "/" +
                                  model::tcaModeName(mode));
@@ -185,10 +203,9 @@ runExperiment(TcaWorkload &workload, const cpu::CoreConfig &core,
         {
             obs::prof::ProfRegion prof_region(
                 std::string("mode_") + model::tcaModeName(mode));
-            outcome.sim = runAcceleratedOnce(
-                workload, core, mode, run_sink, options.hierarchy,
+            outcome.sim = runOnce(
+                cpu, workload, true, mode, run_sink, options.hierarchy,
                 options.collectStats ? &outcome.stats : nullptr,
-                options.engine,
                 options.trackCriticalPath ? &tracker : nullptr,
                 sampler.get());
         }

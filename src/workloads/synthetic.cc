@@ -104,13 +104,17 @@ SyntheticWorkload::generate(bool accelerated)
 std::unique_ptr<trace::TraceSource>
 SyntheticWorkload::makeBaselineTrace()
 {
-    return std::make_unique<trace::VectorTrace>(generate(false));
+    if (baselineOps.empty())
+        baselineOps = generate(false);
+    return std::make_unique<trace::VectorTrace>(baselineOps);
 }
 
 std::unique_ptr<trace::TraceSource>
 SyntheticWorkload::makeAcceleratedTrace()
 {
-    return std::make_unique<trace::VectorTrace>(generate(true));
+    if (acceleratedOps.empty())
+        acceleratedOps = generate(true);
+    return std::make_unique<trace::VectorTrace>(acceleratedOps);
 }
 
 double

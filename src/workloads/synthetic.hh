@@ -75,6 +75,17 @@ class SyntheticWorkload : public TcaWorkload
     SyntheticConfig conf;
     accel::FixedLatencyTca tca;
     std::vector<uint64_t> regionStarts; ///< filler offsets of regions
+
+    /**
+     * Memoized streams: generation is deterministic from the seed and
+     * run-independent, so each flavor is built once and every
+     * make*Trace call after the first is a memcpy into a fresh
+     * VectorTrace. Device registrations happen on the first
+     * accelerated build and are keyed by invocation id (idempotent
+     * replace), so they stay valid across runs.
+     */
+    std::vector<trace::MicroOp> baselineOps;
+    std::vector<trace::MicroOp> acceleratedOps;
 };
 
 } // namespace workloads

@@ -248,6 +248,42 @@ TEST(CoreTest, WiderCoreFasterOnParallelWork)
     EXPECT_LT(wide.cycles, narrow.cycles);
 }
 
+TEST(CoreTest, ReusedCoreMatchesFreshCore)
+{
+    // runExperiment now reuses one Core across all six runs, resetting
+    // the SoA run state (ROB arrays, waiter arena, LSQ rings, ready
+    // queue) between them. A reused Core must therefore be cycle-exact
+    // against a freshly constructed one, run after run.
+    CoreConfig conf = testConfig();
+    TraceBuilder b;
+    for (int i = 0; i < 400; ++i) {
+        b.alu(static_cast<trace::RegId>(1 + (i % 7)),
+              static_cast<trace::RegId>(1 + ((i + 3) % 7)));
+        b.load(static_cast<trace::RegId>(10 + (i % 4)),
+               0x1000 + 64 * (i % 32));
+        if (i % 5 == 0)
+            b.store(static_cast<trace::RegId>(10 + (i % 4)),
+                    0x8000 + 64 * (i % 16));
+        if (i % 17 == 0)
+            b.branch(/*mispredicted=*/i % 34 == 0);
+    }
+    auto ops = b.take();
+
+    SimResult fresh = runTrace(conf, ops);
+
+    mem::HierarchyConfig mem_conf;
+    Core reused(conf);
+    for (int round = 0; round < 3; ++round) {
+        mem::MemHierarchy hierarchy(mem_conf);
+        reused.setHierarchy(hierarchy);
+        VectorTrace trace(ops);
+        SimResult r = reused.run(trace);
+        EXPECT_EQ(r.cycles, fresh.cycles) << "round " << round;
+        EXPECT_EQ(r.committedUops, fresh.committedUops)
+            << "round " << round;
+    }
+}
+
 TEST(CoreDeathTest, AccelWithoutDevicePanics)
 {
     TraceBuilder b;

@@ -65,6 +65,16 @@ randomFuzzCore(Rng &rng, size_t index)
     core.commitLatency = static_cast<uint32_t>(rng.nextRange(1, 12));
     core.redirectPenalty = static_cast<uint32_t>(rng.nextRange(4, 16));
     core.accelQueueDepth = fuzzQueueDepthFor(index);
+    // A third of the grid forces odd ROB/IQ/LSQ geometries: the SoA
+    // ROB's wrapping slot lookup and the fixed-ring LSQ bounds sit at
+    // different alignments when the window size is odd, so the
+    // differential and invariant sweeps must not see only the even
+    // sizes nextRange tends to produce in bulk.
+    if (index % 3 == 1) {
+        core.robSize |= 1;
+        core.iqSize = std::min(core.robSize, core.iqSize | 1);
+        core.lsqSize = std::min(core.robSize, core.lsqSize | 1);
+    }
     core.validate();
     return core;
 }

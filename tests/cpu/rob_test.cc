@@ -12,13 +12,13 @@ TEST(RobTest, AllocateRetireCycle)
     EXPECT_TRUE(rob.empty());
     EXPECT_FALSE(rob.full());
 
-    rob.allocate(0);
-    rob.allocate(1);
+    EXPECT_EQ(rob.allocate(), 0u);
+    EXPECT_EQ(rob.allocate(), 1u);
     EXPECT_EQ(rob.size(), 2u);
-    EXPECT_EQ(rob.head().seq, 0u);
+    EXPECT_EQ(rob.oldest(), 0u);
 
     rob.retireHead();
-    EXPECT_EQ(rob.head().seq, 1u);
+    EXPECT_EQ(rob.oldest(), 1u);
     EXPECT_TRUE(rob.isRetired(0));
     EXPECT_FALSE(rob.isRetired(1));
 }
@@ -26,12 +26,12 @@ TEST(RobTest, AllocateRetireCycle)
 TEST(RobTest, FullAtCapacity)
 {
     Rob rob(2);
-    rob.allocate(0);
-    rob.allocate(1);
+    rob.allocate();
+    rob.allocate();
     EXPECT_TRUE(rob.full());
     rob.retireHead();
     EXPECT_FALSE(rob.full());
-    rob.allocate(2);
+    rob.allocate();
     EXPECT_TRUE(rob.full());
 }
 
@@ -39,8 +39,12 @@ TEST(RobTest, SlotReuseAfterWraparound)
 {
     Rob rob(3);
     for (uint64_t s = 0; s < 10; ++s) {
-        rob.allocate(s);
-        EXPECT_EQ(rob.entryFor(s).seq, s);
+        uint64_t seq = rob.allocate();
+        EXPECT_EQ(seq, s);
+        rob.hot(seq).dispatchCycle = s;
+        rob.op(seq).addr = s * 8;
+        EXPECT_EQ(rob.hot(seq).dispatchCycle, s);
+        EXPECT_EQ(rob.op(seq).addr, s * 8);
         rob.retireHead();
     }
     EXPECT_TRUE(rob.empty());
@@ -50,9 +54,9 @@ TEST(RobTest, SlotReuseAfterWraparound)
 TEST(RobTest, LivenessQueries)
 {
     Rob rob(8);
-    rob.allocate(0);
-    rob.allocate(1);
-    rob.allocate(2);
+    rob.allocate();
+    rob.allocate();
+    rob.allocate();
     rob.retireHead();
     EXPECT_FALSE(rob.isLive(0));
     EXPECT_TRUE(rob.isLive(1));
@@ -60,55 +64,116 @@ TEST(RobTest, LivenessQueries)
     EXPECT_FALSE(rob.isLive(3)); // not yet allocated
 }
 
-TEST(RobTest, ForEachVisitsOldestToYoungest)
+TEST(RobTest, HotStateDefaults)
 {
-    Rob rob(4);
-    rob.allocate(0);
-    rob.allocate(1);
-    rob.allocate(2);
-    std::vector<uint64_t> seen;
-    rob.forEach([&](RobEntry &entry) {
-        seen.push_back(entry.seq);
-        return true;
-    });
-    ASSERT_EQ(seen.size(), 3u);
-    EXPECT_EQ(seen[0], 0u);
-    EXPECT_EQ(seen[2], 2u);
+    Rob rob(2);
+    uint64_t seq = rob.allocate();
+    const RobHot &h = rob.hot(seq);
+    EXPECT_EQ(h.state, UopState::Dispatched);
+    EXPECT_EQ(h.notReady, 0);
+    EXPECT_EQ(h.waiterHead, util::arenaNil);
+    EXPECT_EQ(h.parkHead, util::arenaNil);
+    for (uint64_t p : h.srcProducer)
+        EXPECT_EQ(p, noSeq);
 }
 
-TEST(RobTest, ForEachEarlyStop)
+TEST(RobTest, HotEntryIsOneCacheLine)
+{
+    EXPECT_EQ(sizeof(RobHot), 64u);
+}
+
+TEST(RobTest, WaiterChainDeliversAllConsumers)
+{
+    Rob rob(8);
+    uint64_t producer = rob.allocate();
+    uint64_t c1 = rob.allocate();
+    uint64_t c2 = rob.allocate();
+    rob.addWaiter(producer, c1);
+    rob.addWaiter(producer, c2);
+    EXPECT_EQ(rob.auditWaiterArena(), 2u);
+
+    std::vector<uint64_t> woken;
+    size_t delivered = rob.consumeWaiters(
+        producer, [&](uint64_t seq) { woken.push_back(seq); });
+    EXPECT_EQ(delivered, 2u);
+    ASSERT_EQ(woken.size(), 2u);
+    // LIFO chain: newest registration first.
+    EXPECT_EQ(woken[0], c2);
+    EXPECT_EQ(woken[1], c1);
+    // Chain is consumed: nothing left, nodes recycled.
+    EXPECT_EQ(rob.consumeWaiters(producer, [](uint64_t) {}), 0u);
+    EXPECT_EQ(rob.auditWaiterArena(), 0u);
+}
+
+TEST(RobTest, WaiterNodesRecycleThroughFreelist)
 {
     Rob rob(4);
-    rob.allocate(0);
-    rob.allocate(1);
-    int visits = 0;
-    rob.forEach([&](RobEntry &) {
-        ++visits;
-        return false;
-    });
-    EXPECT_EQ(visits, 1);
+    uint64_t p = rob.allocate();
+    uint64_t c = rob.allocate();
+    for (int round = 0; round < 100; ++round) {
+        rob.addWaiter(p, c);
+        rob.addParkWaiter(p, c);
+        rob.consumeWaiters(p, [](uint64_t) {});
+        rob.consumeParkWaiters(p, [](uint64_t) {});
+    }
+    // Steady-state churn reuses the same two nodes instead of growing.
+    EXPECT_LE(rob.auditWaiterArena(), 2u);
+}
+
+TEST(RobTest, ParkChainIsSeparateFromWaiterChain)
+{
+    Rob rob(8);
+    uint64_t p = rob.allocate();
+    uint64_t w = rob.allocate();
+    uint64_t parked = rob.allocate();
+    rob.addWaiter(p, w);
+    rob.addParkWaiter(p, parked);
+
+    std::vector<uint64_t> woken;
+    rob.consumeParkWaiters(p,
+                           [&](uint64_t seq) { woken.push_back(seq); });
+    ASSERT_EQ(woken.size(), 1u);
+    EXPECT_EQ(woken[0], parked);
+    // Waiter chain untouched by the park drain.
+    EXPECT_EQ(rob.consumeWaiters(p, [](uint64_t) {}), 1u);
+}
+
+TEST(RobTest, ResetRewindsSequencesAndArena)
+{
+    Rob rob(4);
+    uint64_t p = rob.allocate();
+    uint64_t c = rob.allocate();
+    rob.addWaiter(p, c);
+    EXPECT_EQ(rob.allocations().value(), 2u);
+
+    rob.reset();
+    EXPECT_TRUE(rob.empty());
+    EXPECT_EQ(rob.next(), 0u);
+    EXPECT_EQ(rob.oldest(), 0u);
+    EXPECT_EQ(rob.allocations().value(), 0u);
+    EXPECT_EQ(rob.retires().value(), 0u);
+    EXPECT_EQ(rob.auditWaiterArena(), 0u);
+
+    // Fresh allocations start over and see clean chain heads.
+    uint64_t seq = rob.allocate();
+    EXPECT_EQ(seq, 0u);
+    EXPECT_EQ(rob.hot(seq).waiterHead, util::arenaNil);
 }
 
 TEST(RobDeathTest, AllocateWhenFullPanics)
 {
     Rob rob(1);
-    rob.allocate(0);
-    EXPECT_DEATH(rob.allocate(1), "");
+    rob.allocate();
+    EXPECT_DEATH(rob.allocate(), "");
 }
 
-TEST(RobDeathTest, HeadOfEmptyPanics)
+TEST(RobDeathTest, AccessOfDeadSeqPanics)
 {
     Rob rob(2);
-    EXPECT_DEATH(rob.head(), "");
-}
-
-TEST(RobTest, EntryStateDefaults)
-{
-    Rob rob(2);
-    RobEntry &entry = rob.allocate(0);
-    EXPECT_EQ(entry.state, UopState::Dispatched);
-    for (uint64_t p : entry.srcProducer)
-        EXPECT_EQ(p, noSeq);
+    rob.allocate();
+    rob.retireHead();
+    EXPECT_DEATH(rob.hot(0), "");
+    EXPECT_DEATH(rob.op(5), ""); // beyond the live window
 }
 
 } // namespace

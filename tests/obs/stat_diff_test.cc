@@ -131,6 +131,34 @@ TEST(StatDiff, HostRegionsAreInformationalExceptOverhead)
               MD::LowerIsBetter);
 }
 
+TEST(StatDiff, HostEfficiencyRatiosGateLowerIsBetter)
+{
+    using MD = MetricDirection;
+    // Work-normalized host ratios divide out runner speed: they track
+    // the simulator's own memory behaviour, so they gate like costs
+    // even though the raw counters they derive from stay informational.
+    EXPECT_EQ(inferDirection("host.cache_misses_per_kuop"),
+              MD::LowerIsBetter);
+    EXPECT_EQ(inferDirection("host.instructions_per_uop"),
+              MD::LowerIsBetter);
+    EXPECT_EQ(inferDirection(
+                  "sim_throughput.host.cache_misses_per_kuop"),
+              MD::LowerIsBetter);
+    // The raw inputs remain informational.
+    EXPECT_EQ(inferDirection("host.perf.cache_misses"), MD::Unknown);
+    EXPECT_EQ(inferDirection("host.perf.instructions"), MD::Unknown);
+
+    // A regression in the ratio fails a diff that watches it.
+    std::map<std::string, double> old_stats{
+        {"host.cache_misses_per_kuop", 10.0}};
+    std::map<std::string, double> new_stats{
+        {"host.cache_misses_per_kuop", 20.0}};
+    DiffReport report = diffStats(old_stats, new_stats, {});
+    EXPECT_EQ(deltaFor(report, "host.cache_misses_per_kuop").status,
+              DiffStatus::Regressed);
+    EXPECT_TRUE(report.failed());
+}
+
 TEST(StatDiff, TelemetryStatsAreInformationalExceptOverhead)
 {
     using MD = MetricDirection;

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the data-oriented run-state containers
+ * (util/arena.hh): Arena index stability and reset-not-free, MinHeap
+ * pop-order equivalence with std::priority_queue, FixedRing wraparound
+ * and its loud bound enforcement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/arena.hh"
+#include "util/random.hh"
+
+namespace tca {
+namespace {
+
+TEST(Arena, AllocReturnsSequentialStableIndices)
+{
+    util::Arena<int> arena;
+    for (uint32_t i = 0; i < 100; ++i) {
+        uint32_t idx = arena.alloc();
+        EXPECT_EQ(idx, i);
+        arena[idx] = static_cast<int>(i * 3);
+    }
+    // Values written through early indices survive later growth: the
+    // contract is index stability, not pointer stability.
+    for (uint32_t i = 0; i < 100; ++i)
+        EXPECT_EQ(arena[i], static_cast<int>(i * 3));
+    EXPECT_EQ(arena.size(), 100u);
+}
+
+TEST(Arena, ResetRewindsCursorAndKeepsStorage)
+{
+    util::Arena<uint64_t> arena;
+    for (int i = 0; i < 64; ++i)
+        arena.alloc();
+    size_t capacity_after_warmup = arena.capacity();
+    EXPECT_GE(capacity_after_warmup, 64u);
+
+    arena.reset();
+    EXPECT_EQ(arena.size(), 0u);
+    EXPECT_EQ(arena.capacity(), capacity_after_warmup);
+
+    // The next run re-carves the same slab: indices restart at 0 and
+    // no further heap growth happens within the warmed-up footprint.
+    for (uint32_t i = 0; i < 64; ++i)
+        EXPECT_EQ(arena.alloc(), i);
+    EXPECT_EQ(arena.capacity(), capacity_after_warmup);
+}
+
+TEST(Arena, ReserveSizesSlabWithoutAllocating)
+{
+    util::Arena<int> arena;
+    arena.reserve(32);
+    EXPECT_GE(arena.capacity(), 32u);
+    EXPECT_EQ(arena.size(), 0u);
+}
+
+TEST(ArenaDeathTest, OutOfRangeIndexPanics)
+{
+    util::Arena<int> arena;
+    arena.alloc();
+    EXPECT_DEATH(arena[1], "");
+    EXPECT_DEATH(arena[util::arenaNil], "");
+}
+
+TEST(MinHeap, PopOrderMatchesPriorityQueue)
+{
+    // The swap-in claim for determinism: MinHeap must drain in exactly
+    // the order std::priority_queue<T, vector, greater<T>> would,
+    // including ties (both run the same std heap algorithms).
+    Rng rng(1234);
+    util::MinHeap<uint64_t> ours;
+    std::priority_queue<uint64_t, std::vector<uint64_t>,
+                        std::greater<uint64_t>> reference;
+    for (int round = 0; round < 500; ++round) {
+        if (!reference.empty() && rng.nextBelow(3) == 0) {
+            ASSERT_EQ(ours.top(), reference.top());
+            ours.pop();
+            reference.pop();
+        } else {
+            uint64_t v = rng.nextBelow(64); // plenty of ties
+            ours.push(v);
+            reference.push(v);
+        }
+        ASSERT_EQ(ours.size(), reference.size());
+    }
+    while (!reference.empty()) {
+        ASSERT_EQ(ours.top(), reference.top());
+        ours.pop();
+        reference.pop();
+    }
+    EXPECT_TRUE(ours.empty());
+}
+
+TEST(MinHeap, ClearEmptiesAndHeapStaysUsable)
+{
+    util::MinHeap<int> heap;
+    heap.reserve(16);
+    for (int v : {5, 1, 9, 3})
+        heap.push(v);
+    heap.clear();
+    EXPECT_TRUE(heap.empty());
+    EXPECT_EQ(heap.size(), 0u);
+
+    heap.push(7);
+    heap.push(2);
+    EXPECT_EQ(heap.top(), 2);
+    heap.pop();
+    EXPECT_EQ(heap.top(), 7);
+}
+
+TEST(MinHeapDeathTest, TopAndPopOnEmptyPanic)
+{
+    util::MinHeap<int> heap;
+    EXPECT_DEATH(heap.top(), "");
+    EXPECT_DEATH(heap.pop(), "");
+}
+
+TEST(FixedRing, PushPopWrapsAroundTheSlab)
+{
+    util::FixedRing<int> ring;
+    ring.reset(4);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.capacity(), 4u);
+
+    // Cycle far more elements than the capacity through the ring so
+    // head wraps repeatedly; FIFO order must hold throughout.
+    int next_in = 0, next_out = 0;
+    for (int step = 0; step < 100; ++step) {
+        while (ring.size() < 3)
+            ring.push_back(next_in++);
+        EXPECT_EQ(ring.front(), next_out);
+        EXPECT_EQ(ring.back(), next_in - 1);
+        ring.pop_front();
+        ++next_out;
+    }
+}
+
+TEST(FixedRing, FrontRelativeIndexing)
+{
+    util::FixedRing<int> ring;
+    ring.reset(3);
+    ring.push_back(10);
+    ring.push_back(20);
+    ring.pop_front(); // head moves off slot 0
+    ring.push_back(30);
+    ring.push_back(40); // wraps into slot 0
+    ASSERT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring[0], 20);
+    EXPECT_EQ(ring[1], 30);
+    EXPECT_EQ(ring[2], 40);
+}
+
+TEST(FixedRing, ResetRebindsCapacityAndClearKeepsIt)
+{
+    util::FixedRing<int> ring;
+    ring.reset(2);
+    ring.push_back(1);
+    ring.push_back(2);
+
+    // Growing the bound preserves nothing (reset empties) but the
+    // storage only reallocates when the capacity actually grows.
+    ring.reset(8);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.capacity(), 8u);
+
+    // Shrinking the bound keeps the larger slab (reset-not-free)...
+    ring.reset(2);
+    EXPECT_EQ(ring.capacity(), 8u);
+
+    ring.push_back(5);
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(FixedRingDeathTest, OverflowAndEmptyAccessPanic)
+{
+    util::FixedRing<int> ring;
+    ring.reset(2);
+    ring.push_back(1);
+    ring.push_back(2);
+    // A broken occupancy bound must fail loudly, never reallocate.
+    EXPECT_DEATH(ring.push_back(3), "");
+
+    ring.clear();
+    EXPECT_DEATH(ring.front(), "");
+    EXPECT_DEATH(ring.back(), "");
+    EXPECT_DEATH(ring.pop_front(), "");
+    EXPECT_DEATH(ring[0], "");
+}
+
+} // anonymous namespace
+} // namespace tca
